@@ -1,0 +1,238 @@
+//! Regenerates every evaluation figure and table of the paper.
+//!
+//! Usage: `cargo run --release -p adaptnoc-bench --bin gen-figures [--quick] [--only figNN,...]`
+//!
+//! Prints the same rows/series the paper reports (normalized to the
+//! baseline design) and writes machine-readable JSON next to the text.
+
+use adaptnoc_bench::prelude::*;
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only: Option<HashSet<String>> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| list.split(',').map(|s| s.trim().to_string()).collect());
+    let scale = if quick {
+        FigScale::quick()
+    } else {
+        FigScale::full()
+    };
+    let want = |name: &str| only.as_ref().is_none_or(|o| o.contains(name));
+    let t0 = Instant::now();
+    // Merge into any existing results so partial (--only) runs refresh
+    // sections without discarding the rest.
+    let mut json = std::fs::read_to_string("results/figures.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .and_then(|v| v.as_object().cloned())
+        .unwrap_or_default();
+
+    println!("== Adapt-NoC figure regeneration ({}) ==", if quick { "quick" } else { "full" });
+
+    if want("mixed") || want("fig07") || want("fig10") || want("fig11") || want("fig12") || want("fig13") {
+        banner("Figs. 7/10/11/12/13: mixed workload, normalized to baseline");
+        let rows = mixed_campaign(&scale).expect("mixed campaign");
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "design", "pkt-lat", "exec", "energy", "dynamic", "static", "edp"
+        );
+        for r in &rows {
+            println!(
+                "{:<16} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                r.design,
+                r.packet_latency_norm,
+                r.exec_time_norm,
+                r.energy_norm,
+                r.dynamic_norm,
+                r.static_norm,
+                r.edp_norm
+            );
+        }
+        json.insert("mixed".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if want("fig08") {
+        banner("Fig. 8: CPU application hop counts (normalized)");
+        let rows = fig08(&scale).expect("fig08");
+        print_per_app(&rows, false);
+        json.insert("fig08".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if want("fig09") {
+        banner("Fig. 9: GPU application hop counts + queuing latency (normalized)");
+        let rows = fig09(&scale).expect("fig09");
+        print_per_app(&rows, true);
+        json.insert("fig09".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if want("fig14") {
+        banner("Fig. 14: topology selection breakdown, CPU apps (4x4)");
+        let rows = fig14(&scale).expect("fig14");
+        print_selection(&rows);
+        json.insert("fig14".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if want("fig15") {
+        banner("Fig. 15: topology selection breakdown, GPU apps (4x8)");
+        let rows = fig15(&scale).expect("fig15");
+        print_selection(&rows);
+        json.insert("fig15".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if want("fig16") {
+        banner("Fig. 16: RL vs static across subNoC sizes (ratios, lower = RL wins)");
+        let rows = fig16(&scale).expect("fig16");
+        println!("{:<8} {:>14} {:>14}", "size", "latency-ratio", "energy-ratio");
+        for r in &rows {
+            println!("{:<8} {:>14.3} {:>14.3}", r.size, r.latency_ratio, r.energy_ratio);
+        }
+        json.insert("fig16".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if want("fig17") {
+        banner("Fig. 17: epoch-size sweep (normalized to 50K)");
+        let rows = fig17(&scale).expect("fig17");
+        println!("{:<10} {:>12} {:>12}", "epoch", "latency", "power");
+        for r in &rows {
+            println!("{:<10} {:>12.3} {:>12.3}", r.epoch_cycles, r.latency_norm, r.power_norm);
+        }
+        json.insert("fig17".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if want("fig18") {
+        banner("Fig. 18: discount-factor sweep (normalized to 0.9)");
+        let rows = fig18(&scale).expect("fig18");
+        print_sweep(&rows);
+        json.insert("fig18".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if want("fig19") {
+        banner("Fig. 19: exploration-rate sweep (normalized to 0.05)");
+        let rows = fig19(&scale).expect("fig19");
+        print_sweep(&rows);
+        json.insert("fig19".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if want("tables") {
+        banner("Sec. V-B1: area");
+        let a = area_table();
+        println!(
+            "baseline {:.2} mm2 | adapt {:.2} mm2 | extras {:.2} mm2 | saving {:.1}% (paper: 17.27 / -14%)",
+            a.baseline_mm2,
+            a.adapt_mm2,
+            a.extras_mm2,
+            a.saving_fraction * 100.0
+        );
+        json.insert("area".into(), serde_json::to_value(&a).unwrap());
+
+        banner("Sec. V-B2: wiring budget");
+        let (budget, rows) = wiring_table().expect("wiring");
+        println!(
+            "budget per tile edge: {} high-metal + {} intermediate bidirectional 256-bit links",
+            budget.high_metal_links, budget.intermediate_links
+        );
+        println!("{:<12} {:>10} {:>10} {:>8}", "topology", "channels", "express", "fits");
+        for r in &rows {
+            println!(
+                "{:<12} {:>10} {:>10} {:>8}",
+                r.topology, r.max_channels_per_edge, r.max_express_per_edge, r.fits_budget
+            );
+        }
+        json.insert("wiring".into(), serde_json::to_value(&rows).unwrap());
+
+        banner("Sec. V-B3: timing");
+        let t = timing_table();
+        println!(
+            "conventional RC/VA/SA/ST: {:?} ps | adaptable (mux merged): {:?} ps",
+            t.conventional_ps, t.adaptable_ps
+        );
+        println!(
+            "max freq {:.2} GHz | 4mm high-metal wire {:.0} ps | reversed +{:.0} ps | DQN {:.0} ns (paper: 486)",
+            t.max_freq_ghz, t.wire_4mm_ps, t.reversed_extra_ps, t.dqn_ns
+        );
+        json.insert("timing".into(), serde_json::to_value(&t).unwrap());
+
+        banner("Sec. V-A1: wiring scalability (FTBY vs Adapt at 16x16)");
+        let rows = scalability_table().expect("scalability");
+        println!("{:<8} {:<14} {:>10} {:>6}", "size", "design", "channels", "fits");
+        for r in &rows {
+            println!(
+                "{:<8} {:<14} {:>10} {:>6}",
+                r.size, r.design, r.max_channels_per_edge, r.fits_budget
+            );
+        }
+        json.insert("scalability".into(), serde_json::to_value(&rows).unwrap());
+
+        banner("Sec. II-C1: reconfiguration latency (idle 4x4 subNoC)");
+        let rows = reconfig_table().expect("reconfig");
+        println!("{:<10} {:<10} {:>8} {:>6}", "from", "to", "cycles", "fast");
+        for r in &rows {
+            println!("{:<10} {:<10} {:>8} {:>6}", r.from, r.to, r.cycles, r.fast_path);
+        }
+        json.insert("reconfig".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    let out = serde_json::Value::Object(json);
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/figures.json",
+        serde_json::to_string_pretty(&out).unwrap(),
+    )
+    .ok();
+    std::fs::write(
+        "results/REPORT.md",
+        adaptnoc_bench::report::render_report(&out),
+    )
+    .ok();
+    println!(
+        "\nDone in {:.1}s; results/figures.json and results/REPORT.md written",
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn banner(s: &str) {
+    println!("\n--- {s} ---");
+}
+
+fn print_per_app(rows: &[adaptnoc_bench::figs::PerAppRow], with_queuing: bool) {
+    if with_queuing {
+        println!("{:<6} {:<16} {:>10} {:>12}", "app", "design", "hops", "queuing");
+    } else {
+        println!("{:<6} {:<16} {:>10}", "app", "design", "hops");
+    }
+    for r in rows {
+        if with_queuing {
+            println!(
+                "{:<6} {:<16} {:>10.3} {:>12.3}",
+                r.app, r.design, r.hops_norm, r.queuing_norm
+            );
+        } else {
+            println!("{:<6} {:<16} {:>10.3}", r.app, r.design, r.hops_norm);
+        }
+    }
+}
+
+fn print_selection(rows: &[adaptnoc_bench::figs::SelectionRow]) {
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>8}",
+        "app", "mesh", "cmesh", "torus", "tree"
+    );
+    for r in rows {
+        println!(
+            "{:<6} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            r.app, r.fractions[0], r.fractions[1], r.fractions[2], r.fractions[3]
+        );
+    }
+}
+
+fn print_sweep(rows: &[adaptnoc_bench::figs::SweepRow]) {
+    println!("{:<8} {:>12} {:>12}", "value", "latency", "power");
+    for r in rows {
+        println!("{:<8} {:>12.3} {:>12.3}", r.value, r.latency_norm, r.power_norm);
+    }
+}

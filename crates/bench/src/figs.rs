@@ -1,0 +1,615 @@
+//! Regeneration of every evaluation figure (Figs. 7-19).
+//!
+//! Each function runs the corresponding experiment and returns printable
+//! rows; `gen-figures` drives them all. Absolute numbers differ from the
+//! paper (the substrate is this repository's simulator, not gem5-GPU on
+//! the authors' testbed); the comparisons are reported normalized to the
+//! baseline exactly as the paper presents them.
+
+use crate::harness::{fixed_policies, oracle_policies, run_design, RunConfig, RunResult};
+use crate::training::{train_dqn, TrainConfig};
+use adaptnoc_core::prelude::*;
+use adaptnoc_rl::dqn::{DqnConfig, TrainedPolicy};
+use adaptnoc_topology::prelude::*;
+use adaptnoc_workloads::prelude::*;
+
+/// Experiment scale (full runs vs quick smoke runs).
+#[derive(Debug, Clone)]
+pub struct FigScale {
+    /// Steady-state measurement runs.
+    pub rc: RunConfig,
+    /// Run-to-completion runs (execution time / energy).
+    pub rc_completion: RunConfig,
+    /// Oracle-evaluation runs.
+    pub rc_oracle: RunConfig,
+    /// RL training budget.
+    pub train: TrainConfig,
+    /// Number of mixed-workload combinations to average.
+    pub mixes: usize,
+}
+
+impl FigScale {
+    /// Paper-scale: 50K-cycle epochs.
+    pub fn full() -> Self {
+        FigScale {
+            rc: RunConfig {
+                epoch_cycles: 50_000,
+                epochs: 8,
+                warmup_epochs: 2,
+                ..Default::default()
+            },
+            rc_completion: RunConfig {
+                epoch_cycles: 50_000,
+                run_to_completion: true,
+                max_cycles: 3_000_000,
+                ..Default::default()
+            },
+            rc_oracle: RunConfig {
+                epoch_cycles: 10_000,
+                epochs: 2,
+                warmup_epochs: 1,
+                ..Default::default()
+            },
+            train: TrainConfig::default(),
+            mixes: 2,
+        }
+    }
+
+    /// Quick scale for smoke tests and CI.
+    pub fn quick() -> Self {
+        FigScale {
+            rc: RunConfig {
+                epoch_cycles: 6_000,
+                epochs: 2,
+                warmup_epochs: 1,
+                ..Default::default()
+            },
+            rc_completion: RunConfig {
+                epoch_cycles: 6_000,
+                run_to_completion: true,
+                max_cycles: 400_000,
+                ..Default::default()
+            },
+            rc_oracle: RunConfig {
+                epoch_cycles: 4_000,
+                epochs: 1,
+                warmup_epochs: 1,
+                ..Default::default()
+            },
+            train: TrainConfig::tiny(),
+            mixes: 1,
+        }
+    }
+}
+
+/// The mixed-workload app combinations (CPU 4x4 + GPU 4x4 + GPU 8x4 on the
+/// paper's three-region layout).
+pub fn mixes() -> Vec<[&'static str; 3]> {
+    vec![["CA", "KM", "BP"], ["FL", "HS", "GA"], ["BS", "NW", "BFS"]]
+}
+
+fn mix_profiles(names: &[&str; 3]) -> Vec<AppProfile> {
+    names.iter().map(|n| by_name(n).unwrap()).collect()
+}
+
+/// Trains the deployed RL policy for the figure campaign, caching the
+/// weight-only artifact under `results/` so one campaign trains once
+/// (delete `results/policy.json` to force retraining).
+pub fn trained_policy(scale: &FigScale) -> TrainedPolicy {
+    let cache = std::path::Path::new("results/policy.json");
+    let tag = format!(
+        "{}ep-{}epc",
+        scale.train.episodes, scale.train.epoch_cycles
+    );
+    if let Ok(body) = std::fs::read_to_string(cache) {
+        if let Some(rest) = body.strip_prefix(&format!("{tag}
+")) {
+            if let Ok(p) = TrainedPolicy::from_json(rest) {
+                return p;
+            }
+        }
+    }
+    let policy = train_dqn(&crate::training::default_scenarios(), &scale.train, None)
+        .expect("training must succeed");
+    if let Ok(json) = policy.to_json() {
+        std::fs::create_dir_all("results").ok();
+        std::fs::write(cache, format!("{tag}
+{json}")).ok();
+    }
+    policy
+}
+
+fn adapt_policies(policy: &TrainedPolicy, n: usize) -> Vec<TopologyPolicy> {
+    (0..n)
+        .map(|_| TopologyPolicy::Trained(policy.clone()))
+        .collect()
+}
+
+/// One design's aggregate over the mixed-workload campaign — the data
+/// behind Figs. 7, 10, 11, 12 and 13.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct MixedRow {
+    /// Design name.
+    pub design: String,
+    /// Mean network latency, cycles.
+    pub network_latency: f64,
+    /// Mean queuing latency, cycles.
+    pub queuing_latency: f64,
+    /// Fig. 7: packet latency normalized to baseline.
+    pub packet_latency_norm: f64,
+    /// Fig. 7 stack component: network latency normalized to baseline.
+    pub network_latency_norm: f64,
+    /// Fig. 7 stack component: queuing latency normalized to baseline.
+    pub queuing_latency_norm: f64,
+    /// Fig. 10: execution time normalized to baseline.
+    pub exec_time_norm: f64,
+    /// Fig. 11: total energy normalized to baseline.
+    pub energy_norm: f64,
+    /// Fig. 12: dynamic energy normalized to baseline.
+    pub dynamic_norm: f64,
+    /// Fig. 13: static energy normalized to baseline.
+    pub static_norm: f64,
+    /// Energy-delay product normalized to baseline (Sec. V-A3: Adapt-NoC's
+    /// EDP beats FTBY_PG despite the static-energy tie).
+    pub edp_norm: f64,
+    /// Mean hops.
+    pub hops: f64,
+}
+
+/// Runs the full mixed-workload campaign over all seven designs.
+///
+/// # Errors
+///
+/// Propagates [`ControlError`] from any run.
+pub fn mixed_campaign(scale: &FigScale) -> Result<Vec<MixedRow>, ControlError> {
+    let policy = trained_policy(scale);
+    let layout = ChipLayout::paper_mixed();
+    let all_mixes = mixes();
+    let used: Vec<&[&str; 3]> = all_mixes.iter().take(scale.mixes.max(1)).collect();
+
+    // Accumulate per design over mixes (latency sums, exec, energy splits,
+    // EDP).
+    #[derive(Default, Clone, Copy)]
+    struct Acc(f64, f64, f64, f64, f64, f64, f64, f64);
+    let mut sums: Vec<Acc> = vec![Acc::default(); DesignKind::ALL.len()];
+    for names in &used {
+        let profiles = mix_profiles(names);
+        let oracle = oracle_policies(&layout, &profiles, &scale.rc_oracle)?;
+        let oracle_kinds: Vec<TopologyKind> = oracle
+            .iter()
+            .map(|p| match p {
+                TopologyPolicy::Fixed(k) => *k,
+                _ => TopologyKind::Mesh,
+            })
+            .collect();
+        for (di, kind) in DesignKind::ALL.iter().enumerate() {
+            let policies = match kind {
+                DesignKind::AdaptNocNoRl => fixed_policies(&oracle_kinds),
+                DesignKind::AdaptNoc => adapt_policies(&policy, layout.regions.len()),
+                _ => vec![],
+            };
+            let r = run_design(*kind, &layout, &profiles, policies, &scale.rc_completion)?;
+            let s = &mut sums[di];
+            s.0 += r.network_latency;
+            s.1 += r.queuing_latency;
+            s.2 += r.packet_latency();
+            s.3 += r.execution_time.unwrap_or(r.cycles) as f64;
+            s.4 += r.energy.total_j();
+            s.5 += r.energy.dynamic_j;
+            s.6 += r.energy.static_j;
+            s.7 += r.edp();
+        }
+    }
+
+    let n = used.len() as f64;
+    let base = &sums[0];
+    let rows = DesignKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(di, kind)| {
+            let s = &sums[di];
+            MixedRow {
+                design: kind.name().to_string(),
+                network_latency: s.0 / n,
+                queuing_latency: s.1 / n,
+                packet_latency_norm: s.2 / base.2,
+                network_latency_norm: s.0 / base.0,
+                queuing_latency_norm: if base.1 > 0.0 { s.1 / base.1 } else { 0.0 },
+                exec_time_norm: s.3 / base.3,
+                energy_norm: s.4 / base.4,
+                dynamic_norm: s.5 / base.5,
+                static_norm: s.6 / base.6,
+                edp_norm: s.7 / base.7,
+                hops: 0.0,
+            }
+        })
+        .collect();
+    Ok(rows)
+}
+
+/// One (benchmark, design) cell of Figs. 8 and 9.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PerAppRow {
+    /// Benchmark name.
+    pub app: String,
+    /// Design name.
+    pub design: String,
+    /// Hop count normalized to the baseline for the same app.
+    pub hops_norm: f64,
+    /// Queuing latency normalized to the baseline (Fig. 9).
+    pub queuing_norm: f64,
+    /// Raw hops.
+    pub hops: f64,
+    /// Raw queuing latency.
+    pub queuing: f64,
+}
+
+fn per_app_figure(
+    suite: Vec<AppProfile>,
+    rect: Rect,
+    gpu: bool,
+    scale: &FigScale,
+) -> Result<Vec<PerAppRow>, ControlError> {
+    let policy = trained_policy(scale);
+    let mut rows = Vec::new();
+    for profile in suite {
+        let layout = ChipLayout::single(rect, gpu);
+        let oracle = oracle_policies(&layout, std::slice::from_ref(&profile), &scale.rc_oracle)?;
+        let oracle_kind = match oracle[0] {
+            TopologyPolicy::Fixed(k) => k,
+            _ => TopologyKind::Mesh,
+        };
+        let mut base: Option<RunResult> = None;
+        for kind in DesignKind::ALL {
+            let policies = match kind {
+                DesignKind::AdaptNocNoRl => fixed_policies(&[oracle_kind]),
+                DesignKind::AdaptNoc => adapt_policies(&policy, 1),
+                _ => vec![],
+            };
+            let r = run_design(kind, &layout, std::slice::from_ref(&profile), policies, &scale.rc)?;
+            if kind == DesignKind::Baseline {
+                base = Some(r.clone());
+            }
+            let b = base.as_ref().unwrap();
+            rows.push(PerAppRow {
+                app: profile.name.to_string(),
+                design: kind.name().to_string(),
+                hops_norm: if b.hops > 0.0 { r.hops / b.hops } else { 0.0 },
+                queuing_norm: if b.queuing_latency > 0.0 {
+                    r.queuing_latency / b.queuing_latency
+                } else {
+                    0.0
+                },
+                hops: r.hops,
+                queuing: r.queuing_latency,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Fig. 8: hop counts of the CPU (Parsec) applications in 4x4 subNoCs.
+///
+/// # Errors
+///
+/// Propagates [`ControlError`].
+pub fn fig08(scale: &FigScale) -> Result<Vec<PerAppRow>, ControlError> {
+    per_app_figure(parsec_suite(), Rect::new(0, 0, 4, 4), false, scale)
+}
+
+/// Fig. 9: hop counts and queuing latency of the GPU (Rodinia)
+/// applications in 4x8 subNoCs.
+///
+/// # Errors
+///
+/// Propagates [`ControlError`].
+pub fn fig09(scale: &FigScale) -> Result<Vec<PerAppRow>, ControlError> {
+    per_app_figure(rodinia_suite(), Rect::new(0, 0, 4, 8), true, scale)
+}
+
+/// One benchmark's topology-selection breakdown (Figs. 14, 15).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SelectionRow {
+    /// Benchmark name.
+    pub app: String,
+    /// Fraction of epochs each topology was selected
+    /// (mesh, cmesh, torus, tree).
+    pub fractions: [f64; 4],
+}
+
+fn selection_figure(
+    suite: Vec<AppProfile>,
+    rect: Rect,
+    gpu: bool,
+    scale: &FigScale,
+) -> Result<Vec<SelectionRow>, ControlError> {
+    let policy = trained_policy(scale);
+    let rc = RunConfig {
+        epochs: scale.rc.epochs.max(6),
+        ..scale.rc
+    };
+    let mut rows = Vec::new();
+    for profile in suite {
+        let layout = ChipLayout::single(rect, gpu);
+        let r = run_design(
+            DesignKind::AdaptNoc,
+            &layout,
+            std::slice::from_ref(&profile),
+            adapt_policies(&policy, 1),
+            &rc,
+        )?;
+        rows.push(SelectionRow {
+            app: profile.name.to_string(),
+            fractions: r.selections.unwrap()[0],
+        });
+    }
+    Ok(rows)
+}
+
+/// Fig. 14: topology-selection breakdown of the CPU applications (4x4).
+///
+/// # Errors
+///
+/// Propagates [`ControlError`].
+pub fn fig14(scale: &FigScale) -> Result<Vec<SelectionRow>, ControlError> {
+    selection_figure(parsec_suite(), Rect::new(0, 0, 4, 4), false, scale)
+}
+
+/// Fig. 15: topology-selection breakdown of the GPU applications (4x8).
+///
+/// # Errors
+///
+/// Propagates [`ControlError`].
+pub fn fig15(scale: &FigScale) -> Result<Vec<SelectionRow>, ControlError> {
+    selection_figure(rodinia_suite(), Rect::new(0, 0, 4, 8), true, scale)
+}
+
+/// One subNoC size's RL-vs-static comparison (Fig. 16).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SizeRow {
+    /// SubNoC size label.
+    pub size: String,
+    /// Adapt-NoC packet latency / Adapt-NoC-noRL packet latency.
+    pub latency_ratio: f64,
+    /// Adapt-NoC energy / Adapt-NoC-noRL energy.
+    pub energy_ratio: f64,
+}
+
+/// Fig. 16: RL performance across subNoC sizes (2x4 ... 8x8, GPU apps).
+///
+/// # Errors
+///
+/// Propagates [`ControlError`].
+pub fn fig16(scale: &FigScale) -> Result<Vec<SizeRow>, ControlError> {
+    let policy = trained_policy(scale);
+    let sizes = [(2u8, 4u8), (4, 4), (4, 8), (8, 8)];
+    let profile = by_name("BP").unwrap();
+    let mut rows = Vec::new();
+    for (w, h) in sizes {
+        let rect = Rect::new(0, 0, w, h);
+        let layout = ChipLayout::single(rect, true);
+        let oracle = oracle_policies(&layout, std::slice::from_ref(&profile), &scale.rc_oracle)?;
+        let norl = run_design(
+            DesignKind::AdaptNocNoRl,
+            &layout,
+            std::slice::from_ref(&profile),
+            oracle,
+            &scale.rc,
+        )?;
+        let rl = run_design(
+            DesignKind::AdaptNoc,
+            &layout,
+            std::slice::from_ref(&profile),
+            adapt_policies(&policy, 1),
+            &scale.rc,
+        )?;
+        rows.push(SizeRow {
+            size: format!("{w}x{h}"),
+            latency_ratio: rl.packet_latency() / norl.packet_latency().max(1e-9),
+            energy_ratio: rl.energy.total_j() / norl.energy.total_j().max(1e-30),
+        });
+    }
+    Ok(rows)
+}
+
+/// One epoch-size point (Fig. 17).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EpochRow {
+    /// Epoch length in cycles.
+    pub epoch_cycles: u64,
+    /// Packet latency normalized to the 50K point.
+    pub latency_norm: f64,
+    /// Average power normalized to the 50K point.
+    pub power_norm: f64,
+}
+
+/// Fig. 17: epoch-size sweep (10K - 100K cycles).
+///
+/// # Errors
+///
+/// Propagates [`ControlError`].
+pub fn fig17(scale: &FigScale) -> Result<Vec<EpochRow>, ControlError> {
+    let policy = trained_policy(scale);
+    let layout = ChipLayout::paper_mixed();
+    let profiles = mix_profiles(&mixes()[0]);
+    let sizes = [10_000u64, 25_000, 50_000, 75_000, 100_000];
+    // Keep total simulated cycles constant across points.
+    let total_cycles = scale.rc.epoch_cycles * (scale.rc.epochs + scale.rc.warmup_epochs).max(4);
+    let mut raw = Vec::new();
+    for &e in &sizes {
+        let epochs = (total_cycles / e).max(2);
+        let rc = RunConfig {
+            epoch_cycles: e,
+            epochs: epochs.saturating_sub(1).max(1),
+            warmup_epochs: 1,
+            ..scale.rc
+        };
+        let r = run_design(
+            DesignKind::AdaptNoc,
+            &layout,
+            &profiles,
+            adapt_policies(&policy, layout.regions.len()),
+            &rc,
+        )?;
+        let power = r.energy.total_j() / (r.cycles.max(1) as f64 * 1e-9);
+        raw.push((e, r.packet_latency(), power));
+    }
+    let base = raw
+        .iter()
+        .find(|(e, _, _)| *e == 50_000)
+        .copied()
+        .unwrap_or(raw[raw.len() / 2]);
+    Ok(raw
+        .into_iter()
+        .map(|(e, lat, pw)| EpochRow {
+            epoch_cycles: e,
+            latency_norm: lat / base.1.max(1e-9),
+            power_norm: pw / base.2.max(1e-30),
+        })
+        .collect())
+}
+
+/// One hyper-parameter sweep point (Figs. 18, 19).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SweepRow {
+    /// Swept parameter value.
+    pub value: f64,
+    /// Packet latency normalized to the paper's default point.
+    pub latency_norm: f64,
+    /// Power normalized to the paper's default point.
+    pub power_norm: f64,
+}
+
+/// Fig. 18: discount-factor sweep (γ), normalized to γ=0.9.
+///
+/// # Errors
+///
+/// Propagates [`ControlError`].
+pub fn fig18(scale: &FigScale) -> Result<Vec<SweepRow>, ControlError> {
+    let gammas = [0.5, 0.7, 0.9, 0.99];
+    // Train each gamma over the full scenario matrix (with a reduced
+    // episode budget) and evaluate on the mixed-workload chip, where
+    // per-region phase diversity separates the policies.
+    let layout = ChipLayout::paper_mixed();
+    let profiles = mix_profiles(&mixes()[0]);
+    let tc = TrainConfig {
+        episodes: (scale.train.episodes / 2).max(4),
+        ..scale.train
+    };
+    let mut raw = Vec::new();
+    for &g in &gammas {
+        let policy = train_dqn(
+            &crate::training::default_scenarios(),
+            &tc,
+            Some(DqnConfig {
+                gamma: g,
+                ..Default::default()
+            }),
+        )?;
+        let seeds = [5u64, 17, 29];
+        let mut lat = 0.0;
+        let mut pw = 0.0;
+        for &seed in &seeds {
+            let r = run_design(
+                DesignKind::AdaptNoc,
+                &layout,
+                &profiles,
+                adapt_policies(&policy, layout.regions.len()),
+                &RunConfig { seed, ..scale.rc },
+            )?;
+            lat += r.packet_latency();
+            pw += r.energy.total_j() / (r.cycles.max(1) as f64 * 1e-9);
+        }
+        raw.push((g, lat / seeds.len() as f64, pw / seeds.len() as f64));
+    }
+    let base = raw.iter().find(|(g, _, _)| *g == 0.9).copied().unwrap();
+    Ok(raw
+        .into_iter()
+        .map(|(g, lat, pw)| SweepRow {
+            value: g,
+            latency_norm: lat / base.1.max(1e-9),
+            power_norm: pw / base.2.max(1e-30),
+        })
+        .collect())
+}
+
+/// Fig. 19: exploration-rate sweep (ε), normalized to ε=0.05.
+///
+/// # Errors
+///
+/// Propagates [`ControlError`].
+pub fn fig19(scale: &FigScale) -> Result<Vec<SweepRow>, ControlError> {
+    let policy = trained_policy(scale);
+    let epsilons = [0.0, 0.05, 0.1, 0.25, 0.5];
+    let layout = ChipLayout::single(Rect::new(0, 0, 4, 8), true);
+    let profile = by_name("BP").unwrap();
+    // Enough epoch decisions for the exploration rate to matter, averaged
+    // over seeds.
+    let rc = RunConfig {
+        epochs: scale.rc.epochs.max(10),
+        ..scale.rc
+    };
+    let seeds = [11u64, 23, 47];
+    let mut raw = Vec::new();
+    for &eps in &epsilons {
+        let mut lat = 0.0;
+        let mut pw = 0.0;
+        for &seed in &seeds {
+            let p = policy.clone().with_epsilon(eps);
+            let r = run_design(
+                DesignKind::AdaptNoc,
+                &layout,
+                std::slice::from_ref(&profile),
+                vec![TopologyPolicy::Trained(p)],
+                &RunConfig { seed, ..rc },
+            )?;
+            lat += r.packet_latency();
+            pw += r.energy.total_j() / (r.cycles.max(1) as f64 * 1e-9);
+        }
+        raw.push((eps, lat / seeds.len() as f64, pw / seeds.len() as f64));
+    }
+    let base = raw.iter().find(|(e, _, _)| *e == 0.05).copied().unwrap();
+    Ok(raw
+        .into_iter()
+        .map(|(e, lat, pw)| SweepRow {
+            value: e,
+            latency_norm: lat / base.1.max(1e-9),
+            power_norm: pw / base.2.max(1e-30),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_well_formed() {
+        for m in mixes() {
+            for n in m {
+                assert!(by_name(n).is_some(), "unknown app {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn quick_fig16_produces_all_sizes() {
+        let rows = fig16(&FigScale::quick()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].size, "2x4");
+        assert_eq!(rows[3].size, "8x8");
+        for r in rows {
+            assert!(r.latency_ratio > 0.0);
+            assert!(r.energy_ratio > 0.0);
+        }
+    }
+
+    #[test]
+    fn quick_fig19_epsilon_sweep() {
+        let rows = fig19(&FigScale::quick()).unwrap();
+        assert_eq!(rows.len(), 5);
+        let base = rows.iter().find(|r| r.value == 0.05).unwrap();
+        assert!((base.latency_norm - 1.0).abs() < 1e-9);
+        assert!((base.power_norm - 1.0).abs() < 1e-9);
+    }
+}

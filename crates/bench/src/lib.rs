@@ -1,0 +1,43 @@
+//! # adaptnoc-bench
+//!
+//! The experiment harness regenerating every evaluation figure (Figs. 7-19)
+//! and overhead table (Sec. V-B) of the Adapt-NoC paper:
+//!
+//! * [`harness`] — one-design/one-workload runner collecting latency, hop,
+//!   energy, execution-time and selection metrics.
+//! * [`training`] — the offline DQN training pipeline over the paper's
+//!   region-size x application training matrix.
+//! * [`figs`] — one function per figure.
+//! * [`tables`] — area / wiring / timing / reconfiguration-latency tables.
+//!
+//! The `gen-figures` binary runs everything and prints the rows the paper
+//! reports (normalized to the baseline design).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figs;
+pub mod report;
+pub mod harness;
+pub mod tables;
+pub mod training;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::figs::{
+        fig08, fig09, fig14, fig15, fig16, fig17, fig18, fig19, mixed_campaign, trained_policy,
+        FigScale,
+    };
+    pub use crate::harness::{
+        fixed_policies, oracle_policies, run_design, traffic_hint, AppMetrics, RunConfig,
+        RunResult,
+    };
+    pub use crate::report::render_report;
+    pub use crate::tables::{
+        area_table, reconfig_table, scalability_table, timing_table, wiring_table,
+    };
+    pub use crate::training::{
+        default_scenarios, paper_training_rects, train_dqn, TrainConfig, TrainScenario,
+    };
+}

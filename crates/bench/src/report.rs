@@ -1,0 +1,181 @@
+//! Markdown report generation from `gen-figures` JSON output.
+//!
+//! Turns `results/figures.json` into `results/REPORT.md`: one section per
+//! figure/table with the paper's claim alongside the measured rows, ready
+//! to paste into EXPERIMENTS.md.
+
+use serde_json::Value;
+use std::fmt::Write as _;
+
+/// The paper's claims, shown next to each measured section.
+fn paper_claim(key: &str) -> &'static str {
+    match key {
+        "mixed" => {
+            "Adapt-NoC: −34% packet latency, −10% execution time, −53% energy \
+             vs baseline; FTBY_PG static < Adapt static (by ~7%)."
+        }
+        "fig08" => "Adapt-NoC: −41% CPU hops vs baseline/OSCAR; +9% vs FTBY.",
+        "fig09" => "Adapt-NoC: −46% GPU hops, −39% queuing vs baseline.",
+        "fig14" => "CPU apps select cmesh ~85% of epochs.",
+        "fig15" => "GPU apps: cmesh 37-64%; mesh/torus/tree >49% combined.",
+        "fig16" => "RL beats static by 5-24% latency / 28-35% energy as size grows.",
+        "fig17" => "Epoch 50K optimal; 10K costs ~17% latency / ~15% power.",
+        "fig18" => "Discount factor 0.9 best.",
+        "fig19" => "Exploration 0.05 best; 0.5 clearly worse.",
+        "area" => "Baseline 17.27 mm²; Adapt-NoC 14% smaller.",
+        "wiring" => "2 high-metal + 7 intermediate links/edge; Adapt needs ≤4.",
+        "timing" => "Merged RC 266 ps / ST 350 ps under VA 370 ps; DQN 486 ns.",
+        "scalability" => "FTBY wiring grows quadratically; fails at 16x16.",
+        "reconfig" => "Notify (M+N−2)(T_r+T_l) + T_s=14 cycles, no halt.",
+        _ => "",
+    }
+}
+
+/// Renders one JSON value (array of row objects, or an object) as a
+/// markdown table.
+fn render_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Array(rows) if !rows.is_empty() => {
+            let Some(first) = rows[0].as_object() else {
+                let _ = writeln!(out, "```json\n{rows:?}\n```");
+                return;
+            };
+            let cols: Vec<&String> = first.keys().collect();
+            let _ = writeln!(
+                out,
+                "| {} |",
+                cols.iter().map(|c| c.as_str()).collect::<Vec<_>>().join(" | ")
+            );
+            let _ = writeln!(out, "|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+            for row in rows {
+                let Some(o) = row.as_object() else { continue };
+                let cells: Vec<String> = cols
+                    .iter()
+                    .map(|c| match o.get(*c) {
+                        Some(Value::Number(n)) => {
+                            if let Some(f) = n.as_f64() {
+                                if f.fract() == 0.0 && f.abs() < 1e9 {
+                                    format!("{f}")
+                                } else {
+                                    format!("{f:.3}")
+                                }
+                            } else {
+                                n.to_string()
+                            }
+                        }
+                        Some(Value::String(s)) => s.clone(),
+                        Some(Value::Bool(b)) => b.to_string(),
+                        Some(Value::Array(a)) => a
+                            .iter()
+                            .map(|x| match x {
+                                Value::Number(n) => {
+                                    format!("{:.2}", n.as_f64().unwrap_or(0.0))
+                                }
+                                other => other.to_string(),
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" / "),
+                        Some(other) => other.to_string(),
+                        None => String::new(),
+                    })
+                    .collect();
+                let _ = writeln!(out, "| {} |", cells.join(" | "));
+            }
+        }
+        Value::Object(o) => {
+            let _ = writeln!(out, "| field | value |");
+            let _ = writeln!(out, "|---|---|");
+            for (k, v) in o {
+                let _ = writeln!(out, "| {k} | {v} |");
+            }
+        }
+        other => {
+            let _ = writeln!(out, "```json\n{other}\n```");
+        }
+    }
+}
+
+/// Builds the full markdown report from a `figures.json` document.
+pub fn render_report(figures: &Value) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Adapt-NoC reproduction report\n");
+    let _ = writeln!(
+        out,
+        "Generated from `results/figures.json`. Paper claims are quoted for\n\
+         side-by-side reading; see EXPERIMENTS.md for the verdicts.\n"
+    );
+    let order = [
+        ("mixed", "Figs. 7/10/11/12/13 — mixed workload (normalized)"),
+        ("fig08", "Fig. 8 — CPU hop counts"),
+        ("fig09", "Fig. 9 — GPU hops + queuing"),
+        ("fig14", "Fig. 14 — CPU topology selection"),
+        ("fig15", "Fig. 15 — GPU topology selection"),
+        ("fig16", "Fig. 16 — RL vs static by subNoC size"),
+        ("fig17", "Fig. 17 — epoch-size sweep"),
+        ("fig18", "Fig. 18 — discount-factor sweep"),
+        ("fig19", "Fig. 19 — exploration-rate sweep"),
+        ("area", "Sec. V-B1 — area"),
+        ("wiring", "Sec. V-B2 — wiring"),
+        ("timing", "Sec. V-B3 — timing"),
+        ("scalability", "Sec. V-A1 — 16x16 scalability"),
+        ("reconfig", "Sec. II-C1 — reconfiguration latency"),
+    ];
+    for (key, title) in order {
+        if let Some(v) = figures.get(key) {
+            let _ = writeln!(out, "## {title}\n");
+            let claim = paper_claim(key);
+            if !claim.is_empty() {
+                let _ = writeln!(out, "*Paper:* {claim}\n");
+            }
+            render_value(&mut out, v);
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn renders_array_sections_as_tables() {
+        let figs = json!({
+            "mixed": [
+                {"design": "baseline", "packet_latency_norm": 1.0},
+                {"design": "adapt-noc", "packet_latency_norm": 0.8},
+            ]
+        });
+        let md = render_report(&figs);
+        assert!(md.contains("## Figs. 7/10/11/12/13"));
+        assert!(md.contains("| design | packet_latency_norm |"));
+        assert!(md.contains("| adapt-noc | 0.800 |"));
+        assert!(md.contains("*Paper:*"));
+    }
+
+    #[test]
+    fn renders_selection_arrays_inline() {
+        let figs = json!({
+            "fig14": [
+                {"app": "CA", "fractions": [0.0, 0.86, 0.14, 0.0]},
+            ]
+        });
+        let md = render_report(&figs);
+        assert!(md.contains("0.00 / 0.86 / 0.14 / 0.00"));
+    }
+
+    #[test]
+    fn skips_missing_sections() {
+        let md = render_report(&json!({}));
+        assert!(!md.contains("## Fig. 8"));
+        assert!(md.contains("# Adapt-NoC reproduction report"));
+    }
+
+    #[test]
+    fn object_sections_render_field_tables() {
+        let figs = json!({"area": {"baseline_mm2": 17.28, "adapt_mm2": 13.68}});
+        let md = render_report(&figs);
+        assert!(md.contains("| baseline_mm2 | 17.28 |"));
+    }
+}

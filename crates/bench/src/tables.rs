@@ -1,0 +1,319 @@
+//! Regeneration of the paper's overhead analyses (Sec. V-B) and the
+//! Sec. II-C1 reconfiguration-latency walkthrough.
+
+use adaptnoc_core::prelude::*;
+use adaptnoc_power::prelude::*;
+use adaptnoc_sim::config::SimConfig;
+use adaptnoc_sim::network::Network;
+use adaptnoc_topology::ftby::ftby_chip;
+use adaptnoc_topology::prelude::*;
+
+/// Sec. V-B1: the area table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AreaTable {
+    /// Baseline 8x8 mesh NoC area, mm² (paper: 17.27).
+    pub baseline_mm2: f64,
+    /// Adapt-NoC total area, mm².
+    pub adapt_mm2: f64,
+    /// Adapt-NoC extras (ports + RL + muxes/links), mm² (paper: ~1.67).
+    pub extras_mm2: f64,
+    /// Area saving vs baseline (paper: 14%).
+    pub saving_fraction: f64,
+}
+
+/// Computes the area table.
+pub fn area_table() -> AreaTable {
+    let base = baseline_8x8_area();
+    let adapt = adapt_8x8_area();
+    AreaTable {
+        baseline_mm2: base.total_mm2(),
+        adapt_mm2: adapt.total_mm2(),
+        extras_mm2: adapt.extras_mm2,
+        saving_fraction: adapt_area_saving_fraction(),
+    }
+}
+
+/// Sec. V-B2: per-topology wiring usage vs the metal-stack budget.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct WiringRow {
+    /// Topology name.
+    pub topology: String,
+    /// Max unidirectional channels crossing any tile edge.
+    pub max_channels_per_edge: u32,
+    /// Max adaptable/express channels crossing any tile edge.
+    pub max_express_per_edge: u32,
+    /// Whether the usage fits the 45 nm budget.
+    pub fits_budget: bool,
+}
+
+/// Computes wiring usage for each composed topology on the 8x8 chip.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] from spec construction.
+pub fn wiring_table() -> Result<(WiringBudget, Vec<WiringRow>), BuildError> {
+    let grid = Grid::paper();
+    let cfg = SimConfig::adapt_noc();
+    let budget = paper_budget();
+    let mut rows = Vec::new();
+    for kind in [
+        TopologyKind::Mesh,
+        TopologyKind::Cmesh,
+        TopologyKind::Torus,
+        TopologyKind::Tree,
+        TopologyKind::TorusTree,
+        TopologyKind::ExpressMesh,
+    ] {
+        let spec = build_chip_spec(
+            grid,
+            &[RegionTopology::new(Rect::new(0, 0, 8, 8), kind)],
+            &cfg,
+        )?;
+        let usage = analyze_wiring(&spec, grid.width, grid.height);
+        rows.push(WiringRow {
+            topology: kind.name().to_string(),
+            max_channels_per_edge: usage.max_channels_per_edge,
+            max_express_per_edge: usage.max_express_channels_per_edge,
+            fits_budget: usage.fits(&budget),
+        });
+    }
+    Ok((budget, rows))
+}
+
+/// Sec. V-B3: the timing table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TimingTable {
+    /// Conventional router stage delays, ps (RC, VA, SA, ST).
+    pub conventional_ps: [f64; 4],
+    /// Adaptable router with merged muxes, ps.
+    pub adaptable_ps: [f64; 4],
+    /// Both meet the same max frequency (GHz).
+    pub max_freq_ghz: f64,
+    /// High-metal wire delay for a 4 mm segment, ps.
+    pub wire_4mm_ps: f64,
+    /// Extra delay of a reversed segment, ps.
+    pub reversed_extra_ps: f64,
+    /// DQN inference latency, ns (paper: 486).
+    pub dqn_ns: f64,
+}
+
+/// Computes the timing table.
+pub fn timing_table() -> TimingTable {
+    let conv = RouterTiming::conventional();
+    let adapt = RouterTiming::adaptable_merged();
+    TimingTable {
+        conventional_ps: [conv.rc_ps, conv.va_ps, conv.sa_ps, conv.st_ps],
+        adaptable_ps: [adapt.rc_ps, adapt.va_ps, adapt.sa_ps, adapt.st_ps],
+        max_freq_ghz: adapt.max_freq_ghz(),
+        wire_4mm_ps: wire_delay_ps(4.0, MetalLayer::High, false),
+        reversed_extra_ps: wire_delay_ps(1.0, MetalLayer::High, true)
+            - wire_delay_ps(1.0, MetalLayer::High, false),
+        dqn_ns: paper_dqn_latency_ns(),
+    }
+}
+
+/// Sec. V-A1 scalability argument: FTBY's wiring density grows
+/// quadratically with network size (at 16x16 its channel width must be
+/// halved, costing +85% queuing in the paper), while Adapt-NoC needs only
+/// one adaptable link per row/column at any size.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScalabilityRow {
+    /// Grid size label.
+    pub size: String,
+    /// Design name.
+    pub design: String,
+    /// Max unidirectional channels crossing any tile edge.
+    pub max_channels_per_edge: u32,
+    /// Whether the full-width (256-bit) channels fit the metal budget.
+    pub fits_budget: bool,
+}
+
+/// Computes wiring usage of FTBY vs the Adapt-NoC torus (the densest
+/// composed topology) at 8x8 and 16x16.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] from spec construction.
+pub fn scalability_table() -> Result<Vec<ScalabilityRow>, BuildError> {
+    let budget = paper_budget();
+    let mut rows = Vec::new();
+    for n in [8u8, 16] {
+        let grid = Grid::new(n, n);
+        let ftby = ftby_chip(grid, &SimConfig::flattened_butterfly())?;
+        let usage = analyze_wiring(&ftby, n, n);
+        rows.push(ScalabilityRow {
+            size: format!("{n}x{n}"),
+            design: "ftby".into(),
+            max_channels_per_edge: usage.max_channels_per_edge,
+            fits_budget: usage.fits(&budget),
+        });
+        let adapt = build_chip_spec(
+            grid,
+            &[RegionTopology::new(Rect::new(0, 0, n, n), TopologyKind::Torus)],
+            &SimConfig::adapt_noc(),
+        )?;
+        let usage = analyze_wiring(&adapt, n, n);
+        rows.push(ScalabilityRow {
+            size: format!("{n}x{n}"),
+            design: "adapt-torus".into(),
+            max_channels_per_edge: usage.max_channels_per_edge,
+            fits_budget: usage.fits(&budget),
+        });
+    }
+    Ok(rows)
+}
+
+/// One topology-transition latency measurement (Sec. II-C1 walkthrough).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ReconfigRow {
+    /// Source topology.
+    pub from: String,
+    /// Target topology.
+    pub to: String,
+    /// Measured protocol latency in cycles on an idle 4x4 subNoC.
+    pub cycles: u64,
+    /// Whether the fast (no-drain) path applied.
+    pub fast_path: bool,
+}
+
+/// Measures the reconfiguration latency of every topology transition on an
+/// idle 4x4 subNoC.
+///
+/// # Errors
+///
+/// Propagates [`ControlError`] from the protocol.
+pub fn reconfig_table() -> Result<Vec<ReconfigRow>, ControlError> {
+    let grid = Grid::paper();
+    let rect = Rect::new(0, 0, 4, 4);
+    let cfg = SimConfig::adapt_noc();
+    let spec_of = |kind: TopologyKind| {
+        build_chip_spec(grid, &[RegionTopology::new(rect, kind)], &cfg)
+            .map_err(ControlError::Build)
+    };
+    let mut rows = Vec::new();
+    for from in TopologyKind::ACTIONS {
+        for to in TopologyKind::ACTIONS {
+            if from == to {
+                continue;
+            }
+            let mut net =
+                Network::new(spec_of(from)?, cfg.clone()).map_err(ControlError::Network)?;
+            let fast = keeps_mesh(from) && keeps_mesh(to);
+            let transitional = if fast {
+                Some(spec_of(TopologyKind::Mesh)?.tables)
+            } else {
+                None
+            };
+            let mut rc = RegionReconfig::start(
+                &net,
+                &grid,
+                rect,
+                spec_of(to)?,
+                transitional,
+                ReconfigTiming::default(),
+            );
+            let mut done = false;
+            for _ in 0..50_000 {
+                net.step();
+                if rc.tick(&mut net, &grid).map_err(ControlError::Network)? {
+                    done = true;
+                    break;
+                }
+            }
+            assert!(done, "reconfig {from}->{to} did not complete");
+            rows.push(ReconfigRow {
+                from: from.name().to_string(),
+                to: to.name().to_string(),
+                cycles: rc.latency(net.now()),
+                fast_path: fast,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_table_matches_paper_regime() {
+        let t = area_table();
+        assert!((t.baseline_mm2 - 17.27).abs() < 0.05);
+        assert!(t.adapt_mm2 < t.baseline_mm2);
+        assert!((0.10..=0.25).contains(&t.saving_fraction));
+    }
+
+    #[test]
+    fn wiring_fits_budget_for_all_topologies() {
+        let (budget, rows) = wiring_table().unwrap();
+        assert_eq!(budget.high_metal_links, 2);
+        assert_eq!(budget.intermediate_links, 7);
+        for r in &rows {
+            assert!(r.fits_budget, "{} exceeds the wiring budget", r.topology);
+            // The paper: at most four bidirectional links per tile edge.
+            assert!(
+                r.max_channels_per_edge <= 8,
+                "{}: {}",
+                r.topology,
+                r.max_channels_per_edge
+            );
+        }
+    }
+
+    #[test]
+    fn timing_table_meets_frequency() {
+        let t = timing_table();
+        assert!(t.max_freq_ghz >= 1.0);
+        assert!(t.adaptable_ps[0] < t.adaptable_ps[1], "RC+mux under VA");
+        assert!(t.adaptable_ps[3] < t.adaptable_ps[1], "ST+mux under VA");
+        assert!((t.dqn_ns - 486.0).abs() / 486.0 < 0.05);
+    }
+
+    #[test]
+    fn ftby_wiring_explodes_at_16x16_but_adapt_scales() {
+        // Sec. V-A1: "the channel bandwidth of FTBY has to be reduced when
+        // network size increases to 16x16, as the wiring density of FTBY
+        // increases quadratically... Adapt-NoC only requires one adaptable
+        // link in each row/column".
+        let rows = scalability_table().unwrap();
+        let get = |size: &str, design: &str| {
+            rows.iter()
+                .find(|r| r.size == size && r.design == design)
+                .unwrap()
+        };
+        assert!(get("8x8", "ftby").fits_budget, "paper: FTBY fits at 8x8");
+        assert!(
+            !get("16x16", "ftby").fits_budget,
+            "paper: FTBY exceeds the budget at 16x16"
+        );
+        assert!(get("16x16", "adapt-torus").fits_budget);
+        // Quadratic growth in FTBY density.
+        assert!(
+            get("16x16", "ftby").max_channels_per_edge
+                >= get("8x8", "ftby").max_channels_per_edge * 2
+        );
+    }
+
+    #[test]
+    fn reconfig_latencies_follow_the_walkthrough() {
+        let rows = reconfig_table().unwrap();
+        assert_eq!(rows.len(), 12);
+        let timing = ReconfigTiming::default();
+        let min = timing.notify_cycles(Rect::new(0, 0, 4, 4)) + timing.t_s;
+        for r in &rows {
+            assert!(
+                r.cycles >= min,
+                "{}->{}: {} < {min}",
+                r.from,
+                r.to,
+                r.cycles
+            );
+            // Idle-network reconfigurations complete promptly.
+            assert!(r.cycles < 2_000, "{}->{}: {}", r.from, r.to, r.cycles);
+        }
+        // Fast paths exist exactly between mesh-keeping topologies.
+        let fast_count = rows.iter().filter(|r| r.fast_path).count();
+        assert_eq!(fast_count, 6, "mesh/torus/tree pairwise transitions");
+    }
+}

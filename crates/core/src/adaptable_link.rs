@@ -1,0 +1,300 @@
+//! The adaptable-link resource model (Sec. II-A2).
+//!
+//! One bidirectional adaptable link — a *forward* wire and a *reverse*
+//! wire — runs across each row and each column of the chip. Quad-state
+//! repeaters segment each wire into disjoint intervals and set each
+//! segment's propagation direction (link reversal). This module tracks the
+//! wire inventory and verifies that the adaptable channels of a built
+//! [`NetworkSpec`] fit it: segments on one wire must not overlap, and a
+//! reversed segment must be flagged (it pays the extra repeater delay and
+//! is accounted as a reversed wire).
+
+use adaptnoc_sim::spec::{ChannelKind, ChannelSpec, NetworkSpec};
+use adaptnoc_topology::geom::Grid;
+use std::collections::HashMap;
+
+/// One wire of an adaptable link pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Wire {
+    /// The forward wire: eastbound in rows, northbound in columns.
+    Forward,
+    /// The reverse wire: westbound in rows, southbound in columns.
+    Reverse,
+}
+
+/// A physical line carrying an adaptable link pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Line {
+    /// The adaptable link of row `y`.
+    Row(u8),
+    /// The adaptable link of column `x`.
+    Col(u8),
+}
+
+/// One allocated segment: `[lo, hi]` positions on a line's wire, with its
+/// configured direction (`ascending` = east/north).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Segment {
+    /// Line the segment lives on.
+    pub line: Line,
+    /// Wire of the pair.
+    pub wire: Wire,
+    /// Lower position (inclusive).
+    pub lo: u8,
+    /// Upper position (inclusive).
+    pub hi: u8,
+    /// Signal direction: true = towards increasing position.
+    pub ascending: bool,
+}
+
+/// Errors from fitting channels onto the adaptable-link inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A channel marked adaptable is not row/column aligned.
+    NotAligned,
+    /// Two segments on the same wire overlap.
+    Overlap(Segment, Segment),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::NotAligned => write!(f, "adaptable channel not row/column aligned"),
+            LinkError::Overlap(a, b) => write!(
+                f,
+                "overlapping adaptable segments [{}..{}] and [{}..{}] on {:?} {:?}",
+                a.lo, a.hi, b.lo, b.hi, a.line, a.wire
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Converts an adaptable channel into its wire segment. The natural wire
+/// for an ascending segment is Forward and for a descending one Reverse;
+/// a channel marked [`ChannelKind::AdaptableReversed`] takes the *other*
+/// wire with its direction flipped (link reversal).
+pub fn segment_of(grid: &Grid, ch: &ChannelSpec) -> Result<Segment, LinkError> {
+    let a = grid.coord(ch.src.router);
+    let b = grid.coord(ch.dst.router);
+    let (line, from, to) = if a.y == b.y && a.x != b.x {
+        (Line::Row(a.y), a.x, b.x)
+    } else if a.x == b.x && a.y != b.y {
+        (Line::Col(a.x), a.y, b.y)
+    } else {
+        return Err(LinkError::NotAligned);
+    };
+    let ascending = to > from;
+    let natural = if ascending { Wire::Forward } else { Wire::Reverse };
+    let wire = match ch.kind {
+        ChannelKind::AdaptableReversed => match natural {
+            Wire::Forward => Wire::Reverse,
+            Wire::Reverse => Wire::Forward,
+        },
+        _ => natural,
+    };
+    Ok(Segment {
+        line,
+        wire,
+        lo: from.min(to),
+        hi: from.max(to),
+        ascending,
+    })
+}
+
+/// Inventory check: extracts all adaptable segments of a spec and verifies
+/// that segments sharing a wire do not overlap (their interiors are
+/// disjoint; touching at an endpoint repeater is allowed).
+///
+/// # Errors
+///
+/// Returns [`LinkError`] on misaligned channels or overlapping segments.
+pub fn check_adaptable_links(grid: &Grid, spec: &NetworkSpec) -> Result<Vec<Segment>, LinkError> {
+    let mut by_wire: HashMap<(Line, Wire), Vec<Segment>> = HashMap::new();
+    let mut all = Vec::new();
+    for ch in &spec.channels {
+        if !ch.kind.is_adaptable() {
+            continue;
+        }
+        let seg = segment_of(grid, ch)?;
+        let list = by_wire.entry((seg.line, seg.wire)).or_default();
+        for other in list.iter() {
+            // Interiors must be disjoint: [lo,hi] and [lo2,hi2] may share
+            // at most an endpoint (a quad-state repeater boundary).
+            if seg.lo < other.hi && other.lo < seg.hi {
+                return Err(LinkError::Overlap(*other, seg));
+            }
+        }
+        list.push(seg);
+        all.push(seg);
+    }
+    Ok(all)
+}
+
+/// Counts the adaptable wires in use (for power/wiring reports).
+pub fn wires_in_use(segments: &[Segment]) -> usize {
+    let mut wires: Vec<(Line, Wire)> = segments.iter().map(|s| (s.line, s.wire)).collect();
+    wires.sort_by_key(|(l, w)| {
+        let l = match l {
+            Line::Row(y) => (*y as u16) << 1,
+            Line::Col(x) => ((*x as u16) << 1) | 1,
+        };
+        (l, matches!(w, Wire::Reverse))
+    });
+    wires.dedup();
+    wires.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptnoc_sim::config::SimConfig;
+    use adaptnoc_sim::ids::PortId;
+    use adaptnoc_sim::spec::PortRef;
+    use adaptnoc_topology::prelude::*;
+
+    fn express(grid: &Grid, a: Coord, b: Coord, kind: ChannelKind) -> ChannelSpec {
+        ChannelSpec {
+            src: PortRef::new(grid.router(a), PortId(0)),
+            dst: PortRef::new(grid.router(b), PortId(1)),
+            latency: 1,
+            length_mm: a.manhattan(b) as f32,
+            dateline: false,
+            dim_y: a.x == b.x,
+            kind,
+        }
+    }
+
+    #[test]
+    fn segment_mapping_natural_wires() {
+        let grid = Grid::paper();
+        let east = segment_of(
+            &grid,
+            &express(&grid, Coord::new(0, 2), Coord::new(5, 2), ChannelKind::Adaptable),
+        )
+        .unwrap();
+        assert_eq!(east.line, Line::Row(2));
+        assert_eq!(east.wire, Wire::Forward);
+        assert!(east.ascending);
+        assert_eq!((east.lo, east.hi), (0, 5));
+
+        let south = segment_of(
+            &grid,
+            &express(&grid, Coord::new(3, 6), Coord::new(3, 1), ChannelKind::Adaptable),
+        )
+        .unwrap();
+        assert_eq!(south.line, Line::Col(3));
+        assert_eq!(south.wire, Wire::Reverse);
+        assert!(!south.ascending);
+    }
+
+    #[test]
+    fn reversed_channel_takes_other_wire() {
+        let grid = Grid::paper();
+        let seg = segment_of(
+            &grid,
+            &express(
+                &grid,
+                Coord::new(0, 0),
+                Coord::new(4, 0),
+                ChannelKind::AdaptableReversed,
+            ),
+        )
+        .unwrap();
+        // Eastbound but on the reverse wire (the paper's tree trick:
+        // two same-direction wires).
+        assert!(seg.ascending);
+        assert_eq!(seg.wire, Wire::Reverse);
+    }
+
+    #[test]
+    fn diagonal_adaptable_rejected() {
+        let grid = Grid::paper();
+        let err = segment_of(
+            &grid,
+            &express(&grid, Coord::new(0, 0), Coord::new(2, 2), ChannelKind::Adaptable),
+        );
+        assert_eq!(err, Err(LinkError::NotAligned));
+    }
+
+    #[test]
+    fn overlapping_segments_detected() {
+        let grid = Grid::paper();
+        let mut spec = NetworkSpec::new(64, 64, 2);
+        spec.add_channel(express(
+            &grid,
+            Coord::new(0, 0),
+            Coord::new(4, 0),
+            ChannelKind::Adaptable,
+        ));
+        // Same wire, overlapping interval [2,6] vs [0,4].
+        let mut ch2 = express(&grid, Coord::new(2, 0), Coord::new(6, 0), ChannelKind::Adaptable);
+        ch2.src.port = PortId(2);
+        ch2.dst.port = PortId(3);
+        spec.add_channel(ch2);
+        assert!(matches!(
+            check_adaptable_links(&grid, &spec),
+            Err(LinkError::Overlap(_, _))
+        ));
+    }
+
+    #[test]
+    fn touching_segments_allowed() {
+        let grid = Grid::paper();
+        let mut spec = NetworkSpec::new(64, 64, 2);
+        spec.add_channel(express(
+            &grid,
+            Coord::new(0, 0),
+            Coord::new(3, 0),
+            ChannelKind::Adaptable,
+        ));
+        let mut ch2 = express(&grid, Coord::new(3, 0), Coord::new(6, 0), ChannelKind::Adaptable);
+        ch2.src.port = PortId(2);
+        ch2.dst.port = PortId(3);
+        spec.add_channel(ch2);
+        let segs = check_adaptable_links(&grid, &spec).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(wires_in_use(&segs), 1, "both on the row-0 forward wire");
+    }
+
+    #[test]
+    fn opposite_directions_use_both_wires() {
+        let grid = Grid::paper();
+        let mut spec = NetworkSpec::new(64, 64, 2);
+        spec.add_channel(express(
+            &grid,
+            Coord::new(0, 0),
+            Coord::new(7, 0),
+            ChannelKind::Adaptable,
+        ));
+        let mut ch2 = express(&grid, Coord::new(7, 0), Coord::new(0, 0), ChannelKind::Adaptable);
+        ch2.src.port = PortId(2);
+        ch2.dst.port = PortId(3);
+        spec.add_channel(ch2);
+        let segs = check_adaptable_links(&grid, &spec).unwrap();
+        assert_eq!(wires_in_use(&segs), 2);
+    }
+
+    #[test]
+    fn paper_topologies_fit_the_inventory() {
+        // Every composed topology's adaptable channels must fit the
+        // one-link-per-row/column budget.
+        let grid = Grid::paper();
+        let cfg = SimConfig::adapt_noc();
+        for kind in [
+            TopologyKind::Mesh,
+            TopologyKind::Cmesh,
+            TopologyKind::Torus,
+            TopologyKind::Tree,
+            TopologyKind::TorusTree,
+        ] {
+            for rect in [Rect::new(0, 0, 4, 4), Rect::new(4, 0, 4, 8), Rect::new(0, 0, 8, 8)] {
+                let spec =
+                    build_chip_spec(grid, &[RegionTopology::new(rect, kind)], &cfg).unwrap();
+                check_adaptable_links(&grid, &spec)
+                    .unwrap_or_else(|e| panic!("{kind} in {rect}: {e}"));
+            }
+        }
+    }
+}

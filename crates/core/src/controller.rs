@@ -1,0 +1,520 @@
+//! The per-subNoC control layer: gathers the Table-I state each epoch,
+//! computes the Eq.-2 reward, asks the policy for a topology, and drives
+//! the reconfiguration protocol (Sec. III).
+
+use crate::layout::{AppRegion, ChipLayout};
+use crate::mc_sharing::add_mc_bridge;
+use crate::reconfig::{keeps_mesh, ReconfigTiming, RegionReconfig};
+use adaptnoc_rl::dqn::{DqnAgent, TrainedPolicy, Transition};
+use adaptnoc_rl::qtable::QTableAgent;
+use adaptnoc_rl::state::{reward, Observation, StateScales};
+use adaptnoc_sim::network::{Network, NetworkError};
+use adaptnoc_sim::spec::NetworkSpec;
+use adaptnoc_topology::chip::build_chip_spec;
+use adaptnoc_topology::plan::BuildError;
+use adaptnoc_topology::regions::{RegionTopology, TopologyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-region, per-epoch telemetry assembled by the workload harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegionTelemetry {
+    /// The 12 Table-I attributes.
+    pub obs: Observation,
+    /// Average subNoC power over the epoch, watts.
+    pub power_w: f64,
+    /// Mean network latency of the region's packets, cycles.
+    pub network_latency: f64,
+    /// Mean queuing latency of the region's packets, cycles.
+    pub queuing_latency: f64,
+}
+
+/// How a region picks its topology each epoch.
+#[derive(Debug)]
+pub enum TopologyPolicy {
+    /// Statically fixed (baseline regions and Adapt-NoC-noRL).
+    Fixed(TopologyKind),
+    /// A deployed (offline-trained) DQN policy with ε-greedy exploration.
+    Trained(TrainedPolicy),
+    /// An online-learning DQN agent (used by the offline training harness).
+    Learning(DqnAgent),
+    /// A tabular Q-learning agent (ablation).
+    QTable(QTableAgent),
+}
+
+impl TopologyPolicy {
+    fn decide(&mut self, state: &[f64], rng: &mut StdRng) -> TopologyKind {
+        let idx = match self {
+            TopologyPolicy::Fixed(k) => return *k,
+            TopologyPolicy::Trained(p) => p.decide(state, rng),
+            TopologyPolicy::Learning(a) => a.select_action(state, true),
+            TopologyPolicy::QTable(a) => a.select_action(state, true),
+        };
+        TopologyKind::from_action_index(idx)
+    }
+
+    fn learn(&mut self, t: Transition) {
+        match self {
+            TopologyPolicy::Learning(a) => {
+                a.observe(t);
+                // One training iteration per epoch keeps the paper's
+                // off-line cadence (the harness may train more densely).
+                let _ = a.train_step();
+            }
+            TopologyPolicy::QTable(a) => {
+                a.update(&t.state, t.action, t.reward, &t.next_state);
+            }
+            _ => {}
+        }
+    }
+
+    fn is_rl(&self) -> bool {
+        !matches!(self, TopologyPolicy::Fixed(_))
+    }
+}
+
+/// One region's control state.
+#[derive(Debug)]
+pub struct RegionController {
+    /// The application region.
+    pub region: AppRegion,
+    /// Topology currently configured (or being configured).
+    pub current: TopologyKind,
+    /// Topology the policy last asked for (reconfigurations are launched
+    /// one region at a time; see [`AdaptController::tick`]).
+    pub desired: TopologyKind,
+    /// Decision policy.
+    pub policy: TopologyPolicy,
+    /// In-flight reconfiguration, if any.
+    pub pending: Option<RegionReconfig>,
+    /// Per-epoch topology selections (Fig. 14/15 breakdowns).
+    pub histogram: [u64; 4],
+    /// Completed reconfigurations.
+    pub reconfig_count: u64,
+    /// Cumulative reconfiguration latency cycles.
+    pub reconfig_cycles: u64,
+    prev: Option<(Vec<f64>, usize, f64)>,
+}
+
+/// An MC-sharing request: region `borrower` also uses the MC of region
+/// `lender` (indices into the layout's regions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct McShare {
+    /// Borrowing region index.
+    pub borrower: usize,
+    /// Lending region index.
+    pub lender: usize,
+}
+
+/// Errors from the controller.
+#[derive(Debug)]
+pub enum ControlError {
+    /// Building a chip spec failed.
+    Build(BuildError),
+    /// The network rejected a reconfiguration step.
+    Network(NetworkError),
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::Build(e) => write!(f, "spec construction failed: {e}"),
+            ControlError::Network(e) => write!(f, "network reconfiguration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<BuildError> for ControlError {
+    fn from(e: BuildError) -> Self {
+        ControlError::Build(e)
+    }
+}
+
+impl From<NetworkError> for ControlError {
+    fn from(e: NetworkError) -> Self {
+        ControlError::Network(e)
+    }
+}
+
+/// The Adapt-NoC controller: one RL controller per subNoC, implemented in
+/// the MCs (Sec. III-A).
+#[derive(Debug)]
+pub struct AdaptController {
+    /// The chip layout.
+    pub layout: ChipLayout,
+    /// Per-region controllers.
+    pub regions: Vec<RegionController>,
+    /// Requested MC shares.
+    pub shares: Vec<McShare>,
+    /// Protocol timing.
+    pub timing: ReconfigTiming,
+    /// State normalization scales.
+    pub scales: StateScales,
+    /// Reward normalization divisor: raw Eq.-2 rewards (watts x cycles)
+    /// are divided by this to keep TD targets in a trainable range.
+    pub reward_scale: f64,
+    sim_cfg: adaptnoc_sim::config::SimConfig,
+    rng: StdRng,
+}
+
+impl AdaptController {
+    /// Creates a controller with one policy per region (must match the
+    /// layout's region count) starting on the mesh topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy count disagrees with the layout.
+    pub fn new(
+        layout: ChipLayout,
+        policies: Vec<TopologyPolicy>,
+        sim_cfg: adaptnoc_sim::config::SimConfig,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            layout.regions.len(),
+            policies.len(),
+            "one policy per region required"
+        );
+        let regions = layout
+            .regions
+            .iter()
+            .zip(policies)
+            .map(|(r, policy)| RegionController {
+                region: r.clone(),
+                current: TopologyKind::Mesh,
+                desired: TopologyKind::Mesh,
+                policy,
+                pending: None,
+                histogram: [0; 4],
+                reconfig_count: 0,
+                reconfig_cycles: 0,
+                prev: None,
+            })
+            .collect();
+        AdaptController {
+            layout,
+            regions,
+            shares: Vec::new(),
+            timing: ReconfigTiming::default(),
+            scales: StateScales::default(),
+            reward_scale: 50.0,
+            sim_cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Requests MC sharing between two regions (applied to every built
+    /// spec; silently skipped when the current topologies leave no free
+    /// boundary ports).
+    pub fn share_mc(&mut self, share: McShare) {
+        self.shares.push(share);
+    }
+
+    /// The region assignments as currently configured (with an optional
+    /// override for one region).
+    fn assignments(&self, override_region: Option<(usize, TopologyKind)>) -> Vec<RegionTopology> {
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(i, rc)| {
+                let kind = match override_region {
+                    Some((j, k)) if j == i => k,
+                    _ => rc.current,
+                };
+                RegionTopology::new(rc.region.rect, kind)
+                    .with_root(rc.region.mc)
+                    .with_extra_roots(
+                        rc.region
+                            .mcs
+                            .iter()
+                            .copied()
+                            .filter(|m| *m != rc.region.mc)
+                            .collect(),
+                    )
+            })
+            .collect()
+    }
+
+    /// Builds the full-chip spec for the given assignments, applying MC
+    /// shares where physically possible.
+    fn spec_for(&self, assignments: &[RegionTopology]) -> Result<NetworkSpec, BuildError> {
+        let mut spec = build_chip_spec(self.layout.grid, assignments, &self.sim_cfg)?;
+        for s in &self.shares {
+            let borrower = self.regions[s.borrower].region.rect;
+            let lender = self.regions[s.lender].region.rect;
+            let mc = self.regions[s.lender].region.mc;
+            // Best effort: torus neighbours may leave no free ports.
+            let _ = add_mc_bridge(&mut spec, &self.layout.grid, borrower, lender, mc);
+        }
+        Ok(spec)
+    }
+
+    /// The initial (all-mesh) chip spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::Build`] if construction fails.
+    pub fn initial_spec(&self) -> Result<NetworkSpec, ControlError> {
+        Ok(self.spec_for(&self.assignments(None))?)
+    }
+
+    /// Per-cycle hook: advances the in-flight reconfiguration and launches
+    /// the next queued one.
+    ///
+    /// Reconfigurations are serialized — one region at a time — so every
+    /// launch builds its target spec against the *settled* network state
+    /// (launching two overlapping structural diffs concurrently could
+    /// otherwise tear down a region mid-flight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::Network`] if a swap fails (protocol bug).
+    pub fn tick(&mut self, net: &mut Network) -> Result<(), ControlError> {
+        let mut busy = false;
+        for rc in self.regions.iter_mut() {
+            if let Some(p) = rc.pending.as_mut() {
+                if p.tick(net, &self.layout.grid)? {
+                    rc.reconfig_cycles += p.latency(net.now());
+                    rc.reconfig_count += 1;
+                    rc.pending = None;
+                } else {
+                    busy = true;
+                }
+            }
+        }
+        if !busy {
+            self.maybe_launch(net)?;
+        }
+        Ok(())
+    }
+
+    /// Launches the next pending topology change, if any (one at a time).
+    fn maybe_launch(&mut self, net: &mut Network) -> Result<(), ControlError> {
+        let Some(i) = self
+            .regions
+            .iter()
+            .position(|rc| rc.desired != rc.current && rc.pending.is_none())
+        else {
+            return Ok(());
+        };
+        let choice = self.regions[i].desired;
+        let target = self.spec_for(&self.assignments(Some((i, choice))))?;
+        let fast = keeps_mesh(self.regions[i].current) && keeps_mesh(choice);
+        let transitional = if fast {
+            // R_mesh for this region, everything else unchanged.
+            let mesh_assign = self.assignments(Some((i, TopologyKind::Mesh)));
+            Some(self.spec_for(&mesh_assign)?.tables)
+        } else {
+            None
+        };
+        let rect = self.regions[i].region.rect;
+        self.regions[i].pending = Some(RegionReconfig::start(
+            net,
+            &self.layout.grid,
+            rect,
+            target,
+            transitional,
+            self.timing,
+        ));
+        self.regions[i].current = choice;
+        Ok(())
+    }
+
+    /// Epoch boundary: feed telemetry, learn, decide, and launch
+    /// reconfigurations. `telemetry` must have one entry per region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError`] on spec-construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `telemetry.len()` disagrees with the region count.
+    #[allow(clippy::needless_range_loop)]
+    pub fn on_epoch(
+        &mut self,
+        net: &mut Network,
+        telemetry: &[RegionTelemetry],
+    ) -> Result<(), ControlError> {
+        assert_eq!(telemetry.len(), self.regions.len(), "telemetry per region");
+        for i in 0..self.regions.len() {
+            let t = &telemetry[i];
+            let mut obs = t.obs;
+            obs.current_topology = self.regions[i].current.action_index() as f64;
+            obs.columns = self.regions[i].region.rect.w as f64;
+            obs.rows = self.regions[i].region.rect.h as f64;
+            let state: Vec<f64> = obs.normalize(&self.scales).to_vec();
+
+            // Learn from the previous epoch's decision.
+            let r = reward(t.power_w, t.network_latency, t.queuing_latency) / self.reward_scale;
+            if let Some((ps, pa, _)) = self.regions[i].prev.take() {
+                self.regions[i].policy.learn(Transition {
+                    state: ps,
+                    action: pa,
+                    reward: r,
+                    next_state: state.clone(),
+                });
+            }
+
+            // Decide.
+            if self.regions[i].policy.is_rl() {
+                net.count_rl_inference();
+            }
+            let choice = self.regions[i].policy.decide(&state, &mut self.rng);
+            self.regions[i].histogram[choice.action_index()] += 1;
+            self.regions[i].prev = Some((state, choice.action_index(), r));
+
+            // Queue the change; launches are serialized in `tick`.
+            self.regions[i].desired = choice;
+        }
+        self.tick(net)?;
+        Ok(())
+    }
+
+    /// Selection fractions per topology for a region (Fig. 14/15).
+    pub fn selection_breakdown(&self, region: usize) -> [f64; 4] {
+        let h = &self.regions[region].histogram;
+        let total: u64 = h.iter().sum();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        [
+            h[0] as f64 / total as f64,
+            h[1] as f64 / total as f64,
+            h[2] as f64 / total as f64,
+            h[3] as f64 / total as f64,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ChipLayout;
+    use adaptnoc_sim::config::SimConfig;
+    use adaptnoc_topology::geom::Rect;
+
+    fn single_region_controller(policy: TopologyPolicy) -> (AdaptController, Network) {
+        let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), false);
+        let ctl = AdaptController::new(layout, vec![policy], SimConfig::adapt_noc(), 1);
+        let spec = ctl.initial_spec().unwrap();
+        let net = Network::new(spec, SimConfig::adapt_noc()).unwrap();
+        (ctl, net)
+    }
+
+    fn telemetry() -> RegionTelemetry {
+        RegionTelemetry {
+            obs: Observation::default(),
+            power_w: 0.5,
+            network_latency: 20.0,
+            queuing_latency: 5.0,
+        }
+    }
+
+    #[test]
+    fn fixed_policy_reconfigures_once() {
+        let (mut ctl, mut net) =
+            single_region_controller(TopologyPolicy::Fixed(TopologyKind::Torus));
+        ctl.on_epoch(&mut net, &[telemetry()]).unwrap();
+        assert!(ctl.regions[0].pending.is_some());
+        for _ in 0..2000 {
+            net.step();
+            ctl.tick(&mut net).unwrap();
+        }
+        assert!(ctl.regions[0].pending.is_none());
+        assert_eq!(ctl.regions[0].reconfig_count, 1);
+        assert_eq!(ctl.regions[0].current, TopologyKind::Torus);
+        assert!(net.spec().channels.iter().any(|c| c.dateline));
+        // Second epoch: same choice, no new reconfig.
+        ctl.on_epoch(&mut net, &[telemetry()]).unwrap();
+        assert!(ctl.regions[0].pending.is_none());
+        assert_eq!(ctl.selection_breakdown(0)[2], 1.0);
+    }
+
+    #[test]
+    fn fixed_cmesh_takes_slow_path() {
+        let (mut ctl, mut net) =
+            single_region_controller(TopologyPolicy::Fixed(TopologyKind::Cmesh));
+        ctl.on_epoch(&mut net, &[telemetry()]).unwrap();
+        for _ in 0..5000 {
+            net.step();
+            ctl.tick(&mut net).unwrap();
+        }
+        assert_eq!(ctl.regions[0].current, TopologyKind::Cmesh);
+        assert_eq!(net.spec().active_routers(), 64 - 12);
+    }
+
+    #[test]
+    fn learning_policy_explores_topologies() {
+        use adaptnoc_rl::dqn::{DqnAgent, DqnConfig};
+        let agent = DqnAgent::new(
+            DqnConfig {
+                epsilon: 0.5, // explore aggressively for the test
+                ..DqnConfig::default()
+            },
+            3,
+        );
+        let (mut ctl, mut net) = single_region_controller(TopologyPolicy::Learning(agent));
+        for _ in 0..30 {
+            ctl.on_epoch(&mut net, &[telemetry()]).unwrap();
+            for _ in 0..600 {
+                net.step();
+                ctl.tick(&mut net).unwrap();
+            }
+        }
+        let visited: usize = ctl.regions[0]
+            .histogram
+            .iter()
+            .filter(|&&h| h > 0)
+            .count();
+        assert!(visited >= 2, "exploration should visit several topologies");
+        assert!(net.totals().events.rl_inferences >= 30);
+    }
+
+    #[test]
+    fn selection_breakdown_sums_to_one() {
+        let (mut ctl, mut net) =
+            single_region_controller(TopologyPolicy::Fixed(TopologyKind::Tree));
+        for _ in 0..5 {
+            ctl.on_epoch(&mut net, &[telemetry()]).unwrap();
+            for _ in 0..1500 {
+                net.step();
+                ctl.tick(&mut net).unwrap();
+            }
+        }
+        let b = ctl.selection_breakdown(0);
+        assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(b[3], 1.0);
+    }
+
+    #[test]
+    fn multi_region_controller_with_mc_share() {
+        let layout = ChipLayout::paper_mixed();
+        let policies = vec![
+            TopologyPolicy::Fixed(TopologyKind::Cmesh),
+            TopologyPolicy::Fixed(TopologyKind::Tree),
+            TopologyPolicy::Fixed(TopologyKind::Torus),
+        ];
+        let mut ctl = AdaptController::new(layout, policies, SimConfig::adapt_noc(), 9);
+        ctl.share_mc(McShare {
+            borrower: 0,
+            lender: 1,
+        });
+        let spec = ctl.initial_spec().unwrap();
+        let mut net = Network::new(spec, SimConfig::adapt_noc()).unwrap();
+        let t = [telemetry(), telemetry(), telemetry()];
+        ctl.on_epoch(&mut net, &t).unwrap();
+        for _ in 0..8000 {
+            net.step();
+            ctl.tick(&mut net).unwrap();
+        }
+        assert_eq!(ctl.regions[0].current, TopologyKind::Cmesh);
+        assert_eq!(ctl.regions[1].current, TopologyKind::Tree);
+        assert_eq!(ctl.regions[2].current, TopologyKind::Torus);
+        for rc in &ctl.regions {
+            assert!(rc.pending.is_none(), "all reconfigs should complete");
+        }
+    }
+}

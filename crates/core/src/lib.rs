@@ -1,0 +1,50 @@
+//! # adaptnoc-core
+//!
+//! The paper's primary contribution: the Adapt-NoC flexible NoC
+//! architecture (HPCA 2021) — adaptable links with segmentation and
+//! reversal, the adaptable-router resource model, external concentration,
+//! dynamic subNoC allocation and deadlock-free reconfiguration,
+//! memory-controller sharing, the per-subNoC RL control layer, and the
+//! seven evaluated designs (baseline mesh, OSCAR, Shortcut, FTBY, FTBY_PG,
+//! Adapt-NoC-noRL, Adapt-NoC).
+//!
+//! ```
+//! use adaptnoc_core::prelude::*;
+//! use adaptnoc_topology::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build the RL-controlled Adapt-NoC on a single-app 4x4 chip.
+//! let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), false);
+//! let policy = TopologyPolicy::Fixed(TopologyKind::Cmesh);
+//! let mut design = Design::build(DesignKind::AdaptNocNoRl, layout, &[], vec![policy], 1)?;
+//! design.net.run(100);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptable_link;
+pub mod allocator;
+pub mod controller;
+pub mod designs;
+pub mod layout;
+pub mod mc_sharing;
+pub mod policies;
+pub mod reconfig;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::adaptable_link::{check_adaptable_links, segment_of, Line, Segment, Wire};
+    pub use crate::allocator::{AllocError, Allocation, SubNocAllocator};
+    pub use crate::controller::{
+        AdaptController, ControlError, McShare, RegionTelemetry, TopologyPolicy,
+    };
+    pub use crate::designs::{Design, DesignKind, DesignRuntime};
+    pub use crate::layout::{AppRegion, ChipLayout, NodeKind};
+    pub use crate::mc_sharing::{add_mc_bridge, McBridge};
+    pub use crate::policies::{OscarPolicy, PowerGatePolicy};
+    pub use crate::reconfig::{keeps_mesh, ReconfigStage, ReconfigTiming, RegionReconfig};
+}

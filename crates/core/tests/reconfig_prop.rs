@@ -1,0 +1,134 @@
+//! Property tests for the reconfiguration protocol: arbitrary topology
+//! sequences under continuous traffic never lose a packet, never produce an
+//! unroutable event, and always land in a valid, deadlock-free
+//! configuration.
+
+use adaptnoc_core::prelude::*;
+use adaptnoc_sim::config::SimConfig;
+use adaptnoc_sim::network::Network;
+use adaptnoc_sim::prelude::{NodeId, Packet};
+use adaptnoc_topology::prelude::*;
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::Mesh),
+        Just(TopologyKind::Cmesh),
+        Just(TopologyKind::Torus),
+        Just(TopologyKind::Tree),
+    ]
+}
+
+fn spec_of(kind: TopologyKind, rect: Rect, cfg: &SimConfig) -> adaptnoc_sim::spec::NetworkSpec {
+    build_chip_spec(Grid::paper(), &[RegionTopology::new(rect, kind)], cfg).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// A random sequence of topology switches under random traffic is
+    /// lossless and ends in a validated configuration.
+    #[test]
+    fn random_reconfig_sequences_are_lossless(
+        seq in prop::collection::vec(kind_strategy(), 1..5),
+        inject_period in 3u64..20,
+    ) {
+        let grid = Grid::paper();
+        let rect = Rect::new(0, 0, 4, 4);
+        let cfg = SimConfig::adapt_noc();
+        let nodes: Vec<NodeId> = rect.iter().map(|c| grid.node(c)).collect();
+        let mut net = Network::new(spec_of(TopologyKind::Mesh, rect, &cfg), cfg.clone()).unwrap();
+
+        let mut current = TopologyKind::Mesh;
+        let mut injected = 0u64;
+        let mut delivered = 0u64;
+        for &target in &seq {
+            if target == current {
+                continue;
+            }
+            let fast = keeps_mesh(current) && keeps_mesh(target);
+            let transitional = fast.then(|| spec_of(TopologyKind::Mesh, rect, &cfg).tables);
+            let mut rc = RegionReconfig::start(
+                &net,
+                &grid,
+                rect,
+                spec_of(target, rect, &cfg),
+                transitional,
+                ReconfigTiming::default(),
+            );
+            let mut guard = 0u64;
+            loop {
+                if net.now().is_multiple_of(inject_period) {
+                    let s = nodes[(net.now() as usize * 7) % nodes.len()];
+                    let d = nodes[(net.now() as usize * 3 + 5) % nodes.len()];
+                    if s != d {
+                        injected += 1;
+                        net.inject(Packet::reply(injected, s, d, 0)).unwrap();
+                    }
+                }
+                net.step();
+                delivered += net.drain_delivered().len() as u64;
+                if rc.tick(&mut net, &grid).unwrap() {
+                    break;
+                }
+                guard += 1;
+                prop_assert!(guard < 100_000, "reconfig to {target} hung");
+            }
+            current = target;
+        }
+        // Drain.
+        let mut guard = 0u64;
+        while net.in_flight() > 0 {
+            net.step();
+            delivered += net.drain_delivered().len() as u64;
+            guard += 1;
+            prop_assert!(guard < 200_000, "drain hung");
+        }
+        prop_assert_eq!(injected, delivered, "packets lost across reconfigs");
+        prop_assert_eq!(net.unroutable_events(), 0);
+
+        // Final configuration is valid and deadlock-free.
+        let pairs = all_pairs(&nodes);
+        check_routes_and_deadlock(net.spec(), &pairs).unwrap();
+        check_adaptable_links(&grid, net.spec()).unwrap();
+    }
+
+    /// Region position does not matter: the protocol works for subNoCs
+    /// anywhere on the chip.
+    #[test]
+    fn reconfig_works_at_any_region_position(
+        x in 0u8..5,
+        y in 0u8..5,
+        target in kind_strategy(),
+    ) {
+        let grid = Grid::paper();
+        let rect = Rect::new(x & !1, y & !1, 4, 4);
+        prop_assume!(rect.fits(&grid));
+        let cfg = SimConfig::adapt_noc();
+        let mk = |k: TopologyKind| {
+            build_chip_spec(grid, &[RegionTopology::new(rect, k)], &cfg).unwrap()
+        };
+        let mut net = Network::new(mk(TopologyKind::Mesh), cfg.clone()).unwrap();
+        let fast = keeps_mesh(target);
+        let transitional = fast.then(|| mk(TopologyKind::Mesh).tables);
+        let mut rc = RegionReconfig::start(
+            &net,
+            &grid,
+            rect,
+            mk(target),
+            transitional,
+            ReconfigTiming::default(),
+        );
+        let mut done = false;
+        for _ in 0..50_000 {
+            net.step();
+            if rc.tick(&mut net, &grid).unwrap() {
+                done = true;
+                break;
+            }
+        }
+        prop_assert!(done);
+        let nodes: Vec<NodeId> = rect.iter().map(|c| grid.node(c)).collect();
+        check_routes_and_deadlock(net.spec(), &all_pairs(&nodes)).unwrap();
+    }
+}

@@ -1,0 +1,215 @@
+//! Event-based energy model (the DSENT methodology of Sec. IV-A).
+//!
+//! The simulator counts buffer writes/reads, crossbar traversals, VA/SA
+//! grants, link flit-millimeters, mux traversals and RL inferences
+//! ([`EventCounts`]); static power integrates resource-on cycles
+//! ([`StaticCycles`]) with per-resource power draws, so power gating shows
+//! up directly as saved static energy.
+
+use crate::params as p;
+use adaptnoc_sim::config::SimConfig;
+use adaptnoc_sim::events::{EventCounts, StaticCycles};
+use adaptnoc_sim::stats::EpochReport;
+
+/// Energy decomposition in joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnergyBreakdown {
+    /// Activity-driven energy.
+    pub dynamic_j: f64,
+    /// Leakage/idle energy of powered resources.
+    pub static_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.static_j
+    }
+
+    /// Sums another breakdown into this one.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.dynamic_j += other.dynamic_j;
+        self.static_j += other.static_j;
+    }
+}
+
+/// The energy model, specialized to a simulator configuration (buffer
+/// depths enter the static model).
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    flits_per_port: f64,
+}
+
+impl EnergyModel {
+    /// Builds a model for the given simulator configuration.
+    pub fn new(cfg: &SimConfig) -> Self {
+        EnergyModel {
+            flits_per_port: cfg.port_buffer_flits() as f64,
+        }
+    }
+
+    /// Dynamic energy of an event window, joules.
+    pub fn dynamic_energy_j(&self, ev: &EventCounts) -> f64 {
+        let pj = ev.buffer_writes as f64 * p::BUFFER_WRITE_PJ
+            + ev.buffer_reads as f64 * p::BUFFER_READ_PJ
+            + ev.crossbar_traversals as f64 * p::CROSSBAR_PJ
+            + ev.va_grants as f64 * p::VA_PJ
+            + ev.sa_grants as f64 * p::SA_PJ
+            + ev.link_flit_mm * p::LINK_PJ_PER_MM
+            + ev.mux_traversals as f64 * p::MUX_PJ
+            + ev.ni_injections as f64 * p::NI_PJ
+            + ev.rl_inferences as f64 * p::RL_INFERENCE_PJ;
+        pj * 1e-12
+    }
+
+    /// Static energy of a resource-on window, joules.
+    pub fn static_energy_j(&self, sc: &StaticCycles) -> f64 {
+        let ns = p::NS_PER_CYCLE;
+        let router_mw = sc.router_on_cycles as f64 * p::ROUTER_BASE_STATIC_MW
+            + sc.port_on_cycles as f64
+                * (p::PORT_LOGIC_STATIC_MW + self.flits_per_port * p::BUFFER_STATIC_MW_PER_FLIT);
+        let link_mw = sc.mesh_link_mm_cycles * p::MESH_LINK_STATIC_MW_PER_MM
+            + sc.adapt_link_mm_cycles * (p::ADAPT_LINK_STATIC_MW / p::ADAPT_LINK_FULL_MM)
+            + sc.conc_link_mm_cycles * p::CONC_LINK_STATIC_MW_PER_MM;
+        // mW * cycles * ns/cycle = pJ.
+        (router_mw + link_mw) * ns * 1e-12 * 1e9 * 1e-9
+    }
+
+    /// Full breakdown for an epoch report.
+    pub fn energy(&self, report: &EpochReport) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dynamic_j: self.dynamic_energy_j(&report.events),
+            static_j: self.static_energy_j(&report.static_cycles),
+        }
+    }
+
+    /// Mean power over the report window, watts.
+    pub fn avg_power_w(&self, report: &EpochReport) -> f64 {
+        let cycles = report.static_cycles.cycles.max(1) as f64;
+        self.energy(report).total_j() / (cycles * p::NS_PER_CYCLE * 1e-9)
+    }
+
+    /// Energy-delay product (J·s) over `execution_cycles`.
+    pub fn edp(&self, energy: &EnergyBreakdown, execution_cycles: u64) -> f64 {
+        energy.total_j() * execution_cycles as f64 * p::NS_PER_CYCLE * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(&SimConfig::baseline())
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_events() {
+        let m = model();
+        let ev1 = EventCounts {
+            buffer_writes: 1000,
+            buffer_reads: 1000,
+            crossbar_traversals: 1000,
+            link_flit_mm: 1000.0,
+            ..Default::default()
+        };
+        let mut ev2 = ev1;
+        ev2.buffer_writes *= 2;
+        ev2.buffer_reads *= 2;
+        ev2.crossbar_traversals *= 2;
+        ev2.link_flit_mm *= 2.0;
+        assert!((m.dynamic_energy_j(&ev2) - 2.0 * m.dynamic_energy_j(&ev1)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn static_energy_scales_with_gating() {
+        let m = model();
+        let all_on = StaticCycles {
+            cycles: 1000,
+            router_on_cycles: 64_000,
+            port_on_cycles: 64_000 * 5,
+            mesh_link_mm_cycles: 224_000.0,
+            ..Default::default()
+        };
+        let half_gated = StaticCycles {
+            router_on_cycles: 32_000,
+            port_on_cycles: 32_000 * 5,
+            router_off_cycles: 32_000,
+            ..all_on
+        };
+        assert!(m.static_energy_j(&half_gated) < m.static_energy_j(&all_on));
+    }
+
+    #[test]
+    fn baseline_router_static_power_plausible() {
+        // One baseline router fully on for 1M cycles (1 ms at 1 GHz).
+        let m = model();
+        let sc = StaticCycles {
+            cycles: 1_000_000,
+            router_on_cycles: 1_000_000,
+            port_on_cycles: 5_000_000,
+            ..Default::default()
+        };
+        let watts = m.static_energy_j(&sc) / 1e-3;
+        // ~1 + 5*(0.4 + 24*0.08) = 12.6 mW.
+        assert!((watts - 12.6e-3).abs() < 1e-4, "router static {watts} W");
+    }
+
+    #[test]
+    fn adapt_link_static_matches_paper_constant() {
+        let m = model();
+        // A full 7 mm adaptable link on for 1M cycles should draw 11.5 mW.
+        let sc = StaticCycles {
+            cycles: 1_000_000,
+            adapt_link_mm_cycles: 7.0 * 1e6,
+            ..Default::default()
+        };
+        let watts = m.static_energy_j(&sc) / 1e-3;
+        assert!((watts - 11.5e-3).abs() < 1e-6, "got {watts}");
+    }
+
+    #[test]
+    fn fewer_vcs_cut_buffer_leakage() {
+        let base = EnergyModel::new(&SimConfig::baseline());
+        let adapt = EnergyModel::new(&SimConfig::adapt_noc());
+        let sc = StaticCycles {
+            cycles: 1000,
+            router_on_cycles: 1000,
+            port_on_cycles: 5000,
+            ..Default::default()
+        };
+        assert!(adapt.static_energy_j(&sc) < base.static_energy_j(&sc));
+    }
+
+    #[test]
+    fn avg_power_and_edp() {
+        let m = model();
+        let mut report = EpochReport::default();
+        report.static_cycles.cycles = 1000;
+        report.static_cycles.router_on_cycles = 1000;
+        report.static_cycles.port_on_cycles = 5000;
+        report.events.buffer_writes = 500;
+        let e = m.energy(&report);
+        assert!(e.total_j() > 0.0);
+        let p = m.avg_power_w(&report);
+        assert!(p > 0.0);
+        let edp1 = m.edp(&e, 1000);
+        let edp2 = m.edp(&e, 2000);
+        assert!((edp2 / edp1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_accumulate() {
+        let mut a = EnergyBreakdown {
+            dynamic_j: 1.0,
+            static_j: 2.0,
+        };
+        a.accumulate(&EnergyBreakdown {
+            dynamic_j: 0.5,
+            static_j: 0.25,
+        });
+        assert_eq!(a.dynamic_j, 1.5);
+        assert_eq!(a.static_j, 2.25);
+        assert_eq!(a.total_j(), 3.75);
+    }
+}

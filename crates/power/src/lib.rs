@@ -1,0 +1,46 @@
+//! # adaptnoc-power
+//!
+//! 45 nm power, energy, area, timing, and wiring models for the Adapt-NoC
+//! reproduction (paper Secs. IV-A and V-B).
+//!
+//! * [`energy`] — DSENT-style event-based dynamic energy plus
+//!   resource-on-cycle static energy (power gating aware).
+//! * [`area`] — reproduces the paper's component-level area accounting
+//!   (17.27 mm² baseline 8x8 mesh; Adapt-NoC smaller despite its extras).
+//! * [`timing`] — router stage delays with the mux-merge optimization,
+//!   wire RC delays per metal layer, DQN inference latency.
+//! * [`wiring`] — per-tile-edge link budget from the Intel 45 nm metal
+//!   stack and spec usage analysis.
+//!
+//! ```
+//! use adaptnoc_power::prelude::*;
+//! use adaptnoc_sim::prelude::*;
+//!
+//! let model = EnergyModel::new(&SimConfig::baseline());
+//! let report = EpochReport::default();
+//! let energy = model.energy(&report);
+//! assert_eq!(energy.total_j(), 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod energy;
+pub mod params;
+pub mod timing;
+pub mod wiring;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::area::{
+        adapt_8x8_area, adapt_area_saving_fraction, baseline_8x8_area, noc_area, AreaReport,
+    };
+    pub use crate::energy::{EnergyBreakdown, EnergyModel};
+    pub use crate::timing::{
+        dqn_latency_ns, link_cycles, paper_dqn_latency_ns, wire_delay_ps, MetalLayer,
+        RouterTiming,
+    };
+    pub use crate::wiring::{analyze_wiring, paper_budget, WiringBudget, WiringUsage};
+}

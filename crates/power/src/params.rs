@@ -1,0 +1,221 @@
+//! 45 nm technology and microarchitecture constants.
+//!
+//! Every value published in the paper (Sec. IV-A and V-B) is used verbatim;
+//! values the paper does not publish (per-event switching energies, static
+//! power densities) are calibrated to be consistent with the published
+//! component areas and the DSENT methodology, and are documented as such.
+//! Absolute energy numbers therefore carry a calibration caveat, but all
+//! evaluation figures are *normalized to the baseline*, which the shared
+//! constants cancel out of.
+
+/// Clock frequency in GHz (1 GHz; the paper's stage delays, 370 ps worst,
+/// comfortably meet this).
+pub const FREQ_GHZ: f64 = 1.0;
+
+/// Nanoseconds per cycle.
+pub const NS_PER_CYCLE: f64 = 1.0 / FREQ_GHZ;
+
+/// Link width in bits (Sec. IV-A).
+pub const LINK_WIDTH_BITS: u32 = 256;
+
+/// Tile size in mm (1 mm² tiles, Sec. V-B2, following SlimNoC \\[46\\]).
+pub const TILE_MM: f64 = 1.0;
+
+// ---------------------------------------------------------------------
+// Component areas (µm², Synopsys DC at 45 nm — Sec. V-B1, verbatim).
+// ---------------------------------------------------------------------
+
+/// Crossbar area of the baseline 5x5 router.
+pub const CROSSBAR_AREA_UM2: f64 = 17_806.0;
+
+/// Switch-allocator area.
+pub const SWITCH_ALLOC_AREA_UM2: f64 = 4_589.0;
+
+/// Virtual-channel-allocator area.
+pub const VC_ALLOC_AREA_UM2: f64 = 1_062.0;
+
+/// Buffer area of the baseline router (3 VCs/vnet x 2 vnets x 4 flits x
+/// 5 ports at 256 bits).
+pub const BUFFER_AREA_UM2: f64 = 246_472.0;
+
+/// Total RL-controller area for the 8 controllers (one per 2x4 subNoC).
+pub const RL_CONTROLLERS_AREA_UM2: f64 = 100_232.0;
+
+/// Arbiter + muxes + additional links of Adapt-NoC.
+pub const MUX_LINK_AREA_UM2: f64 = 107_123.0;
+
+/// Additional peripheral-router port area of Adapt-NoC (mm²).
+pub const ADAPT_EXTRA_PORT_AREA_MM2: f64 = 1.46;
+
+/// Published total 8x8 mesh NoC area (mm²) — the model must reproduce it.
+pub const PAPER_MESH_8X8_AREA_MM2: f64 = 17.27;
+
+// ---------------------------------------------------------------------
+// Router stage timing (ps, Synopsys DC — Sec. V-B3, verbatim).
+// ---------------------------------------------------------------------
+
+/// Route-computation stage delay.
+pub const RC_PS: f64 = 164.0;
+
+/// VC-allocation stage delay (the critical stage).
+pub const VA_PS: f64 = 370.0;
+
+/// Switch-allocation stage delay.
+pub const SA_PS: f64 = 243.0;
+
+/// Switch-traversal stage delay.
+pub const ST_PS: f64 = 256.0;
+
+/// Adaptable-router mux delay.
+pub const MUX_PS: f64 = 102.0;
+
+/// Published merged RC+mux delay (the mux logic is folded into RC).
+pub const MERGED_RC_PS: f64 = 266.0;
+
+/// Published merged ST+mux delay (partial overlap with crossbar setup).
+pub const MERGED_ST_PS: f64 = 350.0;
+
+/// Extra critical delay of a reversed quad-state repeater (transmission
+/// gates), ps.
+pub const REVERSED_REPEATER_PS: f64 = 45.0;
+
+// ---------------------------------------------------------------------
+// Wires (Sec. V-B2/V-B3, Intel 45 nm metal stack [45], verbatim).
+// ---------------------------------------------------------------------
+
+/// Copper resistivity, µΩ·cm.
+pub const COPPER_RESISTIVITY_UOHM_CM: f64 = 1.7;
+
+/// Wire capacitance, pF/mm.
+pub const WIRE_CAP_PF_PER_MM: f64 = 0.2;
+
+/// Wire delay on high metal layers (M7-M8), ps/mm.
+pub const HIGH_METAL_PS_PER_MM: f64 = 42.0;
+
+/// Wire delay on intermediate metal layers (M4-M6), ps/mm.
+pub const INTERMEDIATE_METAL_PS_PER_MM: f64 = 200.0;
+
+/// High-metal wire pitch, nm.
+pub const HIGH_METAL_PITCH_NM: f64 = 560.0;
+
+/// Intermediate-metal wire pitch, nm.
+pub const INTERMEDIATE_METAL_PITCH_NM: f64 = 280.0;
+
+/// Number of high metal layers usable for NoC routing (M7-M8).
+pub const HIGH_METAL_LAYERS: u32 = 2;
+
+/// Number of intermediate metal layers usable (M4-M6).
+pub const INTERMEDIATE_METAL_LAYERS: u32 = 3;
+
+/// Fraction of wiring resources available to the NoC. The paper says
+/// "typically half"; a third reproduces its published per-tile-edge link
+/// counts (2 high-metal + 7 intermediate 256-bit bidirectional links)
+/// exactly, so we calibrate to a third and note the discrepancy.
+pub const ROUTING_FRACTION: f64 = 1.0 / 3.0;
+
+/// Cycles per 4 mm on high metal (Sec. IV-A: "1-cycle delay per 4mm").
+pub const HIGH_METAL_MM_PER_CYCLE: f64 = 4.0;
+
+// ---------------------------------------------------------------------
+// Static power (calibrated; the 11.5 mW/link figure is the paper's).
+// ---------------------------------------------------------------------
+
+/// Static power of one active adaptable link (Sec. V-A3, verbatim:
+/// "11.5 mW/link"), for a full-length (7 mm in 8x8) link.
+pub const ADAPT_LINK_STATIC_MW: f64 = 11.5;
+
+/// Full adaptable-link length in an 8x8 chip, mm (spans 7 tile hops).
+pub const ADAPT_LINK_FULL_MM: f64 = 7.0;
+
+/// Router control/base static power, mW (calibrated).
+pub const ROUTER_BASE_STATIC_MW: f64 = 1.0;
+
+/// Port logic static power, mW per wired port (calibrated).
+pub const PORT_LOGIC_STATIC_MW: f64 = 0.4;
+
+/// Buffer static power, mW per flit-slot of a wired port (calibrated so a
+/// baseline 5-port router with 24 flits/port lands near 12-13 mW, in line
+/// with 45 nm router leakage reports).
+pub const BUFFER_STATIC_MW_PER_FLIT: f64 = 0.08;
+
+/// Mesh/express link static power, mW/mm (repeaters; calibrated).
+pub const MESH_LINK_STATIC_MW_PER_MM: f64 = 0.5;
+
+/// Concentration link static power, mW/mm (calibrated).
+pub const CONC_LINK_STATIC_MW_PER_MM: f64 = 0.5;
+
+// ---------------------------------------------------------------------
+// Dynamic event energies (pJ; DSENT-style, calibrated at 45 nm, 256-bit).
+// ---------------------------------------------------------------------
+
+/// Energy per flit written into an input buffer (256-bit register file
+/// write at 45 nm).
+pub const BUFFER_WRITE_PJ: f64 = 4.8;
+
+/// Energy per flit read from an input buffer.
+pub const BUFFER_READ_PJ: f64 = 3.6;
+
+/// Energy per flit crossing the 5x5 crossbar (256-bit datapath).
+pub const CROSSBAR_PJ: f64 = 6.4;
+
+/// Energy per VC-allocation grant.
+pub const VA_PJ: f64 = 0.20;
+
+/// Energy per switch-allocation grant.
+pub const SA_PJ: f64 = 0.30;
+
+/// Energy per flit per mm of link traversal (256 bits, ~30% switching
+/// activity on 0.2 pF/mm wires at nominal Vdd).
+pub const LINK_PJ_PER_MM: f64 = 4.0;
+
+/// Energy per flit through an adaptable/concentration mux.
+pub const MUX_PJ: f64 = 0.15;
+
+/// Energy per flit injected at an NI.
+pub const NI_PJ: f64 = 1.0;
+
+/// Energy per DQN inference (465 MACs on one adder + one multiplier).
+pub const RL_INFERENCE_PJ: f64 = 930.0;
+
+/// The paper's DQN inference latency with minimal hardware (Sec. V-B3,
+/// verbatim): 486 ns.
+pub const RL_INFERENCE_NS: f64 = 486.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_router_area_sums_to_paper_total() {
+        let per_router =
+            CROSSBAR_AREA_UM2 + SWITCH_ALLOC_AREA_UM2 + VC_ALLOC_AREA_UM2 + BUFFER_AREA_UM2;
+        let total_mm2 = per_router * 64.0 / 1e6;
+        assert!(
+            (total_mm2 - PAPER_MESH_8X8_AREA_MM2).abs() < 0.02,
+            "model {total_mm2} vs paper {PAPER_MESH_8X8_AREA_MM2}"
+        );
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn merged_stage_delays_meet_va_critical_path() {
+        // Sec. V-B3: merged RC and ST stay under the VA stage delay.
+        assert!(MERGED_RC_PS < VA_PS);
+        assert!(MERGED_ST_PS < VA_PS);
+        assert_eq!(MERGED_RC_PS, RC_PS + MUX_PS);
+    }
+
+    #[test]
+    fn stage_delays_fit_the_cycle() {
+        let cycle_ps = 1000.0 / FREQ_GHZ;
+        for d in [RC_PS, VA_PS, SA_PS, ST_PS, MERGED_RC_PS, MERGED_ST_PS] {
+            assert!(d < cycle_ps);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn four_mm_of_high_metal_fits_a_cycle() {
+        assert!(HIGH_METAL_PS_PER_MM * HIGH_METAL_MM_PER_CYCLE < 1000.0 / FREQ_GHZ);
+    }
+}

@@ -1,0 +1,166 @@
+//! Wiring-density analysis (Sec. V-B2).
+//!
+//! Computes the per-tile-edge link budget from the Intel 45 nm metal stack
+//! and checks a built [`NetworkSpec`] against it: the maximum number of
+//! 256-bit bidirectional links crossing any tile edge must stay within
+//! what the metal layers provide.
+
+use crate::params as p;
+use adaptnoc_sim::spec::NetworkSpec;
+use std::collections::HashMap;
+
+/// Per-tile-edge link budget.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WiringBudget {
+    /// 256-bit bidirectional links per tile edge on high metal (M7-M8).
+    pub high_metal_links: u32,
+    /// 256-bit bidirectional links per tile edge on intermediate metal
+    /// (M4-M6).
+    pub intermediate_links: u32,
+}
+
+impl WiringBudget {
+    /// Total links per tile edge.
+    pub fn total(&self) -> u32 {
+        self.high_metal_links + self.intermediate_links
+    }
+}
+
+/// Links per tile edge a metal class can provide.
+fn links_per_edge(pitch_nm: f64, layers: u32) -> u32 {
+    let wires_per_mm = p::TILE_MM * 1e6 / pitch_nm;
+    let usable = wires_per_mm * layers as f64 * p::ROUTING_FRACTION;
+    // A bidirectional link needs 2 x LINK_WIDTH wires.
+    (usable / (2.0 * p::LINK_WIDTH_BITS as f64)).round() as u32
+}
+
+/// The 45 nm budget (the paper: 2 high-metal + 7 intermediate).
+pub fn paper_budget() -> WiringBudget {
+    WiringBudget {
+        high_metal_links: links_per_edge(p::HIGH_METAL_PITCH_NM, p::HIGH_METAL_LAYERS),
+        intermediate_links: links_per_edge(
+            p::INTERMEDIATE_METAL_PITCH_NM,
+            p::INTERMEDIATE_METAL_LAYERS,
+        ),
+    }
+}
+
+/// Wiring usage of a spec: the maximum number of unidirectional 256-bit
+/// channels crossing any tile edge, split by wire class. A bidirectional
+/// link counts as two unidirectional channels. Adaptable-link segments are
+/// pinned to the high metal layers (the paper places them there for the
+/// 42 ps/mm delay); other channels may use any layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WiringUsage {
+    /// Max unidirectional channels over any horizontal tile edge.
+    pub max_channels_per_edge: u32,
+    /// Same, counting only adaptable-link (high-metal) channels.
+    pub max_express_channels_per_edge: u32,
+}
+
+impl WiringUsage {
+    /// Whether the usage fits the budget (unidirectional channels vs
+    /// 2x bidirectional link counts).
+    pub fn fits(&self, budget: &WiringBudget) -> bool {
+        self.max_express_channels_per_edge <= budget.high_metal_links * 2
+            && self.max_channels_per_edge <= budget.total() * 2
+    }
+}
+
+/// Analyzes a spec's wiring against the tile grid (`width` x `height`
+/// tiles, router id = y*width + x). Concentration NI links are counted on
+/// the edges they cross (routed on intermediate metal).
+pub fn analyze_wiring(spec: &NetworkSpec, width: u8, height: u8) -> WiringUsage {
+    // Edge id: horizontal edge between (x,y)-(x+1,y): ('h', x, y);
+    // vertical edge between (x,y)-(x,y+1): ('v', x, y).
+    let mut all: HashMap<(char, u8, u8), u32> = HashMap::new();
+    let mut express: HashMap<(char, u8, u8), u32> = HashMap::new();
+
+    let coord = |r: u16| -> (u8, u8) { ((r % width as u16) as u8, (r / width as u16) as u8) };
+
+    let mut add_span = |a: (u8, u8), b: (u8, u8), is_express: bool| {
+        // Route dimension-ordered: x first, then y (matches physical wires).
+        let (ax, ay) = a;
+        let (bx, by) = b;
+        let (x0, x1) = (ax.min(bx), ax.max(bx));
+        for x in x0..x1 {
+            let e = ('h', x, ay);
+            *all.entry(e).or_insert(0) += 1;
+            if is_express {
+                *express.entry(e).or_insert(0) += 1;
+            }
+        }
+        let (y0, y1) = (ay.min(by), ay.max(by));
+        for y in y0..y1 {
+            let e = ('v', bx, y);
+            *all.entry(e).or_insert(0) += 1;
+            if is_express {
+                *express.entry(e).or_insert(0) += 1;
+            }
+        }
+    };
+
+    for ch in &spec.channels {
+        let a = coord(ch.src.router.0);
+        let b = coord(ch.dst.router.0);
+        let is_express = ch.kind.is_adaptable();
+        add_span(a, b, is_express);
+    }
+    for ni in &spec.nis {
+        if ni.concentration {
+            let node = coord(ni.node.0);
+            let router = coord(ni.router.0);
+            add_span(node, router, false);
+        }
+    }
+
+    let _ = height;
+    WiringUsage {
+        max_channels_per_edge: all.values().copied().max().unwrap_or(0),
+        max_express_channels_per_edge: express.values().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_matches_paper() {
+        let b = paper_budget();
+        assert_eq!(b.high_metal_links, 2, "paper: two high-metal links/edge");
+        assert_eq!(
+            b.intermediate_links, 7,
+            "paper: seven intermediate links/edge"
+        );
+        assert_eq!(b.total(), 9);
+    }
+
+    #[test]
+    fn empty_spec_has_zero_usage() {
+        let spec = NetworkSpec::new(4, 4, 2);
+        let u = analyze_wiring(&spec, 2, 2);
+        assert_eq!(u.max_channels_per_edge, 0);
+        assert!(u.fits(&paper_budget()));
+    }
+
+    #[test]
+    fn usage_counts_spanning_channels() {
+        use adaptnoc_sim::ids::{PortId, RouterId};
+        use adaptnoc_sim::spec::{ChannelKind, ChannelSpec, PortRef};
+        // 4x1 grid; an express channel 0 -> 3 crosses 3 edges.
+        let mut spec = NetworkSpec::new(4, 4, 2);
+        spec.add_channel(ChannelSpec {
+            src: PortRef::new(RouterId(0), PortId(0)),
+            dst: PortRef::new(RouterId(3), PortId(1)),
+            latency: 1,
+            length_mm: 3.0,
+            dateline: false,
+            dim_y: false,
+            kind: ChannelKind::Adaptable,
+        });
+        let u = analyze_wiring(&spec, 4, 1);
+        assert_eq!(u.max_channels_per_edge, 1);
+        assert_eq!(u.max_express_channels_per_edge, 1);
+    }
+}

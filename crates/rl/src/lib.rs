@@ -1,0 +1,43 @@
+//! # adaptnoc-rl
+//!
+//! The reinforcement-learning control stack of the Adapt-NoC reproduction
+//! (paper Sec. III), built from scratch:
+//!
+//! * [`linalg`] / [`mlp`] — a small dense-matrix library and a
+//!   feed-forward network with manual backprop (the paper's 12-15-15-4
+//!   ReLU DQN).
+//! * [`dqn`] — the deep-Q agent: prediction + target networks, 1000-entry
+//!   experience replay, minibatch 100, target sync every 168 iterations,
+//!   α=0.1/γ=0.9/ε=0.05 control hyper-parameters, and a weight-only
+//!   [`dqn::TrainedPolicy`] for deployment.
+//! * [`qtable`] — tabular Q-learning (Eq. 1) as the ablation comparator.
+//! * [`state`] — the 12 Table-I state attributes with (0,1) normalization
+//!   and the Eq. 2 reward.
+//!
+//! ```
+//! use adaptnoc_rl::prelude::*;
+//!
+//! let mut agent = DqnAgent::new(DqnConfig::default(), 42);
+//! let state = vec![0.5; STATE_DIM];
+//! let action = agent.select_action(&state, true);
+//! assert!(action < 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dqn;
+pub mod linalg;
+pub mod mlp;
+pub mod qtable;
+pub mod state;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::dqn::{DqnAgent, DqnConfig, ReplayBuffer, TrainedPolicy, Transition};
+    pub use crate::linalg::argmax;
+    pub use crate::mlp::Mlp;
+    pub use crate::qtable::QTableAgent;
+    pub use crate::state::{reward, Observation, StateScales, STATE_DIM};
+}

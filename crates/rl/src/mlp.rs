@@ -1,0 +1,345 @@
+//! Feed-forward neural network with manual backpropagation.
+//!
+//! The paper's DQN (Sec. III-E): one input layer (12 neurons, the Table-I
+//! state vector), two ReLU hidden layers of 15 neurons, and a linear output
+//! layer of 4 Q-values; trained with minibatch gradient descent at learning
+//! rate 1e-4.
+
+use crate::linalg::{relu, relu_grad, Matrix};
+use rand::Rng;
+
+/// One dense layer.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+}
+
+/// A multi-layer perceptron with ReLU hidden activations and a linear
+/// output layer.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    shape: Vec<usize>,
+}
+
+/// Per-layer gradients produced by backprop.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    dw: Vec<Matrix>,
+    db: Vec<Vec<f64>>,
+}
+
+impl Gradients {
+    /// Zero gradients matching `mlp`'s shape.
+    pub fn zeros_like(mlp: &Mlp) -> Self {
+        Gradients {
+            dw: mlp
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+                .collect(),
+            db: mlp.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    /// Accumulates `other` scaled by `scale`.
+    pub fn accumulate(&mut self, other: &Gradients, scale: f64) {
+        for (a, b) in self.dw.iter_mut().zip(&other.dw) {
+            a.add_scaled(b, scale);
+        }
+        for (a, b) in self.db.iter_mut().zip(&other.db) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += scale * y;
+            }
+        }
+    }
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes (first = input dimension,
+    /// last = output dimension), Xavier-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng>(shape: &[usize], rng: &mut R) -> Self {
+        assert!(shape.len() >= 2, "an MLP needs at least input and output");
+        let layers = shape
+            .windows(2)
+            .map(|w| Dense {
+                w: Matrix::xavier(w[1], w[0], rng),
+                b: vec![0.0; w[1]],
+            })
+            .collect();
+        Mlp {
+            layers,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The paper's DQN shape: 12-15-15-4.
+    pub fn paper_dqn<R: Rng>(rng: &mut R) -> Self {
+        Mlp::new(&[12, 15, 15, 4], rng)
+    }
+
+    /// Layer sizes.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        *self.shape.last().unwrap()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        let mut a = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, l) in self.layers.iter().enumerate() {
+            let mut z = l.w.matvec(&a);
+            for (zi, bi) in z.iter_mut().zip(&l.b) {
+                *zi += bi;
+            }
+            a = if i == last { z } else { relu(&z) };
+        }
+        a
+    }
+
+    /// Forward + backward pass for a squared-error loss on selected output
+    /// components: `loss = 0.5 * sum_i mask_i * (y_i - target_i)^2`.
+    /// Returns the gradients and the loss value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backprop(&self, x: &[f64], target: &[f64], mask: &[f64]) -> (Gradients, f64) {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        assert_eq!(target.len(), self.output_dim(), "target dimension mismatch");
+        assert_eq!(mask.len(), self.output_dim(), "mask dimension mismatch");
+
+        // Forward, caching pre-activations and activations.
+        let mut acts: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut pres: Vec<Vec<f64>> = Vec::new();
+        let last = self.layers.len() - 1;
+        for (i, l) in self.layers.iter().enumerate() {
+            let mut z = l.w.matvec(acts.last().unwrap());
+            for (zi, bi) in z.iter_mut().zip(&l.b) {
+                *zi += bi;
+            }
+            pres.push(z.clone());
+            acts.push(if i == last { z } else { relu(&z) });
+        }
+        let y = acts.last().unwrap();
+        let mut loss = 0.0;
+        let mut delta: Vec<f64> = y
+            .iter()
+            .zip(target)
+            .zip(mask)
+            .map(|((yi, ti), mi)| {
+                let e = (yi - ti) * mi;
+                loss += 0.5 * e * (yi - ti);
+                e
+            })
+            .collect();
+
+        let mut grads = Gradients::zeros_like(self);
+        for i in (0..self.layers.len()).rev() {
+            // delta is dLoss/dz_i.
+            grads.dw[i].add_outer(&delta, &acts[i], 1.0);
+            for (g, d) in grads.db[i].iter_mut().zip(&delta) {
+                *g += d;
+            }
+            if i > 0 {
+                let upstream = self.layers[i].w.matvec_t(&delta);
+                let mask = relu_grad(&pres[i - 1]);
+                delta = upstream.iter().zip(&mask).map(|(u, m)| u * m).collect();
+            }
+        }
+        (grads, loss)
+    }
+
+    /// Applies a gradient step: `params -= lr * grads`.
+    pub fn apply(&mut self, grads: &Gradients, lr: f64) {
+        for (l, (dw, db)) in self.layers.iter_mut().zip(grads.dw.iter().zip(&grads.db)) {
+            l.w.add_scaled(dw, -lr);
+            for (b, g) in l.b.iter_mut().zip(db) {
+                *b -= lr * g;
+            }
+        }
+    }
+
+    /// Copies parameters from another network of the same shape (target
+    /// network sync).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, other: &Mlp) {
+        assert_eq!(self.shape, other.shape, "MLP shape mismatch");
+        self.layers = other.layers.clone();
+    }
+
+    /// Total number of parameters (weights + biases) — the hardware storage
+    /// the paper's weight-only deployment needs.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.rows() * l.w.cols() + l.b.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn paper_dqn_shape() {
+        let m = Mlp::paper_dqn(&mut rng());
+        assert_eq!(m.shape(), &[12, 15, 15, 4]);
+        assert_eq!(m.input_dim(), 12);
+        assert_eq!(m.output_dim(), 4);
+        // 12*15+15 + 15*15+15 + 15*4+4 = 499 parameters.
+        assert_eq!(m.param_count(), 499);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = Mlp::paper_dqn(&mut rng());
+        let x = vec![0.5; 12];
+        assert_eq!(m.forward(&x), m.forward(&x));
+    }
+
+    #[test]
+    fn gradient_check_against_numerical() {
+        let mut r = rng();
+        let mut m = Mlp::new(&[3, 5, 2], &mut r);
+        let x = [0.3, -0.7, 0.9];
+        let target = [1.0, -0.5];
+        let mask = [1.0, 1.0];
+        let (grads, _) = m.backprop(&x, &target, &mask);
+
+        let eps = 1e-6;
+        let loss_of = |m: &Mlp| -> f64 {
+            let y = m.forward(&x);
+            0.5 * y
+                .iter()
+                .zip(&target)
+                .map(|(yi, ti)| (yi - ti) * (yi - ti))
+                .sum::<f64>()
+        };
+        // Check a sample of weight gradients in every layer.
+        for li in 0..2 {
+            for (r_, c) in [(0, 0), (1, 1)] {
+                let orig = m.layers[li].w.get(r_, c);
+                *m.layers[li].w.get_mut(r_, c) = orig + eps;
+                let lp = loss_of(&m);
+                *m.layers[li].w.get_mut(r_, c) = orig - eps;
+                let lm = loss_of(&m);
+                *m.layers[li].w.get_mut(r_, c) = orig;
+                let num = (lp - lm) / (2.0 * eps);
+                let ana = grads.dw[li].get(r_, c);
+                assert!(
+                    (num - ana).abs() < 1e-5,
+                    "layer {li} w[{r_}][{c}]: numerical {num} vs analytic {ana}"
+                );
+            }
+            // Bias gradient check.
+            let orig = m.layers[li].b[0];
+            m.layers[li].b[0] = orig + eps;
+            let lp = loss_of(&m);
+            m.layers[li].b[0] = orig - eps;
+            let lm = loss_of(&m);
+            m.layers[li].b[0] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grads.db[li][0]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn masked_backprop_ignores_unselected_outputs() {
+        let mut r = rng();
+        let m = Mlp::new(&[2, 4, 3], &mut r);
+        let x = [0.1, 0.9];
+        // Only output 1 contributes.
+        let (g1, _) = m.backprop(&x, &[9.0, 1.0, 9.0], &[0.0, 1.0, 0.0]);
+        let (g2, _) = m.backprop(&x, &[5.0, 1.0, -5.0], &[0.0, 1.0, 0.0]);
+        for li in 0..2 {
+            assert!((g1.dw[li].norm() - g2.dw[li].norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_regression() {
+        let mut r = rng();
+        let mut m = Mlp::new(&[2, 8, 1], &mut r);
+        // Learn f(x) = x0 + 2*x1.
+        let data: Vec<([f64; 2], f64)> = (0..50)
+            .map(|i| {
+                let a = (i % 10) as f64 / 10.0;
+                let b = (i / 10) as f64 / 5.0;
+                ([a, b], a + 2.0 * b)
+            })
+            .collect();
+        let loss_total = |m: &Mlp| -> f64 {
+            data.iter()
+                .map(|(x, t)| {
+                    let y = m.forward(x)[0];
+                    0.5 * (y - t) * (y - t)
+                })
+                .sum()
+        };
+        let before = loss_total(&m);
+        for _ in 0..600 {
+            let mut acc = Gradients::zeros_like(&m);
+            for (x, t) in &data {
+                let (g, _) = m.backprop(x, &[*t], &[1.0]);
+                acc.accumulate(&g, 1.0 / data.len() as f64);
+            }
+            m.apply(&acc, 0.1);
+        }
+        let after = loss_total(&m);
+        assert!(
+            after < before * 0.05,
+            "loss did not drop enough: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn copy_from_syncs_outputs() {
+        let mut r = rng();
+        let a = Mlp::paper_dqn(&mut r);
+        let mut b = Mlp::paper_dqn(&mut r);
+        let x = vec![0.2; 12];
+        assert_ne!(a.forward(&x), b.forward(&x));
+        b.copy_from(&a);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn copy_from_checks_shape() {
+        let mut r = rng();
+        let a = Mlp::new(&[2, 3], &mut r);
+        let mut b = Mlp::new(&[2, 4], &mut r);
+        b.copy_from(&a);
+    }
+}

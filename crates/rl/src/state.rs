@@ -1,0 +1,146 @@
+//! The RL state vector: the 12 attributes of Table I, normalized into the unit interval.
+
+/// Raw (unnormalized) observation of one subNoC over an epoch, matching
+/// Table I of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Observation {
+    // Instruction and cache related metrics.
+    /// Number of L1D cache misses.
+    pub l1d_misses: f64,
+    /// Number of L1I cache misses.
+    pub l1i_misses: f64,
+    /// Number of L2 cache misses.
+    pub l2_misses: f64,
+    /// Number of retired instructions.
+    pub retired_instructions: f64,
+    // Network related metrics.
+    /// Number of coherence packets.
+    pub coherence_packets: f64,
+    /// Number of data packets.
+    pub data_packets: f64,
+    /// Average router buffer utilization in `[0,1]`.
+    pub buffer_utilization: f64,
+    /// Average injection-port (NI source queue) utilization.
+    pub injection_utilization: f64,
+    // Topology related metrics.
+    /// Average router throughput (flits forwarded per router per cycle).
+    pub router_throughput: f64,
+    /// Current topology (action index 0..4).
+    pub current_topology: f64,
+    /// Column size of the subNoC.
+    pub columns: f64,
+    /// Row size of the subNoC.
+    pub rows: f64,
+}
+
+/// The number of state attributes (the DQN input width).
+pub const STATE_DIM: usize = 12;
+
+/// Normalization scales: per-attribute maxima used to map raw observations
+/// into (0,1) "due to the linear region of the activation function"
+/// (Sec. III-E).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StateScales {
+    /// Maximum expected cache-miss/instruction counts per epoch.
+    pub max_events: f64,
+    /// Maximum expected packets per epoch.
+    pub max_packets: f64,
+    /// Maximum router throughput (flits/router/cycle).
+    pub max_throughput: f64,
+    /// Number of topology actions.
+    pub num_topologies: f64,
+    /// Maximum subNoC dimension.
+    pub max_dim: f64,
+}
+
+impl Default for StateScales {
+    fn default() -> Self {
+        // Calibrated for 50K-cycle epochs on an 8x8 chip.
+        StateScales {
+            max_events: 100_000.0,
+            max_packets: 50_000.0,
+            max_throughput: 2.0,
+            num_topologies: 4.0,
+            max_dim: 8.0,
+        }
+    }
+}
+
+impl Observation {
+    /// Normalizes into the 12-element (0,1) state vector.
+    pub fn normalize(&self, s: &StateScales) -> [f64; STATE_DIM] {
+        let clamp = |v: f64| v.clamp(0.0, 1.0);
+        [
+            clamp(self.l1d_misses / s.max_events),
+            clamp(self.l1i_misses / s.max_events),
+            clamp(self.l2_misses / s.max_events),
+            clamp(self.retired_instructions / (s.max_events * 10.0)),
+            clamp(self.coherence_packets / s.max_packets),
+            clamp(self.data_packets / s.max_packets),
+            clamp(self.buffer_utilization),
+            clamp(self.injection_utilization),
+            clamp(self.router_throughput / s.max_throughput),
+            clamp(self.current_topology / (s.num_topologies - 1.0)),
+            clamp(self.columns / s.max_dim),
+            clamp(self.rows / s.max_dim),
+        ]
+    }
+}
+
+/// Reward of Eq. 2: `-power x (T_network + T_queuing)`.
+///
+/// `power_w` is the subNoC's average power in watts; latencies are the
+/// epoch's mean packet latencies in cycles.
+pub fn reward(power_w: f64, network_latency: f64, queuing_latency: f64) -> f64 {
+    -power_w * (network_latency + queuing_latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_state_in_unit_interval() {
+        let obs = Observation {
+            l1d_misses: 1e9, // overflow is clamped
+            l1i_misses: 50.0,
+            l2_misses: 1000.0,
+            retired_instructions: 5e5,
+            coherence_packets: 100.0,
+            data_packets: 60_000.0,
+            buffer_utilization: 0.4,
+            injection_utilization: 1.7,
+            router_throughput: 0.8,
+            current_topology: 3.0,
+            columns: 8.0,
+            rows: 2.0,
+        };
+        let v = obs.normalize(&StateScales::default());
+        assert_eq!(v.len(), STATE_DIM);
+        for x in v {
+            assert!((0.0..=1.0).contains(&x), "{x} out of range");
+        }
+        assert_eq!(v[0], 1.0); // clamped
+        assert_eq!(v[9], 1.0); // topology 3 of 4
+    }
+
+    #[test]
+    fn distinct_observations_yield_distinct_states() {
+        let a = Observation {
+            data_packets: 1000.0,
+            ..Default::default()
+        };
+        let mut b = a;
+        b.data_packets = 2000.0;
+        let s = StateScales::default();
+        assert_ne!(a.normalize(&s), b.normalize(&s));
+    }
+
+    #[test]
+    fn reward_prefers_low_power_and_latency() {
+        // Better (lower) power and latency => larger (less negative) reward.
+        assert!(reward(1.0, 20.0, 10.0) < reward(1.0, 15.0, 5.0));
+        assert!(reward(2.0, 20.0, 10.0) < reward(1.0, 20.0, 10.0));
+        assert_eq!(reward(0.0, 100.0, 100.0), 0.0);
+    }
+}

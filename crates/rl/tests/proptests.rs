@@ -1,0 +1,135 @@
+//! Property tests for the RL stack: numerical stability of the MLP,
+//! consistency of Q-learning updates, and agent robustness to arbitrary
+//! (normalized) inputs.
+
+use adaptnoc_rl::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn state_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, dim..=dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The MLP never produces NaN/inf on in-range inputs.
+    #[test]
+    fn mlp_outputs_are_finite(state in state_strategy(12), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::paper_dqn(&mut rng);
+        let out = net.forward(&state);
+        prop_assert_eq!(out.len(), 4);
+        for v in out {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    /// Backprop gradients are finite and the masked loss is non-negative.
+    #[test]
+    fn backprop_is_stable(
+        state in state_strategy(12),
+        target in -10.0f64..10.0,
+        action in 0usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = Mlp::paper_dqn(&mut rng);
+        let mut tv = vec![0.0; 4];
+        let mut mask = vec![0.0; 4];
+        tv[action] = target;
+        mask[action] = 1.0;
+        let (_grads, loss) = net.backprop(&state, &tv, &mask);
+        prop_assert!(loss.is_finite());
+        prop_assert!(loss >= 0.0);
+    }
+
+    /// A gradient step with small lr reduces the loss on that sample.
+    #[test]
+    fn gradient_step_descends(
+        state in state_strategy(12),
+        target in -5.0f64..5.0,
+        action in 0usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Mlp::paper_dqn(&mut rng);
+        let mut tv = vec![0.0; 4];
+        let mut mask = vec![0.0; 4];
+        tv[action] = target;
+        mask[action] = 1.0;
+        let (grads, before) = net.backprop(&state, &tv, &mask);
+        prop_assume!(before > 1e-9);
+        net.apply(&grads, 0.01);
+        let (_, after) = net.backprop(&state, &tv, &mask);
+        prop_assert!(after <= before + 1e-12, "loss rose: {before} -> {after}");
+    }
+
+    /// The DQN agent selects valid actions and survives arbitrary rewards.
+    #[test]
+    fn dqn_agent_is_robust(
+        states in prop::collection::vec(state_strategy(12), 4..40),
+        rewards in prop::collection::vec(-100.0f64..100.0, 4..40),
+    ) {
+        let mut agent = DqnAgent::new(DqnConfig { minibatch: 4, ..Default::default() }, 5);
+        let n = states.len().min(rewards.len());
+        for i in 0..n {
+            let a = agent.select_action(&states[i], true);
+            prop_assert!(a < 4);
+            agent.observe(Transition {
+                state: states[i].clone(),
+                action: a,
+                reward: rewards[i],
+                next_state: states[(i + 1) % n].clone(),
+            });
+        }
+        for _ in 0..10 {
+            if let Some(loss) = agent.train_step() {
+                prop_assert!(loss.is_finite());
+            }
+        }
+        let q = agent.q_values(&states[0]);
+        prop_assert!(q.iter().all(|v| v.is_finite()));
+    }
+
+    /// Q-table updates converge toward the immediate reward of a
+    /// deterministic terminal-ish bandit.
+    #[test]
+    fn qtable_converges_to_reward(r in -10.0f64..10.0) {
+        let mut a = QTableAgent::new(2, 2, 1);
+        a.gamma = 0.0;
+        let s = [0.2];
+        for _ in 0..500 {
+            a.update(&s, 0, r, &s);
+        }
+        let q = a.q_row(&a.discretize(&s));
+        prop_assert!((q[0] - r).abs() < 0.05, "Q {} vs r {r}", q[0]);
+    }
+
+    /// Observation normalization is always inside [0, 1]^12.
+    #[test]
+    fn normalization_bounds(
+        a in 0.0f64..1e9, b in 0.0f64..1e9, c in 0.0f64..1e9,
+        d in 0.0f64..1e9, e in 0.0f64..1e9, f in 0.0f64..1e9,
+        u in 0.0f64..10.0, v in 0.0f64..10.0, w in 0.0f64..10.0,
+        t in 0.0f64..4.0, cols in 0.0f64..16.0, rows in 0.0f64..16.0,
+    ) {
+        let obs = Observation {
+            l1d_misses: a,
+            l1i_misses: b,
+            l2_misses: c,
+            retired_instructions: d,
+            coherence_packets: e,
+            data_packets: f,
+            buffer_utilization: u,
+            injection_utilization: v,
+            router_throughput: w,
+            current_topology: t,
+            columns: cols,
+            rows,
+        };
+        let s = obs.normalize(&StateScales::default());
+        for x in s {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+}

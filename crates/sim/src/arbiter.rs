@@ -1,0 +1,124 @@
+//! Round-robin arbiters used by the VA and SA router stages.
+
+/// A round-robin arbiter over a fixed-size candidate set.
+///
+/// The arbiter remembers the last granted index and gives lowest priority to
+/// it on the next arbitration, guaranteeing strong fairness: any continuously
+/// requesting candidate is granted within `n` arbitrations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundRobin {
+    last: usize,
+}
+
+impl RoundRobin {
+    /// Creates an arbiter whose first grant favours index 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+
+    /// Grants one of the requesting candidates, or `None` if no candidate
+    /// requests. `requests[i]` is true if candidate `i` requests.
+    pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
+        let n = requests.len();
+        if n == 0 {
+            return None;
+        }
+        for off in 1..=n {
+            let i = (self.last + off) % n;
+            if requests[i] {
+                self.last = i;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Grants among an explicit candidate list (indices need not be dense).
+    /// Candidates must be sorted ascending for fairness to hold.
+    pub fn grant_sparse(&mut self, candidates: &[usize]) -> Option<usize> {
+        self.grant_sparse_filtered(candidates, |_| true)
+    }
+
+    /// Like [`grant_sparse`](Self::grant_sparse) but only considers
+    /// candidates accepted by `eligible` (allocation-free filtering).
+    pub fn grant_sparse_filtered(
+        &mut self,
+        candidates: &[usize],
+        eligible: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        // Pick the first eligible candidate strictly after `last`, wrapping
+        // around.
+        let mut first_eligible = None;
+        for &c in candidates {
+            if !eligible(c) {
+                continue;
+            }
+            if c > self.last {
+                self.last = c;
+                return Some(c);
+            }
+            if first_eligible.is_none() {
+                first_eligible = Some(c);
+            }
+        }
+        if let Some(c) = first_eligible {
+            self.last = c;
+            return Some(c);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_none_when_no_requests() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.grant(&[false, false, false]), None);
+        assert_eq!(rr.grant(&[]), None);
+        assert_eq!(rr.grant_sparse(&[]), None);
+    }
+
+    #[test]
+    fn rotates_among_continuous_requesters() {
+        let mut rr = RoundRobin::new();
+        let reqs = [true, true, true];
+        let seq: Vec<usize> = (0..6).map(|_| rr.grant(&reqs).unwrap()).collect();
+        assert_eq!(seq, vec![1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn single_requester_always_wins() {
+        let mut rr = RoundRobin::new();
+        for _ in 0..5 {
+            assert_eq!(rr.grant(&[false, true, false]), Some(1));
+        }
+    }
+
+    #[test]
+    fn fairness_over_window() {
+        let mut rr = RoundRobin::new();
+        let mut counts = [0usize; 4];
+        for _ in 0..400 {
+            let g = rr.grant(&[true, true, true, true]).unwrap();
+            counts[g] += 1;
+        }
+        for c in counts {
+            assert_eq!(c, 100);
+        }
+    }
+
+    #[test]
+    fn sparse_grant_rotates() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.grant_sparse(&[2, 5, 7]), Some(2));
+        assert_eq!(rr.grant_sparse(&[2, 5, 7]), Some(5));
+        assert_eq!(rr.grant_sparse(&[2, 5, 7]), Some(7));
+        assert_eq!(rr.grant_sparse(&[2, 5, 7]), Some(2));
+        // A new lower candidate is reachable after wrap.
+        assert_eq!(rr.grant_sparse(&[0, 5]), Some(5));
+        assert_eq!(rr.grant_sparse(&[0, 5]), Some(0));
+    }
+}

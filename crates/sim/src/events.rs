@@ -1,0 +1,163 @@
+//! Activity event counters consumed by the power model.
+//!
+//! The paper computes dynamic power by "profiling the number of buffer
+//! writes, crossbar, VA/SA activities, and RL calculations" (Sec. IV-A,
+//! DSENT methodology). The simulator counts exactly those events; the
+//! `adaptnoc-power` crate converts counts to energy.
+
+/// Dynamic-activity event counts accumulated by the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EventCounts {
+    /// Flits written into input VC buffers.
+    pub buffer_writes: u64,
+    /// Flits read out of input VC buffers.
+    pub buffer_reads: u64,
+    /// Flits traversing a crossbar (switch traversal).
+    pub crossbar_traversals: u64,
+    /// Successful output-VC allocations (head flits).
+    pub va_grants: u64,
+    /// Successful switch allocations.
+    pub sa_grants: u64,
+    /// Flit-hops over router-to-router channels.
+    pub link_flit_hops: u64,
+    /// Flit-millimeters over router-to-router channels (for length-dependent
+    /// link energy).
+    pub link_flit_mm: f64,
+    /// Flit traversals of adaptable-link or concentration muxes.
+    pub mux_traversals: u64,
+    /// Flits injected by network interfaces.
+    pub ni_injections: u64,
+    /// Flits that used the injection-VC bypass.
+    pub bypass_injections: u64,
+    /// Flits ejected to network interfaces.
+    pub ni_ejections: u64,
+    /// Credits sent upstream.
+    pub credits_sent: u64,
+    /// RL (DQN) inference invocations (counted by the controller layer).
+    pub rl_inferences: u64,
+}
+
+impl EventCounts {
+    /// Adds `other` into `self`.
+    pub fn accumulate(&mut self, other: &EventCounts) {
+        self.buffer_writes += other.buffer_writes;
+        self.buffer_reads += other.buffer_reads;
+        self.crossbar_traversals += other.crossbar_traversals;
+        self.va_grants += other.va_grants;
+        self.sa_grants += other.sa_grants;
+        self.link_flit_hops += other.link_flit_hops;
+        self.link_flit_mm += other.link_flit_mm;
+        self.mux_traversals += other.mux_traversals;
+        self.ni_injections += other.ni_injections;
+        self.bypass_injections += other.bypass_injections;
+        self.ni_ejections += other.ni_ejections;
+        self.credits_sent += other.credits_sent;
+        self.rl_inferences += other.rl_inferences;
+    }
+
+    /// Takes the current counts, resetting `self` to zero.
+    pub fn take(&mut self) -> EventCounts {
+        std::mem::take(self)
+    }
+}
+
+/// Static-power accounting: resource-on cycle counts.
+///
+/// Each simulated cycle, the network adds the currently-active resource
+/// profile into these accumulators. Power gating (Sec. II-A1) shows up as a
+/// smaller profile and hence fewer on-cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StaticCycles {
+    /// Sum over cycles of the number of powered-on routers.
+    pub router_on_cycles: u64,
+    /// Sum over cycles of the number of power-gated (sleeping or inactive)
+    /// routers.
+    pub router_off_cycles: u64,
+    /// Sum over cycles of the number of powered-on router ports
+    /// (Adapt-NoC gates unused ports of peripheral routers).
+    pub port_on_cycles: u64,
+    /// Sum over cycles of powered-on mesh/express-link millimeters.
+    pub mesh_link_mm_cycles: f64,
+    /// Sum over cycles of active adaptable-link millimeters (the paper
+    /// charges 11.5 mW per full-length adaptable link; the power model
+    /// normalizes these mm to link-equivalents).
+    pub adapt_link_mm_cycles: f64,
+    /// Sum over cycles of active concentration-link millimeters.
+    pub conc_link_mm_cycles: f64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+}
+
+impl StaticCycles {
+    /// Adds `other` into `self`.
+    pub fn accumulate(&mut self, other: &StaticCycles) {
+        self.router_on_cycles += other.router_on_cycles;
+        self.router_off_cycles += other.router_off_cycles;
+        self.port_on_cycles += other.port_on_cycles;
+        self.mesh_link_mm_cycles += other.mesh_link_mm_cycles;
+        self.adapt_link_mm_cycles += other.adapt_link_mm_cycles;
+        self.conc_link_mm_cycles += other.conc_link_mm_cycles;
+        self.cycles += other.cycles;
+    }
+
+    /// Takes the current counts, resetting `self` to zero.
+    pub fn take(&mut self) -> StaticCycles {
+        std::mem::take(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = EventCounts {
+            buffer_writes: 1,
+            link_flit_mm: 2.5,
+            ..Default::default()
+        };
+        let b = EventCounts {
+            buffer_writes: 2,
+            link_flit_mm: 0.5,
+            sa_grants: 7,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.buffer_writes, 3);
+        assert_eq!(a.sa_grants, 7);
+        assert!((a.link_flit_mm - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut a = EventCounts {
+            crossbar_traversals: 5,
+            ..Default::default()
+        };
+        let t = a.take();
+        assert_eq!(t.crossbar_traversals, 5);
+        assert_eq!(a, EventCounts::default());
+    }
+
+    #[test]
+    fn static_cycles_accumulate_and_take() {
+        let mut s = StaticCycles {
+            router_on_cycles: 10,
+            cycles: 1,
+            ..Default::default()
+        };
+        s.accumulate(&StaticCycles {
+            router_on_cycles: 5,
+            router_off_cycles: 3,
+            cycles: 1,
+            ..Default::default()
+        });
+        assert_eq!(s.router_on_cycles, 15);
+        assert_eq!(s.router_off_cycles, 3);
+        assert_eq!(s.cycles, 2);
+        let t = s.take();
+        assert_eq!(t.cycles, 2);
+        assert_eq!(s, StaticCycles::default());
+    }
+}

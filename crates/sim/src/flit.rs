@@ -1,0 +1,283 @@
+//! Packets and flits.
+//!
+//! Endpoints inject [`Packet`]s; the network interface serializes them into
+//! [`Flit`]s which travel through routers and are reassembled at the
+//! destination NI. Every flit carries a copy of the (small) packet metadata
+//! so that routers can make routing decisions without a side table.
+
+use crate::ids::{NodeId, Vnet};
+
+/// The semantic class of a packet; used for traffic accounting and for the
+/// RL state's "number of coherence packets / data packets" attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PacketKind {
+    /// A memory read/write request towards an MC or a cache slice (1 flit).
+    Request,
+    /// A data reply carrying a cache line (multi-flit).
+    Reply,
+    /// A coherence control message between cores (1 flit).
+    Coherence,
+}
+
+impl PacketKind {
+    /// Whether this packet carries data (multi-flit) as opposed to control.
+    pub fn is_data(self) -> bool {
+        matches!(self, PacketKind::Reply)
+    }
+}
+
+/// A packet as injected by an endpoint node.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Packet {
+    /// Globally unique packet id (assigned by the caller; the workload layer
+    /// uses a monotonically increasing counter).
+    pub id: u64,
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Virtual network the packet travels on.
+    pub vnet: Vnet,
+    /// Packet length in flits (>= 1).
+    pub len: u8,
+    /// Semantic class for accounting.
+    pub kind: PacketKind,
+    /// Opaque correlation tag; the workload layer uses it to match replies
+    /// to outstanding requests.
+    pub tag: u64,
+    /// Cycle at which the packet was handed to the NI (set by the network on
+    /// injection via [`Network::inject`](crate::network::Network::inject)).
+    pub created_at: u64,
+}
+
+impl Packet {
+    /// Creates a request packet (1 flit, request vnet).
+    pub fn request(id: u64, src: NodeId, dst: NodeId, tag: u64) -> Self {
+        Packet {
+            id,
+            src,
+            dst,
+            vnet: Vnet::REQUEST,
+            len: crate::config::CONTROL_PACKET_FLITS,
+            kind: PacketKind::Request,
+            tag,
+            created_at: 0,
+        }
+    }
+
+    /// Creates a data reply packet (multi-flit, reply vnet).
+    pub fn reply(id: u64, src: NodeId, dst: NodeId, tag: u64) -> Self {
+        Packet {
+            id,
+            src,
+            dst,
+            vnet: Vnet::REPLY,
+            len: crate::config::DATA_PACKET_FLITS,
+            kind: PacketKind::Reply,
+            tag,
+            created_at: 0,
+        }
+    }
+
+    /// Creates a coherence control packet (1 flit, request vnet).
+    pub fn coherence(id: u64, src: NodeId, dst: NodeId, tag: u64) -> Self {
+        Packet {
+            id,
+            src,
+            dst,
+            vnet: Vnet::REQUEST,
+            len: crate::config::CONTROL_PACKET_FLITS,
+            kind: PacketKind::Coherence,
+            tag,
+            created_at: 0,
+        }
+    }
+}
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FlitPos {
+    /// First flit of a multi-flit packet; carries routing information.
+    Head,
+    /// Interior flit.
+    Body,
+    /// Last flit; releases VC allocations as it drains.
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    Single,
+}
+
+impl FlitPos {
+    /// Whether this flit performs route computation / VC allocation.
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitPos::Head | FlitPos::Single)
+    }
+
+    /// Whether this flit releases the VC when it drains.
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitPos::Tail | FlitPos::Single)
+    }
+
+    /// The flit position for flit `seq` of a packet of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq >= len` or `len == 0`.
+    pub fn of(seq: u8, len: u8) -> FlitPos {
+        assert!(len >= 1, "packet length must be >= 1");
+        assert!(seq < len, "flit sequence out of range");
+        match (seq, len) {
+            (0, 1) => FlitPos::Single,
+            (0, _) => FlitPos::Head,
+            (s, l) if s + 1 == l => FlitPos::Tail,
+            _ => FlitPos::Body,
+        }
+    }
+}
+
+/// A flow-control unit traversing the network.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Flit {
+    /// Id of the packet this flit belongs to.
+    pub packet: u64,
+    /// Position within the packet.
+    pub pos: FlitPos,
+    /// Sequence number within the packet (0-based).
+    pub seq: u8,
+    /// Packet length in flits.
+    pub pkt_len: u8,
+    /// Source endpoint of the packet.
+    pub src: NodeId,
+    /// Destination endpoint of the packet.
+    pub dst: NodeId,
+    /// Virtual network.
+    pub vnet: Vnet,
+    /// Semantic class of the packet.
+    pub kind: PacketKind,
+    /// Correlation tag copied from the packet.
+    pub tag: u64,
+    /// Dateline VC class: 0 before crossing a dateline channel, 1 after
+    /// (Sec. II-C3, torus deadlock avoidance).
+    pub vc_class: u8,
+    /// Dimension of the last channel traversed (0 = X, 1 = Y,
+    /// [`crate::spec::DIM_NONE`] before the first hop); used for the
+    /// per-dimension dateline class reset.
+    pub last_dim: u8,
+    /// The downstream VC (global index) assigned by the upstream VA stage;
+    /// meaningful while the flit is on a channel.
+    pub assigned_vc: u8,
+    /// Earliest cycle at which this flit may win switch allocation at the
+    /// router currently buffering it (models the `T_r` pipeline).
+    pub ready_at: u64,
+    /// Number of router-to-router channel traversals so far.
+    pub hops: u16,
+    /// Cycle the packet was created (copied from the packet).
+    pub created_at: u64,
+    /// Cycle the head flit entered the source router's input buffer.
+    pub injected_at: u64,
+}
+
+impl Flit {
+    /// Builds the `seq`-th flit of `packet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq >= packet.len`.
+    pub fn of_packet(packet: &Packet, seq: u8) -> Flit {
+        Flit {
+            packet: packet.id,
+            pos: FlitPos::of(seq, packet.len),
+            seq,
+            pkt_len: packet.len,
+            src: packet.src,
+            dst: packet.dst,
+            vnet: packet.vnet,
+            kind: packet.kind,
+            tag: packet.tag,
+            vc_class: 0,
+            last_dim: crate::spec::DIM_NONE,
+            assigned_vc: 0,
+            ready_at: 0,
+            hops: 0,
+            created_at: packet.created_at,
+            injected_at: 0,
+        }
+    }
+
+    /// Reconstructs the packet metadata carried by this flit.
+    pub fn to_packet(&self) -> Packet {
+        Packet {
+            id: self.packet,
+            src: self.src,
+            dst: self.dst,
+            vnet: self.vnet,
+            len: self.pkt_len,
+            kind: self.kind,
+            tag: self.tag,
+            created_at: self.created_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_positions_for_multiflit_packet() {
+        assert_eq!(FlitPos::of(0, 4), FlitPos::Head);
+        assert_eq!(FlitPos::of(1, 4), FlitPos::Body);
+        assert_eq!(FlitPos::of(2, 4), FlitPos::Body);
+        assert_eq!(FlitPos::of(3, 4), FlitPos::Tail);
+        assert_eq!(FlitPos::of(0, 1), FlitPos::Single);
+    }
+
+    #[test]
+    #[should_panic(expected = "flit sequence out of range")]
+    fn flit_position_out_of_range_panics() {
+        let _ = FlitPos::of(4, 4);
+    }
+
+    #[test]
+    fn head_and_tail_classification() {
+        assert!(FlitPos::Head.is_head());
+        assert!(FlitPos::Single.is_head());
+        assert!(!FlitPos::Body.is_head());
+        assert!(!FlitPos::Tail.is_head());
+        assert!(FlitPos::Tail.is_tail());
+        assert!(FlitPos::Single.is_tail());
+        assert!(!FlitPos::Head.is_tail());
+    }
+
+    #[test]
+    fn packet_constructors_use_expected_vnets() {
+        let rq = Packet::request(1, NodeId(0), NodeId(5), 42);
+        assert_eq!(rq.vnet, Vnet::REQUEST);
+        assert_eq!(rq.len, 1);
+        let rp = Packet::reply(2, NodeId(5), NodeId(0), 42);
+        assert_eq!(rp.vnet, Vnet::REPLY);
+        assert!(rp.len > 1);
+        assert!(rp.kind.is_data());
+        let co = Packet::coherence(3, NodeId(1), NodeId(2), 0);
+        assert_eq!(co.vnet, Vnet::REQUEST);
+        assert!(!co.kind.is_data());
+    }
+
+    #[test]
+    fn flit_roundtrips_packet_metadata() {
+        let mut p = Packet::reply(7, NodeId(3), NodeId(9), 11);
+        p.created_at = 123;
+        let f = Flit::of_packet(&p, p.len - 1);
+        assert_eq!(f.pos, FlitPos::Tail);
+        assert_eq!(f.to_packet(), p);
+    }
+
+    #[test]
+    fn flits_of_a_packet_cover_all_positions_once() {
+        let p = Packet::reply(1, NodeId(0), NodeId(1), 0);
+        let flits: Vec<Flit> = (0..p.len).map(|s| Flit::of_packet(&p, s)).collect();
+        assert_eq!(flits.len(), p.len as usize);
+        assert_eq!(flits.iter().filter(|f| f.pos.is_head()).count(), 1);
+        assert_eq!(flits.iter().filter(|f| f.pos.is_tail()).count(), 1);
+    }
+}

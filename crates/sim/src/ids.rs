@@ -1,0 +1,218 @@
+//! Strongly-typed identifiers for simulator entities.
+//!
+//! Routers, endpoint nodes (cores / memory controllers), router ports,
+//! channels, and virtual networks all get newtype ids so they can never be
+//! confused with each other or with raw indices.
+
+use std::fmt;
+
+/// Identifier of a router in the network (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct RouterId(pub u16);
+
+/// Identifier of an endpoint node (core, memory controller, cache slice).
+///
+/// Nodes attach to routers through network interfaces; a node id is what
+/// packets carry as source and destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u16);
+
+/// Index of a port on a particular router.
+///
+/// By convention ports `0..4` of a 5-port mesh router are the
+/// `+x`, `-x`, `+y`, `-y` directions (see [`Direction`]) and port 4 is the
+/// local injection/ejection port, but the simulator itself places no meaning
+/// on port indices: connectivity is entirely described by the
+/// [`NetworkSpec`](crate::spec::NetworkSpec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct PortId(pub u8);
+
+/// Identifier of a channel (unidirectional link) in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ChannelId(pub u32);
+
+/// A virtual network. The evaluation uses two: requests and replies, which
+/// breaks protocol (request/reply) deadlock as described in Sec. II-C3 of the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Vnet(pub u8);
+
+impl Vnet {
+    /// The request virtual network (coherence requests, read/write requests).
+    pub const REQUEST: Vnet = Vnet(0);
+    /// The reply virtual network (data replies from MCs and caches).
+    pub const REPLY: Vnet = Vnet(1);
+}
+
+/// Mesh port direction convention used by the topology builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Direction {
+    /// Towards increasing x (paper's `+x`).
+    East,
+    /// Towards decreasing x (paper's `-x`).
+    West,
+    /// Towards increasing y (paper's `+y`).
+    North,
+    /// Towards decreasing y (paper's `-y`).
+    South,
+}
+
+impl Direction {
+    /// All four directions in port-index order.
+    pub const ALL: [Direction; 4] = [
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+    ];
+
+    /// The conventional port index for this direction on a 5-port router.
+    pub fn port(self) -> PortId {
+        PortId(match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+        })
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+        }
+    }
+
+    /// Whether this direction moves along the x dimension.
+    pub fn is_x(self) -> bool {
+        matches!(self, Direction::East | Direction::West)
+    }
+}
+
+/// The conventional local (injection/ejection) port on a 5-port router.
+pub const LOCAL_PORT: PortId = PortId(4);
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+impl fmt::Display for Vnet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Vnet::REQUEST => write!(f, "vnet-req"),
+            Vnet::REPLY => write!(f, "vnet-rep"),
+            Vnet(n) => write!(f, "vnet{n}"),
+        }
+    }
+}
+
+impl From<u16> for RouterId {
+    fn from(v: u16) -> Self {
+        RouterId(v)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+impl RouterId {
+    /// The router id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortId {
+    /// The port id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ChannelId {
+    /// The channel id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Vnet {
+    /// The vnet id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_opposites_are_involutive() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn direction_ports_are_distinct_and_below_local() {
+        let mut seen = std::collections::HashSet::new();
+        for d in Direction::ALL {
+            assert!(d.port().0 < LOCAL_PORT.0);
+            assert!(seen.insert(d.port()));
+        }
+    }
+
+    #[test]
+    fn x_dimension_classification() {
+        assert!(Direction::East.is_x());
+        assert!(Direction::West.is_x());
+        assert!(!Direction::North.is_x());
+        assert!(!Direction::South.is_x());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(RouterId(3).to_string(), "R3");
+        assert_eq!(NodeId(7).to_string(), "N7");
+        assert_eq!(PortId(2).to_string(), "p2");
+        assert_eq!(ChannelId(9).to_string(), "ch9");
+        assert_eq!(Vnet::REQUEST.to_string(), "vnet-req");
+        assert_eq!(Vnet::REPLY.to_string(), "vnet-rep");
+        assert_eq!(Vnet(5).to_string(), "vnet5");
+    }
+}

@@ -1,0 +1,1874 @@
+//! The cycle-level network simulation engine.
+//!
+//! [`Network`] executes a [`NetworkSpec`]: input-buffered virtual-channel
+//! routers with route computation, virtual-cut-through output-VC allocation,
+//! round-robin switch allocation, credit-based flow control, latency-accurate
+//! channels, and network interfaces with optional injection bypass.
+//!
+//! The engine also supports the runtime controls Adapt-NoC needs: atomic
+//! routing-table swaps, structural reconfiguration by spec diffing (with
+//! quiescence checks so no flit is ever dropped), per-router configuration
+//! stalls (`T_s`), router power gating with wake-up latency, and per-router
+//! VC usage masks (for the OSCAR baseline's dynamic VC allocation).
+
+use crate::arbiter::RoundRobin;
+use crate::config::SimConfig;
+use crate::events::{EventCounts, StaticCycles};
+use crate::flit::{Flit, Packet};
+use crate::ids::{ChannelId, NodeId, PortId, RouterId, Vnet};
+use crate::routing::RoutingTables;
+use crate::spec::{ChannelKey, ChannelKind, NetworkSpec, PortRef, SpecError};
+use crate::stats::{Delivered, EpochReport, NetStats};
+use std::collections::{HashMap, VecDeque};
+
+/// Errors from building or reconfiguring a [`Network`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// The spec failed validation.
+    Spec(SpecError),
+    /// The simulator configuration failed validation.
+    Config(String),
+    /// Spec and config disagree (e.g. table vnet count).
+    Mismatch(String),
+    /// Reconfiguration would change an immutable shape property.
+    Shape(String),
+    /// A channel slated for removal still carries traffic.
+    ChannelBusy(ChannelKey),
+    /// A router slated for power-off or port change still buffers flits.
+    RouterBusy(RouterId),
+    /// An NI slated for reattachment is mid-packet.
+    NiBusy(NodeId),
+    /// A packet was injected for a node with no NI.
+    NoSuchNode(NodeId),
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::Spec(e) => write!(f, "invalid network spec: {e}"),
+            NetworkError::Config(m) => write!(f, "invalid sim config: {m}"),
+            NetworkError::Mismatch(m) => write!(f, "spec/config mismatch: {m}"),
+            NetworkError::Shape(m) => write!(f, "reconfiguration shape change: {m}"),
+            NetworkError::ChannelBusy(k) => write!(
+                f,
+                "channel {}:{} -> {}:{} not quiescent",
+                k.src.router, k.src.port, k.dst.router, k.dst.port
+            ),
+            NetworkError::RouterBusy(r) => write!(f, "router {r} not quiescent"),
+            NetworkError::NiBusy(n) => write!(f, "network interface of {n} mid-packet"),
+            NetworkError::NoSuchNode(n) => write!(f, "no network interface for node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+impl From<SpecError> for NetworkError {
+    fn from(e: SpecError) -> Self {
+        NetworkError::Spec(e)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct VcState {
+    buf: VecDeque<Flit>,
+    /// Output port chosen for the packet currently at the head of the VC.
+    route: Option<PortId>,
+    /// Allocated output VC (global index) at `route`.
+    out_vc: Option<u8>,
+    /// Set while an NI is streaming a packet into this VC.
+    ni_lock: bool,
+}
+
+#[derive(Debug, Clone)]
+struct InPort {
+    vcs: Vec<VcState>,
+    feeder: Option<ChannelId>,
+    /// NIs (indices into `Network::nis`) injecting through this port.
+    nis: Vec<usize>,
+    inj_rr: RoundRobin,
+    /// Bitmask of VCs with buffered flits (fast scan skip).
+    occ: u32,
+}
+
+#[derive(Debug, Clone)]
+struct OutPort {
+    channel: Option<ChannelId>,
+    /// Whether NIs eject through this port.
+    eject: bool,
+    /// Credits per downstream VC (global index); only meaningful for
+    /// channel ports.
+    credits: Vec<u8>,
+    /// Which local input VC holds each output VC, `(in_port, in_vc)`.
+    alloc: Vec<Option<(u8, u8)>>,
+    va_rr: RoundRobin,
+    sa_rr: RoundRobin,
+}
+
+#[derive(Debug, Clone)]
+struct RouterRt {
+    active: bool,
+    sleeping: bool,
+    wake_at: u64,
+    /// Router stalls all stages until this cycle (the `T_s` setup window).
+    config_until: u64,
+    vc_split: Option<u8>,
+    in_ports: Vec<InPort>,
+    out_ports: Vec<OutPort>,
+    /// Buffered flit count (fast skip).
+    flits: u32,
+    /// Ports that are wired (channel or NI); for static power.
+    ports_on: u16,
+    /// Per-vnet usable-VC bitmask (OSCAR dynamic VC allocation).
+    vc_mask: Vec<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct ChannelRt {
+    spec: crate::spec::ChannelSpec,
+    q: VecDeque<(u64, Flit)>,
+}
+
+#[derive(Debug, Clone)]
+struct NiRt {
+    spec: crate::spec::NiSpec,
+    source_q: VecDeque<Packet>,
+    /// Remaining flits of the packet currently streaming, with target VC.
+    cur: Option<(u8, VecDeque<Flit>)>,
+    /// While paused the NI queues packets but injects nothing (used by the
+    /// drain phase of cmesh reconfigurations).
+    paused: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StaticProfile {
+    mesh_link_mm: f64,
+    adapt_link_mm: f64,
+    conc_link_mm: f64,
+}
+
+/// The cycle-level network simulator.
+///
+/// # Examples
+///
+/// ```
+/// use adaptnoc_sim::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two routers connected by a pair of channels, one node on each.
+/// let mut spec = NetworkSpec::new(2, 2, 2);
+/// let a = PortRef::new(RouterId(0), PortId(0));
+/// let b = PortRef::new(RouterId(1), PortId(1));
+/// spec.add_channel(mesh_channel(a, b));
+/// spec.add_channel(mesh_channel(b, a));
+/// spec.add_ni(NiSpec::local(NodeId(0), RouterId(0), LOCAL_PORT));
+/// spec.add_ni(NiSpec::local(NodeId(1), RouterId(1), LOCAL_PORT));
+/// for v in 0..2 {
+///     spec.tables.set(Vnet(v), RouterId(0), NodeId(0), LOCAL_PORT);
+///     spec.tables.set(Vnet(v), RouterId(0), NodeId(1), PortId(0));
+///     spec.tables.set(Vnet(v), RouterId(1), NodeId(1), LOCAL_PORT);
+///     spec.tables.set(Vnet(v), RouterId(1), NodeId(0), PortId(1));
+/// }
+/// let mut net = Network::new(spec, SimConfig::baseline())?;
+/// net.inject(Packet::request(1, NodeId(0), NodeId(1), 0))?;
+/// for _ in 0..50 {
+///     net.step();
+/// }
+/// let delivered = net.drain_delivered();
+/// assert_eq!(delivered.len(), 1);
+/// assert_eq!(delivered[0].hops, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: SimConfig,
+    spec: NetworkSpec,
+    now: u64,
+    routers: Vec<RouterRt>,
+    channels: Vec<ChannelRt>,
+    nis: Vec<NiRt>,
+    node_ni: Vec<Option<usize>>,
+    delivered: Vec<Delivered>,
+    stats: NetStats,
+    totals: NetStats,
+    events: EventCounts,
+    events_total: EventCounts,
+    statics: StaticCycles,
+    statics_total: StaticCycles,
+    profile: StaticProfile,
+    occupied_flits: u64,
+    queued_packets: u64,
+    buffer_capacity: u64,
+    pending_credits: Vec<(ChannelId, u8)>,
+    unroutable: u64,
+    router_forwarded: Vec<u64>,
+    router_occupancy_sum: Vec<u64>,
+    channel_flits: Vec<u64>,
+    /// Reusable per-output-port candidate lists (avoids per-cycle allocs).
+    scratch: Vec<Vec<usize>>,
+    tracer: Option<crate::trace::TraceBuffer>,
+}
+
+impl Network {
+    /// Builds a network from a validated spec and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if the spec or configuration is invalid or
+    /// they disagree (vnet counts, VC-split out of range).
+    pub fn new(spec: NetworkSpec, cfg: SimConfig) -> Result<Self, NetworkError> {
+        cfg.validate().map_err(NetworkError::Config)?;
+        spec.validate()?;
+        if spec.tables.vnets() != cfg.vnets as usize {
+            return Err(NetworkError::Mismatch(format!(
+                "tables cover {} vnets, config has {}",
+                spec.tables.vnets(),
+                cfg.vnets
+            )));
+        }
+        for (i, r) in spec.routers.iter().enumerate() {
+            if let Some(k) = r.vc_split {
+                if k == 0 || k >= cfg.vcs_per_vnet {
+                    return Err(NetworkError::Mismatch(format!(
+                        "router {i} vc_split {k} out of range for {} VCs/vnet",
+                        cfg.vcs_per_vnet
+                    )));
+                }
+            }
+        }
+
+        let total_vcs = cfg.total_vcs();
+        let mut routers: Vec<RouterRt> = spec
+            .routers
+            .iter()
+            .map(|r| RouterRt {
+                active: r.active,
+                sleeping: false,
+                wake_at: 0,
+                config_until: 0,
+                vc_split: r.vc_split,
+                in_ports: (0..r.n_ports)
+                    .map(|_| InPort {
+                        vcs: vec![VcState::default(); total_vcs],
+                        feeder: None,
+                        nis: Vec::new(),
+                        inj_rr: RoundRobin::new(),
+                        occ: 0,
+                    })
+                    .collect(),
+                out_ports: (0..r.n_ports)
+                    .map(|_| OutPort {
+                        channel: None,
+                        eject: false,
+                        credits: vec![cfg.vc_depth; total_vcs],
+                        alloc: vec![None; total_vcs],
+                        va_rr: RoundRobin::new(),
+                        sa_rr: RoundRobin::new(),
+                    })
+                    .collect(),
+                flits: 0,
+                ports_on: 0,
+                vc_mask: vec![u8::MAX; cfg.vnets as usize],
+            })
+            .collect();
+
+        let channels: Vec<ChannelRt> = spec
+            .channels
+            .iter()
+            .map(|c| ChannelRt {
+                spec: *c,
+                q: VecDeque::new(),
+            })
+            .collect();
+        for (i, c) in spec.channels.iter().enumerate() {
+            routers[c.src.router.index()].out_ports[c.src.port.index()].channel =
+                Some(ChannelId(i as u32));
+            routers[c.dst.router.index()].in_ports[c.dst.port.index()].feeder =
+                Some(ChannelId(i as u32));
+        }
+
+        let mut node_ni = vec![None; spec.num_nodes];
+        let nis: Vec<NiRt> = spec
+            .nis
+            .iter()
+            .map(|n| NiRt {
+                spec: *n,
+                source_q: VecDeque::new(),
+                cur: None,
+                paused: false,
+            })
+            .collect();
+        for (i, n) in spec.nis.iter().enumerate() {
+            node_ni[n.node.index()] = Some(i);
+            routers[n.router.index()].in_ports[n.port.index()].nis.push(i);
+            routers[n.router.index()].out_ports[n.port.index()].eject = true;
+        }
+
+        let mut net = Network {
+            cfg,
+            spec,
+            now: 0,
+            routers,
+            channels,
+            nis,
+            node_ni,
+            delivered: Vec::new(),
+            stats: NetStats::default(),
+            totals: NetStats::default(),
+            events: EventCounts::default(),
+            events_total: EventCounts::default(),
+            statics: StaticCycles::default(),
+            statics_total: StaticCycles::default(),
+            profile: StaticProfile::default(),
+            occupied_flits: 0,
+            queued_packets: 0,
+            buffer_capacity: 0,
+            pending_credits: Vec::new(),
+            unroutable: 0,
+            router_forwarded: Vec::new(),
+            router_occupancy_sum: Vec::new(),
+            channel_flits: Vec::new(),
+            scratch: Vec::new(),
+            tracer: None,
+        };
+        net.router_forwarded = vec![0; net.routers.len()];
+        net.router_occupancy_sum = vec![0; net.routers.len()];
+        net.channel_flits = vec![0; net.channels.len()];
+        let max_ports = net
+            .routers
+            .iter()
+            .map(|r| r.in_ports.len())
+            .max()
+            .unwrap_or(0);
+        net.scratch = vec![Vec::new(); max_ports];
+        net.recompute_static_profile();
+        net.buffer_capacity = net.compute_buffer_capacity();
+        net.stats.buffer_capacity = net.buffer_capacity;
+        net.totals.buffer_capacity = net.buffer_capacity;
+        Ok(net)
+    }
+
+    fn compute_buffer_capacity(&self) -> u64 {
+        let per_vc = self.cfg.vc_depth as u64;
+        self.routers
+            .iter()
+            .filter(|r| r.active)
+            .map(|r| r.in_ports.len() as u64 * self.cfg.total_vcs() as u64 * per_vc)
+            .sum()
+    }
+
+    fn recompute_static_profile(&mut self) {
+        let mut p = StaticProfile::default();
+        for c in &self.spec.channels {
+            let mm = c.length_mm as f64;
+            match c.kind {
+                ChannelKind::Mesh | ChannelKind::Express => p.mesh_link_mm += mm,
+                ChannelKind::Adaptable | ChannelKind::AdaptableReversed => {
+                    p.adapt_link_mm += mm
+                }
+                ChannelKind::Concentration => p.conc_link_mm += mm,
+            }
+        }
+        for ni in &self.spec.nis {
+            if ni.concentration {
+                p.conc_link_mm += ni.link_mm as f64;
+            }
+        }
+        self.profile = p;
+        // Per-router wired-port counts.
+        for r in self.routers.iter_mut() {
+            let mut on = 0u16;
+            for (i, ip) in r.in_ports.iter().enumerate() {
+                let wired = ip.feeder.is_some()
+                    || !ip.nis.is_empty()
+                    || r.out_ports[i].channel.is_some()
+                    || r.out_ports[i].eject;
+                if wired {
+                    on += 1;
+                }
+            }
+            r.ports_on = if r.active { on } else { 0 };
+        }
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The current network spec.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Number of packets that hit a missing routing entry (should stay 0 in
+    /// a correct configuration; exposed for tests and assertions).
+    pub fn unroutable_events(&self) -> u64 {
+        self.unroutable
+    }
+
+    /// Hands a packet to the source node's network interface. The packet's
+    /// `created_at` is stamped with the current cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchNode`] if the source has no NI.
+    pub fn inject(&mut self, mut packet: Packet) -> Result<(), NetworkError> {
+        let ni = self.node_ni[packet.src.index().min(self.node_ni.len().saturating_sub(1))]
+            .filter(|_| packet.src.index() < self.node_ni.len())
+            .ok_or(NetworkError::NoSuchNode(packet.src))?;
+        packet.created_at = self.now;
+        self.nis[ni].source_q.push_back(packet);
+        self.queued_packets += 1;
+        self.stats.packets_offered += 1;
+        self.totals.packets_offered += 1;
+        Ok(())
+    }
+
+    /// Drains all packets delivered since the last call.
+    pub fn drain_delivered(&mut self) -> Vec<Delivered> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Total flits currently inside the network (buffers + channels), plus
+    /// packets waiting in NI source queues. Zero means fully drained.
+    pub fn in_flight(&self) -> u64 {
+        let channel_flits: u64 = self.channels.iter().map(|c| c.q.len() as u64).sum();
+        let ni_flits: u64 = self
+            .nis
+            .iter()
+            .map(|n| n.cur.as_ref().map_or(0, |(_, f)| f.len() as u64))
+            .sum();
+        self.occupied_flits + channel_flits + ni_flits + self.queued_packets
+    }
+
+    /// Replaces the routing tables atomically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table dimensions do not match the network.
+    pub fn install_tables(&mut self, tables: RoutingTables) {
+        assert_eq!(tables.vnets(), self.cfg.vnets as usize, "vnet count");
+        assert_eq!(tables.routers(), self.routers.len(), "router count");
+        assert_eq!(tables.nodes(), self.spec.num_nodes, "node count");
+        self.spec.tables = tables;
+    }
+
+    /// Stalls a router's RC/VA/SA stages for `cycles` cycles, modeling the
+    /// `T_s` connection-setup window during which the routing table is
+    /// unavailable (Sec. IV-A).
+    pub fn begin_router_config(&mut self, router: RouterId, cycles: u64) {
+        let r = &mut self.routers[router.index()];
+        r.config_until = r.config_until.max(self.now + cycles);
+    }
+
+    /// Sets the usable-VC bitmask for a router and vnet (OSCAR dynamic VC
+    /// allocation). Bit `i` allows VC `i` of the vnet. At least one VC must
+    /// remain usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask would disable all VCs of the vnet.
+    pub fn set_vc_mask(&mut self, router: RouterId, vnet: Vnet, mask: u8) {
+        let usable = (0..self.cfg.vcs_per_vnet).any(|v| mask & (1 << v) != 0);
+        assert!(usable, "vc mask must keep at least one VC usable");
+        self.routers[router.index()].vc_mask[vnet.index()] = mask;
+    }
+
+    /// Attempts to power-gate a router (FTBY_PG). Fails if the router still
+    /// buffers flits or holds output-VC allocations.
+    pub fn try_sleep_router(&mut self, router: RouterId) -> bool {
+        let r = &mut self.routers[router.index()];
+        if !r.active || r.sleeping {
+            return false;
+        }
+        if r.flits > 0 || r.out_ports.iter().any(|p| p.alloc.iter().any(|a| a.is_some())) {
+            return false;
+        }
+        r.sleeping = true;
+        r.wake_at = u64::MAX;
+        true
+    }
+
+    /// Whether the router is currently power-gated.
+    pub fn is_sleeping(&self, router: RouterId) -> bool {
+        self.routers[router.index()].sleeping
+    }
+
+    /// Begins waking a sleeping router; it resumes after the configured
+    /// wake-up latency.
+    pub fn wake_router(&mut self, router: RouterId) {
+        let wake_latency = self.cfg.wake_latency as u64;
+        let now = self.now;
+        let r = &mut self.routers[router.index()];
+        if r.sleeping {
+            r.wake_at = r.wake_at.min(now + wake_latency);
+        }
+    }
+
+    /// Number of flits buffered in a router.
+    pub fn router_flits(&self, router: RouterId) -> u32 {
+        self.routers[router.index()].flits
+    }
+
+    /// Pauses or resumes a node's NI. A paused NI still accepts and queues
+    /// packets (and finishes the packet it is mid-way through) but starts no
+    /// new injection — the drain mechanism for reconfigurations that move
+    /// NI attachments (Sec. II-C1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no NI.
+    pub fn set_ni_paused(&mut self, node: NodeId, paused: bool) {
+        let idx = self.node_ni[node.index()].expect("node has no NI");
+        self.nis[idx].paused = paused;
+    }
+
+    /// Whether a node's NI is idle (not mid-packet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no NI.
+    pub fn ni_idle(&self, node: NodeId) -> bool {
+        let idx = self.node_ni[node.index()].expect("node has no NI");
+        self.nis[idx].cur.is_none()
+    }
+
+    /// Packets waiting in a node's NI source queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no NI.
+    pub fn ni_queue_len(&self, node: NodeId) -> usize {
+        let idx = self.node_ni[node.index()].expect("node has no NI");
+        self.nis[idx].source_q.len()
+    }
+
+    /// Whether a channel (identified by endpoints) and its surrounding state
+    /// are quiescent: nothing in flight on the wire, no upstream packet
+    /// mid-stream across it, and the downstream input VCs it feeds are empty.
+    /// This is the precondition for removing the channel during
+    /// reconfiguration.
+    pub fn channel_quiescent(&self, key: ChannelKey) -> bool {
+        let Some(idx) = self
+            .channels
+            .iter()
+            .position(|c| c.spec.key() == key)
+        else {
+            return true; // not present: trivially quiescent
+        };
+        if !self.channels[idx].q.is_empty() {
+            return false;
+        }
+        let up = &self.routers[key.src.router.index()].out_ports[key.src.port.index()];
+        if up.alloc.iter().any(|a| a.is_some()) {
+            return false;
+        }
+        let down = &self.routers[key.dst.router.index()].in_ports[key.dst.port.index()];
+        down.vcs.iter().all(|vc| vc.buf.is_empty())
+    }
+
+    /// Takes the statistics, events, and static-power accumulators gathered
+    /// since the previous call (or construction), resetting the epoch window.
+    pub fn take_epoch(&mut self) -> EpochReport {
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.buffer_capacity = self.buffer_capacity;
+        self.stats.buffer_capacity = self.buffer_capacity;
+        let events = self.events.take();
+        let static_cycles = self.statics.take();
+        self.events_total.accumulate(&events);
+        self.statics_total.accumulate(&static_cycles);
+        for v in self.router_forwarded.iter_mut() {
+            *v = 0;
+        }
+        for v in self.router_occupancy_sum.iter_mut() {
+            *v = 0;
+        }
+        for v in self.channel_flits.iter_mut() {
+            *v = 0;
+        }
+        EpochReport {
+            stats,
+            events,
+            static_cycles,
+        }
+    }
+
+    /// Per-router flits forwarded in the current epoch window (reset by
+    /// [`take_epoch`](Self::take_epoch)); used to build per-subNoC RL state.
+    pub fn router_forwarded_epoch(&self) -> &[u64] {
+        &self.router_forwarded
+    }
+
+    /// Per-router sum over cycles of buffered flits in the current epoch
+    /// window (reset by [`take_epoch`](Self::take_epoch)).
+    pub fn router_occupancy_epoch(&self) -> &[u64] {
+        &self.router_occupancy_sum
+    }
+
+    /// Per-channel flit traversals in the current epoch window (reset by
+    /// [`take_epoch`](Self::take_epoch)); index-aligned with
+    /// [`spec().channels`](Self::spec). The link-heat view of congestion.
+    pub fn channel_flits_epoch(&self) -> &[u64] {
+        &self.channel_flits
+    }
+
+    /// Records one RL (DQN) inference in the event counters (the RL
+    /// controller hardware is part of the NoC power envelope).
+    pub fn count_rl_inference(&mut self) {
+        self.events.rl_inferences += 1;
+    }
+
+    /// Attaches a packet tracer (see [`crate::trace`]). Pass `None` to
+    /// disable tracing.
+    pub fn set_tracer(&mut self, tracer: Option<crate::trace::TraceBuffer>) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&crate::trace::TraceBuffer> {
+        self.tracer.as_ref()
+    }
+
+    /// Cumulative statistics since construction (not reset by
+    /// [`take_epoch`](Self::take_epoch)).
+    pub fn totals(&self) -> EpochReport {
+        let mut events = self.events_total;
+        events.accumulate(&self.events);
+        let mut static_cycles = self.statics_total;
+        static_cycles.accumulate(&self.statics);
+        EpochReport {
+            stats: self.totals.clone(),
+            events,
+            static_cycles,
+        }
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        let now = self.now;
+
+        // 0. Wake routers whose wake-up latency elapsed.
+        for r in self.routers.iter_mut() {
+            if r.sleeping && now >= r.wake_at {
+                r.sleeping = false;
+                r.wake_at = 0;
+            }
+        }
+
+        // 1. Apply credits scheduled last cycle.
+        let pending = std::mem::take(&mut self.pending_credits);
+        for (ch, vc) in pending {
+            let spec = self.channels[ch.index()].spec;
+            let up = &mut self.routers[spec.src.router.index()].out_ports[spec.src.port.index()];
+            let c = &mut up.credits[vc as usize];
+            debug_assert!(*c < self.cfg.vc_depth, "credit overflow");
+            *c = (*c + 1).min(self.cfg.vc_depth);
+        }
+
+        // 2. Channel deliveries.
+        for ci in 0..self.channels.len() {
+            while let Some(&(arrive, _)) = self.channels[ci].q.front() {
+                if arrive > now {
+                    break;
+                }
+                let (_, mut flit) = self.channels[ci].q.pop_front().unwrap();
+                let dst = self.channels[ci].spec.dst;
+                flit.ready_at = now + self.cfg.router_latency as u64;
+                let router = &mut self.routers[dst.router.index()];
+                if router.sleeping {
+                    // Arrival triggers wake-up (drowsy buffers still latch).
+                    router.wake_at = router.wake_at.min(now + self.cfg.wake_latency as u64);
+                }
+                let vc = flit.assigned_vc as usize;
+                let ip = &mut router.in_ports[dst.port.index()];
+                ip.vcs[vc].buf.push_back(flit);
+                ip.occ |= 1 << vc;
+                router.flits += 1;
+                self.occupied_flits += 1;
+                self.events.buffer_writes += 1;
+            }
+        }
+
+        // 3. NI injection (one flit per local port per cycle).
+        self.inject_stage(now);
+
+        // 4. Router stages: RC + VA + SA.
+        self.router_stage(now);
+
+        // 5. Per-cycle statistics and static-power accumulation.
+        self.stats.cycles += 1;
+        self.stats.buffer_occupancy_sum += self.occupied_flits;
+        self.stats.injection_queue_sum += self.queued_packets;
+        self.totals.cycles += 1;
+        self.totals.buffer_occupancy_sum += self.occupied_flits;
+        self.totals.injection_queue_sum += self.queued_packets;
+
+        for (i, r) in self.routers.iter().enumerate() {
+            self.router_occupancy_sum[i] += r.flits as u64;
+        }
+
+        let mut on = 0u64;
+        let mut off = 0u64;
+        let mut ports_on = 0u64;
+        for r in &self.routers {
+            if r.active && !r.sleeping {
+                on += 1;
+                ports_on += r.ports_on as u64;
+            } else {
+                off += 1;
+            }
+        }
+        let s = &mut self.statics;
+        s.cycles += 1;
+        s.router_on_cycles += on;
+        s.router_off_cycles += off;
+        s.port_on_cycles += ports_on;
+        s.mesh_link_mm_cycles += self.profile.mesh_link_mm;
+        s.adapt_link_mm_cycles += self.profile.adapt_link_mm;
+        s.conc_link_mm_cycles += self.profile.conc_link_mm;
+    }
+
+    /// Runs `cycles` steps.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    fn inject_stage(&mut self, now: u64) {
+        // Iterate routers/local ports; round-robin among NIs on each port.
+        for ri in 0..self.routers.len() {
+            if !self.routers[ri].active {
+                continue;
+            }
+            let n_ports = self.routers[ri].in_ports.len();
+            for pi in 0..n_ports {
+                let n_nis = self.routers[ri].in_ports[pi].nis.len();
+                if n_nis == 0 {
+                    continue;
+                }
+                // Determine which NIs can send a flit this cycle (NIs per
+                // port are bounded by the concentration factor, <= 8).
+                let mut ready = [false; 8];
+                let mut ids = [0usize; 8];
+                let n = n_nis.min(8);
+                for k in 0..n {
+                    let ni_id = self.routers[ri].in_ports[pi].nis[k];
+                    ids[k] = ni_id;
+                    ready[k] = self.ni_can_send(ni_id, ri, pi);
+                }
+                let grant = self.routers[ri].in_ports[pi].inj_rr.grant(&ready[..n]);
+                if let Some(k) = grant {
+                    self.ni_send(ids[k], ri, pi, now);
+                }
+            }
+        }
+    }
+
+    fn ni_can_send(&self, ni_id: usize, ri: usize, pi: usize) -> bool {
+        let ni = &self.nis[ni_id];
+        if ni.paused && ni.cur.is_none() {
+            return false;
+        }
+        if let Some((vc, flits)) = &ni.cur {
+            if flits.is_empty() {
+                return false;
+            }
+            let vcs = &self.routers[ri].in_ports[pi].vcs[*vc as usize];
+            return vcs.buf.len() < self.cfg.vc_depth as usize;
+        }
+        let Some(pkt) = ni.source_q.front() else {
+            return false;
+        };
+        self.pick_injection_vc(ri, pi, pkt.vnet).is_some()
+    }
+
+    fn pick_injection_vc(&self, ri: usize, pi: usize, vnet: Vnet) -> Option<u8> {
+        let router = &self.routers[ri];
+        let mask = router.vc_mask[vnet.index()];
+        let port = &router.in_ports[pi];
+        for (off, gvc) in self.cfg.vnet_vcs(vnet).enumerate() {
+            if mask & (1 << off) == 0 {
+                continue;
+            }
+            let vc = &port.vcs[gvc];
+            if vc.buf.is_empty() && vc.route.is_none() && !vc.ni_lock {
+                return Some(gvc as u8);
+            }
+        }
+        None
+    }
+
+    fn ni_send(&mut self, ni_id: usize, ri: usize, pi: usize, now: u64) {
+        // Start a new packet if idle.
+        if self.nis[ni_id].cur.is_none() {
+            let pkt = self.nis[ni_id].source_q.front().cloned();
+            let Some(pkt) = pkt else { return };
+            let Some(vc) = self.pick_injection_vc(ri, pi, pkt.vnet) else {
+                return;
+            };
+            let pkt = self.nis[ni_id].source_q.pop_front().unwrap();
+            self.queued_packets -= 1;
+            let flits: VecDeque<Flit> =
+                (0..pkt.len).map(|s| Flit::of_packet(&pkt, s)).collect();
+            self.routers[ri].in_ports[pi].vcs[vc as usize].ni_lock = true;
+            self.nis[ni_id].cur = Some((vc, flits));
+        }
+
+        let (vc, mut flit) = {
+            let (vc, flits) = self.nis[ni_id].cur.as_mut().unwrap();
+            let Some(f) = flits.pop_front() else { return };
+            (*vc, f)
+        };
+        if self.routers[ri].sleeping {
+            let wake = now + self.cfg.wake_latency as u64;
+            let r = &mut self.routers[ri];
+            r.wake_at = r.wake_at.min(wake);
+        }
+        let vcs = &mut self.routers[ri].in_ports[pi].vcs[vc as usize];
+        debug_assert!(vcs.buf.len() < self.cfg.vc_depth as usize);
+        // Injection bypass: skip the router pipeline delay when the VC is
+        // empty (Sec. II-A1: "bypass link at the virtual channels of input
+        // port at the NI").
+        let bypass = self.cfg.injection_bypass && vcs.buf.is_empty();
+        flit.ready_at = if bypass {
+            now
+        } else {
+            now + self.cfg.router_latency as u64
+        };
+        flit.assigned_vc = vc;
+        flit.injected_at = now;
+        if flit.pos.is_head() {
+            if let Some(t) = self.tracer.as_mut() {
+                t.record(crate::trace::TraceEvent::Injected {
+                    packet: flit.packet,
+                    cycle: now,
+                    src: flit.src,
+                    dst: flit.dst,
+                });
+            }
+        }
+        let is_tail = flit.pos.is_tail();
+        vcs.buf.push_back(flit);
+        self.routers[ri].in_ports[pi].occ |= 1 << vc;
+        self.routers[ri].flits += 1;
+        self.occupied_flits += 1;
+        self.events.buffer_writes += 1;
+        self.events.ni_injections += 1;
+        if bypass {
+            self.events.bypass_injections += 1;
+        }
+        if self.nis[ni_id].spec.concentration {
+            self.events.mux_traversals += 1;
+        }
+        if is_tail {
+            self.routers[ri].in_ports[pi].vcs[vc as usize].ni_lock = false;
+            self.nis[ni_id].cur = None;
+        }
+    }
+
+    fn router_stage(&mut self, now: u64) {
+        for ri in 0..self.routers.len() {
+            {
+                let r = &self.routers[ri];
+                if !r.active || r.sleeping || r.config_until > now || r.flits == 0 {
+                    continue;
+                }
+            }
+            self.vc_allocate(ri);
+            self.switch_allocate(ri, now);
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn vc_allocate(&mut self, ri: usize) {
+        let n_ports = self.routers[ri].in_ports.len();
+        let total_vcs = self.cfg.total_vcs();
+        let split = self.routers[ri].vc_split;
+        let depth = self.cfg.vc_depth;
+
+        // Single pass over occupied input VCs: compute routes for fresh
+        // heads (RC) and gather VA requesters per output port into reusable
+        // scratch lists (ascending order by construction).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut any_port = false;
+        for pi in 0..n_ports {
+            let mut occ = self.routers[ri].in_ports[pi].occ;
+            while occ != 0 {
+                let vi = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let vc = &self.routers[ri].in_ports[pi].vcs[vi];
+                if vc.out_vc.is_some() {
+                    continue;
+                }
+                // Route computation for a fresh head flit.
+                if vc.route.is_none() {
+                    let front = vc.buf.front().expect("occ bit implies a flit");
+                    debug_assert!(front.pos.is_head(), "non-head at route-less VC front");
+                    let (dst, vnet) = (front.dst, front.vnet);
+                    match self.spec.tables.lookup(vnet, RouterId(ri as u16), dst) {
+                        Some(port) => {
+                            self.routers[ri].in_ports[pi].vcs[vi].route = Some(port);
+                        }
+                        None => {
+                            self.unroutable += 1;
+                            continue;
+                        }
+                    }
+                }
+                let vc = &self.routers[ri].in_ports[pi].vcs[vi];
+                let route = vc.route.expect("just computed");
+                if !vc.buf.front().is_some_and(|f| f.pos.is_head()) {
+                    continue;
+                }
+                let po = route.index();
+                if po < scratch.len() {
+                    scratch[po].push(pi * total_vcs + vi);
+                    any_port = true;
+                }
+            }
+        }
+        if any_port {
+            for po in 0..n_ports {
+                if scratch[po].is_empty() {
+                    continue;
+                }
+                let winner = self.routers[ri].out_ports[po]
+                    .va_rr
+                    .grant_sparse(&scratch[po]);
+                if let Some(winner) = winner {
+                    let (pi, vi) = (winner / total_vcs, winner % total_vcs);
+                    let (vnet, class, pkt_len) = {
+                        let f = self.routers[ri].in_ports[pi].vcs[vi].buf.front().unwrap();
+                        // The class that matters is the one the packet will
+                        // carry on the *output* channel.
+                        let class = match self.routers[ri].out_ports[po].channel {
+                            Some(ch) => self.channels[ch.index()]
+                                .spec
+                                .class_after(f.vc_class, f.last_dim),
+                            None => f.vc_class,
+                        };
+                        (f.vnet, class, f.pkt_len)
+                    };
+                    let mask = self.routers[ri].vc_mask[vnet.index()];
+                    let out = &self.routers[ri].out_ports[po];
+                    // Virtual cut-through: output VC must be unallocated and
+                    // its downstream buffer empty (full credits). The VC must
+                    // also be in the packet's dateline class and usable per
+                    // the (OSCAR) mask.
+                    let range = self.cfg.vnet_vcs(vnet);
+                    let start = range.start;
+                    let mut free = None;
+                    for gvc in range {
+                        let off = (gvc - start) as u8;
+                        if mask & (1 << off) == 0 {
+                            continue;
+                        }
+                        // Ejection consumes packets; the dateline split
+                        // only protects ring channels.
+                        let class_ok = match split {
+                            _ if out.eject => true,
+                            None => true,
+                            Some(k) => {
+                                if class == 0 {
+                                    off < k
+                                } else {
+                                    off >= k
+                                }
+                            }
+                        };
+                        if !class_ok {
+                            continue;
+                        }
+                        // Virtual cut-through: the downstream VC must have
+                        // room for the entire packet.
+                        if out.alloc[gvc].is_none()
+                            && (out.eject || out.credits[gvc] >= pkt_len.min(depth))
+                        {
+                            free = Some(gvc);
+                            break;
+                        }
+                    }
+                    if let Some(gvc) = free {
+                        self.routers[ri].out_ports[po].alloc[gvc] = Some((pi as u8, vi as u8));
+                        self.routers[ri].in_ports[pi].vcs[vi].out_vc = Some(gvc as u8);
+                        self.events.va_grants += 1;
+                    }
+                }
+            }
+        }
+        for l in scratch.iter_mut() {
+            l.clear();
+        }
+        self.scratch = scratch;
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn switch_allocate(&mut self, ri: usize, now: u64) {
+        let n_ports = self.routers[ri].in_ports.len();
+        let total_vcs = self.cfg.total_vcs();
+
+        // Single pass over occupied VCs gathering SA requesters per output
+        // port.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut any = false;
+        for pi in 0..n_ports {
+            let mut occ = self.routers[ri].in_ports[pi].occ;
+            while occ != 0 {
+                let vi = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let vc = &self.routers[ri].in_ports[pi].vcs[vi];
+                let Some(route) = vc.route else { continue };
+                let Some(gvc) = vc.out_vc else { continue };
+                let Some(front) = vc.buf.front() else { continue };
+                if front.ready_at > now {
+                    continue;
+                }
+                let po = route.index();
+                let out = &self.routers[ri].out_ports[po];
+                if !out.eject && out.credits[gvc as usize] == 0 {
+                    continue;
+                }
+                scratch[po].push(pi * total_vcs + vi);
+                any = true;
+            }
+        }
+        if any {
+            let mut in_port_used = [false; 32];
+            for po in 0..n_ports {
+                if scratch[po].is_empty() {
+                    continue;
+                }
+                // Round-robin among candidates whose input port is still
+                // free this cycle (crossbar input constraint), without
+                // allocating.
+                let winner = self.routers[ri].out_ports[po].sa_rr.grant_sparse_filtered(
+                    &scratch[po],
+                    |c| !in_port_used[c / total_vcs],
+                );
+                if let Some(winner) = winner {
+                    let (pi, vi) = (winner / total_vcs, winner % total_vcs);
+                    in_port_used[pi] = true;
+                    self.forward_flit(ri, pi, vi, po, now);
+                }
+            }
+        }
+        for l in scratch.iter_mut() {
+            l.clear();
+        }
+        self.scratch = scratch;
+    }
+
+    fn forward_flit(&mut self, ri: usize, pi: usize, vi: usize, po: usize, now: u64) {
+        let gvc = self.routers[ri].in_ports[pi].vcs[vi].out_vc.unwrap();
+        let mut flit = self.routers[ri].in_ports[pi].vcs[vi].buf.pop_front().unwrap();
+        if self.routers[ri].in_ports[pi].vcs[vi].buf.is_empty() {
+            self.routers[ri].in_ports[pi].occ &= !(1 << vi);
+        }
+        self.routers[ri].flits -= 1;
+        self.occupied_flits -= 1;
+        self.events.buffer_reads += 1;
+        self.events.crossbar_traversals += 1;
+        self.events.sa_grants += 1;
+        self.stats.flits_forwarded += 1;
+        self.totals.flits_forwarded += 1;
+        self.router_forwarded[ri] += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(crate::trace::TraceEvent::Forwarded {
+                packet: flit.packet,
+                cycle: now,
+                router: RouterId(ri as u16),
+                seq: flit.seq,
+            });
+        }
+
+        // Credit back to the upstream feeder, applied next cycle.
+        if let Some(feeder) = self.routers[ri].in_ports[pi].feeder {
+            self.pending_credits.push((feeder, vi as u8));
+            self.events.credits_sent += 1;
+        }
+
+        let is_tail = flit.pos.is_tail();
+        if is_tail {
+            let vc = &mut self.routers[ri].in_ports[pi].vcs[vi];
+            vc.route = None;
+            vc.out_vc = None;
+            self.routers[ri].out_ports[po].alloc[gvc as usize] = None;
+        }
+
+        let out = &mut self.routers[ri].out_ports[po];
+        if let Some(ch) = out.channel {
+            out.credits[gvc as usize] -= 1;
+            let spec = self.channels[ch.index()].spec;
+            flit.assigned_vc = gvc;
+            flit.vc_class = spec.class_after(flit.vc_class, flit.last_dim);
+            flit.last_dim = spec.dim();
+            flit.hops += 1;
+            self.events.link_flit_hops += 1;
+            self.events.link_flit_mm += spec.length_mm as f64;
+            if spec.kind.is_adaptable() || spec.kind == ChannelKind::Concentration {
+                self.events.mux_traversals += 1;
+            }
+            self.channel_flits[ch.index()] += 1;
+            self.channels[ch.index()]
+                .q
+                .push_back((now + spec.latency as u64, flit));
+        } else {
+            // Ejection.
+            debug_assert!(out.eject, "SA winner routed to unwired port");
+            self.events.ni_ejections += 1;
+            if is_tail {
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record(crate::trace::TraceEvent::Ejected {
+                        packet: flit.packet,
+                        cycle: now,
+                        hops: flit.hops,
+                    });
+                }
+                let d = Delivered {
+                    injected_at: flit.injected_at,
+                    ejected_at: now,
+                    hops: flit.hops,
+                    packet: flit.to_packet(),
+                };
+                self.stats.record(&d);
+                self.totals.record(&d);
+                self.delivered.push(d);
+            }
+        }
+    }
+
+    /// Structurally reconfigures the network to `new_spec`, preserving all
+    /// in-flight traffic.
+    ///
+    /// Channels present in both specs (same endpoints) keep their in-flight
+    /// flits and credit state. Channels being removed must be
+    /// [quiescent](Self::channel_quiescent); routers being powered off must
+    /// hold no flits; NIs being reattached must not be mid-packet (their
+    /// source queues are preserved).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if the new spec is invalid, changes the
+    /// router/node shape, or a quiescence precondition fails.
+    pub fn reconfigure(&mut self, new_spec: NetworkSpec) -> Result<(), NetworkError> {
+        new_spec.validate()?;
+        if new_spec.routers.len() != self.routers.len() {
+            return Err(NetworkError::Shape("router count changed".into()));
+        }
+        if new_spec.num_nodes != self.spec.num_nodes {
+            return Err(NetworkError::Shape("node count changed".into()));
+        }
+        if new_spec.tables.vnets() != self.cfg.vnets as usize {
+            return Err(NetworkError::Mismatch("vnet count changed".into()));
+        }
+        for (i, (old, new)) in self
+            .spec
+            .routers
+            .iter()
+            .zip(new_spec.routers.iter())
+            .enumerate()
+        {
+            if old.n_ports != new.n_ports {
+                return Err(NetworkError::Shape(format!(
+                    "router {i} port count changed"
+                )));
+            }
+            if let Some(k) = new.vc_split {
+                if k == 0 || k >= self.cfg.vcs_per_vnet {
+                    return Err(NetworkError::Mismatch(format!(
+                        "router {i} vc_split {k} out of range"
+                    )));
+                }
+            }
+        }
+
+        let old_keys: HashMap<ChannelKey, ChannelId> = self
+            .spec
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.key(), ChannelId(i as u32)))
+            .collect();
+        let new_keys: HashMap<ChannelKey, ()> =
+            new_spec.channels.iter().map(|c| (c.key(), ())).collect();
+
+        // Quiescence checks for removed channels.
+        for c in &self.spec.channels {
+            if !new_keys.contains_key(&c.key()) && !self.channel_quiescent(c.key()) {
+                return Err(NetworkError::ChannelBusy(c.key()));
+            }
+        }
+        // Routers being powered off must be empty.
+        for (i, (old, new)) in self
+            .spec
+            .routers
+            .iter()
+            .zip(new_spec.routers.iter())
+            .enumerate()
+        {
+            if old.active && !new.active && self.routers[i].flits > 0 {
+                return Err(NetworkError::RouterBusy(RouterId(i as u16)));
+            }
+        }
+        // NIs being moved must be idle mid-packet.
+        for new_ni in &new_spec.nis {
+            let old_ni = self.spec.ni_of(new_ni.node);
+            let moved = old_ni.is_none_or(|o| o.router != new_ni.router || o.port != new_ni.port);
+            if moved {
+                if let Some(idx) = self.node_ni[new_ni.node.index()] {
+                    if self.nis[idx].cur.is_some() {
+                        return Err(NetworkError::NiBusy(new_ni.node));
+                    }
+                }
+            }
+        }
+
+        // ---- Commit point: rebuild runtime structures. ----
+        // Credit state is recomputed exactly from wire + buffer occupancy
+        // below, so in-flight credit returns (which would double-count)
+        // are dropped.
+        self.pending_credits.clear();
+        let total_vcs = self.cfg.total_vcs();
+        let depth = self.cfg.vc_depth;
+
+        // New channels, carrying over in-flight flits of kept channels.
+        let mut new_channels: Vec<ChannelRt> = Vec::with_capacity(new_spec.channels.len());
+        for c in &new_spec.channels {
+            let q = match old_keys.get(&c.key()) {
+                Some(old_id) => std::mem::take(&mut self.channels[old_id.index()].q),
+                None => VecDeque::new(),
+            };
+            new_channels.push(ChannelRt { spec: *c, q });
+        }
+
+        // Save old per-port runtime state keyed by (router, port).
+        let mut old_out: HashMap<PortRef, OutPort> = HashMap::new();
+        for (ri, r) in self.routers.iter_mut().enumerate() {
+            for (pi, op) in r.out_ports.drain(..).enumerate() {
+                old_out.insert(
+                    PortRef::new(RouterId(ri as u16), PortId(pi as u8)),
+                    op,
+                );
+            }
+        }
+
+        // Rebuild routers (keeping input buffers in place).
+        for (ri, r) in self.routers.iter_mut().enumerate() {
+            let rs = &new_spec.routers[ri];
+            r.active = rs.active;
+            r.vc_split = rs.vc_split;
+            if !rs.active {
+                r.sleeping = false;
+                r.wake_at = 0;
+            }
+            for ip in r.in_ports.iter_mut() {
+                ip.feeder = None;
+                ip.nis.clear();
+            }
+            r.out_ports = (0..rs.n_ports)
+                .map(|pi| {
+                    let key = PortRef::new(RouterId(ri as u16), PortId(pi));
+                    let old = old_out.remove(&key);
+                    OutPort {
+                        channel: None,
+                        eject: false,
+                        credits: vec![depth; total_vcs],
+                        alloc: vec![None; total_vcs],
+                        va_rr: old.as_ref().map(|o| o.va_rr.clone()).unwrap_or_default(),
+                        sa_rr: old.map(|o| o.sa_rr).unwrap_or_default(),
+                    }
+                })
+                .collect();
+        }
+
+        // Rewire channels; restore credit/alloc state for kept channels.
+        for (i, c) in new_spec.channels.iter().enumerate() {
+            let kept = old_keys.contains_key(&c.key());
+            {
+                let op = &mut self.routers[c.src.router.index()].out_ports[c.src.port.index()];
+                op.channel = Some(ChannelId(i as u32));
+                if kept {
+                    // The old OutPort at this PortRef was consumed above; we
+                    // reconstruct credit state from downstream occupancy:
+                    // credits = depth - flits buffered downstream - in flight.
+                    let down = &self.routers[c.dst.router.index()].in_ports[c.dst.port.index()];
+                    let _ = down;
+                }
+            }
+            // Recompute credits and allocations exactly from downstream
+            // buffer occupancy plus wire occupancy, which is always
+            // consistent regardless of kept/new:
+            let wire: Vec<u8> = {
+                let mut per_vc = vec![0u8; total_vcs];
+                for (_, f) in &new_channels[i].q {
+                    per_vc[f.assigned_vc as usize] += 1;
+                }
+                per_vc
+            };
+            let down_occ: Vec<u8> = self.routers[c.dst.router.index()].in_ports
+                [c.dst.port.index()]
+            .vcs
+            .iter()
+            .map(|v| v.buf.len() as u8)
+            .collect();
+            let op = &mut self.routers[c.src.router.index()].out_ports[c.src.port.index()];
+            for v in 0..total_vcs {
+                op.credits[v] = depth.saturating_sub(wire[v] + down_occ[v]);
+            }
+            self.routers[c.dst.router.index()].in_ports[c.dst.port.index()].feeder =
+                Some(ChannelId(i as u32));
+        }
+
+        // Mid-stream allocations: any input VC with an out_vc still set must
+        // re-own its output VC at the (possibly rebuilt) output port, and the
+        // route must still exist. Quiescence checks above guarantee this only
+        // happens across kept channels.
+        for ri in 0..self.routers.len() {
+            let n_in = self.routers[ri].in_ports.len();
+            for pi in 0..n_in {
+                for vi in 0..total_vcs {
+                    let (route, out_vc) = {
+                        let vc = &self.routers[ri].in_ports[pi].vcs[vi];
+                        (vc.route, vc.out_vc)
+                    };
+                    if let (Some(po), Some(gvc)) = (route, out_vc) {
+                        let has_conn = {
+                            let op = &self.routers[ri].out_ports[po.index()];
+                            op.channel.is_some()
+                        };
+                        if has_conn || self.port_will_eject(&new_spec, ri, po) {
+                            self.routers[ri].out_ports[po.index()].alloc[gvc as usize] =
+                                Some((pi as u8, vi as u8));
+                        } else {
+                            // The connection vanished mid-packet: only
+                            // possible if quiescence was bypassed; clear the
+                            // stale route so the packet re-routes.
+                            let vc = &mut self.routers[ri].in_ports[pi].vcs[vi];
+                            vc.route = None;
+                            vc.out_vc = None;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Reattach NIs (preserving source queues).
+        let mut old_queues: HashMap<u16, VecDeque<Packet>> = HashMap::new();
+        let mut old_cur: HashMap<u16, Option<(u8, VecDeque<Flit>)>> = HashMap::new();
+        let mut old_paused: HashMap<u16, bool> = HashMap::new();
+        for ni in self.nis.drain(..) {
+            old_queues.insert(ni.spec.node.0, ni.source_q);
+            old_cur.insert(ni.spec.node.0, ni.cur);
+            old_paused.insert(ni.spec.node.0, ni.paused);
+        }
+        self.node_ni = vec![None; new_spec.num_nodes];
+        for (i, n) in new_spec.nis.iter().enumerate() {
+            let source_q = old_queues.remove(&n.node.0).unwrap_or_default();
+            let cur = old_cur.remove(&n.node.0).flatten();
+            let paused = old_paused.remove(&n.node.0).unwrap_or(false);
+            self.nis.push(NiRt {
+                spec: *n,
+                source_q,
+                cur,
+                paused,
+            });
+            self.node_ni[n.node.index()] = Some(i);
+            self.routers[n.router.index()].in_ports[n.port.index()].nis.push(i);
+            self.routers[n.router.index()].out_ports[n.port.index()].eject = true;
+        }
+
+        self.spec = new_spec;
+        self.channels = new_channels;
+        self.channel_flits = vec![0; self.channels.len()];
+        self.recompute_static_profile();
+        self.buffer_capacity = self.compute_buffer_capacity();
+        self.stats.buffer_capacity = self.buffer_capacity;
+        Ok(())
+    }
+
+    fn port_will_eject(&self, spec: &NetworkSpec, ri: usize, port: PortId) -> bool {
+        spec.nis
+            .iter()
+            .any(|n| n.router.index() == ri && n.port == port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LOCAL_PORT;
+    use crate::spec::{mesh_channel, NiSpec};
+
+    /// A 1xN row of routers, bidirectionally chained, one node per router.
+    fn row_spec(n: usize) -> NetworkSpec {
+        let mut s = NetworkSpec::new(n, n, 2);
+        for i in 0..n - 1 {
+            let east = PortRef::new(RouterId(i as u16), PortId(0));
+            let west = PortRef::new(RouterId(i as u16 + 1), PortId(1));
+            s.add_channel(mesh_channel(east, west));
+            s.add_channel(mesh_channel(west, east));
+        }
+        for i in 0..n {
+            s.add_ni(NiSpec::local(NodeId(i as u16), RouterId(i as u16), LOCAL_PORT));
+        }
+        for v in 0..2u8 {
+            for r in 0..n {
+                for d in 0..n {
+                    let port = if d == r {
+                        LOCAL_PORT
+                    } else if d > r {
+                        PortId(0)
+                    } else {
+                        PortId(1)
+                    };
+                    s.tables
+                        .set(Vnet(v), RouterId(r as u16), NodeId(d as u16), port);
+                }
+            }
+        }
+        s
+    }
+
+    fn net(n: usize) -> Network {
+        Network::new(row_spec(n), SimConfig::baseline()).unwrap()
+    }
+
+    #[test]
+    fn single_packet_delivery_and_latency() {
+        let mut net = net(4);
+        net.inject(Packet::request(1, NodeId(0), NodeId(3), 7)).unwrap();
+        net.run(60);
+        let d = net.drain_delivered();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].packet.id, 1);
+        assert_eq!(d[0].packet.tag, 7);
+        assert_eq!(d[0].hops, 3);
+        // Zero-load: 3 hops * (Tr + Tl) + final router Tr + injection.
+        assert!(d[0].network_latency() >= 9, "latency {}", d[0].network_latency());
+        assert!(d[0].network_latency() <= 16, "latency {}", d[0].network_latency());
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.unroutable_events(), 0);
+    }
+
+    #[test]
+    fn self_delivery_zero_hops() {
+        let mut net = net(2);
+        net.inject(Packet::request(1, NodeId(0), NodeId(0), 0)).unwrap();
+        net.run(20);
+        let d = net.drain_delivered();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].hops, 0);
+    }
+
+    #[test]
+    fn multiflit_packet_arrives_intact() {
+        let mut net = net(3);
+        net.inject(Packet::reply(9, NodeId(0), NodeId(2), 5)).unwrap();
+        net.run(60);
+        let d = net.drain_delivered();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].packet.len, crate::config::DATA_PACKET_FLITS);
+        assert_eq!(d[0].packet.kind, crate::flit::PacketKind::Reply);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn many_packets_all_delivered_exactly_once() {
+        let mut net = net(5);
+        let mut id = 0u64;
+        for src in 0..5u16 {
+            for dst in 0..5u16 {
+                if src == dst {
+                    continue;
+                }
+                id += 1;
+                net.inject(Packet::request(id, NodeId(src), NodeId(dst), 0)).unwrap();
+            }
+        }
+        net.run(500);
+        let d = net.drain_delivered();
+        assert_eq!(d.len(), id as usize);
+        let mut ids: Vec<u64> = d.iter().map(|x| x.packet.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), id as usize);
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.unroutable_events(), 0);
+    }
+
+    #[test]
+    fn bypass_reduces_injection_latency() {
+        let base = {
+            let mut n = Network::new(row_spec(2), SimConfig::baseline()).unwrap();
+            n.inject(Packet::request(1, NodeId(0), NodeId(1), 0)).unwrap();
+            n.run(40);
+            n.drain_delivered()[0].network_latency()
+        };
+        let bypass = {
+            let mut cfg = SimConfig::baseline();
+            cfg.injection_bypass = true;
+            let mut n = Network::new(row_spec(2), cfg).unwrap();
+            n.inject(Packet::request(1, NodeId(0), NodeId(1), 0)).unwrap();
+            n.run(40);
+            assert!(n.totals().events.bypass_injections > 0);
+            n.drain_delivered()[0].network_latency()
+        };
+        assert!(
+            bypass < base,
+            "bypass {bypass} should beat base {base}"
+        );
+    }
+
+    #[test]
+    fn credits_are_conserved() {
+        let mut net = net(4);
+        for i in 0..20 {
+            net.inject(Packet::reply(i, NodeId(0), NodeId(3), 0)).unwrap();
+        }
+        net.run(1000);
+        assert_eq!(net.in_flight(), 0);
+        // After drain, every output port's credits must be back at depth.
+        let depth = net.cfg.vc_depth;
+        for r in &net.routers {
+            for op in &r.out_ports {
+                if op.channel.is_some() {
+                    for &c in &op.credits {
+                        assert_eq!(c, depth);
+                    }
+                }
+                for a in &op.alloc {
+                    assert!(a.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contention_is_fair_and_lossless() {
+        // Nodes 0 and 1 both hammer node 3 through the shared row.
+        let mut net = net(4);
+        let mut id = 0;
+        for _ in 0..50 {
+            id += 1;
+            net.inject(Packet::request(id, NodeId(0), NodeId(3), 0)).unwrap();
+            id += 1;
+            net.inject(Packet::request(id, NodeId(1), NodeId(3), 0)).unwrap();
+        }
+        net.run(2000);
+        assert_eq!(net.drain_delivered().len(), 100);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn epoch_report_resets_window() {
+        let mut net = net(3);
+        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net.run(50);
+        let e1 = net.take_epoch();
+        assert_eq!(e1.stats.packets, 1);
+        assert_eq!(e1.stats.cycles, 50);
+        assert!(e1.events.buffer_writes > 0);
+        net.run(10);
+        let e2 = net.take_epoch();
+        assert_eq!(e2.stats.packets, 0);
+        assert_eq!(e2.stats.cycles, 10);
+        // Totals keep accumulating.
+        assert_eq!(net.totals().stats.packets, 1);
+        assert_eq!(net.totals().stats.cycles, 60);
+    }
+
+    #[test]
+    fn static_cycles_track_router_counts() {
+        let mut net = net(3);
+        net.run(10);
+        let e = net.take_epoch();
+        assert_eq!(e.static_cycles.cycles, 10);
+        assert_eq!(e.static_cycles.router_on_cycles, 30);
+        assert_eq!(e.static_cycles.router_off_cycles, 0);
+        assert!(e.static_cycles.mesh_link_mm_cycles > 0.0);
+    }
+
+    #[test]
+    fn sleeping_router_stalls_and_wakes_on_arrival() {
+        let mut net = net(3);
+        assert!(net.try_sleep_router(RouterId(1)));
+        assert!(net.is_sleeping(RouterId(1)));
+        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net.run(200);
+        let d = net.drain_delivered();
+        assert_eq!(d.len(), 1);
+        assert!(!net.is_sleeping(RouterId(1)), "arrival should wake router");
+        // Wake-up penalty should be visible vs a fully-on network.
+        let mut net2 = net2_helper();
+        net2.inject(Packet::request(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net2.run(200);
+        let d2 = net2.drain_delivered();
+        assert!(d[0].network_latency() > d2[0].network_latency());
+    }
+
+    fn net2_helper() -> Network {
+        Network::new(row_spec(3), SimConfig::baseline()).unwrap()
+    }
+
+    #[test]
+    fn sleep_refused_when_flits_buffered() {
+        let mut net = net(3);
+        net.inject(Packet::reply(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net.run(4);
+        // Router 0 or 1 should be holding flits now.
+        let holding: Vec<u16> = (0..3u16)
+            .filter(|&r| net.router_flits(RouterId(r)) > 0)
+            .collect();
+        assert!(!holding.is_empty());
+        for r in holding {
+            assert!(!net.try_sleep_router(RouterId(r)));
+        }
+    }
+
+    #[test]
+    fn router_config_stall_delays_traffic() {
+        let mut net = net(3);
+        net.begin_router_config(RouterId(1), 50);
+        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net.run(40);
+        assert!(net.drain_delivered().is_empty(), "stalled router should hold traffic");
+        net.run(60);
+        assert_eq!(net.drain_delivered().len(), 1);
+    }
+
+    #[test]
+    fn vc_mask_restricts_injection() {
+        let mut net = net(2);
+        // Restrict request vnet at router 0 to VC 0 only.
+        net.set_vc_mask(RouterId(0), Vnet::REQUEST, 0b001);
+        for i in 0..10 {
+            net.inject(Packet::request(i, NodeId(0), NodeId(1), 0)).unwrap();
+        }
+        net.run(300);
+        assert_eq!(net.drain_delivered().len(), 10);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VC")]
+    fn vc_mask_cannot_disable_all() {
+        let mut net = net(2);
+        net.set_vc_mask(RouterId(0), Vnet::REQUEST, 0);
+    }
+
+    #[test]
+    fn inject_unknown_node_errors() {
+        let mut net = net(2);
+        let err = net.inject(Packet::request(1, NodeId(9), NodeId(0), 0));
+        assert!(matches!(err, Err(NetworkError::NoSuchNode(_))));
+    }
+
+    #[test]
+    fn install_tables_reroutes_future_packets() {
+        let mut net = net(3);
+        // Break the route 0 -> 2, then restore it.
+        let mut broken = net.spec().tables.clone();
+        broken.clear(Vnet::REQUEST, RouterId(0), NodeId(2));
+        net.install_tables(broken);
+        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net.run(30);
+        assert!(net.unroutable_events() > 0);
+        assert!(net.drain_delivered().is_empty());
+        let fixed = row_spec(3).tables;
+        net.install_tables(fixed);
+        net.run(30);
+        assert_eq!(net.drain_delivered().len(), 1);
+    }
+
+    #[test]
+    fn reconfigure_identity_is_noop() {
+        let mut net = net(4);
+        net.inject(Packet::request(1, NodeId(0), NodeId(3), 0)).unwrap();
+        net.run(3);
+        let spec = net.spec().clone();
+        net.reconfigure(spec).unwrap();
+        net.run(60);
+        assert_eq!(net.drain_delivered().len(), 1);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn reconfigure_add_express_link_shortens_path() {
+        let mut net = net(4);
+        net.inject(Packet::request(1, NodeId(0), NodeId(3), 0)).unwrap();
+        net.run(100);
+        let base_hops = net.drain_delivered()[0].hops;
+        assert_eq!(base_hops, 3);
+
+        // Add an express channel R0 -> R3 on spare ports (2 = north used as
+        // express here) and route through it.
+        let mut spec = net.spec().clone();
+        spec.add_channel(crate::spec::ChannelSpec {
+            src: PortRef::new(RouterId(0), PortId(2)),
+            dst: PortRef::new(RouterId(3), PortId(2)),
+            latency: 1,
+            length_mm: 3.0,
+            dateline: false,
+            dim_y: false,
+            kind: ChannelKind::Adaptable,
+        });
+        spec.tables.set(Vnet::REQUEST, RouterId(0), NodeId(3), PortId(2));
+        net.reconfigure(spec).unwrap();
+        net.inject(Packet::request(2, NodeId(0), NodeId(3), 0)).unwrap();
+        net.run(100);
+        let d = net.drain_delivered();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].hops, 1, "express link should bypass routers");
+        assert!(net.totals().events.mux_traversals > 0);
+    }
+
+    #[test]
+    fn reconfigure_remove_busy_channel_rejected() {
+        let mut net = net(4);
+        // Saturate with traffic, then try to remove a middle channel.
+        for i in 0..20 {
+            net.inject(Packet::reply(i, NodeId(0), NodeId(3), 0)).unwrap();
+        }
+        net.run(6);
+        let mut spec = net.spec().clone();
+        // Remove channel R1->R2 (east out of router 1) and reroute via
+        // nothing (break route so validation passes with cleared entries).
+        let key = spec
+            .channels
+            .iter()
+            .position(|c| {
+                c.src == PortRef::new(RouterId(1), PortId(0))
+                    && c.dst == PortRef::new(RouterId(2), PortId(1))
+            })
+            .unwrap();
+        spec.channels.remove(key);
+        for v in 0..2u8 {
+            spec.tables.clear(Vnet(v), RouterId(0), NodeId(2));
+            spec.tables.clear(Vnet(v), RouterId(0), NodeId(3));
+            spec.tables.clear(Vnet(v), RouterId(1), NodeId(2));
+            spec.tables.clear(Vnet(v), RouterId(1), NodeId(3));
+        }
+        let err = net.reconfigure(spec);
+        assert!(
+            matches!(err, Err(NetworkError::ChannelBusy(_))),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn reconfigure_preserves_source_queues() {
+        let mut net = net(3);
+        for i in 0..5 {
+            net.inject(Packet::request(i, NodeId(0), NodeId(2), 0)).unwrap();
+        }
+        // Immediately reconfigure (identity) before anything injects.
+        let spec = net.spec().clone();
+        net.reconfigure(spec).unwrap();
+        net.run(200);
+        assert_eq!(net.drain_delivered().len(), 5);
+    }
+
+    #[test]
+    fn reconfigure_rejects_shape_changes() {
+        let mut net = net(3);
+        let bad = row_spec(4);
+        assert!(matches!(
+            net.reconfigure(bad),
+            Err(NetworkError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn concentration_shared_port_arbitrates_fairly() {
+        // Two nodes share router 0's local port; both send to node 2.
+        let mut s = NetworkSpec::new(2, 3, 2);
+        let r0e = PortRef::new(RouterId(0), PortId(0));
+        let r1w = PortRef::new(RouterId(1), PortId(1));
+        s.add_channel(mesh_channel(r0e, r1w));
+        s.add_channel(mesh_channel(r1w, r0e));
+        s.add_ni(NiSpec::local(NodeId(0), RouterId(0), LOCAL_PORT));
+        s.add_ni(NiSpec::concentrated(NodeId(1), RouterId(0), LOCAL_PORT, 1.0));
+        s.add_ni(NiSpec::local(NodeId(2), RouterId(1), LOCAL_PORT));
+        for v in 0..2u8 {
+            s.tables.set(Vnet(v), RouterId(0), NodeId(0), LOCAL_PORT);
+            s.tables.set(Vnet(v), RouterId(0), NodeId(1), LOCAL_PORT);
+            s.tables.set(Vnet(v), RouterId(0), NodeId(2), PortId(0));
+            s.tables.set(Vnet(v), RouterId(1), NodeId(2), LOCAL_PORT);
+            s.tables.set(Vnet(v), RouterId(1), NodeId(0), PortId(1));
+            s.tables.set(Vnet(v), RouterId(1), NodeId(1), PortId(1));
+        }
+        let mut net = Network::new(s, SimConfig::baseline()).unwrap();
+        let mut id = 0;
+        for _ in 0..25 {
+            id += 1;
+            net.inject(Packet::request(id, NodeId(0), NodeId(2), 0)).unwrap();
+            id += 1;
+            net.inject(Packet::request(id, NodeId(1), NodeId(2), 0)).unwrap();
+        }
+        net.run(1000);
+        let d = net.drain_delivered();
+        assert_eq!(d.len(), 50);
+        assert!(net.totals().events.mux_traversals > 0, "concentration counts mux events");
+    }
+
+    #[test]
+    fn dateline_switches_vc_class() {
+        // Two routers with a dateline channel between them; verify traffic
+        // still flows (class-1 VCs exist thanks to vc_split).
+        let mut s = row_spec(2);
+        s.channels[0].dateline = true;
+        for r in s.routers.iter_mut() {
+            r.vc_split = Some(1); // VC0 = class 0, VC1.. = class 1
+        }
+        let mut net = Network::new(s, SimConfig::baseline()).unwrap();
+        for i in 0..10 {
+            net.inject(Packet::request(i, NodeId(0), NodeId(1), 0)).unwrap();
+        }
+        net.run(300);
+        assert_eq!(net.drain_delivered().len(), 10);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn queuing_latency_grows_under_overload() {
+        let mut net = net(2);
+        for i in 0..200 {
+            net.inject(Packet::reply(i, NodeId(0), NodeId(1), 0)).unwrap();
+        }
+        net.run(4000);
+        let d = net.drain_delivered();
+        assert_eq!(d.len(), 200);
+        // Later packets should have queued far longer than early ones.
+        let early = d[..10].iter().map(|x| x.queuing_latency()).max().unwrap();
+        let late = d[190..].iter().map(|x| x.queuing_latency()).min().unwrap();
+        assert!(late > early, "late {late} early {early}");
+    }
+
+    #[test]
+    fn network_error_display_nonempty() {
+        let errs: Vec<NetworkError> = vec![
+            NetworkError::Config("x".into()),
+            NetworkError::Mismatch("y".into()),
+            NetworkError::Shape("z".into()),
+            NetworkError::ChannelBusy(ChannelKey {
+                src: PortRef::new(RouterId(0), PortId(0)),
+                dst: PortRef::new(RouterId(1), PortId(1)),
+            }),
+            NetworkError::RouterBusy(RouterId(0)),
+            NetworkError::NiBusy(NodeId(0)),
+            NetworkError::NoSuchNode(NodeId(0)),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

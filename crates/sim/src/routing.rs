@@ -1,0 +1,154 @@
+//! Table-based routing.
+//!
+//! Every router holds, per virtual network, a table mapping destination
+//! *node* to output port. The adaptable router's "reconfigurable routing
+//! table" (Sec. II-A1) is modeled by swapping these tables at runtime;
+//! the deadlock-free reconfiguration protocol of Sec. II-C1 is built on the
+//! guarantee that a table swap is atomic with respect to route computation
+//! (in-flight packets re-resolve at every subsequent router they enter).
+
+use crate::ids::{NodeId, PortId, RouterId, Vnet};
+
+/// Sentinel for "no route" entries.
+const UNREACHABLE: u8 = u8::MAX;
+
+/// Dense routing tables: `[vnet][router][destination node] -> output port`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RoutingTables {
+    vnets: usize,
+    routers: usize,
+    nodes: usize,
+    table: Vec<u8>,
+}
+
+impl RoutingTables {
+    /// Creates tables with every entry unreachable.
+    pub fn new(vnets: usize, routers: usize, nodes: usize) -> Self {
+        RoutingTables {
+            vnets,
+            routers,
+            nodes,
+            table: vec![UNREACHABLE; vnets * routers * nodes],
+        }
+    }
+
+    fn idx(&self, vnet: Vnet, router: RouterId, dst: NodeId) -> usize {
+        debug_assert!(vnet.index() < self.vnets, "vnet out of range");
+        debug_assert!(router.index() < self.routers, "router out of range");
+        debug_assert!(dst.index() < self.nodes, "node out of range");
+        (vnet.index() * self.routers + router.index()) * self.nodes + dst.index()
+    }
+
+    /// Sets the output port at `router` for packets of `vnet` headed to `dst`.
+    pub fn set(&mut self, vnet: Vnet, router: RouterId, dst: NodeId, port: PortId) {
+        let i = self.idx(vnet, router, dst);
+        self.table[i] = port.0;
+    }
+
+    /// Clears the route (marks unreachable).
+    pub fn clear(&mut self, vnet: Vnet, router: RouterId, dst: NodeId) {
+        let i = self.idx(vnet, router, dst);
+        self.table[i] = UNREACHABLE;
+    }
+
+    /// Looks up the output port, or `None` if the destination is unreachable
+    /// from this router on this vnet.
+    pub fn lookup(&self, vnet: Vnet, router: RouterId, dst: NodeId) -> Option<PortId> {
+        let v = self.table[self.idx(vnet, router, dst)];
+        if v == UNREACHABLE {
+            None
+        } else {
+            Some(PortId(v))
+        }
+    }
+
+    /// Number of virtual networks covered.
+    pub fn vnets(&self) -> usize {
+        self.vnets
+    }
+
+    /// Number of routers covered.
+    pub fn routers(&self) -> usize {
+        self.routers
+    }
+
+    /// Number of destination nodes covered.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Copies all routes of `vnet` from `other` (same dimensions required).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn copy_vnet_from(&mut self, other: &RoutingTables, vnet: Vnet) {
+        assert_eq!(
+            (self.vnets, self.routers, self.nodes),
+            (other.vnets, other.routers, other.nodes),
+            "routing table dimensions must match"
+        );
+        let per_vnet = self.routers * self.nodes;
+        let start = vnet.index() * per_vnet;
+        self.table[start..start + per_vnet]
+            .copy_from_slice(&other.table[start..start + per_vnet]);
+    }
+
+    /// Iterates over all `(vnet, router, dst, port)` entries that have routes.
+    pub fn iter(&self) -> impl Iterator<Item = (Vnet, RouterId, NodeId, PortId)> + '_ {
+        (0..self.vnets).flat_map(move |v| {
+            (0..self.routers).flat_map(move |r| {
+                (0..self.nodes).filter_map(move |n| {
+                    self.lookup(Vnet(v as u8), RouterId(r as u16), NodeId(n as u16))
+                        .map(|p| (Vnet(v as u8), RouterId(r as u16), NodeId(n as u16), p))
+                })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_lookup_clear_roundtrip() {
+        let mut t = RoutingTables::new(2, 4, 6);
+        assert_eq!(t.lookup(Vnet(0), RouterId(1), NodeId(2)), None);
+        t.set(Vnet(0), RouterId(1), NodeId(2), PortId(3));
+        assert_eq!(t.lookup(Vnet(0), RouterId(1), NodeId(2)), Some(PortId(3)));
+        // Other vnet unaffected.
+        assert_eq!(t.lookup(Vnet(1), RouterId(1), NodeId(2)), None);
+        t.clear(Vnet(0), RouterId(1), NodeId(2));
+        assert_eq!(t.lookup(Vnet(0), RouterId(1), NodeId(2)), None);
+    }
+
+    #[test]
+    fn entries_are_independent() {
+        let mut t = RoutingTables::new(2, 3, 3);
+        t.set(Vnet(0), RouterId(0), NodeId(0), PortId(0));
+        t.set(Vnet(1), RouterId(2), NodeId(2), PortId(4));
+        assert_eq!(t.lookup(Vnet(0), RouterId(0), NodeId(0)), Some(PortId(0)));
+        assert_eq!(t.lookup(Vnet(1), RouterId(2), NodeId(2)), Some(PortId(4)));
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn copy_vnet_from_copies_only_that_vnet() {
+        let mut a = RoutingTables::new(2, 2, 2);
+        let mut b = RoutingTables::new(2, 2, 2);
+        b.set(Vnet(0), RouterId(0), NodeId(1), PortId(1));
+        b.set(Vnet(1), RouterId(1), NodeId(0), PortId(2));
+        a.copy_vnet_from(&b, Vnet(1));
+        assert_eq!(a.lookup(Vnet(1), RouterId(1), NodeId(0)), Some(PortId(2)));
+        assert_eq!(a.lookup(Vnet(0), RouterId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn copy_vnet_dimension_mismatch_panics() {
+        let mut a = RoutingTables::new(2, 2, 2);
+        let b = RoutingTables::new(2, 3, 2);
+        a.copy_vnet_from(&b, Vnet(0));
+    }
+}

@@ -1,0 +1,546 @@
+//! Declarative network description.
+//!
+//! A [`NetworkSpec`] fully describes a network configuration: which routers
+//! are powered, how ports are wired by channels, where network interfaces
+//! attach, and the routing tables. Topology builders (crate
+//! `adaptnoc-topology`) compile topologies into specs; the Adapt-NoC control
+//! layer reconfigures a running [`Network`](crate::network::Network) by
+//! diffing one spec against the next.
+
+use crate::ids::{ChannelId, NodeId, PortId, RouterId};
+use crate::routing::RoutingTables;
+use std::collections::HashMap;
+
+/// Physical class of a channel; used for power accounting and wiring-budget
+/// analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ChannelKind {
+    /// A regular nearest-neighbour mesh link.
+    Mesh,
+    /// A segment of an adaptable link (Sec. II-A2): may span several tiles,
+    /// placed on high metal layers.
+    Adaptable,
+    /// A reversed adaptable-link segment (its quad-state repeaters run
+    /// backwards; used by the tree topology, Sec. II-B3).
+    AdaptableReversed,
+    /// A concentration link connecting a core to a non-adjacent router
+    /// (Sec. II-A, Fig. 2b).
+    Concentration,
+    /// A dedicated express link (used by the Shortcut and Flattened
+    /// Butterfly baselines, which do not use adaptable links).
+    Express,
+}
+
+impl ChannelKind {
+    /// Whether this channel is realized on the adaptable-link wires.
+    pub fn is_adaptable(self) -> bool {
+        matches!(self, ChannelKind::Adaptable | ChannelKind::AdaptableReversed)
+    }
+}
+
+/// One end of a channel: a (router, port) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct PortRef {
+    /// The router.
+    pub router: RouterId,
+    /// The port on that router.
+    pub port: PortId,
+}
+
+impl PortRef {
+    /// Creates a port reference.
+    pub fn new(router: RouterId, port: PortId) -> Self {
+        PortRef { router, port }
+    }
+}
+
+/// A unidirectional channel between two router ports.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChannelSpec {
+    /// Source (upstream) end.
+    pub src: PortRef,
+    /// Destination (downstream) end.
+    pub dst: PortRef,
+    /// Traversal latency `T_l` in cycles (>= 1). Mesh links are 1 cycle;
+    /// long adaptable segments take 1 cycle per 4 mm on high metal layers
+    /// (Sec. IV-A).
+    pub latency: u8,
+    /// Physical wire length in millimeters (1 mm per tile hop by default).
+    pub length_mm: f32,
+    /// Dateline marker for torus deadlock avoidance: a head flit crossing
+    /// this channel switches its VC class from 0 to 1 (Sec. II-C3).
+    pub dateline: bool,
+    /// Whether this channel runs along the Y dimension. A head flit whose
+    /// previous channel was in the *other* dimension has its VC class reset
+    /// to 0 before the dateline is applied, keeping the X-ring and Y-ring
+    /// datelines independent under XY ordering.
+    pub dim_y: bool,
+    /// Physical class.
+    pub kind: ChannelKind,
+}
+
+/// Sentinel for "no previous dimension" (fresh injection).
+pub const DIM_NONE: u8 = u8::MAX;
+
+impl ChannelSpec {
+    /// This channel's dimension id (0 = X, 1 = Y).
+    pub fn dim(&self) -> u8 {
+        u8::from(self.dim_y)
+    }
+
+    /// The VC class a packet of class `class` (whose previous channel had
+    /// dimension `last_dim`) will carry while traversing this channel:
+    /// a dimension change resets the class to 0, then a dateline crossing
+    /// switches it to 1.
+    pub fn class_after(&self, class: u8, last_dim: u8) -> u8 {
+        let c = if last_dim != self.dim() { 0 } else { class };
+        if self.dateline {
+            1
+        } else {
+            c
+        }
+    }
+}
+
+/// The identity of a channel for reconfiguration diffing: its endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ChannelKey {
+    /// Source end.
+    pub src: PortRef,
+    /// Destination end.
+    pub dst: PortRef,
+}
+
+impl ChannelSpec {
+    /// The identity key of this channel (endpoints only).
+    pub fn key(&self) -> ChannelKey {
+        ChannelKey {
+            src: self.src,
+            dst: self.dst,
+        }
+    }
+}
+
+/// A router in the spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RouterSpec {
+    /// Whether the router is powered on. Powered-off routers (cmesh idle
+    /// routers, Sec. II-B1) may have no channels or NIs.
+    pub active: bool,
+    /// Number of physical ports. Adaptable routers have 5 (four directions
+    /// plus local); the Flattened Butterfly's high-radix routers have more.
+    pub n_ports: u8,
+    /// Dateline VC-class split for output-VC allocation at this router:
+    /// `Some(k)` restricts class-0 packets to VCs `[0, k)` of their vnet and
+    /// class-1 packets to `[k, vcs)`. `None` lets any packet use any VC.
+    /// Set by the torus builder on subNoC routers only.
+    pub vc_split: Option<u8>,
+}
+
+impl Default for RouterSpec {
+    fn default() -> Self {
+        RouterSpec {
+            active: true,
+            n_ports: 5,
+            vc_split: None,
+        }
+    }
+}
+
+/// A network-interface attachment: endpoint `node` injects/ejects through
+/// `port` of `router`. Several NIs may share one port (external
+/// concentration, Sec. II-B1); they then share the port's 1 flit/cycle
+/// injection bandwidth, arbitrated round-robin.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NiSpec {
+    /// The endpoint node.
+    pub node: NodeId,
+    /// Router the NI attaches to.
+    pub router: RouterId,
+    /// Port on that router (must carry no channels).
+    pub port: PortId,
+    /// Whether this NI reaches its router over a concentration link
+    /// (for power accounting).
+    pub concentration: bool,
+    /// Physical length of the core-to-router wire in millimeters (0.5 mm
+    /// for a core attached to its own tile's router; the Manhattan tile
+    /// distance for concentration links).
+    pub link_mm: f32,
+}
+
+impl NiSpec {
+    /// A plain NI: `node` attached to the local port of its own tile's
+    /// router (0.5 mm wire, no concentration).
+    pub fn local(node: NodeId, router: RouterId, port: PortId) -> Self {
+        NiSpec {
+            node,
+            router,
+            port,
+            concentration: false,
+            link_mm: 0.5,
+        }
+    }
+
+    /// A concentration-link NI: `node` attached to a shared router
+    /// `tile_distance` tiles away (Sec. II-B1, external concentration).
+    pub fn concentrated(node: NodeId, router: RouterId, port: PortId, tile_distance: f32) -> Self {
+        NiSpec {
+            node,
+            router,
+            port,
+            concentration: true,
+            link_mm: tile_distance.max(0.5),
+        }
+    }
+}
+
+/// A complete declarative network configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkSpec {
+    /// All routers (dense ids).
+    pub routers: Vec<RouterSpec>,
+    /// All channels.
+    pub channels: Vec<ChannelSpec>,
+    /// All NI attachments (one per node).
+    pub nis: Vec<NiSpec>,
+    /// Routing tables (`[vnet][router][dst node] -> port`).
+    pub tables: RoutingTables,
+    /// Number of endpoint nodes.
+    pub num_nodes: usize,
+}
+
+/// Errors produced by [`NetworkSpec::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A channel references a router id out of range.
+    BadRouter(RouterId),
+    /// A channel or NI references a port out of range for its router.
+    BadPort(PortRef),
+    /// Two channels drive the same source port, or two channels feed the
+    /// same destination port.
+    PortConflict(PortRef),
+    /// A channel endpoint or NI sits on an inactive router.
+    InactiveRouter(RouterId),
+    /// A channel has zero latency.
+    ZeroLatency(ChannelKey),
+    /// A node has no NI or more than one NI.
+    NodeNiCount(NodeId, usize),
+    /// An NI shares a port with a channel.
+    NiPortConflict(PortRef),
+    /// A routing entry points at a port with neither an outgoing channel nor
+    /// an attached NI.
+    DanglingRoute {
+        /// Router holding the bad entry.
+        router: RouterId,
+        /// Destination node of the bad entry.
+        dst: NodeId,
+        /// The dangling port.
+        port: PortId,
+    },
+    /// Routing table dimensions disagree with the spec.
+    TableShape,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::BadRouter(r) => write!(f, "channel references unknown router {r}"),
+            SpecError::BadPort(p) => write!(f, "port {} out of range on {}", p.port, p.router),
+            SpecError::PortConflict(p) => {
+                write!(f, "two channels share port {} of {}", p.port, p.router)
+            }
+            SpecError::InactiveRouter(r) => {
+                write!(f, "channel or NI attached to powered-off router {r}")
+            }
+            SpecError::ZeroLatency(k) => write!(
+                f,
+                "channel {}:{} -> {}:{} has zero latency",
+                k.src.router, k.src.port, k.dst.router, k.dst.port
+            ),
+            SpecError::NodeNiCount(n, c) => {
+                write!(f, "node {n} has {c} network interfaces (expected 1)")
+            }
+            SpecError::NiPortConflict(p) => {
+                write!(f, "NI shares port {} of {} with a channel", p.port, p.router)
+            }
+            SpecError::DanglingRoute { router, dst, port } => write!(
+                f,
+                "route at {router} for {dst} points to {port} which has no channel or NI"
+            ),
+            SpecError::TableShape => write!(f, "routing table dimensions disagree with spec"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl NetworkSpec {
+    /// Creates an empty spec with `routers` default 5-port routers and
+    /// `num_nodes` endpoints, with unreachable routing tables for `vnets`
+    /// virtual networks.
+    pub fn new(routers: usize, num_nodes: usize, vnets: usize) -> Self {
+        NetworkSpec {
+            routers: vec![RouterSpec::default(); routers],
+            channels: Vec::new(),
+            nis: Vec::new(),
+            tables: RoutingTables::new(vnets, routers, num_nodes),
+            num_nodes,
+        }
+    }
+
+    /// Adds a channel and returns its id.
+    pub fn add_channel(&mut self, ch: ChannelSpec) -> ChannelId {
+        self.channels.push(ch);
+        ChannelId(self.channels.len() as u32 - 1)
+    }
+
+    /// Adds an NI attachment.
+    pub fn add_ni(&mut self, ni: NiSpec) {
+        self.nis.push(ni);
+    }
+
+    /// Finds the channel between two port references, if any.
+    pub fn channel_between(&self, src: PortRef, dst: PortRef) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.src == src && c.dst == dst)
+            .map(|i| ChannelId(i as u32))
+    }
+
+    /// The NI of `node`, if attached.
+    pub fn ni_of(&self, node: NodeId) -> Option<&NiSpec> {
+        self.nis.iter().find(|ni| ni.node == node)
+    }
+
+    /// Number of active routers.
+    pub fn active_routers(&self) -> usize {
+        self.routers.iter().filter(|r| r.active).count()
+    }
+
+    /// Checks structural validity: port ranges, port exclusivity, NI
+    /// placement, routing-entry sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found; see [`SpecError`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.tables.routers() != self.routers.len() || self.tables.nodes() != self.num_nodes {
+            return Err(SpecError::TableShape);
+        }
+        let port_ok = |p: PortRef| -> Result<(), SpecError> {
+            let r = self
+                .routers
+                .get(p.router.index())
+                .ok_or(SpecError::BadRouter(p.router))?;
+            if p.port.0 >= r.n_ports {
+                return Err(SpecError::BadPort(p));
+            }
+            if !r.active {
+                return Err(SpecError::InactiveRouter(p.router));
+            }
+            Ok(())
+        };
+
+        let mut src_used: HashMap<PortRef, ()> = HashMap::new();
+        let mut dst_used: HashMap<PortRef, ()> = HashMap::new();
+        for ch in &self.channels {
+            port_ok(ch.src)?;
+            port_ok(ch.dst)?;
+            if ch.latency == 0 {
+                return Err(SpecError::ZeroLatency(ch.key()));
+            }
+            if src_used.insert(ch.src, ()).is_some() {
+                return Err(SpecError::PortConflict(ch.src));
+            }
+            if dst_used.insert(ch.dst, ()).is_some() {
+                return Err(SpecError::PortConflict(ch.dst));
+            }
+        }
+
+        let mut ni_count = vec![0usize; self.num_nodes];
+        let mut ni_ports: HashMap<PortRef, ()> = HashMap::new();
+        for ni in &self.nis {
+            if ni.node.index() >= self.num_nodes {
+                return Err(SpecError::NodeNiCount(ni.node, 0));
+            }
+            let pr = PortRef::new(ni.router, ni.port);
+            port_ok(pr)?;
+            if src_used.contains_key(&pr) || dst_used.contains_key(&pr) {
+                return Err(SpecError::NiPortConflict(pr));
+            }
+            ni_ports.insert(pr, ());
+            ni_count[ni.node.index()] += 1;
+        }
+        for (n, &c) in ni_count.iter().enumerate() {
+            if c != 1 {
+                return Err(SpecError::NodeNiCount(NodeId(n as u16), c));
+            }
+        }
+
+        // Every routing entry must lead to an outgoing channel or a local
+        // (NI-bearing) port.
+        for (_vnet, router, dst, port) in self.tables.iter() {
+            let pr = PortRef::new(router, port);
+            let r = self
+                .routers
+                .get(router.index())
+                .ok_or(SpecError::BadRouter(router))?;
+            if port.0 >= r.n_ports {
+                return Err(SpecError::BadPort(pr));
+            }
+            let has_out_channel = src_used.contains_key(&pr);
+            let has_ni = ni_ports.contains_key(&pr);
+            if !has_out_channel && !has_ni {
+                return Err(SpecError::DanglingRoute { router, dst, port });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience constructor for a mesh-style channel of 1 cycle, 1 mm.
+pub fn mesh_channel(src: PortRef, dst: PortRef) -> ChannelSpec {
+    ChannelSpec {
+        src,
+        dst,
+        latency: 1,
+        length_mm: 1.0,
+        dateline: false,
+        dim_y: false,
+        kind: ChannelKind::Mesh,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Vnet, LOCAL_PORT};
+
+    fn two_router_spec() -> NetworkSpec {
+        // R0 <-> R1, node 0 on R0, node 1 on R1.
+        let mut s = NetworkSpec::new(2, 2, 2);
+        let r0e = PortRef::new(RouterId(0), PortId(0));
+        let r1w = PortRef::new(RouterId(1), PortId(1));
+        s.add_channel(mesh_channel(r0e, r1w));
+        s.add_channel(mesh_channel(r1w, r0e));
+        s.add_ni(NiSpec::local(NodeId(0), RouterId(0), LOCAL_PORT));
+        s.add_ni(NiSpec::local(NodeId(1), RouterId(1), LOCAL_PORT));
+        for v in 0..2u8 {
+            s.tables.set(Vnet(v), RouterId(0), NodeId(0), LOCAL_PORT);
+            s.tables.set(Vnet(v), RouterId(0), NodeId(1), PortId(0));
+            s.tables.set(Vnet(v), RouterId(1), NodeId(1), LOCAL_PORT);
+            s.tables.set(Vnet(v), RouterId(1), NodeId(0), PortId(1));
+        }
+        s
+    }
+
+    #[test]
+    fn valid_two_router_spec_passes() {
+        assert_eq!(two_router_spec().validate(), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_source_port_rejected() {
+        let mut s = two_router_spec();
+        // A second channel out of R0:p0.
+        s.add_channel(mesh_channel(
+            PortRef::new(RouterId(0), PortId(0)),
+            PortRef::new(RouterId(1), PortId(2)),
+        ));
+        assert!(matches!(s.validate(), Err(SpecError::PortConflict(_))));
+    }
+
+    #[test]
+    fn zero_latency_rejected() {
+        let mut s = two_router_spec();
+        s.channels[0].latency = 0;
+        assert!(matches!(s.validate(), Err(SpecError::ZeroLatency(_))));
+    }
+
+    #[test]
+    fn channel_on_inactive_router_rejected() {
+        let mut s = two_router_spec();
+        s.routers[1].active = false;
+        assert!(matches!(s.validate(), Err(SpecError::InactiveRouter(_))));
+    }
+
+    #[test]
+    fn missing_ni_rejected() {
+        let mut s = two_router_spec();
+        s.nis.pop();
+        assert!(matches!(s.validate(), Err(SpecError::NodeNiCount(_, 0))));
+    }
+
+    #[test]
+    fn duplicate_ni_rejected() {
+        let mut s = two_router_spec();
+        let ni = s.nis[0];
+        s.add_ni(NiSpec {
+            port: PortId(3),
+            ..ni
+        });
+        assert!(matches!(s.validate(), Err(SpecError::NodeNiCount(_, 2))));
+    }
+
+    #[test]
+    fn ni_sharing_channel_port_rejected() {
+        let mut s = two_router_spec();
+        s.nis[0].port = PortId(0); // same as channel source port
+        assert!(matches!(s.validate(), Err(SpecError::NiPortConflict(_))));
+    }
+
+    #[test]
+    fn dangling_route_rejected() {
+        let mut s = two_router_spec();
+        // Route to a port with no channel and no NI.
+        s.tables.set(Vnet(0), RouterId(0), NodeId(1), PortId(3));
+        assert!(matches!(s.validate(), Err(SpecError::DanglingRoute { .. })));
+    }
+
+    #[test]
+    fn out_of_range_port_rejected() {
+        let mut s = two_router_spec();
+        s.channels[0].src.port = PortId(9);
+        assert!(matches!(s.validate(), Err(SpecError::BadPort(_))));
+    }
+
+    #[test]
+    fn channel_key_identity() {
+        let s = two_router_spec();
+        assert_eq!(
+            s.channel_between(
+                PortRef::new(RouterId(0), PortId(0)),
+                PortRef::new(RouterId(1), PortId(1))
+            ),
+            Some(ChannelId(0))
+        );
+        assert_eq!(
+            s.channel_between(
+                PortRef::new(RouterId(0), PortId(2)),
+                PortRef::new(RouterId(1), PortId(1))
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn spec_error_display_nonempty() {
+        let errors: Vec<SpecError> = vec![
+            SpecError::BadRouter(RouterId(1)),
+            SpecError::BadPort(PortRef::new(RouterId(0), PortId(9))),
+            SpecError::PortConflict(PortRef::new(RouterId(0), PortId(0))),
+            SpecError::InactiveRouter(RouterId(2)),
+            SpecError::NodeNiCount(NodeId(0), 2),
+            SpecError::NiPortConflict(PortRef::new(RouterId(0), PortId(0))),
+            SpecError::DanglingRoute {
+                router: RouterId(0),
+                dst: NodeId(0),
+                port: PortId(0),
+            },
+            SpecError::TableShape,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Performance statistics: packet latency, queuing latency, hop counts,
+//! buffer utilization, throughput.
+//!
+//! Terminology follows the paper (Sec. III-D): *network latency* is the time
+//! a packet traverses the NoC (head injection into the source router's buffer
+//! until tail ejection at the destination NI); *queuing latency* is the time
+//! a packet waits at the network interface before entering the network.
+
+use crate::events::{EventCounts, StaticCycles};
+use crate::flit::{Packet, PacketKind};
+
+/// A delivered packet with its measured timing.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Delivered {
+    /// The packet, as originally injected.
+    pub packet: Packet,
+    /// Cycle the head flit entered the source router input buffer.
+    pub injected_at: u64,
+    /// Cycle the tail flit was ejected at the destination NI.
+    pub ejected_at: u64,
+    /// Router-to-router channel traversals taken by the head flit.
+    pub hops: u16,
+}
+
+impl Delivered {
+    /// Network latency in cycles (injection to ejection).
+    pub fn network_latency(&self) -> u64 {
+        self.ejected_at.saturating_sub(self.injected_at)
+    }
+
+    /// Queuing latency in cycles (creation to injection).
+    pub fn queuing_latency(&self) -> u64 {
+        self.injected_at.saturating_sub(self.packet.created_at)
+    }
+
+    /// Total packet latency (creation to ejection), the paper's
+    /// "packet latency" in Fig. 7.
+    pub fn total_latency(&self) -> u64 {
+        self.ejected_at.saturating_sub(self.packet.created_at)
+    }
+}
+
+/// Aggregated network statistics over a measurement window.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetStats {
+    /// Number of packets delivered.
+    pub packets: u64,
+    /// Number of flits delivered.
+    pub flits: u64,
+    /// Sum of network latencies (cycles).
+    pub network_latency_sum: u64,
+    /// Sum of queuing latencies (cycles).
+    pub queuing_latency_sum: u64,
+    /// Sum of hop counts.
+    pub hops_sum: u64,
+    /// Delivered packets by kind: [Request, Reply, Coherence].
+    pub by_kind: [u64; 3],
+    /// Packets injected into NI source queues.
+    pub packets_offered: u64,
+    /// Sum over cycles of occupied input-buffer flit slots.
+    pub buffer_occupancy_sum: u64,
+    /// Total input-buffer flit slots (for utilization normalization).
+    pub buffer_capacity: u64,
+    /// Sum over cycles of packets waiting in NI source queues.
+    pub injection_queue_sum: u64,
+    /// Flits forwarded by routers (switch traversals), a throughput measure.
+    pub flits_forwarded: u64,
+    /// Cycles covered by this window.
+    pub cycles: u64,
+    /// Maximum observed network latency.
+    pub max_network_latency: u64,
+    /// Maximum observed queuing latency.
+    pub max_queuing_latency: u64,
+}
+
+impl NetStats {
+    /// Records a delivered packet.
+    pub fn record(&mut self, d: &Delivered) {
+        self.packets += 1;
+        self.flits += d.packet.len as u64;
+        let nl = d.network_latency();
+        let ql = d.queuing_latency();
+        self.network_latency_sum += nl;
+        self.queuing_latency_sum += ql;
+        self.max_network_latency = self.max_network_latency.max(nl);
+        self.max_queuing_latency = self.max_queuing_latency.max(ql);
+        self.hops_sum += d.hops as u64;
+        let k = match d.packet.kind {
+            PacketKind::Request => 0,
+            PacketKind::Reply => 1,
+            PacketKind::Coherence => 2,
+        };
+        self.by_kind[k] += 1;
+    }
+
+    /// Mean network latency in cycles (0 if no packets).
+    pub fn avg_network_latency(&self) -> f64 {
+        ratio(self.network_latency_sum, self.packets)
+    }
+
+    /// Mean queuing latency in cycles (0 if no packets).
+    pub fn avg_queuing_latency(&self) -> f64 {
+        ratio(self.queuing_latency_sum, self.packets)
+    }
+
+    /// Mean total packet latency (network + queuing).
+    pub fn avg_packet_latency(&self) -> f64 {
+        self.avg_network_latency() + self.avg_queuing_latency()
+    }
+
+    /// Mean hop count (0 if no packets).
+    pub fn avg_hops(&self) -> f64 {
+        ratio(self.hops_sum, self.packets)
+    }
+
+    /// Mean input-buffer utilization in [0, 1].
+    pub fn avg_buffer_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.buffer_capacity == 0 {
+            0.0
+        } else {
+            self.buffer_occupancy_sum as f64 / (self.cycles as f64 * self.buffer_capacity as f64)
+        }
+    }
+
+    /// Mean NI source-queue occupancy in packets.
+    pub fn avg_injection_queue(&self) -> f64 {
+        ratio(self.injection_queue_sum, self.cycles)
+    }
+
+    /// Delivered flits per cycle (accepted throughput).
+    pub fn throughput_flits_per_cycle(&self) -> f64 {
+        ratio(self.flits, self.cycles)
+    }
+
+    /// Router-forwarded flits per cycle (the RL state's
+    /// "average router throughput" before normalizing by router count).
+    pub fn forwarded_flits_per_cycle(&self) -> f64 {
+        ratio(self.flits_forwarded, self.cycles)
+    }
+
+    /// Adds `other` into `self`.
+    pub fn accumulate(&mut self, other: &NetStats) {
+        self.packets += other.packets;
+        self.flits += other.flits;
+        self.network_latency_sum += other.network_latency_sum;
+        self.queuing_latency_sum += other.queuing_latency_sum;
+        self.hops_sum += other.hops_sum;
+        for k in 0..3 {
+            self.by_kind[k] += other.by_kind[k];
+        }
+        self.packets_offered += other.packets_offered;
+        self.buffer_occupancy_sum += other.buffer_occupancy_sum;
+        self.buffer_capacity = self.buffer_capacity.max(other.buffer_capacity);
+        self.injection_queue_sum += other.injection_queue_sum;
+        self.flits_forwarded += other.flits_forwarded;
+        self.cycles += other.cycles;
+        self.max_network_latency = self.max_network_latency.max(other.max_network_latency);
+        self.max_queuing_latency = self.max_queuing_latency.max(other.max_queuing_latency);
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A complete per-epoch report: performance stats plus power-model inputs.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EpochReport {
+    /// Performance statistics for the epoch.
+    pub stats: NetStats,
+    /// Dynamic-activity events for the epoch.
+    pub events: EventCounts,
+    /// Static-power resource-on cycles for the epoch.
+    pub static_cycles: StaticCycles,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn delivered(created: u64, injected: u64, ejected: u64, hops: u16) -> Delivered {
+        let mut p = Packet::request(1, NodeId(0), NodeId(1), 0);
+        p.created_at = created;
+        Delivered {
+            packet: p,
+            injected_at: injected,
+            ejected_at: ejected,
+            hops,
+        }
+    }
+
+    #[test]
+    fn latency_decomposition() {
+        let d = delivered(10, 15, 40, 3);
+        assert_eq!(d.queuing_latency(), 5);
+        assert_eq!(d.network_latency(), 25);
+        assert_eq!(d.total_latency(), 30);
+    }
+
+    #[test]
+    fn stats_averages() {
+        let mut s = NetStats::default();
+        s.record(&delivered(0, 2, 10, 2));
+        s.record(&delivered(0, 6, 26, 4));
+        assert_eq!(s.packets, 2);
+        assert!((s.avg_queuing_latency() - 4.0).abs() < 1e-12);
+        assert!((s.avg_network_latency() - 14.0).abs() < 1e-12);
+        assert!((s.avg_packet_latency() - 18.0).abs() < 1e-12);
+        assert!((s.avg_hops() - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_network_latency, 20);
+        assert_eq!(s.max_queuing_latency, 6);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_averages() {
+        let s = NetStats::default();
+        assert_eq!(s.avg_network_latency(), 0.0);
+        assert_eq!(s.avg_hops(), 0.0);
+        assert_eq!(s.avg_buffer_utilization(), 0.0);
+        assert_eq!(s.throughput_flits_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn utilization_normalization() {
+        let s = NetStats {
+            cycles: 100,
+            buffer_capacity: 10,
+            buffer_occupancy_sum: 500,
+            ..Default::default()
+        };
+        assert!((s.avg_buffer_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_merges_windows() {
+        let mut a = NetStats::default();
+        a.record(&delivered(0, 1, 5, 1));
+        a.cycles = 10;
+        let mut b = NetStats::default();
+        b.record(&delivered(0, 2, 8, 2));
+        b.cycles = 20;
+        a.accumulate(&b);
+        assert_eq!(a.packets, 2);
+        assert_eq!(a.cycles, 30);
+        assert_eq!(a.hops_sum, 3);
+    }
+
+    #[test]
+    fn by_kind_accounting() {
+        let mut s = NetStats::default();
+        let mut p = Packet::coherence(1, NodeId(0), NodeId(1), 0);
+        p.created_at = 0;
+        s.record(&Delivered {
+            packet: p,
+            injected_at: 0,
+            ejected_at: 1,
+            hops: 1,
+        });
+        assert_eq!(s.by_kind, [0, 0, 1]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-packet event tracing.
+//!
+//! A [`TraceBuffer`] records injection, per-hop forwarding, and ejection
+//! events for selected packets — the debugging companion to the aggregate
+//! statistics. Tracing is opt-in per packet-id predicate so full-speed runs
+//! pay nothing.
+
+use crate::ids::{NodeId, RouterId};
+use std::collections::VecDeque;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TraceEvent {
+    /// Head flit entered the source router's input buffer.
+    Injected {
+        /// Packet id.
+        packet: u64,
+        /// Cycle.
+        cycle: u64,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// A flit won switch allocation at a router.
+    Forwarded {
+        /// Packet id.
+        packet: u64,
+        /// Cycle.
+        cycle: u64,
+        /// Router granting the switch.
+        router: RouterId,
+        /// Flit sequence number within the packet.
+        seq: u8,
+    },
+    /// The tail flit reached the destination NI.
+    Ejected {
+        /// Packet id.
+        packet: u64,
+        /// Cycle.
+        cycle: u64,
+        /// Total hops taken.
+        hops: u16,
+    },
+}
+
+impl TraceEvent {
+    /// The packet this event belongs to.
+    pub fn packet(&self) -> u64 {
+        match self {
+            TraceEvent::Injected { packet, .. }
+            | TraceEvent::Forwarded { packet, .. }
+            | TraceEvent::Ejected { packet, .. } => *packet,
+        }
+    }
+
+    /// The cycle the event occurred.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::Injected { cycle, .. }
+            | TraceEvent::Forwarded { cycle, .. }
+            | TraceEvent::Ejected { cycle, .. } => *cycle,
+        }
+    }
+}
+
+/// Packet-selection filters for the trace recorder.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TraceFilter {
+    /// Trace every packet.
+    All,
+    /// Trace one packet id.
+    Packet(u64),
+    /// Trace a half-open id range `[start, end)`.
+    IdRange(u64, u64),
+    /// Trace every `n`-th packet id (sampling).
+    Sampled(u64),
+}
+
+impl TraceFilter {
+    /// Whether `packet` is selected.
+    pub fn wants(&self, packet: u64) -> bool {
+        match *self {
+            TraceFilter::All => true,
+            TraceFilter::Packet(p) => packet == p,
+            TraceFilter::IdRange(a, b) => (a..b).contains(&packet),
+            TraceFilter::Sampled(n) => n != 0 && packet % n == 0,
+        }
+    }
+}
+
+/// A bounded trace recorder. Packets are selected by a [`TraceFilter`];
+/// the buffer keeps the newest `capacity` events.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    filter: TraceFilter,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a recorder tracing packets accepted by `filter`.
+    pub fn new(capacity: usize, filter: TraceFilter) -> Self {
+        TraceBuffer {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            filter,
+            dropped: 0,
+        }
+    }
+
+    /// Traces every packet.
+    pub fn all(capacity: usize) -> Self {
+        TraceBuffer::new(capacity, TraceFilter::All)
+    }
+
+    /// Whether `packet` is selected for tracing.
+    pub fn wants(&self, packet: u64) -> bool {
+        self.filter.wants(packet)
+    }
+
+    /// Records an event (if its packet is selected).
+    pub fn record(&mut self, ev: TraceEvent) {
+        if !self.wants(ev.packet()) {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Events recorded, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events of one packet, oldest first.
+    pub fn packet_events(&self, packet: u64) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.packet() == packet).collect()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders one packet's journey as a one-line-per-event string.
+    pub fn format_packet(&self, packet: u64) -> String {
+        self.packet_events(packet)
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Injected { cycle, src, dst, .. } => {
+                    format!("@{cycle} inject {src} -> {dst}")
+                }
+                TraceEvent::Forwarded { cycle, router, seq, .. } => {
+                    format!("@{cycle} {router} fwd flit {seq}")
+                }
+                TraceEvent::Ejected { cycle, hops, .. } => {
+                    format!("@{cycle} eject after {hops} hops")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(packet: u64, cycle: u64) -> TraceEvent {
+        TraceEvent::Forwarded {
+            packet,
+            cycle,
+            router: RouterId(1),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn filter_selects_packets() {
+        let mut t = TraceBuffer::new(16, TraceFilter::Sampled(2));
+        t.record(ev(1, 10));
+        t.record(ev(2, 11));
+        assert_eq!(t.events().count(), 1);
+        assert!(t.wants(4));
+        assert!(!t.wants(3));
+        assert!(TraceFilter::Packet(5).wants(5));
+        assert!(!TraceFilter::Packet(5).wants(6));
+        assert!(TraceFilter::IdRange(2, 4).wants(3));
+        assert!(!TraceFilter::IdRange(2, 4).wants(4));
+        assert!(!TraceFilter::Sampled(0).wants(0));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = TraceBuffer::all(3);
+        for i in 0..5 {
+            t.record(ev(1, i));
+        }
+        assert_eq!(t.events().count(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.events().next().unwrap().cycle(), 2);
+    }
+
+    #[test]
+    fn packet_journey_formatting() {
+        let mut t = TraceBuffer::all(16);
+        t.record(TraceEvent::Injected {
+            packet: 7,
+            cycle: 5,
+            src: NodeId(0),
+            dst: NodeId(3),
+        });
+        t.record(ev(7, 6));
+        t.record(TraceEvent::Ejected {
+            packet: 7,
+            cycle: 9,
+            hops: 3,
+        });
+        t.record(ev(8, 7)); // another packet, excluded from the journey
+        let s = t.format_packet(7);
+        assert!(s.contains("@5 inject N0 -> N3"));
+        assert!(s.contains("@6 R1 fwd flit 0"));
+        assert!(s.contains("@9 eject after 3 hops"));
+        assert!(!s.contains("@7"));
+        assert_eq!(t.packet_events(7).len(), 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the simulator core invariants:
+//! packet conservation, payload integrity, drain-to-empty, and
+//! determinism, over randomized row networks and traffic loads.
+
+use adaptnoc_sim::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a bidirectional 1xN row with one node per router and XY-trivial
+/// routing tables.
+fn row_spec(n: usize) -> NetworkSpec {
+    let mut s = NetworkSpec::new(n, n, 2);
+    for i in 0..n - 1 {
+        let east = PortRef::new(RouterId(i as u16), PortId(0));
+        let west = PortRef::new(RouterId(i as u16 + 1), PortId(1));
+        s.add_channel(mesh_channel(east, west));
+        s.add_channel(mesh_channel(west, east));
+    }
+    for i in 0..n {
+        s.add_ni(NiSpec::local(
+            NodeId(i as u16),
+            RouterId(i as u16),
+            LOCAL_PORT,
+        ));
+    }
+    for v in 0..2u8 {
+        for r in 0..n {
+            for d in 0..n {
+                let port = if d == r {
+                    LOCAL_PORT
+                } else if d > r {
+                    PortId(0)
+                } else {
+                    PortId(1)
+                };
+                s.tables
+                    .set(Vnet(v), RouterId(r as u16), NodeId(d as u16), port);
+            }
+        }
+    }
+    s
+}
+
+/// A randomly generated traffic plan: (inject_cycle, src, dst, reply?).
+fn traffic_strategy(n: usize, max_pkts: usize) -> impl Strategy<Value = Vec<(u64, u16, u16, bool)>> {
+    prop::collection::vec(
+        (
+            0u64..200,
+            0u16..(n as u16),
+            0u16..(n as u16),
+            prop::bool::ANY,
+        ),
+        1..max_pkts,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every injected packet is delivered exactly once, payload intact, and
+    /// the network drains to empty.
+    #[test]
+    fn packet_conservation((n, plan) in (2usize..7).prop_flat_map(|n| {
+        (Just(n), traffic_strategy(n, 60))
+    })) {
+        let mut net = Network::new(row_spec(n), SimConfig::baseline()).unwrap();
+        let mut plan = plan;
+        plan.sort_by_key(|p| p.0);
+        let mut expected: Vec<(u64, u16, u16)> = Vec::new();
+        let mut next = 0usize;
+        let mut id = 0u64;
+        for cycle in 0..10_000u64 {
+            while next < plan.len() && plan[next].0 <= cycle {
+                let (_, src, dst, reply) = plan[next];
+                id += 1;
+                let pkt = if reply {
+                    Packet::reply(id, NodeId(src), NodeId(dst), id * 3)
+                } else {
+                    Packet::request(id, NodeId(src), NodeId(dst), id * 3)
+                };
+                expected.push((id, src, dst));
+                net.inject(pkt).unwrap();
+                next += 1;
+            }
+            net.step();
+            if next == plan.len() && net.in_flight() == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(net.in_flight(), 0, "network failed to drain");
+        let mut got = net.drain_delivered();
+        got.sort_by_key(|d| d.packet.id);
+        prop_assert_eq!(got.len(), expected.len());
+        for (d, (id, src, dst)) in got.iter().zip(expected.iter()) {
+            prop_assert_eq!(d.packet.id, *id);
+            prop_assert_eq!(d.packet.src, NodeId(*src));
+            prop_assert_eq!(d.packet.dst, NodeId(*dst));
+            prop_assert_eq!(d.packet.tag, id * 3);
+            prop_assert!(d.ejected_at >= d.injected_at);
+            prop_assert!(d.injected_at >= d.packet.created_at);
+        }
+        prop_assert_eq!(net.unroutable_events(), 0);
+    }
+
+    /// Hop counts equal the source-destination distance in a row (minimal
+    /// routing, no livelock detours).
+    #[test]
+    fn hops_equal_manhattan_distance(
+        n in 2usize..7,
+        src in 0u16..6,
+        dst in 0u16..6,
+    ) {
+        let src = src % (n as u16);
+        let dst = dst % (n as u16);
+        let mut net = Network::new(row_spec(n), SimConfig::baseline()).unwrap();
+        net.inject(Packet::request(1, NodeId(src), NodeId(dst), 0)).unwrap();
+        net.run(200);
+        let d = net.drain_delivered();
+        prop_assert_eq!(d.len(), 1);
+        prop_assert_eq!(d[0].hops as i32, (src as i32 - dst as i32).abs());
+    }
+
+    /// The simulator is deterministic: the same plan yields identical
+    /// delivery timings.
+    #[test]
+    fn determinism(plan in traffic_strategy(4, 40)) {
+        let run = |plan: &[(u64, u16, u16, bool)]| {
+            let mut net = Network::new(row_spec(4), SimConfig::baseline()).unwrap();
+            let mut plan = plan.to_vec();
+            plan.sort_by_key(|p| p.0);
+            let mut next = 0;
+            let mut id = 0u64;
+            for cycle in 0..5000u64 {
+                while next < plan.len() && plan[next].0 <= cycle {
+                    let (_, src, dst, reply) = plan[next];
+                    id += 1;
+                    let pkt = if reply {
+                        Packet::reply(id, NodeId(src), NodeId(dst), 0)
+                    } else {
+                        Packet::request(id, NodeId(src), NodeId(dst), 0)
+                    };
+                    net.inject(pkt).unwrap();
+                    next += 1;
+                }
+                net.step();
+            }
+            let mut d = net.drain_delivered();
+            d.sort_by_key(|x| x.packet.id);
+            d.iter()
+                .map(|x| (x.packet.id, x.injected_at, x.ejected_at, x.hops))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&plan), run(&plan));
+    }
+
+    /// Event counters are consistent: buffer reads never exceed writes, and
+    /// every ejected flit was once injected.
+    #[test]
+    fn event_counter_sanity(plan in traffic_strategy(5, 50)) {
+        let mut net = Network::new(row_spec(5), SimConfig::baseline()).unwrap();
+        let mut id = 0u64;
+        for (_, src, dst, reply) in plan {
+            id += 1;
+            let pkt = if reply {
+                Packet::reply(id, NodeId(src), NodeId(dst), 0)
+            } else {
+                Packet::request(id, NodeId(src), NodeId(dst), 0)
+            };
+            net.inject(pkt).unwrap();
+        }
+        net.run(8000);
+        prop_assert_eq!(net.in_flight(), 0);
+        let ev = net.totals().events;
+        prop_assert!(ev.buffer_reads <= ev.buffer_writes);
+        prop_assert_eq!(ev.buffer_reads, ev.buffer_writes, "drained network read all writes");
+        prop_assert_eq!(ev.crossbar_traversals, ev.sa_grants);
+        prop_assert!(ev.ni_ejections <= ev.ni_injections + ev.link_flit_hops);
+        prop_assert_eq!(ev.ni_injections, ev.ni_ejections, "all flits ejected");
+    }
+}

@@ -1,0 +1,259 @@
+//! Flattened Butterfly baseline (Kim/Balfour/Dally, MICRO'07; paper
+//! baseline 4, Sec. IV-A).
+//!
+//! Concentration factor 4: every 2x2 quad of tiles shares one high-radix
+//! router with dedicated injection ports. Routers in the same coarse row or
+//! coarse column are fully connected by express channels on high metal
+//! layers. Routing is two-phase dimension-ordered: at most one row hop, then
+//! at most one column hop.
+
+use crate::geom::{Coord, Grid};
+use crate::plan::{express_latency, BuildError, ChipPlan};
+use adaptnoc_sim::config::SimConfig;
+use adaptnoc_sim::ids::{NodeId, PortId, RouterId, Vnet};
+use adaptnoc_sim::spec::{ChannelKind, ChannelSpec, NetworkSpec, NiSpec, PortRef};
+
+/// Coarse-grid geometry of the flattened butterfly over a tile grid.
+#[derive(Debug, Clone, Copy)]
+pub struct FtbyLayout {
+    /// The underlying tile grid.
+    pub grid: Grid,
+    /// Coarse columns (`grid.width / 2`).
+    pub cols: u8,
+    /// Coarse rows (`grid.height / 2`).
+    pub rows: u8,
+}
+
+impl FtbyLayout {
+    /// Computes the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Region`] if the grid dimensions are odd.
+    pub fn new(grid: Grid) -> Result<Self, BuildError> {
+        if !grid.width.is_multiple_of(2) || !grid.height.is_multiple_of(2) {
+            return Err(BuildError::Region(
+                "flattened butterfly needs even grid dimensions".into(),
+            ));
+        }
+        Ok(FtbyLayout {
+            grid,
+            cols: grid.width / 2,
+            rows: grid.height / 2,
+        })
+    }
+
+    /// The hub tile of coarse position `(i, j)`.
+    pub fn hub(&self, i: u8, j: u8) -> Coord {
+        Coord::new(2 * i, 2 * j)
+    }
+
+    /// The coarse position of a tile.
+    pub fn coarse(&self, c: Coord) -> (u8, u8) {
+        (c.x / 2, c.y / 2)
+    }
+
+    /// Router radix: (cols-1) row links + (rows-1) column links + 4 NIs.
+    pub fn radix(&self) -> u8 {
+        (self.cols - 1) + (self.rows - 1) + 4
+    }
+
+    /// The output/input port used at coarse column `i` for the row link
+    /// towards coarse column `k` (k != i).
+    pub fn row_port(&self, i: u8, k: u8) -> PortId {
+        debug_assert_ne!(i, k);
+        PortId(if k < i { k } else { k - 1 })
+    }
+
+    /// The port used at coarse row `j` for the column link towards coarse
+    /// row `l` (l != j).
+    pub fn col_port(&self, j: u8, l: u8) -> PortId {
+        debug_assert_ne!(j, l);
+        PortId((self.cols - 1) + if l < j { l } else { l - 1 })
+    }
+
+    /// The dedicated injection/ejection port of quad-offset `(dx, dy)`.
+    pub fn ni_port(&self, dx: u8, dy: u8) -> PortId {
+        PortId((self.cols - 1) + (self.rows - 1) + dy * 2 + dx)
+    }
+}
+
+/// Builds the whole-chip flattened butterfly.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] for odd grids or wiring conflicts.
+pub fn ftby_chip(grid: Grid, cfg: &SimConfig) -> Result<NetworkSpec, BuildError> {
+    let layout = FtbyLayout::new(grid)?;
+    let mut plan = ChipPlan::new(grid, cfg);
+
+    // Configure routers: hubs get the high radix, the rest are gated.
+    for c in grid.iter() {
+        let (i, j) = layout.coarse(c);
+        let r = grid.router(c).index();
+        if c == layout.hub(i, j) {
+            plan.spec.routers[r].n_ports = layout.radix();
+        } else {
+            plan.spec.routers[r].active = false;
+        }
+    }
+
+    // NIs: each tile's node attaches to its quad hub on a dedicated port.
+    for c in grid.iter() {
+        let (i, j) = layout.coarse(c);
+        let hub = grid.router(layout.hub(i, j));
+        let (dx, dy) = (c.x % 2, c.y % 2);
+        let dist = c.manhattan(layout.hub(i, j)) as f32;
+        plan.spec.add_ni(NiSpec {
+            node: grid.node(c),
+            router: hub,
+            port: layout.ni_port(dx, dy),
+            concentration: dist > 0.0,
+            link_mm: dist.max(0.5),
+        });
+    }
+
+    // Row channels: full connectivity within each coarse row.
+    for j in 0..layout.rows {
+        for i1 in 0..layout.cols {
+            for i2 in 0..layout.cols {
+                if i1 == i2 {
+                    continue;
+                }
+                let src = grid.router(layout.hub(i1, j));
+                let dst = grid.router(layout.hub(i2, j));
+                let mm = (2 * (i1 as i16 - i2 as i16).unsigned_abs()) as f32;
+                plan.add_channel(ChannelSpec {
+                    src: PortRef::new(src, layout.row_port(i1, i2)),
+                    dst: PortRef::new(dst, layout.row_port(i2, i1)),
+                    latency: express_latency(mm),
+                    length_mm: mm,
+                    dateline: false,
+                    dim_y: false,
+                    kind: ChannelKind::Express,
+                })?;
+            }
+        }
+    }
+    // Column channels.
+    for i in 0..layout.cols {
+        for j1 in 0..layout.rows {
+            for j2 in 0..layout.rows {
+                if j1 == j2 {
+                    continue;
+                }
+                let src = grid.router(layout.hub(i, j1));
+                let dst = grid.router(layout.hub(i, j2));
+                let mm = (2 * (j1 as i16 - j2 as i16).unsigned_abs()) as f32;
+                plan.add_channel(ChannelSpec {
+                    src: PortRef::new(src, layout.col_port(j1, j2)),
+                    dst: PortRef::new(dst, layout.col_port(j2, j1)),
+                    latency: express_latency(mm),
+                    length_mm: mm,
+                    dateline: false,
+                    dim_y: true,
+                    kind: ChannelKind::Express,
+                })?;
+            }
+        }
+    }
+
+    // Two-phase DOR tables: one row hop, then one column hop.
+    for v in 0..cfg.vnets {
+        for cj in 0..layout.rows {
+            for ci in 0..layout.cols {
+                let r = grid.router(layout.hub(ci, cj));
+                for d in grid.iter() {
+                    let (ti, tj) = layout.coarse(d);
+                    let node = grid.node(d);
+                    let port = if (ci, cj) == (ti, tj) {
+                        layout.ni_port(d.x % 2, d.y % 2)
+                    } else if ci != ti {
+                        layout.row_port(ci, ti)
+                    } else {
+                        layout.col_port(cj, tj)
+                    };
+                    plan.spec.tables.set(Vnet(v), r, node, port);
+                }
+            }
+        }
+    }
+
+    plan.finish()
+}
+
+/// The hub router serving a node in the FTBY layout (for tests and stats).
+pub fn ftby_hub_of(grid: Grid, node: NodeId) -> Result<RouterId, BuildError> {
+    let layout = FtbyLayout::new(grid)?;
+    let c = grid.node_coord(node);
+    let (i, j) = layout.coarse(c);
+    Ok(grid.router(layout.hub(i, j)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_of_paper_grid() {
+        let l = FtbyLayout::new(Grid::paper()).unwrap();
+        assert_eq!((l.cols, l.rows), (4, 4));
+        assert_eq!(l.radix(), 10);
+        assert_eq!(l.hub(0, 0), Coord::new(0, 0));
+        assert_eq!(l.hub(3, 3), Coord::new(6, 6));
+    }
+
+    #[test]
+    fn ports_are_disjoint() {
+        let l = FtbyLayout::new(Grid::paper()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..4u8 {
+            if k != 1 {
+                assert!(seen.insert(l.row_port(1, k)));
+            }
+        }
+        for k in 0..4u8 {
+            if k != 2 {
+                assert!(seen.insert(l.col_port(2, k)));
+            }
+        }
+        for dy in 0..2u8 {
+            for dx in 0..2u8 {
+                assert!(seen.insert(l.ni_port(dx, dy)));
+            }
+        }
+        assert_eq!(seen.len(), 10);
+        assert!(seen.iter().all(|p| p.0 < l.radix()));
+    }
+
+    #[test]
+    fn odd_grid_rejected() {
+        assert!(matches!(
+            ftby_chip(Grid::new(7, 8), &SimConfig::flattened_butterfly()),
+            Err(BuildError::Region(_))
+        ));
+    }
+
+    #[test]
+    fn chip_shape() {
+        let spec = ftby_chip(Grid::paper(), &SimConfig::flattened_butterfly()).unwrap();
+        assert_eq!(spec.active_routers(), 16);
+        // Row: 4 rows * 4*3 directed pairs = 48; columns the same.
+        assert_eq!(spec.channels.len(), 96);
+        assert_eq!(spec.nis.len(), 64);
+        // Long links exist (6 mm, 2 cycles).
+        assert!(spec
+            .channels
+            .iter()
+            .any(|c| c.length_mm == 6.0 && c.latency == 2));
+    }
+
+    #[test]
+    fn hub_of_node() {
+        let g = Grid::paper();
+        assert_eq!(ftby_hub_of(g, NodeId(0)).unwrap(), g.router(Coord::new(0, 0)));
+        // Node at (3,3) -> hub (2,2).
+        let n = g.node(Coord::new(3, 3));
+        assert_eq!(ftby_hub_of(g, n).unwrap(), g.router(Coord::new(2, 2)));
+    }
+}

@@ -1,0 +1,350 @@
+//! Chip geometry: grids, coordinates, rectangular regions.
+
+use adaptnoc_sim::ids::{Direction, NodeId, RouterId};
+
+/// A 2D tile coordinate (x grows east, y grows north).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Coord {
+    /// Column index.
+    pub x: u8,
+    /// Row index.
+    pub y: u8,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub fn new(x: u8, y: u8) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan distance to another coordinate.
+    pub fn manhattan(self, other: Coord) -> u16 {
+        (self.x as i16 - other.x as i16).unsigned_abs()
+            + (self.y as i16 - other.y as i16).unsigned_abs()
+    }
+
+    /// The direction from `self` towards `other` along one dimension, if
+    /// they share a row or column and differ.
+    pub fn direction_to(self, other: Coord) -> Option<Direction> {
+        if self == other {
+            None
+        } else if self.y == other.y {
+            Some(if other.x > self.x {
+                Direction::East
+            } else {
+                Direction::West
+            })
+        } else if self.x == other.x {
+            Some(if other.y > self.y {
+                Direction::North
+            } else {
+                Direction::South
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// A `width x height` grid of tiles. Each tile hosts one router and one
+/// endpoint node with the same dense index (`id = y * width + x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Grid {
+    /// Number of columns.
+    pub width: u8,
+    /// Number of rows.
+    pub height: u8,
+}
+
+impl Grid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u8, height: u8) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        Grid { width, height }
+    }
+
+    /// The paper's 8x8 evaluation grid.
+    pub fn paper() -> Self {
+        Grid::new(8, 8)
+    }
+
+    /// Number of tiles (= routers = nodes).
+    pub fn tiles(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// The router on tile `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside the grid.
+    pub fn router(&self, c: Coord) -> RouterId {
+        assert!(self.contains(c), "coordinate {c} outside grid");
+        RouterId(c.y as u16 * self.width as u16 + c.x as u16)
+    }
+
+    /// The node on tile `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside the grid.
+    pub fn node(&self, c: Coord) -> NodeId {
+        NodeId(self.router(c).0)
+    }
+
+    /// The coordinate of a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router id is out of range.
+    pub fn coord(&self, r: RouterId) -> Coord {
+        assert!((r.0 as usize) < self.tiles(), "router {r} out of range");
+        Coord {
+            x: (r.0 % self.width as u16) as u8,
+            y: (r.0 / self.width as u16) as u8,
+        }
+    }
+
+    /// The coordinate of a node.
+    pub fn node_coord(&self, n: NodeId) -> Coord {
+        self.coord(RouterId(n.0))
+    }
+
+    /// Whether the coordinate lies inside the grid.
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x < self.width && c.y < self.height
+    }
+
+    /// The neighbouring coordinate in `dir`, if inside the grid.
+    pub fn neighbor(&self, c: Coord, dir: Direction) -> Option<Coord> {
+        let (dx, dy): (i16, i16) = match dir {
+            Direction::East => (1, 0),
+            Direction::West => (-1, 0),
+            Direction::North => (0, 1),
+            Direction::South => (0, -1),
+        };
+        let nx = c.x as i16 + dx;
+        let ny = c.y as i16 + dy;
+        if nx < 0 || ny < 0 {
+            return None;
+        }
+        let n = Coord::new(nx as u8, ny as u8);
+        self.contains(n).then_some(n)
+    }
+
+    /// Iterates over all coordinates, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        let (w, h) = (self.width, self.height);
+        (0..h).flat_map(move |y| (0..w).map(move |x| Coord::new(x, y)))
+    }
+}
+
+/// A rectangular region of tiles (a subNoC footprint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Rect {
+    /// Leftmost column.
+    pub x: u8,
+    /// Bottom row.
+    pub y: u8,
+    /// Width in tiles.
+    pub w: u8,
+    /// Height in tiles.
+    pub h: u8,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(x: u8, y: u8, w: u8, h: u8) -> Self {
+        assert!(w > 0 && h > 0, "rect dimensions must be positive");
+        Rect { x, y, w, h }
+    }
+
+    /// Number of tiles covered.
+    pub fn tiles(&self) -> usize {
+        self.w as usize * self.h as usize
+    }
+
+    /// Exclusive right edge.
+    pub fn x_end(&self) -> u8 {
+        self.x + self.w
+    }
+
+    /// Exclusive top edge.
+    pub fn y_end(&self) -> u8 {
+        self.y + self.h
+    }
+
+    /// Whether `c` lies inside the rectangle.
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x >= self.x && c.x < self.x_end() && c.y >= self.y && c.y < self.y_end()
+    }
+
+    /// Whether the rectangle fits inside the grid.
+    pub fn fits(&self, grid: &Grid) -> bool {
+        self.x_end() <= grid.width && self.y_end() <= grid.height
+    }
+
+    /// Whether two rectangles overlap.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x < other.x_end()
+            && other.x < self.x_end()
+            && self.y < other.y_end()
+            && other.y < self.y_end()
+    }
+
+    /// Whether two rectangles share an edge (are adjacent without
+    /// overlapping); used by the memory-controller sharing design.
+    pub fn adjacent(&self, other: &Rect) -> bool {
+        if self.overlaps(other) {
+            return false;
+        }
+        let x_touch = self.x_end() == other.x || other.x_end() == self.x;
+        let y_touch = self.y_end() == other.y || other.y_end() == self.y;
+        let x_overlap = self.x < other.x_end() && other.x < self.x_end();
+        let y_overlap = self.y < other.y_end() && other.y < self.y_end();
+        (x_touch && y_overlap) || (y_touch && x_overlap)
+    }
+
+    /// Iterates over the covered coordinates, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        let r = *self;
+        (r.y..r.y_end()).flat_map(move |y| (r.x..r.x_end()).map(move |x| Coord::new(x, y)))
+    }
+
+    /// The corner with the smallest coordinates.
+    pub fn origin(&self) -> Coord {
+        Coord::new(self.x, self.y)
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}@({},{})", self.w, self.h, self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_and_coord_roundtrip() {
+        let g = Grid::paper();
+        for c in g.iter() {
+            assert_eq!(g.coord(g.router(c)), c);
+        }
+        assert_eq!(g.router(Coord::new(0, 0)), RouterId(0));
+        assert_eq!(g.router(Coord::new(7, 0)), RouterId(7));
+        assert_eq!(g.router(Coord::new(0, 1)), RouterId(8));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Coord::new(0, 0).manhattan(Coord::new(3, 4)), 7);
+        assert_eq!(Coord::new(5, 2).manhattan(Coord::new(5, 2)), 0);
+        assert_eq!(Coord::new(5, 2).manhattan(Coord::new(2, 5)), 6);
+    }
+
+    #[test]
+    fn direction_to_same_row_or_column() {
+        let a = Coord::new(2, 2);
+        assert_eq!(a.direction_to(Coord::new(5, 2)), Some(Direction::East));
+        assert_eq!(a.direction_to(Coord::new(0, 2)), Some(Direction::West));
+        assert_eq!(a.direction_to(Coord::new(2, 5)), Some(Direction::North));
+        assert_eq!(a.direction_to(Coord::new(2, 0)), Some(Direction::South));
+        assert_eq!(a.direction_to(Coord::new(3, 3)), None);
+        assert_eq!(a.direction_to(a), None);
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let g = Grid::new(3, 3);
+        assert_eq!(g.neighbor(Coord::new(0, 0), Direction::West), None);
+        assert_eq!(g.neighbor(Coord::new(0, 0), Direction::South), None);
+        assert_eq!(
+            g.neighbor(Coord::new(0, 0), Direction::East),
+            Some(Coord::new(1, 0))
+        );
+        assert_eq!(
+            g.neighbor(Coord::new(0, 0), Direction::North),
+            Some(Coord::new(0, 1))
+        );
+        assert_eq!(g.neighbor(Coord::new(2, 2), Direction::East), None);
+        assert_eq!(g.neighbor(Coord::new(2, 2), Direction::North), None);
+    }
+
+    #[test]
+    fn grid_iter_covers_all_tiles_once() {
+        let g = Grid::new(4, 3);
+        let coords: Vec<Coord> = g.iter().collect();
+        assert_eq!(coords.len(), 12);
+        let mut set = std::collections::HashSet::new();
+        for c in coords {
+            assert!(g.contains(c));
+            assert!(set.insert(c));
+        }
+    }
+
+    #[test]
+    fn rect_contains_and_iter() {
+        let r = Rect::new(2, 1, 3, 2);
+        assert_eq!(r.tiles(), 6);
+        assert_eq!(r.iter().count(), 6);
+        assert!(r.contains(Coord::new(2, 1)));
+        assert!(r.contains(Coord::new(4, 2)));
+        assert!(!r.contains(Coord::new(5, 2)));
+        assert!(!r.contains(Coord::new(2, 3)));
+        assert!(!r.contains(Coord::new(1, 1)));
+    }
+
+    #[test]
+    fn rect_overlap_detection() {
+        let a = Rect::new(0, 0, 4, 4);
+        assert!(a.overlaps(&Rect::new(3, 3, 2, 2)));
+        assert!(!a.overlaps(&Rect::new(4, 0, 4, 4)));
+        assert!(!a.overlaps(&Rect::new(0, 4, 4, 4)));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn rect_adjacency() {
+        let a = Rect::new(0, 0, 4, 4);
+        assert!(a.adjacent(&Rect::new(4, 0, 4, 4)));
+        assert!(a.adjacent(&Rect::new(0, 4, 4, 4)));
+        assert!(a.adjacent(&Rect::new(4, 2, 2, 4)));
+        // Diagonal corner touch is not adjacency.
+        assert!(!a.adjacent(&Rect::new(4, 4, 4, 4)));
+        // Distant rects are not adjacent.
+        assert!(!a.adjacent(&Rect::new(5, 0, 2, 2)));
+        // Overlapping rects are not "adjacent".
+        assert!(!a.adjacent(&Rect::new(2, 2, 4, 4)));
+    }
+
+    #[test]
+    fn rect_fits_grid() {
+        let g = Grid::paper();
+        assert!(Rect::new(0, 0, 8, 8).fits(&g));
+        assert!(Rect::new(4, 4, 4, 4).fits(&g));
+        assert!(!Rect::new(4, 4, 5, 4).fits(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn router_outside_grid_panics() {
+        Grid::new(2, 2).router(Coord::new(2, 0));
+    }
+}

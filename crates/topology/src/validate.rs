@@ -1,0 +1,384 @@
+//! Route and deadlock validation.
+//!
+//! Two checks back the deadlock-free reconfiguration story (Sec. II-C):
+//!
+//! * **Route termination**: walking the routing tables from any source to
+//!   any destination terminates at the destination's NI (no loops, no
+//!   missing entries).
+//! * **Channel-dependency-graph acyclicity** (Dally/Towles): for every path
+//!   the tables can produce, consecutive channel holds create dependencies;
+//!   the graph over `(channel, VC class)` nodes must be acyclic per virtual
+//!   network. Dateline class switches (torus wraps) are modeled exactly as
+//!   the simulator applies them.
+
+use adaptnoc_sim::ids::{ChannelId, NodeId, PortId, RouterId, Vnet};
+use adaptnoc_sim::spec::NetworkSpec;
+use std::collections::{HashMap, HashSet};
+
+/// A walked route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutePath {
+    /// Channels traversed, in order.
+    pub channels: Vec<ChannelId>,
+    /// Router-to-router hops (= `channels.len()`).
+    pub hops: usize,
+    /// Sum of channel latencies (a zero-load lower bound without router
+    /// pipeline delays).
+    pub wire_latency: u32,
+}
+
+/// Validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A routing entry is missing.
+    NoRoute {
+        /// Router with the missing entry.
+        router: RouterId,
+        /// Destination.
+        dst: NodeId,
+        /// Virtual network.
+        vnet: Vnet,
+    },
+    /// A routing entry points to a port with no channel and no matching NI.
+    BadPort {
+        /// Router with the bad entry.
+        router: RouterId,
+        /// The port.
+        port: PortId,
+    },
+    /// The walk exceeded the hop budget (a routing loop).
+    Loop {
+        /// Source of the looping route.
+        src: NodeId,
+        /// Destination of the looping route.
+        dst: NodeId,
+        /// Virtual network.
+        vnet: Vnet,
+    },
+    /// A VC-class-1 packet would be allocated at a router without a VC
+    /// split (the dateline would be ineffective).
+    MissingVcSplit {
+        /// The offending router.
+        router: RouterId,
+    },
+    /// The channel dependency graph contains a cycle.
+    DependencyCycle {
+        /// Virtual network with the cycle.
+        vnet: Vnet,
+        /// One channel on the cycle.
+        witness: ChannelId,
+    },
+    /// A node has no NI.
+    NoNi(NodeId),
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::NoRoute { router, dst, vnet } => {
+                write!(f, "no route at {router} towards {dst} on {vnet}")
+            }
+            ValidateError::BadPort { router, port } => {
+                write!(f, "route at {router} points to unwired port {port}")
+            }
+            ValidateError::Loop { src, dst, vnet } => {
+                write!(f, "routing loop from {src} to {dst} on {vnet}")
+            }
+            ValidateError::MissingVcSplit { router } => {
+                write!(f, "dateline class used at {router} without a VC split")
+            }
+            ValidateError::DependencyCycle { vnet, witness } => {
+                write!(f, "channel dependency cycle on {vnet} through {witness}")
+            }
+            ValidateError::NoNi(n) => write!(f, "node {n} has no network interface"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Walks the route from `src` to `dst` on `vnet`, mirroring the simulator's
+/// per-hop table lookups and VC-class updates.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] on missing entries, unwired ports, or loops.
+pub fn walk_route(
+    spec: &NetworkSpec,
+    vnet: Vnet,
+    src: NodeId,
+    dst: NodeId,
+) -> Result<RoutePath, ValidateError> {
+    let src_ni = spec.ni_of(src).ok_or(ValidateError::NoNi(src))?;
+    let dst_ni = spec.ni_of(dst).ok_or(ValidateError::NoNi(dst))?;
+
+    // (router, out port) -> channel index.
+    let mut out_map: HashMap<(RouterId, PortId), usize> = HashMap::new();
+    for (i, c) in spec.channels.iter().enumerate() {
+        out_map.insert((c.src.router, c.src.port), i);
+    }
+
+    let mut cur = src_ni.router;
+    let mut path = RoutePath {
+        channels: Vec::new(),
+        hops: 0,
+        wire_latency: 0,
+    };
+    let budget = spec.routers.len() * 4 + 8;
+    loop {
+        let port = spec
+            .tables
+            .lookup(vnet, cur, dst)
+            .ok_or(ValidateError::NoRoute {
+                router: cur,
+                dst,
+                vnet,
+            })?;
+        if cur == dst_ni.router && port == dst_ni.port {
+            return Ok(path);
+        }
+        let Some(&ci) = out_map.get(&(cur, port)) else {
+            return Err(ValidateError::BadPort { router: cur, port });
+        };
+        let ch = &spec.channels[ci];
+        path.channels.push(ChannelId(ci as u32));
+        path.hops += 1;
+        path.wire_latency += ch.latency as u32;
+        cur = ch.dst.router;
+        if path.hops > budget {
+            return Err(ValidateError::Loop { src, dst, vnet });
+        }
+    }
+}
+
+/// Statistics over a set of validated routes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RouteStats {
+    /// Number of routes walked.
+    pub routes: usize,
+    /// Total hops.
+    pub total_hops: usize,
+    /// Maximum hops on any route.
+    pub max_hops: usize,
+}
+
+impl RouteStats {
+    /// Mean hops per route.
+    pub fn avg_hops(&self) -> f64 {
+        if self.routes == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.routes as f64
+        }
+    }
+}
+
+/// Validates every `(src, dst)` pair on every vnet: routes terminate and the
+/// per-vnet channel dependency graphs (over `(channel, class)` nodes) are
+/// acyclic.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found.
+pub fn check_routes_and_deadlock(
+    spec: &NetworkSpec,
+    pairs: &[(NodeId, NodeId)],
+) -> Result<RouteStats, ValidateError> {
+    let mut stats = RouteStats::default();
+    for v in 0..spec.tables.vnets() as u8 {
+        let vnet = Vnet(v);
+        // Dependency edges between (channel, class) nodes.
+        let mut deps: HashMap<(u32, u8), HashSet<(u32, u8)>> = HashMap::new();
+        for &(src, dst) in pairs {
+            if src == dst {
+                continue;
+            }
+            let path = walk_route(spec, vnet, src, dst)?;
+            stats.routes += 1;
+            stats.total_hops += path.hops;
+            stats.max_hops = stats.max_hops.max(path.hops);
+
+            let mut class = 0u8;
+            let mut last_dim = adaptnoc_sim::spec::DIM_NONE;
+            let mut prev: Option<(u32, u8)> = None;
+            for &ch_id in &path.channels {
+                let ch = &spec.channels[ch_id.index()];
+                class = ch.class_after(class, last_dim);
+                last_dim = ch.dim();
+                if class > 0 {
+                    // The upstream router allocates the class-restricted VC;
+                    // it must have a split configured.
+                    let up = ch.src.router;
+                    if spec.routers[up.index()].vc_split.is_none() {
+                        return Err(ValidateError::MissingVcSplit { router: up });
+                    }
+                }
+                let node = (ch_id.0, class);
+                if let Some(p) = prev {
+                    deps.entry(p).or_default().insert(node);
+                }
+                prev = Some(node);
+            }
+        }
+        // Cycle detection (iterative DFS with colors).
+        if let Some(witness) = find_cycle(&deps) {
+            return Err(ValidateError::DependencyCycle {
+                vnet,
+                witness: ChannelId(witness),
+            });
+        }
+    }
+    Ok(stats)
+}
+
+/// Dependency graph between `(channel, class)` nodes.
+type DepGraph = HashMap<(u32, u8), HashSet<(u32, u8)>>;
+
+fn find_cycle(deps: &DepGraph) -> Option<u32> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<(u32, u8), Color> = HashMap::new();
+    let empty: HashSet<(u32, u8)> = HashSet::new();
+    for &start in deps.keys() {
+        if *color.get(&start).unwrap_or(&Color::White) != Color::White {
+            continue;
+        }
+        // Iterative DFS over (node, remaining children) frames.
+        type Frame = ((u32, u8), Vec<(u32, u8)>);
+        let mut stack: Vec<Frame> = vec![(
+            start,
+            deps.get(&start).unwrap_or(&empty).iter().copied().collect(),
+        )];
+        color.insert(start, Color::Gray);
+        while let Some((node, children)) = stack.last_mut() {
+            if let Some(child) = children.pop() {
+                match *color.get(&child).unwrap_or(&Color::White) {
+                    Color::Gray => return Some(child.0),
+                    Color::Black => {}
+                    Color::White => {
+                        color.insert(child, Color::Gray);
+                        let next: Vec<(u32, u8)> =
+                            deps.get(&child).unwrap_or(&empty).iter().copied().collect();
+                        stack.push((child, next));
+                    }
+                }
+            } else {
+                color.insert(*node, Color::Black);
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// All ordered pairs among `nodes`.
+pub fn all_pairs(nodes: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    let mut v = Vec::with_capacity(nodes.len() * nodes.len());
+    for &a in nodes {
+        for &b in nodes {
+            if a != b {
+                v.push((a, b));
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::mesh_chip;
+    use crate::geom::{Coord, Grid};
+    use adaptnoc_sim::config::SimConfig;
+
+    #[test]
+    fn mesh_chip_routes_terminate_and_are_deadlock_free() {
+        let grid = Grid::new(4, 4);
+        let spec = mesh_chip(grid, &SimConfig::baseline()).unwrap();
+        let nodes: Vec<NodeId> = grid.iter().map(|c| grid.node(c)).collect();
+        let stats = check_routes_and_deadlock(&spec, &all_pairs(&nodes)).unwrap();
+        assert_eq!(stats.routes, 2 * 16 * 15);
+        // Mesh diameter of 4x4 is 6.
+        assert_eq!(stats.max_hops, 6);
+        assert!((stats.avg_hops() - 8.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn walk_route_reports_hops() {
+        let grid = Grid::new(4, 4);
+        let spec = mesh_chip(grid, &SimConfig::baseline()).unwrap();
+        let a = grid.node(Coord::new(0, 0));
+        let b = grid.node(Coord::new(3, 3));
+        let p = walk_route(&spec, Vnet::REQUEST, a, b).unwrap();
+        assert_eq!(p.hops, 6);
+        assert_eq!(p.wire_latency, 6);
+    }
+
+    #[test]
+    fn broken_table_detected_as_no_route() {
+        let grid = Grid::new(3, 3);
+        let mut spec = mesh_chip(grid, &SimConfig::baseline()).unwrap();
+        let a = grid.node(Coord::new(0, 0));
+        let b = grid.node(Coord::new(2, 2));
+        spec.tables.clear(Vnet::REQUEST, grid.router(Coord::new(1, 0)), b);
+        let err = walk_route(&spec, Vnet::REQUEST, a, b);
+        assert!(matches!(err, Err(ValidateError::NoRoute { .. })));
+    }
+
+    #[test]
+    fn routing_loop_detected() {
+        let grid = Grid::new(3, 1);
+        let mut spec = mesh_chip(grid, &SimConfig::baseline()).unwrap();
+        let a = grid.node(Coord::new(0, 0));
+        let b = grid.node(Coord::new(2, 0));
+        // Make router 1 bounce traffic back west.
+        spec.tables.set(
+            Vnet::REQUEST,
+            grid.router(Coord::new(1, 0)),
+            b,
+            adaptnoc_sim::ids::Direction::West.port(),
+        );
+        let err = walk_route(&spec, Vnet::REQUEST, a, b);
+        assert!(matches!(err, Err(ValidateError::Loop { .. })));
+    }
+
+    #[test]
+    fn cycle_finder_detects_simple_cycle() {
+        let mut deps: HashMap<(u32, u8), HashSet<(u32, u8)>> = HashMap::new();
+        deps.entry((0, 0)).or_default().insert((1, 0));
+        deps.entry((1, 0)).or_default().insert((2, 0));
+        deps.entry((2, 0)).or_default().insert((0, 0));
+        assert!(find_cycle(&deps).is_some());
+    }
+
+    #[test]
+    fn cycle_finder_accepts_dag() {
+        let mut deps: HashMap<(u32, u8), HashSet<(u32, u8)>> = HashMap::new();
+        deps.entry((0, 0)).or_default().insert((1, 0));
+        deps.entry((0, 0)).or_default().insert((2, 0));
+        deps.entry((1, 0)).or_default().insert((2, 0));
+        assert!(find_cycle(&deps).is_none());
+    }
+
+    #[test]
+    fn class_split_distinguishes_nodes() {
+        // Same channels, different classes: no cycle.
+        let mut deps: HashMap<(u32, u8), HashSet<(u32, u8)>> = HashMap::new();
+        deps.entry((0, 0)).or_default().insert((1, 0));
+        deps.entry((1, 0)).or_default().insert((0, 1));
+        deps.entry((0, 1)).or_default().insert((1, 1));
+        assert!(find_cycle(&deps).is_none());
+    }
+
+    #[test]
+    fn all_pairs_excludes_self() {
+        let nodes = [NodeId(0), NodeId(1), NodeId(2)];
+        let pairs = all_pairs(&nodes);
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.iter().all(|(a, b)| a != b));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: any valid region assignment must produce a spec whose
+//! routes terminate and whose channel dependency graph is acyclic.
+
+use adaptnoc_sim::config::SimConfig;
+use adaptnoc_sim::ids::NodeId;
+use adaptnoc_topology::prelude::*;
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::Mesh),
+        Just(TopologyKind::Cmesh),
+        Just(TopologyKind::Torus),
+        Just(TopologyKind::Tree),
+        Just(TopologyKind::TorusTree),
+    ]
+}
+
+/// Random even-dimension rect inside the 8x8 grid (even so cmesh always
+/// applies).
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (0u8..4, 0u8..4, 1u8..5, 1u8..5).prop_map(|(hx, hy, hw, hh)| {
+        let (x, y, w, h) = (hx * 2, hy * 2, hw * 2, hh * 2);
+        let w = w.min(8 - x);
+        let h = h.min(8 - y);
+        Rect::new(x, y, w, h)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single random region: builds, routes terminate, CDG acyclic.
+    #[test]
+    fn random_region_is_sound(rect in rect_strategy(), kind in kind_strategy()) {
+        let cfg = SimConfig::adapt_noc();
+        let grid = Grid::paper();
+        let spec = build_chip_spec(grid, &[RegionTopology::new(rect, kind)], &cfg)
+            .unwrap_or_else(|e| panic!("{kind} {rect}: {e}"));
+        let nodes: Vec<NodeId> = rect.iter().map(|c| grid.node(c)).collect();
+        let stats = check_routes_and_deadlock(&spec, &all_pairs(&nodes))
+            .unwrap_or_else(|e| panic!("{kind} {rect}: {e}"));
+        if nodes.len() > 1 {
+            prop_assert!(stats.routes > 0);
+            // Minimality-ish bound: no route longer than the full perimeter.
+            prop_assert!(stats.max_hops <= (rect.w as usize + rect.h as usize) * 2);
+        }
+    }
+
+    /// Random tree root placement inside the region.
+    #[test]
+    fn random_tree_root_is_sound(
+        rect in rect_strategy(),
+        rx in 0u8..8,
+        ry in 0u8..8,
+    ) {
+        let grid = Grid::paper();
+        let root = Coord::new(rect.x + rx % rect.w, rect.y + ry % rect.h);
+        let cfg = SimConfig::adapt_noc();
+        let region = RegionTopology::new(rect, TopologyKind::Tree).with_root(grid.node(root));
+        let spec = build_chip_spec(grid, &[region], &cfg).unwrap();
+        let nodes: Vec<NodeId> = rect.iter().map(|c| grid.node(c)).collect();
+        check_routes_and_deadlock(&spec, &all_pairs(&nodes)).unwrap();
+    }
+
+    /// Two disjoint random regions coexist soundly.
+    #[test]
+    fn split_chip_is_sound(
+        split in 2u8..7,
+        vertical in prop::bool::ANY,
+        k1 in kind_strategy(),
+        k2 in kind_strategy(),
+    ) {
+        let split = split & !1; // even for cmesh
+        prop_assume!((2..=6).contains(&split));
+        let grid = Grid::paper();
+        let (r1, r2) = if vertical {
+            (Rect::new(0, 0, split, 8), Rect::new(split, 0, 8 - split, 8))
+        } else {
+            (Rect::new(0, 0, 8, split), Rect::new(0, split, 8, 8 - split))
+        };
+        let cfg = SimConfig::adapt_noc();
+        let spec = build_chip_spec(
+            grid,
+            &[RegionTopology::new(r1, k1), RegionTopology::new(r2, k2)],
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("{k1}/{k2} {r1} {r2}: {e}"));
+        for rect in [r1, r2] {
+            let nodes: Vec<NodeId> = rect.iter().map(|c| grid.node(c)).collect();
+            check_routes_and_deadlock(&spec, &all_pairs(&nodes))
+                .unwrap_or_else(|e| panic!("{rect}: {e}"));
+        }
+    }
+}

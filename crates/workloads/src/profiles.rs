@@ -1,0 +1,260 @@
+//! Synthetic application profiles standing in for the paper's Parsec and
+//! Rodinia benchmarks (Table II).
+//!
+//! The full-system gem5-GPU runs of the paper are not reproducible here, so
+//! each benchmark is modeled as a closed-loop memory-system driver: every
+//! core keeps up to `mlp` misses outstanding, waits for the round trip
+//! through the NoC (to its MC or to a shared-L2 slice), thinks for a few
+//! cycles, and reissues. Phase lists capture the time-varying behaviour
+//! the RL controller exploits. Parameters encode the qualitative
+//! characterizations used in the paper (e.g. CA/SW/X264 memory-heavy among
+//! the CPU apps; GPU apps with much higher memory-level parallelism and
+//! reply-dominated traffic).
+
+/// Application class (drives default placement and figure grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AppClass {
+    /// Latency-sensitive multi-threaded CPU application (Parsec).
+    Cpu,
+    /// Throughput-oriented GPU application (Rodinia).
+    Gpu,
+}
+
+/// One execution phase of an application.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseParams {
+    /// Phase length in cycles.
+    pub duration: u64,
+    /// Outstanding misses per core (memory-level parallelism).
+    pub mlp: u8,
+    /// Compute cycles between a reply and the next issue.
+    pub think_time: u16,
+    /// Fraction of requests that go off-chip (to the MC); the rest hit
+    /// shared-L2 slices distributed over the region.
+    pub mc_fraction: f64,
+    /// Coherence packets per core per 1000 cycles (open loop).
+    pub coherence_per_kcycle: f64,
+    /// Instructions retired per completed request (inverse miss intensity).
+    pub insts_per_request: f64,
+    /// L1I misses per request (only feeds the RL state vector).
+    pub l1i_miss_ratio: f64,
+}
+
+impl PhaseParams {
+    /// A quiet compute phase.
+    pub fn compute(duration: u64) -> Self {
+        PhaseParams {
+            duration,
+            mlp: 2,
+            think_time: 120,
+            mc_fraction: 0.3,
+            coherence_per_kcycle: 0.5,
+            insts_per_request: 150.0,
+            l1i_miss_ratio: 0.02,
+        }
+    }
+
+    /// A memory-intensive phase.
+    pub fn memory(duration: u64) -> Self {
+        PhaseParams {
+            duration,
+            mlp: 4,
+            think_time: 20,
+            mc_fraction: 0.6,
+            coherence_per_kcycle: 1.0,
+            insts_per_request: 30.0,
+            l1i_miss_ratio: 0.05,
+        }
+    }
+}
+
+/// A named application profile.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AppProfile {
+    /// Short name from Table II.
+    pub name: &'static str,
+    /// CPU or GPU class.
+    pub class: AppClass,
+    /// Phase schedule, looped until the instruction target is met.
+    pub phases: Vec<PhaseParams>,
+    /// Target retired instructions per core (execution-time experiments).
+    pub insts_per_core: f64,
+}
+
+fn cpu(name: &'static str, phases: Vec<PhaseParams>) -> AppProfile {
+    AppProfile {
+        name,
+        class: AppClass::Cpu,
+        phases,
+        insts_per_core: 120_000.0,
+    }
+}
+
+fn gpu(name: &'static str, phases: Vec<PhaseParams>) -> AppProfile {
+    AppProfile {
+        name,
+        class: AppClass::Gpu,
+        phases,
+        insts_per_core: 60_000.0,
+    }
+}
+
+fn p(
+    duration: u64,
+    mlp: u8,
+    think_time: u16,
+    mc_fraction: f64,
+    coherence_per_kcycle: f64,
+    insts_per_request: f64,
+) -> PhaseParams {
+    PhaseParams {
+        duration,
+        mlp,
+        think_time,
+        mc_fraction,
+        coherence_per_kcycle,
+        insts_per_request,
+        l1i_miss_ratio: 0.03,
+    }
+}
+
+/// The seven Parsec (CPU) profiles of Table II.
+pub fn parsec_suite() -> Vec<AppProfile> {
+    vec![
+        // Blackscholes: embarrassingly parallel, compute-bound, sparse
+        // traffic.
+        cpu("BS", vec![p(30_000, 2, 140, 0.30, 0.3, 180.0)]),
+        // Swaptions: compute with periodic memory bursts (picks the tree
+        // ~8% of the time in the paper).
+        cpu(
+            "SW",
+            vec![p(24_000, 2, 100, 0.35, 0.5, 120.0), p(8_000, 3, 25, 0.65, 0.6, 35.0)],
+        ),
+        // x264: streaming frames; alternating motion-estimation (compute)
+        // and reference-fetch (memory) phases.
+        cpu(
+            "X264",
+            vec![p(16_000, 3, 70, 0.40, 1.0, 90.0), p(10_000, 3, 22, 0.65, 0.8, 30.0)],
+        ),
+        // Ferret: pipelined similarity search; steady moderate traffic with
+        // heavy inter-stage communication.
+        cpu("FR", vec![p(30_000, 3, 80, 0.35, 2.5, 100.0)]),
+        // Bodytrack: bursty per-frame phases.
+        cpu(
+            "BT",
+            vec![p(20_000, 2, 110, 0.30, 1.2, 140.0), p(8_000, 3, 45, 0.45, 1.5, 60.0)],
+        ),
+        // Canneal: cache-hostile random accesses; the most memory-bound
+        // CPU app.
+        cpu("CA", vec![p(30_000, 2, 10, 0.65, 1.0, 25.0)]),
+        // Fluidanimate: nearest-neighbour exchanges, coherence-heavy.
+        cpu("FL", vec![p(30_000, 3, 60, 0.25, 4.0, 80.0)]),
+    ]
+}
+
+/// The seven Rodinia (GPU) profiles of Table II.
+pub fn rodinia_suite() -> Vec<AppProfile> {
+    vec![
+        // Kmeans: streaming, very high MLP, reply-bandwidth bound.
+        gpu("KM", vec![p(30_000, 12, 8, 0.80, 0.1, 6.0)]),
+        // Back-propagation: alternating forward (read-heavy) and update
+        // phases.
+        gpu(
+            "BP",
+            vec![p(14_000, 10, 10, 0.70, 0.2, 8.0), p(10_000, 5, 30, 0.40, 0.3, 24.0)],
+        ),
+        // Heart-Wall: image processing with moderate locality.
+        gpu("HW", vec![p(30_000, 8, 15, 0.55, 0.2, 14.0)]),
+        // Gaussian elimination: shrinking working set; bursty rows.
+        gpu(
+            "GA",
+            vec![p(12_000, 9, 10, 0.65, 0.2, 10.0), p(8_000, 4, 40, 0.35, 0.2, 30.0)],
+        ),
+        // Breadth-First-Search: irregular frontier expansion.
+        gpu(
+            "BFS",
+            vec![p(10_000, 9, 12, 0.60, 0.4, 9.0), p(6_000, 3, 60, 0.30, 0.4, 40.0)],
+        ),
+        // Needleman-Wunsch: wavefront over the score matrix; neighbour
+        // (L2-slice) dominated.
+        gpu("NW", vec![p(30_000, 7, 18, 0.30, 0.5, 16.0)]),
+        // HotSpot: stencil; neighbour exchanges plus moderate DRAM.
+        gpu("HS", vec![p(30_000, 8, 14, 0.40, 0.5, 13.0)]),
+    ]
+}
+
+/// Looks a profile up by its Table-II short name.
+pub fn by_name(name: &str) -> Option<AppProfile> {
+    parsec_suite()
+        .into_iter()
+        .chain(rodinia_suite())
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_profiles_match_table_ii() {
+        assert_eq!(parsec_suite().len(), 7);
+        assert_eq!(rodinia_suite().len(), 7);
+        let names: Vec<&str> = parsec_suite()
+            .iter()
+            .chain(rodinia_suite().iter())
+            .map(|a| a.name)
+            .collect::<Vec<_>>();
+        for expected in [
+            "BS", "SW", "X264", "FR", "BT", "CA", "FL", "KM", "BP", "HW", "GA", "BFS", "NW",
+            "HS",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn gpu_profiles_have_higher_mlp() {
+        let cpu_max = parsec_suite()
+            .iter()
+            .flat_map(|a| a.phases.iter().map(|p| p.mlp))
+            .max()
+            .unwrap();
+        let gpu_max = rodinia_suite()
+            .iter()
+            .flat_map(|a| a.phases.iter().map(|p| p.mlp))
+            .max()
+            .unwrap();
+        assert!(gpu_max > cpu_max * 2, "GPU traffic intensity must dominate");
+    }
+
+    #[test]
+    fn all_parameters_sane() {
+        for a in parsec_suite().into_iter().chain(rodinia_suite()) {
+            assert!(!a.phases.is_empty(), "{}", a.name);
+            assert!(a.insts_per_core > 0.0);
+            for ph in &a.phases {
+                assert!(ph.duration > 0);
+                assert!(ph.mlp >= 1);
+                assert!((0.0..=1.0).contains(&ph.mc_fraction));
+                assert!(ph.insts_per_request > 0.0);
+                assert!(ph.coherence_per_kcycle >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_case_insensitive() {
+        assert_eq!(by_name("ca").unwrap().name, "CA");
+        assert_eq!(by_name("KM").unwrap().class, AppClass::Gpu);
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn phase_helpers() {
+        let c = PhaseParams::compute(1000);
+        let m = PhaseParams::memory(1000);
+        assert!(m.mc_fraction > c.mc_fraction);
+        assert!(m.insts_per_request < c.insts_per_request);
+        assert!(m.think_time < c.think_time);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the workload engine: request/reply bookkeeping stays
+//! consistent for arbitrary profile parameters.
+
+use adaptnoc_core::prelude::*;
+use adaptnoc_sim::config::SimConfig;
+use adaptnoc_sim::network::Network;
+use adaptnoc_topology::prelude::*;
+use adaptnoc_workloads::prelude::*;
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = AppProfile> {
+    (
+        1u8..16,
+        1u16..120,
+        0.0f64..1.0,
+        0.0f64..3.0,
+        1.0f64..120.0,
+        prop::bool::ANY,
+    )
+        .prop_map(|(mlp, think, mc_frac, coh, ipr, gpu)| AppProfile {
+            name: "RAND",
+            class: if gpu { AppClass::Gpu } else { AppClass::Cpu },
+            phases: vec![PhaseParams {
+                duration: 5_000,
+                mlp,
+                think_time: think,
+                mc_fraction: mc_frac,
+                coherence_per_kcycle: coh,
+                insts_per_request: ipr,
+                l1i_miss_ratio: 0.03,
+            }],
+            insts_per_core: 1e12,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any profile: replies never exceed requests, instruction
+    /// accounting matches completed round trips, and after the cores stop
+    /// issuing, the network drains with all bookkeeping settled.
+    #[test]
+    fn workload_bookkeeping_is_consistent(profile in profile_strategy(), seed in 0u64..100) {
+        let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), profile.class == AppClass::Gpu);
+        let cfg = SimConfig::baseline();
+        let spec = mesh_chip(layout.grid, &cfg).unwrap();
+        let mut net = Network::new(spec, cfg).unwrap();
+        let mut wl = Workload::new(&layout, std::slice::from_ref(&profile), seed);
+        for _ in 0..6_000 {
+            wl.tick(&mut net);
+            net.step();
+        }
+        let e = wl.apps[0].epoch;
+        prop_assert!(e.replies <= e.requests, "replies {} > requests {}", e.replies, e.requests);
+        prop_assert!(e.mc_requests <= e.requests);
+        let expected_insts = e.replies as f64 * profile.phases[0].insts_per_request;
+        prop_assert!((e.insts - expected_insts).abs() < 1e-6);
+
+        // Freeze issue (finish the app) and let the network drain; every
+        // outstanding request must complete.
+        wl.apps[0].finished_at = Some(net.now());
+        let mut guard = 0u64;
+        loop {
+            wl.tick(&mut net);
+            net.step();
+            guard += 1;
+            if net.in_flight() == 0 {
+                break;
+            }
+            prop_assert!(guard < 200_000, "drain hung");
+        }
+        // After the drain, MC/L2 service queues may still hold entries for
+        // a few more cycles; run the service models dry.
+        for _ in 0..200 {
+            wl.tick(&mut net);
+            net.step();
+        }
+        while net.in_flight() > 0 {
+            wl.tick(&mut net);
+            net.step();
+        }
+        prop_assert_eq!(net.unroutable_events(), 0);
+    }
+
+    /// Deterministic replay: the same seed produces the same counters.
+    #[test]
+    fn workload_is_deterministic(seed in 0u64..50) {
+        let run = |seed: u64| {
+            let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), true);
+            let cfg = SimConfig::baseline();
+            let spec = mesh_chip(layout.grid, &cfg).unwrap();
+            let mut net = Network::new(spec, cfg).unwrap();
+            let mut wl = Workload::new(&layout, &[by_name("KM").unwrap()], seed);
+            for _ in 0..3_000 {
+                wl.tick(&mut net);
+                net.step();
+            }
+            let e = wl.apps[0].epoch;
+            (e.requests, e.replies, e.coherence_sent, e.net_lat_sum)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

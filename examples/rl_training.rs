@@ -1,0 +1,59 @@
+//! Trains the DQN control policy offline (Sec. III-E) and deploys it:
+//! the controller then picks a subNoC topology every epoch from the
+//! 12-attribute state vector, maximizing `-power x latency`.
+//!
+//! ```sh
+//! cargo run --release --example rl_training
+//! ```
+
+use adaptnoc::bench::prelude::*;
+use adaptnoc::core::prelude::*;
+use adaptnoc::topology::prelude::*;
+use adaptnoc::workloads::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Offline training over the paper's region sizes (2x4 ... 8x8) and a
+    //    spread of CPU/GPU profiles.
+    println!("training the DQN (12-15-15-4) offline...");
+    let tc = TrainConfig::default();
+    let policy = train_dqn(&default_scenarios(), &tc, None)?;
+    println!("trained; deploying with epsilon = 0.05\n");
+
+    // 2. Deployment: the policy controls a GPU app's 4x8 subNoC.
+    let rc = RunConfig {
+        epoch_cycles: 10_000,
+        epochs: 8,
+        warmup_epochs: 1,
+        ..Default::default()
+    };
+    for name in ["BS", "CA", "KM", "BP"] {
+        let profile = by_name(name).unwrap();
+        let gpu = profile.class == AppClass::Gpu;
+        let rect = if gpu {
+            Rect::new(0, 0, 4, 8)
+        } else {
+            Rect::new(0, 0, 4, 4)
+        };
+        let layout = ChipLayout::single(rect, gpu);
+        let result = run_design(
+            DesignKind::AdaptNoc,
+            &layout,
+            std::slice::from_ref(&profile),
+            vec![TopologyPolicy::Trained(policy.clone())],
+            &rc,
+        )?;
+        let sel = result.selections.as_ref().unwrap()[0];
+        println!(
+            "{name:<5} ({}) selections: mesh {:>4.0}% cmesh {:>4.0}% torus {:>4.0}% tree {:>4.0}% | \
+             pkt latency {:>6.1} cyc | {} reconfigs",
+            if gpu { "gpu" } else { "cpu" },
+            sel[0] * 100.0,
+            sel[1] * 100.0,
+            sel[2] * 100.0,
+            sel[3] * 100.0,
+            result.packet_latency(),
+            result.reconfigs,
+        );
+    }
+    Ok(())
+}

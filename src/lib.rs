@@ -1,0 +1,31 @@
+//! # adaptnoc
+//!
+//! A full reproduction of **"Adapt-NoC: A Flexible Network-on-Chip Design
+//! for Heterogeneous Manycore Architectures"** (Zheng, Wang, Louri,
+//! HPCA 2021) as a Rust workspace:
+//!
+//! * [`sim`] — a cycle-level NoC simulator (VC routers, credits, virtual
+//!   cut-through, live reconfiguration).
+//! * [`topology`] — the four subNoC topologies (mesh/cmesh/torus/tree),
+//!   baselines (flattened butterfly, shortcut), routing and deadlock
+//!   validation.
+//! * [`power`] — 45 nm energy/area/timing/wiring models.
+//! * [`rl`] — a from-scratch DQN (12-15-15-4) and tabular Q-learning.
+//! * [`core`] — the Adapt-NoC architecture: adaptable links/routers,
+//!   subNoC management, deadlock-free reconfiguration, MC sharing, the
+//!   seven evaluated designs.
+//! * [`workloads`] — synthetic Parsec/Rodinia closed-loop applications.
+//! * `bench` — the harness regenerating every figure and table.
+//!
+//! See `examples/` for runnable entry points and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology and results.
+
+#![forbid(unsafe_code)]
+
+pub use adaptnoc_bench as bench;
+pub use adaptnoc_core as core;
+pub use adaptnoc_power as power;
+pub use adaptnoc_rl as rl;
+pub use adaptnoc_sim as sim;
+pub use adaptnoc_topology as topology;
+pub use adaptnoc_workloads as workloads;

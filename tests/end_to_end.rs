@@ -1,0 +1,276 @@
+//! Workspace-level integration tests: full designs end to end, RL training
+//! to deployment, and live reconfiguration under real workloads.
+
+use adaptnoc::bench::prelude::*;
+use adaptnoc::core::prelude::*;
+use adaptnoc::power::prelude::*;
+use adaptnoc::rl::prelude::*;
+use adaptnoc::sim::prelude::*;
+use adaptnoc::topology::prelude::*;
+use adaptnoc::workloads::prelude::*;
+
+fn quick_rc() -> RunConfig {
+    RunConfig {
+        epoch_cycles: 5_000,
+        epochs: 2,
+        warmup_epochs: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_design_survives_the_mixed_workload() {
+    let layout = ChipLayout::paper_mixed();
+    let profiles = vec![
+        by_name("CA").unwrap(),
+        by_name("KM").unwrap(),
+        by_name("BP").unwrap(),
+    ];
+    for kind in DesignKind::ALL {
+        let policies = if kind.is_adaptive() {
+            fixed_policies(&[TopologyKind::Cmesh, TopologyKind::Tree, TopologyKind::Torus])
+        } else {
+            vec![]
+        };
+        let r = run_design(kind, &layout, &profiles, policies, &quick_rc()).unwrap();
+        assert!(r.network_latency > 0.0, "{kind}: no traffic measured");
+        assert!(r.energy.total_j() > 0.0, "{kind}: no energy");
+        assert_eq!(r.apps.len(), 3);
+        for a in &r.apps {
+            assert!(a.delivered > 0, "{kind}/{}: nothing delivered", a.name);
+        }
+    }
+}
+
+#[test]
+fn cmesh_cuts_cpu_hops_like_the_paper() {
+    // The paper: Adapt-NoC achieves 41% hop-count reduction for CPU apps
+    // vs the baseline (Fig. 8), driven by concentration.
+    let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), false);
+    let profile = by_name("BS").unwrap();
+    let base = run_design(
+        DesignKind::Baseline,
+        &layout,
+        std::slice::from_ref(&profile),
+        vec![],
+        &quick_rc(),
+    )
+    .unwrap();
+    let adapt = run_design(
+        DesignKind::AdaptNocNoRl,
+        &layout,
+        std::slice::from_ref(&profile),
+        fixed_policies(&[TopologyKind::Cmesh]),
+        &quick_rc(),
+    )
+    .unwrap();
+    assert!(
+        adapt.hops < base.hops * 0.7,
+        "cmesh hops {} vs baseline {}",
+        adapt.hops,
+        base.hops
+    );
+    assert!(
+        adapt.packet_latency() < base.packet_latency(),
+        "cmesh latency {} vs baseline {}",
+        adapt.packet_latency(),
+        base.packet_latency()
+    );
+}
+
+#[test]
+fn torus_beats_adapt_mesh_for_gpu_traffic() {
+    let layout = ChipLayout::single(Rect::new(0, 0, 8, 4), true);
+    let profile = by_name("BP").unwrap();
+    let run = |kind: TopologyKind| {
+        run_design(
+            DesignKind::AdaptNocNoRl,
+            &layout,
+            std::slice::from_ref(&profile),
+            fixed_policies(&[kind]),
+            &quick_rc(),
+        )
+        .unwrap()
+    };
+    let mesh = run(TopologyKind::Mesh);
+    let torus = run(TopologyKind::Torus);
+    assert!(
+        torus.network_latency < mesh.network_latency,
+        "torus {} vs mesh {}",
+        torus.network_latency,
+        mesh.network_latency
+    );
+}
+
+#[test]
+fn rl_pipeline_trains_and_deploys() {
+    let policy = train_dqn(
+        &[
+            TrainScenario {
+                rect: Rect::new(0, 0, 4, 4),
+                profile: by_name("BS").unwrap(),
+            },
+            TrainScenario {
+                rect: Rect::new(0, 0, 4, 4),
+                profile: by_name("KM").unwrap(),
+            },
+        ],
+        &TrainConfig::tiny(),
+        None,
+    )
+    .unwrap();
+    let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), false);
+    let profile = by_name("BS").unwrap();
+    let r = run_design(
+        DesignKind::AdaptNoc,
+        &layout,
+        std::slice::from_ref(&profile),
+        vec![TopologyPolicy::Trained(policy)],
+        &quick_rc(),
+    )
+    .unwrap();
+    let sel = r.selections.unwrap()[0];
+    assert!((sel.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn qtable_policy_also_controls_the_noc() {
+    // The tabular ablation: Q-learning with discretized state drives the
+    // same controller interface.
+    let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), false);
+    let profile = by_name("CA").unwrap();
+    let r = run_design(
+        DesignKind::AdaptNoc,
+        &layout,
+        std::slice::from_ref(&profile),
+        vec![TopologyPolicy::QTable(QTableAgent::new(4, 4, 9))],
+        &quick_rc(),
+    )
+    .unwrap();
+    assert!(r.network_latency > 0.0);
+}
+
+#[test]
+fn adaptive_designs_never_lose_packets_across_reconfigs() {
+    // Run a learning policy (reconfigures often) and check global packet
+    // conservation through every topology switch.
+    let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), true);
+    let profile = by_name("GA").unwrap();
+    let agent = DqnAgent::new(
+        DqnConfig {
+            epsilon: 0.9,
+            ..Default::default()
+        },
+        3,
+    );
+    let mut design = Design::build(
+        DesignKind::AdaptNoc,
+        layout.clone(),
+        &[],
+        vec![TopologyPolicy::Learning(agent)],
+        3,
+    )
+    .unwrap();
+    let mut wl = Workload::new(&layout, std::slice::from_ref(&profile), 3);
+    let model = EnergyModel::new(design.net.config());
+    for cycle in 1..=30_000u64 {
+        wl.tick(&mut design.net);
+        design.net.step();
+        design.tick().unwrap();
+        if cycle % 3_000 == 0 {
+            let (report, telemetry) = wl.epoch_telemetry(&mut design.net, &layout, &model);
+            design.on_epoch(&report, &telemetry).unwrap();
+        }
+    }
+    let ctl = design.controller().unwrap();
+    assert!(
+        ctl.regions[0].reconfig_count >= 2,
+        "exploration should reconfigure, got {}",
+        ctl.regions[0].reconfig_count
+    );
+    assert_eq!(design.net.unroutable_events(), 0);
+    // Drain: every in-flight packet still completes.
+    let mut guard = 0;
+    while design.net.in_flight() > 0 && guard < 200_000 {
+        wl.tick(&mut design.net);
+        design.net.step();
+        design.tick().unwrap();
+        guard += 1;
+    }
+    assert_eq!(design.net.in_flight(), 0, "network must drain");
+}
+
+#[test]
+fn mc_sharing_increases_memory_throughput() {
+    // The Sec. II-C2 experiment: a memory-hungry app borrowing a
+    // neighbour's MC completes more round trips per epoch.
+    let layout = ChipLayout::new(
+        Grid::paper(),
+        &[(Rect::new(0, 0, 4, 8), true), (Rect::new(4, 0, 4, 8), false)],
+    );
+    let profiles = vec![by_name("KM").unwrap(), by_name("BS").unwrap()];
+    let replies = |share: bool| -> u64 {
+        let cfg = DesignKind::Baseline.sim_config();
+        let spec = mesh_chip(layout.grid, &cfg).unwrap();
+        let mut spec = spec;
+        if share {
+            add_mc_bridge(
+                &mut spec,
+                &layout.grid,
+                layout.regions[0].rect,
+                layout.regions[1].rect,
+                layout.regions[1].mc,
+            )
+            .unwrap();
+        }
+        let mut net = Network::new(spec, cfg).unwrap();
+        let mut wl = Workload::new(&layout, &profiles, 5);
+        if share {
+            wl.add_shared_mc(0, layout.regions[1].mc);
+        }
+        for _ in 0..20_000 {
+            wl.tick(&mut net);
+            net.step();
+        }
+        wl.apps[0].epoch.replies
+    };
+    let without = replies(false);
+    let with = replies(true);
+    assert!(
+        with > without,
+        "shared MC should raise throughput: {without} -> {with}"
+    );
+}
+
+#[test]
+fn area_and_wiring_stay_within_paper_budgets() {
+    let a = area_table();
+    assert!((a.baseline_mm2 - 17.27).abs() < 0.05);
+    assert!(a.saving_fraction > 0.0);
+    let (budget, rows) = wiring_table().unwrap();
+    assert!(rows.iter().all(|r| r.fits_budget));
+    assert_eq!(budget.total(), 9);
+}
+
+#[test]
+fn adaptable_link_inventory_holds_for_every_chip_state() {
+    // Every assignment the controller can produce fits the one-adaptable-
+    // link-per-row/column wire inventory.
+    let grid = Grid::paper();
+    let cfg = DesignKind::AdaptNoc.sim_config();
+    for k1 in TopologyKind::ACTIONS {
+        for k2 in TopologyKind::ACTIONS {
+            let spec = build_chip_spec(
+                grid,
+                &[
+                    RegionTopology::new(Rect::new(0, 0, 4, 8), k1),
+                    RegionTopology::new(Rect::new(4, 0, 4, 8), k2),
+                ],
+                &cfg,
+            )
+            .unwrap();
+            check_adaptable_links(&grid, &spec)
+                .unwrap_or_else(|e| panic!("{k1}+{k2}: {e}"));
+        }
+    }
+}
