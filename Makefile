@@ -1,0 +1,40 @@
+# Convenience targets mirroring CI. The workspace has zero external
+# dependencies, so everything runs offline.
+
+CARGO ?= cargo
+
+.PHONY: all build test check fmt clippy ci faults figures clean
+
+all: build
+
+build:
+	$(CARGO) build --workspace --all-targets --offline
+
+test:
+	$(CARGO) test --workspace --offline
+
+fmt:
+	$(CARGO) fmt --all -- --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+check: fmt clippy
+
+# Everything CI runs, in CI's order.
+ci: check build test faults
+
+# Fault-injection subsystem: crate tests, the sweep campaign, and the
+# determinism check on the end-to-end example.
+faults:
+	$(CARGO) test -p adaptnoc-faults --offline
+	$(CARGO) run --release --offline --example fault_recovery > /tmp/fault_recovery_a.txt
+	$(CARGO) run --release --offline --example fault_recovery > /tmp/fault_recovery_b.txt
+	cmp /tmp/fault_recovery_a.txt /tmp/fault_recovery_b.txt
+	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures -- --quick --only faults
+
+figures:
+	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures
+
+clean:
+	$(CARGO) clean

@@ -2,6 +2,7 @@
 //! injection bypass, VC count (the buffer-area trade), control policy, and
 //! reconfiguration-cost sensitivity.
 
+use adaptnoc_bench::microbench::bench;
 use adaptnoc_bench::prelude::*;
 use adaptnoc_core::prelude::*;
 use adaptnoc_rl::prelude::*;
@@ -10,15 +11,16 @@ use adaptnoc_sim::network::Network;
 use adaptnoc_sim::prelude::Packet;
 use adaptnoc_topology::prelude::*;
 use adaptnoc_workloads::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 /// Latency of a fixed traffic batch on a mesh with/without the NI bypass.
-fn ablation_bypass(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_bypass");
+fn ablation_bypass() {
     for bypass in [false, true] {
-        g.bench_function(if bypass { "bypass_on" } else { "bypass_off" }, |b| {
-            b.iter(|| {
+        bench(
+            "ablation_bypass",
+            if bypass { "bypass_on" } else { "bypass_off" },
+            3,
+            || {
                 let mut cfg = SimConfig::adapt_noc();
                 cfg.injection_bypass = bypass;
                 let grid = Grid::new(4, 4);
@@ -38,41 +40,33 @@ fn ablation_bypass(c: &mut Criterion) {
                     net.step();
                 }
                 black_box(net.totals().stats.avg_network_latency())
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
 /// The buffer-area trade: 2 vs 3 VCs per vnet under GPU load.
-fn ablation_vc_count(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_vc_count");
-    g.sample_size(10);
+fn ablation_vc_count() {
     for vcs in [2u8, 3] {
-        g.bench_function(format!("{vcs}_vcs"), |b| {
-            b.iter(|| {
-                let mut cfg = SimConfig::adapt_noc();
-                cfg.vcs_per_vnet = vcs;
-                let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), true);
-                let spec = mesh_chip(layout.grid, &cfg).unwrap();
-                let mut net = Network::new(spec, cfg).unwrap();
-                let mut wl = Workload::new(&layout, &[by_name("KM").unwrap()], 3);
-                for _ in 0..5_000 {
-                    wl.tick(&mut net);
-                    net.step();
-                }
-                black_box(wl.apps[0].epoch.avg_queuing_latency())
-            })
+        bench("ablation_vc_count", &format!("{vcs}_vcs"), 3, || {
+            let mut cfg = SimConfig::adapt_noc();
+            cfg.vcs_per_vnet = vcs;
+            let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), true);
+            let spec = mesh_chip(layout.grid, &cfg).unwrap();
+            let mut net = Network::new(spec, cfg).unwrap();
+            let mut wl = Workload::new(&layout, &[by_name("KM").unwrap()], 3);
+            for _ in 0..5_000 {
+                wl.tick(&mut net);
+                net.step();
+            }
+            black_box(wl.apps[0].epoch.avg_queuing_latency())
         });
     }
-    g.finish();
 }
 
 /// Control policies: fixed vs tabular-Q vs DQN inference cost inside the
 /// controller loop.
-fn ablation_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_policy");
-    g.sample_size(10);
+fn ablation_policy() {
     let run_policy = |policy: TopologyPolicy| {
         let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), false);
         let rc = RunConfig {
@@ -90,35 +84,29 @@ fn ablation_policy(c: &mut Criterion) {
         )
         .unwrap()
     };
-    g.bench_function("fixed", |b| {
-        b.iter(|| black_box(run_policy(TopologyPolicy::Fixed(TopologyKind::Cmesh))))
+    bench("ablation_policy", "fixed", 3, || {
+        black_box(run_policy(TopologyPolicy::Fixed(TopologyKind::Cmesh)))
     });
-    g.bench_function("qtable", |b| {
-        b.iter(|| black_box(run_policy(TopologyPolicy::QTable(QTableAgent::new(4, 4, 1)))))
+    bench("ablation_policy", "qtable", 3, || {
+        black_box(run_policy(TopologyPolicy::QTable(QTableAgent::new(
+            4, 4, 1,
+        ))))
     });
-    g.bench_function("dqn_learning", |b| {
-        b.iter(|| {
-            black_box(run_policy(TopologyPolicy::Learning(DqnAgent::new(
-                DqnConfig::default(),
-                1,
-            ))))
-        })
+    bench("ablation_policy", "dqn_learning", 3, || {
+        black_box(run_policy(TopologyPolicy::Learning(DqnAgent::new(
+            DqnConfig::default(),
+            1,
+        ))))
     });
-    g.finish();
 }
 
 /// Reconfiguration-cost sensitivity: protocol latency vs `T_s`.
-fn ablation_reconfig_cost(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_reconfig_ts");
+fn ablation_reconfig_cost() {
     let grid = Grid::paper();
     let rect = Rect::new(0, 0, 4, 4);
     let cfg = SimConfig::adapt_noc();
-    let mesh = build_chip_spec(
-        grid,
-        &[RegionTopology::new(rect, TopologyKind::Mesh)],
-        &cfg,
-    )
-    .unwrap();
+    let mesh =
+        build_chip_spec(grid, &[RegionTopology::new(rect, TopologyKind::Mesh)], &cfg).unwrap();
     let torus = build_chip_spec(
         grid,
         &[RegionTopology::new(rect, TopologyKind::Torus)],
@@ -126,39 +114,34 @@ fn ablation_reconfig_cost(c: &mut Criterion) {
     )
     .unwrap();
     for t_s in [7u64, 14, 28] {
-        g.bench_function(format!("ts_{t_s}"), |b| {
-            b.iter(|| {
-                let mut net = Network::new(mesh.clone(), cfg.clone()).unwrap();
-                let timing = ReconfigTiming {
-                    t_s,
-                    ..Default::default()
-                };
-                let mut rc = RegionReconfig::start(
-                    &net,
-                    &grid,
-                    rect,
-                    torus.clone(),
-                    Some(mesh.tables.clone()),
-                    timing,
-                );
-                loop {
-                    net.step();
-                    if rc.tick(&mut net, &grid).unwrap() {
-                        break;
-                    }
+        bench("ablation_reconfig_ts", &format!("ts_{t_s}"), 3, || {
+            let mut net = Network::new(mesh.clone(), cfg.clone()).unwrap();
+            let timing = ReconfigTiming {
+                t_s,
+                ..Default::default()
+            };
+            let mut rc = RegionReconfig::start(
+                &net,
+                &grid,
+                rect,
+                torus.clone(),
+                Some(mesh.tables.clone()),
+                timing,
+            );
+            loop {
+                net.step();
+                if rc.tick(&mut net, &grid).unwrap() {
+                    break;
                 }
-                black_box(rc.latency(net.now()))
-            })
+            }
+            black_box(rc.latency(net.now()))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    ablations,
-    ablation_bypass,
-    ablation_vc_count,
-    ablation_policy,
-    ablation_reconfig_cost
-);
-criterion_main!(ablations);
+fn main() {
+    ablation_bypass();
+    ablation_vc_count();
+    ablation_policy();
+    ablation_reconfig_cost();
+}

@@ -1,11 +1,11 @@
 //! Classic NoC characterization benches: latency-vs-load curves per
 //! topology under synthetic patterns, and raw simulator throughput.
 
+use adaptnoc_bench::microbench::bench;
 use adaptnoc_sim::config::SimConfig;
 use adaptnoc_sim::network::Network;
 use adaptnoc_topology::prelude::*;
 use adaptnoc_workloads::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn topo_spec(kind: TopologyKind) -> adaptnoc_sim::spec::NetworkSpec {
@@ -18,99 +18,67 @@ fn topo_spec(kind: TopologyKind) -> adaptnoc_sim::spec::NetworkSpec {
 }
 
 /// Latency under uniform traffic at fixed load, per topology.
-fn latency_vs_topology(c: &mut Criterion) {
-    let mut g = c.benchmark_group("uniform_load_latency");
-    g.sample_size(10);
+fn latency_vs_topology() {
     for kind in [TopologyKind::Mesh, TopologyKind::Cmesh, TopologyKind::Torus] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let mut net =
-                        Network::new(topo_spec(kind), SimConfig::adapt_noc()).unwrap();
-                    let mut inj = SyntheticInjector::new(
-                        Grid::paper(),
-                        Rect::new(0, 0, 8, 8),
-                        Pattern::Uniform,
-                        0.05,
-                        1,
-                    );
-                    for _ in 0..3_000 {
-                        inj.tick(&mut net);
-                        net.step();
-                    }
-                    black_box(net.totals().stats.avg_packet_latency())
-                })
-            },
-        );
-    }
-    g.finish();
-}
-
-/// Hotspot (all-to-MC) traffic: the pattern the tree topology targets.
-fn hotspot_traffic(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hotspot_latency");
-    g.sample_size(10);
-    for kind in [TopologyKind::Mesh, TopologyKind::Tree] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let grid = Grid::paper();
-                    let mut net =
-                        Network::new(topo_spec(kind), SimConfig::adapt_noc()).unwrap();
-                    let hot = grid.node(Coord::new(0, 0));
-                    let mut inj = SyntheticInjector::new(
-                        grid,
-                        Rect::new(0, 0, 8, 8),
-                        Pattern::Hotspot(hot),
-                        0.01,
-                        2,
-                    );
-                    for _ in 0..3_000 {
-                        inj.tick(&mut net);
-                        net.step();
-                    }
-                    black_box(net.totals().stats.avg_packet_latency())
-                })
-            },
-        );
-    }
-    g.finish();
-}
-
-/// Raw simulator speed: cycles per second at a moderate load (the number
-/// that sizes every experiment above).
-fn simulator_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_throughput");
-    g.sample_size(10);
-    g.bench_function("mesh_8x8_10k_cycles", |b| {
-        b.iter(|| {
-            let cfg = SimConfig::baseline();
-            let mut net = Network::new(mesh_chip(Grid::paper(), &cfg).unwrap(), cfg).unwrap();
+        bench("uniform_load_latency", kind.name(), 3, || {
+            let mut net = Network::new(topo_spec(kind), SimConfig::adapt_noc()).unwrap();
             let mut inj = SyntheticInjector::new(
                 Grid::paper(),
                 Rect::new(0, 0, 8, 8),
                 Pattern::Uniform,
-                0.1,
-                3,
+                0.05,
+                1,
             );
-            for _ in 0..10_000 {
+            for _ in 0..3_000 {
                 inj.tick(&mut net);
                 net.step();
             }
-            black_box(net.totals().stats.packets)
-        })
-    });
-    g.finish();
+            black_box(net.totals().stats.avg_packet_latency())
+        });
+    }
 }
 
-criterion_group!(
-    characterization,
-    latency_vs_topology,
-    hotspot_traffic,
-    simulator_throughput
-);
-criterion_main!(characterization);
+/// Hotspot (all-to-MC) traffic: the pattern the tree topology targets.
+fn hotspot_traffic() {
+    for kind in [TopologyKind::Mesh, TopologyKind::Tree] {
+        bench("hotspot_latency", kind.name(), 3, || {
+            let grid = Grid::paper();
+            let mut net = Network::new(topo_spec(kind), SimConfig::adapt_noc()).unwrap();
+            let hot = grid.node(Coord::new(0, 0));
+            let mut inj =
+                SyntheticInjector::new(grid, Rect::new(0, 0, 8, 8), Pattern::Hotspot(hot), 0.01, 2);
+            for _ in 0..3_000 {
+                inj.tick(&mut net);
+                net.step();
+            }
+            black_box(net.totals().stats.avg_packet_latency())
+        });
+    }
+}
+
+/// Raw simulator speed: cycles per second at a moderate load (the number
+/// that sizes every experiment above).
+fn simulator_throughput() {
+    bench("sim_throughput", "mesh_8x8_10k_cycles", 3, || {
+        let cfg = SimConfig::baseline();
+        let mut net = Network::new(mesh_chip(Grid::paper(), &cfg).unwrap(), cfg).unwrap();
+        let mut inj = SyntheticInjector::new(
+            Grid::paper(),
+            Rect::new(0, 0, 8, 8),
+            Pattern::Uniform,
+            0.1,
+            3,
+        );
+        for _ in 0..10_000 {
+            inj.tick(&mut net);
+            net.step();
+        }
+        black_box(net.totals().stats.packets)
+    });
+}
+
+fn main() {
+    latency_vs_topology();
+    hotspot_traffic();
+    simulator_throughput();
+}

@@ -1,0 +1,23 @@
+//! Wall-clock cost of the fault-injection machinery: a transient-burst
+//! campaign (NACK + retry path) and a single permanent-link campaign
+//! (degraded rebuild + live reconfiguration).
+
+use adaptnoc_bench::microbench::bench;
+use adaptnoc_bench::prelude::*;
+use std::hint::black_box;
+
+fn main() {
+    bench("faults", "transient_burst_seeded", 3, || {
+        // fault_sweep runs all four scenarios; keep only the transient rows
+        // alive so the optimizer can't drop the campaign.
+        let rows = fault_sweep(&[1]).unwrap();
+        black_box(
+            rows.into_iter()
+                .filter(|r| r.scenario == "transient-burst")
+                .count(),
+        )
+    });
+    bench("faults", "full_sweep_three_seeds", 1, || {
+        black_box(fault_sweep(&[1, 2, 3]).unwrap().len())
+    });
+}

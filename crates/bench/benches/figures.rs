@@ -1,16 +1,16 @@
-//! Criterion benches wrapping the paper's experiments at reduced scale.
+//! Wall-clock benches wrapping the paper's experiments at reduced scale.
 //!
-//! One bench group per evaluation artifact: the mixed-workload campaign
-//! behind Figs. 7/10-13, the per-suite runs behind Figs. 8/9, the RL
-//! pipeline behind Figs. 14-19, and the analytic overhead tables. Bench
-//! time measures the cost of regenerating each artifact; correctness lives
-//! in the test suites.
+//! One bench per evaluation artifact: the mixed-workload campaign behind
+//! Figs. 7/10-13, the per-suite runs behind Figs. 8/9, the RL pipeline
+//! behind Figs. 14-19, and the analytic overhead tables. Bench time
+//! measures the cost of regenerating each artifact; correctness lives in
+//! the test suites.
 
+use adaptnoc_bench::microbench::bench;
 use adaptnoc_bench::prelude::*;
 use adaptnoc_core::prelude::*;
 use adaptnoc_topology::prelude::*;
 use adaptnoc_workloads::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_rc() -> RunConfig {
@@ -23,39 +23,32 @@ fn bench_rc() -> RunConfig {
 }
 
 /// Fig. 7 / 10-13 substrate: one design on the mixed workload.
-fn fig07_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig07_mixed_latency");
-    g.sample_size(10);
+fn fig07_latency() {
     let layout = ChipLayout::paper_mixed();
     let profiles = vec![
         by_name("CA").unwrap(),
         by_name("KM").unwrap(),
         by_name("BP").unwrap(),
     ];
-    for kind in [DesignKind::Baseline, DesignKind::Ftby, DesignKind::AdaptNocNoRl] {
-        g.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                let policies = if kind.is_adaptive() {
-                    fixed_policies(&[
-                        TopologyKind::Cmesh,
-                        TopologyKind::Tree,
-                        TopologyKind::Torus,
-                    ])
-                } else {
-                    vec![]
-                };
-                let r = run_design(kind, &layout, &profiles, policies, &bench_rc()).unwrap();
-                black_box(r.packet_latency())
-            })
+    for kind in [
+        DesignKind::Baseline,
+        DesignKind::Ftby,
+        DesignKind::AdaptNocNoRl,
+    ] {
+        bench("fig07_mixed_latency", kind.name(), 3, || {
+            let policies = if kind.is_adaptive() {
+                fixed_policies(&[TopologyKind::Cmesh, TopologyKind::Tree, TopologyKind::Torus])
+            } else {
+                vec![]
+            };
+            let r = run_design(kind, &layout, &profiles, policies, &bench_rc()).unwrap();
+            black_box(r.packet_latency())
         });
     }
-    g.finish();
 }
 
 /// Fig. 8/9 substrate: one benchmark in its subNoC across topologies.
-fn fig08_09_per_app(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig08_09_per_app");
-    g.sample_size(10);
+fn fig08_09_per_app() {
     for (name, gpu) in [("CA", false), ("KM", true)] {
         let rect = if gpu {
             Rect::new(0, 0, 4, 8)
@@ -64,42 +57,23 @@ fn fig08_09_per_app(c: &mut Criterion) {
         };
         let layout = ChipLayout::single(rect, gpu);
         let profile = by_name(name).unwrap();
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let r = run_design(
-                    DesignKind::AdaptNocNoRl,
-                    &layout,
-                    std::slice::from_ref(&profile),
-                    fixed_policies(&[TopologyKind::Cmesh]),
-                    &bench_rc(),
-                )
-                .unwrap();
-                black_box(r.hops)
-            })
+        bench("fig08_09_per_app", name, 3, || {
+            let r = run_design(
+                DesignKind::AdaptNocNoRl,
+                &layout,
+                std::slice::from_ref(&profile),
+                fixed_policies(&[TopologyKind::Cmesh]),
+                &bench_rc(),
+            )
+            .unwrap();
+            black_box(r.hops)
         });
     }
-    g.finish();
 }
 
 /// Figs. 14/15/18/19 substrate: DQN training + deployment.
-fn fig14_19_rl_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig14_19_rl");
-    g.sample_size(10);
-    g.bench_function("train_tiny_dqn", |b| {
-        b.iter(|| {
-            let policy = train_dqn(
-                &[TrainScenario {
-                    rect: Rect::new(0, 0, 4, 4),
-                    profile: by_name("BP").unwrap(),
-                }],
-                &TrainConfig::tiny(),
-                None,
-            )
-            .unwrap();
-            black_box(policy.decide_greedy(&[0.5; 12]))
-        })
-    });
-    g.bench_function("deploy_inference", |b| {
+fn fig14_19_rl_pipeline() {
+    bench("fig14_19_rl", "train_tiny_dqn", 3, || {
         let policy = train_dqn(
             &[TrainScenario {
                 rect: Rect::new(0, 0, 4, 4),
@@ -109,86 +83,84 @@ fn fig14_19_rl_pipeline(c: &mut Criterion) {
             None,
         )
         .unwrap();
-        let state = vec![0.4; 12];
-        b.iter(|| black_box(policy.q_values(&state)))
+        black_box(policy.decide_greedy(&[0.5; 12]))
     });
-    g.finish();
+    let policy = train_dqn(
+        &[TrainScenario {
+            rect: Rect::new(0, 0, 4, 4),
+            profile: by_name("BP").unwrap(),
+        }],
+        &TrainConfig::tiny(),
+        None,
+    )
+    .unwrap();
+    let state = vec![0.4; 12];
+    bench("fig14_19_rl", "deploy_inference", 100, || {
+        black_box(policy.q_values(&state))
+    });
 }
 
 /// Fig. 16 substrate: RL vs static on one subNoC size.
-fn fig16_sizes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig16_sizes");
-    g.sample_size(10);
+fn fig16_sizes() {
     for (w, h) in [(2u8, 4u8), (4, 8)] {
         let layout = ChipLayout::single(Rect::new(0, 0, w, h), true);
         let profile = by_name("BP").unwrap();
-        g.bench_function(format!("{w}x{h}"), |b| {
-            b.iter(|| {
-                let r = run_design(
-                    DesignKind::AdaptNocNoRl,
-                    &layout,
-                    std::slice::from_ref(&profile),
-                    fixed_policies(&[TopologyKind::Torus]),
-                    &bench_rc(),
-                )
-                .unwrap();
-                black_box(r.packet_latency())
-            })
+        bench("fig16_sizes", &format!("{w}x{h}"), 3, || {
+            let r = run_design(
+                DesignKind::AdaptNocNoRl,
+                &layout,
+                std::slice::from_ref(&profile),
+                fixed_policies(&[TopologyKind::Torus]),
+                &bench_rc(),
+            )
+            .unwrap();
+            black_box(r.packet_latency())
         });
     }
-    g.finish();
 }
 
 /// Fig. 17 substrate: reconfiguration cadence cost.
-fn fig17_epoch_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig17_epoch");
-    g.sample_size(10);
+fn fig17_epoch_size() {
     for epoch in [2_000u64, 8_000] {
         let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), false);
         let profile = by_name("X264").unwrap();
-        g.bench_function(format!("epoch_{epoch}"), |b| {
-            b.iter(|| {
-                let rc = RunConfig {
-                    epoch_cycles: epoch,
-                    epochs: 2,
-                    warmup_epochs: 0,
-                    ..Default::default()
-                };
-                let r = run_design(
-                    DesignKind::AdaptNocNoRl,
-                    &layout,
-                    std::slice::from_ref(&profile),
-                    fixed_policies(&[TopologyKind::Cmesh]),
-                    &rc,
-                )
-                .unwrap();
-                black_box(r.reconfigs)
-            })
+        bench("fig17_epoch", &format!("epoch_{epoch}"), 3, || {
+            let rc = RunConfig {
+                epoch_cycles: epoch,
+                epochs: 2,
+                warmup_epochs: 0,
+                ..Default::default()
+            };
+            let r = run_design(
+                DesignKind::AdaptNocNoRl,
+                &layout,
+                std::slice::from_ref(&profile),
+                fixed_policies(&[TopologyKind::Cmesh]),
+                &rc,
+            )
+            .unwrap();
+            black_box(r.reconfigs)
         });
     }
-    g.finish();
 }
 
 /// Sec. V-B tables: analytic models.
-fn tables_overheads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.bench_function("area", |b| b.iter(|| black_box(area_table())));
-    g.bench_function("wiring", |b| b.iter(|| black_box(wiring_table().unwrap())));
-    g.bench_function("timing", |b| b.iter(|| black_box(timing_table())));
-    g.sample_size(10);
-    g.bench_function("reconfig_walkthrough", |b| {
-        b.iter(|| black_box(reconfig_table().unwrap()))
+fn tables_overheads() {
+    bench("tables", "area", 10, || black_box(area_table()));
+    bench("tables", "wiring", 10, || {
+        black_box(wiring_table().unwrap())
     });
-    g.finish();
+    bench("tables", "timing", 10, || black_box(timing_table()));
+    bench("tables", "reconfig_walkthrough", 3, || {
+        black_box(reconfig_table().unwrap())
+    });
 }
 
-criterion_group!(
-    figures,
-    fig07_latency,
-    fig08_09_per_app,
-    fig14_19_rl_pipeline,
-    fig16_sizes,
-    fig17_epoch_size,
-    tables_overheads
-);
-criterion_main!(figures);
+fn main() {
+    fig07_latency();
+    fig08_09_per_app();
+    fig14_19_rl_pipeline();
+    fig16_sizes();
+    fig17_epoch_size();
+    tables_overheads();
+}

@@ -5,7 +5,9 @@
 //! Prints the same rows/series the paper reports (normalized to the
 //! baseline design) and writes machine-readable JSON next to the text.
 
+use adaptnoc_bench::jsonrows::{rows_json, ToJson};
 use adaptnoc_bench::prelude::*;
+use adaptnoc_sim::json::{self, Value};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -28,13 +30,22 @@ fn main() {
     // sections without discarding the rest.
     let mut json = std::fs::read_to_string("results/figures.json")
         .ok()
-        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
-        .and_then(|v| v.as_object().cloned())
-        .unwrap_or_default();
+        .and_then(|s| json::parse(&s).ok())
+        .filter(|v| v.as_object().is_some())
+        .unwrap_or_else(|| Value::Object(vec![]));
 
-    println!("== Adapt-NoC figure regeneration ({}) ==", if quick { "quick" } else { "full" });
+    println!(
+        "== Adapt-NoC figure regeneration ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
 
-    if want("mixed") || want("fig07") || want("fig10") || want("fig11") || want("fig12") || want("fig13") {
+    if want("mixed")
+        || want("fig07")
+        || want("fig10")
+        || want("fig11")
+        || want("fig12")
+        || want("fig13")
+    {
         banner("Figs. 7/10/11/12/13: mixed workload, normalized to baseline");
         let rows = mixed_campaign(&scale).expect("mixed campaign");
         println!(
@@ -53,45 +64,51 @@ fn main() {
                 r.edp_norm
             );
         }
-        json.insert("mixed".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("mixed", rows_json(&rows));
     }
 
     if want("fig08") {
         banner("Fig. 8: CPU application hop counts (normalized)");
         let rows = fig08(&scale).expect("fig08");
         print_per_app(&rows, false);
-        json.insert("fig08".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("fig08", rows_json(&rows));
     }
 
     if want("fig09") {
         banner("Fig. 9: GPU application hop counts + queuing latency (normalized)");
         let rows = fig09(&scale).expect("fig09");
         print_per_app(&rows, true);
-        json.insert("fig09".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("fig09", rows_json(&rows));
     }
 
     if want("fig14") {
         banner("Fig. 14: topology selection breakdown, CPU apps (4x4)");
         let rows = fig14(&scale).expect("fig14");
         print_selection(&rows);
-        json.insert("fig14".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("fig14", rows_json(&rows));
     }
 
     if want("fig15") {
         banner("Fig. 15: topology selection breakdown, GPU apps (4x8)");
         let rows = fig15(&scale).expect("fig15");
         print_selection(&rows);
-        json.insert("fig15".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("fig15", rows_json(&rows));
     }
 
     if want("fig16") {
         banner("Fig. 16: RL vs static across subNoC sizes (ratios, lower = RL wins)");
         let rows = fig16(&scale).expect("fig16");
-        println!("{:<8} {:>14} {:>14}", "size", "latency-ratio", "energy-ratio");
+        println!(
+            "{:<8} {:>14} {:>14}",
+            "size", "latency-ratio", "energy-ratio"
+        );
         for r in &rows {
-            println!("{:<8} {:>14.3} {:>14.3}", r.size, r.latency_ratio, r.energy_ratio);
+            println!(
+                "{:<8} {:>14.3} {:>14.3}",
+                r.size, r.latency_ratio, r.energy_ratio
+            );
         }
-        json.insert("fig16".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("fig16", rows_json(&rows));
     }
 
     if want("fig17") {
@@ -99,23 +116,51 @@ fn main() {
         let rows = fig17(&scale).expect("fig17");
         println!("{:<10} {:>12} {:>12}", "epoch", "latency", "power");
         for r in &rows {
-            println!("{:<10} {:>12.3} {:>12.3}", r.epoch_cycles, r.latency_norm, r.power_norm);
+            println!(
+                "{:<10} {:>12.3} {:>12.3}",
+                r.epoch_cycles, r.latency_norm, r.power_norm
+            );
         }
-        json.insert("fig17".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("fig17", rows_json(&rows));
     }
 
     if want("fig18") {
         banner("Fig. 18: discount-factor sweep (normalized to 0.9)");
         let rows = fig18(&scale).expect("fig18");
         print_sweep(&rows);
-        json.insert("fig18".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("fig18", rows_json(&rows));
     }
 
     if want("fig19") {
         banner("Fig. 19: exploration-rate sweep (normalized to 0.05)");
         let rows = fig19(&scale).expect("fig19");
         print_sweep(&rows);
-        json.insert("fig19".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("fig19", rows_json(&rows));
+    }
+
+    if want("faults") {
+        banner("Fault sweep: resilience under seeded fault schedules (4x4 mesh)");
+        let seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
+        let rows = fault_sweep(seeds).expect("fault sweep");
+        println!(
+            "{:<16} {:>5} {:>9} {:>7} {:>7} {:>6} {:>10} {:>8} {:>8}",
+            "scenario", "seed", "delivery", "nacks", "drops", "recov", "ttr", "lat", "dead"
+        );
+        for r in &rows {
+            println!(
+                "{:<16} {:>5} {:>9.4} {:>7} {:>7} {:>6} {:>10.1} {:>8.2} {:>8}",
+                r.scenario,
+                r.seed,
+                r.delivery_ratio,
+                r.nacks,
+                r.drops,
+                r.recoveries,
+                r.mean_time_to_recover,
+                r.avg_packet_latency,
+                r.disconnected
+            );
+        }
+        json.insert("faults", rows_json(&rows));
     }
 
     if want("tables") {
@@ -128,7 +173,7 @@ fn main() {
             a.extras_mm2,
             a.saving_fraction * 100.0
         );
-        json.insert("area".into(), serde_json::to_value(&a).unwrap());
+        json.insert("area", a.to_json());
 
         banner("Sec. V-B2: wiring budget");
         let (budget, rows) = wiring_table().expect("wiring");
@@ -136,14 +181,17 @@ fn main() {
             "budget per tile edge: {} high-metal + {} intermediate bidirectional 256-bit links",
             budget.high_metal_links, budget.intermediate_links
         );
-        println!("{:<12} {:>10} {:>10} {:>8}", "topology", "channels", "express", "fits");
+        println!(
+            "{:<12} {:>10} {:>10} {:>8}",
+            "topology", "channels", "express", "fits"
+        );
         for r in &rows {
             println!(
                 "{:<12} {:>10} {:>10} {:>8}",
                 r.topology, r.max_channels_per_edge, r.max_express_per_edge, r.fits_budget
             );
         }
-        json.insert("wiring".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("wiring", rows_json(&rows));
 
         banner("Sec. V-B3: timing");
         let t = timing_table();
@@ -155,35 +203,37 @@ fn main() {
             "max freq {:.2} GHz | 4mm high-metal wire {:.0} ps | reversed +{:.0} ps | DQN {:.0} ns (paper: 486)",
             t.max_freq_ghz, t.wire_4mm_ps, t.reversed_extra_ps, t.dqn_ns
         );
-        json.insert("timing".into(), serde_json::to_value(&t).unwrap());
+        json.insert("timing", t.to_json());
 
         banner("Sec. V-A1: wiring scalability (FTBY vs Adapt at 16x16)");
         let rows = scalability_table().expect("scalability");
-        println!("{:<8} {:<14} {:>10} {:>6}", "size", "design", "channels", "fits");
+        println!(
+            "{:<8} {:<14} {:>10} {:>6}",
+            "size", "design", "channels", "fits"
+        );
         for r in &rows {
             println!(
                 "{:<8} {:<14} {:>10} {:>6}",
                 r.size, r.design, r.max_channels_per_edge, r.fits_budget
             );
         }
-        json.insert("scalability".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("scalability", rows_json(&rows));
 
         banner("Sec. II-C1: reconfiguration latency (idle 4x4 subNoC)");
         let rows = reconfig_table().expect("reconfig");
         println!("{:<10} {:<10} {:>8} {:>6}", "from", "to", "cycles", "fast");
         for r in &rows {
-            println!("{:<10} {:<10} {:>8} {:>6}", r.from, r.to, r.cycles, r.fast_path);
+            println!(
+                "{:<10} {:<10} {:>8} {:>6}",
+                r.from, r.to, r.cycles, r.fast_path
+            );
         }
-        json.insert("reconfig".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("reconfig", rows_json(&rows));
     }
 
-    let out = serde_json::Value::Object(json);
+    let out = json;
     std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/figures.json",
-        serde_json::to_string_pretty(&out).unwrap(),
-    )
-    .ok();
+    std::fs::write("results/figures.json", out.to_string_pretty()).ok();
     std::fs::write(
         "results/REPORT.md",
         adaptnoc_bench::report::render_report(&out),
@@ -201,7 +251,10 @@ fn banner(s: &str) {
 
 fn print_per_app(rows: &[adaptnoc_bench::figs::PerAppRow], with_queuing: bool) {
     if with_queuing {
-        println!("{:<6} {:<16} {:>10} {:>12}", "app", "design", "hops", "queuing");
+        println!(
+            "{:<6} {:<16} {:>10} {:>12}",
+            "app", "design", "hops", "queuing"
+        );
     } else {
         println!("{:<6} {:<16} {:>10}", "app", "design", "hops");
     }
@@ -233,6 +286,9 @@ fn print_selection(rows: &[adaptnoc_bench::figs::SelectionRow]) {
 fn print_sweep(rows: &[adaptnoc_bench::figs::SweepRow]) {
     println!("{:<8} {:>12} {:>12}", "value", "latency", "power");
     for r in rows {
-        println!("{:<8} {:>12.3} {:>12.3}", r.value, r.latency_norm, r.power_norm);
+        println!(
+            "{:<8} {:>12.3} {:>12.3}",
+            r.value, r.latency_norm, r.power_norm
+        );
     }
 }

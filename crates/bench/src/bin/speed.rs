@@ -1,6 +1,6 @@
 use adaptnoc_core::prelude::*;
-use adaptnoc_topology::prelude::*;
 use adaptnoc_sim::prelude::*;
+use adaptnoc_topology::prelude::*;
 use adaptnoc_workloads::prelude::*;
 use std::time::Instant;
 
@@ -12,14 +12,27 @@ fn main() {
     let spec = mesh_chip(layout.grid, &cfg).unwrap();
     let mut net = Network::new(spec.clone(), cfg.clone()).unwrap();
     let t0 = Instant::now();
-    for _ in 0..200_000 { net.step(); }
+    for _ in 0..200_000 {
+        net.step();
+    }
     println!("idle net: {:.1} Kc/s", 200.0 / t0.elapsed().as_secs_f64());
 
     // 2) Net + workload ticks but skipping network processing of load:
     let mut net = Network::new(spec.clone(), cfg.clone()).unwrap();
-    let profiles = vec![by_name("CA").unwrap(), by_name("KM").unwrap(), by_name("BP").unwrap()];
+    let profiles = vec![
+        by_name("CA").unwrap(),
+        by_name("KM").unwrap(),
+        by_name("BP").unwrap(),
+    ];
     let mut wl = Workload::new(&layout, &profiles, 1);
     let t0 = Instant::now();
-    for _ in 0..200_000 { wl.tick(&mut net); net.step(); }
-    println!("full: {:.1} Kc/s, pkts {}", 200.0 / t0.elapsed().as_secs_f64(), net.totals().stats.packets);
+    for _ in 0..200_000 {
+        wl.tick(&mut net);
+        net.step();
+    }
+    println!(
+        "full: {:.1} Kc/s, pkts {}",
+        200.0 / t0.elapsed().as_secs_f64(),
+        net.totals().stats.packets
+    );
 }

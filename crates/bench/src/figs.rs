@@ -97,13 +97,12 @@ fn mix_profiles(names: &[&str; 3]) -> Vec<AppProfile> {
 /// (delete `results/policy.json` to force retraining).
 pub fn trained_policy(scale: &FigScale) -> TrainedPolicy {
     let cache = std::path::Path::new("results/policy.json");
-    let tag = format!(
-        "{}ep-{}epc",
-        scale.train.episodes, scale.train.epoch_cycles
-    );
+    let tag = format!("{}ep-{}epc", scale.train.episodes, scale.train.epoch_cycles);
     if let Ok(body) = std::fs::read_to_string(cache) {
-        if let Some(rest) = body.strip_prefix(&format!("{tag}
-")) {
+        if let Some(rest) = body.strip_prefix(&format!(
+            "{tag}
+"
+        )) {
             if let Ok(p) = TrainedPolicy::from_json(rest) {
                 return p;
             }
@@ -113,8 +112,14 @@ pub fn trained_policy(scale: &FigScale) -> TrainedPolicy {
         .expect("training must succeed");
     if let Ok(json) = policy.to_json() {
         std::fs::create_dir_all("results").ok();
-        std::fs::write(cache, format!("{tag}
-{json}")).ok();
+        std::fs::write(
+            cache,
+            format!(
+                "{tag}
+{json}"
+            ),
+        )
+        .ok();
     }
     policy
 }
@@ -127,7 +132,7 @@ fn adapt_policies(policy: &TrainedPolicy, n: usize) -> Vec<TopologyPolicy> {
 
 /// One design's aggregate over the mixed-workload campaign — the data
 /// behind Figs. 7, 10, 11, 12 and 13.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct MixedRow {
     /// Design name.
     pub design: String,
@@ -228,7 +233,7 @@ pub fn mixed_campaign(scale: &FigScale) -> Result<Vec<MixedRow>, ControlError> {
 }
 
 /// One (benchmark, design) cell of Figs. 8 and 9.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct PerAppRow {
     /// Benchmark name.
     pub app: String,
@@ -266,7 +271,13 @@ fn per_app_figure(
                 DesignKind::AdaptNoc => adapt_policies(&policy, 1),
                 _ => vec![],
             };
-            let r = run_design(kind, &layout, std::slice::from_ref(&profile), policies, &scale.rc)?;
+            let r = run_design(
+                kind,
+                &layout,
+                std::slice::from_ref(&profile),
+                policies,
+                &scale.rc,
+            )?;
             if kind == DesignKind::Baseline {
                 base = Some(r.clone());
             }
@@ -308,7 +319,7 @@ pub fn fig09(scale: &FigScale) -> Result<Vec<PerAppRow>, ControlError> {
 }
 
 /// One benchmark's topology-selection breakdown (Figs. 14, 15).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SelectionRow {
     /// Benchmark name.
     pub app: String,
@@ -365,7 +376,7 @@ pub fn fig15(scale: &FigScale) -> Result<Vec<SelectionRow>, ControlError> {
 }
 
 /// One subNoC size's RL-vs-static comparison (Fig. 16).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SizeRow {
     /// SubNoC size label.
     pub size: String,
@@ -413,7 +424,7 @@ pub fn fig16(scale: &FigScale) -> Result<Vec<SizeRow>, ControlError> {
 }
 
 /// One epoch-size point (Fig. 17).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct EpochRow {
     /// Epoch length in cycles.
     pub epoch_cycles: u64,
@@ -470,7 +481,7 @@ pub fn fig17(scale: &FigScale) -> Result<Vec<EpochRow>, ControlError> {
 }
 
 /// One hyper-parameter sweep point (Figs. 18, 19).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Swept parameter value.
     pub value: f64,

@@ -7,7 +7,7 @@ use adaptnoc_topology::prelude::*;
 use adaptnoc_workloads::prelude::*;
 
 /// Scale and measurement parameters of one run.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
     /// Reconfiguration epoch length in cycles (50K in the paper).
     pub epoch_cycles: u64,
@@ -50,7 +50,7 @@ impl RunConfig {
 }
 
 /// Per-application metrics of a run.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppMetrics {
     /// Benchmark name.
     pub name: String,
@@ -74,7 +74,7 @@ impl AppMetrics {
 }
 
 /// The result of one design/workload run.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Which design ran.
     pub design: DesignKind,
@@ -226,10 +226,7 @@ pub fn run_design(
         if total_delivered == 0 {
             return 0.0;
         }
-        acc.iter()
-            .map(|e| f(e) * e.delivered as f64)
-            .sum::<f64>()
-            / total_delivered as f64
+        acc.iter().map(|e| f(e) * e.delivered as f64).sum::<f64>() / total_delivered as f64
     };
 
     let (selections, reconfigs) = match design.controller() {

@@ -1,0 +1,223 @@
+//! JSON conversion for the bench row types.
+//!
+//! `gen-figures` writes `results/figures.json` with the in-tree
+//! [`adaptnoc_sim::json`] value type; each row struct converts itself to an
+//! insertion-ordered object here so the output stays byte-stable.
+
+use crate::faults::FaultRow;
+use crate::figs::{EpochRow, MixedRow, PerAppRow, SelectionRow, SizeRow, SweepRow};
+use crate::tables::{AreaTable, ReconfigRow, ScalabilityRow, TimingTable, WiringRow};
+use adaptnoc_sim::json::Value;
+
+/// Conversion into a JSON value (rows become ordered objects).
+pub trait ToJson {
+    /// The JSON representation.
+    fn to_json(&self) -> Value;
+}
+
+/// Converts a slice of rows into a JSON array.
+pub fn rows_json<T: ToJson>(rows: &[T]) -> Value {
+    Value::Array(rows.iter().map(ToJson::to_json).collect())
+}
+
+fn num(n: f64) -> Value {
+    Value::Number(n)
+}
+
+fn s(v: &str) -> Value {
+    Value::String(v.to_string())
+}
+
+impl ToJson for MixedRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("design".into(), s(&self.design)),
+            ("network_latency".into(), num(self.network_latency)),
+            ("queuing_latency".into(), num(self.queuing_latency)),
+            ("packet_latency_norm".into(), num(self.packet_latency_norm)),
+            (
+                "network_latency_norm".into(),
+                num(self.network_latency_norm),
+            ),
+            (
+                "queuing_latency_norm".into(),
+                num(self.queuing_latency_norm),
+            ),
+            ("exec_time_norm".into(), num(self.exec_time_norm)),
+            ("energy_norm".into(), num(self.energy_norm)),
+            ("dynamic_norm".into(), num(self.dynamic_norm)),
+            ("static_norm".into(), num(self.static_norm)),
+            ("edp_norm".into(), num(self.edp_norm)),
+            ("hops".into(), num(self.hops)),
+        ])
+    }
+}
+
+impl ToJson for PerAppRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("app".into(), s(&self.app)),
+            ("design".into(), s(&self.design)),
+            ("hops_norm".into(), num(self.hops_norm)),
+            ("queuing_norm".into(), num(self.queuing_norm)),
+            ("hops".into(), num(self.hops)),
+            ("queuing".into(), num(self.queuing)),
+        ])
+    }
+}
+
+impl ToJson for SelectionRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("app".into(), s(&self.app)),
+            (
+                "fractions".into(),
+                Value::Array(self.fractions.iter().map(|&f| num(f)).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for SizeRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("size".into(), s(&self.size)),
+            ("latency_ratio".into(), num(self.latency_ratio)),
+            ("energy_ratio".into(), num(self.energy_ratio)),
+        ])
+    }
+}
+
+impl ToJson for EpochRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("epoch_cycles".into(), num(self.epoch_cycles as f64)),
+            ("latency_norm".into(), num(self.latency_norm)),
+            ("power_norm".into(), num(self.power_norm)),
+        ])
+    }
+}
+
+impl ToJson for SweepRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("value".into(), num(self.value)),
+            ("latency_norm".into(), num(self.latency_norm)),
+            ("power_norm".into(), num(self.power_norm)),
+        ])
+    }
+}
+
+impl ToJson for FaultRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("scenario".into(), s(&self.scenario)),
+            ("seed".into(), num(self.seed as f64)),
+            ("offered".into(), num(self.offered as f64)),
+            ("delivered".into(), num(self.delivered as f64)),
+            ("delivery_ratio".into(), num(self.delivery_ratio)),
+            ("nacks".into(), num(self.nacks as f64)),
+            ("retries".into(), num(self.retries as f64)),
+            ("drops".into(), num(self.drops as f64)),
+            ("recoveries".into(), num(self.recoveries as f64)),
+            (
+                "mean_time_to_recover".into(),
+                num(self.mean_time_to_recover),
+            ),
+            ("avg_packet_latency".into(), num(self.avg_packet_latency)),
+            ("disconnected".into(), num(self.disconnected as f64)),
+        ])
+    }
+}
+
+impl ToJson for AreaTable {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("baseline_mm2".into(), num(self.baseline_mm2)),
+            ("adapt_mm2".into(), num(self.adapt_mm2)),
+            ("extras_mm2".into(), num(self.extras_mm2)),
+            ("saving_fraction".into(), num(self.saving_fraction)),
+        ])
+    }
+}
+
+impl ToJson for WiringRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("topology".into(), s(&self.topology)),
+            (
+                "max_channels_per_edge".into(),
+                num(self.max_channels_per_edge as f64),
+            ),
+            (
+                "max_express_per_edge".into(),
+                num(self.max_express_per_edge as f64),
+            ),
+            ("fits_budget".into(), Value::Bool(self.fits_budget)),
+        ])
+    }
+}
+
+impl ToJson for TimingTable {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            (
+                "conventional_ps".into(),
+                Value::Array(self.conventional_ps.iter().map(|&f| num(f)).collect()),
+            ),
+            (
+                "adaptable_ps".into(),
+                Value::Array(self.adaptable_ps.iter().map(|&f| num(f)).collect()),
+            ),
+            ("max_freq_ghz".into(), num(self.max_freq_ghz)),
+            ("wire_4mm_ps".into(), num(self.wire_4mm_ps)),
+            ("reversed_extra_ps".into(), num(self.reversed_extra_ps)),
+            ("dqn_ns".into(), num(self.dqn_ns)),
+        ])
+    }
+}
+
+impl ToJson for ScalabilityRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("size".into(), s(&self.size)),
+            ("design".into(), s(&self.design)),
+            (
+                "max_channels_per_edge".into(),
+                num(self.max_channels_per_edge as f64),
+            ),
+            ("fits_budget".into(), Value::Bool(self.fits_budget)),
+        ])
+    }
+}
+
+impl ToJson for ReconfigRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("from".into(), s(&self.from)),
+            ("to".into(), s(&self.to)),
+            ("cycles".into(), num(self.cycles as f64)),
+            ("fast_path".into(), Value::Bool(self.fast_path)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_serialize_ordered() {
+        let row = SizeRow {
+            size: "4x4".into(),
+            latency_ratio: 0.9,
+            energy_ratio: 0.8,
+        };
+        let v = rows_json(&[row]);
+        let text = v.to_string_compact();
+        assert_eq!(
+            text,
+            r#"[{"size":"4x4","latency_ratio":0.9,"energy_ratio":0.8}]"#
+        );
+    }
+}

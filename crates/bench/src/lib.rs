@@ -8,6 +8,7 @@
 //! * [`training`] — the offline DQN training pipeline over the paper's
 //!   region-size x application training matrix.
 //! * [`figs`] — one function per figure.
+//! * [`faults`] — fault-sweep campaign (resilience under seeded faults).
 //! * [`tables`] — area / wiring / timing / reconfiguration-latency tables.
 //!
 //! The `gen-figures` binary runs everything and prints the rows the paper
@@ -17,21 +18,24 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod faults;
 pub mod figs;
-pub mod report;
 pub mod harness;
+pub mod jsonrows;
+pub mod microbench;
+pub mod report;
 pub mod tables;
 pub mod training;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::faults::{fault_sweep, FaultRow};
     pub use crate::figs::{
         fig08, fig09, fig14, fig15, fig16, fig17, fig18, fig19, mixed_campaign, trained_policy,
         FigScale,
     };
     pub use crate::harness::{
-        fixed_policies, oracle_policies, run_design, traffic_hint, AppMetrics, RunConfig,
-        RunResult,
+        fixed_policies, oracle_policies, run_design, traffic_hint, AppMetrics, RunConfig, RunResult,
     };
     pub use crate::report::render_report;
     pub use crate::tables::{

@@ -1,0 +1,36 @@
+//! Tiny wall-clock micro-benchmark harness for the `harness = false`
+//! benches (no external benchmarking crates in the offline build).
+
+use std::time::Instant;
+
+/// Runs `f` for `iters` timed iterations (after one warmup) and prints
+/// mean/min wall-clock time per iteration.
+pub fn bench<T>(group: &str, name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    let _ = f(); // warmup
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        samples.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{group}/{name:<24} mean {:>10.3} ms   min {:>10.3} ms   ({iters} iters)",
+        mean * 1e3,
+        min * 1e3
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure_expected_times() {
+        let mut count = 0;
+        bench("t", "counter", 3, || count += 1);
+        assert_eq!(count, 4); // 1 warmup + 3 timed
+    }
+}

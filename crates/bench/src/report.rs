@@ -4,7 +4,7 @@
 //! figure/table with the paper's claim alongside the measured rows, ready
 //! to paste into EXPERIMENTS.md.
 
-use serde_json::Value;
+use adaptnoc_sim::json::Value;
 use std::fmt::Write as _;
 
 /// The paper's claims, shown next to each measured section.
@@ -40,27 +40,32 @@ fn render_value(out: &mut String, v: &Value) {
                 let _ = writeln!(out, "```json\n{rows:?}\n```");
                 return;
             };
-            let cols: Vec<&String> = first.keys().collect();
+            let cols: Vec<&String> = first.iter().map(|(k, _)| k).collect();
             let _ = writeln!(
                 out,
                 "| {} |",
-                cols.iter().map(|c| c.as_str()).collect::<Vec<_>>().join(" | ")
+                cols.iter()
+                    .map(|c| c.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" | ")
             );
-            let _ = writeln!(out, "|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+            let _ = writeln!(
+                out,
+                "|{}|",
+                cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            );
             for row in rows {
-                let Some(o) = row.as_object() else { continue };
+                if row.as_object().is_none() {
+                    continue;
+                }
                 let cells: Vec<String> = cols
                     .iter()
-                    .map(|c| match o.get(*c) {
-                        Some(Value::Number(n)) => {
-                            if let Some(f) = n.as_f64() {
-                                if f.fract() == 0.0 && f.abs() < 1e9 {
-                                    format!("{f}")
-                                } else {
-                                    format!("{f:.3}")
-                                }
+                    .map(|c| match row.get(c.as_str()) {
+                        Some(Value::Number(f)) => {
+                            if f.fract() == 0.0 && f.abs() < 1e9 {
+                                format!("{f:.0}")
                             } else {
-                                n.to_string()
+                                format!("{f:.3}")
                             }
                         }
                         Some(Value::String(s)) => s.clone(),
@@ -68,14 +73,12 @@ fn render_value(out: &mut String, v: &Value) {
                         Some(Value::Array(a)) => a
                             .iter()
                             .map(|x| match x {
-                                Value::Number(n) => {
-                                    format!("{:.2}", n.as_f64().unwrap_or(0.0))
-                                }
-                                other => other.to_string(),
+                                Value::Number(n) => format!("{n:.2}"),
+                                other => other.to_string_compact(),
                             })
                             .collect::<Vec<_>>()
                             .join(" / "),
-                        Some(other) => other.to_string(),
+                        Some(other) => other.to_string_compact(),
                         None => String::new(),
                     })
                     .collect();
@@ -86,11 +89,11 @@ fn render_value(out: &mut String, v: &Value) {
             let _ = writeln!(out, "| field | value |");
             let _ = writeln!(out, "|---|---|");
             for (k, v) in o {
-                let _ = writeln!(out, "| {k} | {v} |");
+                let _ = writeln!(out, "| {k} | {} |", v.to_string_compact());
             }
         }
         other => {
-            let _ = writeln!(out, "```json\n{other}\n```");
+            let _ = writeln!(out, "```json\n{}\n```", other.to_string_compact());
         }
     }
 }
@@ -137,16 +140,17 @@ pub fn render_report(figures: &Value) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde_json::json;
+    use adaptnoc_sim::json::parse;
 
     #[test]
     fn renders_array_sections_as_tables() {
-        let figs = json!({
-            "mixed": [
+        let figs = parse(
+            r#"{"mixed": [
                 {"design": "baseline", "packet_latency_norm": 1.0},
-                {"design": "adapt-noc", "packet_latency_norm": 0.8},
-            ]
-        });
+                {"design": "adapt-noc", "packet_latency_norm": 0.8}
+            ]}"#,
+        )
+        .unwrap();
         let md = render_report(&figs);
         assert!(md.contains("## Figs. 7/10/11/12/13"));
         assert!(md.contains("| design | packet_latency_norm |"));
@@ -156,25 +160,22 @@ mod tests {
 
     #[test]
     fn renders_selection_arrays_inline() {
-        let figs = json!({
-            "fig14": [
-                {"app": "CA", "fractions": [0.0, 0.86, 0.14, 0.0]},
-            ]
-        });
+        let figs =
+            parse(r#"{"fig14": [{"app": "CA", "fractions": [0.0, 0.86, 0.14, 0.0]}]}"#).unwrap();
         let md = render_report(&figs);
         assert!(md.contains("0.00 / 0.86 / 0.14 / 0.00"));
     }
 
     #[test]
     fn skips_missing_sections() {
-        let md = render_report(&json!({}));
+        let md = render_report(&parse("{}").unwrap());
         assert!(!md.contains("## Fig. 8"));
         assert!(md.contains("# Adapt-NoC reproduction report"));
     }
 
     #[test]
     fn object_sections_render_field_tables() {
-        let figs = json!({"area": {"baseline_mm2": 17.28, "adapt_mm2": 13.68}});
+        let figs = parse(r#"{"area": {"baseline_mm2": 17.28, "adapt_mm2": 13.68}}"#).unwrap();
         let md = render_report(&figs);
         assert!(md.contains("| baseline_mm2 | 17.28 |"));
     }

@@ -9,7 +9,7 @@ use adaptnoc_topology::ftby::ftby_chip;
 use adaptnoc_topology::prelude::*;
 
 /// Sec. V-B1: the area table.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct AreaTable {
     /// Baseline 8x8 mesh NoC area, mm² (paper: 17.27).
     pub baseline_mm2: f64,
@@ -34,7 +34,7 @@ pub fn area_table() -> AreaTable {
 }
 
 /// Sec. V-B2: per-topology wiring usage vs the metal-stack budget.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct WiringRow {
     /// Topology name.
     pub topology: String,
@@ -81,7 +81,7 @@ pub fn wiring_table() -> Result<(WiringBudget, Vec<WiringRow>), BuildError> {
 }
 
 /// Sec. V-B3: the timing table.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct TimingTable {
     /// Conventional router stage delays, ps (RC, VA, SA, ST).
     pub conventional_ps: [f64; 4],
@@ -116,7 +116,7 @@ pub fn timing_table() -> TimingTable {
 /// quadratically with network size (at 16x16 its channel width must be
 /// halved, costing +85% queuing in the paper), while Adapt-NoC needs only
 /// one adaptable link per row/column at any size.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalabilityRow {
     /// Grid size label.
     pub size: String,
@@ -149,7 +149,10 @@ pub fn scalability_table() -> Result<Vec<ScalabilityRow>, BuildError> {
         });
         let adapt = build_chip_spec(
             grid,
-            &[RegionTopology::new(Rect::new(0, 0, n, n), TopologyKind::Torus)],
+            &[RegionTopology::new(
+                Rect::new(0, 0, n, n),
+                TopologyKind::Torus,
+            )],
             &SimConfig::adapt_noc(),
         )?;
         let usage = analyze_wiring(&adapt, n, n);
@@ -164,7 +167,7 @@ pub fn scalability_table() -> Result<Vec<ScalabilityRow>, BuildError> {
 }
 
 /// One topology-transition latency measurement (Sec. II-C1 walkthrough).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct ReconfigRow {
     /// Source topology.
     pub from: String,
@@ -187,8 +190,7 @@ pub fn reconfig_table() -> Result<Vec<ReconfigRow>, ControlError> {
     let rect = Rect::new(0, 0, 4, 4);
     let cfg = SimConfig::adapt_noc();
     let spec_of = |kind: TopologyKind| {
-        build_chip_spec(grid, &[RegionTopology::new(rect, kind)], &cfg)
-            .map_err(ControlError::Build)
+        build_chip_spec(grid, &[RegionTopology::new(rect, kind)], &cfg).map_err(ControlError::Build)
     };
     let mut rows = Vec::new();
     for from in TopologyKind::ACTIONS {

@@ -127,10 +127,7 @@ pub fn train_dqn(
 
     for ep in 0..tc.episodes {
         let scenario = &scenarios[ep % scenarios.len()];
-        let layout = ChipLayout::single(
-            scenario.rect,
-            scenario.profile.class == AppClass::Gpu,
-        );
+        let layout = ChipLayout::single(scenario.rect, scenario.profile.class == AppClass::Gpu);
         let rc = RunConfig {
             epoch_cycles: tc.epoch_cycles,
             seed: tc.seed + ep as u64,

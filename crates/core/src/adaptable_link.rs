@@ -14,7 +14,7 @@ use adaptnoc_topology::geom::Grid;
 use std::collections::HashMap;
 
 /// One wire of an adaptable link pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Wire {
     /// The forward wire: eastbound in rows, northbound in columns.
     Forward,
@@ -23,7 +23,7 @@ pub enum Wire {
 }
 
 /// A physical line carrying an adaptable link pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Line {
     /// The adaptable link of row `y`.
     Row(u8),
@@ -33,7 +33,7 @@ pub enum Line {
 
 /// One allocated segment: `[lo, hi]` positions on a line's wire, with its
 /// configured direction (`ascending` = east/north).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Segment {
     /// Line the segment lives on.
     pub line: Line,
@@ -86,7 +86,11 @@ pub fn segment_of(grid: &Grid, ch: &ChannelSpec) -> Result<Segment, LinkError> {
         return Err(LinkError::NotAligned);
     };
     let ascending = to > from;
-    let natural = if ascending { Wire::Forward } else { Wire::Reverse };
+    let natural = if ascending {
+        Wire::Forward
+    } else {
+        Wire::Reverse
+    };
     let wire = match ch.kind {
         ChannelKind::AdaptableReversed => match natural {
             Wire::Forward => Wire::Reverse,
@@ -171,7 +175,12 @@ mod tests {
         let grid = Grid::paper();
         let east = segment_of(
             &grid,
-            &express(&grid, Coord::new(0, 2), Coord::new(5, 2), ChannelKind::Adaptable),
+            &express(
+                &grid,
+                Coord::new(0, 2),
+                Coord::new(5, 2),
+                ChannelKind::Adaptable,
+            ),
         )
         .unwrap();
         assert_eq!(east.line, Line::Row(2));
@@ -181,7 +190,12 @@ mod tests {
 
         let south = segment_of(
             &grid,
-            &express(&grid, Coord::new(3, 6), Coord::new(3, 1), ChannelKind::Adaptable),
+            &express(
+                &grid,
+                Coord::new(3, 6),
+                Coord::new(3, 1),
+                ChannelKind::Adaptable,
+            ),
         )
         .unwrap();
         assert_eq!(south.line, Line::Col(3));
@@ -213,7 +227,12 @@ mod tests {
         let grid = Grid::paper();
         let err = segment_of(
             &grid,
-            &express(&grid, Coord::new(0, 0), Coord::new(2, 2), ChannelKind::Adaptable),
+            &express(
+                &grid,
+                Coord::new(0, 0),
+                Coord::new(2, 2),
+                ChannelKind::Adaptable,
+            ),
         );
         assert_eq!(err, Err(LinkError::NotAligned));
     }
@@ -229,7 +248,12 @@ mod tests {
             ChannelKind::Adaptable,
         ));
         // Same wire, overlapping interval [2,6] vs [0,4].
-        let mut ch2 = express(&grid, Coord::new(2, 0), Coord::new(6, 0), ChannelKind::Adaptable);
+        let mut ch2 = express(
+            &grid,
+            Coord::new(2, 0),
+            Coord::new(6, 0),
+            ChannelKind::Adaptable,
+        );
         ch2.src.port = PortId(2);
         ch2.dst.port = PortId(3);
         spec.add_channel(ch2);
@@ -249,7 +273,12 @@ mod tests {
             Coord::new(3, 0),
             ChannelKind::Adaptable,
         ));
-        let mut ch2 = express(&grid, Coord::new(3, 0), Coord::new(6, 0), ChannelKind::Adaptable);
+        let mut ch2 = express(
+            &grid,
+            Coord::new(3, 0),
+            Coord::new(6, 0),
+            ChannelKind::Adaptable,
+        );
         ch2.src.port = PortId(2);
         ch2.dst.port = PortId(3);
         spec.add_channel(ch2);
@@ -268,7 +297,12 @@ mod tests {
             Coord::new(7, 0),
             ChannelKind::Adaptable,
         ));
-        let mut ch2 = express(&grid, Coord::new(7, 0), Coord::new(0, 0), ChannelKind::Adaptable);
+        let mut ch2 = express(
+            &grid,
+            Coord::new(7, 0),
+            Coord::new(0, 0),
+            ChannelKind::Adaptable,
+        );
         ch2.src.port = PortId(2);
         ch2.dst.port = PortId(3);
         spec.add_channel(ch2);
@@ -289,9 +323,12 @@ mod tests {
             TopologyKind::Tree,
             TopologyKind::TorusTree,
         ] {
-            for rect in [Rect::new(0, 0, 4, 4), Rect::new(4, 0, 4, 8), Rect::new(0, 0, 8, 8)] {
-                let spec =
-                    build_chip_spec(grid, &[RegionTopology::new(rect, kind)], &cfg).unwrap();
+            for rect in [
+                Rect::new(0, 0, 4, 4),
+                Rect::new(4, 0, 4, 8),
+                Rect::new(0, 0, 8, 8),
+            ] {
+                let spec = build_chip_spec(grid, &[RegionTopology::new(rect, kind)], &cfg).unwrap();
                 check_adaptable_links(&grid, &spec)
                     .unwrap_or_else(|e| panic!("{kind} in {rect}: {e}"));
             }

@@ -13,7 +13,7 @@ use adaptnoc_topology::geom::{Coord, Grid, Rect};
 use std::collections::HashMap;
 
 /// A granted allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Allocation {
     /// Caller-chosen application id.
     pub app: u64,
@@ -192,7 +192,10 @@ mod tests {
         let r = a.allocate(1, 16).unwrap().rect;
         assert_eq!((r.w, r.h), (4, 4));
         let r = a.allocate(2, 8).unwrap().rect;
-        assert!(r.w.is_multiple_of(2) && r.h.is_multiple_of(2), "cmesh-compatible {r}");
+        assert!(
+            r.w.is_multiple_of(2) && r.h.is_multiple_of(2),
+            "cmesh-compatible {r}"
+        );
         assert_eq!(r.tiles(), 8);
     }
 

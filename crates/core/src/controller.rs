@@ -9,12 +9,11 @@ use adaptnoc_rl::dqn::{DqnAgent, TrainedPolicy, Transition};
 use adaptnoc_rl::qtable::QTableAgent;
 use adaptnoc_rl::state::{reward, Observation, StateScales};
 use adaptnoc_sim::network::{Network, NetworkError};
+use adaptnoc_sim::rng::Rng;
 use adaptnoc_sim::spec::NetworkSpec;
 use adaptnoc_topology::chip::build_chip_spec;
 use adaptnoc_topology::plan::BuildError;
 use adaptnoc_topology::regions::{RegionTopology, TopologyKind};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Per-region, per-epoch telemetry assembled by the workload harness.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -43,7 +42,7 @@ pub enum TopologyPolicy {
 }
 
 impl TopologyPolicy {
-    fn decide(&mut self, state: &[f64], rng: &mut StdRng) -> TopologyKind {
+    fn decide(&mut self, state: &[f64], rng: &mut Rng) -> TopologyKind {
         let idx = match self {
             TopologyPolicy::Fixed(k) => return *k,
             TopologyPolicy::Trained(p) => p.decide(state, rng),
@@ -98,7 +97,7 @@ pub struct RegionController {
 
 /// An MC-sharing request: region `borrower` also uses the MC of region
 /// `lender` (indices into the layout's regions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct McShare {
     /// Borrowing region index.
     pub borrower: usize,
@@ -156,7 +155,7 @@ pub struct AdaptController {
     /// are divided by this to keep TD targets in a trainable range.
     pub reward_scale: f64,
     sim_cfg: adaptnoc_sim::config::SimConfig,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl AdaptController {
@@ -201,7 +200,7 @@ impl AdaptController {
             scales: StateScales::default(),
             reward_scale: 50.0,
             sim_cfg,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -464,11 +463,7 @@ mod tests {
                 ctl.tick(&mut net).unwrap();
             }
         }
-        let visited: usize = ctl.regions[0]
-            .histogram
-            .iter()
-            .filter(|&&h| h > 0)
-            .count();
+        let visited: usize = ctl.regions[0].histogram.iter().filter(|&&h| h > 0).count();
         assert!(visited >= 2, "exploration should visit several topologies");
         assert!(net.totals().events.rl_inferences >= 30);
     }

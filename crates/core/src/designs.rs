@@ -21,7 +21,7 @@ use adaptnoc_topology::ftby::ftby_chip;
 use adaptnoc_topology::shortcut::{choose_shortcut_links, shortcut_chip, TrafficWeight};
 
 /// The evaluated designs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DesignKind {
     /// Mesh baseline.
     Baseline,
@@ -252,8 +252,7 @@ mod tests {
         for kind in DesignKind::ALL {
             let layout = layout();
             let grid = layout.grid;
-            let mut d =
-                Design::build(kind, layout, &[], policies_for(kind), 1).unwrap();
+            let mut d = Design::build(kind, layout, &[], policies_for(kind), 1).unwrap();
             let a = grid.node(Coord::new(0, 0));
             let b = grid.node(Coord::new(3, 3));
             let t = [RegionTelemetry::default()];
@@ -264,11 +263,7 @@ mod tests {
                 d.net.step();
                 d.tick().unwrap();
             }
-            assert_eq!(
-                d.net.drain_delivered().len(),
-                2,
-                "{kind} failed to deliver"
-            );
+            assert_eq!(d.net.drain_delivered().len(), 2, "{kind} failed to deliver");
             assert_eq!(d.net.in_flight(), 0, "{kind} left traffic");
         }
     }

@@ -10,7 +10,7 @@ use adaptnoc_sim::ids::NodeId;
 use adaptnoc_topology::geom::{Coord, Grid, Rect};
 
 /// What a tile's endpoint node is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// A general-purpose CPU core with private L1 and a shared-L2 slice.
     Cpu,
@@ -34,7 +34,7 @@ impl NodeKind {
 /// An application's placement: a rectangular subNoC-able region plus its
 /// memory controllers (one per 2x4 block, Sec. II-C2: "we implement one MC
 /// to each 2x4 subNoC in an 8x8 NoC").
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppRegion {
     /// Footprint on the chip.
     pub rect: Rect,
@@ -65,7 +65,7 @@ pub fn mc_blocks(rect: Rect) -> Vec<Rect> {
 
 /// The heterogeneous chip: a grid plus per-tile node kinds and the current
 /// application regions.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipLayout {
     /// The tile grid.
     pub grid: Grid,

@@ -14,7 +14,7 @@ use adaptnoc_topology::geom::{Coord, Grid, Rect};
 use adaptnoc_topology::plan::BuildError;
 
 /// A configured MC-sharing bridge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct McBridge {
     /// Peripheral router tile inside the borrowing region.
     pub local: Coord,

@@ -42,8 +42,8 @@ impl OscarPolicy {
         // Weight replies by their flit count: VC pressure tracks flits,
         // not packets.
         let requests = (report.stats.by_kind[0] + report.stats.by_kind[2]) as f64;
-        let replies = report.stats.by_kind[1] as f64
-            * adaptnoc_sim::config::DATA_PACKET_FLITS as f64;
+        let replies =
+            report.stats.by_kind[1] as f64 * adaptnoc_sim::config::DATA_PACKET_FLITS as f64;
         let total = requests + replies;
         let all = (1u8 << self.vcs_per_vnet) - 1;
         let mask_of = |n: u8| (1u8 << n) - 1;
@@ -179,8 +179,13 @@ mod tests {
         let mut id = 0;
         for c in grid.iter() {
             id += 1;
-            net.inject(Packet::reply(id, grid.node(c), grid.node(Coord::new(0, 0)), 0))
-                .ok();
+            net.inject(Packet::reply(
+                id,
+                grid.node(c),
+                grid.node(Coord::new(0, 0)),
+                0,
+            ))
+            .ok();
         }
         net.run(3000);
         assert_eq!(net.in_flight(), 0);

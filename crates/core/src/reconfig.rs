@@ -34,7 +34,7 @@ use adaptnoc_topology::regions::TopologyKind;
 use std::collections::HashSet;
 
 /// Timing parameters of the protocol (Sec. IV-A values by default).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReconfigTiming {
     /// Hop latency `T_r` (2 cycles).
     pub t_r: u64,
@@ -137,7 +137,9 @@ impl RegionReconfig {
 
     /// Total latency so far (or final latency once done).
     pub fn latency(&self, now: u64) -> u64 {
-        self.finished_at.unwrap_or(now).saturating_sub(self.started_at)
+        self.finished_at
+            .unwrap_or(now)
+            .saturating_sub(self.started_at)
     }
 
     /// Advances the protocol by one cycle. Returns `true` once done.
@@ -194,15 +196,10 @@ impl RegionReconfig {
     }
 
     fn drained(&self, net: &Network, grid: &Grid) -> bool {
-        let region_routers: HashSet<u16> = self
-            .rect
-            .iter()
-            .map(|c| grid.router(c).0)
-            .collect();
+        let region_routers: HashSet<u16> = self.rect.iter().map(|c| grid.router(c).0).collect();
         if self.fast {
             // Only channels being removed must be quiescent.
-            let target_keys: HashSet<_> =
-                self.target.channels.iter().map(|c| c.key()).collect();
+            let target_keys: HashSet<_> = self.target.channels.iter().map(|c| c.key()).collect();
             net.spec()
                 .channels
                 .iter()
@@ -328,7 +325,8 @@ mod tests {
             for j in 0..nodes.len() {
                 if i != j && (i + j) % 3 == 0 {
                     id += 1;
-                    net.inject(Packet::reply(id, nodes[i], nodes[j], 0)).unwrap();
+                    net.inject(Packet::reply(id, nodes[i], nodes[j], 0))
+                        .unwrap();
                 }
             }
         }
@@ -349,12 +347,17 @@ mod tests {
                 // cmesh.
                 for i in 0..nodes.len() {
                     id += 1;
-                    net.inject(Packet::request(id, nodes[i], nodes[(i + 5) % nodes.len()], 0))
-                        .ok();
+                    net.inject(Packet::request(
+                        id,
+                        nodes[i],
+                        nodes[(i + 5) % nodes.len()],
+                        0,
+                    ))
+                    .ok();
                 }
                 id -= 1; // one self-send skipped
-                // Recount precisely: the (i+5)%16 mapping never maps i to i
-                // for 16 nodes, so restore.
+                         // Recount precisely: the (i+5)%16 mapping never maps i to i
+                         // for 16 nodes, so restore.
                 id += 1;
             }
         }
@@ -373,8 +376,7 @@ mod tests {
         let (mesh_spec, grid, rect) = chip(TopologyKind::Mesh);
         let (cmesh_spec, _, _) = chip(TopologyKind::Cmesh);
         let cfg = SimConfig::adapt_noc();
-        let mut net =
-            adaptnoc_sim::network::Network::new(cmesh_spec, cfg).unwrap();
+        let mut net = adaptnoc_sim::network::Network::new(cmesh_spec, cfg).unwrap();
         let mut rc = RegionReconfig::start(
             &net,
             &grid,

@@ -1,38 +1,40 @@
-//! Property tests for the reconfiguration protocol: arbitrary topology
+//! Randomized tests for the reconfiguration protocol: arbitrary topology
 //! sequences under continuous traffic never lose a packet, never produce an
 //! unroutable event, and always land in a valid, deadlock-free
-//! configuration.
+//! configuration. Cases come from the in-tree seeded PRNG.
 
 use adaptnoc_core::prelude::*;
 use adaptnoc_sim::config::SimConfig;
 use adaptnoc_sim::network::Network;
 use adaptnoc_sim::prelude::{NodeId, Packet};
+use adaptnoc_sim::rng::Rng;
 use adaptnoc_topology::prelude::*;
-use proptest::prelude::*;
 
-fn kind_strategy() -> impl Strategy<Value = TopologyKind> {
-    prop_oneof![
-        Just(TopologyKind::Mesh),
-        Just(TopologyKind::Cmesh),
-        Just(TopologyKind::Torus),
-        Just(TopologyKind::Tree),
-    ]
+const KINDS: [TopologyKind; 4] = [
+    TopologyKind::Mesh,
+    TopologyKind::Cmesh,
+    TopologyKind::Torus,
+    TopologyKind::Tree,
+];
+
+fn random_kind(rng: &mut Rng) -> TopologyKind {
+    KINDS[rng.random_below(KINDS.len())]
 }
 
 fn spec_of(kind: TopologyKind, rect: Rect, cfg: &SimConfig) -> adaptnoc_sim::spec::NetworkSpec {
     build_chip_spec(Grid::paper(), &[RegionTopology::new(rect, kind)], cfg).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    /// A random sequence of topology switches under random traffic is
-    /// lossless and ends in a validated configuration.
-    #[test]
-    fn random_reconfig_sequences_are_lossless(
-        seq in prop::collection::vec(kind_strategy(), 1..5),
-        inject_period in 3u64..20,
-    ) {
+/// A random sequence of topology switches under random traffic is
+/// lossless and ends in a validated configuration.
+#[test]
+fn random_reconfig_sequences_are_lossless() {
+    let mut rng = Rng::seed_from_u64(0x5EC5);
+    for _case in 0..20 {
+        let seq: Vec<TopologyKind> = (0..rng.random_range(1, 5))
+            .map(|_| random_kind(&mut rng))
+            .collect();
+        let inject_period = rng.random_range(3, 20) as u64;
         let grid = Grid::paper();
         let rect = Rect::new(0, 0, 4, 4);
         let cfg = SimConfig::adapt_noc();
@@ -72,7 +74,7 @@ proptest! {
                     break;
                 }
                 guard += 1;
-                prop_assert!(guard < 100_000, "reconfig to {target} hung");
+                assert!(guard < 100_000, "reconfig to {target} hung");
             }
             current = target;
         }
@@ -82,32 +84,35 @@ proptest! {
             net.step();
             delivered += net.drain_delivered().len() as u64;
             guard += 1;
-            prop_assert!(guard < 200_000, "drain hung");
+            assert!(guard < 200_000, "drain hung");
         }
-        prop_assert_eq!(injected, delivered, "packets lost across reconfigs");
-        prop_assert_eq!(net.unroutable_events(), 0);
+        assert_eq!(injected, delivered, "packets lost across reconfigs");
+        assert_eq!(net.unroutable_events(), 0);
 
         // Final configuration is valid and deadlock-free.
         let pairs = all_pairs(&nodes);
         check_routes_and_deadlock(net.spec(), &pairs).unwrap();
         check_adaptable_links(&grid, net.spec()).unwrap();
     }
+}
 
-    /// Region position does not matter: the protocol works for subNoCs
-    /// anywhere on the chip.
-    #[test]
-    fn reconfig_works_at_any_region_position(
-        x in 0u8..5,
-        y in 0u8..5,
-        target in kind_strategy(),
-    ) {
+/// Region position does not matter: the protocol works for subNoCs
+/// anywhere on the chip.
+#[test]
+fn reconfig_works_at_any_region_position() {
+    let mut rng = Rng::seed_from_u64(0x9051);
+    for _case in 0..20 {
+        let x = rng.random_below(5) as u8;
+        let y = rng.random_below(5) as u8;
+        let target = random_kind(&mut rng);
         let grid = Grid::paper();
         let rect = Rect::new(x & !1, y & !1, 4, 4);
-        prop_assume!(rect.fits(&grid));
+        if !rect.fits(&grid) {
+            continue;
+        }
         let cfg = SimConfig::adapt_noc();
-        let mk = |k: TopologyKind| {
-            build_chip_spec(grid, &[RegionTopology::new(rect, k)], &cfg).unwrap()
-        };
+        let mk =
+            |k: TopologyKind| build_chip_spec(grid, &[RegionTopology::new(rect, k)], &cfg).unwrap();
         let mut net = Network::new(mk(TopologyKind::Mesh), cfg.clone()).unwrap();
         let fast = keeps_mesh(target);
         let transitional = fast.then(|| mk(TopologyKind::Mesh).tables);
@@ -127,7 +132,7 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(done);
+        assert!(done);
         let nodes: Vec<NodeId> = rect.iter().map(|c| grid.node(c)).collect();
         check_routes_and_deadlock(net.spec(), &all_pairs(&nodes)).unwrap();
     }

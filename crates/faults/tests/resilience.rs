@@ -1,0 +1,311 @@
+//! End-to-end resilience tests: faults fired into a live 4x4 mesh with
+//! closed-loop traffic, driven by the `FaultController`.
+
+use adaptnoc_faults::prelude::*;
+use adaptnoc_sim::config::SimConfig;
+use adaptnoc_sim::flit::Packet;
+use adaptnoc_sim::ids::NodeId;
+use adaptnoc_sim::network::Network;
+use adaptnoc_sim::spec::ChannelKey;
+use adaptnoc_sim::stats::NetStats;
+use adaptnoc_topology::prelude::*;
+
+fn mesh_net() -> (Network, Grid) {
+    let grid = Grid::new(4, 4);
+    let cfg = SimConfig::baseline();
+    let spec = mesh_chip(grid, &cfg).unwrap();
+    (Network::new(spec, cfg).unwrap(), grid)
+}
+
+fn controller(net: &Network, grid: Grid, schedule: FaultSchedule) -> FaultController {
+    FaultController::new(
+        schedule,
+        RetryPolicy::default(),
+        grid,
+        Rect::new(0, 0, 4, 4),
+        net.config().clone(),
+        ReconfigTiming::default(),
+    )
+}
+
+/// The router-to-router channel from `src` to `dst` coordinates.
+fn key_between(net: &Network, grid: &Grid, src: Coord, dst: Coord) -> ChannelKey {
+    let (s, d) = (grid.router(src), grid.router(dst));
+    net.spec()
+        .channels
+        .iter()
+        .find(|c| c.src.router == s && c.dst.router == d)
+        .map(|c| c.key())
+        .expect("adjacent routers share a channel")
+}
+
+/// Runs the simulation with the controller in the loop. `inject` is called
+/// each cycle before stepping and returns packets to offer. Stops once
+/// `quiet_after` passed, the network drained, and the controller settled
+/// (or `max_cycles` elapsed).
+fn drive(
+    net: &mut Network,
+    ctl: &mut FaultController,
+    max_cycles: u64,
+    quiet_after: u64,
+    mut inject: impl FnMut(u64) -> Vec<Packet>,
+) {
+    for _ in 0..max_cycles {
+        let now = net.now();
+        for p in inject(now) {
+            net.inject(p).unwrap();
+        }
+        net.step();
+        ctl.tick(net).unwrap();
+        if now >= quiet_after && net.in_flight() == 0 && ctl.settled() {
+            break;
+        }
+    }
+}
+
+/// Deterministic closed-loop workload: every node sends to its
+/// stride-partner every `period` cycles while `from <= now < until`
+/// (absolute simulation cycles).
+fn stride_workload(
+    from: u64,
+    until: u64,
+    period: u64,
+    skip: impl Fn(NodeId) -> bool + Clone,
+) -> impl FnMut(u64) -> Vec<Packet> {
+    let mut next_id = 1u64;
+    move |now| {
+        if now < from || now >= until || now % period != 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for i in 0..16u16 {
+            let (src, dst) = (NodeId(i), NodeId((i + 5) % 16));
+            if skip(src) || skip(dst) {
+                continue;
+            }
+            out.push(Packet::request(next_id, src, dst, 0));
+            next_id += 1;
+        }
+        out
+    }
+}
+
+fn totals(net: &mut Network) -> NetStats {
+    net.totals().stats
+}
+
+#[test]
+fn transient_fault_delivers_every_packet() {
+    let (mut net, grid) = mesh_net();
+    // Cut a central link while traffic crosses it; it heals after 60.
+    let key = key_between(&net, &grid, Coord::new(1, 1), Coord::new(2, 1));
+    let schedule = FaultSchedule::new(vec![FaultEvent {
+        at: 40,
+        kind: FaultKind::TransientLink { key, duration: 60 },
+    }]);
+    let mut ctl = controller(&net, grid, schedule);
+    // Background stride traffic plus a dedicated every-cycle stream across
+    // the doomed link, so flits are on the wire at the strike instant.
+    let mut stride = stride_workload(0, 120, 4, |_| false);
+    let (a, b) = (grid.node(Coord::new(1, 1)), grid.node(Coord::new(2, 1)));
+    let mut next_stream_id = 1_000_000u64;
+    drive(&mut net, &mut ctl, 5_000, 150, |now| {
+        let mut out = stride(now);
+        if (20..80).contains(&now) {
+            out.push(Packet::request(next_stream_id, a, b, 0));
+            next_stream_id += 1;
+        }
+        out
+    });
+
+    assert!(ctl.settled(), "controller still busy");
+    assert_eq!(net.in_flight(), 0, "network failed to drain");
+    let s = totals(&mut net);
+    assert_eq!(ctl.stats().transients_fired, 1);
+    assert!(s.nacks > 0, "fault caught no in-flight packet");
+    assert_eq!(s.drops, 0);
+    assert_eq!(
+        s.packets, s.packets_offered,
+        "every offered packet delivered"
+    );
+    assert!((s.delivery_ratio() - 1.0).abs() < 1e-12);
+    assert!(!net.channel_faulted(key), "link healed");
+}
+
+#[test]
+fn permanent_link_fault_recovers_within_an_epoch() {
+    let (mut net, grid) = mesh_net();
+    let key = key_between(&net, &grid, Coord::new(1, 1), Coord::new(2, 1));
+    let schedule = FaultSchedule::new(vec![FaultEvent {
+        at: 200,
+        kind: FaultKind::PermanentLink { key },
+    }]);
+    let mut ctl = controller(&net, grid, schedule);
+
+    // Pre-fault baseline latency on the healthy mesh.
+    drive(
+        &mut net,
+        &mut ctl,
+        180,
+        100,
+        stride_workload(0, 100, 8, |_| false),
+    );
+    let pre = net.take_epoch().stats;
+    assert!(pre.packets > 0 && pre.drops == 0);
+    let baseline = pre.avg_packet_latency();
+
+    // Strike and recover under light load.
+    drive(
+        &mut net,
+        &mut ctl,
+        2_000,
+        400,
+        stride_workload(0, 400, 8, |_| false),
+    );
+    assert!(ctl.settled());
+    assert_eq!(ctl.stats().permanent_links_fired, 1);
+    let recoveries = &ctl.stats().recoveries;
+    assert_eq!(recoveries.len(), 1, "exactly one recovery ran");
+    let r = &recoveries[0];
+    assert_eq!(r.fault_at, 200);
+    assert!(r.disconnected.is_empty(), "mesh stays connected");
+    assert!(r.reversed.is_empty(), "mesh links have no adaptable twin");
+    assert!(
+        r.time_to_recover() <= 200,
+        "recovery took {} cycles",
+        r.time_to_recover()
+    );
+    // The degraded tables are live and the dead channel is gone.
+    assert!(
+        !net.spec().channels.iter().any(|c| c.key() == key),
+        "faulted channel removed from the active spec"
+    );
+    let mid = net.take_epoch().stats;
+    assert_eq!(mid.drops, 0);
+    assert_eq!(mid.packets, mid.packets_offered);
+
+    // Post-recovery traffic still flows, within 2x the pre-fault latency.
+    let s = net.now();
+    drive(
+        &mut net,
+        &mut ctl,
+        2_000,
+        s + 200,
+        stride_workload(s, s + 200, 8, |_| false),
+    );
+    let post = net.take_epoch().stats;
+    assert!(post.packets > 0 && post.drops == 0);
+    assert_eq!(post.packets, post.packets_offered);
+    assert!(
+        post.avg_packet_latency() <= 2.0 * baseline,
+        "post-recovery latency {:.2} vs baseline {:.2}",
+        post.avg_packet_latency(),
+        baseline
+    );
+}
+
+#[test]
+fn router_fault_disconnects_one_node_and_spares_the_rest() {
+    let (mut net, grid) = mesh_net();
+    let victim_router = grid.router(Coord::new(1, 1));
+    let victim = grid.node(Coord::new(1, 1));
+    let schedule = FaultSchedule::new(vec![FaultEvent {
+        at: 100,
+        kind: FaultKind::PermanentRouter {
+            router: victim_router,
+        },
+    }]);
+    let mut ctl = controller(&net, grid, schedule);
+
+    // Survivors talk throughout; the victim neither sends nor receives.
+    let skip = move |n: NodeId| n == victim;
+    drive(
+        &mut net,
+        &mut ctl,
+        3_000,
+        300,
+        stride_workload(0, 300, 6, skip),
+    );
+
+    assert!(ctl.settled());
+    assert_eq!(ctl.stats().routers_fired, 1);
+    assert_eq!(ctl.disconnected(), vec![victim]);
+    assert_eq!(ctl.stats().recoveries.len(), 1);
+    assert_eq!(ctl.stats().recoveries[0].disconnected, vec![victim]);
+    assert!(net.router_failed(victim_router));
+
+    let s = totals(&mut net);
+    assert_eq!(s.drops, 0, "no survivor traffic lost");
+    assert_eq!(s.packets, s.packets_offered);
+    assert!((s.delivery_ratio() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn packet_to_dead_node_is_dropped_not_stuck() {
+    let (mut net, grid) = mesh_net();
+    let victim_router = grid.router(Coord::new(3, 3));
+    let victim = grid.node(Coord::new(3, 3));
+    let schedule = FaultSchedule::new(vec![FaultEvent {
+        at: 50,
+        kind: FaultKind::PermanentRouter {
+            router: victim_router,
+        },
+    }]);
+    let mut ctl = controller(&net, grid, schedule);
+
+    // One packet leaves for the victim right before the router dies.
+    let mut fired = false;
+    drive(&mut net, &mut ctl, 3_000, 60, move |now| {
+        if now == 49 && !fired {
+            fired = true;
+            vec![Packet::request(1, NodeId(0), victim, 0)]
+        } else {
+            Vec::new()
+        }
+    });
+
+    assert!(ctl.settled());
+    assert_eq!(net.in_flight(), 0, "doomed packet must not pin the network");
+    let s = totals(&mut net);
+    assert_eq!(s.packets, 0);
+    assert_eq!(s.drops, 1, "packet for the dead node dropped");
+    assert_eq!(ctl.stats().dropped, 1);
+}
+
+#[test]
+fn random_campaign_is_deterministic() {
+    let run = |seed: u64| -> (NetStats, u64, u64, u64) {
+        let (mut net, grid) = mesh_net();
+        let params = ScheduleParams {
+            transients: 2,
+            permanent_links: 1,
+            router_faults: 0,
+            window_start: 50,
+            window_end: 300,
+            min_duration: 20,
+            max_duration: 80,
+        };
+        let schedule =
+            FaultSchedule::random(net.spec(), &grid, Rect::new(0, 0, 4, 4), &params, seed);
+        let mut ctl = controller(&net, grid, schedule);
+        drive(
+            &mut net,
+            &mut ctl,
+            6_000,
+            400,
+            stride_workload(0, 400, 5, |_| false),
+        );
+        assert!(ctl.settled(), "campaign (seed {seed}) did not settle");
+        let st = ctl.stats();
+        (
+            totals(&mut net),
+            st.retries_queued,
+            st.dropped,
+            st.recoveries.len() as u64,
+        )
+    };
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a, b, "same seed must give identical metrics");
+    assert_eq!(a.3, 1, "the permanent link fault triggered one recovery");
+}

@@ -9,7 +9,7 @@ use crate::params as p;
 use adaptnoc_sim::config::SimConfig;
 
 /// Area report for one NoC design, mm².
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaReport {
     /// Crossbars.
     pub crossbars_mm2: f64,
@@ -42,8 +42,7 @@ pub fn noc_area(routers: usize, cfg: &SimConfig, adapt_extras: bool) -> AreaRepo
     let baseline_flits_per_port = SimConfig::baseline().port_buffer_flits() as f64;
     let buffer_scale = cfg.port_buffer_flits() as f64 / baseline_flits_per_port;
     let extras = if adapt_extras {
-        p::ADAPT_EXTRA_PORT_AREA_MM2
-            + (p::RL_CONTROLLERS_AREA_UM2 + p::MUX_LINK_AREA_UM2) / 1e6
+        p::ADAPT_EXTRA_PORT_AREA_MM2 + (p::RL_CONTROLLERS_AREA_UM2 + p::MUX_LINK_AREA_UM2) / 1e6
     } else {
         0.0
     };
@@ -110,8 +109,8 @@ mod tests {
     #[test]
     fn extras_match_published_components() {
         let a = adapt_8x8_area();
-        let expected =
-            p::ADAPT_EXTRA_PORT_AREA_MM2 + (p::RL_CONTROLLERS_AREA_UM2 + p::MUX_LINK_AREA_UM2) / 1e6;
+        let expected = p::ADAPT_EXTRA_PORT_AREA_MM2
+            + (p::RL_CONTROLLERS_AREA_UM2 + p::MUX_LINK_AREA_UM2) / 1e6;
         assert!((a.extras_mm2 - expected).abs() < 1e-12);
         // ~1.67 mm² of extras.
         assert!((a.extras_mm2 - 1.667).abs() < 0.01);

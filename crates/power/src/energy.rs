@@ -12,7 +12,7 @@ use adaptnoc_sim::events::{EventCounts, StaticCycles};
 use adaptnoc_sim::stats::EpochReport;
 
 /// Energy decomposition in joules.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Activity-driven energy.
     pub dynamic_j: f64,

@@ -39,8 +39,7 @@ pub mod prelude {
     };
     pub use crate::energy::{EnergyBreakdown, EnergyModel};
     pub use crate::timing::{
-        dqn_latency_ns, link_cycles, paper_dqn_latency_ns, wire_delay_ps, MetalLayer,
-        RouterTiming,
+        dqn_latency_ns, link_cycles, paper_dqn_latency_ns, wire_delay_ps, MetalLayer, RouterTiming,
     };
     pub use crate::wiring::{analyze_wiring, paper_budget, WiringBudget, WiringUsage};
 }

@@ -3,7 +3,7 @@
 use crate::params as p;
 
 /// Router pipeline-stage delays with the Adapt-NoC mux merge applied.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RouterTiming {
     /// Route computation (+ input mux when merged), ps.
     pub rc_ps: f64,
@@ -54,7 +54,7 @@ impl RouterTiming {
 }
 
 /// Metal layer classes for wire-delay computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetalLayer {
     /// M7-M8: wide/thick, 42 ps/mm.
     High,
@@ -70,7 +70,12 @@ pub fn wire_delay_ps(mm: f64, layer: MetalLayer, reversed: bool) -> f64 {
         MetalLayer::High => p::HIGH_METAL_PS_PER_MM,
         MetalLayer::Intermediate => p::INTERMEDIATE_METAL_PS_PER_MM,
     };
-    mm * per_mm + if reversed { p::REVERSED_REPEATER_PS } else { 0.0 }
+    mm * per_mm
+        + if reversed {
+            p::REVERSED_REPEATER_PS
+        } else {
+            0.0
+        }
 }
 
 /// Link latency in cycles for an express/adaptable segment of `mm` on high

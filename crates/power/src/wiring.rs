@@ -10,7 +10,7 @@ use adaptnoc_sim::spec::NetworkSpec;
 use std::collections::HashMap;
 
 /// Per-tile-edge link budget.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WiringBudget {
     /// 256-bit bidirectional links per tile edge on high metal (M7-M8).
     pub high_metal_links: u32,
@@ -50,7 +50,7 @@ pub fn paper_budget() -> WiringBudget {
 /// link counts as two unidirectional channels. Adaptable-link segments are
 /// pinned to the high metal layers (the paper places them there for the
 /// 42 ps/mm delay); other channels may use any layer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WiringUsage {
     /// Max unidirectional channels over any horizontal tile edge.
     pub max_channels_per_edge: u32,

@@ -7,11 +7,11 @@
 
 use crate::linalg::argmax;
 use crate::mlp::{Gradients, Mlp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use adaptnoc_sim::json::{self, Value};
+use adaptnoc_sim::rng::Rng;
 
 /// One experience-replay transition.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     /// State at decision time.
     pub state: Vec<f64>,
@@ -24,7 +24,7 @@ pub struct Transition {
 }
 
 /// Hyper-parameters, defaulting to the paper's values.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DqnConfig {
     /// State dimension (12).
     pub state_dim: usize,
@@ -101,9 +101,9 @@ impl ReplayBuffer {
     }
 
     /// Samples `n` transitions uniformly with replacement.
-    pub fn sample<'a, R: Rng>(&'a self, n: usize, rng: &mut R) -> Vec<&'a Transition> {
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut Rng) -> Vec<&'a Transition> {
         (0..n)
-            .map(|_| &self.buf[rng.random_range(0..self.buf.len())])
+            .map(|_| &self.buf[rng.random_below(self.buf.len())])
             .collect()
     }
 }
@@ -117,13 +117,13 @@ pub struct DqnAgent {
     target: Mlp,
     replay: ReplayBuffer,
     iterations: u64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl DqnAgent {
     /// Creates an agent with freshly initialized networks.
     pub fn new(cfg: DqnConfig, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let shape = [cfg.state_dim, cfg.hidden, cfg.hidden, cfg.actions];
         let prediction = Mlp::new(&shape, &mut rng);
         let mut target = Mlp::new(&shape, &mut rng);
@@ -146,8 +146,8 @@ impl DqnAgent {
     /// ε-greedy action selection. With `explore` false (pure deployment
     /// evaluation) the greedy action is always taken.
     pub fn select_action(&mut self, state: &[f64], explore: bool) -> usize {
-        if explore && self.rng.random::<f64>() < self.cfg.epsilon {
-            self.rng.random_range(0..self.cfg.actions)
+        if explore && self.rng.random_f64() < self.cfg.epsilon {
+            self.rng.random_below(self.cfg.actions)
         } else {
             argmax(&self.prediction.forward(state))
         }
@@ -173,7 +173,7 @@ impl DqnAgent {
         }
         let n = self.cfg.minibatch;
         let idxs: Vec<usize> = (0..n)
-            .map(|_| self.rng.random_range(0..self.replay.len()))
+            .map(|_| self.rng.random_below(self.replay.len()))
             .collect();
         let mut acc = Gradients::zeros_like(&self.prediction);
         let mut loss_sum = 0.0;
@@ -220,7 +220,7 @@ impl DqnAgent {
 
 /// A deployed policy: just the trained network plus ε-greedy exploration,
 /// matching the paper's hardware (weights only, no replay or target net).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainedPolicy {
     net: Mlp,
     epsilon: f64,
@@ -229,9 +229,9 @@ pub struct TrainedPolicy {
 
 impl TrainedPolicy {
     /// Greedy action with ε exploration using the caller's RNG.
-    pub fn decide<R: Rng>(&self, state: &[f64], rng: &mut R) -> usize {
-        if rng.random::<f64>() < self.epsilon {
-            rng.random_range(0..self.actions)
+    pub fn decide(&self, state: &[f64], rng: &mut Rng) -> usize {
+        if rng.random_f64() < self.epsilon {
+            rng.random_below(self.actions)
         } else {
             argmax(&self.net.forward(state))
         }
@@ -260,7 +260,12 @@ impl TrainedPolicy {
     ///
     /// Returns a message on serialization failure.
     pub fn to_json(&self) -> Result<String, String> {
-        serde_json::to_string(self).map_err(|e| e.to_string())
+        Ok(Value::Object(vec![
+            ("net".into(), self.net.to_json()),
+            ("epsilon".into(), Value::Number(self.epsilon)),
+            ("actions".into(), Value::Number(self.actions as f64)),
+        ])
+        .to_string_compact())
     }
 
     /// Restores a policy from [`to_json`](Self::to_json) output.
@@ -269,7 +274,18 @@ impl TrainedPolicy {
     ///
     /// Returns a message on malformed input.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let v = json::parse(s).map_err(|e| e.to_string())?;
+        Ok(TrainedPolicy {
+            net: Mlp::from_json(v.get("net").ok_or("policy missing 'net'")?)?,
+            epsilon: v
+                .get("epsilon")
+                .and_then(Value::as_f64)
+                .ok_or("policy missing 'epsilon'")?,
+            actions: v
+                .get("actions")
+                .and_then(Value::as_u64)
+                .ok_or("policy missing 'actions'")? as usize,
+        })
     }
 }
 
@@ -340,13 +356,13 @@ mod tests {
             epsilon: 0.1,
         };
         let mut agent = DqnAgent::new(cfg, 7);
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Rng::seed_from_u64(99);
         // Generate experience.
         for _ in 0..600 {
-            let ctx = rng.random_range(0..4usize);
+            let ctx = rng.random_below(4);
             let mut state = vec![0.0; 4];
             state[ctx] = 1.0;
-            let action = rng.random_range(0..4usize);
+            let action = rng.random_below(4);
             let reward = if action == ctx { 1.0 } else { -1.0 };
             agent.observe(Transition {
                 state: state.clone(),
@@ -418,10 +434,7 @@ mod tests {
         {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
-        assert_eq!(
-            policy.decide_greedy(&state),
-            restored.decide_greedy(&state)
-        );
+        assert_eq!(policy.decide_greedy(&state), restored.decide_greedy(&state));
         assert!(TrainedPolicy::from_json("not json").is_err());
     }
 
@@ -429,7 +442,7 @@ mod tests {
     fn exploration_rate_shapes_decisions() {
         let agent = DqnAgent::new(DqnConfig::default(), 5);
         let policy = agent.into_policy().with_epsilon(1.0);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let state = vec![0.5; 12];
         let greedy = policy.decide_greedy(&state);
         let picks: Vec<usize> = (0..100).map(|_| policy.decide(&state, &mut rng)).collect();

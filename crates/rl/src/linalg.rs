@@ -1,10 +1,11 @@
 //! Minimal dense linear algebra for the DQN (no external ML dependencies,
 //! matching the paper's weight-only hardware deployment story).
 
-use rand::Rng;
+use adaptnoc_sim::json::Value;
+use adaptnoc_sim::rng::Rng;
 
 /// A row-major dense matrix.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -22,15 +23,67 @@ impl Matrix {
     }
 
     /// Xavier/Glorot-uniform initialized matrix.
-    pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+    pub fn xavier(rows: usize, cols: usize, rng: &mut Rng) -> Self {
         let bound = (6.0 / (rows + cols) as f64).sqrt();
         Matrix {
             rows,
             cols,
             data: (0..rows * cols)
-                .map(|_| rng.random_range(-bound..bound))
+                .map(|_| rng.random_f64_range(-bound, bound))
                 .collect(),
         }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_data(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Serializes to a JSON object (`rows`, `cols`, row-major `data`).
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("rows".into(), Value::Number(self.rows as f64)),
+            ("cols".into(), Value::Number(self.cols as f64)),
+            (
+                "data".into(),
+                Value::Array(self.data.iter().map(|&x| Value::Number(x)).collect()),
+            ),
+        ])
+    }
+
+    /// Restores a matrix from [`to_json`](Self::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let rows = v
+            .get("rows")
+            .and_then(Value::as_u64)
+            .ok_or("matrix missing 'rows'")? as usize;
+        let cols = v
+            .get("cols")
+            .and_then(Value::as_u64)
+            .ok_or("matrix missing 'cols'")? as usize;
+        let data: Vec<f64> = v
+            .get("data")
+            .and_then(Value::as_array)
+            .ok_or("matrix missing 'data'")?
+            .iter()
+            .map(|x| x.as_f64().ok_or("matrix data not numeric".to_string()))
+            .collect::<Result<_, _>>()?;
+        if data.len() != rows * cols {
+            return Err(format!(
+                "matrix data length {} != {rows}x{cols}",
+                data.len()
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
     }
 
     /// Number of rows.
@@ -144,7 +197,9 @@ pub fn relu(x: &[f64]) -> Vec<f64> {
 
 /// Derivative mask of ReLU at the pre-activation values.
 pub fn relu_grad(pre: &[f64]) -> Vec<f64> {
-    pre.iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect()
+    pre.iter()
+        .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
+        .collect()
 }
 
 /// Index of the maximum element (first on ties).
@@ -166,8 +221,6 @@ pub fn argmax(x: &[f64]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn matvec_known_values() {
@@ -192,7 +245,7 @@ mod tests {
 
     #[test]
     fn xavier_bounds() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let m = Matrix::xavier(10, 20, &mut rng);
         let bound = (6.0 / 30.0f64).sqrt();
         for r in 0..10 {

@@ -6,10 +6,11 @@
 //! rate 1e-4.
 
 use crate::linalg::{relu, relu_grad, Matrix};
-use rand::Rng;
+use adaptnoc_sim::json::Value;
+use adaptnoc_sim::rng::Rng;
 
 /// One dense layer.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Dense {
     w: Matrix,
     b: Vec<f64>,
@@ -17,7 +18,7 @@ struct Dense {
 
 /// A multi-layer perceptron with ReLU hidden activations and a linear
 /// output layer.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     layers: Vec<Dense>,
     shape: Vec<usize>,
@@ -63,7 +64,7 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if fewer than two sizes are given.
-    pub fn new<R: Rng>(shape: &[usize], rng: &mut R) -> Self {
+    pub fn new(shape: &[usize], rng: &mut Rng) -> Self {
         assert!(shape.len() >= 2, "an MLP needs at least input and output");
         let layers = shape
             .windows(2)
@@ -79,7 +80,7 @@ impl Mlp {
     }
 
     /// The paper's DQN shape: 12-15-15-4.
-    pub fn paper_dqn<R: Rng>(rng: &mut R) -> Self {
+    pub fn paper_dqn(rng: &mut Rng) -> Self {
         Mlp::new(&[12, 15, 15, 4], rng)
     }
 
@@ -199,16 +200,92 @@ impl Mlp {
             .map(|l| l.w.rows() * l.w.cols() + l.b.len())
             .sum()
     }
+
+    /// Serializes the network (shape + per-layer weights and biases) to a
+    /// JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            (
+                "shape".into(),
+                Value::Array(
+                    self.shape
+                        .iter()
+                        .map(|&s| Value::Number(s as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "layers".into(),
+                Value::Array(
+                    self.layers
+                        .iter()
+                        .map(|l| {
+                            Value::Object(vec![
+                                ("w".into(), l.w.to_json()),
+                                (
+                                    "b".into(),
+                                    Value::Array(l.b.iter().map(|&x| Value::Number(x)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Restores a network from [`to_json`](Self::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let shape: Vec<usize> = v
+            .get("shape")
+            .and_then(Value::as_array)
+            .ok_or("mlp missing 'shape'")?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .map(|n| n as usize)
+                    .ok_or("bad shape entry".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        if shape.len() < 2 {
+            return Err("mlp shape needs at least two sizes".into());
+        }
+        let layers_json = v
+            .get("layers")
+            .and_then(Value::as_array)
+            .ok_or("mlp missing 'layers'")?;
+        if layers_json.len() != shape.len() - 1 {
+            return Err("mlp layer count does not match shape".into());
+        }
+        let mut layers = Vec::with_capacity(layers_json.len());
+        for (i, lj) in layers_json.iter().enumerate() {
+            let w = Matrix::from_json(lj.get("w").ok_or("layer missing 'w'")?)?;
+            let b: Vec<f64> = lj
+                .get("b")
+                .and_then(Value::as_array)
+                .ok_or("layer missing 'b'")?
+                .iter()
+                .map(|x| x.as_f64().ok_or("bad bias entry".to_string()))
+                .collect::<Result<_, _>>()?;
+            if w.rows() != shape[i + 1] || w.cols() != shape[i] || b.len() != shape[i + 1] {
+                return Err(format!("layer {i} dimensions do not match shape"));
+            }
+            layers.push(Dense { w, b });
+        }
+        Ok(Mlp { layers, shape })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(42)
     }
 
     #[test]

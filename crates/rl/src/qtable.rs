@@ -5,8 +5,7 @@
 //! each normalized state attribute into a few bins and applies
 //! `Q(s,a) += α [r + γ max_a' Q(s',a') − Q(s,a)]`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use adaptnoc_sim::rng::Rng;
 use std::collections::HashMap;
 
 /// Tabular Q-learning agent.
@@ -21,7 +20,7 @@ pub struct QTableAgent {
     bins: usize,
     actions: usize,
     table: HashMap<Vec<u8>, Vec<f64>>,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl QTableAgent {
@@ -35,7 +34,7 @@ impl QTableAgent {
             bins,
             actions,
             table: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -60,8 +59,8 @@ impl QTableAgent {
 
     /// ε-greedy action selection.
     pub fn select_action(&mut self, state: &[f64], explore: bool) -> usize {
-        if explore && self.rng.random::<f64>() < self.epsilon {
-            return self.rng.random_range(0..self.actions);
+        if explore && self.rng.random_f64() < self.epsilon {
+            return self.rng.random_below(self.actions);
         }
         let key = self.discretize(state);
         let row = self.q_row(&key);
@@ -98,7 +97,10 @@ mod tests {
     #[test]
     fn discretization_bins_and_clamps() {
         let a = QTableAgent::new(4, 4, 0);
-        assert_eq!(a.discretize(&[0.0, 0.24, 0.26, 0.99, 1.0, 7.0]), vec![0, 0, 1, 3, 3, 3]);
+        assert_eq!(
+            a.discretize(&[0.0, 0.24, 0.26, 0.99, 1.0, 7.0]),
+            vec![0, 0, 1, 3, 3, 3]
+        );
     }
 
     #[test]

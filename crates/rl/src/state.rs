@@ -2,7 +2,7 @@
 
 /// Raw (unnormalized) observation of one subNoC over an epoch, matching
 /// Table I of the paper.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Observation {
     // Instruction and cache related metrics.
     /// Number of L1D cache misses.
@@ -39,7 +39,7 @@ pub const STATE_DIM: usize = 12;
 /// Normalization scales: per-attribute maxima used to map raw observations
 /// into (0,1) "due to the linear region of the activation function"
 /// (Sec. III-E).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StateScales {
     /// Maximum expected cache-miss/instruction counts per epoch.
     pub max_events: f64,

@@ -1,80 +1,95 @@
-//! Property tests for the RL stack: numerical stability of the MLP,
+//! Randomized tests for the RL stack: numerical stability of the MLP,
 //! consistency of Q-learning updates, and agent robustness to arbitrary
-//! (normalized) inputs.
+//! (normalized) inputs. Cases come from the in-tree seeded PRNG.
 
 use adaptnoc_rl::prelude::*;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use adaptnoc_sim::rng::Rng;
 
-fn state_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..=1.0, dim..=dim)
+fn random_state(rng: &mut Rng, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| rng.random_f64()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The MLP never produces NaN/inf on in-range inputs.
-    #[test]
-    fn mlp_outputs_are_finite(state in state_strategy(12), seed in 0u64..1000) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let net = Mlp::paper_dqn(&mut rng);
+/// The MLP never produces NaN/inf on in-range inputs.
+#[test]
+fn mlp_outputs_are_finite() {
+    let mut rng = Rng::seed_from_u64(0xF117E);
+    for _case in 0..64 {
+        let state = random_state(&mut rng, 12);
+        let seed = rng.next_u64() % 1000;
+        let mut wrng = Rng::seed_from_u64(seed);
+        let net = Mlp::paper_dqn(&mut wrng);
         let out = net.forward(&state);
-        prop_assert_eq!(out.len(), 4);
+        assert_eq!(out.len(), 4);
         for v in out {
-            prop_assert!(v.is_finite());
+            assert!(v.is_finite());
         }
     }
+}
 
-    /// Backprop gradients are finite and the masked loss is non-negative.
-    #[test]
-    fn backprop_is_stable(
-        state in state_strategy(12),
-        target in -10.0f64..10.0,
-        action in 0usize..4,
-    ) {
-        let mut rng = StdRng::seed_from_u64(7);
-        let net = Mlp::paper_dqn(&mut rng);
+/// Backprop gradients are finite and the masked loss is non-negative.
+#[test]
+fn backprop_is_stable() {
+    let mut rng = Rng::seed_from_u64(0xBAC);
+    for _case in 0..64 {
+        let state = random_state(&mut rng, 12);
+        let target = rng.random_f64_range(-10.0, 10.0);
+        let action = rng.random_below(4);
+        let mut wrng = Rng::seed_from_u64(7);
+        let net = Mlp::paper_dqn(&mut wrng);
         let mut tv = vec![0.0; 4];
         let mut mask = vec![0.0; 4];
         tv[action] = target;
         mask[action] = 1.0;
         let (_grads, loss) = net.backprop(&state, &tv, &mask);
-        prop_assert!(loss.is_finite());
-        prop_assert!(loss >= 0.0);
+        assert!(loss.is_finite());
+        assert!(loss >= 0.0);
     }
+}
 
-    /// A gradient step with small lr reduces the loss on that sample.
-    #[test]
-    fn gradient_step_descends(
-        state in state_strategy(12),
-        target in -5.0f64..5.0,
-        action in 0usize..4,
-    ) {
-        let mut rng = StdRng::seed_from_u64(11);
-        let mut net = Mlp::paper_dqn(&mut rng);
+/// A gradient step with small lr reduces the loss on that sample.
+#[test]
+fn gradient_step_descends() {
+    let mut rng = Rng::seed_from_u64(0xDE5C);
+    for _case in 0..64 {
+        let state = random_state(&mut rng, 12);
+        let target = rng.random_f64_range(-5.0, 5.0);
+        let action = rng.random_below(4);
+        let mut wrng = Rng::seed_from_u64(11);
+        let mut net = Mlp::paper_dqn(&mut wrng);
         let mut tv = vec![0.0; 4];
         let mut mask = vec![0.0; 4];
         tv[action] = target;
         mask[action] = 1.0;
         let (grads, before) = net.backprop(&state, &tv, &mask);
-        prop_assume!(before > 1e-9);
+        if before <= 1e-9 {
+            continue;
+        }
         net.apply(&grads, 0.01);
         let (_, after) = net.backprop(&state, &tv, &mask);
-        prop_assert!(after <= before + 1e-12, "loss rose: {before} -> {after}");
+        assert!(after <= before + 1e-12, "loss rose: {before} -> {after}");
     }
+}
 
-    /// The DQN agent selects valid actions and survives arbitrary rewards.
-    #[test]
-    fn dqn_agent_is_robust(
-        states in prop::collection::vec(state_strategy(12), 4..40),
-        rewards in prop::collection::vec(-100.0f64..100.0, 4..40),
-    ) {
-        let mut agent = DqnAgent::new(DqnConfig { minibatch: 4, ..Default::default() }, 5);
-        let n = states.len().min(rewards.len());
+/// The DQN agent selects valid actions and survives arbitrary rewards.
+#[test]
+fn dqn_agent_is_robust() {
+    let mut rng = Rng::seed_from_u64(0xA6E27);
+    for _case in 0..16 {
+        let n = rng.random_range(4, 40);
+        let states: Vec<Vec<f64>> = (0..n).map(|_| random_state(&mut rng, 12)).collect();
+        let rewards: Vec<f64> = (0..n)
+            .map(|_| rng.random_f64_range(-100.0, 100.0))
+            .collect();
+        let mut agent = DqnAgent::new(
+            DqnConfig {
+                minibatch: 4,
+                ..Default::default()
+            },
+            5,
+        );
         for i in 0..n {
             let a = agent.select_action(&states[i], true);
-            prop_assert!(a < 4);
+            assert!(a < 4);
             agent.observe(Transition {
                 state: states[i].clone(),
                 action: a,
@@ -84,17 +99,21 @@ proptest! {
         }
         for _ in 0..10 {
             if let Some(loss) = agent.train_step() {
-                prop_assert!(loss.is_finite());
+                assert!(loss.is_finite());
             }
         }
         let q = agent.q_values(&states[0]);
-        prop_assert!(q.iter().all(|v| v.is_finite()));
+        assert!(q.iter().all(|v| v.is_finite()));
     }
+}
 
-    /// Q-table updates converge toward the immediate reward of a
-    /// deterministic terminal-ish bandit.
-    #[test]
-    fn qtable_converges_to_reward(r in -10.0f64..10.0) {
+/// Q-table updates converge toward the immediate reward of a
+/// deterministic terminal-ish bandit.
+#[test]
+fn qtable_converges_to_reward() {
+    let mut rng = Rng::seed_from_u64(0x9AB1E);
+    for _case in 0..32 {
+        let r = rng.random_f64_range(-10.0, 10.0);
         let mut a = QTableAgent::new(2, 2, 1);
         a.gamma = 0.0;
         let s = [0.2];
@@ -102,34 +121,32 @@ proptest! {
             a.update(&s, 0, r, &s);
         }
         let q = a.q_row(&a.discretize(&s));
-        prop_assert!((q[0] - r).abs() < 0.05, "Q {} vs r {r}", q[0]);
+        assert!((q[0] - r).abs() < 0.05, "Q {} vs r {r}", q[0]);
     }
+}
 
-    /// Observation normalization is always inside [0, 1]^12.
-    #[test]
-    fn normalization_bounds(
-        a in 0.0f64..1e9, b in 0.0f64..1e9, c in 0.0f64..1e9,
-        d in 0.0f64..1e9, e in 0.0f64..1e9, f in 0.0f64..1e9,
-        u in 0.0f64..10.0, v in 0.0f64..10.0, w in 0.0f64..10.0,
-        t in 0.0f64..4.0, cols in 0.0f64..16.0, rows in 0.0f64..16.0,
-    ) {
+/// Observation normalization is always inside [0, 1]^12.
+#[test]
+fn normalization_bounds() {
+    let mut rng = Rng::seed_from_u64(0x0B5);
+    for _case in 0..64 {
         let obs = Observation {
-            l1d_misses: a,
-            l1i_misses: b,
-            l2_misses: c,
-            retired_instructions: d,
-            coherence_packets: e,
-            data_packets: f,
-            buffer_utilization: u,
-            injection_utilization: v,
-            router_throughput: w,
-            current_topology: t,
-            columns: cols,
-            rows,
+            l1d_misses: rng.random_f64_range(0.0, 1e9),
+            l1i_misses: rng.random_f64_range(0.0, 1e9),
+            l2_misses: rng.random_f64_range(0.0, 1e9),
+            retired_instructions: rng.random_f64_range(0.0, 1e9),
+            coherence_packets: rng.random_f64_range(0.0, 1e9),
+            data_packets: rng.random_f64_range(0.0, 1e9),
+            buffer_utilization: rng.random_f64_range(0.0, 10.0),
+            injection_utilization: rng.random_f64_range(0.0, 10.0),
+            router_throughput: rng.random_f64_range(0.0, 10.0),
+            current_topology: rng.random_f64_range(0.0, 4.0),
+            columns: rng.random_f64_range(0.0, 16.0),
+            rows: rng.random_f64_range(0.0, 16.0),
         };
         let s = obs.normalize(&StateScales::default());
         for x in s {
-            prop_assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&x));
         }
     }
 }

@@ -16,7 +16,7 @@ pub const DATA_PACKET_FLITS: u8 = 2;
 pub const CONTROL_PACKET_FLITS: u8 = 1;
 
 /// Simulator-wide configuration knobs.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Number of virtual networks (2: request + reply).
     pub vnets: u8,

@@ -6,7 +6,7 @@
 //! `adaptnoc-power` crate converts counts to energy.
 
 /// Dynamic-activity event counts accumulated by the simulator.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EventCounts {
     /// Flits written into input VC buffers.
     pub buffer_writes: u64,
@@ -66,7 +66,7 @@ impl EventCounts {
 /// Each simulated cycle, the network adds the currently-active resource
 /// profile into these accumulators. Power gating (Sec. II-A1) shows up as a
 /// smaller profile and hence fewer on-cycles.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StaticCycles {
     /// Sum over cycles of the number of powered-on routers.
     pub router_on_cycles: u64,

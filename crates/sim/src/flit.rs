@@ -9,7 +9,7 @@ use crate::ids::{NodeId, Vnet};
 
 /// The semantic class of a packet; used for traffic accounting and for the
 /// RL state's "number of coherence packets / data packets" attributes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketKind {
     /// A memory read/write request towards an MC or a cache slice (1 flit).
     Request,
@@ -27,7 +27,7 @@ impl PacketKind {
 }
 
 /// A packet as injected by an endpoint node.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Globally unique packet id (assigned by the caller; the workload layer
     /// uses a monotonically increasing counter).
@@ -95,7 +95,7 @@ impl Packet {
 }
 
 /// Position of a flit within its packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlitPos {
     /// First flit of a multi-flit packet; carries routing information.
     Head,
@@ -136,7 +136,7 @@ impl FlitPos {
 }
 
 /// A flow-control unit traversing the network.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Flit {
     /// Id of the packet this flit belongs to.
     pub packet: u64,

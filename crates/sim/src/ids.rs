@@ -7,14 +7,14 @@
 use std::fmt;
 
 /// Identifier of a router in the network (dense index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RouterId(pub u16);
 
 /// Identifier of an endpoint node (core, memory controller, cache slice).
 ///
 /// Nodes attach to routers through network interfaces; a node id is what
 /// packets carry as source and destination.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u16);
 
 /// Index of a port on a particular router.
@@ -24,17 +24,17 @@ pub struct NodeId(pub u16);
 /// local injection/ejection port, but the simulator itself places no meaning
 /// on port indices: connectivity is entirely described by the
 /// [`NetworkSpec`](crate::spec::NetworkSpec).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortId(pub u8);
 
 /// Identifier of a channel (unidirectional link) in the network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChannelId(pub u32);
 
 /// A virtual network. The evaluation uses two: requests and replies, which
 /// breaks protocol (request/reply) deadlock as described in Sec. II-C3 of the
 /// paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Vnet(pub u8);
 
 impl Vnet {
@@ -45,7 +45,7 @@ impl Vnet {
 }
 
 /// Mesh port direction convention used by the topology builders.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Direction {
     /// Towards increasing x (paper's `+x`).
     East,

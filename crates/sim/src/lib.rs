@@ -55,7 +55,9 @@ pub mod config;
 pub mod events;
 pub mod flit;
 pub mod ids;
+pub mod json;
 pub mod network;
+pub mod rng;
 pub mod routing;
 pub mod spec;
 pub mod stats;
@@ -66,10 +68,9 @@ pub mod prelude {
     pub use crate::config::{SimConfig, CONTROL_PACKET_FLITS, DATA_PACKET_FLITS};
     pub use crate::events::{EventCounts, StaticCycles};
     pub use crate::flit::{Flit, FlitPos, Packet, PacketKind};
-    pub use crate::ids::{
-        ChannelId, Direction, NodeId, PortId, RouterId, Vnet, LOCAL_PORT,
-    };
+    pub use crate::ids::{ChannelId, Direction, NodeId, PortId, RouterId, Vnet, LOCAL_PORT};
     pub use crate::network::{Network, NetworkError};
+    pub use crate::rng::Rng;
     pub use crate::routing::RoutingTables;
     pub use crate::spec::{
         mesh_channel, ChannelKey, ChannelKind, ChannelSpec, NetworkSpec, NiSpec, PortRef,

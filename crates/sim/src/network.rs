@@ -19,7 +19,7 @@ use crate::ids::{ChannelId, NodeId, PortId, RouterId, Vnet};
 use crate::routing::RoutingTables;
 use crate::spec::{ChannelKey, ChannelKind, NetworkSpec, PortRef, SpecError};
 use crate::stats::{Delivered, EpochReport, NetStats};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Errors from building or reconfiguring a [`Network`].
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +40,8 @@ pub enum NetworkError {
     NiBusy(NodeId),
     /// A packet was injected for a node with no NI.
     NoSuchNode(NodeId),
+    /// A fault operation named a channel the network does not have.
+    NoSuchChannel(ChannelKey),
 }
 
 impl std::fmt::Display for NetworkError {
@@ -57,6 +59,11 @@ impl std::fmt::Display for NetworkError {
             NetworkError::RouterBusy(r) => write!(f, "router {r} not quiescent"),
             NetworkError::NiBusy(n) => write!(f, "network interface of {n} mid-packet"),
             NetworkError::NoSuchNode(n) => write!(f, "no network interface for node {n}"),
+            NetworkError::NoSuchChannel(k) => write!(
+                f,
+                "no channel {}:{} -> {}:{}",
+                k.src.router, k.src.port, k.dst.router, k.dst.port
+            ),
         }
     }
 }
@@ -78,6 +85,10 @@ struct VcState {
     out_vc: Option<u8>,
     /// Set while an NI is streaming a packet into this VC.
     ni_lock: bool,
+    /// Id of the packet that owns `route`/`out_vc` (set at route
+    /// computation, cleared when the tail forwards); lets fault purges
+    /// release allocations whose packet was NACKed.
+    owner: Option<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -109,6 +120,9 @@ struct OutPort {
 struct RouterRt {
     active: bool,
     sleeping: bool,
+    /// Permanently failed (fault injection): force-slept, excluded from all
+    /// stages, never wakes. Survives reconfiguration.
+    failed: bool,
     wake_at: u64,
     /// Router stalls all stages until this cycle (the `T_s` setup window).
     config_until: u64,
@@ -127,6 +141,8 @@ struct RouterRt {
 struct ChannelRt {
     spec: crate::spec::ChannelSpec,
     q: VecDeque<(u64, Flit)>,
+    /// A faulted channel accepts no new flits (VA and SA skip it).
+    faulted: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -208,6 +224,9 @@ pub struct Network {
     /// Reusable per-output-port candidate lists (avoids per-cycle allocs).
     scratch: Vec<Vec<usize>>,
     tracer: Option<crate::trace::TraceBuffer>,
+    /// Fault state by channel identity; survives reconfiguration (flags are
+    /// re-applied to kept channels when the spec is swapped).
+    faulted_keys: HashSet<ChannelKey>,
 }
 
 impl Network {
@@ -245,6 +264,7 @@ impl Network {
             .map(|r| RouterRt {
                 active: r.active,
                 sleeping: false,
+                failed: false,
                 wake_at: 0,
                 config_until: 0,
                 vc_split: r.vc_split,
@@ -279,6 +299,7 @@ impl Network {
             .map(|c| ChannelRt {
                 spec: *c,
                 q: VecDeque::new(),
+                faulted: false,
             })
             .collect();
         for (i, c) in spec.channels.iter().enumerate() {
@@ -301,7 +322,9 @@ impl Network {
             .collect();
         for (i, n) in spec.nis.iter().enumerate() {
             node_ni[n.node.index()] = Some(i);
-            routers[n.router.index()].in_ports[n.port.index()].nis.push(i);
+            routers[n.router.index()].in_ports[n.port.index()]
+                .nis
+                .push(i);
             routers[n.router.index()].out_ports[n.port.index()].eject = true;
         }
 
@@ -331,6 +354,7 @@ impl Network {
             channel_flits: Vec::new(),
             scratch: Vec::new(),
             tracer: None,
+            faulted_keys: HashSet::new(),
         };
         net.router_forwarded = vec![0; net.routers.len()];
         net.router_occupancy_sum = vec![0; net.routers.len()];
@@ -364,9 +388,7 @@ impl Network {
             let mm = c.length_mm as f64;
             match c.kind {
                 ChannelKind::Mesh | ChannelKind::Express => p.mesh_link_mm += mm,
-                ChannelKind::Adaptable | ChannelKind::AdaptableReversed => {
-                    p.adapt_link_mm += mm
-                }
+                ChannelKind::Adaptable | ChannelKind::AdaptableReversed => p.adapt_link_mm += mm,
                 ChannelKind::Concentration => p.conc_link_mm += mm,
             }
         }
@@ -488,7 +510,11 @@ impl Network {
         if !r.active || r.sleeping {
             return false;
         }
-        if r.flits > 0 || r.out_ports.iter().any(|p| p.alloc.iter().any(|a| a.is_some())) {
+        if r.flits > 0
+            || r.out_ports
+                .iter()
+                .any(|p| p.alloc.iter().any(|a| a.is_some()))
+        {
             return false;
         }
         r.sleeping = true;
@@ -556,11 +582,7 @@ impl Network {
     /// This is the precondition for removing the channel during
     /// reconfiguration.
     pub fn channel_quiescent(&self, key: ChannelKey) -> bool {
-        let Some(idx) = self
-            .channels
-            .iter()
-            .position(|c| c.spec.key() == key)
-        else {
+        let Some(idx) = self.channels.iter().position(|c| c.spec.key() == key) else {
             return true; // not present: trivially quiescent
         };
         if !self.channels[idx].q.is_empty() {
@@ -655,9 +677,10 @@ impl Network {
         self.now += 1;
         let now = self.now;
 
-        // 0. Wake routers whose wake-up latency elapsed.
+        // 0. Wake routers whose wake-up latency elapsed (failed routers
+        // never wake).
         for r in self.routers.iter_mut() {
-            if r.sleeping && now >= r.wake_at {
+            if r.sleeping && !r.failed && now >= r.wake_at {
                 r.sleeping = false;
                 r.wake_at = 0;
             }
@@ -679,11 +702,13 @@ impl Network {
                 if arrive > now {
                     break;
                 }
-                let (_, mut flit) = self.channels[ci].q.pop_front().unwrap();
+                let Some((_, mut flit)) = self.channels[ci].q.pop_front() else {
+                    break; // unreachable: front() above was Some
+                };
                 let dst = self.channels[ci].spec.dst;
                 flit.ready_at = now + self.cfg.router_latency as u64;
                 let router = &mut self.routers[dst.router.index()];
-                if router.sleeping {
+                if router.sleeping && !router.failed {
                     // Arrival triggers wake-up (drowsy buffers still latch).
                     router.wake_at = router.wake_at.min(now + self.cfg.wake_latency as u64);
                 }
@@ -719,7 +744,7 @@ impl Network {
         let mut off = 0u64;
         let mut ports_on = 0u64;
         for r in &self.routers {
-            if r.active && !r.sleeping {
+            if r.active && !r.sleeping && !r.failed {
                 on += 1;
                 ports_on += r.ports_on as u64;
             } else {
@@ -746,7 +771,7 @@ impl Network {
     fn inject_stage(&mut self, now: u64) {
         // Iterate routers/local ports; round-robin among NIs on each port.
         for ri in 0..self.routers.len() {
-            if !self.routers[ri].active {
+            if !self.routers[ri].active || self.routers[ri].failed {
                 continue;
             }
             let n_ports = self.routers[ri].in_ports.len();
@@ -815,16 +840,17 @@ impl Network {
             let Some(vc) = self.pick_injection_vc(ri, pi, pkt.vnet) else {
                 return;
             };
-            let pkt = self.nis[ni_id].source_q.pop_front().unwrap();
+            let _ = self.nis[ni_id].source_q.pop_front(); // front() was Some
             self.queued_packets -= 1;
-            let flits: VecDeque<Flit> =
-                (0..pkt.len).map(|s| Flit::of_packet(&pkt, s)).collect();
+            let flits: VecDeque<Flit> = (0..pkt.len).map(|s| Flit::of_packet(&pkt, s)).collect();
             self.routers[ri].in_ports[pi].vcs[vc as usize].ni_lock = true;
             self.nis[ni_id].cur = Some((vc, flits));
         }
 
         let (vc, mut flit) = {
-            let (vc, flits) = self.nis[ni_id].cur.as_mut().unwrap();
+            let Some((vc, flits)) = self.nis[ni_id].cur.as_mut() else {
+                return; // set just above; defensive
+            };
             let Some(f) = flits.pop_front() else { return };
             (*vc, f)
         };
@@ -879,7 +905,7 @@ impl Network {
         for ri in 0..self.routers.len() {
             {
                 let r = &self.routers[ri];
-                if !r.active || r.sleeping || r.config_until > now || r.flits == 0 {
+                if !r.active || r.sleeping || r.failed || r.config_until > now || r.flits == 0 {
                     continue;
                 }
             }
@@ -911,12 +937,16 @@ impl Network {
                 }
                 // Route computation for a fresh head flit.
                 if vc.route.is_none() {
-                    let front = vc.buf.front().expect("occ bit implies a flit");
+                    let Some(front) = vc.buf.front() else {
+                        continue;
+                    };
                     debug_assert!(front.pos.is_head(), "non-head at route-less VC front");
-                    let (dst, vnet) = (front.dst, front.vnet);
+                    let (id, dst, vnet) = (front.packet, front.dst, front.vnet);
                     match self.spec.tables.lookup(vnet, RouterId(ri as u16), dst) {
                         Some(port) => {
-                            self.routers[ri].in_ports[pi].vcs[vi].route = Some(port);
+                            let vc = &mut self.routers[ri].in_ports[pi].vcs[vi];
+                            vc.route = Some(port);
+                            vc.owner = Some(id);
                         }
                         None => {
                             self.unroutable += 1;
@@ -930,6 +960,13 @@ impl Network {
                     continue;
                 }
                 let po = route.index();
+                // A faulted output channel accepts no new packets.
+                if self.routers[ri].out_ports[po]
+                    .channel
+                    .is_some_and(|ch| self.channels[ch.index()].faulted)
+                {
+                    continue;
+                }
                 if po < scratch.len() {
                     scratch[po].push(pi * total_vcs + vi);
                     any_port = true;
@@ -947,7 +984,9 @@ impl Network {
                 if let Some(winner) = winner {
                     let (pi, vi) = (winner / total_vcs, winner % total_vcs);
                     let (vnet, class, pkt_len) = {
-                        let f = self.routers[ri].in_ports[pi].vcs[vi].buf.front().unwrap();
+                        let Some(f) = self.routers[ri].in_ports[pi].vcs[vi].buf.front() else {
+                            continue; // candidate list guarantees a flit; defensive
+                        };
                         // The class that matters is the one the packet will
                         // carry on the *output* channel.
                         let class = match self.routers[ri].out_ports[po].channel {
@@ -1028,13 +1067,22 @@ impl Network {
                 let vc = &self.routers[ri].in_ports[pi].vcs[vi];
                 let Some(route) = vc.route else { continue };
                 let Some(gvc) = vc.out_vc else { continue };
-                let Some(front) = vc.buf.front() else { continue };
+                let Some(front) = vc.buf.front() else {
+                    continue;
+                };
                 if front.ready_at > now {
                     continue;
                 }
                 let po = route.index();
                 let out = &self.routers[ri].out_ports[po];
                 if !out.eject && out.credits[gvc as usize] == 0 {
+                    continue;
+                }
+                // Never drive flits onto a faulted channel.
+                if out
+                    .channel
+                    .is_some_and(|ch| self.channels[ch.index()].faulted)
+                {
                     continue;
                 }
                 scratch[po].push(pi * total_vcs + vi);
@@ -1050,10 +1098,9 @@ impl Network {
                 // Round-robin among candidates whose input port is still
                 // free this cycle (crossbar input constraint), without
                 // allocating.
-                let winner = self.routers[ri].out_ports[po].sa_rr.grant_sparse_filtered(
-                    &scratch[po],
-                    |c| !in_port_used[c / total_vcs],
-                );
+                let winner = self.routers[ri].out_ports[po]
+                    .sa_rr
+                    .grant_sparse_filtered(&scratch[po], |c| !in_port_used[c / total_vcs]);
                 if let Some(winner) = winner {
                     let (pi, vi) = (winner / total_vcs, winner % total_vcs);
                     in_port_used[pi] = true;
@@ -1068,8 +1115,12 @@ impl Network {
     }
 
     fn forward_flit(&mut self, ri: usize, pi: usize, vi: usize, po: usize, now: u64) {
-        let gvc = self.routers[ri].in_ports[pi].vcs[vi].out_vc.unwrap();
-        let mut flit = self.routers[ri].in_ports[pi].vcs[vi].buf.pop_front().unwrap();
+        let Some(gvc) = self.routers[ri].in_ports[pi].vcs[vi].out_vc else {
+            return; // SA only grants allocated VCs; defensive
+        };
+        let Some(mut flit) = self.routers[ri].in_ports[pi].vcs[vi].buf.pop_front() else {
+            return; // SA only grants occupied VCs; defensive
+        };
         if self.routers[ri].in_ports[pi].vcs[vi].buf.is_empty() {
             self.routers[ri].in_ports[pi].occ &= !(1 << vi);
         }
@@ -1101,6 +1152,7 @@ impl Network {
             let vc = &mut self.routers[ri].in_ports[pi].vcs[vi];
             vc.route = None;
             vc.out_vc = None;
+            vc.owner = None;
             self.routers[ri].out_ports[po].alloc[gvc as usize] = None;
         }
 
@@ -1247,17 +1299,18 @@ impl Network {
                 Some(old_id) => std::mem::take(&mut self.channels[old_id.index()].q),
                 None => VecDeque::new(),
             };
-            new_channels.push(ChannelRt { spec: *c, q });
+            new_channels.push(ChannelRt {
+                spec: *c,
+                q,
+                faulted: self.faulted_keys.contains(&c.key()),
+            });
         }
 
         // Save old per-port runtime state keyed by (router, port).
         let mut old_out: HashMap<PortRef, OutPort> = HashMap::new();
         for (ri, r) in self.routers.iter_mut().enumerate() {
             for (pi, op) in r.out_ports.drain(..).enumerate() {
-                old_out.insert(
-                    PortRef::new(RouterId(ri as u16), PortId(pi as u8)),
-                    op,
-                );
+                old_out.insert(PortRef::new(RouterId(ri as u16), PortId(pi as u8)), op);
             }
         }
 
@@ -1314,12 +1367,11 @@ impl Network {
                 }
                 per_vc
             };
-            let down_occ: Vec<u8> = self.routers[c.dst.router.index()].in_ports
-                [c.dst.port.index()]
-            .vcs
-            .iter()
-            .map(|v| v.buf.len() as u8)
-            .collect();
+            let down_occ: Vec<u8> = self.routers[c.dst.router.index()].in_ports[c.dst.port.index()]
+                .vcs
+                .iter()
+                .map(|v| v.buf.len() as u8)
+                .collect();
             let op = &mut self.routers[c.src.router.index()].out_ports[c.src.port.index()];
             for v in 0..total_vcs {
                 op.credits[v] = depth.saturating_sub(wire[v] + down_occ[v]);
@@ -1355,6 +1407,7 @@ impl Network {
                             let vc = &mut self.routers[ri].in_ports[pi].vcs[vi];
                             vc.route = None;
                             vc.out_vc = None;
+                            vc.owner = None;
                         }
                     }
                 }
@@ -1382,7 +1435,9 @@ impl Network {
                 paused,
             });
             self.node_ni[n.node.index()] = Some(i);
-            self.routers[n.router.index()].in_ports[n.port.index()].nis.push(i);
+            self.routers[n.router.index()].in_ports[n.port.index()]
+                .nis
+                .push(i);
             self.routers[n.router.index()].out_ports[n.port.index()].eject = true;
         }
 
@@ -1399,6 +1454,360 @@ impl Network {
         spec.nis
             .iter()
             .any(|n| n.router.index() == ri && n.port == port)
+    }
+
+    // ---- Fault injection & recovery ----------------------------------
+
+    fn channel_index(&self, key: ChannelKey) -> Option<usize> {
+        self.channels.iter().position(|c| c.spec.key() == key)
+    }
+
+    /// Whether the channel with the given endpoints is marked faulted.
+    pub fn channel_faulted(&self, key: ChannelKey) -> bool {
+        self.faulted_keys.contains(&key)
+    }
+
+    /// Channel keys currently marked faulted, in spec order.
+    pub fn faulted_channels(&self) -> Vec<ChannelKey> {
+        self.spec
+            .channels
+            .iter()
+            .map(|c| c.key())
+            .filter(|k| self.faulted_keys.contains(k))
+            .collect()
+    }
+
+    /// Whether the router has permanently failed.
+    pub fn router_failed(&self, router: RouterId) -> bool {
+        self.routers[router.index()].failed
+    }
+
+    /// Marks a channel faulted (`true`) or healed (`false`).
+    ///
+    /// A faulted channel accepts no new flits: VC and switch allocation
+    /// skip it, so upstream traffic routed across it stalls in place (and
+    /// waits out a transient fault). Everything already committed to the
+    /// channel — flits on the wire plus every packet holding an output-VC
+    /// allocation across it — is NACKed: all of the packet's flits are
+    /// purged from the network and the reconstructed packets are returned,
+    /// oldest id first, for the caller's retry policy. Purged packets
+    /// count as [`NetStats::nacks`]. The fault flag survives
+    /// [`reconfigure`](Self::reconfigure) (keyed by channel endpoints).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchChannel`] if no channel has these
+    /// endpoints.
+    pub fn set_channel_fault(
+        &mut self,
+        key: ChannelKey,
+        faulted: bool,
+    ) -> Result<Vec<Packet>, NetworkError> {
+        let idx = self
+            .channel_index(key)
+            .ok_or(NetworkError::NoSuchChannel(key))?;
+        if !faulted {
+            self.faulted_keys.remove(&key);
+            self.channels[idx].faulted = false;
+            return Ok(Vec::new());
+        }
+        if !self.faulted_keys.insert(key) {
+            return Ok(Vec::new()); // already faulted
+        }
+        self.channels[idx].faulted = true;
+        let mut ids: HashSet<u64> = self.channels[idx].q.iter().map(|(_, f)| f.packet).collect();
+        // Packets holding an allocation across the channel may have flits
+        // spread over the wire and the upstream router; NACK them whole.
+        let src = key.src;
+        let up = &self.routers[src.router.index()];
+        for a in up.out_ports[src.port.index()].alloc.iter().flatten() {
+            let (pi, vi) = (a.0 as usize, a.1 as usize);
+            if let Some(owner) = up.in_ports[pi].vcs[vi].owner {
+                ids.insert(owner);
+            }
+        }
+        Ok(self.purge_packets(&ids))
+    }
+
+    /// Permanently fails a router: it is force-slept (it never wakes and
+    /// its static power counts as off), injection through it stops, and
+    /// every packet with flits buffered inside it, in flight on a wire
+    /// into it, or mid-stream from one of its NIs is NACKed and returned
+    /// (oldest id first). Channels touching the router are *not* faulted
+    /// here — callers decide (a fault controller typically faults them
+    /// all so neighbours stop routing toward the dead router).
+    pub fn fail_router(&mut self, router: RouterId) -> Vec<Packet> {
+        let ri = router.index();
+        if self.routers[ri].failed {
+            return Vec::new();
+        }
+        self.routers[ri].failed = true;
+        self.routers[ri].sleeping = true;
+        self.routers[ri].wake_at = u64::MAX;
+        let mut ids: HashSet<u64> = HashSet::new();
+        for ip in &self.routers[ri].in_ports {
+            for vc in &ip.vcs {
+                for f in &vc.buf {
+                    ids.insert(f.packet);
+                }
+                if let Some(owner) = vc.owner {
+                    ids.insert(owner);
+                }
+            }
+        }
+        for c in &self.channels {
+            if c.spec.dst.router == router {
+                for (_, f) in &c.q {
+                    ids.insert(f.packet);
+                }
+            }
+        }
+        for ni in &self.nis {
+            if ni.spec.router == router {
+                if let Some((_, flits)) = &ni.cur {
+                    if let Some(f) = flits.front() {
+                        ids.insert(f.packet);
+                    }
+                }
+            }
+        }
+        self.purge_packets(&ids)
+    }
+
+    /// NACKs every packet that can no longer make progress: packets whose
+    /// allocated route leads into a faulted channel, and head flits whose
+    /// routing lookup fails (destination disconnected under the current
+    /// tables). Returns the purged packets, oldest id first.
+    ///
+    /// A fault controller calls this each cycle while a permanent-fault
+    /// reconfiguration drains, so traffic already committed toward a dead
+    /// link cannot wedge the drain. It must *not* be called for transient
+    /// faults — there, upstream packets simply wait for the link to heal.
+    pub fn purge_blocked(&mut self) -> Vec<Packet> {
+        let mut ids: HashSet<u64> = HashSet::new();
+        for ri in 0..self.routers.len() {
+            for pi in 0..self.routers[ri].in_ports.len() {
+                for vi in 0..self.routers[ri].in_ports[pi].vcs.len() {
+                    let vc = &self.routers[ri].in_ports[pi].vcs[vi];
+                    let Some(front) = vc.buf.front() else {
+                        continue;
+                    };
+                    let blocked = match vc.route {
+                        Some(po) => self.routers[ri].out_ports[po.index()]
+                            .channel
+                            .is_some_and(|ch| self.channels[ch.index()].faulted),
+                        None => {
+                            front.pos.is_head()
+                                && self
+                                    .spec
+                                    .tables
+                                    .lookup(front.vnet, RouterId(ri as u16), front.dst)
+                                    .is_none()
+                        }
+                    };
+                    if blocked {
+                        for f in &vc.buf {
+                            ids.insert(f.packet);
+                        }
+                        if let Some(owner) = vc.owner {
+                            ids.insert(owner);
+                        }
+                    }
+                }
+            }
+        }
+        self.purge_packets(&ids)
+    }
+
+    /// Removes every flit of each packet in `ids` from the network (wires,
+    /// router buffers, NI mid-stream state), releases the allocations those
+    /// packets held, recomputes all channel credits from the surviving
+    /// occupancy, and returns one reconstructed [`Packet`] per purged id,
+    /// oldest first. Each purged packet counts as a NACK.
+    fn purge_packets(&mut self, ids: &HashSet<u64>) -> Vec<Packet> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let now = self.now;
+        let mut found: HashMap<u64, Packet> = HashMap::new();
+
+        // Wires.
+        for c in self.channels.iter_mut() {
+            if c.q.iter().any(|(_, f)| ids.contains(&f.packet)) {
+                let mut keep = VecDeque::with_capacity(c.q.len());
+                for (t, f) in c.q.drain(..) {
+                    if ids.contains(&f.packet) {
+                        found.entry(f.packet).or_insert_with(|| f.to_packet());
+                    } else {
+                        keep.push_back((t, f));
+                    }
+                }
+                c.q = keep;
+            }
+        }
+
+        // Router input buffers and the allocations the packets held.
+        for ri in 0..self.routers.len() {
+            for pi in 0..self.routers[ri].in_ports.len() {
+                for vi in 0..self.routers[ri].in_ports[pi].vcs.len() {
+                    let owner_purged = self.routers[ri].in_ports[pi].vcs[vi]
+                        .owner
+                        .is_some_and(|o| ids.contains(&o));
+                    if owner_purged {
+                        let (route, out_vc) = {
+                            let vc = &mut self.routers[ri].in_ports[pi].vcs[vi];
+                            let taken = (vc.route, vc.out_vc);
+                            vc.route = None;
+                            vc.out_vc = None;
+                            vc.owner = None;
+                            taken
+                        };
+                        if let (Some(po), Some(gvc)) = (route, out_vc) {
+                            self.routers[ri].out_ports[po.index()].alloc[gvc as usize] = None;
+                        }
+                    }
+                    let has_flits = self.routers[ri].in_ports[pi].vcs[vi]
+                        .buf
+                        .iter()
+                        .any(|f| ids.contains(&f.packet));
+                    if has_flits {
+                        let buf = std::mem::take(&mut self.routers[ri].in_ports[pi].vcs[vi].buf);
+                        let mut keep = VecDeque::with_capacity(buf.len());
+                        let mut removed = 0u32;
+                        for f in buf {
+                            if ids.contains(&f.packet) {
+                                found.entry(f.packet).or_insert_with(|| f.to_packet());
+                                removed += 1;
+                            } else {
+                                keep.push_back(f);
+                            }
+                        }
+                        let empty = keep.is_empty();
+                        self.routers[ri].in_ports[pi].vcs[vi].buf = keep;
+                        self.routers[ri].flits -= removed;
+                        self.occupied_flits -= removed as u64;
+                        if empty {
+                            self.routers[ri].in_ports[pi].occ &= !(1 << vi);
+                        }
+                    }
+                }
+            }
+        }
+
+        // NI mid-stream state.
+        for ni_id in 0..self.nis.len() {
+            let purged = self.nis[ni_id]
+                .cur
+                .as_ref()
+                .is_some_and(|(_, flits)| flits.front().is_some_and(|f| ids.contains(&f.packet)));
+            if purged {
+                if let Some((vc, flits)) = self.nis[ni_id].cur.take() {
+                    if let Some(f) = flits.front() {
+                        found.entry(f.packet).or_insert_with(|| f.to_packet());
+                    }
+                    let ri = self.nis[ni_id].spec.router.index();
+                    let pi = self.nis[ni_id].spec.port.index();
+                    self.routers[ri].in_ports[pi].vcs[vc as usize].ni_lock = false;
+                }
+            }
+        }
+
+        // Credits are recomputed exactly from surviving wire + downstream
+        // occupancy (as in reconfigure); pending returns would double-count.
+        self.pending_credits.clear();
+        let total_vcs = self.cfg.total_vcs();
+        let depth = self.cfg.vc_depth;
+        for i in 0..self.channels.len() {
+            let (src, dst) = (self.channels[i].spec.src, self.channels[i].spec.dst);
+            let mut wire = vec![0u8; total_vcs];
+            for (_, f) in &self.channels[i].q {
+                wire[f.assigned_vc as usize] += 1;
+            }
+            let down_occ: Vec<u8> = self.routers[dst.router.index()].in_ports[dst.port.index()]
+                .vcs
+                .iter()
+                .map(|v| v.buf.len() as u8)
+                .collect();
+            let op = &mut self.routers[src.router.index()].out_ports[src.port.index()];
+            for v in 0..total_vcs {
+                op.credits[v] = depth.saturating_sub(wire[v] + down_occ[v]);
+            }
+        }
+
+        let mut packets: Vec<Packet> = found.into_values().collect();
+        packets.sort_by_key(|p| p.id);
+        self.stats.nacks += packets.len() as u64;
+        self.totals.nacks += packets.len() as u64;
+        if let Some(t) = self.tracer.as_mut() {
+            for p in &packets {
+                t.record(crate::trace::TraceEvent::Nacked {
+                    packet: p.id,
+                    cycle: now,
+                });
+            }
+        }
+        packets
+    }
+
+    /// Re-hands a NACKed packet to its source NI. Unlike
+    /// [`inject`](Self::inject) the packet keeps its original
+    /// `created_at` and is *not* counted as newly offered, so a fully
+    /// recovered run still reports a delivery ratio of 1.0; it does count
+    /// as a retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchNode`] if the source has no NI.
+    pub fn inject_retry(&mut self, packet: Packet, attempt: u32) -> Result<(), NetworkError> {
+        let ni = self
+            .node_ni
+            .get(packet.src.index())
+            .copied()
+            .flatten()
+            .ok_or(NetworkError::NoSuchNode(packet.src))?;
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(crate::trace::TraceEvent::Retried {
+                packet: packet.id,
+                cycle: self.now,
+                attempt,
+            });
+        }
+        self.nis[ni].source_q.push_back(packet);
+        self.queued_packets += 1;
+        self.stats.retries += 1;
+        self.totals.retries += 1;
+        Ok(())
+    }
+
+    /// Records a packet dropped by the retry policy (budget exhausted or
+    /// destination permanently disconnected).
+    pub fn count_dropped(&mut self, packet: u64) {
+        self.stats.drops += 1;
+        self.totals.drops += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(crate::trace::TraceEvent::Dropped {
+                packet,
+                cycle: self.now,
+            });
+        }
+    }
+
+    /// Empties a node's NI source queue (used when the node's router
+    /// failed permanently), returning the removed packets in queue order.
+    /// Nodes without an NI yield an empty vec.
+    pub fn purge_ni_queue(&mut self, node: NodeId) -> Vec<Packet> {
+        let Some(idx) = self.node_ni.get(node.index()).copied().flatten() else {
+            return Vec::new();
+        };
+        let drained: Vec<Packet> = self.nis[idx].source_q.drain(..).collect();
+        self.queued_packets -= drained.len() as u64;
+        drained
+    }
+
+    /// Mutable access to the attached tracer; fault controllers record
+    /// [`crate::trace::TraceEvent::FaultInjected`] through this.
+    pub fn tracer_mut(&mut self) -> Option<&mut crate::trace::TraceBuffer> {
+        self.tracer.as_mut()
     }
 }
 
@@ -1418,7 +1827,11 @@ mod tests {
             s.add_channel(mesh_channel(west, east));
         }
         for i in 0..n {
-            s.add_ni(NiSpec::local(NodeId(i as u16), RouterId(i as u16), LOCAL_PORT));
+            s.add_ni(NiSpec::local(
+                NodeId(i as u16),
+                RouterId(i as u16),
+                LOCAL_PORT,
+            ));
         }
         for v in 0..2u8 {
             for r in 0..n {
@@ -1445,7 +1858,8 @@ mod tests {
     #[test]
     fn single_packet_delivery_and_latency() {
         let mut net = net(4);
-        net.inject(Packet::request(1, NodeId(0), NodeId(3), 7)).unwrap();
+        net.inject(Packet::request(1, NodeId(0), NodeId(3), 7))
+            .unwrap();
         net.run(60);
         let d = net.drain_delivered();
         assert_eq!(d.len(), 1);
@@ -1453,8 +1867,16 @@ mod tests {
         assert_eq!(d[0].packet.tag, 7);
         assert_eq!(d[0].hops, 3);
         // Zero-load: 3 hops * (Tr + Tl) + final router Tr + injection.
-        assert!(d[0].network_latency() >= 9, "latency {}", d[0].network_latency());
-        assert!(d[0].network_latency() <= 16, "latency {}", d[0].network_latency());
+        assert!(
+            d[0].network_latency() >= 9,
+            "latency {}",
+            d[0].network_latency()
+        );
+        assert!(
+            d[0].network_latency() <= 16,
+            "latency {}",
+            d[0].network_latency()
+        );
         assert_eq!(net.in_flight(), 0);
         assert_eq!(net.unroutable_events(), 0);
     }
@@ -1462,7 +1884,8 @@ mod tests {
     #[test]
     fn self_delivery_zero_hops() {
         let mut net = net(2);
-        net.inject(Packet::request(1, NodeId(0), NodeId(0), 0)).unwrap();
+        net.inject(Packet::request(1, NodeId(0), NodeId(0), 0))
+            .unwrap();
         net.run(20);
         let d = net.drain_delivered();
         assert_eq!(d.len(), 1);
@@ -1472,7 +1895,8 @@ mod tests {
     #[test]
     fn multiflit_packet_arrives_intact() {
         let mut net = net(3);
-        net.inject(Packet::reply(9, NodeId(0), NodeId(2), 5)).unwrap();
+        net.inject(Packet::reply(9, NodeId(0), NodeId(2), 5))
+            .unwrap();
         net.run(60);
         let d = net.drain_delivered();
         assert_eq!(d.len(), 1);
@@ -1491,7 +1915,8 @@ mod tests {
                     continue;
                 }
                 id += 1;
-                net.inject(Packet::request(id, NodeId(src), NodeId(dst), 0)).unwrap();
+                net.inject(Packet::request(id, NodeId(src), NodeId(dst), 0))
+                    .unwrap();
             }
         }
         net.run(500);
@@ -1509,7 +1934,8 @@ mod tests {
     fn bypass_reduces_injection_latency() {
         let base = {
             let mut n = Network::new(row_spec(2), SimConfig::baseline()).unwrap();
-            n.inject(Packet::request(1, NodeId(0), NodeId(1), 0)).unwrap();
+            n.inject(Packet::request(1, NodeId(0), NodeId(1), 0))
+                .unwrap();
             n.run(40);
             n.drain_delivered()[0].network_latency()
         };
@@ -1517,22 +1943,21 @@ mod tests {
             let mut cfg = SimConfig::baseline();
             cfg.injection_bypass = true;
             let mut n = Network::new(row_spec(2), cfg).unwrap();
-            n.inject(Packet::request(1, NodeId(0), NodeId(1), 0)).unwrap();
+            n.inject(Packet::request(1, NodeId(0), NodeId(1), 0))
+                .unwrap();
             n.run(40);
             assert!(n.totals().events.bypass_injections > 0);
             n.drain_delivered()[0].network_latency()
         };
-        assert!(
-            bypass < base,
-            "bypass {bypass} should beat base {base}"
-        );
+        assert!(bypass < base, "bypass {bypass} should beat base {base}");
     }
 
     #[test]
     fn credits_are_conserved() {
         let mut net = net(4);
         for i in 0..20 {
-            net.inject(Packet::reply(i, NodeId(0), NodeId(3), 0)).unwrap();
+            net.inject(Packet::reply(i, NodeId(0), NodeId(3), 0))
+                .unwrap();
         }
         net.run(1000);
         assert_eq!(net.in_flight(), 0);
@@ -1559,9 +1984,11 @@ mod tests {
         let mut id = 0;
         for _ in 0..50 {
             id += 1;
-            net.inject(Packet::request(id, NodeId(0), NodeId(3), 0)).unwrap();
+            net.inject(Packet::request(id, NodeId(0), NodeId(3), 0))
+                .unwrap();
             id += 1;
-            net.inject(Packet::request(id, NodeId(1), NodeId(3), 0)).unwrap();
+            net.inject(Packet::request(id, NodeId(1), NodeId(3), 0))
+                .unwrap();
         }
         net.run(2000);
         assert_eq!(net.drain_delivered().len(), 100);
@@ -1571,7 +1998,8 @@ mod tests {
     #[test]
     fn epoch_report_resets_window() {
         let mut net = net(3);
-        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0))
+            .unwrap();
         net.run(50);
         let e1 = net.take_epoch();
         assert_eq!(e1.stats.packets, 1);
@@ -1602,14 +2030,16 @@ mod tests {
         let mut net = net(3);
         assert!(net.try_sleep_router(RouterId(1)));
         assert!(net.is_sleeping(RouterId(1)));
-        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0))
+            .unwrap();
         net.run(200);
         let d = net.drain_delivered();
         assert_eq!(d.len(), 1);
         assert!(!net.is_sleeping(RouterId(1)), "arrival should wake router");
         // Wake-up penalty should be visible vs a fully-on network.
         let mut net2 = net2_helper();
-        net2.inject(Packet::request(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net2.inject(Packet::request(1, NodeId(0), NodeId(2), 0))
+            .unwrap();
         net2.run(200);
         let d2 = net2.drain_delivered();
         assert!(d[0].network_latency() > d2[0].network_latency());
@@ -1622,7 +2052,8 @@ mod tests {
     #[test]
     fn sleep_refused_when_flits_buffered() {
         let mut net = net(3);
-        net.inject(Packet::reply(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net.inject(Packet::reply(1, NodeId(0), NodeId(2), 0))
+            .unwrap();
         net.run(4);
         // Router 0 or 1 should be holding flits now.
         let holding: Vec<u16> = (0..3u16)
@@ -1638,9 +2069,13 @@ mod tests {
     fn router_config_stall_delays_traffic() {
         let mut net = net(3);
         net.begin_router_config(RouterId(1), 50);
-        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0))
+            .unwrap();
         net.run(40);
-        assert!(net.drain_delivered().is_empty(), "stalled router should hold traffic");
+        assert!(
+            net.drain_delivered().is_empty(),
+            "stalled router should hold traffic"
+        );
         net.run(60);
         assert_eq!(net.drain_delivered().len(), 1);
     }
@@ -1651,7 +2086,8 @@ mod tests {
         // Restrict request vnet at router 0 to VC 0 only.
         net.set_vc_mask(RouterId(0), Vnet::REQUEST, 0b001);
         for i in 0..10 {
-            net.inject(Packet::request(i, NodeId(0), NodeId(1), 0)).unwrap();
+            net.inject(Packet::request(i, NodeId(0), NodeId(1), 0))
+                .unwrap();
         }
         net.run(300);
         assert_eq!(net.drain_delivered().len(), 10);
@@ -1679,7 +2115,8 @@ mod tests {
         let mut broken = net.spec().tables.clone();
         broken.clear(Vnet::REQUEST, RouterId(0), NodeId(2));
         net.install_tables(broken);
-        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0)).unwrap();
+        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0))
+            .unwrap();
         net.run(30);
         assert!(net.unroutable_events() > 0);
         assert!(net.drain_delivered().is_empty());
@@ -1692,7 +2129,8 @@ mod tests {
     #[test]
     fn reconfigure_identity_is_noop() {
         let mut net = net(4);
-        net.inject(Packet::request(1, NodeId(0), NodeId(3), 0)).unwrap();
+        net.inject(Packet::request(1, NodeId(0), NodeId(3), 0))
+            .unwrap();
         net.run(3);
         let spec = net.spec().clone();
         net.reconfigure(spec).unwrap();
@@ -1704,7 +2142,8 @@ mod tests {
     #[test]
     fn reconfigure_add_express_link_shortens_path() {
         let mut net = net(4);
-        net.inject(Packet::request(1, NodeId(0), NodeId(3), 0)).unwrap();
+        net.inject(Packet::request(1, NodeId(0), NodeId(3), 0))
+            .unwrap();
         net.run(100);
         let base_hops = net.drain_delivered()[0].hops;
         assert_eq!(base_hops, 3);
@@ -1721,9 +2160,11 @@ mod tests {
             dim_y: false,
             kind: ChannelKind::Adaptable,
         });
-        spec.tables.set(Vnet::REQUEST, RouterId(0), NodeId(3), PortId(2));
+        spec.tables
+            .set(Vnet::REQUEST, RouterId(0), NodeId(3), PortId(2));
         net.reconfigure(spec).unwrap();
-        net.inject(Packet::request(2, NodeId(0), NodeId(3), 0)).unwrap();
+        net.inject(Packet::request(2, NodeId(0), NodeId(3), 0))
+            .unwrap();
         net.run(100);
         let d = net.drain_delivered();
         assert_eq!(d.len(), 1);
@@ -1736,7 +2177,8 @@ mod tests {
         let mut net = net(4);
         // Saturate with traffic, then try to remove a middle channel.
         for i in 0..20 {
-            net.inject(Packet::reply(i, NodeId(0), NodeId(3), 0)).unwrap();
+            net.inject(Packet::reply(i, NodeId(0), NodeId(3), 0))
+                .unwrap();
         }
         net.run(6);
         let mut spec = net.spec().clone();
@@ -1768,7 +2210,8 @@ mod tests {
     fn reconfigure_preserves_source_queues() {
         let mut net = net(3);
         for i in 0..5 {
-            net.inject(Packet::request(i, NodeId(0), NodeId(2), 0)).unwrap();
+            net.inject(Packet::request(i, NodeId(0), NodeId(2), 0))
+                .unwrap();
         }
         // Immediately reconfigure (identity) before anything injects.
         let spec = net.spec().clone();
@@ -1781,10 +2224,7 @@ mod tests {
     fn reconfigure_rejects_shape_changes() {
         let mut net = net(3);
         let bad = row_spec(4);
-        assert!(matches!(
-            net.reconfigure(bad),
-            Err(NetworkError::Shape(_))
-        ));
+        assert!(matches!(net.reconfigure(bad), Err(NetworkError::Shape(_))));
     }
 
     #[test]
@@ -1796,7 +2236,12 @@ mod tests {
         s.add_channel(mesh_channel(r0e, r1w));
         s.add_channel(mesh_channel(r1w, r0e));
         s.add_ni(NiSpec::local(NodeId(0), RouterId(0), LOCAL_PORT));
-        s.add_ni(NiSpec::concentrated(NodeId(1), RouterId(0), LOCAL_PORT, 1.0));
+        s.add_ni(NiSpec::concentrated(
+            NodeId(1),
+            RouterId(0),
+            LOCAL_PORT,
+            1.0,
+        ));
         s.add_ni(NiSpec::local(NodeId(2), RouterId(1), LOCAL_PORT));
         for v in 0..2u8 {
             s.tables.set(Vnet(v), RouterId(0), NodeId(0), LOCAL_PORT);
@@ -1810,14 +2255,19 @@ mod tests {
         let mut id = 0;
         for _ in 0..25 {
             id += 1;
-            net.inject(Packet::request(id, NodeId(0), NodeId(2), 0)).unwrap();
+            net.inject(Packet::request(id, NodeId(0), NodeId(2), 0))
+                .unwrap();
             id += 1;
-            net.inject(Packet::request(id, NodeId(1), NodeId(2), 0)).unwrap();
+            net.inject(Packet::request(id, NodeId(1), NodeId(2), 0))
+                .unwrap();
         }
         net.run(1000);
         let d = net.drain_delivered();
         assert_eq!(d.len(), 50);
-        assert!(net.totals().events.mux_traversals > 0, "concentration counts mux events");
+        assert!(
+            net.totals().events.mux_traversals > 0,
+            "concentration counts mux events"
+        );
     }
 
     #[test]
@@ -1831,7 +2281,8 @@ mod tests {
         }
         let mut net = Network::new(s, SimConfig::baseline()).unwrap();
         for i in 0..10 {
-            net.inject(Packet::request(i, NodeId(0), NodeId(1), 0)).unwrap();
+            net.inject(Packet::request(i, NodeId(0), NodeId(1), 0))
+                .unwrap();
         }
         net.run(300);
         assert_eq!(net.drain_delivered().len(), 10);
@@ -1842,7 +2293,8 @@ mod tests {
     fn queuing_latency_grows_under_overload() {
         let mut net = net(2);
         for i in 0..200 {
-            net.inject(Packet::reply(i, NodeId(0), NodeId(1), 0)).unwrap();
+            net.inject(Packet::reply(i, NodeId(0), NodeId(1), 0))
+                .unwrap();
         }
         net.run(4000);
         let d = net.drain_delivered();
@@ -1851,6 +2303,185 @@ mod tests {
         let early = d[..10].iter().map(|x| x.queuing_latency()).max().unwrap();
         let late = d[190..].iter().map(|x| x.queuing_latency()).min().unwrap();
         assert!(late > early, "late {late} early {early}");
+    }
+
+    fn key_between(net: &Network, src: RouterId, dst: RouterId) -> ChannelKey {
+        net.spec()
+            .channels
+            .iter()
+            .find(|c| c.src.router == src && c.dst.router == dst)
+            .map(|c| c.key())
+            .expect("row spec has this channel")
+    }
+
+    #[test]
+    fn transient_link_fault_stalls_then_delivers() {
+        let mut net = net(4);
+        for i in 1..=6 {
+            net.inject(Packet::reply(i, NodeId(0), NodeId(3), 0))
+                .unwrap();
+        }
+        net.run(5);
+        let key = key_between(&net, RouterId(1), RouterId(2));
+        let nacked = net.set_channel_fault(key, true).unwrap();
+        assert!(net.channel_faulted(key));
+        // While the link is down, nothing crosses it; upstream traffic waits.
+        net.run(100);
+        assert_eq!(net.drain_delivered().len(), 0);
+        assert!(net.in_flight() > 0);
+        // Heal, re-inject the NACKed packets, and everything arrives.
+        net.set_channel_fault(key, false).unwrap();
+        assert!(!net.channel_faulted(key));
+        for (a, p) in nacked.into_iter().enumerate() {
+            net.inject_retry(p, a as u32 + 1).unwrap();
+        }
+        net.run(800);
+        assert_eq!(net.drain_delivered().len(), 6);
+        assert_eq!(net.in_flight(), 0);
+        let t = net.totals().stats;
+        assert_eq!(t.nacks, t.retries);
+        assert_eq!(t.drops, 0);
+        assert!((t.delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_fault_nacks_whole_packets() {
+        let mut net = net(3);
+        // Multi-flit packets so some are mid-stream across the link.
+        for i in 1..=4 {
+            net.inject(Packet::reply(i, NodeId(0), NodeId(2), 0))
+                .unwrap();
+        }
+        net.run(12);
+        let key = key_between(&net, RouterId(0), RouterId(1));
+        let nacked = net.set_channel_fault(key, true).unwrap();
+        // Every NACKed packet comes back whole and exactly once.
+        let mut ids: Vec<u64> = nacked.iter().map(|p| p.id).collect();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        for p in &nacked {
+            assert_eq!(p.len, crate::config::DATA_PACKET_FLITS);
+            assert_eq!(p.src, NodeId(0));
+        }
+        // Faulting again is idempotent.
+        assert_eq!(net.set_channel_fault(key, true).unwrap().len(), 0);
+        // Flit conservation: remaining in-flight + delivered + NACKed
+        // accounts for everything offered.
+        net.run(400);
+        let delivered = net.drain_delivered().len();
+        let undeliverable = net.in_flight() > 0; // packets stuck behind the dead link
+        assert!(delivered + n <= 4 + n);
+        assert!(undeliverable || delivered + n >= 4);
+    }
+
+    #[test]
+    fn failed_router_purges_and_goes_dark() {
+        let mut net = net(4);
+        for i in 1..=8 {
+            net.inject(Packet::reply(i, NodeId(0), NodeId(3), 0))
+                .unwrap();
+        }
+        net.run(10);
+        let nacked = net.fail_router(RouterId(2));
+        assert!(net.router_failed(RouterId(2)));
+        assert!(net.is_sleeping(RouterId(2)));
+        assert_eq!(net.router_flits(RouterId(2)), 0);
+        // It never wakes, even if asked.
+        net.wake_router(RouterId(2));
+        net.run(50);
+        assert!(net.is_sleeping(RouterId(2)));
+        // Repeat fail is a no-op.
+        assert_eq!(net.fail_router(RouterId(2)).len(), 0);
+        let _ = nacked;
+    }
+
+    #[test]
+    fn purge_blocked_reaps_traffic_stuck_at_dead_link() {
+        let mut net = net(4);
+        for i in 1..=10 {
+            net.inject(Packet::reply(i, NodeId(0), NodeId(3), 0))
+                .unwrap();
+        }
+        net.run(8);
+        let key = key_between(&net, RouterId(2), RouterId(3));
+        let mut nacked = net.set_channel_fault(key, true).unwrap();
+        // Let upstream traffic pile up against the fault, then reap it.
+        let mut guard = 0;
+        while net.in_flight() > 0 {
+            net.step();
+            nacked.extend(net.purge_blocked());
+            // Packets still queued at the source NI can't make progress
+            // either once everything routed is reaped.
+            if net.in_flight() == net.ni_queue_len(NodeId(0)) as u64 {
+                nacked.extend(net.purge_ni_queue(NodeId(0)));
+            }
+            guard += 1;
+            assert!(guard < 2_000, "purge_blocked failed to drain");
+        }
+        let delivered = net.drain_delivered().len();
+        let mut ids: Vec<u64> = nacked.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            delivered + ids.len(),
+            10,
+            "every packet delivered or NACKed"
+        );
+        // All channels are quiescent after the reap.
+        for c in net.spec().channels.clone() {
+            assert!(net.channel_quiescent(c.key()));
+        }
+    }
+
+    #[test]
+    fn fault_flag_survives_reconfigure() {
+        let mut net = net(3);
+        let key = key_between(&net, RouterId(0), RouterId(1));
+        net.set_channel_fault(key, true).unwrap();
+        net.reconfigure(row_spec(3)).unwrap();
+        assert!(net.channel_faulted(key));
+        // The flag still blocks traffic after the swap.
+        net.inject(Packet::request(1, NodeId(0), NodeId(2), 0))
+            .unwrap();
+        net.run(100);
+        assert_eq!(net.drain_delivered().len(), 0);
+        net.set_channel_fault(key, false).unwrap();
+        net.run(100);
+        assert_eq!(net.drain_delivered().len(), 1);
+    }
+
+    #[test]
+    fn fault_on_unknown_channel_errors() {
+        let mut net = net(2);
+        let bogus = ChannelKey {
+            src: PortRef::new(RouterId(0), PortId(7)),
+            dst: PortRef::new(RouterId(1), PortId(7)),
+        };
+        assert_eq!(
+            net.set_channel_fault(bogus, true),
+            Err(NetworkError::NoSuchChannel(bogus))
+        );
+    }
+
+    #[test]
+    fn retry_preserves_delivery_ratio_accounting() {
+        let mut net = net(2);
+        net.inject(Packet::request(1, NodeId(0), NodeId(1), 0))
+            .unwrap();
+        net.run(3);
+        let key = key_between(&net, RouterId(0), RouterId(1));
+        let nacked = net.set_channel_fault(key, true).unwrap();
+        net.set_channel_fault(key, false).unwrap();
+        for p in nacked {
+            net.inject_retry(p, 1).unwrap();
+        }
+        net.run(100);
+        let t = net.totals().stats;
+        assert_eq!(t.packets_offered, 1, "retries are not newly offered");
+        assert_eq!(t.packets, 1);
+        net.count_dropped(99);
+        assert_eq!(net.totals().stats.drops, 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::ids::{NodeId, PortId, RouterId, Vnet};
 const UNREACHABLE: u8 = u8::MAX;
 
 /// Dense routing tables: `[vnet][router][destination node] -> output port`.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutingTables {
     vnets: usize,
     routers: usize,
@@ -90,8 +90,7 @@ impl RoutingTables {
         );
         let per_vnet = self.routers * self.nodes;
         let start = vnet.index() * per_vnet;
-        self.table[start..start + per_vnet]
-            .copy_from_slice(&other.table[start..start + per_vnet]);
+        self.table[start..start + per_vnet].copy_from_slice(&other.table[start..start + per_vnet]);
     }
 
     /// Iterates over all `(vnet, router, dst, port)` entries that have routes.

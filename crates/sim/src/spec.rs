@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 /// Physical class of a channel; used for power accounting and wiring-budget
 /// analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChannelKind {
     /// A regular nearest-neighbour mesh link.
     Mesh,
@@ -34,12 +34,15 @@ pub enum ChannelKind {
 impl ChannelKind {
     /// Whether this channel is realized on the adaptable-link wires.
     pub fn is_adaptable(self) -> bool {
-        matches!(self, ChannelKind::Adaptable | ChannelKind::AdaptableReversed)
+        matches!(
+            self,
+            ChannelKind::Adaptable | ChannelKind::AdaptableReversed
+        )
     }
 }
 
 /// One end of a channel: a (router, port) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PortRef {
     /// The router.
     pub router: RouterId,
@@ -55,7 +58,7 @@ impl PortRef {
 }
 
 /// A unidirectional channel between two router ports.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChannelSpec {
     /// Source (upstream) end.
     pub src: PortRef,
@@ -103,7 +106,7 @@ impl ChannelSpec {
 }
 
 /// The identity of a channel for reconfiguration diffing: its endpoints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChannelKey {
     /// Source end.
     pub src: PortRef,
@@ -122,7 +125,7 @@ impl ChannelSpec {
 }
 
 /// A router in the spec.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouterSpec {
     /// Whether the router is powered on. Powered-off routers (cmesh idle
     /// routers, Sec. II-B1) may have no channels or NIs.
@@ -151,7 +154,7 @@ impl Default for RouterSpec {
 /// `port` of `router`. Several NIs may share one port (external
 /// concentration, Sec. II-B1); they then share the port's 1 flit/cycle
 /// injection bandwidth, arbitrated round-robin.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NiSpec {
     /// The endpoint node.
     pub node: NodeId,
@@ -195,7 +198,7 @@ impl NiSpec {
 }
 
 /// A complete declarative network configuration.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
     /// All routers (dense ids).
     pub routers: Vec<RouterSpec>,
@@ -261,7 +264,11 @@ impl std::fmt::Display for SpecError {
                 write!(f, "node {n} has {c} network interfaces (expected 1)")
             }
             SpecError::NiPortConflict(p) => {
-                write!(f, "NI shares port {} of {} with a channel", p.port, p.router)
+                write!(
+                    f,
+                    "NI shares port {} of {} with a channel",
+                    p.port, p.router
+                )
             }
             SpecError::DanglingRoute { router, dst, port } => write!(
                 f,

@@ -10,7 +10,7 @@ use crate::events::{EventCounts, StaticCycles};
 use crate::flit::{Packet, PacketKind};
 
 /// A delivered packet with its measured timing.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Delivered {
     /// The packet, as originally injected.
     pub packet: Packet,
@@ -41,7 +41,7 @@ impl Delivered {
 }
 
 /// Aggregated network statistics over a measurement window.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetStats {
     /// Number of packets delivered.
     pub packets: u64,
@@ -71,6 +71,13 @@ pub struct NetStats {
     pub max_network_latency: u64,
     /// Maximum observed queuing latency.
     pub max_queuing_latency: u64,
+    /// Packets NACKed back to their source NI by a fault.
+    pub nacks: u64,
+    /// Packet re-injections after a NACK (each retry counts once).
+    pub retries: u64,
+    /// Packets dropped after exhausting their retry budget (or because
+    /// their endpoint became disconnected).
+    pub drops: u64,
 }
 
 impl NetStats {
@@ -138,6 +145,17 @@ impl NetStats {
         ratio(self.flits_forwarded, self.cycles)
     }
 
+    /// Fraction of offered packets that were delivered (1.0 when nothing
+    /// was offered). Retries re-inject a packet already counted as offered,
+    /// so a fully recovered run reports 1.0; drops pull the ratio below 1.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.packets_offered == 0 {
+            1.0
+        } else {
+            self.packets as f64 / self.packets_offered as f64
+        }
+    }
+
     /// Adds `other` into `self`.
     pub fn accumulate(&mut self, other: &NetStats) {
         self.packets += other.packets;
@@ -156,6 +174,9 @@ impl NetStats {
         self.cycles += other.cycles;
         self.max_network_latency = self.max_network_latency.max(other.max_network_latency);
         self.max_queuing_latency = self.max_queuing_latency.max(other.max_queuing_latency);
+        self.nacks += other.nacks;
+        self.retries += other.retries;
+        self.drops += other.drops;
     }
 }
 
@@ -168,7 +189,7 @@ fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// A complete per-epoch report: performance stats plus power-model inputs.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EpochReport {
     /// Performance statistics for the epoch.
     pub stats: NetStats,

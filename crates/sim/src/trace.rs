@@ -9,7 +9,7 @@ use crate::ids::{NodeId, RouterId};
 use std::collections::VecDeque;
 
 /// One traced event.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// Head flit entered the source router's input buffer.
     Injected {
@@ -42,15 +42,54 @@ pub enum TraceEvent {
         /// Total hops taken.
         hops: u16,
     },
+    /// A fault was injected into the network (link or router).
+    FaultInjected {
+        /// Cycle.
+        cycle: u64,
+        /// Affected router (for link faults: the channel's source router).
+        router: RouterId,
+        /// `true` for a link fault, `false` for a router fault.
+        link: bool,
+        /// Whether the fault is transient (heals on its own).
+        transient: bool,
+    },
+    /// A packet was NACKed back to its source NI by a fault.
+    Nacked {
+        /// Packet id.
+        packet: u64,
+        /// Cycle.
+        cycle: u64,
+    },
+    /// A NACKed packet was re-injected after its backoff.
+    Retried {
+        /// Packet id.
+        packet: u64,
+        /// Cycle.
+        cycle: u64,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+    },
+    /// A packet exhausted its retry budget and was dropped.
+    Dropped {
+        /// Packet id.
+        packet: u64,
+        /// Cycle.
+        cycle: u64,
+    },
 }
 
 impl TraceEvent {
-    /// The packet this event belongs to.
+    /// The packet this event belongs to (0 for [`TraceEvent::FaultInjected`],
+    /// which has no associated packet).
     pub fn packet(&self) -> u64 {
         match self {
             TraceEvent::Injected { packet, .. }
             | TraceEvent::Forwarded { packet, .. }
-            | TraceEvent::Ejected { packet, .. } => *packet,
+            | TraceEvent::Ejected { packet, .. }
+            | TraceEvent::Nacked { packet, .. }
+            | TraceEvent::Retried { packet, .. }
+            | TraceEvent::Dropped { packet, .. } => *packet,
+            TraceEvent::FaultInjected { .. } => 0,
         }
     }
 
@@ -59,13 +98,17 @@ impl TraceEvent {
         match self {
             TraceEvent::Injected { cycle, .. }
             | TraceEvent::Forwarded { cycle, .. }
-            | TraceEvent::Ejected { cycle, .. } => *cycle,
+            | TraceEvent::Ejected { cycle, .. }
+            | TraceEvent::FaultInjected { cycle, .. }
+            | TraceEvent::Nacked { cycle, .. }
+            | TraceEvent::Retried { cycle, .. }
+            | TraceEvent::Dropped { cycle, .. } => *cycle,
         }
     }
 }
 
 /// Packet-selection filters for the trace recorder.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceFilter {
     /// Trace every packet.
     All,
@@ -84,7 +127,7 @@ impl TraceFilter {
             TraceFilter::All => true,
             TraceFilter::Packet(p) => packet == p,
             TraceFilter::IdRange(a, b) => (a..b).contains(&packet),
-            TraceFilter::Sampled(n) => n != 0 && packet % n == 0,
+            TraceFilter::Sampled(n) => n != 0 && packet.is_multiple_of(n),
         }
     }
 }
@@ -139,7 +182,10 @@ impl TraceBuffer {
 
     /// Events of one packet, oldest first.
     pub fn packet_events(&self, packet: u64) -> Vec<&TraceEvent> {
-        self.events.iter().filter(|e| e.packet() == packet).collect()
+        self.events
+            .iter()
+            .filter(|e| e.packet() == packet)
+            .collect()
     }
 
     /// Events evicted due to the capacity bound.
@@ -152,15 +198,34 @@ impl TraceBuffer {
         self.packet_events(packet)
             .iter()
             .map(|e| match e {
-                TraceEvent::Injected { cycle, src, dst, .. } => {
+                TraceEvent::Injected {
+                    cycle, src, dst, ..
+                } => {
                     format!("@{cycle} inject {src} -> {dst}")
                 }
-                TraceEvent::Forwarded { cycle, router, seq, .. } => {
+                TraceEvent::Forwarded {
+                    cycle, router, seq, ..
+                } => {
                     format!("@{cycle} {router} fwd flit {seq}")
                 }
                 TraceEvent::Ejected { cycle, hops, .. } => {
                     format!("@{cycle} eject after {hops} hops")
                 }
+                TraceEvent::FaultInjected {
+                    cycle,
+                    router,
+                    link,
+                    transient,
+                } => {
+                    let what = if *link { "link" } else { "router" };
+                    let how = if *transient { "transient" } else { "permanent" };
+                    format!("@{cycle} {how} {what} fault at {router}")
+                }
+                TraceEvent::Nacked { cycle, .. } => format!("@{cycle} nacked"),
+                TraceEvent::Retried { cycle, attempt, .. } => {
+                    format!("@{cycle} retry #{attempt}")
+                }
+                TraceEvent::Dropped { cycle, .. } => format!("@{cycle} dropped"),
             })
             .collect::<Vec<_>>()
             .join("\n")

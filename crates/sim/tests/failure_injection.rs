@@ -43,7 +43,8 @@ fn permanently_stalled_router_holds_but_never_drops() {
     let mut net = Network::new(row_spec(4), SimConfig::baseline()).unwrap();
     net.begin_router_config(RouterId(1), u32::MAX as u64);
     for i in 0..10 {
-        net.inject(Packet::request(i, NodeId(0), NodeId(3), 0)).unwrap();
+        net.inject(Packet::request(i, NodeId(0), NodeId(3), 0))
+            .unwrap();
     }
     net.run(5_000);
     // Nothing delivered, nothing lost: all flits are somewhere.
@@ -56,7 +57,8 @@ fn stall_release_recovers_all_traffic() {
     let mut net = Network::new(row_spec(4), SimConfig::baseline()).unwrap();
     net.begin_router_config(RouterId(1), 2_000);
     for i in 0..10 {
-        net.inject(Packet::reply(i, NodeId(0), NodeId(3), 0)).unwrap();
+        net.inject(Packet::reply(i, NodeId(0), NodeId(3), 0))
+            .unwrap();
     }
     net.run(1_000);
     assert!(net.drain_delivered().is_empty());
@@ -70,7 +72,8 @@ fn paused_ni_queues_forever_and_resumes_cleanly() {
     let mut net = Network::new(row_spec(3), SimConfig::baseline()).unwrap();
     net.set_ni_paused(NodeId(0), true);
     for i in 0..25 {
-        net.inject(Packet::request(i, NodeId(0), NodeId(2), 0)).unwrap();
+        net.inject(Packet::request(i, NodeId(0), NodeId(2), 0))
+            .unwrap();
     }
     net.run(2_000);
     assert_eq!(net.ni_queue_len(NodeId(0)), 25);
@@ -85,8 +88,10 @@ fn missing_route_counts_unroutable_but_other_traffic_flows() {
     let mut spec = row_spec(4);
     spec.tables.clear(Vnet::REQUEST, RouterId(0), NodeId(3));
     let mut net = Network::new(spec, SimConfig::baseline()).unwrap();
-    net.inject(Packet::request(1, NodeId(0), NodeId(3), 0)).unwrap();
-    net.inject(Packet::request(2, NodeId(0), NodeId(2), 0)).unwrap();
+    net.inject(Packet::request(1, NodeId(0), NodeId(3), 0))
+        .unwrap();
+    net.inject(Packet::request(2, NodeId(0), NodeId(2), 0))
+        .unwrap();
     net.run(200);
     let d = net.drain_delivered();
     assert_eq!(d.len(), 1, "routable packet still flows");
@@ -141,7 +146,8 @@ fn reconfigure_error_paths_leave_network_usable() {
     bad.nis.pop();
     assert!(net.reconfigure(bad).is_err());
     // The network still works after rejected reconfigurations.
-    net.inject(Packet::request(1, NodeId(0), NodeId(3), 0)).unwrap();
+    net.inject(Packet::request(1, NodeId(0), NodeId(3), 0))
+        .unwrap();
     net.run(100);
     assert_eq!(net.drain_delivered().len(), 1);
 }
@@ -153,7 +159,8 @@ fn vc_mask_flapping_is_lossless() {
     for cycle in 0..5_000u64 {
         if cycle % 11 == 0 {
             id += 1;
-            net.inject(Packet::reply(id, NodeId(0), NodeId(3), 0)).unwrap();
+            net.inject(Packet::reply(id, NodeId(0), NodeId(3), 0))
+                .unwrap();
         }
         if cycle % 50 == 0 {
             let mask = if (cycle / 50) % 2 == 0 { 0b001 } else { 0b111 };
@@ -174,8 +181,10 @@ fn tracer_records_full_packet_journey() {
     use adaptnoc_sim::trace::{TraceBuffer, TraceFilter};
     let mut net = Network::new(row_spec(4), SimConfig::baseline()).unwrap();
     net.set_tracer(Some(TraceBuffer::new(64, TraceFilter::Packet(42))));
-    net.inject(Packet::request(42, NodeId(0), NodeId(3), 0)).unwrap();
-    net.inject(Packet::request(43, NodeId(1), NodeId(2), 0)).unwrap();
+    net.inject(Packet::request(42, NodeId(0), NodeId(3), 0))
+        .unwrap();
+    net.inject(Packet::request(43, NodeId(1), NodeId(2), 0))
+        .unwrap();
     net.run(100);
     let t = net.tracer().unwrap();
     // Inject + 4 router forwards (3 hops + final ejection SA) + eject.

@@ -1,9 +1,13 @@
-//! Property-based tests for the simulator core invariants:
+//! Randomized property tests for the simulator core invariants:
 //! packet conservation, payload integrity, drain-to-empty, and
-//! determinism, over randomized row networks and traffic loads.
+//! determinism, over seeded row networks and traffic loads.
+//!
+//! Cases are generated from the in-tree deterministic PRNG so every CI
+//! run exercises exactly the same inputs (reproducible failures, no
+//! registry dependencies).
 
 use adaptnoc_sim::prelude::*;
-use proptest::prelude::*;
+use adaptnoc_sim::rng::Rng;
 
 /// Builds a bidirectional 1xN row with one node per router and XY-trivial
 /// routing tables.
@@ -41,29 +45,29 @@ fn row_spec(n: usize) -> NetworkSpec {
 }
 
 /// A randomly generated traffic plan: (inject_cycle, src, dst, reply?).
-fn traffic_strategy(n: usize, max_pkts: usize) -> impl Strategy<Value = Vec<(u64, u16, u16, bool)>> {
-    prop::collection::vec(
-        (
-            0u64..200,
-            0u16..(n as u16),
-            0u16..(n as u16),
-            prop::bool::ANY,
-        ),
-        1..max_pkts,
-    )
+fn random_plan(rng: &mut Rng, n: usize, max_pkts: usize) -> Vec<(u64, u16, u16, bool)> {
+    let count = rng.random_range(1, max_pkts);
+    (0..count)
+        .map(|_| {
+            (
+                rng.random_below(200) as u64,
+                rng.random_below(n) as u16,
+                rng.random_below(n) as u16,
+                rng.random_bool(0.5),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every injected packet is delivered exactly once, payload intact, and
-    /// the network drains to empty.
-    #[test]
-    fn packet_conservation((n, plan) in (2usize..7).prop_flat_map(|n| {
-        (Just(n), traffic_strategy(n, 60))
-    })) {
+/// Every injected packet is delivered exactly once, payload intact, and
+/// the network drains to empty.
+#[test]
+fn packet_conservation() {
+    let mut rng = Rng::seed_from_u64(0xC0FFEE);
+    for _case in 0..64 {
+        let n = rng.random_range(2, 7);
+        let mut plan = random_plan(&mut rng, n, 60);
         let mut net = Network::new(row_spec(n), SimConfig::baseline()).unwrap();
-        let mut plan = plan;
         plan.sort_by_key(|p| p.0);
         let mut expected: Vec<(u64, u16, u16)> = Vec::new();
         let mut next = 0usize;
@@ -86,43 +90,48 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(net.in_flight(), 0, "network failed to drain");
+        assert_eq!(net.in_flight(), 0, "network failed to drain");
         let mut got = net.drain_delivered();
         got.sort_by_key(|d| d.packet.id);
-        prop_assert_eq!(got.len(), expected.len());
+        assert_eq!(got.len(), expected.len());
         for (d, (id, src, dst)) in got.iter().zip(expected.iter()) {
-            prop_assert_eq!(d.packet.id, *id);
-            prop_assert_eq!(d.packet.src, NodeId(*src));
-            prop_assert_eq!(d.packet.dst, NodeId(*dst));
-            prop_assert_eq!(d.packet.tag, id * 3);
-            prop_assert!(d.ejected_at >= d.injected_at);
-            prop_assert!(d.injected_at >= d.packet.created_at);
+            assert_eq!(d.packet.id, *id);
+            assert_eq!(d.packet.src, NodeId(*src));
+            assert_eq!(d.packet.dst, NodeId(*dst));
+            assert_eq!(d.packet.tag, id * 3);
+            assert!(d.ejected_at >= d.injected_at);
+            assert!(d.injected_at >= d.packet.created_at);
         }
-        prop_assert_eq!(net.unroutable_events(), 0);
+        assert_eq!(net.unroutable_events(), 0);
     }
+}
 
-    /// Hop counts equal the source-destination distance in a row (minimal
-    /// routing, no livelock detours).
-    #[test]
-    fn hops_equal_manhattan_distance(
-        n in 2usize..7,
-        src in 0u16..6,
-        dst in 0u16..6,
-    ) {
-        let src = src % (n as u16);
-        let dst = dst % (n as u16);
+/// Hop counts equal the source-destination distance in a row (minimal
+/// routing, no livelock detours).
+#[test]
+fn hops_equal_manhattan_distance() {
+    let mut rng = Rng::seed_from_u64(0xD15C0);
+    for _case in 0..64 {
+        let n = rng.random_range(2, 7);
+        let src = rng.random_below(n) as u16;
+        let dst = rng.random_below(n) as u16;
         let mut net = Network::new(row_spec(n), SimConfig::baseline()).unwrap();
-        net.inject(Packet::request(1, NodeId(src), NodeId(dst), 0)).unwrap();
+        net.inject(Packet::request(1, NodeId(src), NodeId(dst), 0))
+            .unwrap();
         net.run(200);
         let d = net.drain_delivered();
-        prop_assert_eq!(d.len(), 1);
-        prop_assert_eq!(d[0].hops as i32, (src as i32 - dst as i32).abs());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].hops as i32, (src as i32 - dst as i32).abs());
     }
+}
 
-    /// The simulator is deterministic: the same plan yields identical
-    /// delivery timings.
-    #[test]
-    fn determinism(plan in traffic_strategy(4, 40)) {
+/// The simulator is deterministic: the same plan yields identical
+/// delivery timings.
+#[test]
+fn determinism() {
+    let mut rng = Rng::seed_from_u64(0xDE7E12);
+    for _case in 0..16 {
+        let plan = random_plan(&mut rng, 4, 40);
         let run = |plan: &[(u64, u16, u16, bool)]| {
             let mut net = Network::new(row_spec(4), SimConfig::baseline()).unwrap();
             let mut plan = plan.to_vec();
@@ -149,13 +158,17 @@ proptest! {
                 .map(|x| (x.packet.id, x.injected_at, x.ejected_at, x.hops))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(&plan), run(&plan));
+        assert_eq!(run(&plan), run(&plan));
     }
+}
 
-    /// Event counters are consistent: buffer reads never exceed writes, and
-    /// every ejected flit was once injected.
-    #[test]
-    fn event_counter_sanity(plan in traffic_strategy(5, 50)) {
+/// Event counters are consistent: buffer reads never exceed writes, and
+/// every ejected flit was once injected.
+#[test]
+fn event_counter_sanity() {
+    let mut rng = Rng::seed_from_u64(0xE7E27);
+    for _case in 0..32 {
+        let plan = random_plan(&mut rng, 5, 50);
         let mut net = Network::new(row_spec(5), SimConfig::baseline()).unwrap();
         let mut id = 0u64;
         for (_, src, dst, reply) in plan {
@@ -168,12 +181,15 @@ proptest! {
             net.inject(pkt).unwrap();
         }
         net.run(8000);
-        prop_assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.in_flight(), 0);
         let ev = net.totals().events;
-        prop_assert!(ev.buffer_reads <= ev.buffer_writes);
-        prop_assert_eq!(ev.buffer_reads, ev.buffer_writes, "drained network read all writes");
-        prop_assert_eq!(ev.crossbar_traversals, ev.sa_grants);
-        prop_assert!(ev.ni_ejections <= ev.ni_injections + ev.link_flit_hops);
-        prop_assert_eq!(ev.ni_injections, ev.ni_ejections, "all flits ejected");
+        assert!(ev.buffer_reads <= ev.buffer_writes);
+        assert_eq!(
+            ev.buffer_reads, ev.buffer_writes,
+            "drained network read all writes"
+        );
+        assert_eq!(ev.crossbar_traversals, ev.sa_grants);
+        assert!(ev.ni_ejections <= ev.ni_injections + ev.link_flit_hops);
+        assert_eq!(ev.ni_injections, ev.ni_ejections, "all flits ejected");
     }
 }

@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn oversized_region_rejected() {
-        let regions = [RegionTopology::new(Rect::new(4, 4, 8, 4), TopologyKind::Mesh)];
+        let regions = [RegionTopology::new(
+            Rect::new(4, 4, 8, 4),
+            TopologyKind::Mesh,
+        )];
         let err = build_chip_spec(Grid::paper(), &regions, &SimConfig::baseline());
         assert!(matches!(err, Err(BuildError::Region(_))));
     }
@@ -123,8 +126,7 @@ mod tests {
         let regions = [
             RegionTopology::new(Rect::new(0, 0, 4, 4), TopologyKind::Cmesh),
             RegionTopology::new(Rect::new(4, 0, 4, 4), TopologyKind::Torus),
-            RegionTopology::new(Rect::new(0, 4, 8, 4), TopologyKind::Tree)
-                .with_root(NodeId(32)),
+            RegionTopology::new(Rect::new(0, 4, 8, 4), TopologyKind::Tree).with_root(NodeId(32)),
         ];
         let spec = build_chip_spec(Grid::paper(), &regions, &cfg).unwrap();
         assert_eq!(spec.nis.len(), 64);
@@ -135,7 +137,10 @@ mod tests {
     #[test]
     fn leftover_tiles_get_best_effort_mesh() {
         let cfg = SimConfig::baseline();
-        let regions = [RegionTopology::new(Rect::new(0, 0, 4, 8), TopologyKind::Mesh)];
+        let regions = [RegionTopology::new(
+            Rect::new(0, 0, 4, 8),
+            TopologyKind::Mesh,
+        )];
         let spec = build_chip_spec(Grid::paper(), &regions, &cfg).unwrap();
         assert_eq!(spec.nis.len(), 64, "leftover tiles still get NIs");
         // Leftover right half is a connected mesh: 2*(3*8 + 4*7) = 104

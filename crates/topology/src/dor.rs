@@ -46,10 +46,9 @@ fn line_next_hops(edges: &[DimEdge], size: usize, target: u8) -> Vec<Option<Port
     loop {
         let mut best = None;
         for i in 0..size {
-            if !done[i] && dist[i] < INF
-                && best.is_none_or(|b: usize| dist[i] < dist[b]) {
-                    best = Some(i);
-                }
+            if !done[i] && dist[i] < INF && best.is_none_or(|b: usize| dist[i] < dist[b]) {
+                best = Some(i);
+            }
         }
         let Some(u) = best else { break };
         done[u] = true;
@@ -98,8 +97,7 @@ fn edge_cost(e: &DimEdge) -> u32 {
 
 /// Whether traversing `e` strictly decreases the distance to `target`.
 fn decreases(e: &DimEdge, target: u8) -> bool {
-    (e.to as i32 - target as i32).unsigned_abs()
-        < (e.from as i32 - target as i32).unsigned_abs()
+    (e.to as i32 - target as i32).unsigned_abs() < (e.from as i32 - target as i32).unsigned_abs()
 }
 
 /// Fills `spec.tables` for `vnet` with dimension-ordered routes covering
@@ -218,10 +216,30 @@ mod tests {
     fn line_next_hops_simple_chain() {
         // 0 ->(p0) 1 ->(p0) 2, and reverse with p1.
         let edges = [
-            DimEdge { from: 0, to: 1, latency: 1, src_port: PortId(0) },
-            DimEdge { from: 1, to: 2, latency: 1, src_port: PortId(0) },
-            DimEdge { from: 2, to: 1, latency: 1, src_port: PortId(1) },
-            DimEdge { from: 1, to: 0, latency: 1, src_port: PortId(1) },
+            DimEdge {
+                from: 0,
+                to: 1,
+                latency: 1,
+                src_port: PortId(0),
+            },
+            DimEdge {
+                from: 1,
+                to: 2,
+                latency: 1,
+                src_port: PortId(0),
+            },
+            DimEdge {
+                from: 2,
+                to: 1,
+                latency: 1,
+                src_port: PortId(1),
+            },
+            DimEdge {
+                from: 1,
+                to: 0,
+                latency: 1,
+                src_port: PortId(1),
+            },
         ];
         let next = line_next_hops(&edges, 3, 2);
         assert_eq!(next[0], Some(PortId(0)));
@@ -237,12 +255,31 @@ mod tests {
         // Chain 0-1-2-3 plus express 0 -> 3 (latency 1).
         let mut edges = vec![];
         for i in 0..3u8 {
-            edges.push(DimEdge { from: i, to: i + 1, latency: 1, src_port: PortId(0) });
-            edges.push(DimEdge { from: i + 1, to: i, latency: 1, src_port: PortId(1) });
+            edges.push(DimEdge {
+                from: i,
+                to: i + 1,
+                latency: 1,
+                src_port: PortId(0),
+            });
+            edges.push(DimEdge {
+                from: i + 1,
+                to: i,
+                latency: 1,
+                src_port: PortId(1),
+            });
         }
-        edges.push(DimEdge { from: 0, to: 3, latency: 1, src_port: PortId(3) });
+        edges.push(DimEdge {
+            from: 0,
+            to: 3,
+            latency: 1,
+            src_port: PortId(3),
+        });
         let next = line_next_hops(&edges, 4, 3);
-        assert_eq!(next[0], Some(PortId(3)), "express should win for far target");
+        assert_eq!(
+            next[0],
+            Some(PortId(3)),
+            "express should win for far target"
+        );
         // For target 1, the direct hop wins.
         let next = line_next_hops(&edges, 4, 1);
         assert_eq!(next[0], Some(PortId(0)));
@@ -254,10 +291,25 @@ mod tests {
         // then back (2 steps) beats 4 mesh hops.
         let mut edges = vec![];
         for i in 0..5u8 {
-            edges.push(DimEdge { from: i, to: i + 1, latency: 1, src_port: PortId(0) });
-            edges.push(DimEdge { from: i + 1, to: i, latency: 1, src_port: PortId(1) });
+            edges.push(DimEdge {
+                from: i,
+                to: i + 1,
+                latency: 1,
+                src_port: PortId(0),
+            });
+            edges.push(DimEdge {
+                from: i + 1,
+                to: i,
+                latency: 1,
+                src_port: PortId(1),
+            });
         }
-        edges.push(DimEdge { from: 0, to: 5, latency: 1, src_port: PortId(3) });
+        edges.push(DimEdge {
+            from: 0,
+            to: 5,
+            latency: 1,
+            src_port: PortId(3),
+        });
         let next = line_next_hops(&edges, 6, 4);
         assert_eq!(next[0], Some(PortId(3)), "overshoot path is shorter");
         assert_eq!(next[5], Some(PortId(1)), "come back from overshoot");
@@ -265,7 +317,12 @@ mod tests {
 
     #[test]
     fn line_next_hops_unreachable_stays_none() {
-        let edges = [DimEdge { from: 0, to: 1, latency: 1, src_port: PortId(0) }];
+        let edges = [DimEdge {
+            from: 0,
+            to: 1,
+            latency: 1,
+            src_port: PortId(0),
+        }];
         let next = line_next_hops(&edges, 3, 2);
         assert_eq!(next[0], None);
         assert_eq!(next[1], None);
@@ -281,10 +338,25 @@ mod tests {
         // it toward mesh.
         let mut edges = vec![];
         for i in 0..4u8 {
-            edges.push(DimEdge { from: i, to: i + 1, latency: 1, src_port: PortId(0) });
-            edges.push(DimEdge { from: i + 1, to: i, latency: 1, src_port: PortId(1) });
+            edges.push(DimEdge {
+                from: i,
+                to: i + 1,
+                latency: 1,
+                src_port: PortId(0),
+            });
+            edges.push(DimEdge {
+                from: i + 1,
+                to: i,
+                latency: 1,
+                src_port: PortId(1),
+            });
         }
-        edges.push(DimEdge { from: 0, to: 3, latency: 1, src_port: PortId(3) });
+        edges.push(DimEdge {
+            from: 0,
+            to: 3,
+            latency: 1,
+            src_port: PortId(3),
+        });
         let next = line_next_hops(&edges, 5, 2);
         assert_eq!(next[0], Some(PortId(0)), "monotone path should win the tie");
     }

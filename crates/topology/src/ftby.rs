@@ -251,7 +251,10 @@ mod tests {
     #[test]
     fn hub_of_node() {
         let g = Grid::paper();
-        assert_eq!(ftby_hub_of(g, NodeId(0)).unwrap(), g.router(Coord::new(0, 0)));
+        assert_eq!(
+            ftby_hub_of(g, NodeId(0)).unwrap(),
+            g.router(Coord::new(0, 0))
+        );
         // Node at (3,3) -> hub (2,2).
         let n = g.node(Coord::new(3, 3));
         assert_eq!(ftby_hub_of(g, n).unwrap(), g.router(Coord::new(2, 2)));

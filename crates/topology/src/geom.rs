@@ -3,7 +3,7 @@
 use adaptnoc_sim::ids::{Direction, NodeId, RouterId};
 
 /// A 2D tile coordinate (x grows east, y grows north).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Coord {
     /// Column index.
     pub x: u8,
@@ -54,7 +54,7 @@ impl std::fmt::Display for Coord {
 
 /// A `width x height` grid of tiles. Each tile hosts one router and one
 /// endpoint node with the same dense index (`id = y * width + x`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grid {
     /// Number of columns.
     pub width: u8,
@@ -150,7 +150,7 @@ impl Grid {
 }
 
 /// A rectangular region of tiles (a subNoC footprint).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rect {
     /// Leftmost column.
     pub x: u8,

@@ -9,9 +9,9 @@
 //! discipline that is deadlock-free on any connected graph.
 
 use crate::dor::nodes_of;
-use crate::geom::{Coord, Rect};
 #[cfg(test)]
 use crate::geom::Grid;
+use crate::geom::{Coord, Rect};
 use crate::plan::{BuildError, ChipPlan};
 use crate::regions::mesh_fabric_public as mesh_fabric;
 use adaptnoc_sim::config::SimConfig;
@@ -87,11 +87,8 @@ fn fill_updown_tables(
 ) -> Result<(), BuildError> {
     let grid = plan.grid;
     let routers: Vec<RouterId> = rect.iter().map(|c| grid.router(c)).collect();
-    let in_region: HashMap<RouterId, usize> = routers
-        .iter()
-        .enumerate()
-        .map(|(i, &r)| (r, i))
-        .collect();
+    let in_region: HashMap<RouterId, usize> =
+        routers.iter().enumerate().map(|(i, &r)| (r, i)).collect();
 
     // Directed adjacency with ports, restricted to the region.
     let mut adj: HashMap<RouterId, Vec<(RouterId, PortId)>> = HashMap::new();
@@ -118,9 +115,7 @@ fn fill_updown_tables(
                 continue;
             }
             // Need the reverse channel v -> u for the uplink.
-            let Some(&(_, port_vu)) = adj
-                .get(&v)
-                .and_then(|l| l.iter().find(|(w, _)| *w == u))
+            let Some(&(_, port_vu)) = adj.get(&v).and_then(|l| l.iter().find(|(w, _)| *w == u))
             else {
                 continue;
             };

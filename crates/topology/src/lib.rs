@@ -33,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chip;
+pub mod degraded;
 pub mod dor;
 pub mod ftby;
 pub mod geom;
@@ -45,10 +46,11 @@ pub mod validate;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::chip::{build_chip_spec, mesh_chip};
+    pub use crate::degraded::{degrade_region, surviving_nodes, DegradedPlan};
     pub use crate::dor::fill_dor_tables;
     pub use crate::ftby::ftby_chip;
-    pub use crate::irregular::irregular_region;
     pub use crate::geom::{Coord, Grid, Rect};
+    pub use crate::irregular::irregular_region;
     pub use crate::plan::{express_latency, BuildError, ChipPlan};
     pub use crate::regions::{RegionTopology, TopologyKind};
     pub use crate::shortcut::{choose_shortcut_links, shortcut_chip, TrafficWeight};

@@ -190,7 +190,8 @@ impl ChipPlan {
     /// Attaches the node of tile `c` to its own router's local port.
     pub fn add_local_ni(&mut self, c: Coord) {
         let r = self.grid.router(c);
-        self.spec.add_ni(NiSpec::local(self.grid.node(c), r, LOCAL_PORT));
+        self.spec
+            .add_ni(NiSpec::local(self.grid.node(c), r, LOCAL_PORT));
         self.ni_ports.insert(PortRef::new(r, LOCAL_PORT));
     }
 

@@ -15,7 +15,7 @@ use adaptnoc_sim::ids::{Direction, NodeId, Vnet, LOCAL_PORT};
 use adaptnoc_sim::spec::{ChannelKind, PortRef};
 
 /// The subNoC topologies in the RL action space (Sec. III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TopologyKind {
     /// Plain 2D mesh.
     Mesh,
@@ -92,7 +92,7 @@ impl std::fmt::Display for TopologyKind {
 }
 
 /// A region assignment: a rectangle of the chip configured as one subNoC.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionTopology {
     /// Footprint of the subNoC.
     pub rect: Rect,
@@ -210,9 +210,7 @@ pub fn cmesh_region(plan: &mut ChipPlan, rect: Rect, cfg: &SimConfig) -> Result<
     }
     let grid = plan.grid;
     let hubs: Vec<Coord> = (0..rect.h / 2)
-        .flat_map(|qy| {
-            (0..rect.w / 2).map(move |qx| Coord::new(rect.x + 2 * qx, rect.y + 2 * qy))
-        })
+        .flat_map(|qy| (0..rect.w / 2).map(move |qx| Coord::new(rect.x + 2 * qx, rect.y + 2 * qy)))
         .collect();
 
     // Concentrate the quad's nodes onto the hub; gate the other routers.
@@ -388,7 +386,11 @@ fn torus_dir(from: u8, to: u8, len: u8, x_dim: bool) -> adaptnoc_sim::ids::PortI
         (Direction::North, Direction::South)
     };
     if len < 3 {
-        return if to > from { pos_dir.port() } else { neg_dir.port() };
+        return if to > from {
+            pos_dir.port()
+        } else {
+            neg_dir.port()
+        };
     }
     let fwd = (to as i16 - from as i16).rem_euclid(len as i16) as u8;
     let bwd = len - fwd;
@@ -434,7 +436,12 @@ pub fn express_mesh_region(
     if rect.w >= 4 {
         let xm = rect.x + rect.w / 2;
         for y in rect.y..rect.y_end() {
-            add_seg(plan, Coord::new(rect.x, y), Coord::new(xm, y), ChannelKind::Adaptable);
+            add_seg(
+                plan,
+                Coord::new(rect.x, y),
+                Coord::new(xm, y),
+                ChannelKind::Adaptable,
+            );
             add_seg(
                 plan,
                 Coord::new(xm, y),
@@ -447,13 +454,23 @@ pub fn express_mesh_region(
                 Coord::new(xm, y),
                 ChannelKind::AdaptableReversed,
             );
-            add_seg(plan, Coord::new(xm, y), Coord::new(rect.x, y), ChannelKind::AdaptableReversed);
+            add_seg(
+                plan,
+                Coord::new(xm, y),
+                Coord::new(rect.x, y),
+                ChannelKind::AdaptableReversed,
+            );
         }
     }
     if rect.h >= 4 {
         let ym = rect.y + rect.h / 2;
         for x in rect.x..rect.x_end() {
-            add_seg(plan, Coord::new(x, rect.y), Coord::new(x, ym), ChannelKind::Adaptable);
+            add_seg(
+                plan,
+                Coord::new(x, rect.y),
+                Coord::new(x, ym),
+                ChannelKind::Adaptable,
+            );
             add_seg(
                 plan,
                 Coord::new(x, ym),
@@ -466,7 +483,12 @@ pub fn express_mesh_region(
                 Coord::new(x, ym),
                 ChannelKind::AdaptableReversed,
             );
-            add_seg(plan, Coord::new(x, ym), Coord::new(x, rect.y), ChannelKind::AdaptableReversed);
+            add_seg(
+                plan,
+                Coord::new(x, ym),
+                Coord::new(x, rect.y),
+                ChannelKind::AdaptableReversed,
+            );
         }
     }
 
@@ -664,7 +686,10 @@ mod tests {
         assert_eq!(spec.active_routers(), 4);
         // 2x2 hubs: 2 horizontal + 2 vertical adjacent pairs = 8 channels.
         assert_eq!(spec.channels.len(), 8);
-        assert!(spec.channels.iter().all(|c| c.kind == ChannelKind::Adaptable));
+        assert!(spec
+            .channels
+            .iter()
+            .all(|c| c.kind == ChannelKind::Adaptable));
         // 12 concentrated + 4 local NIs.
         assert_eq!(spec.nis.iter().filter(|n| n.concentration).count(), 12);
     }
@@ -679,8 +704,14 @@ mod tests {
     #[test]
     fn torus_region_adds_wraps_and_datelines() {
         let mut p = plan44();
-        torus_region(&mut p, Rect::new(0, 0, 4, 4), &SimConfig::adapt_noc(), false, false)
-            .unwrap();
+        torus_region(
+            &mut p,
+            Rect::new(0, 0, 4, 4),
+            &SimConfig::adapt_noc(),
+            false,
+            false,
+        )
+        .unwrap();
         let spec = p.finish().unwrap();
         let wraps: Vec<_> = spec.channels.iter().filter(|c| c.dateline).collect();
         // 2 per row * 4 rows + 2 per column * 4 columns = 16.
@@ -693,8 +724,14 @@ mod tests {
     #[test]
     fn torus_small_dimension_skips_wraps() {
         let mut p = ChipPlan::new(Grid::new(4, 2), &SimConfig::adapt_noc());
-        torus_region(&mut p, Rect::new(0, 0, 4, 2), &SimConfig::adapt_noc(), false, false)
-            .unwrap();
+        torus_region(
+            &mut p,
+            Rect::new(0, 0, 4, 2),
+            &SimConfig::adapt_noc(),
+            false,
+            false,
+        )
+        .unwrap();
         let spec = p.finish().unwrap();
         let wraps: Vec<_> = spec.channels.iter().filter(|c| c.dateline).collect();
         // Only row wraps (w=4 >= 3); no column wraps for h=2.
@@ -758,9 +795,16 @@ mod tests {
         let mut p = ChipPlan::new(Grid::new(8, 8), &SimConfig::adapt_noc());
         express_mesh_region(&mut p, Rect::new(0, 0, 8, 8), &SimConfig::adapt_noc()).unwrap();
         let spec = p.finish().unwrap();
-        let segs = spec.channels.iter().filter(|c| c.kind.is_adaptable()).count();
+        let segs = spec
+            .channels
+            .iter()
+            .filter(|c| c.kind.is_adaptable())
+            .count();
         assert!(segs > 0, "express segments must exist");
-        assert!(!spec.channels.iter().any(|c| c.dateline), "no rings, no datelines");
+        assert!(
+            !spec.channels.iter().any(|c| c.dateline),
+            "no rings, no datelines"
+        );
         // Hop savings vs plain mesh.
         use crate::validate::{all_pairs, check_routes_and_deadlock};
         let grid = Grid::new(8, 8);
@@ -789,13 +833,20 @@ mod tests {
     #[test]
     fn torus_tree_combined_builds() {
         let mut p = plan44();
-        torus_tree_region(&mut p, Rect::new(0, 0, 4, 4), None, &[], &SimConfig::adapt_noc())
-            .unwrap();
+        torus_tree_region(
+            &mut p,
+            Rect::new(0, 0, 4, 4),
+            None,
+            &[],
+            &SimConfig::adapt_noc(),
+        )
+        .unwrap();
         let spec = p.finish().unwrap();
         assert!(spec.channels.iter().any(|c| c.dateline));
         assert!(spec
             .channels
             .iter()
-            .any(|c| c.kind == ChannelKind::AdaptableReversed || c.kind == ChannelKind::Adaptable && !c.dateline));
+            .any(|c| c.kind == ChannelKind::AdaptableReversed
+                || c.kind == ChannelKind::Adaptable && !c.dateline));
     }
 }

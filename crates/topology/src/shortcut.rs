@@ -16,7 +16,7 @@ use adaptnoc_sim::spec::{ChannelKind, NetworkSpec, PortRef};
 use std::collections::HashSet;
 
 /// A weighted traffic flow used to choose express-link placement.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficWeight {
     /// Source node.
     pub src: NodeId,
@@ -39,11 +39,7 @@ pub fn shortcut_chip(
     cfg: &SimConfig,
 ) -> Result<NetworkSpec, BuildError> {
     let mut plan = ChipPlan::new(grid, cfg);
-    mesh_region(
-        &mut plan,
-        Rect::new(0, 0, grid.width, grid.height),
-        cfg,
-    )?;
+    mesh_region(&mut plan, Rect::new(0, 0, grid.width, grid.height), cfg)?;
 
     for &(a, b) in links {
         if a.x != b.x && a.y != b.y {
@@ -137,8 +133,10 @@ pub fn choose_shortcut_links(
             .sum()
     };
 
-    let mut scored: Vec<(f64, (Coord, Coord))> =
-        candidates.into_iter().map(|c| (score(c.0, c.1), c)).collect();
+    let mut scored: Vec<(f64, (Coord, Coord))> = candidates
+        .into_iter()
+        .map(|c| (score(c.0, c.1), c))
+        .collect();
     scored.sort_by(|a, b| {
         b.0.partial_cmp(&a.0)
             .unwrap_or(std::cmp::Ordering::Equal)
@@ -212,10 +210,7 @@ mod tests {
             &SimConfig::baseline(),
         )
         .unwrap();
-        assert!(spec
-            .channels
-            .iter()
-            .all(|c| c.kind != ChannelKind::Express));
+        assert!(spec.channels.iter().all(|c| c.kind != ChannelKind::Express));
     }
 
     #[test]

@@ -324,7 +324,8 @@ mod tests {
         let mut spec = mesh_chip(grid, &SimConfig::baseline()).unwrap();
         let a = grid.node(Coord::new(0, 0));
         let b = grid.node(Coord::new(2, 2));
-        spec.tables.clear(Vnet::REQUEST, grid.router(Coord::new(1, 0)), b);
+        spec.tables
+            .clear(Vnet::REQUEST, grid.router(Coord::new(1, 0)), b);
         let err = walk_route(&spec, Vnet::REQUEST, a, b);
         assert!(matches!(err, Err(ValidateError::NoRoute { .. })));
     }

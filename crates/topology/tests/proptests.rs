@@ -1,38 +1,41 @@
-//! Property tests: any valid region assignment must produce a spec whose
-//! routes terminate and whose channel dependency graph is acyclic.
+//! Randomized property tests: any valid region assignment must produce a
+//! spec whose routes terminate and whose channel dependency graph is
+//! acyclic. Cases come from the in-tree seeded PRNG for reproducibility.
 
 use adaptnoc_sim::config::SimConfig;
 use adaptnoc_sim::ids::NodeId;
+use adaptnoc_sim::rng::Rng;
 use adaptnoc_topology::prelude::*;
-use proptest::prelude::*;
 
-fn kind_strategy() -> impl Strategy<Value = TopologyKind> {
-    prop_oneof![
-        Just(TopologyKind::Mesh),
-        Just(TopologyKind::Cmesh),
-        Just(TopologyKind::Torus),
-        Just(TopologyKind::Tree),
-        Just(TopologyKind::TorusTree),
-    ]
+const KINDS: [TopologyKind; 5] = [
+    TopologyKind::Mesh,
+    TopologyKind::Cmesh,
+    TopologyKind::Torus,
+    TopologyKind::Tree,
+    TopologyKind::TorusTree,
+];
+
+fn random_kind(rng: &mut Rng) -> TopologyKind {
+    KINDS[rng.random_below(KINDS.len())]
 }
 
 /// Random even-dimension rect inside the 8x8 grid (even so cmesh always
 /// applies).
-fn rect_strategy() -> impl Strategy<Value = Rect> {
-    (0u8..4, 0u8..4, 1u8..5, 1u8..5).prop_map(|(hx, hy, hw, hh)| {
-        let (x, y, w, h) = (hx * 2, hy * 2, hw * 2, hh * 2);
-        let w = w.min(8 - x);
-        let h = h.min(8 - y);
-        Rect::new(x, y, w, h)
-    })
+fn random_rect(rng: &mut Rng) -> Rect {
+    let x = rng.random_below(4) as u8 * 2;
+    let y = rng.random_below(4) as u8 * 2;
+    let w = (rng.random_range(1, 5) as u8 * 2).min(8 - x);
+    let h = (rng.random_range(1, 5) as u8 * 2).min(8 - y);
+    Rect::new(x, y, w, h)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Single random region: builds, routes terminate, CDG acyclic.
-    #[test]
-    fn random_region_is_sound(rect in rect_strategy(), kind in kind_strategy()) {
+/// Single random region: builds, routes terminate, CDG acyclic.
+#[test]
+fn random_region_is_sound() {
+    let mut rng = Rng::seed_from_u64(0x7090);
+    for _case in 0..48 {
+        let rect = random_rect(&mut rng);
+        let kind = random_kind(&mut rng);
         let cfg = SimConfig::adapt_noc();
         let grid = Grid::paper();
         let spec = build_chip_spec(grid, &[RegionTopology::new(rect, kind)], &cfg)
@@ -41,19 +44,21 @@ proptest! {
         let stats = check_routes_and_deadlock(&spec, &all_pairs(&nodes))
             .unwrap_or_else(|e| panic!("{kind} {rect}: {e}"));
         if nodes.len() > 1 {
-            prop_assert!(stats.routes > 0);
+            assert!(stats.routes > 0);
             // Minimality-ish bound: no route longer than the full perimeter.
-            prop_assert!(stats.max_hops <= (rect.w as usize + rect.h as usize) * 2);
+            assert!(stats.max_hops <= (rect.w as usize + rect.h as usize) * 2);
         }
     }
+}
 
-    /// Random tree root placement inside the region.
-    #[test]
-    fn random_tree_root_is_sound(
-        rect in rect_strategy(),
-        rx in 0u8..8,
-        ry in 0u8..8,
-    ) {
+/// Random tree root placement inside the region.
+#[test]
+fn random_tree_root_is_sound() {
+    let mut rng = Rng::seed_from_u64(0x7EE);
+    for _case in 0..48 {
+        let rect = random_rect(&mut rng);
+        let rx = rng.random_below(8) as u8;
+        let ry = rng.random_below(8) as u8;
         let grid = Grid::paper();
         let root = Coord::new(rect.x + rx % rect.w, rect.y + ry % rect.h);
         let cfg = SimConfig::adapt_noc();
@@ -62,17 +67,22 @@ proptest! {
         let nodes: Vec<NodeId> = rect.iter().map(|c| grid.node(c)).collect();
         check_routes_and_deadlock(&spec, &all_pairs(&nodes)).unwrap();
     }
+}
 
-    /// Two disjoint random regions coexist soundly.
-    #[test]
-    fn split_chip_is_sound(
-        split in 2u8..7,
-        vertical in prop::bool::ANY,
-        k1 in kind_strategy(),
-        k2 in kind_strategy(),
-    ) {
-        let split = split & !1; // even for cmesh
-        prop_assume!((2..=6).contains(&split));
+/// Two disjoint random regions coexist soundly.
+#[test]
+fn split_chip_is_sound() {
+    let mut rng = Rng::seed_from_u64(0x5711);
+    let mut cases = 0;
+    while cases < 48 {
+        let split = rng.random_range(2, 7) as u8 & !1; // even for cmesh
+        if !(2..=6).contains(&split) {
+            continue;
+        }
+        cases += 1;
+        let vertical = rng.random_bool(0.5);
+        let k1 = random_kind(&mut rng);
+        let k2 = random_kind(&mut rng);
         let grid = Grid::paper();
         let (r1, r2) = if vertical {
             (Rect::new(0, 0, split, 8), Rect::new(split, 0, 8 - split, 8))

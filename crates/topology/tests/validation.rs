@@ -100,8 +100,7 @@ fn all_topologies_sound_in_offset_regions() {
             Rect::new(2, 0, 4, 8),
             Rect::new(0, 0, 8, 2),
         ] {
-            let spec =
-                build_chip_spec(grid, &[RegionTopology::new(rect, kind)], &cfg).unwrap();
+            let spec = build_chip_spec(grid, &[RegionTopology::new(rect, kind)], &cfg).unwrap();
             let nodes = region_nodes(&grid, rect);
             let stats = check_routes_and_deadlock(&spec, &all_pairs(&nodes))
                 .unwrap_or_else(|e| panic!("{kind} in {rect}: {e}"));

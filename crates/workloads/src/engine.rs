@@ -15,14 +15,13 @@ use adaptnoc_rl::state::Observation;
 use adaptnoc_sim::flit::{Packet, PacketKind};
 use adaptnoc_sim::ids::NodeId;
 use adaptnoc_sim::network::Network;
+use adaptnoc_sim::rng::Rng;
 use adaptnoc_sim::stats::EpochReport;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Memory-system service parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryParams {
     /// Off-chip access latency at the MC, cycles.
     pub dram_latency: u64,
@@ -61,7 +60,7 @@ struct McState {
 }
 
 /// Per-epoch workload counters for one application.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EpochCounters {
     /// Requests issued (L1D misses).
     pub requests: u64,
@@ -186,7 +185,7 @@ pub struct Workload {
     tag_slot: HashMap<u64, (usize, usize, usize)>,
     next_id: u64,
     next_tag: u64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl Workload {
@@ -249,7 +248,7 @@ impl Workload {
             tag_slot: HashMap::new(),
             next_id: 0,
             next_tag: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -386,7 +385,7 @@ impl Workload {
             for c in 0..n_cores {
                 // Coherence (open loop).
                 if phase.coherence_per_kcycle > 0.0
-                    && self.rng.random::<f64>() < phase.coherence_per_kcycle / 1000.0
+                    && self.rng.random_f64() < phase.coherence_per_kcycle / 1000.0
                 {
                     let src = self.apps[a].cores[c].node;
                     let peer = self.random_peer(a, c);
@@ -404,7 +403,7 @@ impl Workload {
                         continue;
                     }
                     let src = self.apps[a].cores[c].node;
-                    let to_mc = self.rng.random::<f64>() < phase.mc_fraction;
+                    let to_mc = self.rng.random_f64() < phase.mc_fraction;
                     let dst = if to_mc {
                         self.pick_mc(a)
                     } else {
@@ -413,7 +412,10 @@ impl Workload {
                     self.next_tag += 1;
                     self.next_id += 1;
                     let tag = self.next_tag;
-                    if net.inject(Packet::request(self.next_id, src, dst, tag)).is_ok() {
+                    if net
+                        .inject(Packet::request(self.next_id, src, dst, tag))
+                        .is_ok()
+                    {
                         self.apps[a].cores[c].slots[s] = SlotState::Waiting;
                         self.tag_slot.insert(tag, (a, c, s));
                         self.apps[a].epoch.requests += 1;
@@ -449,7 +451,7 @@ impl Workload {
         if n == 0 {
             return app.mc;
         }
-        let k = self.rng.random_range(0..n);
+        let k = self.rng.random_below(n);
         if k < app.mcs.len() {
             app.mcs[k]
         } else {
@@ -463,7 +465,7 @@ impl Workload {
             return self.apps[a].cores[c].node;
         }
         loop {
-            let k = self.rng.random_range(0..n);
+            let k = self.rng.random_below(n);
             if k != c {
                 return self.apps[a].cores[k].node;
             }
@@ -498,10 +500,8 @@ impl Workload {
         let mut out = Vec::with_capacity(self.apps.len());
         for app in self.apps.iter_mut() {
             let rect = layout.regions[app.region_idx].rect;
-            let region_routers: Vec<usize> = rect
-                .iter()
-                .map(|c| layout.grid.router(c).index())
-                .collect();
+            let region_routers: Vec<usize> =
+                rect.iter().map(|c| layout.grid.router(c).index()).collect();
             let r_fwd: u64 = region_routers.iter().map(|&r| fwd[r]).sum();
             let r_occ: u64 = region_routers.iter().map(|&r| occ[r]).sum();
             let n_routers = region_routers.len() as f64;
@@ -517,8 +517,7 @@ impl Workload {
             let power_w =
                 (energy.dynamic_j * dyn_share + energy.static_j * static_share) / window_s;
 
-            let capacity =
-                n_routers * 5.0 * cfg.total_vcs() as f64 * cfg.vc_depth as f64;
+            let capacity = n_routers * 5.0 * cfg.total_vcs() as f64 * cfg.vc_depth as f64;
             let e = app.epoch;
             let obs = Observation {
                 l1d_misses: e.requests as f64,
@@ -555,7 +554,7 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use adaptnoc_sim::config::SimConfig;
     use adaptnoc_topology::prelude::*;
 

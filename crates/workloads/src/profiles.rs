@@ -12,7 +12,7 @@
 //! reply-dominated traffic).
 
 /// Application class (drives default placement and figure grouping).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppClass {
     /// Latency-sensitive multi-threaded CPU application (Parsec).
     Cpu,
@@ -21,7 +21,7 @@ pub enum AppClass {
 }
 
 /// One execution phase of an application.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseParams {
     /// Phase length in cycles.
     pub duration: u64,
@@ -69,7 +69,7 @@ impl PhaseParams {
 }
 
 /// A named application profile.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// Short name from Table II.
     pub name: &'static str,
@@ -128,13 +128,19 @@ pub fn parsec_suite() -> Vec<AppProfile> {
         // ~8% of the time in the paper).
         cpu(
             "SW",
-            vec![p(24_000, 2, 100, 0.35, 0.5, 120.0), p(8_000, 3, 25, 0.65, 0.6, 35.0)],
+            vec![
+                p(24_000, 2, 100, 0.35, 0.5, 120.0),
+                p(8_000, 3, 25, 0.65, 0.6, 35.0),
+            ],
         ),
         // x264: streaming frames; alternating motion-estimation (compute)
         // and reference-fetch (memory) phases.
         cpu(
             "X264",
-            vec![p(16_000, 3, 70, 0.40, 1.0, 90.0), p(10_000, 3, 22, 0.65, 0.8, 30.0)],
+            vec![
+                p(16_000, 3, 70, 0.40, 1.0, 90.0),
+                p(10_000, 3, 22, 0.65, 0.8, 30.0),
+            ],
         ),
         // Ferret: pipelined similarity search; steady moderate traffic with
         // heavy inter-stage communication.
@@ -142,7 +148,10 @@ pub fn parsec_suite() -> Vec<AppProfile> {
         // Bodytrack: bursty per-frame phases.
         cpu(
             "BT",
-            vec![p(20_000, 2, 110, 0.30, 1.2, 140.0), p(8_000, 3, 45, 0.45, 1.5, 60.0)],
+            vec![
+                p(20_000, 2, 110, 0.30, 1.2, 140.0),
+                p(8_000, 3, 45, 0.45, 1.5, 60.0),
+            ],
         ),
         // Canneal: cache-hostile random accesses; the most memory-bound
         // CPU app.
@@ -161,19 +170,28 @@ pub fn rodinia_suite() -> Vec<AppProfile> {
         // phases.
         gpu(
             "BP",
-            vec![p(14_000, 10, 10, 0.70, 0.2, 8.0), p(10_000, 5, 30, 0.40, 0.3, 24.0)],
+            vec![
+                p(14_000, 10, 10, 0.70, 0.2, 8.0),
+                p(10_000, 5, 30, 0.40, 0.3, 24.0),
+            ],
         ),
         // Heart-Wall: image processing with moderate locality.
         gpu("HW", vec![p(30_000, 8, 15, 0.55, 0.2, 14.0)]),
         // Gaussian elimination: shrinking working set; bursty rows.
         gpu(
             "GA",
-            vec![p(12_000, 9, 10, 0.65, 0.2, 10.0), p(8_000, 4, 40, 0.35, 0.2, 30.0)],
+            vec![
+                p(12_000, 9, 10, 0.65, 0.2, 10.0),
+                p(8_000, 4, 40, 0.35, 0.2, 30.0),
+            ],
         ),
         // Breadth-First-Search: irregular frontier expansion.
         gpu(
             "BFS",
-            vec![p(10_000, 9, 12, 0.60, 0.4, 9.0), p(6_000, 3, 60, 0.30, 0.4, 40.0)],
+            vec![
+                p(10_000, 9, 12, 0.60, 0.4, 9.0),
+                p(6_000, 3, 60, 0.30, 0.4, 40.0),
+            ],
         ),
         // Needleman-Wunsch: wavefront over the score matrix; neighbour
         // (L2-slice) dominated.
@@ -205,8 +223,7 @@ mod tests {
             .map(|a| a.name)
             .collect::<Vec<_>>();
         for expected in [
-            "BS", "SW", "X264", "FR", "BT", "CA", "FL", "KM", "BP", "HW", "GA", "BFS", "NW",
-            "HS",
+            "BS", "SW", "X264", "FR", "BT", "CA", "FL", "KM", "BP", "HW", "GA", "BFS", "NW", "HS",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

@@ -4,12 +4,11 @@
 use adaptnoc_sim::flit::Packet;
 use adaptnoc_sim::ids::NodeId;
 use adaptnoc_sim::network::Network;
+use adaptnoc_sim::rng::Rng;
 use adaptnoc_topology::geom::{Coord, Grid, Rect};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Classic NoC traffic patterns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Pattern {
     /// Uniform random destinations.
     Uniform,
@@ -37,7 +36,7 @@ pub struct SyntheticInjector {
     grid: Grid,
     nodes: Vec<NodeId>,
     next_id: u64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl SyntheticInjector {
@@ -51,14 +50,14 @@ impl SyntheticInjector {
             grid,
             nodes: rect.iter().map(|c| grid.node(c)).collect(),
             next_id: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
     fn destination(&mut self, src: Coord) -> NodeId {
         match self.pattern {
             Pattern::Uniform => loop {
-                let d = self.nodes[self.rng.random_range(0..self.nodes.len())];
+                let d = self.nodes[self.rng.random_below(self.nodes.len())];
                 if d != self.grid.node(src) {
                     return d;
                 }
@@ -79,7 +78,7 @@ impl SyntheticInjector {
             Pattern::Neighbor => {
                 let dirs = adaptnoc_sim::ids::Direction::ALL;
                 for _ in 0..8 {
-                    let d = dirs[self.rng.random_range(0..4)];
+                    let d = dirs[self.rng.random_below(4)];
                     if let Some(n) = self.grid.neighbor(src, d) {
                         if self.rect.contains(n) {
                             return self.grid.node(n);
@@ -95,7 +94,7 @@ impl SyntheticInjector {
     pub fn tick(&mut self, net: &mut Network) -> usize {
         let mut offered = 0;
         for i in 0..self.nodes.len() {
-            if self.rng.random::<f64>() >= self.rate {
+            if self.rng.random_f64() >= self.rate {
                 continue;
             }
             let src = self.nodes[i];
@@ -105,7 +104,7 @@ impl SyntheticInjector {
                 continue;
             }
             self.next_id += 1;
-            let pkt = if self.rng.random::<f64>() < self.data_fraction {
+            let pkt = if self.rng.random_f64() < self.data_fraction {
                 Packet::reply(self.next_id, src, dst, 0)
             } else {
                 Packet::request(self.next_id, src, dst, 0)
@@ -169,13 +168,8 @@ mod tests {
     fn hotspot_targets_single_node() {
         let grid = Grid::new(4, 4);
         let hot = grid.node(Coord::new(0, 0));
-        let mut inj = SyntheticInjector::new(
-            grid,
-            Rect::new(0, 0, 4, 4),
-            Pattern::Hotspot(hot),
-            0.1,
-            1,
-        );
+        let mut inj =
+            SyntheticInjector::new(grid, Rect::new(0, 0, 4, 4), Pattern::Hotspot(hot), 0.1, 1);
         let mut net = net();
         for _ in 0..500 {
             inj.tick(&mut net);
@@ -215,9 +209,6 @@ mod tests {
         };
         let low = run(0.02);
         let high = run(0.45);
-        assert!(
-            high > low * 1.3,
-            "load must raise latency: {low} -> {high}"
-        );
+        assert!(high > low * 1.3, "load must raise latency: {low} -> {high}");
     }
 }

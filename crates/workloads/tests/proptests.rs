@@ -1,46 +1,41 @@
-//! Property tests for the workload engine: request/reply bookkeeping stays
-//! consistent for arbitrary profile parameters.
+//! Randomized tests for the workload engine: request/reply bookkeeping
+//! stays consistent for arbitrary profile parameters. Cases come from the
+//! in-tree seeded PRNG for reproducibility.
 
 use adaptnoc_core::prelude::*;
 use adaptnoc_sim::config::SimConfig;
 use adaptnoc_sim::network::Network;
+use adaptnoc_sim::rng::Rng;
 use adaptnoc_topology::prelude::*;
 use adaptnoc_workloads::prelude::*;
-use proptest::prelude::*;
 
-fn profile_strategy() -> impl Strategy<Value = AppProfile> {
-    (
-        1u8..16,
-        1u16..120,
-        0.0f64..1.0,
-        0.0f64..3.0,
-        1.0f64..120.0,
-        prop::bool::ANY,
-    )
-        .prop_map(|(mlp, think, mc_frac, coh, ipr, gpu)| AppProfile {
-            name: "RAND",
-            class: if gpu { AppClass::Gpu } else { AppClass::Cpu },
-            phases: vec![PhaseParams {
-                duration: 5_000,
-                mlp,
-                think_time: think,
-                mc_fraction: mc_frac,
-                coherence_per_kcycle: coh,
-                insts_per_request: ipr,
-                l1i_miss_ratio: 0.03,
-            }],
-            insts_per_core: 1e12,
-        })
+fn random_profile(rng: &mut Rng) -> AppProfile {
+    let gpu = rng.random_bool(0.5);
+    AppProfile {
+        name: "RAND",
+        class: if gpu { AppClass::Gpu } else { AppClass::Cpu },
+        phases: vec![PhaseParams {
+            duration: 5_000,
+            mlp: rng.random_range(1, 16) as u8,
+            think_time: rng.random_range(1, 120) as u16,
+            mc_fraction: rng.random_f64(),
+            coherence_per_kcycle: rng.random_f64_range(0.0, 3.0),
+            insts_per_request: rng.random_f64_range(1.0, 120.0),
+            l1i_miss_ratio: 0.03,
+        }],
+        insts_per_core: 1e12,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// For any profile: replies never exceed requests, instruction
-    /// accounting matches completed round trips, and after the cores stop
-    /// issuing, the network drains with all bookkeeping settled.
-    #[test]
-    fn workload_bookkeeping_is_consistent(profile in profile_strategy(), seed in 0u64..100) {
+/// For any profile: replies never exceed requests, instruction
+/// accounting matches completed round trips, and after the cores stop
+/// issuing, the network drains with all bookkeeping settled.
+#[test]
+fn workload_bookkeeping_is_consistent() {
+    let mut rng = Rng::seed_from_u64(0xB00C);
+    for _case in 0..16 {
+        let profile = random_profile(&mut rng);
+        let seed = rng.random_below(100) as u64;
         let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), profile.class == AppClass::Gpu);
         let cfg = SimConfig::baseline();
         let spec = mesh_chip(layout.grid, &cfg).unwrap();
@@ -51,10 +46,15 @@ proptest! {
             net.step();
         }
         let e = wl.apps[0].epoch;
-        prop_assert!(e.replies <= e.requests, "replies {} > requests {}", e.replies, e.requests);
-        prop_assert!(e.mc_requests <= e.requests);
+        assert!(
+            e.replies <= e.requests,
+            "replies {} > requests {}",
+            e.replies,
+            e.requests
+        );
+        assert!(e.mc_requests <= e.requests);
         let expected_insts = e.replies as f64 * profile.phases[0].insts_per_request;
-        prop_assert!((e.insts - expected_insts).abs() < 1e-6);
+        assert!((e.insts - expected_insts).abs() < 1e-6);
 
         // Freeze issue (finish the app) and let the network drain; every
         // outstanding request must complete.
@@ -67,7 +67,7 @@ proptest! {
             if net.in_flight() == 0 {
                 break;
             }
-            prop_assert!(guard < 200_000, "drain hung");
+            assert!(guard < 200_000, "drain hung");
         }
         // After the drain, MC/L2 service queues may still hold entries for
         // a few more cycles; run the service models dry.
@@ -79,25 +79,29 @@ proptest! {
             wl.tick(&mut net);
             net.step();
         }
-        prop_assert_eq!(net.unroutable_events(), 0);
+        assert_eq!(net.unroutable_events(), 0);
     }
+}
 
-    /// Deterministic replay: the same seed produces the same counters.
-    #[test]
-    fn workload_is_deterministic(seed in 0u64..50) {
-        let run = |seed: u64| {
-            let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), true);
-            let cfg = SimConfig::baseline();
-            let spec = mesh_chip(layout.grid, &cfg).unwrap();
-            let mut net = Network::new(spec, cfg).unwrap();
-            let mut wl = Workload::new(&layout, &[by_name("KM").unwrap()], seed);
-            for _ in 0..3_000 {
-                wl.tick(&mut net);
-                net.step();
-            }
-            let e = wl.apps[0].epoch;
-            (e.requests, e.replies, e.coherence_sent, e.net_lat_sum)
-        };
-        prop_assert_eq!(run(seed), run(seed));
+/// Deterministic replay: the same seed produces the same counters.
+#[test]
+fn workload_is_deterministic() {
+    let run = |seed: u64| {
+        let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), true);
+        let cfg = SimConfig::baseline();
+        let spec = mesh_chip(layout.grid, &cfg).unwrap();
+        let mut net = Network::new(spec, cfg).unwrap();
+        let mut wl = Workload::new(&layout, &[by_name("KM").unwrap()], seed);
+        for _ in 0..3_000 {
+            wl.tick(&mut net);
+            net.step();
+        }
+        let e = wl.apps[0].epoch;
+        (e.requests, e.replies, e.coherence_sent, e.net_lat_sum)
+    };
+    let mut rng = Rng::seed_from_u64(0xD7E);
+    for _case in 0..8 {
+        let seed = rng.random_below(50) as u64;
+        assert_eq!(run(seed), run(seed));
     }
 }

@@ -126,7 +126,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n.step();
         delivered += n.drain_delivered().len() as u64;
     }
-    println!("\ninjected {injected}, delivered {delivered} — lossless: {}", injected == delivered);
+    println!(
+        "\ninjected {injected}, delivered {delivered} — lossless: {}",
+        injected == delivered
+    );
     assert_eq!(injected, delivered);
     Ok(())
 }

@@ -1,0 +1,108 @@
+//! Watches the fault-injection subsystem survive a transient link outage
+//! and then a permanent link loss on a live 4x4 mesh: NACKed packets are
+//! retried with exponential backoff, and the permanent fault triggers a
+//! live recomputation of the subNoC's routes over the degraded graph,
+//! swapped in by the reconfiguration protocol while traffic keeps flowing.
+//!
+//! Deterministic: every run prints byte-identical output.
+//!
+//! ```sh
+//! cargo run --release --example fault_recovery
+//! ```
+
+use adaptnoc::faults::prelude::*;
+use adaptnoc::sim::config::SimConfig;
+use adaptnoc::sim::network::Network;
+use adaptnoc::sim::prelude::{NodeId, Packet};
+use adaptnoc::topology::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid::new(4, 4);
+    let rect = Rect::new(0, 0, 4, 4);
+    let cfg = SimConfig::baseline();
+    let spec = mesh_chip(grid, &cfg)?;
+    let mut net = Network::new(spec, cfg.clone())?;
+
+    // The east-bound link out of router (1,1): first a 60-cycle transient
+    // outage at cycle 50, then a permanent loss of the same link at 400.
+    let key = net
+        .spec()
+        .channels
+        .iter()
+        .find(|c| {
+            c.src.router == grid.router(Coord::new(1, 1))
+                && c.dst.router == grid.router(Coord::new(2, 1))
+        })
+        .map(|c| c.key())
+        .expect("mesh link (1,1)->(2,1)");
+    let schedule = FaultSchedule::new(vec![
+        FaultEvent {
+            at: 50,
+            kind: FaultKind::TransientLink { key, duration: 60 },
+        },
+        FaultEvent {
+            at: 400,
+            kind: FaultKind::PermanentLink { key },
+        },
+    ]);
+    let mut ctl = FaultController::new(
+        schedule,
+        RetryPolicy::default(),
+        grid,
+        rect,
+        cfg,
+        ReconfigTiming::default(),
+    );
+    println!("fault plan: transient @50 (heals @110), permanent @400 on {key:?}\n");
+
+    // Closed-loop stride traffic; every node talks across the chip.
+    let mut next_id = 0u64;
+    for cycle in 0..4_000u64 {
+        let now = net.now();
+        if now < 800 && now % 8 == 0 {
+            for i in 0..16u16 {
+                next_id += 1;
+                net.inject(Packet::request(next_id, NodeId(i), NodeId((i + 5) % 16), 0))?;
+            }
+        }
+        net.step();
+        ctl.tick(&mut net)?;
+        if cycle >= 800 && net.in_flight() == 0 && ctl.settled() {
+            break;
+        }
+    }
+
+    let s = net.totals().stats;
+    let st = ctl.stats();
+    println!("offered   {:>6}", s.packets_offered);
+    println!(
+        "delivered {:>6}  (delivery ratio {:.4})",
+        s.packets,
+        s.delivery_ratio()
+    );
+    println!("nacked    {:>6}", s.nacks);
+    println!("retried   {:>6}", s.retries);
+    println!("dropped   {:>6}", s.drops);
+    println!(
+        "\ntransients fired: {} | permanent links fired: {}",
+        st.transients_fired, st.permanent_links_fired
+    );
+    for (i, r) in st.recoveries.iter().enumerate() {
+        println!(
+            "recovery #{}: fault @{} -> recovered @{} ({} cycles), disconnected {:?}, reversed {:?}",
+            i + 1,
+            r.fault_at,
+            r.recovered_at,
+            r.time_to_recover(),
+            r.disconnected,
+            r.reversed
+        );
+    }
+    println!(
+        "\nthe dead link is gone from the live spec: {}",
+        !net.spec().channels.iter().any(|c| c.key() == key)
+    );
+    assert_eq!(s.drops, 0, "nothing dropped in this scenario");
+    assert_eq!(s.packets, s.packets_offered, "everything delivered");
+    Ok(())
+}

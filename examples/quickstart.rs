@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let delivered = net.drain_delivered();
-    println!("\ndelivered {} packets in {} cycles", delivered.len(), net.now());
+    println!(
+        "\ndelivered {} packets in {} cycles",
+        delivered.len(),
+        net.now()
+    );
 
     let report = net.totals();
     println!(

@@ -47,7 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (from, to) in plan {
         let fast = keeps_mesh(from) && keeps_mesh(to);
         let transitional = fast.then(|| spec_of(TopologyKind::Mesh, &cfg).tables);
-        let mut rc = RegionReconfig::start(&net, &grid, rect, spec_of(to, &cfg), transitional, timing);
+        let mut rc =
+            RegionReconfig::start(&net, &grid, rect, spec_of(to, &cfg), transitional, timing);
         let mut stage_log = Vec::new();
         let mut last = format!("{:?}", rc.stage);
         loop {

@@ -52,7 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     };
 
-    let base = run_design(DesignKind::Baseline, &layout, std::slice::from_ref(&profile), vec![], &rc)?;
+    let base = run_design(
+        DesignKind::Baseline,
+        &layout,
+        std::slice::from_ref(&profile),
+        vec![],
+        &rc,
+    )?;
     print_row("baseline mesh (3 VC)", &base);
 
     for kind in TopologyKind::ACTIONS {
@@ -66,7 +72,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print_row(&format!("adapt {} (2 VC)", kind.name()), &r);
     }
 
-    let ftby = run_design(DesignKind::Ftby, &layout, std::slice::from_ref(&profile), vec![], &rc)?;
+    let ftby = run_design(
+        DesignKind::Ftby,
+        &layout,
+        std::slice::from_ref(&profile),
+        vec![],
+        &rc,
+    )?;
     print_row("flattened butterfly", &ftby);
 
     println!(

@@ -15,6 +15,9 @@
 //!   subNoC management, deadlock-free reconfiguration, MC sharing, the
 //!   seven evaluated designs.
 //! * [`workloads`] — synthetic Parsec/Rodinia closed-loop applications.
+//! * [`faults`] — fault injection and resilience: NACK/retry recovery of
+//!   in-flight packets and live rerouting of subNoCs around permanent
+//!   link/router failures.
 //! * `bench` — the harness regenerating every figure and table.
 //!
 //! See `examples/` for runnable entry points and `DESIGN.md` /
@@ -24,6 +27,7 @@
 
 pub use adaptnoc_bench as bench;
 pub use adaptnoc_core as core;
+pub use adaptnoc_faults as faults;
 pub use adaptnoc_power as power;
 pub use adaptnoc_rl as rl;
 pub use adaptnoc_sim as sim;

@@ -206,7 +206,10 @@ fn mc_sharing_increases_memory_throughput() {
     // neighbour's MC completes more round trips per epoch.
     let layout = ChipLayout::new(
         Grid::paper(),
-        &[(Rect::new(0, 0, 4, 8), true), (Rect::new(4, 0, 4, 8), false)],
+        &[
+            (Rect::new(0, 0, 4, 8), true),
+            (Rect::new(4, 0, 4, 8), false),
+        ],
     );
     let profiles = vec![by_name("KM").unwrap(), by_name("BS").unwrap()];
     let replies = |share: bool| -> u64 {
@@ -269,8 +272,7 @@ fn adaptable_link_inventory_holds_for_every_chip_state() {
                 &cfg,
             )
             .unwrap();
-            check_adaptable_links(&grid, &spec)
-                .unwrap_or_else(|e| panic!("{k1}+{k2}: {e}"));
+            check_adaptable_links(&grid, &spec).unwrap_or_else(|e| panic!("{k1}+{k2}: {e}"));
         }
     }
 }
