@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test check fmt clippy ci faults figures clean
+.PHONY: all build test check fmt clippy ci faults figures perf clean
 
 all: build
 
@@ -34,7 +34,12 @@ faults:
 	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures -- --quick --only faults
 
 figures:
-	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures
+	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures -- --threads 0
+
+# Simulator throughput benchmark (mirrors CI's perf-smoke job); writes a
+# BENCH_<date>.json-style record. --threads 0 auto-detects host cores.
+perf:
+	$(CARGO) run --release --offline -p adaptnoc-bench --bin speed -- --threads 0 --json BENCH_$$(date +%F).json
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,96 @@
+//! Topology-ablation campaign: hold each candidate subNoC topology fixed.
+//!
+//! The adaptive designs owe their wins to choosing among the four
+//! candidate topologies at runtime; this campaign ablates that choice by
+//! pinning one topology for the whole run (per seed), quantifying what
+//! each candidate contributes on its own. Every `topology x seed` point is
+//! an independent simulation, so the campaign fans out over the parallel
+//! runner and — like the fault sweep — must stay byte-identical to a
+//! serial run.
+
+use crate::harness::{fixed_policies, run_design, RunConfig};
+use crate::parallel::run_indexed;
+use adaptnoc_core::prelude::*;
+use adaptnoc_topology::prelude::*;
+use adaptnoc_workloads::prelude::*;
+
+/// One `topology x seed` ablation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Pinned topology name.
+    pub topology: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Mean total packet latency, cycles.
+    pub packet_latency: f64,
+    /// Mean network latency, cycles.
+    pub network_latency: f64,
+    /// Mean queuing latency, cycles.
+    pub queuing_latency: f64,
+    /// Mean hop count.
+    pub hops: f64,
+    /// NoC energy over the measured window, joules.
+    pub energy_j: f64,
+    /// Delivered packets in the measured window.
+    pub delivered: u64,
+}
+
+/// Runs the topology ablation (every candidate topology x every seed) on a
+/// single 4x4 CPU region, fanning the points across `threads` workers.
+///
+/// # Errors
+///
+/// Propagates [`ControlError`] from any run.
+pub fn ablation_sweep(
+    seeds: &[u64],
+    rc: &RunConfig,
+    threads: usize,
+) -> Result<Vec<AblationRow>, ControlError> {
+    let kinds = TopologyKind::ACTIONS;
+    let n = kinds.len() * seeds.len();
+    let rows = run_indexed(n, threads, |i| {
+        let kind = kinds[i / seeds.len()];
+        let seed = seeds[i % seeds.len()];
+        let layout = ChipLayout::single(Rect::new(0, 0, 4, 4), false);
+        let profiles = vec![by_name("BS").expect("known app")];
+        let r = run_design(
+            DesignKind::AdaptNocNoRl,
+            &layout,
+            &profiles,
+            fixed_policies(&[kind]),
+            &RunConfig { seed, ..*rc },
+        )?;
+        Ok(AblationRow {
+            topology: kind.name().to_string(),
+            seed,
+            packet_latency: r.packet_latency(),
+            network_latency: r.network_latency,
+            queuing_latency: r.queuing_latency,
+            hops: r.hops,
+            energy_j: r.energy.total_j(),
+            delivered: r.apps.iter().map(|a| a.delivered).sum(),
+        })
+    });
+    rows.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_covers_all_topologies_per_seed() {
+        let rc = RunConfig {
+            epoch_cycles: 3_000,
+            epochs: 1,
+            warmup_epochs: 1,
+            ..Default::default()
+        };
+        let rows = ablation_sweep(&[3, 4], &rc, 1).unwrap();
+        assert_eq!(rows.len(), TopologyKind::ACTIONS.len() * 2);
+        for r in &rows {
+            assert!(r.packet_latency > 0.0, "{} produced no latency", r.topology);
+            assert!(r.delivered > 0);
+        }
+    }
+}

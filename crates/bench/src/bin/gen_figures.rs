@@ -1,6 +1,11 @@
 //! Regenerates every evaluation figure and table of the paper.
 //!
-//! Usage: `cargo run --release -p adaptnoc-bench --bin gen-figures [--quick] [--only figNN,...]`
+//! Usage: `cargo run --release -p adaptnoc-bench --bin gen-figures
+//! [--quick] [--only figNN,...] [--threads N]`
+//!
+//! `--threads N` fans independent simulation points across N workers
+//! (0 = auto-detect; the default, 1, runs serially). Output is
+//! byte-identical at any thread count.
 //!
 //! Prints the same rows/series the paper reports (normalized to the
 //! baseline design) and writes machine-readable JSON next to the text.
@@ -19,11 +24,18 @@ fn main() {
         .position(|a| a == "--only")
         .and_then(|i| args.get(i + 1))
         .map(|list| list.split(',').map(|s| s.trim().to_string()).collect());
-    let scale = if quick {
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| configured_threads(v.parse().expect("--threads takes a number")))
+        .unwrap_or(1);
+    let mut scale = if quick {
         FigScale::quick()
     } else {
         FigScale::full()
     };
+    scale.threads = threads;
     let want = |name: &str| only.as_ref().is_none_or(|o| o.contains(name));
     let t0 = Instant::now();
     // Merge into any existing results so partial (--only) runs refresh
@@ -138,10 +150,27 @@ fn main() {
         json.insert("fig19", rows_json(&rows));
     }
 
+    if want("ablations") {
+        banner("Ablation: each candidate topology held fixed (4x4, BS)");
+        let seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
+        let rows = ablation_sweep(seeds, &scale.rc, scale.threads).expect("ablation sweep");
+        println!(
+            "{:<10} {:>5} {:>10} {:>8} {:>12} {:>10}",
+            "topology", "seed", "pkt-lat", "hops", "energy-j", "delivered"
+        );
+        for r in &rows {
+            println!(
+                "{:<10} {:>5} {:>10.2} {:>8.3} {:>12.3e} {:>10}",
+                r.topology, r.seed, r.packet_latency, r.hops, r.energy_j, r.delivered
+            );
+        }
+        json.insert("ablations", rows_json(&rows));
+    }
+
     if want("faults") {
         banner("Fault sweep: resilience under seeded fault schedules (4x4 mesh)");
         let seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
-        let rows = fault_sweep(seeds).expect("fault sweep");
+        let rows = fault_sweep_par(seeds, scale.threads).expect("fault sweep");
         println!(
             "{:<16} {:>5} {:>9} {:>7} {:>7} {:>6} {:>10} {:>8} {:>8}",
             "scenario", "seed", "delivery", "nacks", "drops", "recov", "ttr", "lat", "dead"

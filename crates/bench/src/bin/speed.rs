@@ -1,24 +1,79 @@
+//! Simulator throughput benchmark.
+//!
+//! Usage: `cargo run --release -p adaptnoc-bench --bin speed --
+//! [--cycles N] [--threads N] [--json PATH] [--full-sweep]`
+//!
+//! Measures three workloads on the paper's mixed chip: an idle network
+//! (active-set fast path), the full three-app workload (steady-state
+//! load), and a parallel fault-sweep campaign scaled by `--threads`
+//! (0 = auto-detect host parallelism). `--full-sweep` disables active-set
+//! scheduling so the two modes can be compared directly. With `--json`,
+//! writes a `BENCH_<date>.json`-style record (cycles/sec, wall-clock,
+//! host cores) for tracking performance across commits.
+
+use adaptnoc_bench::parallel::configured_threads;
+use adaptnoc_bench::prelude::*;
 use adaptnoc_core::prelude::*;
+use adaptnoc_sim::json::Value;
 use adaptnoc_sim::prelude::*;
 use adaptnoc_topology::prelude::*;
 use adaptnoc_workloads::prelude::*;
 use std::time::Instant;
 
+struct Args {
+    cycles: u64,
+    threads: usize,
+    json: Option<String>,
+    full_sweep: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    Args {
+        cycles: get("--cycles").map_or(200_000, |v| v.parse().expect("--cycles takes a number")),
+        threads: configured_threads(
+            get("--threads").map_or(1, |v| v.parse().expect("--threads takes a number")),
+        ),
+        json: get("--json"),
+        full_sweep: argv.iter().any(|a| a == "--full-sweep"),
+    }
+}
+
 fn main() {
+    let args = parse_args();
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let layout = ChipLayout::paper_mixed();
     let cfg = SimConfig::baseline();
+    let kcycles = args.cycles as f64 / 1_000.0;
+    let mut record: Vec<(String, Value)> = vec![
+        ("host_cores".into(), Value::Number(host_cores as f64)),
+        ("threads".into(), Value::Number(args.threads as f64)),
+        ("cycles".into(), Value::Number(args.cycles as f64)),
+        ("full_sweep".into(), Value::Bool(args.full_sweep)),
+    ];
 
-    // 1) Network alone, no traffic.
+    // 1) Network alone, no traffic — pure scheduler overhead.
     let spec = mesh_chip(layout.grid, &cfg).unwrap();
     let mut net = Network::new(spec.clone(), cfg.clone()).unwrap();
+    net.set_full_sweep(args.full_sweep);
     let t0 = Instant::now();
-    for _ in 0..200_000 {
+    for _ in 0..args.cycles {
         net.step();
     }
-    println!("idle net: {:.1} Kc/s", 200.0 / t0.elapsed().as_secs_f64());
+    let idle_s = t0.elapsed().as_secs_f64();
+    println!("idle net: {:.1} Kc/s", kcycles / idle_s);
+    record.push(("idle_kcps".into(), Value::Number(kcycles / idle_s)));
+    record.push(("idle_wall_s".into(), Value::Number(idle_s)));
 
-    // 2) Net + workload ticks but skipping network processing of load:
-    let mut net = Network::new(spec.clone(), cfg.clone()).unwrap();
+    // 2) Net + the three-app mixed workload under steady load.
+    let mut net = Network::new(spec, cfg).unwrap();
+    net.set_full_sweep(args.full_sweep);
     let profiles = vec![
         by_name("CA").unwrap(),
         by_name("KM").unwrap(),
@@ -26,13 +81,35 @@ fn main() {
     ];
     let mut wl = Workload::new(&layout, &profiles, 1);
     let t0 = Instant::now();
-    for _ in 0..200_000 {
+    for _ in 0..args.cycles {
         wl.tick(&mut net);
         net.step();
     }
+    let full_s = t0.elapsed().as_secs_f64();
+    let pkts = net.totals().stats.packets;
+    println!("full: {:.1} Kc/s, pkts {}", kcycles / full_s, pkts);
+    record.push(("full_kcps".into(), Value::Number(kcycles / full_s)));
+    record.push(("full_wall_s".into(), Value::Number(full_s)));
+    record.push(("full_packets".into(), Value::Number(pkts as f64)));
+
+    // 3) Campaign fan-out: the fault sweep across `--threads` workers
+    // (one seed per potential worker so there is work to steal).
+    let seeds: Vec<u64> = (1..=args.threads.max(2) as u64).collect();
+    let t0 = Instant::now();
+    let rows = fault_sweep_par(&seeds, args.threads).expect("fault sweep");
+    let campaign_s = t0.elapsed().as_secs_f64();
     println!(
-        "full: {:.1} Kc/s, pkts {}",
-        200.0 / t0.elapsed().as_secs_f64(),
-        net.totals().stats.packets
+        "campaign: {} points in {:.2}s on {} thread(s)",
+        rows.len(),
+        campaign_s,
+        args.threads
     );
+    record.push(("campaign_points".into(), Value::Number(rows.len() as f64)));
+    record.push(("campaign_wall_s".into(), Value::Number(campaign_s)));
+
+    if let Some(path) = args.json {
+        let body = Value::Object(record).to_string_pretty();
+        std::fs::write(&path, body).expect("write --json output");
+        println!("wrote {path}");
+    }
 }

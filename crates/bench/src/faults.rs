@@ -77,21 +77,31 @@ fn scenario_params(name: &str) -> ScheduleParams {
     }
 }
 
-/// Runs the fault-sweep campaign for every scenario x seed.
+/// Runs the fault-sweep campaign for every scenario x seed, serially.
 ///
 /// # Errors
 ///
 /// Propagates [`FaultError`] from the controller (a validation or protocol
 /// failure, which indicates a bug rather than an unsurvivable fault).
 pub fn fault_sweep(seeds: &[u64]) -> Result<Vec<FaultRow>, FaultError> {
+    fault_sweep_par(seeds, 1)
+}
+
+/// Runs the fault-sweep campaign with the scenario x seed grid fanned
+/// across `threads` workers. Every point builds its own network and
+/// schedule from its seed, so the rows are byte-identical to
+/// [`fault_sweep`] at any thread count.
+///
+/// # Errors
+///
+/// Propagates [`FaultError`] from the controller.
+pub fn fault_sweep_par(seeds: &[u64], threads: usize) -> Result<Vec<FaultRow>, FaultError> {
     const SCENARIOS: [&str; 4] = ["transient-burst", "single-link", "mixed", "router-down"];
-    let mut rows = Vec::new();
-    for scenario in SCENARIOS {
-        for &seed in seeds {
-            rows.push(run_scenario(scenario, seed)?);
-        }
-    }
-    Ok(rows)
+    let n = SCENARIOS.len() * seeds.len();
+    let rows = crate::parallel::run_indexed(n, threads, |i| {
+        run_scenario(SCENARIOS[i / seeds.len()], seeds[i % seeds.len()])
+    });
+    rows.into_iter().collect()
 }
 
 fn run_scenario(scenario: &str, seed: u64) -> Result<FaultRow, FaultError> {

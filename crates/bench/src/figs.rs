@@ -6,7 +6,8 @@
 //! the authors' testbed); the comparisons are reported normalized to the
 //! baseline exactly as the paper presents them.
 
-use crate::harness::{fixed_policies, oracle_policies, run_design, RunConfig, RunResult};
+use crate::harness::{fixed_policies, oracle_policies_par, run_design, RunConfig, RunResult};
+use crate::parallel::run_indexed;
 use crate::training::{train_dqn, TrainConfig};
 use adaptnoc_core::prelude::*;
 use adaptnoc_rl::dqn::{DqnConfig, TrainedPolicy};
@@ -26,6 +27,9 @@ pub struct FigScale {
     pub train: TrainConfig,
     /// Number of mixed-workload combinations to average.
     pub mixes: usize,
+    /// Worker threads for fanning independent simulation points
+    /// (see [`crate::parallel`]); results are identical at any count.
+    pub threads: usize,
 }
 
 impl FigScale {
@@ -52,6 +56,7 @@ impl FigScale {
             },
             train: TrainConfig::default(),
             mixes: 2,
+            threads: 1,
         }
     }
 
@@ -78,6 +83,7 @@ impl FigScale {
             },
             train: TrainConfig::tiny(),
             mixes: 1,
+            threads: 1,
         }
     }
 }
@@ -172,38 +178,54 @@ pub fn mixed_campaign(scale: &FigScale) -> Result<Vec<MixedRow>, ControlError> {
     let all_mixes = mixes();
     let used: Vec<&[&str; 3]> = all_mixes.iter().take(scale.mixes.max(1)).collect();
 
-    // Accumulate per design over mixes (latency sums, exec, energy splits,
-    // EDP).
-    #[derive(Default, Clone, Copy)]
-    struct Acc(f64, f64, f64, f64, f64, f64, f64, f64);
-    let mut sums: Vec<Acc> = vec![Acc::default(); DesignKind::ALL.len()];
+    // Phase 1: per-mix oracles (each oracle fans its region x candidate
+    // grid internally).
+    let mut oracles: Vec<Vec<TopologyKind>> = Vec::new();
     for names in &used {
         let profiles = mix_profiles(names);
-        let oracle = oracle_policies(&layout, &profiles, &scale.rc_oracle)?;
-        let oracle_kinds: Vec<TopologyKind> = oracle
-            .iter()
-            .map(|p| match p {
-                TopologyPolicy::Fixed(k) => *k,
-                _ => TopologyKind::Mesh,
-            })
-            .collect();
-        for (di, kind) in DesignKind::ALL.iter().enumerate() {
-            let policies = match kind {
-                DesignKind::AdaptNocNoRl => fixed_policies(&oracle_kinds),
-                DesignKind::AdaptNoc => adapt_policies(&policy, layout.regions.len()),
-                _ => vec![],
-            };
-            let r = run_design(*kind, &layout, &profiles, policies, &scale.rc_completion)?;
-            let s = &mut sums[di];
-            s.0 += r.network_latency;
-            s.1 += r.queuing_latency;
-            s.2 += r.packet_latency();
-            s.3 += r.execution_time.unwrap_or(r.cycles) as f64;
-            s.4 += r.energy.total_j();
-            s.5 += r.energy.dynamic_j;
-            s.6 += r.energy.static_j;
-            s.7 += r.edp();
-        }
+        let oracle = oracle_policies_par(&layout, &profiles, &scale.rc_oracle, scale.threads)?;
+        oracles.push(
+            oracle
+                .iter()
+                .map(|p| match p {
+                    TopologyPolicy::Fixed(k) => *k,
+                    _ => TopologyKind::Mesh,
+                })
+                .collect(),
+        );
+    }
+
+    // Phase 2: the mix x design measurement grid, fully independent points.
+    let designs = DesignKind::ALL;
+    let results = run_indexed(used.len() * designs.len(), scale.threads, |i| {
+        let (mi, di) = (i / designs.len(), i % designs.len());
+        let kind = designs[di];
+        let profiles = mix_profiles(used[mi]);
+        let policies = match kind {
+            DesignKind::AdaptNocNoRl => fixed_policies(&oracles[mi]),
+            DesignKind::AdaptNoc => adapt_policies(&policy, layout.regions.len()),
+            _ => vec![],
+        };
+        run_design(kind, &layout, &profiles, policies, &scale.rc_completion)
+    });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    // Accumulate per design over mixes (latency sums, exec, energy splits,
+    // EDP); the reduction walks results in grid order, so it matches the
+    // serial loop exactly.
+    #[derive(Default, Clone, Copy)]
+    struct Acc(f64, f64, f64, f64, f64, f64, f64, f64);
+    let mut sums: Vec<Acc> = vec![Acc::default(); designs.len()];
+    for (i, r) in results.iter().enumerate() {
+        let s = &mut sums[i % designs.len()];
+        s.0 += r.network_latency;
+        s.1 += r.queuing_latency;
+        s.2 += r.packet_latency();
+        s.3 += r.execution_time.unwrap_or(r.cycles) as f64;
+        s.4 += r.energy.total_j();
+        s.5 += r.energy.dynamic_j;
+        s.6 += r.energy.static_j;
+        s.7 += r.edp();
     }
 
     let n = used.len() as f64;
@@ -256,14 +278,19 @@ fn per_app_figure(
     scale: &FigScale,
 ) -> Result<Vec<PerAppRow>, ControlError> {
     let policy = trained_policy(scale);
-    let mut rows = Vec::new();
-    for profile in suite {
+    // One point per application: each runs its own oracle plus all seven
+    // designs, so apps fan out while the in-app normalization against the
+    // freshly-run baseline stays local to the point.
+    let per_app = run_indexed(suite.len(), scale.threads, |ai| {
+        let profile = &suite[ai];
         let layout = ChipLayout::single(rect, gpu);
-        let oracle = oracle_policies(&layout, std::slice::from_ref(&profile), &scale.rc_oracle)?;
+        let oracle =
+            oracle_policies_par(&layout, std::slice::from_ref(profile), &scale.rc_oracle, 1)?;
         let oracle_kind = match oracle[0] {
             TopologyPolicy::Fixed(k) => k,
             _ => TopologyKind::Mesh,
         };
+        let mut rows = Vec::new();
         let mut base: Option<RunResult> = None;
         for kind in DesignKind::ALL {
             let policies = match kind {
@@ -274,7 +301,7 @@ fn per_app_figure(
             let r = run_design(
                 kind,
                 &layout,
-                std::slice::from_ref(&profile),
+                std::slice::from_ref(profile),
                 policies,
                 &scale.rc,
             )?;
@@ -295,6 +322,11 @@ fn per_app_figure(
                 queuing: r.queuing_latency,
             });
         }
+        Ok::<_, ControlError>(rows)
+    });
+    let mut rows = Vec::new();
+    for app_rows in per_app {
+        rows.extend(app_rows?);
     }
     Ok(rows)
 }
@@ -339,22 +371,22 @@ fn selection_figure(
         epochs: scale.rc.epochs.max(6),
         ..scale.rc
     };
-    let mut rows = Vec::new();
-    for profile in suite {
+    let rows = run_indexed(suite.len(), scale.threads, |ai| {
+        let profile = &suite[ai];
         let layout = ChipLayout::single(rect, gpu);
         let r = run_design(
             DesignKind::AdaptNoc,
             &layout,
-            std::slice::from_ref(&profile),
+            std::slice::from_ref(profile),
             adapt_policies(&policy, 1),
             &rc,
         )?;
-        rows.push(SelectionRow {
+        Ok(SelectionRow {
             app: profile.name.to_string(),
             fractions: r.selections.unwrap()[0],
-        });
-    }
-    Ok(rows)
+        })
+    });
+    rows.into_iter().collect()
 }
 
 /// Fig. 14: topology-selection breakdown of the CPU applications (4x4).
@@ -395,11 +427,12 @@ pub fn fig16(scale: &FigScale) -> Result<Vec<SizeRow>, ControlError> {
     let policy = trained_policy(scale);
     let sizes = [(2u8, 4u8), (4, 4), (4, 8), (8, 8)];
     let profile = by_name("BP").unwrap();
-    let mut rows = Vec::new();
-    for (w, h) in sizes {
+    let rows = run_indexed(sizes.len(), scale.threads, |si| {
+        let (w, h) = sizes[si];
         let rect = Rect::new(0, 0, w, h);
         let layout = ChipLayout::single(rect, true);
-        let oracle = oracle_policies(&layout, std::slice::from_ref(&profile), &scale.rc_oracle)?;
+        let oracle =
+            oracle_policies_par(&layout, std::slice::from_ref(&profile), &scale.rc_oracle, 1)?;
         let norl = run_design(
             DesignKind::AdaptNocNoRl,
             &layout,
@@ -414,13 +447,13 @@ pub fn fig16(scale: &FigScale) -> Result<Vec<SizeRow>, ControlError> {
             adapt_policies(&policy, 1),
             &scale.rc,
         )?;
-        rows.push(SizeRow {
+        Ok(SizeRow {
             size: format!("{w}x{h}"),
             latency_ratio: rl.packet_latency() / norl.packet_latency().max(1e-9),
             energy_ratio: rl.energy.total_j() / norl.energy.total_j().max(1e-30),
-        });
-    }
-    Ok(rows)
+        })
+    });
+    rows.into_iter().collect()
 }
 
 /// One epoch-size point (Fig. 17).
@@ -446,8 +479,8 @@ pub fn fig17(scale: &FigScale) -> Result<Vec<EpochRow>, ControlError> {
     let sizes = [10_000u64, 25_000, 50_000, 75_000, 100_000];
     // Keep total simulated cycles constant across points.
     let total_cycles = scale.rc.epoch_cycles * (scale.rc.epochs + scale.rc.warmup_epochs).max(4);
-    let mut raw = Vec::new();
-    for &e in &sizes {
+    let raw = run_indexed(sizes.len(), scale.threads, |i| {
+        let e = sizes[i];
         let epochs = (total_cycles / e).max(2);
         let rc = RunConfig {
             epoch_cycles: e,
@@ -463,8 +496,9 @@ pub fn fig17(scale: &FigScale) -> Result<Vec<EpochRow>, ControlError> {
             &rc,
         )?;
         let power = r.energy.total_j() / (r.cycles.max(1) as f64 * 1e-9);
-        raw.push((e, r.packet_latency(), power));
-    }
+        Ok((e, r.packet_latency(), power))
+    });
+    let raw = raw.into_iter().collect::<Result<Vec<_>, ControlError>>()?;
     let base = raw
         .iter()
         .find(|(e, _, _)| *e == 50_000)
@@ -507,8 +541,11 @@ pub fn fig18(scale: &FigScale) -> Result<Vec<SweepRow>, ControlError> {
         episodes: (scale.train.episodes / 2).max(4),
         ..scale.train
     };
-    let mut raw = Vec::new();
-    for &g in &gammas {
+    // Each gamma's training (and its evaluation seeds) is independent, so
+    // whole trainings fan out; the DQN itself stays sequential because the
+    // agent evolves across episodes.
+    let raw = run_indexed(gammas.len(), scale.threads, |gi| {
+        let g = gammas[gi];
         let policy = train_dqn(
             &crate::training::default_scenarios(),
             &tc,
@@ -531,8 +568,9 @@ pub fn fig18(scale: &FigScale) -> Result<Vec<SweepRow>, ControlError> {
             lat += r.packet_latency();
             pw += r.energy.total_j() / (r.cycles.max(1) as f64 * 1e-9);
         }
-        raw.push((g, lat / seeds.len() as f64, pw / seeds.len() as f64));
-    }
+        Ok((g, lat / seeds.len() as f64, pw / seeds.len() as f64))
+    });
+    let raw = raw.into_iter().collect::<Result<Vec<_>, ControlError>>()?;
     let base = raw.iter().find(|(g, _, _)| *g == 0.9).copied().unwrap();
     Ok(raw
         .into_iter()
@@ -561,24 +599,40 @@ pub fn fig19(scale: &FigScale) -> Result<Vec<SweepRow>, ControlError> {
         ..scale.rc
     };
     let seeds = [11u64, 23, 47];
-    let mut raw = Vec::new();
-    for &eps in &epsilons {
-        let mut lat = 0.0;
-        let mut pw = 0.0;
-        for &seed in &seeds {
-            let p = policy.clone().with_epsilon(eps);
-            let r = run_design(
-                DesignKind::AdaptNoc,
-                &layout,
-                std::slice::from_ref(&profile),
-                vec![TopologyPolicy::Trained(p)],
-                &RunConfig { seed, ..rc },
-            )?;
-            lat += r.packet_latency();
-            pw += r.energy.total_j() / (r.cycles.max(1) as f64 * 1e-9);
-        }
-        raw.push((eps, lat / seeds.len() as f64, pw / seeds.len() as f64));
-    }
+    // Flatten the epsilon x seed grid so every run is one point, then
+    // reduce per epsilon in seed order (the same addition order as the
+    // serial loop, so the means are bit-identical).
+    let points = run_indexed(epsilons.len() * seeds.len(), scale.threads, |i| {
+        let eps = epsilons[i / seeds.len()];
+        let seed = seeds[i % seeds.len()];
+        let p = policy.clone().with_epsilon(eps);
+        let r = run_design(
+            DesignKind::AdaptNoc,
+            &layout,
+            std::slice::from_ref(&profile),
+            vec![TopologyPolicy::Trained(p)],
+            &RunConfig { seed, ..rc },
+        )?;
+        Ok((
+            r.packet_latency(),
+            r.energy.total_j() / (r.cycles.max(1) as f64 * 1e-9),
+        ))
+    });
+    let points = points
+        .into_iter()
+        .collect::<Result<Vec<_>, ControlError>>()?;
+    let raw: Vec<(f64, f64, f64)> = epsilons
+        .iter()
+        .zip(points.chunks(seeds.len()))
+        .map(|(&eps, per_eps)| {
+            let (mut lat, mut pw) = (0.0, 0.0);
+            for (l, p) in per_eps {
+                lat += l;
+                pw += p;
+            }
+            (eps, lat / seeds.len() as f64, pw / seeds.len() as f64)
+        })
+        .collect();
     let base = raw.iter().find(|(e, _, _)| *e == 0.05).copied().unwrap();
     Ok(raw
         .into_iter()

@@ -294,26 +294,52 @@ pub fn oracle_policies(
     profiles: &[AppProfile],
     rc: &RunConfig,
 ) -> Result<Vec<TopologyPolicy>, ControlError> {
-    let mut out = Vec::new();
-    for (region, profile) in layout.regions.iter().zip(profiles) {
+    oracle_policies_par(layout, profiles, rc, 1)
+}
+
+/// [`oracle_policies`] with the `region x candidate-topology` evaluation
+/// grid fanned across `threads` workers. Every evaluation is an isolated
+/// single-region run, and the per-region argmin scans candidates in
+/// `TopologyKind::ACTIONS` order (ties keep the earlier kind), so the
+/// result is identical to the serial oracle at any thread count.
+///
+/// # Errors
+///
+/// Propagates [`ControlError`] from the evaluation runs.
+pub fn oracle_policies_par(
+    layout: &ChipLayout,
+    profiles: &[AppProfile],
+    rc: &RunConfig,
+    threads: usize,
+) -> Result<Vec<TopologyPolicy>, ControlError> {
+    let kinds = TopologyKind::ACTIONS;
+    let regions = layout.regions.len().min(profiles.len());
+    let lats = crate::parallel::run_indexed(regions * kinds.len(), threads, |i| {
+        let (region, profile) = (&layout.regions[i / kinds.len()], &profiles[i / kinds.len()]);
+        let kind = kinds[i % kinds.len()];
         let single = ChipLayout::single(region.rect, profile.class == AppClass::Gpu);
-        let mut best = (f64::INFINITY, TopologyKind::Mesh);
-        for kind in TopologyKind::ACTIONS {
-            let r = run_design(
-                DesignKind::AdaptNocNoRl,
-                &single,
-                std::slice::from_ref(profile),
-                fixed_policies(&[kind]),
-                rc,
-            )?;
-            let lat = r.packet_latency();
-            if lat < best.0 {
-                best = (lat, kind);
+        run_design(
+            DesignKind::AdaptNocNoRl,
+            &single,
+            std::slice::from_ref(profile),
+            fixed_policies(&[kind]),
+            rc,
+        )
+        .map(|r| r.packet_latency())
+    });
+    let lats = lats.into_iter().collect::<Result<Vec<f64>, _>>()?;
+    Ok(lats
+        .chunks(kinds.len())
+        .map(|per_region| {
+            let mut best = (f64::INFINITY, TopologyKind::Mesh);
+            for (kind, &lat) in kinds.iter().zip(per_region) {
+                if lat < best.0 {
+                    best = (lat, *kind);
+                }
             }
-        }
-        out.push(TopologyPolicy::Fixed(best.1));
-    }
-    Ok(out)
+            TopologyPolicy::Fixed(best.1)
+        })
+        .collect())
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! [`adaptnoc_sim::json`] value type; each row struct converts itself to an
 //! insertion-ordered object here so the output stays byte-stable.
 
+use crate::ablations::AblationRow;
 use crate::faults::FaultRow;
 use crate::figs::{EpochRow, MixedRow, PerAppRow, SelectionRow, SizeRow, SweepRow};
 use crate::tables::{AreaTable, ReconfigRow, ScalabilityRow, TimingTable, WiringRow};
@@ -104,6 +105,21 @@ impl ToJson for SweepRow {
             ("value".into(), num(self.value)),
             ("latency_norm".into(), num(self.latency_norm)),
             ("power_norm".into(), num(self.power_norm)),
+        ])
+    }
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("topology".into(), s(&self.topology)),
+            ("seed".into(), num(self.seed as f64)),
+            ("packet_latency".into(), num(self.packet_latency)),
+            ("network_latency".into(), num(self.network_latency)),
+            ("queuing_latency".into(), num(self.queuing_latency)),
+            ("hops".into(), num(self.hops)),
+            ("energy_j".into(), num(self.energy_j)),
+            ("delivered".into(), num(self.delivered as f64)),
         ])
     }
 }

@@ -18,25 +18,30 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ablations;
 pub mod faults;
 pub mod figs;
 pub mod harness;
 pub mod jsonrows;
 pub mod microbench;
+pub mod parallel;
 pub mod report;
 pub mod tables;
 pub mod training;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::faults::{fault_sweep, FaultRow};
+    pub use crate::ablations::{ablation_sweep, AblationRow};
+    pub use crate::faults::{fault_sweep, fault_sweep_par, FaultRow};
     pub use crate::figs::{
         fig08, fig09, fig14, fig15, fig16, fig17, fig18, fig19, mixed_campaign, trained_policy,
         FigScale,
     };
     pub use crate::harness::{
-        fixed_policies, oracle_policies, run_design, traffic_hint, AppMetrics, RunConfig, RunResult,
+        fixed_policies, oracle_policies, oracle_policies_par, run_design, traffic_hint, AppMetrics,
+        RunConfig, RunResult,
     };
+    pub use crate::parallel::{configured_threads, run_indexed};
     pub use crate::report::render_report;
     pub use crate::tables::{
         area_table, reconfig_table, scalability_table, timing_table, wiring_table,

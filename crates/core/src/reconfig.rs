@@ -32,6 +32,7 @@ use adaptnoc_sim::spec::NetworkSpec;
 use adaptnoc_topology::geom::{Grid, Rect};
 use adaptnoc_topology::regions::TopologyKind;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Timing parameters of the protocol (Sec. IV-A values by default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,8 +92,9 @@ pub enum ReconfigStage {
 pub struct RegionReconfig {
     /// The subNoC being reconfigured.
     pub rect: Rect,
-    /// Target full-chip spec.
-    target: NetworkSpec,
+    /// Target full-chip spec, shared with the network at the swap (the
+    /// controller never deep-copies a spec it already built).
+    target: Arc<NetworkSpec>,
     /// Mesh-fallback tables (fast path only).
     transitional: Option<RoutingTables>,
     /// Current stage.
@@ -107,14 +109,14 @@ pub struct RegionReconfig {
 
 impl RegionReconfig {
     /// Starts a reconfiguration of `rect` towards `target` (a full-chip
-    /// spec). `transitional` must be the mesh-fallback tables when both the
-    /// old and new topology keep the mesh (fast path); `None` selects the
-    /// slow (pause-and-drain) path.
+    /// spec, owned or already behind an `Arc`). `transitional` must be the
+    /// mesh-fallback tables when both the old and new topology keep the
+    /// mesh (fast path); `None` selects the slow (pause-and-drain) path.
     pub fn start(
         net: &Network,
         grid: &Grid,
         rect: Rect,
-        target: NetworkSpec,
+        target: impl Into<Arc<NetworkSpec>>,
         transitional: Option<RoutingTables>,
         timing: ReconfigTiming,
     ) -> Self {
@@ -122,7 +124,7 @@ impl RegionReconfig {
         let region_nodes = rect.iter().map(|c| grid.node(c)).collect();
         RegionReconfig {
             rect,
-            target,
+            target: target.into(),
             transitional,
             stage: ReconfigStage::Notify {
                 until: net.now() + timing.notify_cycles(rect),
@@ -169,7 +171,7 @@ impl RegionReconfig {
             }
             ReconfigStage::Drain => {
                 if self.drained(net, grid) {
-                    net.reconfigure(self.target.clone())?;
+                    net.reconfigure_shared(Arc::clone(&self.target))?;
                     let until = net.now() + self.timing.t_s;
                     for c in self.rect.iter() {
                         net.begin_router_config(grid.router(c), self.timing.t_s);

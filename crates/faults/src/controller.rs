@@ -388,12 +388,16 @@ impl FaultController {
             }
         }
 
+        // The fallback tables double as the transitional tables; cloning
+        // them is O(1) (Arc-backed) and the spec itself is moved, not
+        // copied, into the reconfiguration's shared target.
+        let transitional = plan.spec.tables.clone();
         let rc = RegionReconfig::start(
             net,
             &self.grid,
             self.rect,
-            plan.spec.clone(),
-            Some(plan.spec.tables.clone()),
+            plan.spec,
+            Some(transitional),
             self.timing,
         );
         self.stats.recoveries.push(RecoveryOutcome {

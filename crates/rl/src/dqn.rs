@@ -9,6 +9,7 @@ use crate::linalg::argmax;
 use crate::mlp::{Gradients, Mlp};
 use adaptnoc_sim::json::{self, Value};
 use adaptnoc_sim::rng::Rng;
+use std::sync::Arc;
 
 /// One experience-replay transition.
 #[derive(Debug, Clone, PartialEq)]
@@ -206,7 +207,7 @@ impl DqnAgent {
     /// Extracts the trained prediction network (weight-only deployment).
     pub fn into_policy(self) -> TrainedPolicy {
         TrainedPolicy {
-            net: self.prediction,
+            net: Arc::new(self.prediction),
             epsilon: self.cfg.epsilon,
             actions: self.cfg.actions,
         }
@@ -222,7 +223,10 @@ impl DqnAgent {
 /// matching the paper's hardware (weights only, no replay or target net).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainedPolicy {
-    net: Mlp,
+    /// The deployed network, shared: each region controller holds a clone
+    /// of the policy, and an `Arc` makes those clones O(1) instead of
+    /// copying the full weight matrices.
+    net: Arc<Mlp>,
     epsilon: f64,
     actions: usize,
 }
@@ -276,7 +280,7 @@ impl TrainedPolicy {
     pub fn from_json(s: &str) -> Result<Self, String> {
         let v = json::parse(s).map_err(|e| e.to_string())?;
         Ok(TrainedPolicy {
-            net: Mlp::from_json(v.get("net").ok_or("policy missing 'net'")?)?,
+            net: Arc::new(Mlp::from_json(v.get("net").ok_or("policy missing 'net'")?)?),
             epsilon: v
                 .get("epsilon")
                 .and_then(Value::as_f64)

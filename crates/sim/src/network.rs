@@ -20,6 +20,7 @@ use crate::routing::RoutingTables;
 use crate::spec::{ChannelKey, ChannelKind, NetworkSpec, PortRef, SpecError};
 use crate::stats::{Delivered, EpochReport, NetStats};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Errors from building or reconfiguring a [`Network`].
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +101,8 @@ struct InPort {
     inj_rr: RoundRobin,
     /// Bitmask of VCs with buffered flits (fast scan skip).
     occ: u32,
+    /// Membership flag for `Network::active_inj` (port has NI work).
+    in_inj_list: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -135,6 +138,10 @@ struct RouterRt {
     ports_on: u16,
     /// Per-vnet usable-VC bitmask (OSCAR dynamic VC allocation).
     vc_mask: Vec<u8>,
+    /// Membership flag for `Network::busy_routers` (router buffers flits).
+    in_busy_list: bool,
+    /// Membership flag for `Network::pending_wakes` (finite wake deadline).
+    in_wake_list: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -143,6 +150,8 @@ struct ChannelRt {
     q: VecDeque<(u64, Flit)>,
     /// A faulted channel accepts no new flits (VA and SA skip it).
     faulted: bool,
+    /// Membership flag for `Network::busy_channels` (wire carries flits).
+    in_busy_list: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -199,7 +208,9 @@ struct StaticProfile {
 #[derive(Debug, Clone)]
 pub struct Network {
     cfg: SimConfig,
-    spec: NetworkSpec,
+    /// The live spec, shared behind an `Arc` so reconfiguration controllers
+    /// can hand the network a prebuilt spec without deep-copying it.
+    spec: Arc<NetworkSpec>,
     now: u64,
     routers: Vec<RouterRt>,
     channels: Vec<ChannelRt>,
@@ -227,6 +238,34 @@ pub struct Network {
     /// Fault state by channel identity; survives reconfiguration (flags are
     /// re-applied to kept channels when the spec is swapped).
     faulted_keys: HashSet<ChannelKey>,
+    /// When set, `step()` sweeps every component every cycle instead of
+    /// using the active-set worklists (reference mode for equivalence
+    /// tests). The worklists are still maintained so the mode can be
+    /// toggled at any time.
+    full_sweep: bool,
+    /// Channels with flits on the wire (invariant: non-empty queue implies
+    /// membership; stale members are pruned lazily).
+    busy_channels: Vec<usize>,
+    /// Routers with buffered flits (invariant: `flits > 0` implies
+    /// membership; stale members are pruned lazily).
+    busy_routers: Vec<usize>,
+    /// Sleeping routers with a finite wake deadline.
+    pending_wakes: Vec<usize>,
+    /// Injection ports (`ri << 8 | pi`) whose NIs hold queued or mid-stream
+    /// packets.
+    active_inj: Vec<usize>,
+    /// Flits currently on wires (O(1) `in_flight`).
+    wire_flits: u64,
+    /// Flits of packets mid-stream inside NIs (O(1) `in_flight`).
+    ni_stream_flits: u64,
+    /// Static-power on/off/port counts need recomputing (power state or
+    /// wiring changed since last cycle).
+    statics_dirty: bool,
+    static_on: u64,
+    static_off: u64,
+    static_ports_on: u64,
+    /// Recycled NI flit-stream deques (one allocation per packet otherwise).
+    deque_pool: Vec<VecDeque<Flit>>,
 }
 
 impl Network {
@@ -275,6 +314,7 @@ impl Network {
                         nis: Vec::new(),
                         inj_rr: RoundRobin::new(),
                         occ: 0,
+                        in_inj_list: false,
                     })
                     .collect(),
                 out_ports: (0..r.n_ports)
@@ -290,6 +330,8 @@ impl Network {
                 flits: 0,
                 ports_on: 0,
                 vc_mask: vec![u8::MAX; cfg.vnets as usize],
+                in_busy_list: false,
+                in_wake_list: false,
             })
             .collect();
 
@@ -300,6 +342,7 @@ impl Network {
                 spec: *c,
                 q: VecDeque::new(),
                 faulted: false,
+                in_busy_list: false,
             })
             .collect();
         for (i, c) in spec.channels.iter().enumerate() {
@@ -330,7 +373,7 @@ impl Network {
 
         let mut net = Network {
             cfg,
-            spec,
+            spec: Arc::new(spec),
             now: 0,
             routers,
             channels,
@@ -355,6 +398,18 @@ impl Network {
             scratch: Vec::new(),
             tracer: None,
             faulted_keys: HashSet::new(),
+            full_sweep: false,
+            busy_channels: Vec::new(),
+            busy_routers: Vec::new(),
+            pending_wakes: Vec::new(),
+            active_inj: Vec::new(),
+            wire_flits: 0,
+            ni_stream_flits: 0,
+            statics_dirty: true,
+            static_on: 0,
+            static_off: 0,
+            static_ports_on: 0,
+            deque_pool: Vec::new(),
         };
         net.router_forwarded = vec![0; net.routers.len()];
         net.router_occupancy_sum = vec![0; net.routers.len()];
@@ -412,6 +467,15 @@ impl Network {
             }
             r.ports_on = if r.active { on } else { 0 };
         }
+        self.statics_dirty = true;
+    }
+
+    /// Forces naive full-sweep stepping: every stage scans every component
+    /// every cycle instead of consulting the active-set worklists. The two
+    /// modes are cycle-for-cycle equivalent; full sweep exists as the
+    /// reference implementation for the equivalence property tests.
+    pub fn set_full_sweep(&mut self, on: bool) {
+        self.full_sweep = on;
     }
 
     /// Current simulation cycle.
@@ -450,7 +514,37 @@ impl Network {
         self.queued_packets += 1;
         self.stats.packets_offered += 1;
         self.totals.packets_offered += 1;
+        self.mark_ni_port_active(ni);
         Ok(())
+    }
+
+    /// Flags the injection port an NI feeds as having pending work.
+    fn mark_ni_port_active(&mut self, ni_id: usize) {
+        let ri = self.nis[ni_id].spec.router.index();
+        let pi = self.nis[ni_id].spec.port.index();
+        let ip = &mut self.routers[ri].in_ports[pi];
+        if !ip.in_inj_list {
+            ip.in_inj_list = true;
+            self.active_inj.push((ri << 8) | pi);
+        }
+    }
+
+    /// Whether any NI on this injection port holds queued or mid-stream
+    /// packets.
+    fn port_has_ni_work(&self, ri: usize, pi: usize) -> bool {
+        self.routers[ri].in_ports[pi].nis.iter().any(|&ni| {
+            let n = &self.nis[ni];
+            n.cur.is_some() || !n.source_q.is_empty()
+        })
+    }
+
+    /// Flags a router as buffering flits (member of the router worklist).
+    fn mark_router_busy(&mut self, ri: usize) {
+        let r = &mut self.routers[ri];
+        if !r.in_busy_list {
+            r.in_busy_list = true;
+            self.busy_routers.push(ri);
+        }
     }
 
     /// Drains all packets delivered since the last call.
@@ -460,7 +554,14 @@ impl Network {
 
     /// Total flits currently inside the network (buffers + channels), plus
     /// packets waiting in NI source queues. Zero means fully drained.
+    /// O(1): maintained incrementally by the step and purge paths.
     pub fn in_flight(&self) -> u64 {
+        self.occupied_flits + self.wire_flits + self.ni_stream_flits + self.queued_packets
+    }
+
+    /// Recounts `in_flight` from first principles (O(channels + NIs));
+    /// exposed so equivalence tests can validate the incremental counters.
+    pub fn in_flight_recount(&self) -> u64 {
         let channel_flits: u64 = self.channels.iter().map(|c| c.q.len() as u64).sum();
         let ni_flits: u64 = self
             .nis
@@ -479,7 +580,7 @@ impl Network {
         assert_eq!(tables.vnets(), self.cfg.vnets as usize, "vnet count");
         assert_eq!(tables.routers(), self.routers.len(), "router count");
         assert_eq!(tables.nodes(), self.spec.num_nodes, "node count");
-        self.spec.tables = tables;
+        Arc::make_mut(&mut self.spec).tables = tables;
     }
 
     /// Stalls a router's RC/VA/SA stages for `cycles` cycles, modeling the
@@ -519,6 +620,7 @@ impl Network {
         }
         r.sleeping = true;
         r.wake_at = u64::MAX;
+        self.statics_dirty = true;
         true
     }
 
@@ -535,6 +637,10 @@ impl Network {
         let r = &mut self.routers[router.index()];
         if r.sleeping {
             r.wake_at = r.wake_at.min(now + wake_latency);
+            if !r.in_wake_list {
+                r.in_wake_list = true;
+                self.pending_wakes.push(router.index());
+            }
         }
     }
 
@@ -678,11 +784,46 @@ impl Network {
         let now = self.now;
 
         // 0. Wake routers whose wake-up latency elapsed (failed routers
-        // never wake).
-        for r in self.routers.iter_mut() {
-            if r.sleeping && !r.failed && now >= r.wake_at {
-                r.sleeping = false;
-                r.wake_at = 0;
+        // never wake). Only routers with a finite wake deadline can wake,
+        // so the pending-wake worklist is exact; the full sweep re-derives
+        // the same set as a cross-check.
+        {
+            let mut dirty = false;
+            if self.full_sweep {
+                for r in self.routers.iter_mut() {
+                    if r.sleeping && !r.failed && now >= r.wake_at {
+                        r.sleeping = false;
+                        r.wake_at = 0;
+                        dirty = true;
+                    }
+                }
+                let routers = &mut self.routers;
+                self.pending_wakes.retain(|&ri| {
+                    let r = &mut routers[ri];
+                    let keep = r.sleeping && !r.failed && r.wake_at != u64::MAX;
+                    if !keep {
+                        r.in_wake_list = false;
+                    }
+                    keep
+                });
+            } else if !self.pending_wakes.is_empty() {
+                let routers = &mut self.routers;
+                self.pending_wakes.retain(|&ri| {
+                    let r = &mut routers[ri];
+                    if r.sleeping && !r.failed && now >= r.wake_at {
+                        r.sleeping = false;
+                        r.wake_at = 0;
+                        dirty = true;
+                    }
+                    let keep = r.sleeping && !r.failed && r.wake_at != u64::MAX;
+                    if !keep {
+                        r.in_wake_list = false;
+                    }
+                    keep
+                });
+            }
+            if dirty {
+                self.statics_dirty = true;
             }
         }
 
@@ -696,30 +837,40 @@ impl Network {
             *c = (*c + 1).min(self.cfg.vc_depth);
         }
 
-        // 2. Channel deliveries.
-        for ci in 0..self.channels.len() {
-            while let Some(&(arrive, _)) = self.channels[ci].q.front() {
-                if arrive > now {
-                    break;
-                }
-                let Some((_, mut flit)) = self.channels[ci].q.pop_front() else {
-                    break; // unreachable: front() above was Some
-                };
-                let dst = self.channels[ci].spec.dst;
-                flit.ready_at = now + self.cfg.router_latency as u64;
-                let router = &mut self.routers[dst.router.index()];
-                if router.sleeping && !router.failed {
-                    // Arrival triggers wake-up (drowsy buffers still latch).
-                    router.wake_at = router.wake_at.min(now + self.cfg.wake_latency as u64);
-                }
-                let vc = flit.assigned_vc as usize;
-                let ip = &mut router.in_ports[dst.port.index()];
-                ip.vcs[vc].buf.push_back(flit);
-                ip.occ |= 1 << vc;
-                router.flits += 1;
-                self.occupied_flits += 1;
-                self.events.buffer_writes += 1;
+        // 2. Channel deliveries. Cross-channel order is immaterial (each
+        // channel feeds exactly one input port and all shared-counter
+        // updates commute), but the worklist is still walked in ascending
+        // index order to mirror the full sweep exactly.
+        if self.full_sweep {
+            for ci in 0..self.channels.len() {
+                self.deliver_channel(ci, now);
             }
+            let channels = &mut self.channels;
+            self.busy_channels.retain(|&ci| {
+                let keep = !channels[ci].q.is_empty();
+                if !keep {
+                    channels[ci].in_busy_list = false;
+                }
+                keep
+            });
+        } else if !self.busy_channels.is_empty() {
+            let mut busy = std::mem::take(&mut self.busy_channels);
+            busy.sort_unstable();
+            let mut w = 0;
+            for k in 0..busy.len() {
+                let ci = busy[k];
+                self.deliver_channel(ci, now);
+                if self.channels[ci].q.is_empty() {
+                    self.channels[ci].in_busy_list = false;
+                } else {
+                    busy[w] = ci;
+                    w += 1;
+                }
+            }
+            busy.truncate(w);
+            debug_assert!(self.busy_channels.is_empty(), "no marks during delivery");
+            busy.append(&mut self.busy_channels);
+            self.busy_channels = busy;
         }
 
         // 3. NI injection (one flit per local port per cycle).
@@ -736,29 +887,82 @@ impl Network {
         self.totals.buffer_occupancy_sum += self.occupied_flits;
         self.totals.injection_queue_sum += self.queued_packets;
 
-        for (i, r) in self.routers.iter().enumerate() {
-            self.router_occupancy_sum[i] += r.flits as u64;
+        // Routers with zero flits contribute nothing, so the busy worklist
+        // (which contains every router with flits > 0) suffices.
+        if self.full_sweep {
+            for (i, r) in self.routers.iter().enumerate() {
+                self.router_occupancy_sum[i] += r.flits as u64;
+            }
+        } else {
+            for &ri in &self.busy_routers {
+                self.router_occupancy_sum[ri] += self.routers[ri].flits as u64;
+            }
         }
 
-        let mut on = 0u64;
-        let mut off = 0u64;
-        let mut ports_on = 0u64;
-        for r in &self.routers {
-            if r.active && !r.sleeping && !r.failed {
-                on += 1;
-                ports_on += r.ports_on as u64;
-            } else {
-                off += 1;
+        // Static on/off/port counts only change on power/wiring transitions;
+        // recompute lazily (always in full-sweep mode, so the equivalence
+        // tests also validate the dirty-flag bookkeeping).
+        if self.statics_dirty || self.full_sweep {
+            let mut on = 0u64;
+            let mut off = 0u64;
+            let mut ports_on = 0u64;
+            for r in &self.routers {
+                if r.active && !r.sleeping && !r.failed {
+                    on += 1;
+                    ports_on += r.ports_on as u64;
+                } else {
+                    off += 1;
+                }
             }
+            self.static_on = on;
+            self.static_off = off;
+            self.static_ports_on = ports_on;
+            self.statics_dirty = false;
         }
         let s = &mut self.statics;
         s.cycles += 1;
-        s.router_on_cycles += on;
-        s.router_off_cycles += off;
-        s.port_on_cycles += ports_on;
+        s.router_on_cycles += self.static_on;
+        s.router_off_cycles += self.static_off;
+        s.port_on_cycles += self.static_ports_on;
         s.mesh_link_mm_cycles += self.profile.mesh_link_mm;
         s.adapt_link_mm_cycles += self.profile.adapt_link_mm;
         s.conc_link_mm_cycles += self.profile.conc_link_mm;
+    }
+
+    /// Delivers every flit whose wire latency elapsed on one channel.
+    fn deliver_channel(&mut self, ci: usize, now: u64) {
+        while let Some(&(arrive, _)) = self.channels[ci].q.front() {
+            if arrive > now {
+                break;
+            }
+            let Some((_, mut flit)) = self.channels[ci].q.pop_front() else {
+                break; // unreachable: front() above was Some
+            };
+            self.wire_flits -= 1;
+            let dst = self.channels[ci].spec.dst;
+            flit.ready_at = now + self.cfg.router_latency as u64;
+            let ri = dst.router.index();
+            let router = &mut self.routers[ri];
+            if router.sleeping && !router.failed {
+                // Arrival triggers wake-up (drowsy buffers still latch).
+                router.wake_at = router.wake_at.min(now + self.cfg.wake_latency as u64);
+                if !router.in_wake_list {
+                    router.in_wake_list = true;
+                    self.pending_wakes.push(ri);
+                }
+            }
+            let vc = flit.assigned_vc as usize;
+            let ip = &mut router.in_ports[dst.port.index()];
+            ip.vcs[vc].buf.push_back(flit);
+            ip.occ |= 1 << vc;
+            router.flits += 1;
+            if !router.in_busy_list {
+                router.in_busy_list = true;
+                self.busy_routers.push(ri);
+            }
+            self.occupied_flits += 1;
+            self.events.buffer_writes += 1;
+        }
     }
 
     /// Runs `cycles` steps.
@@ -769,32 +973,75 @@ impl Network {
     }
 
     fn inject_stage(&mut self, now: u64) {
-        // Iterate routers/local ports; round-robin among NIs on each port.
-        for ri in 0..self.routers.len() {
-            if !self.routers[ri].active || self.routers[ri].failed {
-                continue;
-            }
-            let n_ports = self.routers[ri].in_ports.len();
-            for pi in 0..n_ports {
-                let n_nis = self.routers[ri].in_ports[pi].nis.len();
-                if n_nis == 0 {
-                    continue;
-                }
-                // Determine which NIs can send a flit this cycle (NIs per
-                // port are bounded by the concentration factor, <= 8).
-                let mut ready = [false; 8];
-                let mut ids = [0usize; 8];
-                let n = n_nis.min(8);
-                for k in 0..n {
-                    let ni_id = self.routers[ri].in_ports[pi].nis[k];
-                    ids[k] = ni_id;
-                    ready[k] = self.ni_can_send(ni_id, ri, pi);
-                }
-                let grant = self.routers[ri].in_ports[pi].inj_rr.grant(&ready[..n]);
-                if let Some(k) = grant {
-                    self.ni_send(ids[k], ri, pi, now);
+        // Ports whose NIs hold no packets grant nothing and leave the
+        // round-robin pointer untouched, so skipping them is
+        // state-equivalent to the full sweep. The worklist is walked in
+        // ascending (router, port) order to match sweep order exactly.
+        if self.full_sweep {
+            for ri in 0..self.routers.len() {
+                let n_ports = self.routers[ri].in_ports.len();
+                for pi in 0..n_ports {
+                    self.inject_port(ri, pi, now);
                 }
             }
+            let mut act = std::mem::take(&mut self.active_inj);
+            act.retain(|&key| {
+                let (ri, pi) = (key >> 8, key & 0xff);
+                let keep = self.port_has_ni_work(ri, pi);
+                if !keep {
+                    self.routers[ri].in_ports[pi].in_inj_list = false;
+                }
+                keep
+            });
+            self.active_inj = act;
+            return;
+        }
+        if self.active_inj.is_empty() {
+            return;
+        }
+        let mut act = std::mem::take(&mut self.active_inj);
+        act.sort_unstable();
+        let mut w = 0;
+        for k in 0..act.len() {
+            let key = act[k];
+            let (ri, pi) = (key >> 8, key & 0xff);
+            self.inject_port(ri, pi, now);
+            if self.port_has_ni_work(ri, pi) {
+                act[w] = key;
+                w += 1;
+            } else {
+                self.routers[ri].in_ports[pi].in_inj_list = false;
+            }
+        }
+        act.truncate(w);
+        debug_assert!(self.active_inj.is_empty(), "no marks during injection");
+        act.append(&mut self.active_inj);
+        self.active_inj = act;
+    }
+
+    /// Runs one injection port: round-robin among its NIs, at most one flit
+    /// per cycle. Routers that are inactive or failed accept nothing.
+    fn inject_port(&mut self, ri: usize, pi: usize, now: u64) {
+        if !self.routers[ri].active || self.routers[ri].failed {
+            return;
+        }
+        let n_nis = self.routers[ri].in_ports[pi].nis.len();
+        if n_nis == 0 {
+            return;
+        }
+        // Determine which NIs can send a flit this cycle (NIs per
+        // port are bounded by the concentration factor, <= 8).
+        let mut ready = [false; 8];
+        let mut ids = [0usize; 8];
+        let n = n_nis.min(8);
+        for k in 0..n {
+            let ni_id = self.routers[ri].in_ports[pi].nis[k];
+            ids[k] = ni_id;
+            ready[k] = self.ni_can_send(ni_id, ri, pi);
+        }
+        let grant = self.routers[ri].in_ports[pi].inj_rr.grant(&ready[..n]);
+        if let Some(k) = grant {
+            self.ni_send(ids[k], ri, pi, now);
         }
     }
 
@@ -842,7 +1089,9 @@ impl Network {
             };
             let _ = self.nis[ni_id].source_q.pop_front(); // front() was Some
             self.queued_packets -= 1;
-            let flits: VecDeque<Flit> = (0..pkt.len).map(|s| Flit::of_packet(&pkt, s)).collect();
+            let mut flits = self.deque_pool.pop().unwrap_or_default();
+            flits.extend((0..pkt.len).map(|s| Flit::of_packet(&pkt, s)));
+            self.ni_stream_flits += flits.len() as u64;
             self.routers[ri].in_ports[pi].vcs[vc as usize].ni_lock = true;
             self.nis[ni_id].cur = Some((vc, flits));
         }
@@ -854,10 +1103,15 @@ impl Network {
             let Some(f) = flits.pop_front() else { return };
             (*vc, f)
         };
+        self.ni_stream_flits -= 1;
         if self.routers[ri].sleeping {
             let wake = now + self.cfg.wake_latency as u64;
             let r = &mut self.routers[ri];
             r.wake_at = r.wake_at.min(wake);
+            if !r.in_wake_list {
+                r.in_wake_list = true;
+                self.pending_wakes.push(ri);
+            }
         }
         let vcs = &mut self.routers[ri].in_ports[pi].vcs[vc as usize];
         debug_assert!(vcs.buf.len() < self.cfg.vc_depth as usize);
@@ -886,6 +1140,7 @@ impl Network {
         vcs.buf.push_back(flit);
         self.routers[ri].in_ports[pi].occ |= 1 << vc;
         self.routers[ri].flits += 1;
+        self.mark_router_busy(ri);
         self.occupied_flits += 1;
         self.events.buffer_writes += 1;
         self.events.ni_injections += 1;
@@ -897,21 +1152,78 @@ impl Network {
         }
         if is_tail {
             self.routers[ri].in_ports[pi].vcs[vc as usize].ni_lock = false;
-            self.nis[ni_id].cur = None;
+            if let Some((_, flits)) = self.nis[ni_id].cur.take() {
+                self.recycle_deque(flits);
+            }
+        }
+    }
+
+    /// Returns an emptied NI flit deque to the pool for reuse.
+    fn recycle_deque(&mut self, mut flits: VecDeque<Flit>) {
+        debug_assert!(flits.is_empty(), "recycled deque must be drained");
+        flits.clear();
+        if self.deque_pool.len() < 256 {
+            self.deque_pool.push(flits);
         }
     }
 
     fn router_stage(&mut self, now: u64) {
-        for ri in 0..self.routers.len() {
-            {
-                let r = &self.routers[ri];
-                if !r.active || r.sleeping || r.failed || r.config_until > now || r.flits == 0 {
-                    continue;
+        if self.full_sweep {
+            for ri in 0..self.routers.len() {
+                {
+                    let r = &self.routers[ri];
+                    if !r.active || r.sleeping || r.failed || r.config_until > now || r.flits == 0 {
+                        continue;
+                    }
                 }
+                self.vc_allocate(ri);
+                self.switch_allocate(ri, now);
             }
-            self.vc_allocate(ri);
-            self.switch_allocate(ri, now);
+            let routers = &mut self.routers;
+            self.busy_routers.retain(|&ri| {
+                let keep = routers[ri].flits > 0;
+                if !keep {
+                    routers[ri].in_busy_list = false;
+                }
+                keep
+            });
+            return;
         }
+        if self.busy_routers.is_empty() {
+            return;
+        }
+        // Every router with buffered flits is in the worklist (they were
+        // marked when their flit count left zero); allocation only drains
+        // flits, so no router joins the list mid-stage. Ascending order
+        // mirrors the full sweep, keeping trace/delivery order identical.
+        let mut busy = std::mem::take(&mut self.busy_routers);
+        busy.sort_unstable();
+        let mut w = 0;
+        for k in 0..busy.len() {
+            let ri = busy[k];
+            if self.routers[ri].flits == 0 {
+                self.routers[ri].in_busy_list = false;
+                continue;
+            }
+            let runnable = {
+                let r = &self.routers[ri];
+                r.active && !r.sleeping && !r.failed && r.config_until <= now
+            };
+            if runnable {
+                self.vc_allocate(ri);
+                self.switch_allocate(ri, now);
+            }
+            if self.routers[ri].flits > 0 {
+                busy[w] = ri;
+                w += 1;
+            } else {
+                self.routers[ri].in_busy_list = false;
+            }
+        }
+        busy.truncate(w);
+        debug_assert!(self.busy_routers.is_empty(), "no marks during allocation");
+        busy.append(&mut self.busy_routers);
+        self.busy_routers = busy;
     }
 
     #[allow(clippy::needless_range_loop)]
@@ -1170,9 +1482,13 @@ impl Network {
                 self.events.mux_traversals += 1;
             }
             self.channel_flits[ch.index()] += 1;
-            self.channels[ch.index()]
-                .q
-                .push_back((now + spec.latency as u64, flit));
+            let c = &mut self.channels[ch.index()];
+            c.q.push_back((now + spec.latency as u64, flit));
+            self.wire_flits += 1;
+            if !c.in_busy_list {
+                c.in_busy_list = true;
+                self.busy_channels.push(ch.index());
+            }
         } else {
             // Ejection.
             debug_assert!(out.eject, "SA winner routed to unwired port");
@@ -1212,6 +1528,18 @@ impl Network {
     /// Returns [`NetworkError`] if the new spec is invalid, changes the
     /// router/node shape, or a quiescence precondition fails.
     pub fn reconfigure(&mut self, new_spec: NetworkSpec) -> Result<(), NetworkError> {
+        self.reconfigure_shared(Arc::new(new_spec))
+    }
+
+    /// [`reconfigure`](Self::reconfigure) with a shared spec: the network
+    /// keeps a reference to `new_spec` instead of copying it, so a
+    /// controller that prebuilt the target spec pays O(1) to install it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if the new spec is invalid, changes the
+    /// router/node shape, or a quiescence precondition fails.
+    pub fn reconfigure_shared(&mut self, new_spec: Arc<NetworkSpec>) -> Result<(), NetworkError> {
         new_spec.validate()?;
         if new_spec.routers.len() != self.routers.len() {
             return Err(NetworkError::Shape("router count changed".into()));
@@ -1303,6 +1631,7 @@ impl Network {
                 spec: *c,
                 q,
                 faulted: self.faulted_keys.contains(&c.key()),
+                in_busy_list: false,
             });
         }
 
@@ -1444,6 +1773,27 @@ impl Network {
         self.spec = new_spec;
         self.channels = new_channels;
         self.channel_flits = vec![0; self.channels.len()];
+        // Channel indices changed: rebuild the wire worklist and counters.
+        self.busy_channels.clear();
+        self.wire_flits = 0;
+        for ci in 0..self.channels.len() {
+            let c = &mut self.channels[ci];
+            self.wire_flits += c.q.len() as u64;
+            if !c.q.is_empty() {
+                c.in_busy_list = true;
+                self.busy_channels.push(ci);
+            }
+        }
+        // NI attachments may have moved ports: re-mark every port that now
+        // hosts an NI with pending work (stale entries prune lazily).
+        self.ni_stream_flits = 0;
+        for ni_id in 0..self.nis.len() {
+            let n = &self.nis[ni_id];
+            self.ni_stream_flits += n.cur.as_ref().map_or(0, |(_, f)| f.len() as u64);
+            if n.cur.is_some() || !n.source_q.is_empty() {
+                self.mark_ni_port_active(ni_id);
+            }
+        }
         self.recompute_static_profile();
         self.buffer_capacity = self.compute_buffer_capacity();
         self.stats.buffer_capacity = self.buffer_capacity;
@@ -1544,6 +1894,7 @@ impl Network {
         self.routers[ri].failed = true;
         self.routers[ri].sleeping = true;
         self.routers[ri].wake_at = u64::MAX;
+        self.statics_dirty = true;
         let mut ids: HashSet<u64> = HashSet::new();
         for ip in &self.routers[ri].in_ports {
             for vc in &ip.vcs {
@@ -1632,12 +1983,14 @@ impl Network {
         let mut found: HashMap<u64, Packet> = HashMap::new();
 
         // Wires.
+        let mut wire_removed = 0u64;
         for c in self.channels.iter_mut() {
             if c.q.iter().any(|(_, f)| ids.contains(&f.packet)) {
                 let mut keep = VecDeque::with_capacity(c.q.len());
                 for (t, f) in c.q.drain(..) {
                     if ids.contains(&f.packet) {
                         found.entry(f.packet).or_insert_with(|| f.to_packet());
+                        wire_removed += 1;
                     } else {
                         keep.push_back((t, f));
                     }
@@ -1645,6 +1998,7 @@ impl Network {
                 c.q = keep;
             }
         }
+        self.wire_flits -= wire_removed;
 
         // Router input buffers and the allocations the packets held.
         for ri in 0..self.routers.len() {
@@ -1701,10 +2055,13 @@ impl Network {
                 .as_ref()
                 .is_some_and(|(_, flits)| flits.front().is_some_and(|f| ids.contains(&f.packet)));
             if purged {
-                if let Some((vc, flits)) = self.nis[ni_id].cur.take() {
+                if let Some((vc, mut flits)) = self.nis[ni_id].cur.take() {
                     if let Some(f) = flits.front() {
                         found.entry(f.packet).or_insert_with(|| f.to_packet());
                     }
+                    self.ni_stream_flits -= flits.len() as u64;
+                    flits.clear();
+                    self.recycle_deque(flits);
                     let ri = self.nis[ni_id].spec.router.index();
                     let pi = self.nis[ni_id].spec.port.index();
                     self.routers[ri].in_ports[pi].vcs[vc as usize].ni_lock = false;
@@ -1776,6 +2133,7 @@ impl Network {
         self.queued_packets += 1;
         self.stats.retries += 1;
         self.totals.retries += 1;
+        self.mark_ni_port_active(ni);
         Ok(())
     }
 

@@ -8,17 +8,22 @@
 //! (in-flight packets re-resolve at every subsequent router they enter).
 
 use crate::ids::{NodeId, PortId, RouterId, Vnet};
+use std::sync::Arc;
 
 /// Sentinel for "no route" entries.
 const UNREACHABLE: u8 = u8::MAX;
 
 /// Dense routing tables: `[vnet][router][destination node] -> output port`.
+///
+/// The backing storage is shared behind an [`Arc`], so cloning a table (or
+/// a [`crate::spec::NetworkSpec`] that embeds one) is O(1); mutation uses
+/// copy-on-write semantics and only copies when the storage is shared.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutingTables {
     vnets: usize,
     routers: usize,
     nodes: usize,
-    table: Vec<u8>,
+    table: Arc<Vec<u8>>,
 }
 
 impl RoutingTables {
@@ -28,7 +33,7 @@ impl RoutingTables {
             vnets,
             routers,
             nodes,
-            table: vec![UNREACHABLE; vnets * routers * nodes],
+            table: Arc::new(vec![UNREACHABLE; vnets * routers * nodes]),
         }
     }
 
@@ -42,13 +47,13 @@ impl RoutingTables {
     /// Sets the output port at `router` for packets of `vnet` headed to `dst`.
     pub fn set(&mut self, vnet: Vnet, router: RouterId, dst: NodeId, port: PortId) {
         let i = self.idx(vnet, router, dst);
-        self.table[i] = port.0;
+        Arc::make_mut(&mut self.table)[i] = port.0;
     }
 
     /// Clears the route (marks unreachable).
     pub fn clear(&mut self, vnet: Vnet, router: RouterId, dst: NodeId) {
         let i = self.idx(vnet, router, dst);
-        self.table[i] = UNREACHABLE;
+        Arc::make_mut(&mut self.table)[i] = UNREACHABLE;
     }
 
     /// Looks up the output port, or `None` if the destination is unreachable
@@ -90,7 +95,14 @@ impl RoutingTables {
         );
         let per_vnet = self.routers * self.nodes;
         let start = vnet.index() * per_vnet;
-        self.table[start..start + per_vnet].copy_from_slice(&other.table[start..start + per_vnet]);
+        Arc::make_mut(&mut self.table)[start..start + per_vnet]
+            .copy_from_slice(&other.table[start..start + per_vnet]);
+    }
+
+    /// Whether two tables share the same backing storage (O(1) clone check;
+    /// exposed for tests of the copy-on-write behaviour).
+    pub fn shares_storage_with(&self, other: &RoutingTables) -> bool {
+        Arc::ptr_eq(&self.table, &other.table)
     }
 
     /// Iterates over all `(vnet, router, dst, port)` entries that have routes.
@@ -141,6 +153,20 @@ mod tests {
         a.copy_vnet_from(&b, Vnet(1));
         assert_eq!(a.lookup(Vnet(1), RouterId(1), NodeId(0)), Some(PortId(2)));
         assert_eq!(a.lookup(Vnet(0), RouterId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn clone_is_shared_until_written() {
+        let mut a = RoutingTables::new(2, 2, 2);
+        a.set(Vnet(0), RouterId(0), NodeId(1), PortId(1));
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b), "clone must be O(1) shared");
+        let mut c = b.clone();
+        c.set(Vnet(1), RouterId(1), NodeId(0), PortId(2));
+        assert!(!c.shares_storage_with(&a), "write must copy");
+        // The original is unaffected by the copy-on-write mutation.
+        assert_eq!(a.lookup(Vnet(1), RouterId(1), NodeId(0)), None);
+        assert_eq!(c.lookup(Vnet(0), RouterId(0), NodeId(1)), Some(PortId(1)));
     }
 
     #[test]

@@ -180,7 +180,12 @@ pub struct Workload {
     /// Memory-system parameters.
     pub params: MemoryParams,
     node_app: Vec<Option<usize>>,
-    mcs: HashMap<u16, McState>,
+    /// MC service models, sorted by node id. A sorted vec (binary-search
+    /// lookup) instead of a `HashMap` keeps the per-cycle reply scan in a
+    /// deterministic order regardless of hasher state — required for the
+    /// parallel campaign runner's byte-identical-output guarantee — and
+    /// drops hashing from the tick hot path.
+    mcs: Vec<(u16, McState)>,
     l2_pending: BinaryHeap<Reverse<(u64, u16, u16, u64)>>, // (ready, slice, requester, tag)
     tag_slot: HashMap<u64, (usize, usize, usize)>,
     next_id: u64,
@@ -201,7 +206,7 @@ impl Workload {
             "one profile per region"
         );
         let mut node_app = vec![None; layout.grid.tiles()];
-        let mut mcs = HashMap::new();
+        let mut mcs: Vec<(u16, McState)> = Vec::new();
         let apps: Vec<AppInstance> = layout
             .regions
             .iter()
@@ -214,7 +219,9 @@ impl Workload {
                     let n = layout.grid.node(c);
                     node_app[n.index()] = Some(i);
                     if layout.kind(n) == NodeKind::Mc {
-                        mcs.insert(n.0, McState::default());
+                        if let Err(at) = mcs.binary_search_by_key(&n.0, |(k, _)| *k) {
+                            mcs.insert(at, (n.0, McState::default()));
+                        }
                     } else {
                         cores.push(CoreState {
                             node: n,
@@ -265,7 +272,9 @@ impl Workload {
     /// region).
     pub fn add_shared_mc(&mut self, app: usize, mc: NodeId) {
         self.apps[app].extra_mcs.push(mc);
-        self.mcs.entry(mc.0).or_default();
+        if let Err(at) = self.mcs.binary_search_by_key(&mc.0, |(k, _)| *k) {
+            self.mcs.insert(at, (mc.0, McState::default()));
+        }
     }
 
     /// Whether all applications finished.
@@ -308,7 +317,8 @@ impl Workload {
                 }
             }
 
-            if let Some(mc) = self.mcs.get_mut(&pkt.dst.0) {
+            if let Ok(at) = self.mcs.binary_search_by_key(&pkt.dst.0, |(k, _)| *k) {
+                let mc = &mut self.mcs[at].1;
                 if pkt.kind == PacketKind::Request {
                     // Off-chip access: reply after DRAM latency, paced by
                     // the MC service bandwidth.
@@ -347,7 +357,8 @@ impl Workload {
             }
         }
 
-        // 2. MC replies.
+        // 2. MC replies (ascending node order: the reply injection order is
+        // part of the deterministic behaviour contract).
         for (mc_node, mc) in self.mcs.iter_mut() {
             while let Some(&Reverse((ready, dst, tag))) = mc.pending.peek() {
                 if ready > now {
