@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test check fmt clippy ci faults figures perf clean
+.PHONY: all build test check fmt clippy ci faults guards figures perf clean
 
 all: build
 
@@ -22,7 +22,7 @@ clippy:
 check: fmt clippy
 
 # Everything CI runs, in CI's order.
-ci: check build test faults
+ci: check build test guards faults
 
 # Fault-injection subsystem: crate tests, the sweep campaign, and the
 # determinism check on the end-to-end example.
@@ -32,6 +32,15 @@ faults:
 	$(CARGO) run --release --offline --example fault_recovery > /tmp/fault_recovery_b.txt
 	cmp /tmp/fault_recovery_a.txt /tmp/fault_recovery_b.txt
 	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures -- --quick --only faults
+
+# Re-run the whole suite with every-cycle invariant checking (credit and
+# flit conservation, fault/power isolation); any breach panics on the
+# cycle it happens. Mirrors CI's guards-strict job.
+guards:
+	ADAPTNOC_GUARDS=strict $(CARGO) test --workspace --offline
+	$(CARGO) run --release --offline --example health_guards > /tmp/health_guards_a.txt
+	$(CARGO) run --release --offline --example health_guards > /tmp/health_guards_b.txt
+	cmp /tmp/health_guards_a.txt /tmp/health_guards_b.txt
 
 figures:
 	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures -- --threads 0

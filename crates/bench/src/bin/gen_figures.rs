@@ -1,11 +1,16 @@
 //! Regenerates every evaluation figure and table of the paper.
 //!
 //! Usage: `cargo run --release -p adaptnoc-bench --bin gen-figures
-//! [--quick] [--only figNN,...] [--threads N]`
+//! [--quick] [--only figNN,...] [--threads N] [--checkpoint DIR]`
 //!
 //! `--threads N` fans independent simulation points across N workers
 //! (0 = auto-detect; the default, 1, runs serially). Output is
 //! byte-identical at any thread count.
+//!
+//! `--checkpoint DIR` journals completed fault-sweep points to
+//! `DIR/faults.jsonl` as they finish; a killed run re-invoked with the
+//! same flag resumes from the completed points and still produces
+//! byte-identical JSON.
 //!
 //! Prints the same rows/series the paper reports (normalized to the
 //! baseline design) and writes machine-readable JSON next to the text.
@@ -30,6 +35,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| configured_threads(v.parse().expect("--threads takes a number")))
         .unwrap_or(1);
+    let checkpoint_dir = args
+        .iter()
+        .position(|a| a == "--checkpoint")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
     let mut scale = if quick {
         FigScale::quick()
     } else {
@@ -170,7 +180,11 @@ fn main() {
     if want("faults") {
         banner("Fault sweep: resilience under seeded fault schedules (4x4 mesh)");
         let seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
-        let rows = fault_sweep_par(seeds, scale.threads).expect("fault sweep");
+        let rows = match &checkpoint_dir {
+            Some(dir) => fault_sweep_checkpointed(seeds, scale.threads, &dir.join("faults.jsonl"))
+                .expect("fault sweep checkpoint journal"),
+            None => fault_sweep_par(seeds, scale.threads).expect("fault sweep"),
+        };
         println!(
             "{:<16} {:>5} {:>9} {:>7} {:>7} {:>6} {:>10} {:>8} {:>8}",
             "scenario", "seed", "delivery", "nacks", "drops", "recov", "ttr", "lat", "dead"

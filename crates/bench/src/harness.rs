@@ -169,10 +169,21 @@ pub fn run_design(
     let mut epoch = 0u64;
     let mut cycle = 0u64;
 
+    // Campaign points run unattended for millions of cycles; a generous
+    // watchdog turns a silent wedge into an immediate, diagnosable panic
+    // instead of an hour of spinning into `max_cycles`.
+    let mut watchdog = adaptnoc_sim::health::Watchdog::new(adaptnoc_sim::health::WatchdogConfig {
+        window: 100_000,
+        ..Default::default()
+    });
+
     loop {
         wl.tick(&mut design.net);
         design.net.step();
         design.tick()?;
+        if let Some(report) = watchdog.observe(&design.net) {
+            panic!("harness run wedged ({kind} design):\n{report}");
+        }
         cycle += 1;
 
         if cycle.is_multiple_of(rc.epoch_cycles) {

@@ -32,7 +32,7 @@ pub mod training;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::ablations::{ablation_sweep, AblationRow};
-    pub use crate::faults::{fault_sweep, fault_sweep_par, FaultRow};
+    pub use crate::faults::{fault_sweep, fault_sweep_checkpointed, fault_sweep_par, FaultRow};
     pub use crate::figs::{
         fig08, fig09, fig14, fig15, fig16, fig17, fig18, fig19, mixed_campaign, trained_policy,
         FigScale,
@@ -41,7 +41,9 @@ pub mod prelude {
         fixed_policies, oracle_policies, oracle_policies_par, run_design, traffic_hint, AppMetrics,
         RunConfig, RunResult,
     };
-    pub use crate::parallel::{configured_threads, run_indexed};
+    pub use crate::parallel::{
+        configured_threads, run_checkpointed, run_indexed, run_indexed_isolated, PointFailure,
+    };
     pub use crate::report::render_report;
     pub use crate::tables::{
         area_table, reconfig_table, scalability_table, timing_table, wiring_table,

@@ -9,7 +9,16 @@
 //! immediately claim the next unclaimed index, so a few slow points do
 //! not serialize the tail — and returns results **in index order**, which
 //! keeps every campaign's JSON output byte-identical to a serial run.
+//!
+//! Two crash-tolerance layers build on it: [`run_indexed_isolated`]
+//! catches per-point panics (with bounded retry), so one diverging point
+//! salvages the rest of the campaign instead of sinking it; and
+//! [`run_checkpointed`] journals each completed point to an append-only
+//! JSON-lines file, so a killed sweep resumes from the completed points
+//! and still produces byte-identical output.
 
+use adaptnoc_sim::json::Value;
+use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -81,6 +90,162 @@ where
         .collect()
 }
 
+/// A campaign point that kept panicking through its retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointFailure {
+    /// The point's index.
+    pub index: usize,
+    /// Attempts made (always the full budget).
+    pub attempts: u32,
+    /// The final panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "point {} failed after {} attempt(s): {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_indexed`] with per-point panic isolation: a panicking point is
+/// retried up to `max_attempts` times and then reported as a
+/// [`PointFailure`], while every other point's result is salvaged. Results
+/// are still in index order.
+///
+/// Retries make sense because campaign points construct all their own
+/// state from the index — a panic from a transient cause (e.g. resource
+/// exhaustion) may pass on a clean rebuild, while a deterministic bug
+/// fails every attempt and is reported once.
+pub fn run_indexed_isolated<T, F>(
+    n: usize,
+    threads: usize,
+    max_attempts: u32,
+    f: F,
+) -> Vec<Result<T, PointFailure>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let max_attempts = max_attempts.max(1);
+    run_indexed(n, threads, move |i| {
+        let mut last = String::new();
+        for _ in 0..max_attempts {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                Ok(v) => return Ok(v),
+                Err(p) => last = panic_message(p.as_ref()),
+            }
+        }
+        Err(PointFailure {
+            index: i,
+            attempts: max_attempts,
+            message: last,
+        })
+    })
+}
+
+/// [`run_indexed`] with an on-disk checkpoint journal, so a killed
+/// campaign resumes from its completed points.
+///
+/// Each finished point is appended to `path` as one JSON line
+/// `{"i": <index>, "v": <encode(result)>}` and flushed immediately.
+/// On entry the journal is replayed: points that decode are skipped,
+/// torn or unparseable lines (a mid-write kill) are ignored, and only the
+/// remaining indices run. Because results are assembled in index order
+/// from `decode`-faithful values, an interrupted-then-resumed campaign
+/// returns exactly what an uninterrupted one does.
+///
+/// # Errors
+///
+/// Returns the I/O error if the journal cannot be opened for appending;
+/// individual write failures are swallowed (the campaign still completes,
+/// it just loses crash tolerance for those points).
+pub fn run_checkpointed<T, F, E, D>(
+    n: usize,
+    threads: usize,
+    path: &std::path::Path,
+    encode: E,
+    decode: D,
+    f: F,
+) -> std::io::Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    E: Fn(&T) -> Value + Sync,
+    D: Fn(&Value) -> Option<T>,
+{
+    let mut done: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut torn_tail = false;
+    if let Ok(text) = std::fs::read_to_string(path) {
+        // A kill mid-write leaves a final line without its newline; new
+        // records must not be appended onto it.
+        torn_tail = !text.is_empty() && !text.ends_with('\n');
+        for line in text.lines() {
+            let Ok(entry) = adaptnoc_sim::json::parse(line.trim()) else {
+                continue;
+            };
+            let Some(i) = entry.get("i").and_then(Value::as_u64) else {
+                continue;
+            };
+            let Some(v) = entry.get("v") else { continue };
+            if let Some(slot) = done.get_mut(i as usize) {
+                if slot.is_none() {
+                    *slot = decode(v);
+                }
+            }
+        }
+    }
+    let todo: Vec<usize> = (0..n).filter(|&i| done[i].is_none()).collect();
+    if !todo.is_empty() {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if torn_tail {
+            writeln!(file)?;
+        }
+        let sink = Mutex::new(file);
+        let fresh = run_indexed(todo.len(), threads, |k| {
+            let i = todo[k];
+            let out = f(i);
+            let line = Value::Object(vec![
+                ("i".to_string(), Value::Number(i as f64)),
+                ("v".to_string(), encode(&out)),
+            ])
+            .to_string_compact();
+            let mut file = sink.lock().expect("checkpoint sink poisoned");
+            let _ = writeln!(file, "{line}");
+            let _ = file.flush();
+            (i, out)
+        });
+        for (i, out) in fresh {
+            done[i] = Some(out);
+        }
+    }
+    Ok(done
+        .into_iter()
+        .map(|slot| slot.expect("every index completed or replayed"))
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +275,78 @@ mod tests {
     fn configured_threads_prefers_explicit() {
         assert_eq!(configured_threads(7), 7);
         assert!(configured_threads(0) >= 1);
+    }
+
+    #[test]
+    fn isolated_salvages_other_points_when_one_keeps_panicking() {
+        let out = run_indexed_isolated(5, 2, 2, |i| {
+            assert!(i != 2, "point 2 is deterministically broken");
+            i * 10
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 2 {
+                let e = r.as_ref().expect_err("point 2 must fail");
+                assert_eq!(e.attempts, 2);
+                assert!(e.message.contains("deterministically broken"), "{e}");
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy point"), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_retry_rescues_a_transient_panic() {
+        let tries = AtomicUsize::new(0);
+        let out = run_indexed_isolated(1, 1, 3, |i| {
+            if tries.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient");
+            }
+            i + 99
+        });
+        assert_eq!(out[0].as_ref().copied(), Ok(99));
+        assert_eq!(tries.load(Ordering::Relaxed), 2);
+    }
+
+    fn scratch_journal(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("adaptnoc-ckpt-{}-{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn checkpoint_journal_resumes_from_completed_points() {
+        let path = scratch_journal("resume");
+        let _ = std::fs::remove_file(&path);
+        let encode = |v: &usize| Value::Number(*v as f64);
+        let decode = |v: &Value| v.as_u64().map(|n| n as usize);
+        let calls = AtomicUsize::new(0);
+        let f = |i: usize| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i * i
+        };
+
+        let full = run_checkpointed(6, 1, &path, encode, decode, f).unwrap();
+        assert_eq!(full, vec![0, 1, 4, 9, 16, 25]);
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+
+        // Simulate a kill after three points: keep the first three journal
+        // lines and append a torn line (a mid-write crash artifact).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().take(3).collect();
+        std::fs::write(&path, format!("{}\n{{\"i\":5,\"v\"", kept.join("\n"))).unwrap();
+
+        calls.store(0, Ordering::Relaxed);
+        let resumed = run_checkpointed(6, 1, &path, encode, decode, f).unwrap();
+        assert_eq!(resumed, full, "resume reproduces the uninterrupted run");
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            3,
+            "only the missing points re-ran"
+        );
+
+        // A fully journaled campaign re-runs nothing at all.
+        calls.store(0, Ordering::Relaxed);
+        let replayed = run_checkpointed(6, 4, &path, encode, decode, f).unwrap();
+        assert_eq!(replayed, full);
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -137,6 +137,32 @@ impl RegionReconfig {
         }
     }
 
+    /// Starts a reconfiguration of `rect` back to a previously captured
+    /// known-good spec (the self-healing ladder's last rung). Picks the
+    /// fast path when the rollback target keeps every router's power state
+    /// and every NI attachment unchanged — then the target's own tables are
+    /// a valid transitional routing function — and the slow
+    /// (pause-and-drain) path otherwise.
+    pub fn rollback_to(
+        net: &Network,
+        grid: &Grid,
+        rect: Rect,
+        last_good: impl Into<Arc<NetworkSpec>>,
+        timing: ReconfigTiming,
+    ) -> Self {
+        let target: Arc<NetworkSpec> = last_good.into();
+        let cur = net.spec();
+        let structure_kept = cur.routers.len() == target.routers.len()
+            && cur
+                .routers
+                .iter()
+                .zip(&target.routers)
+                .all(|(a, b)| a.active == b.active)
+            && cur.nis == target.nis;
+        let transitional = structure_kept.then(|| target.tables.clone());
+        Self::start(net, grid, rect, target, transitional, timing)
+    }
+
     /// Total latency so far (or final latency once done).
     pub fn latency(&self, now: u64) -> u64 {
         self.finished_at

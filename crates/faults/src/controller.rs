@@ -98,11 +98,14 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// Backoff before retry `attempt` (1-based), capped.
+    /// Backoff before retry `attempt` (1-based), capped. Saturates instead
+    /// of overflowing for any attempt number: once the (unshifted) factor
+    /// would exceed 64 bits the backoff is simply the cap.
     pub fn backoff(&self, attempt: u32) -> u64 {
-        let shift = attempt.saturating_sub(1).min(63);
+        let shift = u64::from(attempt.saturating_sub(1));
+        let factor = if shift >= 64 { u64::MAX } else { 1u64 << shift };
         self.backoff_base
-            .saturating_mul(1u64 << shift)
+            .saturating_mul(factor)
             .min(self.backoff_cap)
     }
 }
@@ -142,6 +145,9 @@ pub struct FaultStats {
     pub dropped: u64,
     /// Completed recoveries.
     pub recoveries: Vec<RecoveryOutcome>,
+    /// Escalation-ladder counters (all zero unless a
+    /// [`HealthGuard`](crate::escalation::HealthGuard) is attached).
+    pub guard: crate::escalation::GuardStats,
 }
 
 /// Drives a [`FaultSchedule`] into a running [`Network`] and recovers
@@ -166,6 +172,7 @@ pub struct FaultController {
     /// Strike cycle of the oldest unrecovered permanent fault.
     pending_since: Option<u64>,
     stats: FaultStats,
+    guard: Option<crate::escalation::HealthGuard>,
 }
 
 impl FaultController {
@@ -195,7 +202,26 @@ impl FaultController {
             recovery: None,
             pending_since: None,
             stats: FaultStats::default(),
+            guard: None,
         }
+    }
+
+    /// Attaches a self-healing [`HealthGuard`](crate::escalation::HealthGuard):
+    /// each tick the guard runs after the retry queue, and packets it purges
+    /// enter the same NACK/backoff retry machinery as fault-caught traffic.
+    pub fn attach_guard(&mut self, guard: crate::escalation::HealthGuard) {
+        self.guard = Some(guard);
+    }
+
+    /// The attached health guard, if any.
+    pub fn guard(&self) -> Option<&crate::escalation::HealthGuard> {
+        self.guard.as_ref()
+    }
+
+    /// Mutable access to the attached health guard (e.g. to re-capture the
+    /// known-good spec after a deliberate reconfiguration).
+    pub fn guard_mut(&mut self) -> Option<&mut crate::escalation::HealthGuard> {
+        self.guard.as_mut()
     }
 
     /// Counters so far.
@@ -293,6 +319,15 @@ impl FaultController {
                 continue;
             }
             net.inject_retry(packet, attempt)?;
+        }
+
+        // 5. Self-healing ladder, when attached: watchdog observation plus
+        // any engaged recovery rung. Purged packets join the retry queue.
+        if let Some(mut guard) = self.guard.take() {
+            let purged = guard.tick(net, &self.grid)?;
+            self.stats.guard = *guard.stats();
+            self.guard = Some(guard);
+            self.enqueue_retries(net, purged);
         }
         Ok(())
     }
@@ -445,6 +480,26 @@ mod tests {
         assert_eq!(p.backoff(8), 512);
         assert_eq!(p.backoff(40), 512, "capped");
         assert_eq!(p.backoff(0), 4, "attempt 0 behaves like 1");
+    }
+
+    #[test]
+    fn backoff_saturates_for_huge_attempt_numbers() {
+        let p = RetryPolicy::default();
+        // Shifts at and beyond the 64-bit boundary must saturate to the
+        // cap, not overflow.
+        assert_eq!(p.backoff(64), 512);
+        assert_eq!(p.backoff(65), 512);
+        assert_eq!(p.backoff(u32::MAX), 512);
+        let zero = RetryPolicy {
+            backoff_base: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(zero.backoff(u32::MAX), 0, "zero base stays zero");
+        let uncapped = RetryPolicy {
+            backoff_cap: u64::MAX,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(uncapped.backoff(u32::MAX), u64::MAX, "saturates, no panic");
     }
 
     #[test]

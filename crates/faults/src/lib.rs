@@ -63,6 +63,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod controller;
+pub mod escalation;
 pub mod schedule;
 
 /// Commonly used items, re-exported for convenience.
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use crate::controller::{
         FaultController, FaultError, FaultStats, RecoveryOutcome, RetryPolicy,
     };
+    pub use crate::escalation::{GuardConfig, GuardStats, HealthGuard};
     pub use crate::schedule::{FaultEvent, FaultKind, FaultSchedule, ScheduleParams};
     pub use adaptnoc_core::reconfig::ReconfigTiming;
 }

@@ -1,0 +1,285 @@
+//! Acceptance tests for the self-healing escalation ladder.
+//!
+//! Three seeded end-to-end scenarios:
+//!
+//! 1. A permanent channel fault wedges a cmesh slow-path drain (the
+//!    region's NIs are paused, blocked traffic can never quiesce); the
+//!    watchdog detects the stall and rung 2's purge-and-retry unwedges the
+//!    drain with zero lost packets.
+//! 2. A slow-path drain is started and then abandoned (as if the
+//!    controller driving it crashed); rung 3 unpauses the region's NIs
+//!    and rolls back to the last known-good spec, again losing nothing.
+//! 3. A failed router with traffic committed toward it defeats every
+//!    rung (the blocked packets sit on healthy channels, invisible to
+//!    purging, and rollback cannot revive a dead router); the guard
+//!    declares the stall unrecoverable and renders a flight-recorder
+//!    dump.
+
+use adaptnoc_core::reconfig::RegionReconfig;
+use adaptnoc_faults::prelude::*;
+use adaptnoc_sim::config::SimConfig;
+use adaptnoc_sim::flit::Packet;
+use adaptnoc_sim::health::WatchdogConfig;
+use adaptnoc_sim::ids::{NodeId, RouterId};
+use adaptnoc_sim::network::Network;
+use adaptnoc_sim::spec::{ChannelKey, NetworkSpec};
+use adaptnoc_topology::prelude::*;
+
+fn rect() -> Rect {
+    Rect::new(0, 0, 4, 4)
+}
+
+fn chip(kind: TopologyKind) -> (NetworkSpec, Grid) {
+    let grid = Grid::new(4, 4);
+    let spec = build_chip_spec(
+        grid,
+        &[RegionTopology::new(rect(), kind)],
+        &SimConfig::adapt_noc(),
+    )
+    .unwrap();
+    (spec, grid)
+}
+
+fn channel_between(spec: &NetworkSpec, src: RouterId, dst: RouterId) -> ChannelKey {
+    spec.channels
+        .iter()
+        .find(|c| c.src.router == src && c.dst.router == dst)
+        .map(|c| c.key())
+        .expect("channel exists")
+}
+
+/// A fast-reacting guard configuration so the tests stay short.
+fn guard_config(window: u64, grace: u64, max_rounds: u32) -> GuardConfig {
+    GuardConfig {
+        watchdog: WatchdogConfig {
+            window,
+            check_interval: 32,
+            max_packet_age: None,
+        },
+        grace,
+        max_rounds,
+        recorder_capacity: 128,
+    }
+}
+
+/// Scenario 1: permanent fault during a cmesh slow-path drain. The drain
+/// pauses the region's NIs and waits for full quiescence, which the
+/// blocked packets behind the faulted channel can never provide. Rung 1
+/// (re-route) is harmless but useless — the fallback is the same mesh
+/// routing function — and rung 2's purge reaps the blocked packets into
+/// the controller's NACK/retry machinery, letting the drain finish and
+/// the queued traffic (including every retry) deliver over the cmesh.
+#[test]
+fn wedged_cmesh_drain_is_recovered_by_purge_and_retry() {
+    let (mesh, grid) = chip(TopologyKind::Mesh);
+    let (cmesh, _) = chip(TopologyKind::Cmesh);
+    let cfg = SimConfig::adapt_noc();
+    let timing = ReconfigTiming::default();
+    let mut net = Network::new(mesh.clone(), cfg.clone()).unwrap();
+    let guard = HealthGuard::new(
+        &mut net,
+        rect(),
+        timing,
+        mesh.tables.clone(),
+        guard_config(400, 250, 2),
+    );
+    let mut ctl = FaultController::new(
+        FaultSchedule::new(vec![]),
+        RetryPolicy::default(),
+        grid,
+        rect(),
+        cfg,
+        timing,
+    );
+    ctl.attach_guard(guard);
+
+    // The wedge: an eastbound row-1 channel that the N4 -> N7 stream
+    // crosses under XY routing, and that the cmesh target does not keep.
+    let key = channel_between(&mesh, RouterId(5), RouterId(6));
+
+    let mut rc: Option<RegionReconfig> = None;
+    let mut next_id = 1u64;
+    for _ in 0..8_000u64 {
+        let now = net.now();
+        if now < 100 && now.is_multiple_of(3) {
+            net.inject(Packet::request(next_id, NodeId(4), NodeId(7), 0))
+                .unwrap();
+            next_id += 1;
+        }
+        if now == 40 {
+            // Packets mid-allocation across the channel come back NACKed;
+            // hand them straight to the retry path so nothing is lost.
+            for p in net.set_channel_fault(key, true).unwrap() {
+                net.inject_retry(p, 1).unwrap();
+            }
+        }
+        if now == 60 {
+            rc = Some(RegionReconfig::start(
+                &net,
+                &grid,
+                rect(),
+                cmesh.clone(),
+                None,
+                timing,
+            ));
+        }
+        net.step();
+        if let Some(r) = &mut rc {
+            if r.tick(&mut net, &grid).unwrap() {
+                rc = None;
+            }
+        }
+        ctl.tick(&mut net).unwrap();
+        if now > 500 && rc.is_none() && net.in_flight() == 0 && ctl.settled() {
+            break;
+        }
+    }
+
+    assert!(rc.is_none(), "the wedged drain must complete");
+    assert_eq!(net.in_flight(), 0, "everything must drain");
+    let s = net.totals().stats;
+    assert_eq!(s.drops, 0, "zero lost packets");
+    assert_eq!(
+        s.packets, s.packets_offered,
+        "every offered packet delivers"
+    );
+    assert_eq!(s.packets, next_id - 1);
+    assert!(s.nacks > 0, "the purge NACKed the blocked packets");
+    let g = ctl.stats().guard;
+    assert_eq!(g.watchdog_fires, 1, "one stall episode");
+    assert_eq!(g.reroutes, 1, "rung 1 engaged once");
+    assert!(g.purged_packets >= 1, "rung 2 reaped the wedge");
+    assert_eq!(g.rollbacks, 0, "rung 3 never needed");
+    assert_eq!(g.recoveries, 1, "the episode ended in recovery");
+    // The cmesh actually went live (its concentration gates 12 routers).
+    assert_eq!(net.spec().active_routers(), 4);
+}
+
+/// Scenario 2: a slow-path drain started and abandoned mid-flight leaves
+/// the region's NIs paused with traffic queued behind them. Purging can't
+/// help (nothing is blocked on a faulted channel), so the ladder reaches
+/// rung 3: unpause the NIs and roll back to the last known-good spec.
+#[test]
+fn abandoned_drain_is_recovered_by_rollback() {
+    let (mesh, grid) = chip(TopologyKind::Mesh);
+    let (cmesh, _) = chip(TopologyKind::Cmesh);
+    let cfg = SimConfig::adapt_noc();
+    let timing = ReconfigTiming::default();
+    let mut net = Network::new(mesh.clone(), cfg).unwrap();
+    let mut guard = HealthGuard::new(
+        &mut net,
+        rect(),
+        timing,
+        mesh.tables.clone(),
+        guard_config(300, 200, 2),
+    );
+
+    // Twelve two-flit replies per node: the NI queues (24 flits deep, one
+    // flit streamed per cycle) are still well stocked when the drain
+    // pauses them at cycle 18, so traffic is provably trapped behind the
+    // abandoned reconfiguration.
+    let mut next_id = 1u64;
+    for i in 0..16u16 {
+        for _ in 0..12 {
+            net.inject(Packet::reply(next_id, NodeId(i), NodeId((i + 5) % 16), 0))
+                .unwrap();
+            next_id += 1;
+        }
+    }
+    let mut rc = Some(RegionReconfig::start(
+        &net,
+        &grid,
+        rect(),
+        cmesh,
+        None,
+        timing,
+    ));
+
+    let mut cycles = 0u64;
+    loop {
+        net.step();
+        // Drive the reconfiguration just past its notification stage (the
+        // NIs are now paused), then abandon it — the controller "crashed".
+        if net.now() < 25 {
+            if let Some(r) = &mut rc {
+                r.tick(&mut net, &grid).unwrap();
+            }
+        } else {
+            rc = None;
+        }
+        for p in guard.tick(&mut net, &grid).unwrap() {
+            net.inject_retry(p, 1).unwrap();
+        }
+        if net.in_flight() == 0 && guard.rung() == 0 && net.now() > 100 {
+            break;
+        }
+        cycles += 1;
+        assert!(cycles < 20_000, "recovery must complete");
+    }
+
+    let s = net.totals().stats;
+    assert_eq!(s.drops, 0, "zero lost packets");
+    assert_eq!(s.packets, s.packets_offered);
+    assert_eq!(s.packets, next_id - 1);
+    let g = *guard.stats();
+    assert_eq!(g.watchdog_fires, 1);
+    assert_eq!(g.rollbacks, 1, "rung 3 rolled the region back");
+    assert_eq!(g.recoveries, 1);
+    assert!(!guard.unrecoverable());
+}
+
+/// Scenario 3: traffic committed toward a failed router sits on healthy
+/// channels — invisible to rung 2's purge — and no table swap or rollback
+/// revives a dead router, so every rung fails. The guard must declare the
+/// stall unrecoverable and render a post-mortem dump.
+#[test]
+fn dead_router_exhausts_the_ladder_and_dumps() {
+    let (mesh, grid) = chip(TopologyKind::Mesh);
+    let cfg = SimConfig::adapt_noc();
+    let timing = ReconfigTiming::default();
+    let mut net = Network::new(mesh.clone(), cfg).unwrap();
+    let mut guard = HealthGuard::new(
+        &mut net,
+        rect(),
+        timing,
+        mesh.tables.clone(),
+        guard_config(200, 150, 1),
+    );
+
+    // R5 dies before any traffic exists, so nothing is purged here; the
+    // N1 -> N9 stream then wedges at R1 trying to route north through it.
+    let purged = net.fail_router(RouterId(5));
+    assert!(purged.is_empty());
+    for i in 0..4u64 {
+        net.inject(Packet::request(i + 1, NodeId(1), NodeId(9), 0))
+            .unwrap();
+    }
+
+    let mut cycles = 0u64;
+    while !guard.unrecoverable() {
+        net.step();
+        for p in guard.tick(&mut net, &grid).unwrap() {
+            net.inject_retry(p, 1).unwrap();
+        }
+        cycles += 1;
+        assert!(cycles < 20_000, "the ladder must exhaust");
+    }
+
+    let g = *guard.stats();
+    assert_eq!(g.watchdog_fires, 1);
+    assert_eq!(g.reroutes, 1, "rung 1 was tried");
+    assert_eq!(g.rollbacks, 1, "rung 3 was tried");
+    assert_eq!(g.recoveries, 0, "nothing recovered");
+    assert_eq!(g.dumps, 1, "one post-mortem dump");
+    let dump = guard.last_dump().expect("dump rendered");
+    let reason = dump.get("reason").and_then(|v| v.as_str()).unwrap();
+    assert!(
+        reason.contains("unrecoverable"),
+        "dump explains itself: {reason}"
+    );
+    assert!(dump.get("snapshot").is_some(), "dump embeds the snapshot");
+    assert!(dump.get("recent_events").is_some());
+    // The wedged packets are still accounted for — stood down, not lost.
+    assert!(net.in_flight() > 0);
+    assert_eq!(net.totals().stats.drops, 0);
+}

@@ -8,6 +8,7 @@
 use adaptnoc_faults::prelude::*;
 use adaptnoc_sim::config::SimConfig;
 use adaptnoc_sim::flit::Packet;
+use adaptnoc_sim::health::{Watchdog, WatchdogConfig};
 use adaptnoc_sim::ids::NodeId;
 use adaptnoc_sim::network::Network;
 use adaptnoc_sim::rng::Rng;
@@ -37,8 +38,11 @@ fn survives_single_fault(spec: NetworkSpec, grid: Grid, key: ChannelKey) -> (u64
         ReconfigTiming::default(),
     );
 
+    // The watchdog replaces a fixed iteration bound: recovery may take as
+    // long as it needs, but a wedge fails fast with a stall diagnosis.
+    let mut watchdog = Watchdog::new(WatchdogConfig::default());
     let mut next_id = 1u64;
-    for _ in 0..3_000u64 {
+    loop {
         let now = net.now();
         if now < 200 && now.is_multiple_of(8) {
             for i in 0..16u16 {
@@ -52,13 +56,13 @@ fn survives_single_fault(spec: NetworkSpec, grid: Grid, key: ChannelKey) -> (u64
         if now >= 200 && net.in_flight() == 0 && ctl.settled() {
             break;
         }
+        if let Some(report) = watchdog.observe(&net) {
+            panic!("recovery wedged for fault {key:?}:\n{report}");
+        }
+        // The watchdog resets while the network is empty, so a controller
+        // that never settles needs its own (generous) backstop.
+        assert!(now < 100_000, "controller did not settle for fault {key:?}");
     }
-    assert!(ctl.settled(), "controller did not settle for fault {key:?}");
-    assert_eq!(
-        net.in_flight(),
-        0,
-        "network did not drain for fault {key:?}"
-    );
     assert_eq!(
         ctl.stats().recoveries.len(),
         1,
@@ -136,8 +140,9 @@ fn random_torus_link_faults_are_survivable_closed_loop() {
             cfg,
             ReconfigTiming::default(),
         );
+        let mut watchdog = Watchdog::new(WatchdogConfig::default());
         let mut next_id = 1u64;
-        for _ in 0..3_000u64 {
+        loop {
             let now = net.now();
             if now < 200 && now.is_multiple_of(8) {
                 for i in 0..16u16 {
@@ -151,8 +156,11 @@ fn random_torus_link_faults_are_survivable_closed_loop() {
             if now >= 200 && net.in_flight() == 0 && ctl.settled() {
                 break;
             }
+            if let Some(report) = watchdog.observe(&net) {
+                panic!("recovery wedged for fault {key:?}:\n{report}");
+            }
+            assert!(now < 100_000, "controller did not settle for fault {key:?}");
         }
-        assert!(ctl.settled(), "controller did not settle for fault {key:?}");
         assert!(ctl.disconnected().is_empty(), "{key:?} disconnected nodes");
         let s = net.totals().stats;
         assert_eq!(s.drops, 0, "no drops for fault {key:?}");

@@ -5,6 +5,7 @@
 //! (`T_r`) for all designs except Flattened Butterfly (3 cycles), 1-cycle mesh
 //! links (`T_l`), and per-design VC counts chosen to keep buffer area equal.
 
+use crate::health::GuardMode;
 use crate::ids::Vnet;
 
 /// Number of flits in a data (reply) packet: a 64-byte cache line over
@@ -39,6 +40,10 @@ pub struct SimConfig {
     pub injection_bypass: bool,
     /// Link width in bits (256 in the paper). Only used by the power model.
     pub link_width_bits: u16,
+    /// Runtime invariant-guard mode. Overridden at network construction by
+    /// the `ADAPTNOC_GUARDS` environment variable when that is set (see
+    /// [`GuardMode::from_env`]).
+    pub guards: GuardMode,
 }
 
 impl SimConfig {
@@ -53,6 +58,7 @@ impl SimConfig {
             wake_latency: 14,
             injection_bypass: false,
             link_width_bits: 256,
+            guards: GuardMode::default(),
         }
     }
 

@@ -54,6 +54,7 @@ pub mod arbiter;
 pub mod config;
 pub mod events;
 pub mod flit;
+pub mod health;
 pub mod ids;
 pub mod json;
 pub mod network;
@@ -68,6 +69,10 @@ pub mod prelude {
     pub use crate::config::{SimConfig, CONTROL_PACKET_FLITS, DATA_PACKET_FLITS};
     pub use crate::events::{EventCounts, StaticCycles};
     pub use crate::flit::{Flit, FlitPos, Packet, PacketKind};
+    pub use crate::health::{
+        FlightRecorder, GuardMode, HealthCounts, InvariantKind, InvariantViolation, StallKind,
+        StallReport, Watchdog, WatchdogConfig,
+    };
     pub use crate::ids::{ChannelId, Direction, NodeId, PortId, RouterId, Vnet, LOCAL_PORT};
     pub use crate::network::{Network, NetworkError};
     pub use crate::rng::Rng;

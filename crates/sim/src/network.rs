@@ -15,7 +15,9 @@ use crate::arbiter::RoundRobin;
 use crate::config::SimConfig;
 use crate::events::{EventCounts, StaticCycles};
 use crate::flit::{Flit, Packet};
+use crate::health::{channel_label, GuardMode, HealthCounts, InvariantKind, InvariantViolation};
 use crate::ids::{ChannelId, NodeId, PortId, RouterId, Vnet};
+use crate::json::Value;
 use crate::routing::RoutingTables;
 use crate::spec::{ChannelKey, ChannelKind, NetworkSpec, PortRef, SpecError};
 use crate::stats::{Delivered, EpochReport, NetStats};
@@ -266,6 +268,15 @@ pub struct Network {
     static_ports_on: u64,
     /// Recycled NI flit-stream deques (one allocation per packet otherwise).
     deque_pool: Vec<VecDeque<Flit>>,
+    /// Resolved invariant-guard mode (`ADAPTNOC_GUARDS` overrides the
+    /// config; see [`crate::health`]).
+    guard_mode: GuardMode,
+    /// Guard counters for the current epoch window.
+    health: HealthCounts,
+    /// Guard counters accumulated across past epochs.
+    health_total: HealthCounts,
+    /// Violations from the most recent guard sweep that found any.
+    last_violations: Vec<InvariantViolation>,
 }
 
 impl Network {
@@ -371,6 +382,7 @@ impl Network {
             routers[n.router.index()].out_ports[n.port.index()].eject = true;
         }
 
+        let guard_mode = GuardMode::from_env().unwrap_or(cfg.guards);
         let mut net = Network {
             cfg,
             spec: Arc::new(spec),
@@ -410,6 +422,10 @@ impl Network {
             static_off: 0,
             static_ports_on: 0,
             deque_pool: Vec::new(),
+            guard_mode,
+            health: HealthCounts::default(),
+            health_total: HealthCounts::default(),
+            last_violations: Vec::new(),
         };
         net.router_forwarded = vec![0; net.routers.len()];
         net.router_occupancy_sum = vec![0; net.routers.len()];
@@ -721,10 +737,13 @@ impl Network {
         for v in self.channel_flits.iter_mut() {
             *v = 0;
         }
+        let health = self.health.take();
+        self.health_total.accumulate(&health);
         EpochReport {
             stats,
             events,
             static_cycles,
+            health,
         }
     }
 
@@ -771,10 +790,13 @@ impl Network {
         events.accumulate(&self.events);
         let mut static_cycles = self.statics_total;
         static_cycles.accumulate(&self.statics);
+        let mut health = self.health_total;
+        health.accumulate(&self.health);
         EpochReport {
             stats: self.totals.clone(),
             events,
             static_cycles,
+            health,
         }
     }
 
@@ -927,6 +949,17 @@ impl Network {
         s.mesh_link_mm_cycles += self.profile.mesh_link_mm;
         s.adapt_link_mm_cycles += self.profile.adapt_link_mm;
         s.conc_link_mm_cycles += self.profile.conc_link_mm;
+
+        // 6. Invariant guards (see `crate::health`): strict mode sweeps
+        // every cycle, sampled mode on a deterministic cycle-keyed cadence.
+        let check = match self.guard_mode {
+            GuardMode::Off => false,
+            GuardMode::Strict => true,
+            GuardMode::Sampled(n) => n != 0 && now.is_multiple_of(n as u64),
+        };
+        if check {
+            self.run_guard_check();
+        }
     }
 
     /// Delivers every flit whose wire latency elapsed on one channel.
@@ -2166,6 +2199,583 @@ impl Network {
     /// [`crate::trace::TraceEvent::FaultInjected`] through this.
     pub fn tracer_mut(&mut self) -> Option<&mut crate::trace::TraceBuffer> {
         self.tracer.as_mut()
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime health: invariant guards, stall introspection, snapshots
+    // (see `crate::health`).
+    // ------------------------------------------------------------------
+
+    /// The invariant-guard mode this network runs with (resolved at
+    /// construction from `ADAPTNOC_GUARDS` / [`SimConfig::guards`]).
+    ///
+    /// [`SimConfig::guards`]: crate::config::SimConfig
+    pub fn guard_mode(&self) -> GuardMode {
+        self.guard_mode
+    }
+
+    /// Overrides the guard mode. Tests use this to force [`GuardMode::Strict`]
+    /// or — for deliberate-corruption tests — to pin a non-panicking mode
+    /// regardless of the `ADAPTNOC_GUARDS` environment.
+    pub fn set_guard_mode(&mut self, mode: GuardMode) {
+        self.guard_mode = mode;
+    }
+
+    /// Violations found by the most recent guard sweep that found any
+    /// (empty while the network has always checked clean).
+    pub fn guard_violations(&self) -> &[InvariantViolation] {
+        &self.last_violations
+    }
+
+    /// The live spec behind its shared handle (cheap clone; reconfiguration
+    /// controllers snapshot this as a rollback target).
+    pub fn spec_shared(&self) -> Arc<NetworkSpec> {
+        Arc::clone(&self.spec)
+    }
+
+    /// Channels currently carrying flits on the wire, with their occupancy.
+    pub fn channel_backlogs(&self) -> Vec<(ChannelKey, usize)> {
+        self.channels
+            .iter()
+            .filter(|c| !c.q.is_empty())
+            .map(|c| (c.spec.key(), c.q.len()))
+            .collect()
+    }
+
+    /// NIs holding undelivered packets (queued or mid-stream), with their
+    /// packet counts.
+    pub fn ni_backlogs(&self) -> Vec<(NodeId, usize)> {
+        self.nis
+            .iter()
+            .filter_map(|n| {
+                let count = n.source_q.len() + usize::from(n.cur.is_some());
+                (count > 0).then_some((n.spec.node, count))
+            })
+            .collect()
+    }
+
+    /// `(id, created_at)` of the oldest packet still in the network
+    /// (buffers, wires, or NI queues), ties broken by lowest id. `None`
+    /// when fully drained.
+    pub fn oldest_in_flight(&self) -> Option<(u64, u64)> {
+        let mut best: Option<(u64, u64)> = None;
+        let mut consider = |created: u64, id: u64| match best {
+            Some((bc, bi)) if (bc, bi) <= (created, id) => {}
+            _ => best = Some((created, id)),
+        };
+        for r in &self.routers {
+            for ip in &r.in_ports {
+                for vc in &ip.vcs {
+                    for f in &vc.buf {
+                        consider(f.created_at, f.packet);
+                    }
+                }
+            }
+        }
+        for c in &self.channels {
+            for (_, f) in &c.q {
+                consider(f.created_at, f.packet);
+            }
+        }
+        for n in &self.nis {
+            if let Some((_, flits)) = &n.cur {
+                if let Some(f) = flits.front() {
+                    consider(f.created_at, f.packet);
+                }
+            }
+            for p in &n.source_q {
+                consider(p.created_at, p.id);
+            }
+        }
+        best.map(|(created, id)| (id, created))
+    }
+
+    /// A structural JSON snapshot of the non-quiet parts of the network:
+    /// routers holding flits or in a non-nominal power state, channels with
+    /// wire traffic or faults, and NIs with pending packets. The flight
+    /// recorder embeds this in post-mortem dumps.
+    pub fn snapshot(&self) -> Value {
+        let mut routers = Vec::new();
+        for (ri, r) in self.routers.iter().enumerate() {
+            if r.flits == 0 && r.active && !r.sleeping && !r.failed {
+                continue;
+            }
+            routers.push(Value::Object(vec![
+                ("router".into(), Value::Number(ri as f64)),
+                ("flits".into(), Value::Number(r.flits as f64)),
+                ("active".into(), Value::Bool(r.active)),
+                ("sleeping".into(), Value::Bool(r.sleeping)),
+                ("failed".into(), Value::Bool(r.failed)),
+            ]));
+        }
+        let mut channels = Vec::new();
+        for c in &self.channels {
+            if c.q.is_empty() && !c.faulted {
+                continue;
+            }
+            channels.push(Value::Object(vec![
+                (
+                    "channel".into(),
+                    Value::String(channel_label(&c.spec.key())),
+                ),
+                ("flits".into(), Value::Number(c.q.len() as f64)),
+                ("faulted".into(), Value::Bool(c.faulted)),
+            ]));
+        }
+        let mut nis = Vec::new();
+        for n in &self.nis {
+            if n.source_q.is_empty() && n.cur.is_none() && !n.paused {
+                continue;
+            }
+            nis.push(Value::Object(vec![
+                ("node".into(), Value::Number(n.spec.node.index() as f64)),
+                ("queued".into(), Value::Number(n.source_q.len() as f64)),
+                ("streaming".into(), Value::Bool(n.cur.is_some())),
+                ("paused".into(), Value::Bool(n.paused)),
+            ]));
+        }
+        Value::Object(vec![
+            ("cycle".into(), Value::Number(self.now as f64)),
+            ("in_flight".into(), Value::Number(self.in_flight() as f64)),
+            (
+                "buffered_flits".into(),
+                Value::Number(self.occupied_flits as f64),
+            ),
+            ("wire_flits".into(), Value::Number(self.wire_flits as f64)),
+            (
+                "queued_packets".into(),
+                Value::Number(self.queued_packets as f64),
+            ),
+            ("routers".into(), Value::Array(routers)),
+            ("channels".into(), Value::Array(channels)),
+            ("nis".into(), Value::Array(nis)),
+        ])
+    }
+
+    /// Deliberately leaks one upstream credit on `key`/`vc` — a corruption
+    /// hook for tests that must see the credit-conservation guard trip.
+    /// Never called by the simulator itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchChannel`] if the channel is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range for the configuration.
+    pub fn chaos_leak_credit(&mut self, key: ChannelKey, vc: u8) -> Result<(), NetworkError> {
+        let ch = self
+            .channels
+            .iter()
+            .position(|c| c.spec.key() == key)
+            .ok_or(NetworkError::NoSuchChannel(key))?;
+        let src = self.channels[ch].spec.src;
+        let op = &mut self.routers[src.router.index()].out_ports[src.port.index()];
+        let c = &mut op.credits[vc as usize];
+        *c = c.saturating_sub(1);
+        Ok(())
+    }
+
+    /// One guard sweep: count it, collect violations, record them as trace
+    /// events, and either panic (strict mode) or retain them for
+    /// [`guard_violations`](Self::guard_violations).
+    fn run_guard_check(&mut self) {
+        self.health.checks += 1;
+        let violations = self.check_invariants();
+        if violations.is_empty() {
+            return;
+        }
+        self.health.violations += violations.len() as u64;
+        if let Some(t) = self.tracer.as_mut() {
+            for v in &violations {
+                t.record(crate::trace::TraceEvent::GuardViolation {
+                    cycle: self.now,
+                    detail: v.to_string(),
+                });
+            }
+        }
+        if self.guard_mode == GuardMode::Strict {
+            let joined = violations
+                .iter()
+                .map(InvariantViolation::to_string)
+                .collect::<Vec<_>>()
+                .join("\n  ");
+            panic!("invariant violation(s) at cycle {}:\n  {joined}", self.now);
+        }
+        self.last_violations = violations;
+    }
+
+    /// Sweeps every invariant family once and returns the violations found
+    /// (empty in a healthy network). Read-only and callable at any cycle
+    /// boundary; the in-step guards use it, and tests may call it directly.
+    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        let depth = self.cfg.vc_depth as usize;
+        let total_vcs = self.cfg.total_vcs();
+
+        // Flit conservation and buffer-occupancy summaries: the incremental
+        // counters must agree with a from-scratch recount.
+        let mut buffered = 0u64;
+        for (ri, r) in self.routers.iter().enumerate() {
+            let mut router_flits = 0u32;
+            for (pi, ip) in r.in_ports.iter().enumerate() {
+                for (vi, vc) in ip.vcs.iter().enumerate() {
+                    let len = vc.buf.len();
+                    router_flits += len as u32;
+                    if len > depth {
+                        out.push(InvariantViolation::new(
+                            InvariantKind::BufferOccupancy,
+                            format!("R{ri}:p{pi} vc{vi} holds {len} flits, depth {depth}"),
+                        ));
+                    }
+                    let bit = ip.occ & (1 << vi) != 0;
+                    if bit == vc.buf.is_empty() {
+                        out.push(InvariantViolation::new(
+                            InvariantKind::BufferOccupancy,
+                            format!("R{ri}:p{pi} vc{vi} occ bit {bit} with {len} buffered flits"),
+                        ));
+                    }
+                }
+            }
+            if router_flits != r.flits {
+                out.push(InvariantViolation::new(
+                    InvariantKind::FlitConservation,
+                    format!(
+                        "R{ri} caches {} flits but its buffers hold {router_flits}",
+                        r.flits
+                    ),
+                ));
+            }
+            buffered += router_flits as u64;
+        }
+        if buffered != self.occupied_flits {
+            out.push(InvariantViolation::new(
+                InvariantKind::FlitConservation,
+                format!(
+                    "network caches {} buffered flits, buffers hold {buffered}",
+                    self.occupied_flits
+                ),
+            ));
+        }
+        let wire: u64 = self.channels.iter().map(|c| c.q.len() as u64).sum();
+        if wire != self.wire_flits {
+            out.push(InvariantViolation::new(
+                InvariantKind::FlitConservation,
+                format!(
+                    "network caches {} wire flits, channels hold {wire}",
+                    self.wire_flits
+                ),
+            ));
+        }
+        let stream: u64 = self
+            .nis
+            .iter()
+            .map(|n| n.cur.as_ref().map_or(0, |(_, f)| f.len() as u64))
+            .sum();
+        if stream != self.ni_stream_flits {
+            out.push(InvariantViolation::new(
+                InvariantKind::FlitConservation,
+                format!(
+                    "network caches {} NI stream flits, NIs hold {stream}",
+                    self.ni_stream_flits
+                ),
+            ));
+        }
+        let queued: u64 = self.nis.iter().map(|n| n.source_q.len() as u64).sum();
+        if queued != self.queued_packets {
+            out.push(InvariantViolation::new(
+                InvariantKind::FlitConservation,
+                format!(
+                    "network caches {} queued packets, NI queues hold {queued}",
+                    self.queued_packets
+                ),
+            ));
+        }
+
+        // Credit conservation per (channel, VC): upstream credits plus flits
+        // on the wire, in the downstream buffer, and in pending credit
+        // returns must equal the VC depth. Ports shared with NIs have no
+        // credit loop and are exempt.
+        for (ci, c) in self.channels.iter().enumerate() {
+            let dst = c.spec.dst;
+            let down = &self.routers[dst.router.index()].in_ports[dst.port.index()];
+            if !down.nis.is_empty() {
+                continue;
+            }
+            let up = &self.routers[c.spec.src.router.index()].out_ports[c.spec.src.port.index()];
+            let mut wire_occ = vec![0u32; total_vcs];
+            for (_, f) in &c.q {
+                wire_occ[f.assigned_vc as usize] += 1;
+            }
+            let mut pending = vec![0u32; total_vcs];
+            for &(ch, vc) in &self.pending_credits {
+                if ch.index() == ci {
+                    pending[vc as usize] += 1;
+                }
+            }
+            for v in 0..total_vcs {
+                let sum =
+                    up.credits[v] as u32 + wire_occ[v] + down.vcs[v].buf.len() as u32 + pending[v];
+                if sum != depth as u32 {
+                    out.push(InvariantViolation::new(
+                        InvariantKind::CreditConservation,
+                        format!(
+                            "{} vc{v}: credits {} + wire {} + downstream {} + pending {} != depth {depth}",
+                            channel_label(&c.spec.key()),
+                            up.credits[v],
+                            wire_occ[v],
+                            down.vcs[v].buf.len(),
+                            pending[v]
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Fault isolation: per-channel flags mirror the registry, and a
+        // faulted channel never carries traffic.
+        for c in &self.channels {
+            let registered = self.faulted_keys.contains(&c.spec.key());
+            if c.faulted != registered {
+                out.push(InvariantViolation::new(
+                    InvariantKind::FaultIsolation,
+                    format!(
+                        "{} fault flag {} disagrees with registry {registered}",
+                        channel_label(&c.spec.key()),
+                        c.faulted
+                    ),
+                ));
+            }
+            if c.faulted && !c.q.is_empty() {
+                out.push(InvariantViolation::new(
+                    InvariantKind::FaultIsolation,
+                    format!(
+                        "faulted channel {} carries {} flits",
+                        channel_label(&c.spec.key()),
+                        c.q.len()
+                    ),
+                ));
+            }
+        }
+
+        // Power gating and VC-allocation cross-links.
+        for (ri, r) in self.routers.iter().enumerate() {
+            if r.failed && !r.sleeping {
+                out.push(InvariantViolation::new(
+                    InvariantKind::PowerGating,
+                    format!("R{ri} failed but not powered down"),
+                ));
+            }
+            let dark = r.sleeping || r.failed;
+            for (po, op) in r.out_ports.iter().enumerate() {
+                for (gvc, a) in op.alloc.iter().enumerate() {
+                    let Some((pi, vi)) = *a else { continue };
+                    if dark {
+                        out.push(InvariantViolation::new(
+                            InvariantKind::PowerGating,
+                            format!("R{ri} is dark but output p{po} vc{gvc} is allocated"),
+                        ));
+                    }
+                    let vc = &r.in_ports[pi as usize].vcs[vi as usize];
+                    if vc.out_vc != Some(gvc as u8)
+                        || vc.route != Some(PortId(po as u8))
+                        || vc.owner.is_none()
+                    {
+                        out.push(InvariantViolation::new(
+                            InvariantKind::Allocation,
+                            format!(
+                                "R{ri} output p{po} vc{gvc} allocated to p{pi}/vc{vi}, which \
+                                 holds route {:?} out_vc {:?} owner {:?}",
+                                vc.route, vc.out_vc, vc.owner
+                            ),
+                        ));
+                    }
+                }
+            }
+            for (pi, ip) in r.in_ports.iter().enumerate() {
+                for (vi, vc) in ip.vcs.iter().enumerate() {
+                    if vc.route.is_some() && vc.owner.is_none() {
+                        out.push(InvariantViolation::new(
+                            InvariantKind::Allocation,
+                            format!("R{ri}:p{pi} vc{vi} routed without an owner"),
+                        ));
+                    }
+                    if let Some(gvc) = vc.out_vc {
+                        let Some(po) = vc.route else {
+                            out.push(InvariantViolation::new(
+                                InvariantKind::Allocation,
+                                format!("R{ri}:p{pi} vc{vi} holds out_vc {gvc} without a route"),
+                            ));
+                            continue;
+                        };
+                        let back = r.out_ports[po.index()].alloc[gvc as usize];
+                        if back != Some((pi as u8, vi as u8)) {
+                            out.push(InvariantViolation::new(
+                                InvariantKind::Allocation,
+                                format!(
+                                    "R{ri}:p{pi} vc{vi} claims output {po} vc{gvc}, whose \
+                                     allocation is {back:?}"
+                                ),
+                            ));
+                        }
+                    }
+                    if vc.ni_lock {
+                        let held = ip.nis.iter().any(
+                            |&ni| matches!(&self.nis[ni].cur, Some((v, _)) if *v as usize == vi),
+                        );
+                        if !held {
+                            out.push(InvariantViolation::new(
+                                InvariantKind::NiLock,
+                                format!("R{ri}:p{pi} vc{vi} locked with no NI streaming into it"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for n in &self.nis {
+            if let Some((vc, _)) = &n.cur {
+                let ip = &self.routers[n.spec.router.index()].in_ports[n.spec.port.index()];
+                if !ip.vcs[*vc as usize].ni_lock {
+                    out.push(InvariantViolation::new(
+                        InvariantKind::NiLock,
+                        format!(
+                            "NI of {} streams into vc{vc} without holding the lock",
+                            n.spec.node
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Worklist coverage: busy state implies membership, and flags agree
+        // with list contents (stale members with a set flag are legal;
+        // they are pruned lazily).
+        let mut listed = vec![0u32; self.channels.len()];
+        for &ci in &self.busy_channels {
+            match listed.get_mut(ci) {
+                Some(n) => *n += 1,
+                None => out.push(InvariantViolation::new(
+                    InvariantKind::Worklist,
+                    format!("busy-channel list names channel {ci}, out of range"),
+                )),
+            }
+        }
+        for (ci, c) in self.channels.iter().enumerate() {
+            if c.in_busy_list != (listed[ci] == 1) {
+                out.push(InvariantViolation::new(
+                    InvariantKind::Worklist,
+                    format!(
+                        "channel {ci} busy flag {} but listed {} time(s)",
+                        c.in_busy_list, listed[ci]
+                    ),
+                ));
+            }
+            if !c.q.is_empty() && !c.in_busy_list {
+                out.push(InvariantViolation::new(
+                    InvariantKind::Worklist,
+                    format!(
+                        "channel {} carries flits but is missing from the busy worklist",
+                        channel_label(&c.spec.key())
+                    ),
+                ));
+            }
+        }
+        let mut busy = vec![0u32; self.routers.len()];
+        for &ri in &self.busy_routers {
+            match busy.get_mut(ri) {
+                Some(n) => *n += 1,
+                None => out.push(InvariantViolation::new(
+                    InvariantKind::Worklist,
+                    format!("busy-router list names router {ri}, out of range"),
+                )),
+            }
+        }
+        let mut waking = vec![0u32; self.routers.len()];
+        for &ri in &self.pending_wakes {
+            match waking.get_mut(ri) {
+                Some(n) => *n += 1,
+                None => out.push(InvariantViolation::new(
+                    InvariantKind::Worklist,
+                    format!("wake list names router {ri}, out of range"),
+                )),
+            }
+        }
+        for (ri, r) in self.routers.iter().enumerate() {
+            if r.in_busy_list != (busy[ri] == 1) {
+                out.push(InvariantViolation::new(
+                    InvariantKind::Worklist,
+                    format!(
+                        "R{ri} busy flag {} but listed {} time(s)",
+                        r.in_busy_list, busy[ri]
+                    ),
+                ));
+            }
+            if r.flits > 0 && !r.in_busy_list {
+                out.push(InvariantViolation::new(
+                    InvariantKind::Worklist,
+                    format!(
+                        "R{ri} buffers {} flits but is missing from the busy worklist",
+                        r.flits
+                    ),
+                ));
+            }
+            if r.in_wake_list != (waking[ri] == 1) {
+                out.push(InvariantViolation::new(
+                    InvariantKind::Worklist,
+                    format!(
+                        "R{ri} wake flag {} but listed {} time(s)",
+                        r.in_wake_list, waking[ri]
+                    ),
+                ));
+            }
+            if r.sleeping && !r.failed && r.wake_at != u64::MAX && !r.in_wake_list {
+                out.push(InvariantViolation::new(
+                    InvariantKind::Worklist,
+                    format!(
+                        "R{ri} wakes at {} but is missing from the wake list",
+                        r.wake_at
+                    ),
+                ));
+            }
+            for (pi, ip) in r.in_ports.iter().enumerate() {
+                if !ip.in_inj_list && self.port_has_ni_work(ri, pi) {
+                    out.push(InvariantViolation::new(
+                        InvariantKind::Worklist,
+                        format!(
+                            "R{ri}:p{pi} has pending NI work but is missing from the \
+                             injection worklist"
+                        ),
+                    ));
+                }
+            }
+        }
+        let mut inj = std::collections::HashMap::new();
+        for &key in &self.active_inj {
+            *inj.entry(key).or_insert(0u32) += 1;
+        }
+        for (ri, r) in self.routers.iter().enumerate() {
+            for (pi, ip) in r.in_ports.iter().enumerate() {
+                let n = inj.remove(&((ri << 8) | pi)).unwrap_or(0);
+                if ip.in_inj_list != (n == 1) {
+                    out.push(InvariantViolation::new(
+                        InvariantKind::Worklist,
+                        format!(
+                            "R{ri}:p{pi} injection flag {} but listed {n} time(s)",
+                            ip.in_inj_list
+                        ),
+                    ));
+                }
+            }
+        }
+        for key in inj.keys() {
+            out.push(InvariantViolation::new(
+                InvariantKind::Worklist,
+                format!("injection list entry {key:#x} names no port"),
+            ));
+        }
+
+        out
     }
 }
 

@@ -197,6 +197,8 @@ pub struct EpochReport {
     pub events: EventCounts,
     /// Static-power resource-on cycles for the epoch.
     pub static_cycles: StaticCycles,
+    /// Invariant-guard counters for the epoch (health module).
+    pub health: crate::health::HealthCounts,
 }
 
 #[cfg(test)]

@@ -76,11 +76,26 @@ pub enum TraceEvent {
         /// Cycle.
         cycle: u64,
     },
+    /// An invariant guard detected a violation (health module).
+    GuardViolation {
+        /// Cycle.
+        cycle: u64,
+        /// The violation, rendered (`kind: detail`).
+        detail: String,
+    },
+    /// The self-healing ladder escalated to a recovery rung.
+    Escalated {
+        /// Cycle.
+        cycle: u64,
+        /// The rung entered (1 = reroute, 2 = purge+retry, 3 = rollback).
+        rung: u8,
+    },
 }
 
 impl TraceEvent {
-    /// The packet this event belongs to (0 for [`TraceEvent::FaultInjected`],
-    /// which has no associated packet).
+    /// The packet this event belongs to (0 for the network-level events —
+    /// [`TraceEvent::FaultInjected`], [`TraceEvent::GuardViolation`],
+    /// [`TraceEvent::Escalated`] — which have no associated packet).
     pub fn packet(&self) -> u64 {
         match self {
             TraceEvent::Injected { packet, .. }
@@ -89,7 +104,9 @@ impl TraceEvent {
             | TraceEvent::Nacked { packet, .. }
             | TraceEvent::Retried { packet, .. }
             | TraceEvent::Dropped { packet, .. } => *packet,
-            TraceEvent::FaultInjected { .. } => 0,
+            TraceEvent::FaultInjected { .. }
+            | TraceEvent::GuardViolation { .. }
+            | TraceEvent::Escalated { .. } => 0,
         }
     }
 
@@ -102,7 +119,9 @@ impl TraceEvent {
             | TraceEvent::FaultInjected { cycle, .. }
             | TraceEvent::Nacked { cycle, .. }
             | TraceEvent::Retried { cycle, .. }
-            | TraceEvent::Dropped { cycle, .. } => *cycle,
+            | TraceEvent::Dropped { cycle, .. }
+            | TraceEvent::GuardViolation { cycle, .. }
+            | TraceEvent::Escalated { cycle, .. } => *cycle,
         }
     }
 }
@@ -226,6 +245,12 @@ impl TraceBuffer {
                     format!("@{cycle} retry #{attempt}")
                 }
                 TraceEvent::Dropped { cycle, .. } => format!("@{cycle} dropped"),
+                TraceEvent::GuardViolation { cycle, detail } => {
+                    format!("@{cycle} guard violation: {detail}")
+                }
+                TraceEvent::Escalated { cycle, rung } => {
+                    format!("@{cycle} escalated to rung {rung}")
+                }
             })
             .collect::<Vec<_>>()
             .join("\n")

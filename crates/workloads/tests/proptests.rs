@@ -4,6 +4,7 @@
 
 use adaptnoc_core::prelude::*;
 use adaptnoc_sim::config::SimConfig;
+use adaptnoc_sim::health::{Watchdog, WatchdogConfig};
 use adaptnoc_sim::network::Network;
 use adaptnoc_sim::rng::Rng;
 use adaptnoc_topology::prelude::*;
@@ -57,17 +58,20 @@ fn workload_bookkeeping_is_consistent() {
         assert!((e.insts - expected_insts).abs() < 1e-6);
 
         // Freeze issue (finish the app) and let the network drain; every
-        // outstanding request must complete.
+        // outstanding request must complete. The watchdog (rather than a
+        // raw cycle bound) flags a hang: a slow but progressing drain is
+        // fine, while a wedge fails fast with a stall diagnosis.
         wl.apps[0].finished_at = Some(net.now());
-        let mut guard = 0u64;
+        let mut watchdog = Watchdog::new(WatchdogConfig::default());
         loop {
             wl.tick(&mut net);
             net.step();
-            guard += 1;
             if net.in_flight() == 0 {
                 break;
             }
-            assert!(guard < 200_000, "drain hung");
+            if let Some(report) = watchdog.observe(&net) {
+                panic!("drain hung:\n{report}");
+            }
         }
         // After the drain, MC/L2 service queues may still hold entries for
         // a few more cycles; run the service models dry.

@@ -1,0 +1,168 @@
+//! Watches the runtime health guards rescue a wedged reconfiguration on a
+//! live 4x4 chip. A slow-path drain to a concentrated mesh pauses the
+//! region's network interfaces and waits for quiescence; a permanent
+//! channel fault strikes mid-drain, so the blocked packets can never
+//! clear on their own. The deadlock watchdog detects the stall and the
+//! self-healing ladder escalates — re-route, then purge-and-retry — until
+//! the drain completes with zero lost packets. Strict invariant guards
+//! (credit conservation, flit conservation, fault/power isolation) run
+//! every cycle throughout.
+//!
+//! Deterministic: every run prints byte-identical output.
+//!
+//! ```sh
+//! cargo run --release --example health_guards
+//! ```
+
+use adaptnoc::core::reconfig::RegionReconfig;
+use adaptnoc::faults::prelude::*;
+use adaptnoc::sim::config::SimConfig;
+use adaptnoc::sim::health::WatchdogConfig;
+use adaptnoc::sim::network::Network;
+use adaptnoc::sim::prelude::{GuardMode, NodeId, Packet, RouterId};
+use adaptnoc::topology::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid::new(4, 4);
+    let rect = Rect::new(0, 0, 4, 4);
+    let cfg = SimConfig::adapt_noc();
+    let regions = |kind| [RegionTopology::new(rect, kind)];
+    let mesh = build_chip_spec(grid, &regions(TopologyKind::Mesh), &cfg)?;
+    let cmesh = build_chip_spec(grid, &regions(TopologyKind::Cmesh), &cfg)?;
+    let timing = ReconfigTiming::default();
+    let mut net = Network::new(mesh.clone(), cfg.clone())?;
+
+    // Always-on invariant checking: any conservation-law breach panics on
+    // the cycle it happens instead of surfacing as a bad result later.
+    net.set_guard_mode(GuardMode::Strict);
+
+    // The health guard owns the watchdog and the escalation ladder. A
+    // short window keeps the demo brisk; the default (50k cycles) suits
+    // long unattended campaigns.
+    let guard = HealthGuard::new(
+        &mut net,
+        rect,
+        timing,
+        mesh.tables.clone(),
+        GuardConfig {
+            watchdog: WatchdogConfig {
+                window: 400,
+                check_interval: 32,
+                max_packet_age: None,
+            },
+            grace: 250,
+            max_rounds: 2,
+            recorder_capacity: 256,
+        },
+    );
+    let mut ctl = FaultController::new(
+        FaultSchedule::new(vec![]),
+        RetryPolicy::default(),
+        grid,
+        rect,
+        cfg,
+        timing,
+    );
+    ctl.attach_guard(guard);
+
+    // The wedge: the eastbound row-1 link R5 -> R6, which the N4 -> N7
+    // stream crosses under XY routing and which the cmesh does not keep.
+    let key = net
+        .spec()
+        .channels
+        .iter()
+        .find(|c| c.src.router == RouterId(5) && c.dst.router == RouterId(6))
+        .map(|c| c.key())
+        .expect("mesh link R5 -> R6");
+    println!("plan: stream N4 -> N7, fault {key:?} @40, start mesh -> cmesh drain @60\n");
+
+    let mut rc: Option<RegionReconfig> = None;
+    let mut last_rung = 0u8;
+    let mut next_id = 1u64;
+    for _ in 0..8_000u64 {
+        let now = net.now();
+        if now < 100 && now.is_multiple_of(3) {
+            net.inject(Packet::request(next_id, NodeId(4), NodeId(7), 0))?;
+            next_id += 1;
+        }
+        if now == 40 {
+            // Packets mid-allocation across the channel come back NACKed;
+            // hand them straight to the retry path so nothing is lost.
+            for p in net.set_channel_fault(key, true)? {
+                net.inject_retry(p, 1)?;
+            }
+            println!("cycle {now:>5}: permanent fault on {key:?}");
+        }
+        if now == 60 {
+            rc = Some(RegionReconfig::start(
+                &net,
+                &grid,
+                rect,
+                cmesh.clone(),
+                None,
+                timing,
+            ));
+            println!("cycle {now:>5}: slow-path drain to cmesh begins (region NIs pause)");
+        }
+        net.step();
+        if let Some(r) = &mut rc {
+            if r.tick(&mut net, &grid)? {
+                println!("cycle {:>5}: drain complete, cmesh live", net.now());
+                rc = None;
+            }
+        }
+        ctl.tick(&mut net)?;
+        let rung = ctl.guard().map(|g| g.rung()).unwrap_or(0);
+        if rung != last_rung {
+            match rung {
+                0 => println!("cycle {:>5}: recovered, ladder stands down", net.now()),
+                1 => println!(
+                    "cycle {:>5}: watchdog fired -- rung 1: re-route onto fallback tables",
+                    net.now()
+                ),
+                2 => println!(
+                    "cycle {:>5}: still stalled -- rung 2: purge blocked packets, NACK + retry",
+                    net.now()
+                ),
+                _ => println!(
+                    "cycle {:>5}: still stalled -- rung 3: roll region back to last good spec",
+                    net.now()
+                ),
+            }
+            last_rung = rung;
+        }
+        if now > 500 && rc.is_none() && net.in_flight() == 0 && ctl.settled() {
+            break;
+        }
+    }
+
+    let s = net.totals().stats;
+    let h = net.totals().health;
+    let g = ctl.stats().guard;
+    println!("\noffered   {:>6}", s.packets_offered);
+    println!(
+        "delivered {:>6}  (delivery ratio {:.4})",
+        s.packets,
+        s.delivery_ratio()
+    );
+    println!("nacked    {:>6}", s.nacks);
+    println!("retried   {:>6}", s.retries);
+    println!("dropped   {:>6}", s.drops);
+    println!(
+        "\nguard: {} stall episode(s), {} re-route(s), {} packet(s) purged, {} rollback(s), {} recovery(ies)",
+        g.watchdog_fires, g.reroutes, g.purged_packets, g.rollbacks, g.recoveries
+    );
+    println!(
+        "strict invariant checks: {} run, {} violations",
+        h.checks, h.violations
+    );
+    println!(
+        "cmesh live (concentration gated {} of 16 routers): {}",
+        16 - net.spec().active_routers(),
+        net.spec().active_routers() == 4
+    );
+    assert_eq!(s.drops, 0, "nothing dropped in this scenario");
+    assert_eq!(s.packets, s.packets_offered, "everything delivered");
+    assert_eq!(h.violations, 0, "a legal execution trips no guards");
+    Ok(())
+}
