@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test check fmt clippy ci faults guards figures perf clean
+.PHONY: all build test check fmt clippy ci docs telemetry faults guards figures perf clean
 
 all: build
 
@@ -22,7 +22,23 @@ clippy:
 check: fmt clippy
 
 # Everything CI runs, in CI's order.
-ci: check build test guards faults
+ci: check build test docs telemetry guards faults
+
+# Rustdoc must build warning-clean (missing_docs is deny-level on the
+# public crates), and docs/OBSERVABILITY.md's code blocks run as
+# doctests through the root crate's `observability` module.
+docs:
+	RUSTDOCFLAGS='-D warnings' $(CARGO) doc --no-deps --workspace --offline
+	$(CARGO) test --doc -p adaptnoc --offline
+
+# Telemetry subsystem: crate + wiring tests, the observation-only
+# property suite, and the determinism check on the snapshot tour.
+telemetry:
+	$(CARGO) test -p adaptnoc-telemetry --offline
+	$(CARGO) test -p adaptnoc-sim --test telemetry_equivalence --offline
+	$(CARGO) run --release --offline --example telemetry_tour > /tmp/telemetry_tour_a.txt
+	$(CARGO) run --release --offline --example telemetry_tour > /tmp/telemetry_tour_b.txt
+	cmp /tmp/telemetry_tour_a.txt /tmp/telemetry_tour_b.txt
 
 # Fault-injection subsystem: crate tests, the sweep campaign, and the
 # determinism check on the end-to-end example.

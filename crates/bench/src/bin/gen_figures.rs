@@ -1,7 +1,8 @@
 //! Regenerates every evaluation figure and table of the paper.
 //!
 //! Usage: `cargo run --release -p adaptnoc-bench --bin gen-figures
-//! [--quick] [--only figNN,...] [--threads N] [--checkpoint DIR]`
+//! [--quick] [--only figNN,...] [--threads N] [--checkpoint DIR]
+//! [--metrics-out DIR]`
 //!
 //! `--threads N` fans independent simulation points across N workers
 //! (0 = auto-detect; the default, 1, runs serially). Output is
@@ -11,6 +12,12 @@
 //! `DIR/faults.jsonl` as they finish; a killed run re-invoked with the
 //! same flag resumes from the completed points and still produces
 //! byte-identical JSON.
+//!
+//! `--metrics-out DIR` additionally runs the telemetry probe (two short
+//! instrumented scenarios; see `adaptnoc_bench::telemetry`) and writes
+//! `DIR/telemetry.jsonl` + `DIR/telemetry.prom`. With `--checkpoint` the
+//! same pair also lands next to the checkpoint journal, so a resumed
+//! campaign keeps its metric snapshots beside its progress.
 //!
 //! Prints the same rows/series the paper reports (normalized to the
 //! baseline design) and writes machine-readable JSON next to the text.
@@ -38,6 +45,11 @@ fn main() {
     let checkpoint_dir = args
         .iter()
         .position(|a| a == "--checkpoint")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
     let mut scale = if quick {
@@ -272,6 +284,21 @@ fn main() {
             );
         }
         json.insert("reconfig", rows_json(&rows));
+    }
+
+    if let Some(dir) = &metrics_out {
+        banner("Telemetry probe: instrumented RL + fault runs");
+        let reg = adaptnoc_bench::telemetry::telemetry_probe();
+        let (jsonl, prom) =
+            adaptnoc_bench::telemetry::write_metrics(dir, &reg).expect("write --metrics-out");
+        println!("wrote {} and {}", jsonl.display(), prom.display());
+        if let Some(ckpt) = &checkpoint_dir {
+            if ckpt != dir {
+                let (jsonl, prom) = adaptnoc_bench::telemetry::write_metrics(ckpt, &reg)
+                    .expect("write metrics next to checkpoint journal");
+                println!("wrote {} and {}", jsonl.display(), prom.display());
+            }
+        }
     }
 
     let out = json;

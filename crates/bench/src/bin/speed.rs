@@ -1,7 +1,8 @@
 //! Simulator throughput benchmark.
 //!
 //! Usage: `cargo run --release -p adaptnoc-bench --bin speed --
-//! [--cycles N] [--threads N] [--json PATH] [--full-sweep]`
+//! [--cycles N] [--threads N] [--json PATH] [--full-sweep]
+//! [--metrics DIR] [--assert-off-within PCT]
 //!
 //! Measures three workloads on the paper's mixed chip: an idle network
 //! (active-set fast path), the full three-app workload (steady-state
@@ -10,6 +11,14 @@
 //! scheduling so the two modes can be compared directly. With `--json`,
 //! writes a `BENCH_<date>.json`-style record (cycles/sec, wall-clock,
 //! host cores) for tracking performance across commits.
+//!
+//! `--metrics DIR` attaches `Sampled(256)` telemetry to the full-workload
+//! run, writes its snapshot to `DIR/telemetry.jsonl` + `DIR/telemetry.prom`,
+//! and prints the idle-stepping telemetry-overhead microbench
+//! (off / sampled / strict cycles per second). `--assert-off-within PCT`
+//! runs that microbench and exits non-zero unless its telemetry-off row
+//! is within PCT percent of the uninstrumented idle measurement from the
+//! same process — the CI gate for the zero-cost-when-disabled claim.
 
 use adaptnoc_bench::parallel::configured_threads;
 use adaptnoc_bench::prelude::*;
@@ -25,6 +34,8 @@ struct Args {
     threads: usize,
     json: Option<String>,
     full_sweep: bool,
+    metrics: Option<std::path::PathBuf>,
+    assert_off_within: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +53,9 @@ fn parse_args() -> Args {
         ),
         json: get("--json"),
         full_sweep: argv.iter().any(|a| a == "--full-sweep"),
+        metrics: get("--metrics").map(std::path::PathBuf::from),
+        assert_off_within: get("--assert-off-within")
+            .map(|v| v.parse().expect("--assert-off-within takes a percentage")),
     }
 }
 
@@ -74,6 +88,9 @@ fn main() {
     // 2) Net + the three-app mixed workload under steady load.
     let mut net = Network::new(spec, cfg).unwrap();
     net.set_full_sweep(args.full_sweep);
+    if args.metrics.is_some() {
+        net.set_telemetry_mode(TelemetryMode::Sampled(256));
+    }
     let profiles = vec![
         by_name("CA").unwrap(),
         by_name("KM").unwrap(),
@@ -91,6 +108,38 @@ fn main() {
     record.push(("full_kcps".into(), Value::Number(kcycles / full_s)));
     record.push(("full_wall_s".into(), Value::Number(full_s)));
     record.push(("full_packets".into(), Value::Number(pkts as f64)));
+
+    if let Some(dir) = &args.metrics {
+        let _ = net.take_epoch(); // flush the tail into the registry
+        let reg = net.telemetry().expect("telemetry attached").clone();
+        let (jsonl, prom) =
+            adaptnoc_bench::telemetry::write_metrics(dir, &reg).expect("write --metrics");
+        println!("metrics: wrote {} and {}", jsonl.display(), prom.display());
+    }
+
+    // Telemetry overhead on the idle fast path. Under `Off` no telemetry
+    // code is even reachable, so the `off` row must track the
+    // uninstrumented idle measurement taken above in this same process —
+    // that is what `--assert-off-within` gates in CI.
+    if args.metrics.is_some() || args.assert_off_within.is_some() {
+        let rows = adaptnoc_bench::microbench::telemetry_overhead(args.cycles.min(50_000));
+        for (mode, kcps) in &rows {
+            println!("telemetry overhead, idle net [{mode}]: {kcps:.1} Kc/s");
+        }
+        if let Some(pct) = args.assert_off_within {
+            let off = rows.iter().find(|(m, _)| m == "off").expect("off row").1;
+            let idle = kcycles / idle_s;
+            let floor = idle * (1.0 - pct / 100.0);
+            assert!(
+                off >= floor,
+                "telemetry-off idle throughput regressed: {off:.1} Kc/s is more than \
+                 {pct}% below the uninstrumented {idle:.1} Kc/s"
+            );
+            println!(
+                "telemetry-off within {pct}% of uninstrumented idle ({off:.1} vs {idle:.1} Kc/s)"
+            );
+        }
+    }
 
     // 3) Campaign fan-out: the fault sweep across `--threads` workers
     // (one seed per potential worker so there is work to steal).

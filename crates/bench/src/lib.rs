@@ -27,6 +27,7 @@ pub mod microbench;
 pub mod parallel;
 pub mod report;
 pub mod tables;
+pub mod telemetry;
 pub mod training;
 
 /// Commonly used items, re-exported for convenience.
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use crate::tables::{
         area_table, reconfig_table, scalability_table, timing_table, wiring_table,
     };
+    pub use crate::telemetry::{telemetry_probe, write_metrics};
     pub use crate::training::{
         default_scenarios, paper_training_rects, train_dqn, TrainConfig, TrainScenario,
     };

@@ -1,6 +1,12 @@
 //! Tiny wall-clock micro-benchmark harness for the `harness = false`
-//! benches (no external benchmarking crates in the offline build).
+//! benches (no external benchmarking crates in the offline build), plus
+//! the telemetry-overhead probe backing the perf-smoke gate.
 
+use adaptnoc_core::prelude::ChipLayout;
+use adaptnoc_sim::config::SimConfig;
+use adaptnoc_sim::network::Network;
+use adaptnoc_sim::telemetry::TelemetryMode;
+use adaptnoc_topology::prelude::mesh_chip;
 use std::time::Instant;
 
 /// Runs `f` for `iters` timed iterations (after one warmup) and prints
@@ -23,9 +29,56 @@ pub fn bench<T>(group: &str, name: &str, iters: u32, mut f: impl FnMut() -> T) {
     );
 }
 
+/// Measures idle-network stepping throughput (the simulator's hottest
+/// path: the active-set scheduler with nothing to do) under each
+/// telemetry mode on the paper's mixed chip. Returns
+/// `(mode label, kilocycles/sec)` rows for `off`, `sampled:1024`, and
+/// `strict`, each the best of three trials so a scheduler hiccup cannot
+/// fake a regression.
+///
+/// Telemetry is attached explicitly with
+/// [`Network::set_telemetry_mode`], so an `ADAPTNOC_TELEMETRY` override
+/// in the environment cannot skew the comparison. The perf-smoke CI gate
+/// asserts the `off` row is within 5% of an uninstrumented build's idle
+/// throughput — this is the "zero cost when disabled" proof.
+pub fn telemetry_overhead(cycles: u64) -> Vec<(String, f64)> {
+    let layout = ChipLayout::paper_mixed();
+    let cfg = SimConfig::baseline();
+    let spec = mesh_chip(layout.grid, &cfg).expect("mesh chip");
+    [
+        TelemetryMode::Off,
+        TelemetryMode::Sampled(1024),
+        TelemetryMode::Strict,
+    ]
+    .into_iter()
+    .map(|mode| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut net = Network::new(spec.clone(), cfg.clone()).expect("bench net");
+            net.set_telemetry_mode(mode);
+            let t0 = Instant::now();
+            for _ in 0..cycles {
+                net.step();
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(net.now());
+        }
+        (mode.label(), (cycles as f64 / 1_000.0) / best)
+    })
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn telemetry_overhead_reports_all_three_modes() {
+        let rows = telemetry_overhead(200);
+        let labels: Vec<&str> = rows.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["off", "sampled:1024", "strict"]);
+        assert!(rows.iter().all(|&(_, kcps)| kcps > 0.0));
+    }
 
     #[test]
     fn bench_runs_closure_expected_times() {

@@ -367,6 +367,48 @@ impl AdaptController {
 
             // Queue the change; launches are serialized in `tick`.
             self.regions[i].desired = choice;
+
+            // Reward components and the decision, as telemetry (one gauge
+            // set per region; see docs/OBSERVABILITY.md).
+            if let Some(reg) = net.telemetry_mut() {
+                let region = i.to_string();
+                let labels: &[(&str, &str)] = &[("region", &region)];
+                let g = reg.gauge(
+                    "adaptnoc_rl_reward_power_watts",
+                    "Average subNoC power fed into the Eq.-2 reward this epoch.",
+                    "watts",
+                    labels,
+                );
+                reg.set(g, t.power_w);
+                let g = reg.gauge(
+                    "adaptnoc_rl_reward_t_network_cycles",
+                    "Mean network latency fed into the Eq.-2 reward this epoch.",
+                    "cycles",
+                    labels,
+                );
+                reg.set(g, t.network_latency);
+                let g = reg.gauge(
+                    "adaptnoc_rl_reward_t_queuing_cycles",
+                    "Mean queuing latency fed into the Eq.-2 reward this epoch.",
+                    "cycles",
+                    labels,
+                );
+                reg.set(g, t.queuing_latency);
+                let g = reg.gauge(
+                    "adaptnoc_rl_reward_scaled",
+                    "Scaled Eq.-2 reward (-power x (T_network + T_queuing) / scale).",
+                    "reward",
+                    labels,
+                );
+                reg.set(g, r);
+                let c = reg.counter(
+                    "adaptnoc_rl_decisions_total",
+                    "Topology decisions taken, by region and chosen topology.",
+                    "decisions",
+                    &[("region", &region), ("topology", choice.name())],
+                );
+                reg.inc(c);
+            }
         }
         self.tick(net)?;
         Ok(())

@@ -97,6 +97,41 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Adds `n` to a counter in the network's telemetry registry, when
+/// telemetry is active (and `n > 0`). The fault layer records into the
+/// same registry the simulator flushes epochs into, so one snapshot
+/// covers both; see `docs/OBSERVABILITY.md` for the catalog.
+pub(crate) fn telem_count(
+    net: &mut Network,
+    name: &str,
+    help: &str,
+    unit: &str,
+    labels: &[(&str, &str)],
+    n: u64,
+) {
+    if n == 0 {
+        return;
+    }
+    if let Some(reg) = net.telemetry_mut() {
+        let c = reg.counter(name, help, unit, labels);
+        reg.add(c, n);
+    }
+}
+
+/// Records a fired fault as a counter increment plus a structured event.
+fn record_fault_telemetry(net: &mut Network, now: u64, kind: &str, at: &str) {
+    if let Some(reg) = net.telemetry_mut() {
+        let c = reg.counter(
+            "adaptnoc_faults_injected_total",
+            "Scheduled faults fired, by kind.",
+            "faults",
+            &[("kind", kind)],
+        );
+        reg.inc(c);
+        reg.event("fault.injected", now, &[("kind", kind), ("at", at)]);
+    }
+}
+
 impl RetryPolicy {
     /// Backoff before retry `attempt` (1-based), capped. Saturates instead
     /// of overflowing for any attempt number: once the (unshifted) factor
@@ -298,6 +333,25 @@ impl FaultController {
                     .last_mut()
                     .expect("outcome pushed at recovery start");
                 last.recovered_at = rc.finished_at.unwrap_or(now);
+                let ttr = last.time_to_recover();
+                if let Some(reg) = net.telemetry_mut() {
+                    let h = reg.histogram(
+                        "adaptnoc_faults_time_to_recover_cycles",
+                        "Cycles from a permanent fault striking to the degraded \
+                         configuration being live.",
+                        "cycles",
+                        &[],
+                    );
+                    reg.observe(h, ttr);
+                    let c = reg.counter(
+                        "adaptnoc_faults_recoveries_total",
+                        "Completed permanent-fault recovery reconfigurations.",
+                        "recoveries",
+                        &[],
+                    );
+                    reg.inc(c);
+                    reg.event("fault.recovered", now, &[("cycles", &ttr.to_string())]);
+                }
             } else {
                 self.recovery = Some((rc, fault_at));
             }
@@ -316,6 +370,14 @@ impl FaultController {
                 // An endpoint vanished with its router since the NACK.
                 net.count_dropped(packet.id);
                 self.stats.dropped += 1;
+                telem_count(
+                    net,
+                    "adaptnoc_faults_drops_total",
+                    "Packets abandoned: retry budget exhausted or endpoint disconnected.",
+                    "packets",
+                    &[],
+                    1,
+                );
                 continue;
             }
             net.inject_retry(packet, attempt)?;
@@ -347,6 +409,12 @@ impl FaultController {
                         transient: true,
                     });
                 }
+                record_fault_telemetry(
+                    net,
+                    now,
+                    "transient_link",
+                    &format!("R{}->R{}", key.src.router.0, key.dst.router.0),
+                );
                 self.enqueue_retries(net, nacked);
             }
             FaultKind::PermanentLink { key } => {
@@ -362,6 +430,12 @@ impl FaultController {
                         transient: false,
                     });
                 }
+                record_fault_telemetry(
+                    net,
+                    now,
+                    "permanent_link",
+                    &format!("R{}->R{}", key.src.router.0, key.dst.router.0),
+                );
                 self.enqueue_retries(net, nacked);
             }
             FaultKind::PermanentRouter { router } => {
@@ -389,6 +463,7 @@ impl FaultController {
                         transient: false,
                     });
                 }
+                record_fault_telemetry(net, now, "router", &format!("R{}", router.0));
                 self.enqueue_retries(net, nacked);
             }
         }
@@ -447,10 +522,12 @@ impl FaultController {
 
     fn enqueue_retries(&mut self, net: &mut Network, nacked: Vec<Packet>) {
         let now = net.now();
+        let (mut retried, mut dropped) = (0u64, 0u64);
         for p in nacked {
             if self.disconnected.contains(&p.dst) || self.disconnected.contains(&p.src) {
                 net.count_dropped(p.id);
                 self.stats.dropped += 1;
+                dropped += 1;
                 continue;
             }
             let attempt = self.attempts.entry(p.id).or_insert(0);
@@ -458,12 +535,30 @@ impl FaultController {
             if *attempt > self.policy.max_retries {
                 net.count_dropped(p.id);
                 self.stats.dropped += 1;
+                dropped += 1;
                 continue;
             }
             let due = now + self.policy.backoff(*attempt);
             self.stats.retries_queued += 1;
+            retried += 1;
             self.retry_q.push_back((due, *attempt, p));
         }
+        telem_count(
+            net,
+            "adaptnoc_faults_retries_total",
+            "Packets queued for backoff retry after a fault NACK or purge.",
+            "packets",
+            &[],
+            retried,
+        );
+        telem_count(
+            net,
+            "adaptnoc_faults_drops_total",
+            "Packets abandoned: retry budget exhausted or endpoint disconnected.",
+            "packets",
+            &[],
+            dropped,
+        );
     }
 }
 

@@ -189,6 +189,14 @@ impl HealthGuard {
         if self.rung >= 2 {
             purged = net.purge_blocked();
             self.stats.purged_packets += purged.len() as u64;
+            crate::controller::telem_count(
+                net,
+                "adaptnoc_guard_purged_packets_total",
+                "Blocked packets reaped by rung-2 continuous purging.",
+                "packets",
+                &[],
+                purged.len() as u64,
+            );
         }
         if let Some(mut rc) = self.rollback.take() {
             if !rc.tick(net, grid)? {
@@ -202,6 +210,17 @@ impl HealthGuard {
             self.stats.recoveries += 1;
             self.rung = 0;
             self.rounds = 0;
+            let now = net.now();
+            if let Some(reg) = net.telemetry_mut() {
+                let c = reg.counter(
+                    "adaptnoc_guard_recoveries_total",
+                    "Stall episodes resolved with delivery progress restored.",
+                    "episodes",
+                    &[],
+                );
+                reg.inc(c);
+                reg.event("guard.recovered", now, &[]);
+            }
             return Ok(purged);
         }
         if let Some(report) = report {
@@ -210,6 +229,24 @@ impl HealthGuard {
                 if self.rung == 0 {
                     // A new stall episode opens the ladder.
                     self.stats.watchdog_fires += 1;
+                    let kind = report.kind.to_string();
+                    if let Some(reg) = net.telemetry_mut() {
+                        let c = reg.counter(
+                            "adaptnoc_guard_stalls_total",
+                            "Stall episodes opened by the watchdog, by kind.",
+                            "episodes",
+                            &[("kind", &kind)],
+                        );
+                        reg.inc(c);
+                        reg.event(
+                            "guard.stall",
+                            now,
+                            &[
+                                ("kind", &kind),
+                                ("in_flight", &report.in_flight.to_string()),
+                            ],
+                        );
+                    }
                     self.escalate(net, grid, &report)?;
                 } else if now >= self.deadline && self.rollback.is_none() {
                     // The current rung had its grace window and failed.
@@ -239,6 +276,17 @@ impl HealthGuard {
                 let dump = self.recorder.dump(net, &reason);
                 adaptnoc_sim::health::write_dump(&dump, "unrecoverable");
                 self.last_dump = Some(dump);
+                let now = net.now();
+                if let Some(reg) = net.telemetry_mut() {
+                    let c = reg.counter(
+                        "adaptnoc_guard_dumps_total",
+                        "Flight-recorder dumps rendered for unrecoverable stalls.",
+                        "dumps",
+                        &[],
+                    );
+                    reg.inc(c);
+                    reg.event("guard.unrecoverable", now, &[("reason", &reason)]);
+                }
                 return Ok(());
             }
             self.rung = 1;
@@ -247,6 +295,17 @@ impl HealthGuard {
         let rung = self.rung;
         if let Some(t) = net.tracer_mut() {
             t.record(TraceEvent::Escalated { cycle: now, rung });
+        }
+        if let Some(reg) = net.telemetry_mut() {
+            let rung_s = rung.to_string();
+            let c = reg.counter(
+                "adaptnoc_guard_escalations_total",
+                "Escalation-ladder rung engagements, by rung.",
+                "transitions",
+                &[("rung", &rung_s)],
+            );
+            reg.inc(c);
+            reg.event("guard.escalated", now, &[("rung", &rung_s)]);
         }
         match rung {
             1 => {

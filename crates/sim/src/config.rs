@@ -7,6 +7,7 @@
 
 use crate::health::GuardMode;
 use crate::ids::Vnet;
+use adaptnoc_telemetry::TelemetryMode;
 
 /// Number of flits in a data (reply) packet: a 64-byte cache line over
 /// 256-bit links is 2 flits, and a whole packet fits in one 4-flit VC
@@ -44,6 +45,12 @@ pub struct SimConfig {
     /// the `ADAPTNOC_GUARDS` environment variable when that is set (see
     /// [`GuardMode::from_env`]).
     pub guards: GuardMode,
+    /// Telemetry collection mode. Overridden at network construction by
+    /// the `ADAPTNOC_TELEMETRY` environment variable when that is set
+    /// (see [`TelemetryMode::from_env`]). Defaults to
+    /// [`TelemetryMode::Off`]: no registry is allocated and stepping pays
+    /// one branch per instrumentation site.
+    pub telemetry: TelemetryMode,
 }
 
 impl SimConfig {
@@ -59,6 +66,7 @@ impl SimConfig {
             injection_bypass: false,
             link_width_bits: 256,
             guards: GuardMode::default(),
+            telemetry: TelemetryMode::Off,
         }
     }
 

@@ -88,23 +88,56 @@ impl GuardMode {
     pub fn is_active(self) -> bool {
         !matches!(self, GuardMode::Off)
     }
+
+    /// The sweep cadence in cycles: `0` for [`Off`](GuardMode::Off), `1`
+    /// for [`Strict`](GuardMode::Strict), `n` for
+    /// [`Sampled(n)`](GuardMode::Sampled). This is what
+    /// [`HealthCounts::sample_interval`] carries alongside the counts.
+    pub fn interval(self) -> u32 {
+        match self {
+            GuardMode::Off => 0,
+            GuardMode::Strict => 1,
+            GuardMode::Sampled(n) => n,
+        }
+    }
 }
 
 /// Invariant-guard counters carried per epoch in
 /// [`EpochReport`](crate::stats::EpochReport).
+///
+/// The counts are only exhaustive under [`GuardMode::Strict`]: under
+/// `Sampled(n)` the guards sweep every `n`-th cycle, so `violations` is a
+/// *lower bound* — a transient breach that self-corrects between sweeps
+/// is never observed. [`sample_interval`](Self::sample_interval) records
+/// the cadence the counts were collected under so a consumer (or the
+/// telemetry exporters, which emit it as
+/// `adaptnoc_sim_health_sample_interval_cycles`) can tell exact counts
+/// from sampled ones.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HealthCounts {
     /// Guard sweeps executed.
     pub checks: u64,
     /// Invariant violations detected (always 0 in a healthy run).
+    ///
+    /// Exhaustive only when [`sample_interval`](Self::sample_interval) is
+    /// 1 (strict mode); a lower bound otherwise.
     pub violations: u64,
+    /// The sweep cadence in cycles the counts were collected under:
+    /// `0` = guards off (no sweeps ran), `1` = every cycle (strict),
+    /// `n` = every `n`-th cycle (sampled). Stamped by the network when an
+    /// epoch is taken; [`accumulate`](Self::accumulate) keeps the coarsest
+    /// (largest) interval so merged windows report conservatively.
+    pub sample_interval: u32,
 }
 
 impl HealthCounts {
-    /// Adds `other` into `self`.
+    /// Adds `other` into `self`. The merged `sample_interval` is the
+    /// coarser (larger) of the two, so accumulated counts are never
+    /// presented as finer-grained than their sparsest window.
     pub fn accumulate(&mut self, other: &HealthCounts) {
         self.checks += other.checks;
         self.violations += other.violations;
+        self.sample_interval = self.sample_interval.max(other.sample_interval);
     }
 
     /// Returns the counters and resets `self` to zero.
@@ -562,14 +595,17 @@ mod tests {
         let mut a = HealthCounts {
             checks: 2,
             violations: 1,
+            sample_interval: 1,
         };
         let b = HealthCounts {
             checks: 3,
             violations: 0,
+            sample_interval: 1024,
         };
         a.accumulate(&b);
         assert_eq!(a.checks, 5);
         assert_eq!(a.violations, 1);
+        assert_eq!(a.sample_interval, 1024, "coarsest interval wins");
         let taken = a.take();
         assert_eq!(taken.checks, 5);
         assert_eq!(a, HealthCounts::default());

@@ -62,7 +62,10 @@ pub mod rng;
 pub mod routing;
 pub mod spec;
 pub mod stats;
+pub mod telem;
 pub mod trace;
+
+pub use adaptnoc_telemetry as telemetry;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -82,5 +85,7 @@ pub mod prelude {
         RouterSpec, SpecError,
     };
     pub use crate::stats::{Delivered, EpochReport, NetStats};
+    pub use crate::telem::SimTelemetry;
     pub use crate::trace::{TraceBuffer, TraceEvent, TraceFilter};
+    pub use adaptnoc_telemetry::{Registry, TelemetryMode};
 }

@@ -21,6 +21,8 @@ use crate::json::Value;
 use crate::routing::RoutingTables;
 use crate::spec::{ChannelKey, ChannelKind, NetworkSpec, PortRef, SpecError};
 use crate::stats::{Delivered, EpochReport, NetStats};
+use crate::telem::{SimTelemetry, Stage};
+use adaptnoc_telemetry::{Registry, TelemetryMode};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -277,6 +279,10 @@ pub struct Network {
     health_total: HealthCounts,
     /// Violations from the most recent guard sweep that found any.
     last_violations: Vec<InvariantViolation>,
+    /// Telemetry harness; `None` under [`TelemetryMode::Off`], so disabled
+    /// telemetry costs one branch per instrumentation site (see
+    /// [`crate::telem`]).
+    telem: Option<Box<SimTelemetry>>,
 }
 
 impl Network {
@@ -383,6 +389,10 @@ impl Network {
         }
 
         let guard_mode = GuardMode::from_env().unwrap_or(cfg.guards);
+        let telemetry_mode = TelemetryMode::from_env().unwrap_or(cfg.telemetry);
+        let telem = telemetry_mode
+            .is_active()
+            .then(|| Box::new(SimTelemetry::new(telemetry_mode)));
         let mut net = Network {
             cfg,
             spec: Arc::new(spec),
@@ -426,6 +436,7 @@ impl Network {
             health: HealthCounts::default(),
             health_total: HealthCounts::default(),
             last_violations: Vec::new(),
+            telem,
         };
         net.router_forwarded = vec![0; net.routers.len()];
         net.router_occupancy_sum = vec![0; net.routers.len()];
@@ -737,14 +748,20 @@ impl Network {
         for v in self.channel_flits.iter_mut() {
             *v = 0;
         }
-        let health = self.health.take();
+        let mut health = self.health.take();
+        health.sample_interval = self.guard_mode.interval();
         self.health_total.accumulate(&health);
-        EpochReport {
+        let report = EpochReport {
             stats,
             events,
             static_cycles,
             health,
+        };
+        let in_flight = self.in_flight();
+        if let Some(t) = self.telem.as_mut() {
+            t.flush_epoch(&report, in_flight);
         }
+        report
     }
 
     /// Per-router flits forwarded in the current epoch window (reset by
@@ -783,6 +800,35 @@ impl Network {
         self.tracer.as_ref()
     }
 
+    /// Replaces the telemetry harness with a fresh one collecting under
+    /// `mode` ([`TelemetryMode::Off`] detaches it entirely). Discards any
+    /// metrics collected so far; snapshot the registry first if you need
+    /// them. Telemetry is observation-only, so switching modes never
+    /// changes simulation behaviour (pinned by the
+    /// `telemetry_equivalence` test suite).
+    pub fn set_telemetry_mode(&mut self, mode: TelemetryMode) {
+        self.telem = mode.is_active().then(|| Box::new(SimTelemetry::new(mode)));
+    }
+
+    /// The resolved telemetry mode ([`TelemetryMode::Off`] when no
+    /// harness is attached).
+    pub fn telemetry_mode(&self) -> TelemetryMode {
+        self.telem.as_ref().map_or(TelemetryMode::Off, |t| t.mode())
+    }
+
+    /// The telemetry registry, if telemetry is active. Use with the
+    /// exporters in [`adaptnoc_telemetry::export`].
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telem.as_ref().map(|t| t.registry())
+    }
+
+    /// Mutable telemetry registry access: the fault, guard and RL layers
+    /// use this to intern and record their own metrics into the same
+    /// registry the simulator flushes epochs into.
+    pub fn telemetry_mut(&mut self) -> Option<&mut Registry> {
+        self.telem.as_mut().map(|t| t.registry_mut())
+    }
+
     /// Cumulative statistics since construction (not reset by
     /// [`take_epoch`](Self::take_epoch)).
     pub fn totals(&self) -> EpochReport {
@@ -792,6 +838,7 @@ impl Network {
         static_cycles.accumulate(&self.statics);
         let mut health = self.health_total;
         health.accumulate(&self.health);
+        health.sample_interval = health.sample_interval.max(self.guard_mode.interval());
         EpochReport {
             stats: self.totals.clone(),
             events,
@@ -804,6 +851,15 @@ impl Network {
     pub fn step(&mut self) {
         self.now += 1;
         let now = self.now;
+
+        // Telemetry sampling state for this cycle. `timed` means the
+        // wall-clock stage spans are taken this cycle (every cycle under
+        // Strict, every n-th under Sampled(n)); counters, gauges,
+        // histograms and events are exact in every active mode.
+        let timed = match self.telem.as_mut() {
+            Some(t) => t.begin_cycle(now),
+            None => false,
+        };
 
         // 0. Wake routers whose wake-up latency elapsed (failed routers
         // never wake). Only routers with a finite wake deadline can wake,
@@ -863,6 +919,11 @@ impl Network {
         // channel feeds exactly one input port and all shared-counter
         // updates commute), but the worklist is still walked in ascending
         // index order to mirror the full sweep exactly.
+        let t0 = if timed {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         if self.full_sweep {
             for ci in 0..self.channels.len() {
                 self.deliver_channel(ci, now);
@@ -894,12 +955,24 @@ impl Network {
             busy.append(&mut self.busy_channels);
             self.busy_channels = busy;
         }
+        if let (Some(t0), Some(t)) = (t0, self.telem.as_mut()) {
+            t.record_stage_ns(Stage::Link, t0.elapsed().as_nanos() as u64);
+        }
 
         // 3. NI injection (one flit per local port per cycle).
+        let t0 = if timed {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         self.inject_stage(now);
+        if let (Some(t0), Some(t)) = (t0, self.telem.as_mut()) {
+            t.record_stage_ns(Stage::NiInject, t0.elapsed().as_nanos() as u64);
+        }
 
-        // 4. Router stages: RC + VA + SA.
-        self.router_stage(now);
+        // 4. Router stages: RC + VA + SA (span-timed internally when
+        // `timed`, split into RC+VA and SA+ST components).
+        self.router_stage(now, timed);
 
         // 5. Per-cycle statistics and static-power accumulation.
         self.stats.cycles += 1;
@@ -1200,7 +1273,49 @@ impl Network {
         }
     }
 
-    fn router_stage(&mut self, now: u64) {
+    fn router_stage(&mut self, now: u64, timed: bool) {
+        let mut rc_va_ns = 0u64;
+        let mut sa_st_ns = 0u64;
+        self.router_stage_inner(now, timed, &mut rc_va_ns, &mut sa_st_ns);
+        if timed {
+            if let Some(t) = self.telem.as_mut() {
+                t.record_stage_ns(Stage::RcVa, rc_va_ns);
+                t.record_stage_ns(Stage::SaSt, sa_st_ns);
+            }
+        }
+    }
+
+    /// Runs RC+VA then SA+ST on one busy router, accumulating per-stage
+    /// wall-clock time when `timed` (telemetry span sampling).
+    #[inline]
+    fn alloc_router(
+        &mut self,
+        ri: usize,
+        now: u64,
+        timed: bool,
+        rc_va_ns: &mut u64,
+        sa_st_ns: &mut u64,
+    ) {
+        if timed {
+            let t0 = std::time::Instant::now();
+            self.vc_allocate(ri);
+            *rc_va_ns += t0.elapsed().as_nanos() as u64;
+            let t1 = std::time::Instant::now();
+            self.switch_allocate(ri, now);
+            *sa_st_ns += t1.elapsed().as_nanos() as u64;
+        } else {
+            self.vc_allocate(ri);
+            self.switch_allocate(ri, now);
+        }
+    }
+
+    fn router_stage_inner(
+        &mut self,
+        now: u64,
+        timed: bool,
+        rc_va_ns: &mut u64,
+        sa_st_ns: &mut u64,
+    ) {
         if self.full_sweep {
             for ri in 0..self.routers.len() {
                 {
@@ -1209,8 +1324,7 @@ impl Network {
                         continue;
                     }
                 }
-                self.vc_allocate(ri);
-                self.switch_allocate(ri, now);
+                self.alloc_router(ri, now, timed, rc_va_ns, sa_st_ns);
             }
             let routers = &mut self.routers;
             self.busy_routers.retain(|&ri| {
@@ -1243,8 +1357,7 @@ impl Network {
                 r.active && !r.sleeping && !r.failed && r.config_until <= now
             };
             if runnable {
-                self.vc_allocate(ri);
-                self.switch_allocate(ri, now);
+                self.alloc_router(ri, now, timed, rc_va_ns, sa_st_ns);
             }
             if self.routers[ri].flits > 0 {
                 busy[w] = ri;
@@ -1542,6 +1655,9 @@ impl Network {
                 };
                 self.stats.record(&d);
                 self.totals.record(&d);
+                if let Some(t) = self.telem.as_mut() {
+                    t.on_delivered(&d);
+                }
                 self.delivered.push(d);
             }
         }
@@ -2392,6 +2508,17 @@ impl Network {
                     cycle: self.now,
                     detail: v.to_string(),
                 });
+            }
+        }
+        let now = self.now;
+        if let Some(t) = self.telem.as_mut() {
+            let reg = t.registry_mut();
+            for v in &violations {
+                reg.event(
+                    "guard.violation",
+                    now,
+                    &[("kind", &v.kind.to_string()), ("detail", &v.detail)],
+                );
             }
         }
         if self.guard_mode == GuardMode::Strict {

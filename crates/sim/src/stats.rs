@@ -198,6 +198,13 @@ pub struct EpochReport {
     /// Static-power resource-on cycles for the epoch.
     pub static_cycles: StaticCycles,
     /// Invariant-guard counters for the epoch (health module).
+    ///
+    /// Only exhaustive under `GuardMode::Strict`: under `Sampled(n)` the
+    /// guards sweep every `n`-th cycle and the violation count is a lower
+    /// bound. Check
+    /// [`health.sample_interval`](crate::health::HealthCounts::sample_interval)
+    /// (0 = off, 1 = strict, n = sampled) before reading the counts as
+    /// complete.
     pub health: crate::health::HealthCounts,
 }
 

@@ -1,0 +1,321 @@
+//! Text exporters: Prometheus exposition format and JSON-lines.
+//!
+//! Both exporters are deterministic: they render a
+//! [`Snapshot`], whose metric kinds are sorted
+//! by `(name, label set)` and whose events are in recording order, so the
+//! same registry always produces byte-identical output. That property is
+//! pinned by the golden-file tests in `tests/golden.rs` and is what lets
+//! campaign telemetry snapshots sit next to checkpoint journals without
+//! breaking the bench suite's byte-identity guarantees.
+
+use crate::registry::{Registry, Snapshot};
+
+/// Escapes a string for a JSON string literal (without the quotes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders sorted `(k, v)` pairs as a JSON object body: `"k":"v",...`.
+fn json_object(pairs: impl Iterator<Item = (String, String)>) -> String {
+    let body: Vec<String> = pairs
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(&k), json_escape(&v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Serializes a registry snapshot as JSON-lines: one self-describing JSON
+/// object per line, in the order *meta, counters, gauges, histograms,
+/// spans, events*. Machine-diffable and safe to append to (each line is
+/// independently parseable, like the checkpoint journals).
+pub fn json_lines(reg: &Registry) -> String {
+    json_lines_snapshot(&reg.snapshot())
+}
+
+/// [`json_lines`] on an already-taken [`Snapshot`].
+pub fn json_lines_snapshot(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"meta\",\"mode\":\"{}\",\"events_dropped\":{}}}\n",
+        json_escape(&snap.mode),
+        snap.events_dropped
+    ));
+    for c in &snap.counters {
+        out.push_str(&format!(
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"unit\":\"{}\",\"labels\":{},\"value\":{}}}\n",
+            json_escape(&c.name),
+            json_escape(&c.unit),
+            json_object(c.labels.iter().map(|(k, v)| (k.to_string(), v.to_string()))),
+            c.value
+        ));
+    }
+    for g in &snap.gauges {
+        out.push_str(&format!(
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"unit\":\"{}\",\"labels\":{},\"value\":{}}}\n",
+            json_escape(&g.name),
+            json_escape(&g.unit),
+            json_object(g.labels.iter().map(|(k, v)| (k.to_string(), v.to_string()))),
+            g.value
+        ));
+    }
+    for h in &snap.histograms {
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(le, n)| format!("\"{}\":{}", json_escape(le), n))
+            .collect();
+        out.push_str(&format!(
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"unit\":\"{}\",\"labels\":{},\"count\":{},\"sum\":{},\"buckets\":{{{}}}}}\n",
+            json_escape(&h.name),
+            json_escape(&h.unit),
+            json_object(h.labels.iter().map(|(k, v)| (k.to_string(), v.to_string()))),
+            h.count,
+            h.sum,
+            buckets.join(",")
+        ));
+    }
+    for s in &snap.spans {
+        out.push_str(&format!(
+            "{{\"type\":\"span\",\"name\":\"{}\",\"labels\":{},\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}\n",
+            json_escape(&s.name),
+            json_object(s.labels.iter().map(|(k, v)| (k.to_string(), v.to_string()))),
+            s.count,
+            s.total_ns,
+            s.min_ns,
+            s.max_ns
+        ));
+    }
+    for e in &snap.events {
+        out.push_str(&format!(
+            "{{\"type\":\"event\",\"name\":\"{}\",\"cycle\":{},\"fields\":{}}}\n",
+            json_escape(&e.name),
+            e.cycle,
+            json_object(e.fields.iter().map(|(k, v)| (k.clone(), v.clone())))
+        ));
+    }
+    out
+}
+
+/// Escapes a Prometheus HELP string.
+fn prom_help_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a Prometheus label value.
+fn prom_label_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a label set (optionally with one extra pair appended) as
+/// `{k="v",...}`, or the empty string when there are no labels.
+fn prom_labels(labels: &crate::registry::Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_label_escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", prom_label_escape(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Emits `# HELP` / `# TYPE` headers once per metric name.
+fn prom_header(out: &mut String, last: &mut String, name: &str, help: &str, kind: &str) {
+    if last != name {
+        out.push_str(&format!("# HELP {name} {}\n", prom_help_escape(help)));
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        *last = name.to_string();
+    }
+}
+
+/// Serializes a registry snapshot in the Prometheus text exposition
+/// format (version 0.0.4): counters and gauges as-is, histograms with
+/// cumulative `_bucket{le=...}` series plus `_sum`/`_count`, spans as
+/// summaries (`_count`, `_sum` in seconds) with `_min`/`_max` gauges.
+/// Structured events have no Prometheus representation and are only in
+/// the JSON-lines export.
+pub fn prometheus(reg: &Registry) -> String {
+    prometheus_snapshot(&reg.snapshot())
+}
+
+/// [`prometheus`] on an already-taken [`Snapshot`].
+pub fn prometheus_snapshot(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP adaptnoc_telemetry_info Telemetry collection mode of this snapshot.\n");
+    out.push_str("# TYPE adaptnoc_telemetry_info gauge\n");
+    out.push_str(&format!(
+        "adaptnoc_telemetry_info{{mode=\"{}\"}} 1\n",
+        prom_label_escape(&snap.mode)
+    ));
+    out.push_str(
+        "# HELP adaptnoc_telemetry_events_dropped_total Structured events lost to the event-log capacity bound.\n",
+    );
+    out.push_str("# TYPE adaptnoc_telemetry_events_dropped_total counter\n");
+    out.push_str(&format!(
+        "adaptnoc_telemetry_events_dropped_total {}\n",
+        snap.events_dropped
+    ));
+
+    let mut last = String::new();
+    for c in &snap.counters {
+        prom_header(&mut out, &mut last, &c.name, &c.help, "counter");
+        out.push_str(&format!(
+            "{}{} {}\n",
+            c.name,
+            prom_labels(&c.labels, None),
+            c.value
+        ));
+    }
+    for g in &snap.gauges {
+        prom_header(&mut out, &mut last, &g.name, &g.help, "gauge");
+        out.push_str(&format!(
+            "{}{} {}\n",
+            g.name,
+            prom_labels(&g.labels, None),
+            g.value
+        ));
+    }
+    for h in &snap.histograms {
+        prom_header(&mut out, &mut last, &h.name, &h.help, "histogram");
+        let mut cumulative = 0u64;
+        for (le, n) in &h.buckets {
+            cumulative += n;
+            out.push_str(&format!(
+                "{}_bucket{} {cumulative}\n",
+                h.name,
+                prom_labels(&h.labels, Some(("le", le)))
+            ));
+        }
+        out.push_str(&format!(
+            "{}_sum{} {}\n",
+            h.name,
+            prom_labels(&h.labels, None),
+            h.sum
+        ));
+        out.push_str(&format!(
+            "{}_count{} {}\n",
+            h.name,
+            prom_labels(&h.labels, None),
+            h.count
+        ));
+    }
+    for s in &snap.spans {
+        prom_header(&mut out, &mut last, &s.name, &s.help, "summary");
+        let labels = prom_labels(&s.labels, None);
+        out.push_str(&format!("{}_count{labels} {}\n", s.name, s.count));
+        out.push_str(&format!(
+            "{}_sum{labels} {}\n",
+            s.name,
+            s.total_ns as f64 / 1e9
+        ));
+        out.push_str(&format!(
+            "{}_min{labels} {}\n",
+            s.name,
+            s.min_ns as f64 / 1e9
+        ));
+        out.push_str(&format!(
+            "{}_max{labels} {}\n",
+            s.name,
+            s.max_ns as f64 / 1e9
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::TelemetryMode;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new(TelemetryMode::Strict);
+        let c = r.counter(
+            "adaptnoc_test_packets_total",
+            "Packets.",
+            "packets",
+            &[("vnet", "0")],
+        );
+        r.add(c, 42);
+        let g = r.gauge("adaptnoc_test_latency_cycles", "Latency.", "cycles", &[]);
+        r.set(g, 12.5);
+        let h = r.histogram("adaptnoc_test_hops", "Hops.", "hops", &[]);
+        r.observe(h, 1);
+        r.observe(h, 3);
+        let s = r.span("adaptnoc_test_stage_seconds", "Stage time.", &[]);
+        r.record_span_ns(s, 2_000_000_000);
+        r.event("test.fired", 7, &[("why", "because")]);
+        r
+    }
+
+    #[test]
+    fn json_lines_are_each_parseable_shapes() {
+        let text = json_lines(&sample_registry());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].contains("\"type\":\"meta\""));
+        assert!(lines[1].contains("\"value\":42"));
+        assert!(lines[2].contains("\"value\":12.5"));
+        assert!(lines[3].contains("\"sum\":4"));
+        assert!(lines[4].contains("\"total_ns\":2000000000"));
+        assert!(lines[5].contains("\"cycle\":7"));
+        for l in lines {
+            assert!(
+                l.starts_with('{') && l.ends_with('}'),
+                "not a JSON object: {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_emits_headers_and_cumulative_buckets() {
+        let text = prometheus(&sample_registry());
+        assert!(text.contains("# TYPE adaptnoc_test_packets_total counter"));
+        assert!(text.contains("adaptnoc_test_packets_total{vnet=\"0\"} 42"));
+        assert!(text.contains("# TYPE adaptnoc_test_hops histogram"));
+        assert!(text.contains("adaptnoc_test_hops_bucket{le=\"1\"} 1"));
+        assert!(text.contains("adaptnoc_test_hops_bucket{le=\"4\"} 2"));
+        assert!(text.contains("adaptnoc_test_hops_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("adaptnoc_test_hops_count 2"));
+        assert!(text.contains("# TYPE adaptnoc_test_stage_seconds summary"));
+        assert!(text.contains("adaptnoc_test_stage_seconds_sum 2"));
+        assert!(text.contains("adaptnoc_telemetry_info{mode=\"strict\"} 1"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_newlines() {
+        let mut r = Registry::new(TelemetryMode::Strict);
+        let c = r.counter("x_total", "help \"quoted\"\nline", "u", &[("k", "a\"b\\c")]);
+        r.inc(c);
+        let prom = prometheus(&r);
+        assert!(prom.contains("# HELP x_total help \"quoted\"\\nline"));
+        assert!(prom.contains("x_total{k=\"a\\\"b\\\\c\"} 1"));
+        let jl = json_lines(&r);
+        assert!(jl.contains("\"k\":\"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = sample_registry();
+        let b = sample_registry();
+        assert_eq!(json_lines(&a), json_lines(&b));
+        assert_eq!(prometheus(&a), prometheus(&b));
+    }
+}

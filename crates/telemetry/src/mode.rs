@@ -1,0 +1,134 @@
+//! Collection mode: how aggressively telemetry samples the hot path.
+//!
+//! [`TelemetryMode`] deliberately mirrors `adaptnoc_sim::health::GuardMode`
+//! — same variants, same parse grammar, same environment-override pattern
+//! — so operators learn one knob shape for both subsystems.
+
+/// How much runtime telemetry is collected.
+///
+/// Resolved at `Network::new` from the `ADAPTNOC_TELEMETRY` environment
+/// variable (which overrides `SimConfig::telemetry`): `off`/`0`/`none`,
+/// `strict`/`full`, `sampled`, or `sampled:N`.
+///
+/// The mode governs only the *expensive* instrumentation — wall-clock
+/// span timing of simulator stages, which is taken on every cycle under
+/// [`Strict`](TelemetryMode::Strict) and on every `n`-th cycle under
+/// [`Sampled(n)`](TelemetryMode::Sampled). Counters, gauges, histograms
+/// and events are exact in every active mode (they are branch-plus-add
+/// cheap and sampling them would make them lies). Under
+/// [`Off`](TelemetryMode::Off) no registry exists at all and the hot path
+/// pays one `Option` branch per site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryMode {
+    /// No telemetry: no registry is allocated, nothing is recorded. The
+    /// default — keeps the 145 Mc/s idle-stepping path intact.
+    #[default]
+    Off,
+    /// Exact counters/gauges/histograms/events; stage spans timed every
+    /// `n` cycles. The cheap always-on choice for long campaigns.
+    Sampled(u32),
+    /// Exact everything, stage spans timed every cycle. For deep dives
+    /// and the telemetry CI checks; measurably slows stepping.
+    Strict,
+}
+
+impl TelemetryMode {
+    /// Parses a mode string: `off`/`0`/`none`, `strict`/`full`, `sampled`,
+    /// or `sampled:N` (N = 0 means off). Returns `None` for anything else.
+    pub fn parse(raw: &str) -> Option<TelemetryMode> {
+        let s = raw.trim().to_ascii_lowercase();
+        match s.as_str() {
+            "off" | "0" | "none" => Some(TelemetryMode::Off),
+            "strict" | "full" => Some(TelemetryMode::Strict),
+            "sampled" => Some(TelemetryMode::Sampled(1024)),
+            _ => {
+                let n: u32 = s.strip_prefix("sampled:")?.parse().ok()?;
+                Some(if n == 0 {
+                    TelemetryMode::Off
+                } else {
+                    TelemetryMode::Sampled(n)
+                })
+            }
+        }
+    }
+
+    /// The mode requested by the `ADAPTNOC_TELEMETRY` environment
+    /// variable, if set and valid.
+    pub fn from_env() -> Option<TelemetryMode> {
+        std::env::var("ADAPTNOC_TELEMETRY")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+    }
+
+    /// Whether any collection happens in this mode.
+    pub fn is_active(self) -> bool {
+        !matches!(self, TelemetryMode::Off)
+    }
+
+    /// The span-sampling interval in cycles: `0` for off, `1` for strict,
+    /// `n` for sampled. Exported as a gauge so consumers can tell exact
+    /// span statistics from sampled ones.
+    pub fn interval(self) -> u32 {
+        match self {
+            TelemetryMode::Off => 0,
+            TelemetryMode::Strict => 1,
+            TelemetryMode::Sampled(n) => n,
+        }
+    }
+
+    /// A stable lowercase name for exports: `off`, `sampled:N`, `strict`.
+    pub fn label(self) -> String {
+        match self {
+            TelemetryMode::Off => "off".to_string(),
+            TelemetryMode::Strict => "strict".to_string(),
+            TelemetryMode::Sampled(n) => format!("sampled:{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_grammar_mirrors_guard_mode() {
+        assert_eq!(TelemetryMode::parse("off"), Some(TelemetryMode::Off));
+        assert_eq!(TelemetryMode::parse("0"), Some(TelemetryMode::Off));
+        assert_eq!(TelemetryMode::parse("none"), Some(TelemetryMode::Off));
+        assert_eq!(TelemetryMode::parse("strict"), Some(TelemetryMode::Strict));
+        assert_eq!(TelemetryMode::parse("FULL"), Some(TelemetryMode::Strict));
+        assert_eq!(
+            TelemetryMode::parse("sampled"),
+            Some(TelemetryMode::Sampled(1024))
+        );
+        assert_eq!(
+            TelemetryMode::parse(" sampled:64 "),
+            Some(TelemetryMode::Sampled(64))
+        );
+        assert_eq!(TelemetryMode::parse("sampled:0"), Some(TelemetryMode::Off));
+        assert_eq!(TelemetryMode::parse("bogus"), None);
+        assert_eq!(TelemetryMode::parse("sampled:x"), None);
+    }
+
+    #[test]
+    fn interval_and_activity() {
+        assert_eq!(TelemetryMode::Off.interval(), 0);
+        assert_eq!(TelemetryMode::Strict.interval(), 1);
+        assert_eq!(TelemetryMode::Sampled(256).interval(), 256);
+        assert!(!TelemetryMode::Off.is_active());
+        assert!(TelemetryMode::Strict.is_active());
+        assert!(TelemetryMode::Sampled(1).is_active());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TelemetryMode::Off.label(), "off");
+        assert_eq!(TelemetryMode::Strict.label(), "strict");
+        assert_eq!(TelemetryMode::Sampled(8).label(), "sampled:8");
+    }
+
+    #[test]
+    fn default_is_off() {
+        assert_eq!(TelemetryMode::default(), TelemetryMode::Off);
+    }
+}

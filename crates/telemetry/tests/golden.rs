@@ -1,0 +1,125 @@
+//! Golden-file tests pinning the exact bytes of both exporters.
+//!
+//! The bench suite's byte-identity guarantees (serial vs parallel, resumed
+//! vs uninterrupted) extend to telemetry snapshots, so the exporter output
+//! format is a compatibility surface. Any intentional format change must
+//! regenerate the goldens: `UPDATE_GOLDEN=1 cargo test -p adaptnoc-telemetry
+//! --test golden` and review the diff.
+
+use adaptnoc_telemetry::prelude::*;
+
+/// A registry exercising every feature deterministically: span durations
+/// are fixed nanosecond values, never wall-clock measurements.
+fn golden_registry() -> Registry {
+    let mut r = Registry::new(TelemetryMode::Sampled(64));
+    let pkts = r.counter(
+        "adaptnoc_sim_packets_total",
+        "Packets delivered.",
+        "packets",
+        &[],
+    );
+    r.add(pkts, 128);
+    for vnet in ["0", "1"] {
+        let c = r.counter(
+            "adaptnoc_sim_vnet_packets_total",
+            "Packets delivered per virtual network.",
+            "packets",
+            &[("vnet", vnet)],
+        );
+        r.add(c, if vnet == "0" { 100 } else { 28 });
+    }
+    let esc = r.counter(
+        "adaptnoc_guard_escalations_total",
+        "Escalation-ladder transitions.",
+        "transitions",
+        &[("rung", "1")],
+    );
+    r.inc(esc);
+    let g = r.gauge(
+        "adaptnoc_rl_reward_power_watts",
+        "Power component of the last epoch's reward.",
+        "watts",
+        &[("region", "0")],
+    );
+    r.set(g, 0.125);
+    let lat = r.gauge(
+        "adaptnoc_sim_epoch_network_latency_cycles",
+        "Mean network latency over the last epoch.",
+        "cycles",
+        &[],
+    );
+    r.set(lat, 23.5);
+    let h = r.histogram(
+        "adaptnoc_sim_packet_latency_cycles",
+        "Per-packet end-to-end latency.",
+        "cycles",
+        &[],
+    );
+    for v in [1, 2, 5, 9, 17, 900] {
+        r.observe(h, v);
+    }
+    let s = r.span(
+        "adaptnoc_sim_stage_rc_va_seconds",
+        "Route-compute + VC-allocation stage time per sampled cycle.",
+        &[],
+    );
+    r.record_span_ns(s, 1_500);
+    r.record_span_ns(s, 2_500);
+    r.record_span_ns(s, 2_000);
+    r.event(
+        "fault.injected",
+        40,
+        &[("kind", "permanent_link"), ("channel", "R5->R6")],
+    );
+    r.event("guard.escalated", 512, &[("rung", "1")]);
+    r
+}
+
+fn check_or_update(golden_path: &str, golden: &str, actual: &str) {
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests")
+            .join(golden_path);
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    assert_eq!(
+        actual, golden,
+        "exporter output drifted from tests/{golden_path}; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn prometheus_matches_golden() {
+    check_or_update(
+        "golden/snapshot.prom",
+        include_str!("golden/snapshot.prom"),
+        &prometheus(&golden_registry()),
+    );
+}
+
+#[test]
+fn json_lines_match_golden() {
+    check_or_update(
+        "golden/snapshot.jsonl",
+        include_str!("golden/snapshot.jsonl"),
+        &json_lines(&golden_registry()),
+    );
+}
+
+#[test]
+fn merged_registry_of_identical_halves_doubles_the_golden_counts() {
+    let mut a = golden_registry();
+    a.merge(&golden_registry());
+    let snap = a.snapshot();
+    let pkts = snap
+        .counters
+        .iter()
+        .find(|c| c.name == "adaptnoc_sim_packets_total")
+        .expect("merged counter present");
+    assert_eq!(pkts.value, 256);
+    let h = &snap.histograms[0];
+    assert_eq!(h.count, 12);
+    assert_eq!(snap.events.len(), 4);
+}

@@ -1,0 +1,168 @@
+//! A tour of the telemetry subsystem on a deterministic fault +
+//! escalation + reconfiguration scenario (the `health_guards` wedge: a
+//! permanent link fault strikes mid-drain, the watchdog fires, and the
+//! self-healing ladder re-routes and purges until the drain completes).
+//! The network runs under `TelemetryMode::Strict`, and the final metric
+//! snapshot is printed: every counter, gauge, non-empty histogram and
+//! structured event the run produced, spanning the simulator, fault and
+//! guard metric families of `docs/OBSERVABILITY.md`.
+//!
+//! Deterministic: every run prints byte-identical output (wall-clock span
+//! durations are collected too, but only their deterministic sample
+//! counts are shown).
+//!
+//! ```sh
+//! cargo run --release --example telemetry_tour
+//! ```
+
+use adaptnoc::core::reconfig::RegionReconfig;
+use adaptnoc::faults::prelude::*;
+use adaptnoc::sim::config::SimConfig;
+use adaptnoc::sim::health::WatchdogConfig;
+use adaptnoc::sim::network::Network;
+use adaptnoc::sim::prelude::{NodeId, Packet, RouterId, TelemetryMode};
+use adaptnoc::topology::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid::new(4, 4);
+    let rect = Rect::new(0, 0, 4, 4);
+    let cfg = SimConfig::adapt_noc();
+    let regions = |kind| [RegionTopology::new(rect, kind)];
+    let mesh = build_chip_spec(grid, &regions(TopologyKind::Mesh), &cfg)?;
+    let cmesh = build_chip_spec(grid, &regions(TopologyKind::Cmesh), &cfg)?;
+    let timing = ReconfigTiming::default();
+    let mut net = Network::new(mesh.clone(), cfg.clone())?;
+
+    // Full-rate collection: every counter exact, every stage timed.
+    net.set_telemetry_mode(TelemetryMode::Strict);
+
+    let guard = HealthGuard::new(
+        &mut net,
+        rect,
+        timing,
+        mesh.tables.clone(),
+        GuardConfig {
+            watchdog: WatchdogConfig {
+                window: 400,
+                check_interval: 32,
+                max_packet_age: None,
+            },
+            grace: 250,
+            max_rounds: 2,
+            recorder_capacity: 256,
+        },
+    );
+    let mut ctl = FaultController::new(
+        FaultSchedule::new(vec![]),
+        RetryPolicy::default(),
+        grid,
+        rect,
+        cfg,
+        timing,
+    );
+    ctl.attach_guard(guard);
+
+    // The wedge: fault the eastbound R5 -> R6 link that the N4 -> N7
+    // stream crosses, then start a drain the blocked packets can't clear.
+    let key = net
+        .spec()
+        .channels
+        .iter()
+        .find(|c| c.src.router == RouterId(5) && c.dst.router == RouterId(6))
+        .map(|c| c.key())
+        .expect("mesh link R5 -> R6");
+    println!("scenario: stream N4 -> N7, fault R5->R6 @40, mesh -> cmesh drain @60");
+
+    let mut rc: Option<RegionReconfig> = None;
+    let mut next_id = 1u64;
+    for _ in 0..8_000u64 {
+        let now = net.now();
+        if now < 100 && now.is_multiple_of(3) {
+            net.inject(Packet::request(next_id, NodeId(4), NodeId(7), 0))?;
+            next_id += 1;
+        }
+        if now == 40 {
+            for p in net.set_channel_fault(key, true)? {
+                net.inject_retry(p, 1)?;
+            }
+        }
+        if now == 60 {
+            rc = Some(RegionReconfig::start(
+                &net,
+                &grid,
+                rect,
+                cmesh.clone(),
+                None,
+                timing,
+            ));
+        }
+        net.step();
+        if let Some(r) = &mut rc {
+            if r.tick(&mut net, &grid)? {
+                rc = None;
+            }
+        }
+        ctl.tick(&mut net)?;
+        if now > 500 && rc.is_none() && net.in_flight() == 0 && ctl.settled() {
+            break;
+        }
+    }
+
+    // Epoch boundary: flush the simulator's deltas into the registry.
+    let _ = net.take_epoch();
+    let snap = net.telemetry().expect("strict telemetry").snapshot();
+
+    let labels = |l: &adaptnoc::sim::telemetry::Labels| {
+        if l.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", l.key())
+        }
+    };
+    println!("\n== metric snapshot (mode {}) ==", snap.mode);
+    println!("\ncounters:");
+    for c in &snap.counters {
+        println!("  {}{} = {} {}", c.name, labels(&c.labels), c.value, c.unit);
+    }
+    println!("\ngauges:");
+    for g in &snap.gauges {
+        println!(
+            "  {}{} = {:.3} {}",
+            g.name,
+            labels(&g.labels),
+            g.value,
+            g.unit
+        );
+    }
+    println!("\nhistograms (non-empty buckets as le:count):");
+    for h in &snap.histograms {
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(le, n)| format!("{le}:{n}"))
+            .collect();
+        println!(
+            "  {}{} count={} sum={} [{}]",
+            h.name,
+            labels(&h.labels),
+            h.count,
+            h.sum,
+            buckets.join(" ")
+        );
+    }
+    println!("\nspans (wall-clock; deterministic sample counts only):");
+    for s in &snap.spans {
+        println!("  {} samples={}", s.name, s.count);
+    }
+    println!(
+        "\nevents ({} recorded, {} dropped):",
+        snap.events.len(),
+        snap.events_dropped
+    );
+    for e in &snap.events {
+        let fields: Vec<String> = e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("  @{:<5} {} {}", e.cycle, e.name, fields.join(" "));
+    }
+    Ok(())
+}

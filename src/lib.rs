@@ -19,11 +19,20 @@
 //!   in-flight packets and live rerouting of subNoCs around permanent
 //!   link/router failures.
 //! * `bench` — the harness regenerating every figure and table.
+//! * [`telemetry`](sim::telemetry) — the unified metrics registry wired
+//!   through all of the above; see [`observability`] for the full story.
 //!
 //! See `examples/` for runnable entry points and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology and results.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The observability story (`docs/OBSERVABILITY.md`), included here so
+/// its code blocks compile and run as doctests
+/// (`cargo test --doc -p adaptnoc`).
+#[doc = include_str!("../docs/OBSERVABILITY.md")]
+pub mod observability {}
 
 pub use adaptnoc_bench as bench;
 pub use adaptnoc_core as core;
