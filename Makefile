@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test check fmt clippy ci docs telemetry faults guards figures perf clean
+.PHONY: all build test check fmt clippy ci docs telemetry faults scenarios guards figures perf clean
 
 all: build
 
@@ -22,7 +22,7 @@ clippy:
 check: fmt clippy
 
 # Everything CI runs, in CI's order.
-ci: check build test docs telemetry guards faults
+ci: check build test docs telemetry guards faults scenarios
 
 # Rustdoc must build warning-clean (missing_docs is deny-level on the
 # public crates), and docs/OBSERVABILITY.md's code blocks run as
@@ -48,6 +48,18 @@ faults:
 	$(CARGO) run --release --offline --example fault_recovery > /tmp/fault_recovery_b.txt
 	cmp /tmp/fault_recovery_a.txt /tmp/fault_recovery_b.txt
 	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures -- --quick --only faults
+
+# Scenario subsystem: DSL/runner/corpus tests, the open-loop engine,
+# campaign equivalence, the determinism check on the tour example, and
+# the latency-throughput campaign itself.
+scenarios:
+	$(CARGO) test -p adaptnoc-scenario --offline
+	$(CARGO) test -p adaptnoc-workloads --offline
+	$(CARGO) test -p adaptnoc-bench --test scenario_equivalence --offline
+	$(CARGO) run --release --offline --example scenario_tour > /tmp/scenario_tour_a.txt
+	$(CARGO) run --release --offline --example scenario_tour > /tmp/scenario_tour_b.txt
+	cmp /tmp/scenario_tour_a.txt /tmp/scenario_tour_b.txt
+	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures -- --only scenarios --threads 0
 
 # Re-run the whole suite with every-cycle invariant checking (credit and
 # flit conservation, fault/power isolation); any breach panics on the

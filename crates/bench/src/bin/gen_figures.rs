@@ -9,9 +9,14 @@
 //! byte-identical at any thread count.
 //!
 //! `--checkpoint DIR` journals completed fault-sweep points to
-//! `DIR/faults.jsonl` as they finish; a killed run re-invoked with the
-//! same flag resumes from the completed points and still produces
+//! `DIR/faults.jsonl` (and scenario-campaign points to
+//! `DIR/scenarios.jsonl`) as they finish; a killed run re-invoked with
+//! the same flag resumes from the completed points and still produces
 //! byte-identical JSON.
+//!
+//! `--only scenarios` runs just the open-system scenario campaign: the
+//! checked-in `scenarios/latency_throughput.scn` sweep producing the
+//! latency-throughput curve (saturation knee, p99 blow-up).
 //!
 //! `--metrics-out DIR` additionally runs the telemetry probe (two short
 //! instrumented scenarios; see `adaptnoc_bench::telemetry`) and writes
@@ -216,6 +221,40 @@ fn main() {
             );
         }
         json.insert("faults", rows_json(&rows));
+    }
+
+    if want("scenarios") {
+        banner("Scenario campaign: open-loop latency-throughput (8x8 mesh, uniform Poisson)");
+        let rows = match &checkpoint_dir {
+            Some(dir) => scenario_sweep_checkpointed(
+                "latency_throughput",
+                LATENCY_THROUGHPUT_SCN,
+                scale.threads,
+                &dir.join("scenarios.jsonl"),
+            )
+            .expect("scenario campaign checkpoint journal"),
+            None => scenario_sweep_par("latency_throughput", LATENCY_THROUGHPUT_SCN, scale.threads)
+                .expect("scenario campaign"),
+        };
+        println!(
+            "{:<6} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>5}",
+            "load", "offered", "accepted", "avg-lat", "p50", "p99", "p999", "max-q", "sat"
+        );
+        for r in &rows {
+            println!(
+                "{:<6.2} {:>9.4} {:>9.4} {:>9.1} {:>8.1} {:>8.1} {:>9.1} {:>9} {:>5}",
+                r.load,
+                r.offered_rate,
+                r.accepted_rate,
+                r.avg_latency,
+                r.p50,
+                r.p99,
+                r.p999,
+                r.max_source_queue,
+                if r.saturated { "yes" } else { "" }
+            );
+        }
+        json.insert("scenarios", rows_json(&rows));
     }
 
     if want("tables") {

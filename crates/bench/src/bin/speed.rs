@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release -p adaptnoc-bench --bin speed --
 //! [--cycles N] [--threads N] [--json PATH] [--full-sweep]
-//! [--metrics DIR] [--assert-off-within PCT]
+//! [--metrics DIR] [--assert-off-within PCT] [--scenario FILE]
 //!
 //! Measures three workloads on the paper's mixed chip: an idle network
 //! (active-set fast path), the full three-app workload (steady-state
@@ -19,6 +19,11 @@
 //! runs that microbench and exits non-zero unless its telemetry-off row
 //! is within PCT percent of the uninstrumented idle measurement from the
 //! same process — the CI gate for the zero-cost-when-disabled claim.
+//!
+//! `--scenario FILE` additionally replays a `.scn` scenario file
+//! (`docs/SCENARIOS.md`) end to end and reports its simulation rate and
+//! offered/accepted summary; sweep scenarios replay their middle load
+//! point.
 
 use adaptnoc_bench::parallel::configured_threads;
 use adaptnoc_bench::prelude::*;
@@ -36,6 +41,7 @@ struct Args {
     full_sweep: bool,
     metrics: Option<std::path::PathBuf>,
     assert_off_within: Option<f64>,
+    scenario: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +62,7 @@ fn parse_args() -> Args {
         metrics: get("--metrics").map(std::path::PathBuf::from),
         assert_off_within: get("--assert-off-within")
             .map(|v| v.parse().expect("--assert-off-within takes a percentage")),
+        scenario: get("--scenario"),
     }
 }
 
@@ -155,6 +162,43 @@ fn main() {
     );
     record.push(("campaign_points".into(), Value::Number(rows.len() as f64)));
     record.push(("campaign_wall_s".into(), Value::Number(campaign_s)));
+
+    // 4) Optional scripted scenario replay (--scenario FILE): the full
+    // open-loop run — traffic phases, faults, reconfigurations — timed
+    // end to end.
+    if let Some(path) = &args.scenario {
+        let src = std::fs::read_to_string(path).expect("read --scenario file");
+        let plan = adaptnoc_bench::scenarios::load_scenario(&src).expect("load --scenario file");
+        let load = plan.uses_sweep_load().then(|| {
+            let pts = plan.sweep.expect("sweep directive").points();
+            pts[pts.len() / 2]
+        });
+        let opts = adaptnoc_scenario::prelude::RunOptions {
+            load,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let out = adaptnoc_scenario::prelude::run(&plan, &opts).expect("scenario replay");
+        let scn_s = t0.elapsed().as_secs_f64();
+        let total = plan.total_cycles() as f64;
+        println!(
+            "scenario {path}: {:.1} Kc/s, offered {:.4} accepted {:.4} p99 {:.1}",
+            total / 1_000.0 / scn_s,
+            out.offered_rate,
+            out.accepted_rate,
+            out.p99
+        );
+        record.push(("scenario".into(), Value::String(path.clone())));
+        record.push((
+            "scenario_kcps".into(),
+            Value::Number(total / 1_000.0 / scn_s),
+        ));
+        record.push(("scenario_wall_s".into(), Value::Number(scn_s)));
+        record.push((
+            "scenario_accepted_rate".into(),
+            Value::Number(out.accepted_rate),
+        ));
+    }
 
     if let Some(path) = args.json {
         let body = Value::Object(record).to_string_pretty();

@@ -7,6 +7,7 @@
 use crate::ablations::AblationRow;
 use crate::faults::FaultRow;
 use crate::figs::{EpochRow, MixedRow, PerAppRow, SelectionRow, SizeRow, SweepRow};
+use crate::scenarios::ScenarioRow;
 use crate::tables::{AreaTable, ReconfigRow, ScalabilityRow, TimingTable, WiringRow};
 use adaptnoc_sim::json::Value;
 
@@ -142,6 +143,27 @@ impl ToJson for FaultRow {
             ),
             ("avg_packet_latency".into(), num(self.avg_packet_latency)),
             ("disconnected".into(), num(self.disconnected as f64)),
+        ])
+    }
+}
+
+impl ToJson for ScenarioRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("scenario".into(), s(&self.scenario)),
+            ("load".into(), num(self.load)),
+            ("offered_rate".into(), num(self.offered_rate)),
+            ("accepted_rate".into(), num(self.accepted_rate)),
+            ("avg_latency".into(), num(self.avg_latency)),
+            ("p50".into(), num(self.p50)),
+            ("p95".into(), num(self.p95)),
+            ("p99".into(), num(self.p99)),
+            ("p999".into(), num(self.p999)),
+            ("max_source_queue".into(), num(self.max_source_queue as f64)),
+            ("offered".into(), num(self.offered as f64)),
+            ("delivered".into(), num(self.delivered as f64)),
+            ("drops".into(), num(self.drops as f64)),
+            ("saturated".into(), Value::Bool(self.saturated)),
         ])
     }
 }

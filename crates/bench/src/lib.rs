@@ -9,6 +9,8 @@
 //!   region-size x application training matrix.
 //! * [`figs`] — one function per figure.
 //! * [`faults`] — fault-sweep campaign (resilience under seeded faults).
+//! * [`scenarios`] — open-system scenario campaign (latency-throughput
+//!   curves from checked-in `.scn` files).
 //! * [`tables`] — area / wiring / timing / reconfiguration-latency tables.
 //!
 //! The `gen-figures` binary runs everything and prints the rows the paper
@@ -26,6 +28,7 @@ pub mod jsonrows;
 pub mod microbench;
 pub mod parallel;
 pub mod report;
+pub mod scenarios;
 pub mod tables;
 pub mod telemetry;
 pub mod training;
@@ -46,6 +49,10 @@ pub mod prelude {
         configured_threads, run_checkpointed, run_indexed, run_indexed_isolated, PointFailure,
     };
     pub use crate::report::render_report;
+    pub use crate::scenarios::{
+        campaign_loads, load_scenario, scenario_sweep_checkpointed, scenario_sweep_par,
+        ScenarioError, ScenarioRow, LATENCY_THROUGHPUT_SCN,
+    };
     pub use crate::tables::{
         area_table, reconfig_table, scalability_table, timing_table, wiring_table,
     };

@@ -1,0 +1,249 @@
+//! Scenario campaigns: open-system latency–throughput curves.
+//!
+//! Runs a checked-in `.scn` file (see `scenarios/` at the repo root and
+//! `docs/SCENARIOS.md`) once per sweep load point, each point an
+//! independent seeded simulation, and reduces every run to one
+//! [`ScenarioRow`]. Points fan out over [`crate::parallel::run_indexed`]
+//! — output is byte-identical at any thread count because each point is
+//! fully determined by its index — and [`scenario_sweep_checkpointed`]
+//! adds the same JSON-lines journal the fault sweep uses, so a killed
+//! campaign resumes from its completed points.
+
+use adaptnoc_scenario::prelude::*;
+use adaptnoc_sim::json::Value;
+use std::fmt;
+use std::path::Path;
+
+/// The default campaign scenario: uniform Poisson load sweep on the
+/// 8x8 baseline mesh (`scenarios/latency_throughput.scn`).
+pub const LATENCY_THROUGHPUT_SCN: &str = include_str!("../../../scenarios/latency_throughput.scn");
+
+/// A scenario that could not be loaded (parsed or compiled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Parses and compiles scenario source into an executable plan.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] with the parse or compile diagnostic.
+pub fn load_scenario(src: &str) -> Result<ExecPlan, ScenarioError> {
+    let sc = parse(src).map_err(|e| ScenarioError { msg: e.to_string() })?;
+    compile(&sc).map_err(|e| ScenarioError { msg: e.to_string() })
+}
+
+/// The campaign's load points: the sweep directive's grid, or a single
+/// `None` (run the scenario once as written) when there is no sweep.
+pub fn campaign_loads(plan: &ExecPlan) -> Vec<Option<f64>> {
+    match plan.sweep {
+        Some(s) => s.points().into_iter().map(Some).collect(),
+        None => vec![None],
+    }
+}
+
+/// One campaign point: a full scenario run reduced to curve coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Scenario name (campaign label).
+    pub scenario: String,
+    /// The sweep load substituted into `load sweep` placeholders (equal
+    /// to `offered_rate` below saturation; 0 for sweep-less scenarios).
+    pub load: f64,
+    /// Measured offered load, packets per node per cycle.
+    pub offered_rate: f64,
+    /// Accepted throughput, packets per node per cycle.
+    pub accepted_rate: f64,
+    /// Mean total packet latency, cycles.
+    pub avg_latency: f64,
+    /// Median total packet latency.
+    pub p50: f64,
+    /// 95th-percentile latency.
+    pub p95: f64,
+    /// 99th-percentile latency.
+    pub p99: f64,
+    /// 99.9th-percentile latency.
+    pub p999: f64,
+    /// Largest sampled sum of NI source-queue depths.
+    pub max_source_queue: u64,
+    /// Packets offered during measurement.
+    pub offered: u64,
+    /// Packets delivered during measurement.
+    pub delivered: u64,
+    /// Packets dropped.
+    pub drops: u64,
+    /// Whether the point is past the knee (accepted < 95% of offered).
+    pub saturated: bool,
+}
+
+fn point_row(name: &str, plan: &ExecPlan, load: Option<f64>) -> ScenarioRow {
+    let opts = RunOptions {
+        load,
+        ..RunOptions::default()
+    };
+    let out = run(plan, &opts).expect("scenario campaign point");
+    ScenarioRow {
+        scenario: name.to_string(),
+        load: load.unwrap_or(0.0),
+        offered_rate: out.offered_rate,
+        accepted_rate: out.accepted_rate,
+        avg_latency: out.avg_latency,
+        p50: out.p50,
+        p95: out.p95,
+        p99: out.p99,
+        p999: out.p999,
+        max_source_queue: out.max_source_queue,
+        offered: out.offered,
+        delivered: out.delivered,
+        drops: out.drops,
+        saturated: out.accepted_rate < 0.95 * out.offered_rate,
+    }
+}
+
+/// Runs the campaign for `src` across `threads` workers, one point per
+/// sweep load (or a single point when the scenario has no sweep).
+/// Results are in sweep order and byte-identical at any thread count.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] when `src` does not parse or compile.
+pub fn scenario_sweep_par(
+    name: &str,
+    src: &str,
+    threads: usize,
+) -> Result<Vec<ScenarioRow>, ScenarioError> {
+    let plan = load_scenario(src)?;
+    let loads = campaign_loads(&plan);
+    Ok(crate::parallel::run_indexed(loads.len(), threads, |i| {
+        point_row(name, &plan, loads[i])
+    }))
+}
+
+/// Decodes a journaled [`ScenarioRow`] (inverse of its
+/// [`ToJson`](crate::jsonrows::ToJson) encoding).
+pub fn scenario_row_from_json(v: &Value) -> Option<ScenarioRow> {
+    Some(ScenarioRow {
+        scenario: v.get("scenario")?.as_str()?.to_string(),
+        load: v.get("load")?.as_f64()?,
+        offered_rate: v.get("offered_rate")?.as_f64()?,
+        accepted_rate: v.get("accepted_rate")?.as_f64()?,
+        avg_latency: v.get("avg_latency")?.as_f64()?,
+        p50: v.get("p50")?.as_f64()?,
+        p95: v.get("p95")?.as_f64()?,
+        p99: v.get("p99")?.as_f64()?,
+        p999: v.get("p999")?.as_f64()?,
+        max_source_queue: v.get("max_source_queue")?.as_u64()?,
+        offered: v.get("offered")?.as_u64()?,
+        delivered: v.get("delivered")?.as_u64()?,
+        drops: v.get("drops")?.as_u64()?,
+        saturated: v.get("saturated")?.as_bool()?,
+    })
+}
+
+/// [`scenario_sweep_par`] with a checkpoint journal at `path`: completed
+/// points are appended as JSON lines and replayed on re-entry, so a
+/// killed campaign resumes where it left off and still returns the same
+/// rows an uninterrupted run does.
+///
+/// # Errors
+///
+/// Returns an I/O error when the scenario does not load or the journal
+/// cannot be opened.
+pub fn scenario_sweep_checkpointed(
+    name: &str,
+    src: &str,
+    threads: usize,
+    path: &Path,
+) -> std::io::Result<Vec<ScenarioRow>> {
+    use crate::jsonrows::ToJson;
+    let plan = load_scenario(src).map_err(std::io::Error::other)?;
+    let loads = campaign_loads(&plan);
+    crate::parallel::run_checkpointed(
+        loads.len(),
+        threads,
+        path,
+        ScenarioRow::to_json,
+        scenario_row_from_json,
+        |i| point_row(name, &plan, loads[i]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonrows::{rows_json, ToJson};
+
+    const SMALL: &str = "grid 4 4; seed 2; warmup 1K; duration 4K; epoch 2K;\n\
+                         sweep load 0.05 to 0.15 step 0.05;\n\
+                         t=0 uniform load sweep poisson;";
+
+    #[test]
+    fn embedded_default_scenario_loads_and_sweeps() {
+        let plan = load_scenario(LATENCY_THROUGHPUT_SCN).expect("checked-in scenario");
+        assert!(plan.uses_sweep_load());
+        assert_eq!(campaign_loads(&plan).len(), 20);
+    }
+
+    #[test]
+    fn sweep_rows_match_their_loads_and_any_thread_count() {
+        let serial = scenario_sweep_par("small", SMALL, 1).unwrap();
+        assert_eq!(serial.len(), 3);
+        for (r, want) in serial.iter().zip([0.05, 0.1, 0.15]) {
+            assert!((r.load - want).abs() < 1e-12);
+            assert!(r.offered > 0);
+            assert!(!r.saturated, "light loads stay under the knee");
+        }
+        let par = scenario_sweep_par("small", SMALL, 3).unwrap();
+        assert_eq!(serial, par, "threads never change campaign output");
+    }
+
+    #[test]
+    fn bad_scenario_source_is_an_error() {
+        assert!(scenario_sweep_par("bad", "grid 99;", 1).is_err());
+        assert!(scenario_sweep_par("bad", "t=0 uniform load sweep;", 1).is_err());
+    }
+
+    #[test]
+    fn rows_round_trip_through_json() {
+        let rows = scenario_sweep_par("small", SMALL, 1).unwrap();
+        for r in &rows {
+            let decoded = scenario_row_from_json(&r.to_json()).expect("decode");
+            assert_eq!(&decoded, r);
+        }
+        assert!(rows_json(&rows)
+            .to_string_compact()
+            .contains("\"load\":0.1"));
+    }
+
+    #[test]
+    fn checkpointed_campaign_survives_a_kill_and_resume() {
+        let path =
+            std::env::temp_dir().join(format!("adaptnoc-scn-ckpt-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let full = scenario_sweep_checkpointed("small", SMALL, 1, &path).unwrap();
+        assert_eq!(full.len(), 3);
+
+        // Simulate a mid-campaign kill: keep one journal line plus a torn
+        // tail, then resume on a different thread count.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first = text.lines().next().unwrap();
+        std::fs::write(&path, format!("{first}\n{{\"i\":2,\"v\":{{\"sc")).unwrap();
+        let resumed = scenario_sweep_checkpointed("small", SMALL, 2, &path).unwrap();
+        assert_eq!(
+            rows_json(&resumed).to_string_compact(),
+            rows_json(&full).to_string_compact(),
+            "resume reproduces the uninterrupted campaign byte for byte"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,58 @@
+//! Golden corpus: every checked-in `scenarios/*.scn` file parses,
+//! round-trips through its canonical form, compiles, and replays
+//! deterministically. CI runs this job against the same corpus, so a
+//! grammar change that breaks a shipped scenario fails here first.
+
+use adaptnoc_scenario::prelude::*;
+use std::path::PathBuf;
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let mut files: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("scenarios/ corpus directory at the repo root")
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            if path.extension()? != "scn" {
+                return None;
+            }
+            let name = path.file_name()?.to_string_lossy().into_owned();
+            Some((name, std::fs::read_to_string(&path).ok()?))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_corpus_scenario_parses_compiles_and_round_trips() {
+    let files = corpus();
+    assert!(files.len() >= 5, "corpus must stay populated: {files:?}");
+    for (name, src) in &files {
+        let sc = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let canon = sc.to_string();
+        let back = parse(&canon).unwrap_or_else(|e| panic!("{name} (canonical): {e}"));
+        assert_eq!(back, sc, "{name}: canonical form must round trip");
+        compile(&sc).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+/// Each corpus scenario replays deterministically: a truncated run (so
+/// the whole corpus stays fast) repeated twice gives identical outcomes
+/// and delivers traffic.
+#[test]
+fn corpus_scenarios_replay_deterministically() {
+    for (name, src) in corpus() {
+        let mut plan = compile(&parse(&src).unwrap()).unwrap();
+        plan.warmup = 500;
+        plan.duration = 2_000;
+        plan.epoch = 1_000;
+        let opts = RunOptions {
+            load: plan.uses_sweep_load().then_some(0.1),
+            ..RunOptions::default()
+        };
+        let a = run(&plan, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let b = run(&plan, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(a, b, "{name}: replay must be deterministic");
+        assert!(a.delivered > 0, "{name}: traffic must flow");
+    }
+}

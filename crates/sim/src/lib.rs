@@ -84,7 +84,7 @@ pub mod prelude {
         mesh_channel, ChannelKey, ChannelKind, ChannelSpec, NetworkSpec, NiSpec, PortRef,
         RouterSpec, SpecError,
     };
-    pub use crate::stats::{Delivered, EpochReport, NetStats};
+    pub use crate::stats::{CycleHistogram, Delivered, EpochReport, NetStats};
     pub use crate::telem::SimTelemetry;
     pub use crate::trace::{TraceBuffer, TraceEvent, TraceFilter};
     pub use adaptnoc_telemetry::{Registry, TelemetryMode};

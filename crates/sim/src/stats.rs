@@ -40,6 +40,135 @@ impl Delivered {
     }
 }
 
+/// Number of log2 buckets in a [`CycleHistogram`]: bucket `i < 32` counts
+/// values in `(2^(i-1), 2^i]` (bucket 0 counts zeros and ones), bucket 32
+/// is the overflow tail. Matches the telemetry crate's fixed bucket
+/// layout so exported histograms and in-stats quantiles agree.
+pub const CYCLE_HIST_BUCKETS: usize = 33;
+
+/// A compact always-on log2-bucket histogram of cycle counts.
+///
+/// This is the quantile substrate for tail-latency reporting: recording
+/// is one shift and two adds, the footprint is a fixed 33-slot array, and
+/// quantiles come from log-linear interpolation inside the hit bucket —
+/// exact enough to show a p99 blow-up at saturation while staying cheap
+/// enough to live inside [`NetStats`] on every delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleHistogram {
+    buckets: [u64; CYCLE_HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        CycleHistogram {
+            buckets: [0; CYCLE_HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl CycleHistogram {
+    fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            ((64 - (v - 1).leading_zeros()) as usize).min(CYCLE_HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Upper bound of bucket `b` (`u64::MAX` for the overflow tail).
+    fn bucket_upper(b: usize) -> u64 {
+        if b >= CYCLE_HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << b
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The raw bucket counts (log2 layout, see [`CYCLE_HIST_BUCKETS`]).
+    pub fn buckets(&self) -> &[u64; CYCLE_HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &CycleHistogram) {
+        for (b, n) in other.buckets.iter().enumerate() {
+            self.buckets[b] += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), linearly interpolated inside
+    /// the hit bucket. Returns 0 for an empty histogram. The overflow
+    /// tail reports its lower bound, so extreme quantiles are a lower
+    /// bound rather than a fabrication.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if b == 0 { 0 } else { Self::bucket_upper(b - 1) } as f64;
+                if b == CYCLE_HIST_BUCKETS - 1 {
+                    return lo;
+                }
+                let hi = Self::bucket_upper(b) as f64;
+                let within = (rank - seen) as f64 / n as f64;
+                return lo + (hi - lo) * within;
+            }
+            seen += n;
+        }
+        Self::bucket_upper(CYCLE_HIST_BUCKETS - 2) as f64
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+}
+
 /// Aggregated network statistics over a measurement window.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetStats {
@@ -78,6 +207,11 @@ pub struct NetStats {
     /// Packets dropped after exhausting their retry budget (or because
     /// their endpoint became disconnected).
     pub drops: u64,
+    /// Log2-bucket histogram of total packet latency (creation to
+    /// ejection) — the quantile substrate for p50/p95/p99/p999.
+    pub latency_hist: CycleHistogram,
+    /// Log2-bucket histogram of network latency (injection to ejection).
+    pub network_latency_hist: CycleHistogram,
 }
 
 impl NetStats {
@@ -91,6 +225,8 @@ impl NetStats {
         self.queuing_latency_sum += ql;
         self.max_network_latency = self.max_network_latency.max(nl);
         self.max_queuing_latency = self.max_queuing_latency.max(ql);
+        self.latency_hist.observe(d.total_latency());
+        self.network_latency_hist.observe(nl);
         self.hops_sum += d.hops as u64;
         let k = match d.packet.kind {
             PacketKind::Request => 0,
@@ -156,6 +292,33 @@ impl NetStats {
         }
     }
 
+    /// The `q`-quantile of total packet latency (creation to ejection)
+    /// over the window, interpolated from the log2-bucket histogram.
+    pub fn packet_latency_quantile(&self, q: f64) -> f64 {
+        self.latency_hist.quantile(q)
+    }
+
+    /// Median total packet latency.
+    pub fn p50_latency(&self) -> f64 {
+        self.latency_hist.p50()
+    }
+
+    /// 95th-percentile total packet latency.
+    pub fn p95_latency(&self) -> f64 {
+        self.latency_hist.p95()
+    }
+
+    /// 99th-percentile total packet latency — the headline tail metric
+    /// for open-loop overload runs.
+    pub fn p99_latency(&self) -> f64 {
+        self.latency_hist.p99()
+    }
+
+    /// 99.9th-percentile total packet latency.
+    pub fn p999_latency(&self) -> f64 {
+        self.latency_hist.p999()
+    }
+
     /// Adds `other` into `self`.
     pub fn accumulate(&mut self, other: &NetStats) {
         self.packets += other.packets;
@@ -177,6 +340,8 @@ impl NetStats {
         self.nacks += other.nacks;
         self.retries += other.retries;
         self.drops += other.drops;
+        self.latency_hist.merge(&other.latency_hist);
+        self.network_latency_hist.merge(&other.network_latency_hist);
     }
 }
 
@@ -278,6 +443,61 @@ mod tests {
         assert_eq!(a.packets, 2);
         assert_eq!(a.cycles, 30);
         assert_eq!(a.hops_sum, 3);
+    }
+
+    #[test]
+    fn quantiles_track_the_latency_distribution() {
+        let mut s = NetStats::default();
+        // 99 fast packets (total latency 8) and one straggler (1000).
+        for _ in 0..99 {
+            s.record(&delivered(0, 2, 8, 2));
+        }
+        s.record(&delivered(0, 2, 1000, 2));
+        let p50 = s.p50_latency();
+        assert!((4.0..=8.0).contains(&p50), "p50 {p50} in the fast bucket");
+        let p999 = s.p999_latency();
+        assert!(
+            (512.0..=1024.0).contains(&p999),
+            "p999 {p999} lands in the straggler's bucket"
+        );
+        assert!(s.p99_latency() <= p999);
+        assert!(s.p95_latency() <= s.p99_latency());
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = CycleHistogram::default();
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_observation() {
+        let mut a = CycleHistogram::default();
+        let mut b = CycleHistogram::default();
+        let mut both = CycleHistogram::default();
+        for v in [0u64, 1, 3, 17, 200] {
+            a.observe(v);
+            both.observe(v);
+        }
+        for v in [5u64, 900, 900, 12_000] {
+            b.observe(v);
+            both.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.sum(), 14_026);
+    }
+
+    #[test]
+    fn accumulate_merges_latency_histograms() {
+        let mut a = NetStats::default();
+        a.record(&delivered(0, 1, 5, 1));
+        let mut b = NetStats::default();
+        b.record(&delivered(0, 2, 2000, 2));
+        a.accumulate(&b);
+        assert_eq!(a.latency_hist.count(), 2);
+        assert!(a.p999_latency() >= 1024.0);
     }
 
     #[test]

@@ -60,6 +60,13 @@ pub struct SimTelemetry {
     g_buf_util: GaugeId,
     g_in_flight: GaugeId,
     g_health_interval: GaugeId,
+    g_offered_rate: GaugeId,
+    g_accepted_rate: GaugeId,
+    g_source_queue: GaugeId,
+    g_lat_p50: GaugeId,
+    g_lat_p95: GaugeId,
+    g_lat_p99: GaugeId,
+    g_lat_p999: GaugeId,
     h_net_lat: HistogramId,
     h_queue_lat: HistogramId,
     h_hops: HistogramId,
@@ -177,6 +184,54 @@ impl SimTelemetry {
             "cycles",
             &[],
         );
+        let g_offered_rate = reg.gauge(
+            "adaptnoc_sim_epoch_offered_packets_per_cycle",
+            "Offered load over the last flushed epoch (packets entering NI source queues per cycle).",
+            "packets/cycle",
+            &[],
+        );
+        let g_accepted_rate = reg.gauge(
+            "adaptnoc_sim_epoch_accepted_packets_per_cycle",
+            "Accepted load over the last flushed epoch (packets delivered end-to-end per cycle).",
+            "packets/cycle",
+            &[],
+        );
+        let g_source_queue = reg.gauge(
+            "adaptnoc_sim_epoch_source_queue_packets",
+            "Mean NI source-queue depth over the last flushed epoch (grows without bound past saturation in open-loop runs).",
+            "packets",
+            &[],
+        );
+        let quantile_gauge = |reg: &mut Registry, name: &str, which: &str| {
+            reg.gauge(
+                name,
+                &format!(
+                    "{which} total packet latency (creation to ejection) over the last flushed epoch, interpolated from the log2-bucket histogram."
+                ),
+                "cycles",
+                &[],
+            )
+        };
+        let g_lat_p50 = quantile_gauge(
+            &mut reg,
+            "adaptnoc_sim_epoch_packet_latency_p50_cycles",
+            "Median",
+        );
+        let g_lat_p95 = quantile_gauge(
+            &mut reg,
+            "adaptnoc_sim_epoch_packet_latency_p95_cycles",
+            "95th-percentile",
+        );
+        let g_lat_p99 = quantile_gauge(
+            &mut reg,
+            "adaptnoc_sim_epoch_packet_latency_p99_cycles",
+            "99th-percentile",
+        );
+        let g_lat_p999 = quantile_gauge(
+            &mut reg,
+            "adaptnoc_sim_epoch_packet_latency_p999_cycles",
+            "99.9th-percentile",
+        );
         let h_net_lat = reg.histogram(
             "adaptnoc_sim_packet_network_latency_cycles",
             "Per-packet network latency (injection to ejection).",
@@ -236,6 +291,13 @@ impl SimTelemetry {
             g_buf_util,
             g_in_flight,
             g_health_interval,
+            g_offered_rate,
+            g_accepted_rate,
+            g_source_queue,
+            g_lat_p50,
+            g_lat_p95,
+            g_lat_p99,
+            g_lat_p999,
             h_net_lat,
             h_queue_lat,
             h_hops,
@@ -327,6 +389,16 @@ impl SimTelemetry {
         self.reg.set(self.g_in_flight, in_flight as f64);
         self.reg
             .set(self.g_health_interval, report.health.sample_interval as f64);
+        let cycles = s.cycles.max(1) as f64;
+        self.reg
+            .set(self.g_offered_rate, s.packets_offered as f64 / cycles);
+        self.reg
+            .set(self.g_accepted_rate, s.packets as f64 / cycles);
+        self.reg.set(self.g_source_queue, s.avg_injection_queue());
+        self.reg.set(self.g_lat_p50, s.p50_latency());
+        self.reg.set(self.g_lat_p95, s.p95_latency());
+        self.reg.set(self.g_lat_p99, s.p99_latency());
+        self.reg.set(self.g_lat_p999, s.p999_latency());
     }
 }
 

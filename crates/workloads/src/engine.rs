@@ -16,7 +16,7 @@ use adaptnoc_sim::flit::{Packet, PacketKind};
 use adaptnoc_sim::ids::NodeId;
 use adaptnoc_sim::network::Network;
 use adaptnoc_sim::rng::Rng;
-use adaptnoc_sim::stats::EpochReport;
+use adaptnoc_sim::stats::{CycleHistogram, EpochReport};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -90,6 +90,10 @@ pub struct EpochCounters {
     pub inj_queue_sum: u64,
     /// Number of samples taken.
     pub inj_queue_samples: u64,
+    /// Log2-bucket histogram of total packet latency (creation to
+    /// ejection) for packets attributed to the app — the quantile
+    /// substrate behind [`EpochCounters::latency_quantile`].
+    pub latency_hist: CycleHistogram,
 }
 
 impl EpochCounters {
@@ -118,6 +122,31 @@ impl EpochCounters {
         } else {
             self.hops_sum as f64 / self.delivered as f64
         }
+    }
+
+    /// The `q`-quantile of total packet latency this epoch (cycles).
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        self.latency_hist.quantile(q)
+    }
+
+    /// Median total packet latency this epoch (cycles).
+    pub fn p50_latency(&self) -> f64 {
+        self.latency_hist.p50()
+    }
+
+    /// 95th-percentile total packet latency this epoch (cycles).
+    pub fn p95_latency(&self) -> f64 {
+        self.latency_hist.p95()
+    }
+
+    /// 99th-percentile total packet latency this epoch (cycles).
+    pub fn p99_latency(&self) -> f64 {
+        self.latency_hist.p99()
+    }
+
+    /// 99.9th-percentile total packet latency this epoch (cycles).
+    pub fn p999_latency(&self) -> f64 {
+        self.latency_hist.p999()
     }
 }
 
@@ -292,8 +321,11 @@ impl Workload {
     }
 
     /// One cycle: dispatch deliveries, run the MC/L2 service models, issue
-    /// new requests and coherence traffic.
-    pub fn tick(&mut self, net: &mut Network) {
+    /// new requests and coherence traffic. Returns the number of packets
+    /// offered to the network this cycle (the [`crate::Injector`]
+    /// contract).
+    pub fn tick(&mut self, net: &mut Network) -> usize {
+        let mut offered = 0;
         let now = net.now();
 
         // 1. Dispatch deliveries.
@@ -310,6 +342,7 @@ impl Workload {
                 e.net_lat_sum += d.network_latency();
                 e.queue_lat_sum += d.queuing_latency();
                 e.hops_sum += d.hops as u64;
+                e.latency_hist.observe(d.total_latency());
                 match pkt.kind {
                     PacketKind::Reply => e.data_delivered += 1,
                     PacketKind::Coherence => e.coherence_delivered += 1,
@@ -366,12 +399,17 @@ impl Workload {
                 }
                 mc.pending.pop();
                 self.next_id += 1;
-                let _ = net.inject(Packet::reply(
-                    self.next_id,
-                    NodeId(*mc_node),
-                    NodeId(dst),
-                    tag,
-                ));
+                if net
+                    .inject(Packet::reply(
+                        self.next_id,
+                        NodeId(*mc_node),
+                        NodeId(dst),
+                        tag,
+                    ))
+                    .is_ok()
+                {
+                    offered += 1;
+                }
             }
         }
 
@@ -382,7 +420,12 @@ impl Workload {
             }
             self.l2_pending.pop();
             self.next_id += 1;
-            let _ = net.inject(Packet::reply(self.next_id, NodeId(slice), NodeId(req), tag));
+            if net
+                .inject(Packet::reply(self.next_id, NodeId(slice), NodeId(req), tag))
+                .is_ok()
+            {
+                offered += 1;
+            }
         }
 
         // 4. Issue requests and coherence.
@@ -401,7 +444,12 @@ impl Workload {
                     let src = self.apps[a].cores[c].node;
                     let peer = self.random_peer(a, c);
                     self.next_id += 1;
-                    let _ = net.inject(Packet::coherence(self.next_id, src, peer, 0));
+                    if net
+                        .inject(Packet::coherence(self.next_id, src, peer, 0))
+                        .is_ok()
+                    {
+                        offered += 1;
+                    }
                     self.apps[a].epoch.coherence_sent += 1;
                 }
                 // Memory requests up to the phase's MLP.
@@ -427,6 +475,7 @@ impl Workload {
                         .inject(Packet::request(self.next_id, src, dst, tag))
                         .is_ok()
                     {
+                        offered += 1;
                         self.apps[a].cores[c].slots[s] = SlotState::Waiting;
                         self.tag_slot.insert(tag, (a, c, s));
                         self.apps[a].epoch.requests += 1;
@@ -452,6 +501,7 @@ impl Workload {
                 self.apps[a].epoch.inj_queue_samples += 1;
             }
         }
+        offered
     }
 
     fn pick_mc(&mut self, a: usize) -> NodeId {

@@ -31,14 +31,45 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod open;
 pub mod profiles;
 pub mod traffic;
+
+use adaptnoc_sim::network::Network;
+
+/// A traffic source that drives a [`Network`] one cycle at a time.
+///
+/// Both halves of the workload story implement it — the closed-loop
+/// [`engine::Workload`] and [`traffic::SyntheticInjector`], and the
+/// open-system [`open::OpenLoopEngine`] — so harnesses (campaigns, the
+/// scenario runner) can hold any mix of sources behind one interface.
+pub trait Injector {
+    /// Generates/injects this cycle's traffic. Returns the number of
+    /// packets offered to the network.
+    fn tick(&mut self, net: &mut Network) -> usize;
+}
+
+impl Injector for engine::Workload {
+    fn tick(&mut self, net: &mut Network) -> usize {
+        engine::Workload::tick(self, net)
+    }
+}
+
+impl Injector for traffic::SyntheticInjector {
+    fn tick(&mut self, net: &mut Network) -> usize {
+        traffic::SyntheticInjector::tick(self, net)
+    }
+}
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::engine::{AppInstance, EpochCounters, MemoryParams, Workload};
+    pub use crate::open::{
+        Arrival, DestPattern, OpenLoopEngine, OpenStats, RateShape, TrafficSpec,
+    };
     pub use crate::profiles::{
         by_name, parsec_suite, rodinia_suite, AppClass, AppProfile, PhaseParams,
     };
     pub use crate::traffic::{Pattern, SyntheticInjector};
+    pub use crate::Injector;
 }

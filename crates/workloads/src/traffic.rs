@@ -91,26 +91,39 @@ impl SyntheticInjector {
     }
 
     /// Injects this cycle's packets. Returns how many were offered.
+    ///
+    /// Rates at or above 1.0 are honoured: every source injects
+    /// `floor(rate)` packets each cycle plus one more with probability
+    /// `fract(rate)` (stochastic rounding), so the expected offered load
+    /// equals `rate` exactly and sweeps can drive sources past the
+    /// one-packet-per-cycle Bernoulli ceiling into overload. For rates
+    /// below 1.0 this reduces to the classic Bernoulli process (same
+    /// decision, same RNG stream as before).
     pub fn tick(&mut self, net: &mut Network) -> usize {
         let mut offered = 0;
+        let whole = self.rate.max(0.0) as u64;
+        let frac = self.rate.max(0.0) - whole as f64;
         for i in 0..self.nodes.len() {
-            if self.rng.random_f64() >= self.rate {
-                continue;
+            let mut count = whole;
+            if frac > 0.0 && self.rng.random_f64() < frac {
+                count += 1;
             }
-            let src = self.nodes[i];
-            let src_c = self.grid.node_coord(src);
-            let dst = self.destination(src_c);
-            if dst == src {
-                continue;
-            }
-            self.next_id += 1;
-            let pkt = if self.rng.random_f64() < self.data_fraction {
-                Packet::reply(self.next_id, src, dst, 0)
-            } else {
-                Packet::request(self.next_id, src, dst, 0)
-            };
-            if net.inject(pkt).is_ok() {
-                offered += 1;
+            for _ in 0..count {
+                let src = self.nodes[i];
+                let src_c = self.grid.node_coord(src);
+                let dst = self.destination(src_c);
+                if dst == src {
+                    continue;
+                }
+                self.next_id += 1;
+                let pkt = if self.rng.random_f64() < self.data_fraction {
+                    Packet::reply(self.next_id, src, dst, 0)
+                } else {
+                    Packet::request(self.next_id, src, dst, 0)
+                };
+                if net.inject(pkt).is_ok() {
+                    offered += 1;
+                }
             }
         }
         offered
@@ -192,6 +205,26 @@ mod tests {
             let d = inj.destination(c);
             assert!(grid.node_coord(d).manhattan(c) <= 1);
         }
+    }
+
+    #[test]
+    fn rates_above_one_offer_multiple_packets_per_cycle() {
+        let grid = Grid::new(4, 4);
+        let mut inj = SyntheticInjector::new(grid, Rect::new(0, 0, 4, 4), Pattern::Uniform, 2.5, 9);
+        let mut net = net();
+        let cycles = 400usize;
+        let mut offered = 0;
+        for _ in 0..cycles {
+            offered += inj.tick(&mut net);
+            net.step();
+        }
+        // 16 sources at 2.5 pkts/node/cycle: expectation 40/cycle; the
+        // stochastic-rounding remainder keeps it within a few percent.
+        let per_cycle = offered as f64 / cycles as f64;
+        assert!(
+            (38.0..=42.0).contains(&per_cycle),
+            "offered {per_cycle}/cycle should track rate*sources = 40"
+        );
     }
 
     #[test]

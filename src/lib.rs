@@ -14,7 +14,12 @@
 //! * [`core`] — the Adapt-NoC architecture: adaptable links/routers,
 //!   subNoC management, deadlock-free reconfiguration, MC sharing, the
 //!   seven evaluated designs.
-//! * [`workloads`] — synthetic Parsec/Rodinia closed-loop applications.
+//! * [`workloads`] — synthetic Parsec/Rodinia closed-loop applications
+//!   plus the open-loop traffic engine (Poisson/MMPP arrivals, Zipf and
+//!   hotspot destinations, rate shaping).
+//! * [`scenario`] — the `.scn` scripting DSL and deterministic runner
+//!   for time-phased open-system scenarios; see [`scenarios`] for the
+//!   grammar and walkthrough.
 //! * [`faults`] — fault injection and resilience: NACK/retry recovery of
 //!   in-flight packets and live rerouting of subNoCs around permanent
 //!   link/router failures.
@@ -34,11 +39,18 @@
 #[doc = include_str!("../docs/OBSERVABILITY.md")]
 pub mod observability {}
 
+/// The scenario scripting story (`docs/SCENARIOS.md`), included here so
+/// its code blocks compile and run as doctests
+/// (`cargo test --doc -p adaptnoc`).
+#[doc = include_str!("../docs/SCENARIOS.md")]
+pub mod scenarios {}
+
 pub use adaptnoc_bench as bench;
 pub use adaptnoc_core as core;
 pub use adaptnoc_faults as faults;
 pub use adaptnoc_power as power;
 pub use adaptnoc_rl as rl;
+pub use adaptnoc_scenario as scenario;
 pub use adaptnoc_sim as sim;
 pub use adaptnoc_topology as topology;
 pub use adaptnoc_workloads as workloads;
