@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test check fmt clippy ci docs telemetry faults scenarios guards figures perf clean
+.PHONY: all build test check fmt clippy ci docs telemetry faults scenarios guards figures perf pgo clean
 
 all: build
 
@@ -77,6 +77,26 @@ figures:
 # BENCH_<date>.json-style record. --threads 0 auto-detects host cores.
 perf:
 	$(CARGO) run --release --offline -p adaptnoc-bench --bin speed -- --threads 0 --json BENCH_$$(date +%F).json
+
+# Profile-guided rebuild: instrument the bench binaries, train on the
+# loaded-workload benchmark plus the scenarios campaign (the same traffic
+# the simulator spends its life on), merge the profiles, and rebuild with
+# the profile applied. Needs an `llvm-profdata` that matches the
+# toolchain's LLVM major version — the sysroot copy from
+# `rustup component add llvm-tools` is preferred; a PATH copy is the
+# fallback and the merge fails loudly on a format mismatch.
+PGO_DIR := target/pgo
+LLVM_PROFDATA ?= $(shell ls $$(rustc --print target-libdir)/../bin/llvm-profdata 2>/dev/null || echo llvm-profdata)
+
+pgo:
+	rm -rf $(PGO_DIR)
+	RUSTFLAGS="-Cprofile-generate=$(abspath $(PGO_DIR))" $(CARGO) build --release --offline -p adaptnoc-bench --bins
+	./target/release/speed --cycles 100000 --threads 1
+	./target/release/speed --cycles 20000 --scenario scenarios/hotspot_storm.scn
+	./target/release/speed --cycles 20000 --scenario scenarios/reconfigure_region.scn
+	$(LLVM_PROFDATA) merge -output $(PGO_DIR)/merged.profdata $(PGO_DIR)
+	RUSTFLAGS="-Cprofile-use=$(abspath $(PGO_DIR))/merged.profdata" $(CARGO) build --release --offline -p adaptnoc-bench --bins
+	@echo "PGO-optimized binaries in target/release (trained on the scenarios campaign)"
 
 clean:
 	$(CARGO) clean

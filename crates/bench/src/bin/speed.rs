@@ -2,15 +2,22 @@
 //!
 //! Usage: `cargo run --release -p adaptnoc-bench --bin speed --
 //! [--cycles N] [--threads N] [--json PATH] [--full-sweep]
-//! [--metrics DIR] [--assert-off-within PCT] [--scenario FILE]
+//! [--metrics DIR] [--assert-off-within PCT] [--assert-full-min KCPS]
+//! [--scenario FILE]
 //!
 //! Measures three workloads on the paper's mixed chip: an idle network
 //! (active-set fast path), the full three-app workload (steady-state
 //! load), and a parallel fault-sweep campaign scaled by `--threads`
-//! (0 = auto-detect host parallelism). `--full-sweep` disables active-set
-//! scheduling so the two modes can be compared directly. With `--json`,
-//! writes a `BENCH_<date>.json`-style record (cycles/sec, wall-clock,
-//! host cores) for tracking performance across commits.
+//! (0 = auto-detect host parallelism). `--threads N` with N > 1 also
+//! steps the *single* full-load simulation region-parallel on a
+//! [`StepPool`] — output stays byte-identical to serial, so the packet
+//! count doubles as an equivalence check. `--full-sweep` disables
+//! active-set scheduling so the two modes can be compared directly; it is
+//! a serial validation baseline and refuses to combine with
+//! `--threads > 1`. With `--json`, writes a `BENCH_<date>.json`-style
+//! record (cycles/sec, wall-clock, host cores, and per-stage span timings
+//! from a short sampled profiling pass) for tracking performance across
+//! commits.
 //!
 //! `--metrics DIR` attaches `Sampled(256)` telemetry to the full-workload
 //! run, writes its snapshot to `DIR/telemetry.jsonl` + `DIR/telemetry.prom`,
@@ -41,6 +48,7 @@ struct Args {
     full_sweep: bool,
     metrics: Option<std::path::PathBuf>,
     assert_off_within: Option<f64>,
+    assert_full_min: Option<f64>,
     scenario: Option<String>,
 }
 
@@ -62,12 +70,22 @@ fn parse_args() -> Args {
         metrics: get("--metrics").map(std::path::PathBuf::from),
         assert_off_within: get("--assert-off-within")
             .map(|v| v.parse().expect("--assert-off-within takes a percentage")),
+        assert_full_min: get("--assert-full-min")
+            .map(|v| v.parse().expect("--assert-full-min takes Kc/s")),
         scenario: get("--scenario"),
     }
 }
 
 fn main() {
     let args = parse_args();
+    if args.full_sweep && args.threads > 1 {
+        eprintln!(
+            "error: --full-sweep is a serial validation baseline and cannot be \
+             combined with --threads {} (region-parallel stepping); drop one of the flags",
+            args.threads
+        );
+        std::process::exit(2);
+    }
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let layout = ChipLayout::paper_mixed();
     let cfg = SimConfig::baseline();
@@ -93,7 +111,7 @@ fn main() {
     record.push(("idle_wall_s".into(), Value::Number(idle_s)));
 
     // 2) Net + the three-app mixed workload under steady load.
-    let mut net = Network::new(spec, cfg).unwrap();
+    let mut net = Network::new(spec, cfg.clone()).unwrap();
     net.set_full_sweep(args.full_sweep);
     if args.metrics.is_some() {
         net.set_telemetry_mode(TelemetryMode::Sampled(256));
@@ -104,17 +122,74 @@ fn main() {
         by_name("BP").unwrap(),
     ];
     let mut wl = Workload::new(&layout, &profiles, 1);
+    let mut pool = (args.threads > 1).then(|| StepPool::new(args.threads));
     let t0 = Instant::now();
     for _ in 0..args.cycles {
         wl.tick(&mut net);
-        net.step();
+        match pool.as_mut() {
+            Some(pool) => net.step_parallel(pool),
+            None => net.step(),
+        }
     }
     let full_s = t0.elapsed().as_secs_f64();
     let pkts = net.totals().stats.packets;
-    println!("full: {:.1} Kc/s, pkts {}", kcycles / full_s, pkts);
+    println!(
+        "full: {:.1} Kc/s, pkts {} ({} thread(s))",
+        kcycles / full_s,
+        pkts,
+        args.threads
+    );
     record.push(("full_kcps".into(), Value::Number(kcycles / full_s)));
     record.push(("full_wall_s".into(), Value::Number(full_s)));
     record.push(("full_packets".into(), Value::Number(pkts as f64)));
+
+    // Loaded-throughput regression gate (CI perf-smoke): unlike the idle
+    // gate this exercises the router hot loop under steady traffic, so a
+    // regression in RC/VA/SA/ST shows up here first. The floor must be set
+    // conservatively — CI hosts are shared and noisy.
+    if let Some(min_kcps) = args.assert_full_min {
+        let full = kcycles / full_s;
+        assert!(
+            full >= min_kcps,
+            "loaded throughput regressed: {full:.1} Kc/s is below the {min_kcps:.1} Kc/s floor"
+        );
+        println!("loaded throughput above the {min_kcps:.1} Kc/s floor ({full:.1} Kc/s)");
+    }
+
+    // Per-stage span timings for the JSON record: a short sampled
+    // profiling pass over the same loaded workload (separate from the
+    // timed run above so sampling cost never pollutes `full_kcps`). The
+    // resulting `stage_ns_per_sampled_cycle` object makes each BENCH entry
+    // self-describing about *where* the cycle time goes.
+    if args.json.is_some() {
+        let spec = mesh_chip(layout.grid, &cfg).unwrap();
+        let mut pnet = Network::new(spec, cfg.clone()).unwrap();
+        pnet.set_full_sweep(args.full_sweep);
+        pnet.set_telemetry_mode(TelemetryMode::Sampled(64));
+        let mut wl = Workload::new(&layout, &profiles, 1);
+        let mut pool = (args.threads > 1).then(|| StepPool::new(args.threads));
+        for _ in 0..args.cycles.min(20_000) {
+            wl.tick(&mut pnet);
+            match pool.as_mut() {
+                Some(pool) => pnet.step_parallel(pool),
+                None => pnet.step(),
+            }
+        }
+        let _ = pnet.take_epoch(); // flush the tail into the registry
+        let snap = pnet
+            .telemetry()
+            .expect("telemetry attached for the profiling pass")
+            .snapshot();
+        let mut stages: Vec<(String, Value)> = Vec::new();
+        for span in &snap.spans {
+            if span.count == 0 {
+                continue;
+            }
+            let per_cycle = span.total_ns as f64 / span.count as f64;
+            stages.push((span.name.clone(), Value::Number(per_cycle)));
+        }
+        record.push(("stage_ns_per_sampled_cycle".into(), Value::Object(stages)));
+    }
 
     if let Some(dir) = &args.metrics {
         let _ = net.take_epoch(); // flush the tail into the registry
@@ -175,6 +250,7 @@ fn main() {
         });
         let opts = adaptnoc_scenario::prelude::RunOptions {
             load,
+            threads: args.threads,
             ..Default::default()
         };
         let t0 = Instant::now();

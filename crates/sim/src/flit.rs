@@ -27,7 +27,7 @@ impl PacketKind {
 }
 
 /// A packet as injected by an endpoint node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Globally unique packet id (assigned by the caller; the workload layer
     /// uses a monotonically increasing counter).
@@ -135,8 +135,10 @@ impl FlitPos {
     }
 }
 
-/// A flow-control unit traversing the network.
-#[derive(Debug, Clone, PartialEq)]
+/// A flow-control unit traversing the network. `Copy` so the simulator's
+/// data-oriented buffer slab (see [`crate::soa`]) can move flits between
+/// slots without clone calls on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Flit {
     /// Id of the packet this flit belongs to.
     pub packet: u64,

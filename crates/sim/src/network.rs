@@ -19,7 +19,9 @@ use crate::health::{channel_label, GuardMode, HealthCounts, InvariantKind, Invar
 use crate::ids::{ChannelId, NodeId, PortId, RouterId, Vnet};
 use crate::json::Value;
 use crate::routing::RoutingTables;
-use crate::spec::{ChannelKey, ChannelKind, NetworkSpec, PortRef, SpecError};
+use crate::soa::VcLanes;
+use crate::spec::{ChannelKey, ChannelKind, NetworkSpec, SpecError};
+use crate::stage::{BandView, ChannelShard, StageScratch, StageSink};
 use crate::stats::{Delivered, EpochReport, NetStats};
 use crate::telem::{SimTelemetry, Stage};
 use adaptnoc_telemetry::{Registry, TelemetryMode};
@@ -81,89 +83,125 @@ impl From<SpecError> for NetworkError {
     }
 }
 
-#[derive(Debug, Clone, Default)]
-struct VcState {
-    buf: VecDeque<Flit>,
-    /// Output port chosen for the packet currently at the head of the VC.
-    route: Option<PortId>,
-    /// Allocated output VC (global index) at `route`.
-    out_vc: Option<u8>,
-    /// Set while an NI is streaming a packet into this VC.
-    ni_lock: bool,
-    /// Id of the packet that owns `route`/`out_vc` (set at route
-    /// computation, cleared when the tail forwards); lets fault purges
-    /// release allocations whose packet was NACKed.
-    owner: Option<u64>,
-}
-
+/// Per-VC flit/credit/occupancy state lives in [`VcLanes`]
+/// (`Network::lanes`), not here: the router hot loop walks those flat
+/// arrays, so the port structs only carry wiring and arbiter state.
 #[derive(Debug, Clone)]
-struct InPort {
-    vcs: Vec<VcState>,
-    feeder: Option<ChannelId>,
+pub(crate) struct InPort {
+    pub(crate) feeder: Option<ChannelId>,
     /// NIs (indices into `Network::nis`) injecting through this port.
-    nis: Vec<usize>,
-    inj_rr: RoundRobin,
-    /// Bitmask of VCs with buffered flits (fast scan skip).
-    occ: u32,
+    pub(crate) nis: Vec<usize>,
+    pub(crate) inj_rr: RoundRobin,
     /// Membership flag for `Network::active_inj` (port has NI work).
-    in_inj_list: bool,
+    pub(crate) in_inj_list: bool,
 }
 
 #[derive(Debug, Clone)]
-struct OutPort {
-    channel: Option<ChannelId>,
+pub(crate) struct OutPort {
+    pub(crate) channel: Option<ChannelId>,
     /// Whether NIs eject through this port.
-    eject: bool,
-    /// Credits per downstream VC (global index); only meaningful for
-    /// channel ports.
-    credits: Vec<u8>,
-    /// Which local input VC holds each output VC, `(in_port, in_vc)`.
-    alloc: Vec<Option<(u8, u8)>>,
-    va_rr: RoundRobin,
-    sa_rr: RoundRobin,
+    pub(crate) eject: bool,
 }
 
 #[derive(Debug, Clone)]
-struct RouterRt {
-    active: bool,
-    sleeping: bool,
+pub(crate) struct RouterRt {
+    pub(crate) active: bool,
+    pub(crate) sleeping: bool,
     /// Permanently failed (fault injection): force-slept, excluded from all
     /// stages, never wakes. Survives reconfiguration.
-    failed: bool,
-    wake_at: u64,
+    pub(crate) failed: bool,
+    pub(crate) wake_at: u64,
     /// Router stalls all stages until this cycle (the `T_s` setup window).
-    config_until: u64,
-    vc_split: Option<u8>,
-    in_ports: Vec<InPort>,
-    out_ports: Vec<OutPort>,
+    pub(crate) config_until: u64,
+    pub(crate) vc_split: Option<u8>,
+    pub(crate) in_ports: Vec<InPort>,
+    pub(crate) out_ports: Vec<OutPort>,
     /// Buffered flit count (fast skip).
-    flits: u32,
+    pub(crate) flits: u32,
     /// Ports that are wired (channel or NI); for static power.
-    ports_on: u16,
+    pub(crate) ports_on: u16,
     /// Per-vnet usable-VC bitmask (OSCAR dynamic VC allocation).
-    vc_mask: Vec<u8>,
+    pub(crate) vc_mask: Vec<u8>,
     /// Membership flag for `Network::busy_routers` (router buffers flits).
-    in_busy_list: bool,
+    pub(crate) in_busy_list: bool,
     /// Membership flag for `Network::pending_wakes` (finite wake deadline).
-    in_wake_list: bool,
+    pub(crate) in_wake_list: bool,
+    /// Bitmask of output ports whose channel is faulted (hot-loop cache of
+    /// the per-channel `faulted` flags; see `refresh_faulted_out`).
+    pub(crate) faulted_out: u32,
+    /// Bitmask of output ports that eject to an NI (hot-loop cache of the
+    /// per-port `eject` flags; see `refresh_port_caches`).
+    pub(crate) eject_out: u32,
 }
 
 #[derive(Debug, Clone)]
-struct ChannelRt {
-    spec: crate::spec::ChannelSpec,
-    q: VecDeque<(u64, Flit)>,
+pub(crate) struct ChannelRt {
+    pub(crate) spec: crate::spec::ChannelSpec,
+    pub(crate) q: VecDeque<(u64, Flit)>,
     /// A faulted channel accepts no new flits (VA and SA skip it).
-    faulted: bool,
+    pub(crate) faulted: bool,
     /// Membership flag for `Network::busy_channels` (wire carries flits).
-    in_busy_list: bool,
+    pub(crate) in_busy_list: bool,
+}
+
+/// Recomputes every router's `faulted_out` bitmask from the per-channel
+/// fault flags (called whenever a fault flag flips or channels are rewired).
+fn refresh_faulted_out(routers: &mut [RouterRt], channels: &[ChannelRt]) {
+    for r in routers.iter_mut() {
+        r.faulted_out = 0;
+    }
+    for c in channels {
+        if c.faulted {
+            routers[c.spec.src.router.index()].faulted_out |= 1 << c.spec.src.port.index();
+        }
+    }
+}
+
+/// Recomputes the dense hot-loop port caches — each router's `eject_out`
+/// bitmask and the per-global-port `out_channel` / `feeder` arrays — from
+/// the per-port runtime structs (called after construction and after a
+/// reconfiguration rewires ports).
+fn refresh_port_caches(routers: &mut [RouterRt], lanes: &mut crate::soa::VcLanes) {
+    for (ri, r) in routers.iter_mut().enumerate() {
+        let base = lanes.port_base[ri] as usize;
+        let mut eject = 0u32;
+        for (pi, op) in r.out_ports.iter().enumerate() {
+            lanes.out_channel[base + pi] = op.channel;
+            if op.eject {
+                eject |= 1 << pi;
+            }
+        }
+        for (pi, ip) in r.in_ports.iter().enumerate() {
+            lanes.feeder[base + pi] = ip.feeder;
+        }
+        r.eject_out = eject;
+    }
+}
+
+/// A packet mid-serialization into the router: flits are synthesized on
+/// demand from the packet metadata ([`Flit::of_packet`] is pure), so
+/// streaming holds no per-packet heap allocation.
+#[derive(Debug, Clone)]
+struct NiStream {
+    /// Target input VC (global index within the port).
+    vc: u8,
+    pkt: Packet,
+    /// Flits already injected (< `pkt.len`).
+    sent: u8,
+}
+
+impl NiStream {
+    fn remaining(&self) -> u64 {
+        (self.pkt.len - self.sent) as u64
+    }
 }
 
 #[derive(Debug, Clone)]
 struct NiRt {
     spec: crate::spec::NiSpec,
     source_q: VecDeque<Packet>,
-    /// Remaining flits of the packet currently streaming, with target VC.
-    cur: Option<(u8, VecDeque<Flit>)>,
+    /// The packet currently streaming into the router, if any.
+    cur: Option<NiStream>,
     /// While paused the NI queues packets but injects nothing (used by the
     /// drain phase of cmesh reconfigurations).
     paused: bool,
@@ -217,6 +255,9 @@ pub struct Network {
     spec: Arc<NetworkSpec>,
     now: u64,
     routers: Vec<RouterRt>,
+    /// Flat per-VC state (buffers, credits, routes, allocations); see
+    /// [`crate::soa`] for the index scheme.
+    lanes: VcLanes,
     channels: Vec<ChannelRt>,
     nis: Vec<NiRt>,
     node_ni: Vec<Option<usize>>,
@@ -236,8 +277,15 @@ pub struct Network {
     router_forwarded: Vec<u64>,
     router_occupancy_sum: Vec<u64>,
     channel_flits: Vec<u64>,
-    /// Reusable per-output-port candidate lists (avoids per-cycle allocs).
-    scratch: Vec<Vec<usize>>,
+    /// Reusable router-stage sink and scratch (avoid per-cycle allocs).
+    sink: StageSink,
+    stage_scratch: StageScratch,
+    /// Reusable compacted busy-router list for the router stage.
+    kept_scratch: Vec<usize>,
+    /// Double buffer for `pending_credits` (avoids a per-cycle alloc).
+    credits_scratch: Vec<(ChannelId, u8)>,
+    /// Maximum port count over all routers (stage scratch sizing).
+    max_ports: usize,
     tracer: Option<crate::trace::TraceBuffer>,
     /// Fault state by channel identity; survives reconfiguration (flags are
     /// re-applied to kept channels when the spec is swapped).
@@ -268,8 +316,6 @@ pub struct Network {
     static_on: u64,
     static_off: u64,
     static_ports_on: u64,
-    /// Recycled NI flit-stream deques (one allocation per packet otherwise).
-    deque_pool: Vec<VecDeque<Flit>>,
     /// Resolved invariant-guard mode (`ADAPTNOC_GUARDS` overrides the
     /// config; see [`crate::health`]).
     guard_mode: GuardMode,
@@ -314,6 +360,8 @@ impl Network {
         }
 
         let total_vcs = cfg.total_vcs();
+        let port_counts: Vec<usize> = spec.routers.iter().map(|r| r.n_ports as usize).collect();
+        let lanes = VcLanes::new(&port_counts, total_vcs, cfg.vc_depth as usize);
         let mut routers: Vec<RouterRt> = spec
             .routers
             .iter()
@@ -326,11 +374,9 @@ impl Network {
                 vc_split: r.vc_split,
                 in_ports: (0..r.n_ports)
                     .map(|_| InPort {
-                        vcs: vec![VcState::default(); total_vcs],
                         feeder: None,
                         nis: Vec::new(),
                         inj_rr: RoundRobin::new(),
-                        occ: 0,
                         in_inj_list: false,
                     })
                     .collect(),
@@ -338,10 +384,6 @@ impl Network {
                     .map(|_| OutPort {
                         channel: None,
                         eject: false,
-                        credits: vec![cfg.vc_depth; total_vcs],
-                        alloc: vec![None; total_vcs],
-                        va_rr: RoundRobin::new(),
-                        sa_rr: RoundRobin::new(),
                     })
                     .collect(),
                 flits: 0,
@@ -349,6 +391,8 @@ impl Network {
                 vc_mask: vec![u8::MAX; cfg.vnets as usize],
                 in_busy_list: false,
                 in_wake_list: false,
+                faulted_out: 0,
+                eject_out: 0,
             })
             .collect();
 
@@ -398,6 +442,7 @@ impl Network {
             spec: Arc::new(spec),
             now: 0,
             routers,
+            lanes,
             channels,
             nis,
             node_ni,
@@ -417,7 +462,11 @@ impl Network {
             router_forwarded: Vec::new(),
             router_occupancy_sum: Vec::new(),
             channel_flits: Vec::new(),
-            scratch: Vec::new(),
+            sink: StageSink::default(),
+            stage_scratch: StageScratch::default(),
+            kept_scratch: Vec::new(),
+            credits_scratch: Vec::new(),
+            max_ports: 0,
             tracer: None,
             faulted_keys: HashSet::new(),
             full_sweep: false,
@@ -431,7 +480,6 @@ impl Network {
             static_on: 0,
             static_off: 0,
             static_ports_on: 0,
-            deque_pool: Vec::new(),
             guard_mode,
             health: HealthCounts::default(),
             health_total: HealthCounts::default(),
@@ -441,13 +489,13 @@ impl Network {
         net.router_forwarded = vec![0; net.routers.len()];
         net.router_occupancy_sum = vec![0; net.routers.len()];
         net.channel_flits = vec![0; net.channels.len()];
-        let max_ports = net
+        net.max_ports = net
             .routers
             .iter()
             .map(|r| r.in_ports.len())
             .max()
             .unwrap_or(0);
-        net.scratch = vec![Vec::new(); max_ports];
+        refresh_port_caches(&mut net.routers, &mut net.lanes);
         net.recompute_static_profile();
         net.buffer_capacity = net.compute_buffer_capacity();
         net.stats.buffer_capacity = net.buffer_capacity;
@@ -593,7 +641,7 @@ impl Network {
         let ni_flits: u64 = self
             .nis
             .iter()
-            .map(|n| n.cur.as_ref().map_or(0, |(_, f)| f.len() as u64))
+            .map(|n| n.cur.as_ref().map_or(0, NiStream::remaining))
             .sum();
         self.occupied_flits + channel_flits + ni_flits + self.queued_packets
     }
@@ -634,15 +682,14 @@ impl Network {
     /// Attempts to power-gate a router (FTBY_PG). Fails if the router still
     /// buffers flits or holds output-VC allocations.
     pub fn try_sleep_router(&mut self, router: RouterId) -> bool {
-        let r = &mut self.routers[router.index()];
+        let ri = router.index();
+        let gv_lo = self.lanes.gv(ri, 0, 0);
+        let gv_hi = gv_lo + self.lanes.n_ports(ri) * self.cfg.total_vcs();
+        let r = &mut self.routers[ri];
         if !r.active || r.sleeping {
             return false;
         }
-        if r.flits > 0
-            || r.out_ports
-                .iter()
-                .any(|p| p.alloc.iter().any(|a| a.is_some()))
-        {
+        if r.flits > 0 || self.lanes.alloc[gv_lo..gv_hi].iter().any(|a| a.is_some()) {
             return false;
         }
         r.sleeping = true;
@@ -721,12 +768,22 @@ impl Network {
         if !self.channels[idx].q.is_empty() {
             return false;
         }
-        let up = &self.routers[key.src.router.index()].out_ports[key.src.port.index()];
-        if up.alloc.iter().any(|a| a.is_some()) {
+        let total_vcs = self.cfg.total_vcs();
+        let up_gv = self
+            .lanes
+            .gv(key.src.router.index(), key.src.port.index(), 0);
+        if self.lanes.alloc[up_gv..up_gv + total_vcs]
+            .iter()
+            .any(|a| a.is_some())
+        {
             return false;
         }
-        let down = &self.routers[key.dst.router.index()].in_ports[key.dst.port.index()];
-        down.vcs.iter().all(|vc| vc.buf.is_empty())
+        let down_gv = self
+            .lanes
+            .gv(key.dst.router.index(), key.dst.port.index(), 0);
+        self.lanes.len[down_gv..down_gv + total_vcs]
+            .iter()
+            .all(|&l| l == 0)
     }
 
     /// Takes the statistics, events, and static-power accumulators gathered
@@ -861,64 +918,86 @@ impl Network {
             None => false,
         };
 
-        // 0. Wake routers whose wake-up latency elapsed (failed routers
-        // never wake). Only routers with a finite wake deadline can wake,
-        // so the pending-wake worklist is exact; the full sweep re-derives
-        // the same set as a cross-check.
-        {
-            let mut dirty = false;
-            if self.full_sweep {
-                for r in self.routers.iter_mut() {
-                    if r.sleeping && !r.failed && now >= r.wake_at {
-                        r.sleeping = false;
-                        r.wake_at = 0;
-                        dirty = true;
-                    }
-                }
-                let routers = &mut self.routers;
-                self.pending_wakes.retain(|&ri| {
-                    let r = &mut routers[ri];
-                    let keep = r.sleeping && !r.failed && r.wake_at != u64::MAX;
-                    if !keep {
-                        r.in_wake_list = false;
-                    }
-                    keep
-                });
-            } else if !self.pending_wakes.is_empty() {
-                let routers = &mut self.routers;
-                self.pending_wakes.retain(|&ri| {
-                    let r = &mut routers[ri];
-                    if r.sleeping && !r.failed && now >= r.wake_at {
-                        r.sleeping = false;
-                        r.wake_at = 0;
-                        dirty = true;
-                    }
-                    let keep = r.sleeping && !r.failed && r.wake_at != u64::MAX;
-                    if !keep {
-                        r.in_wake_list = false;
-                    }
-                    keep
-                });
-            }
-            if dirty {
-                self.statics_dirty = true;
-            }
-        }
+        self.step_wake(now);
+        self.step_credits();
+        self.step_deliver(now, timed);
+        self.step_inject(now, timed);
 
-        // 1. Apply credits scheduled last cycle.
-        let pending = std::mem::take(&mut self.pending_credits);
-        for (ch, vc) in pending {
+        // Router stages: RC + VA + SA (span-timed internally when `timed`,
+        // split into RC+VA and SA+ST components).
+        self.router_stage(now, timed);
+
+        self.step_finish(now);
+    }
+
+    /// Wakes routers whose wake-up latency elapsed (failed routers never
+    /// wake). Only routers with a finite wake deadline can wake, so the
+    /// pending-wake worklist is exact; the full sweep re-derives the same
+    /// set as a cross-check.
+    fn step_wake(&mut self, now: u64) {
+        let mut dirty = false;
+        if self.full_sweep {
+            for r in self.routers.iter_mut() {
+                if r.sleeping && !r.failed && now >= r.wake_at {
+                    r.sleeping = false;
+                    r.wake_at = 0;
+                    dirty = true;
+                }
+            }
+            let routers = &mut self.routers;
+            self.pending_wakes.retain(|&ri| {
+                let r = &mut routers[ri];
+                let keep = r.sleeping && !r.failed && r.wake_at != u64::MAX;
+                if !keep {
+                    r.in_wake_list = false;
+                }
+                keep
+            });
+        } else if !self.pending_wakes.is_empty() {
+            let routers = &mut self.routers;
+            self.pending_wakes.retain(|&ri| {
+                let r = &mut routers[ri];
+                if r.sleeping && !r.failed && now >= r.wake_at {
+                    r.sleeping = false;
+                    r.wake_at = 0;
+                    dirty = true;
+                }
+                let keep = r.sleeping && !r.failed && r.wake_at != u64::MAX;
+                if !keep {
+                    r.in_wake_list = false;
+                }
+                keep
+            });
+        }
+        if dirty {
+            self.statics_dirty = true;
+        }
+    }
+
+    /// Applies credits scheduled last cycle. The drained list is kept as a
+    /// double buffer (`credits_scratch`) so no cycle allocates.
+    fn step_credits(&mut self) {
+        let mut pending = std::mem::replace(
+            &mut self.pending_credits,
+            std::mem::take(&mut self.credits_scratch),
+        );
+        for (ch, vc) in pending.drain(..) {
             let spec = self.channels[ch.index()].spec;
-            let up = &mut self.routers[spec.src.router.index()].out_ports[spec.src.port.index()];
-            let c = &mut up.credits[vc as usize];
+            let gv = self
+                .lanes
+                .gv(spec.src.router.index(), spec.src.port.index(), vc as usize);
+            let c = &mut self.lanes.credits[gv];
             debug_assert!(*c < self.cfg.vc_depth, "credit overflow");
             *c = (*c + 1).min(self.cfg.vc_depth);
         }
+        self.credits_scratch = pending;
+    }
 
-        // 2. Channel deliveries. Cross-channel order is immaterial (each
-        // channel feeds exactly one input port and all shared-counter
-        // updates commute), but the worklist is still walked in ascending
-        // index order to mirror the full sweep exactly.
+    /// Channel deliveries. Cross-channel order is immaterial (each channel
+    /// feeds exactly one input port and all shared-counter updates
+    /// commute), but the worklist is still walked in ascending index order
+    /// to mirror the full sweep exactly.
+    fn step_deliver(&mut self, now: u64, timed: bool) {
         let t0 = if timed {
             Some(std::time::Instant::now())
         } else {
@@ -958,8 +1037,10 @@ impl Network {
         if let (Some(t0), Some(t)) = (t0, self.telem.as_mut()) {
             t.record_stage_ns(Stage::Link, t0.elapsed().as_nanos() as u64);
         }
+    }
 
-        // 3. NI injection (one flit per local port per cycle).
+    /// NI injection (one flit per local port per cycle).
+    fn step_inject(&mut self, now: u64, timed: bool) {
         let t0 = if timed {
             Some(std::time::Instant::now())
         } else {
@@ -969,12 +1050,10 @@ impl Network {
         if let (Some(t0), Some(t)) = (t0, self.telem.as_mut()) {
             t.record_stage_ns(Stage::NiInject, t0.elapsed().as_nanos() as u64);
         }
+    }
 
-        // 4. Router stages: RC + VA + SA (span-timed internally when
-        // `timed`, split into RC+VA and SA+ST components).
-        self.router_stage(now, timed);
-
-        // 5. Per-cycle statistics and static-power accumulation.
+    /// Per-cycle statistics, static-power accumulation, and guards.
+    fn step_finish(&mut self, now: u64) {
         self.stats.cycles += 1;
         self.stats.buffer_occupancy_sum += self.occupied_flits;
         self.stats.injection_queue_sum += self.queued_packets;
@@ -1058,9 +1137,9 @@ impl Network {
                 }
             }
             let vc = flit.assigned_vc as usize;
-            let ip = &mut router.in_ports[dst.port.index()];
-            ip.vcs[vc].buf.push_back(flit);
-            ip.occ |= 1 << vc;
+            let gp = self.lanes.gp(ri, dst.port.index());
+            self.lanes.push_back(gp * self.cfg.total_vcs() + vc, flit);
+            self.lanes.occ[gp] |= 1 << vc;
             router.flits += 1;
             if !router.in_busy_list {
                 router.in_busy_list = true;
@@ -1156,12 +1235,12 @@ impl Network {
         if ni.paused && ni.cur.is_none() {
             return false;
         }
-        if let Some((vc, flits)) = &ni.cur {
-            if flits.is_empty() {
+        if let Some(cur) = &ni.cur {
+            if cur.remaining() == 0 {
                 return false;
             }
-            let vcs = &self.routers[ri].in_ports[pi].vcs[*vc as usize];
-            return vcs.buf.len() < self.cfg.vc_depth as usize;
+            let gv = self.lanes.gv(ri, pi, cur.vc as usize);
+            return self.lanes.buf_len(gv) < self.cfg.vc_depth as usize;
         }
         let Some(pkt) = ni.source_q.front() else {
             return false;
@@ -1170,15 +1249,17 @@ impl Network {
     }
 
     fn pick_injection_vc(&self, ri: usize, pi: usize, vnet: Vnet) -> Option<u8> {
-        let router = &self.routers[ri];
-        let mask = router.vc_mask[vnet.index()];
-        let port = &router.in_ports[pi];
+        let mask = self.routers[ri].vc_mask[vnet.index()];
+        let gp = self.lanes.gp(ri, pi);
         for (off, gvc) in self.cfg.vnet_vcs(vnet).enumerate() {
             if mask & (1 << off) == 0 {
                 continue;
             }
-            let vc = &port.vcs[gvc];
-            if vc.buf.is_empty() && vc.route.is_none() && !vc.ni_lock {
+            let gv = gp * self.cfg.total_vcs() + gvc;
+            if self.lanes.buf_len(gv) == 0
+                && self.lanes.route[gv].is_none()
+                && !self.lanes.ni_lock[gv]
+            {
                 return Some(gvc as u8);
             }
         }
@@ -1188,26 +1269,31 @@ impl Network {
     fn ni_send(&mut self, ni_id: usize, ri: usize, pi: usize, now: u64) {
         // Start a new packet if idle.
         if self.nis[ni_id].cur.is_none() {
-            let pkt = self.nis[ni_id].source_q.front().cloned();
+            let pkt = self.nis[ni_id].source_q.front().copied();
             let Some(pkt) = pkt else { return };
             let Some(vc) = self.pick_injection_vc(ri, pi, pkt.vnet) else {
                 return;
             };
             let _ = self.nis[ni_id].source_q.pop_front(); // front() was Some
             self.queued_packets -= 1;
-            let mut flits = self.deque_pool.pop().unwrap_or_default();
-            flits.extend((0..pkt.len).map(|s| Flit::of_packet(&pkt, s)));
-            self.ni_stream_flits += flits.len() as u64;
-            self.routers[ri].in_ports[pi].vcs[vc as usize].ni_lock = true;
-            self.nis[ni_id].cur = Some((vc, flits));
+            self.ni_stream_flits += pkt.len as u64;
+            let gv = self.lanes.gv(ri, pi, vc as usize);
+            self.lanes.ni_lock[gv] = true;
+            self.nis[ni_id].cur = Some(NiStream { vc, pkt, sent: 0 });
         }
 
+        // Synthesize the next flit straight from the packet metadata — no
+        // staging buffer, no allocation.
         let (vc, mut flit) = {
-            let Some((vc, flits)) = self.nis[ni_id].cur.as_mut() else {
+            let Some(cur) = self.nis[ni_id].cur.as_mut() else {
                 return; // set just above; defensive
             };
-            let Some(f) = flits.pop_front() else { return };
-            (*vc, f)
+            if cur.remaining() == 0 {
+                return;
+            }
+            let f = Flit::of_packet(&cur.pkt, cur.sent);
+            cur.sent += 1;
+            (cur.vc, f)
         };
         self.ni_stream_flits -= 1;
         if self.routers[ri].sleeping {
@@ -1219,12 +1305,13 @@ impl Network {
                 self.pending_wakes.push(ri);
             }
         }
-        let vcs = &mut self.routers[ri].in_ports[pi].vcs[vc as usize];
-        debug_assert!(vcs.buf.len() < self.cfg.vc_depth as usize);
+        let gp = self.lanes.gp(ri, pi);
+        let gv = gp * self.cfg.total_vcs() + vc as usize;
+        debug_assert!(self.lanes.buf_len(gv) < self.cfg.vc_depth as usize);
         // Injection bypass: skip the router pipeline delay when the VC is
         // empty (Sec. II-A1: "bypass link at the virtual channels of input
         // port at the NI").
-        let bypass = self.cfg.injection_bypass && vcs.buf.is_empty();
+        let bypass = self.cfg.injection_bypass && self.lanes.buf_len(gv) == 0;
         flit.ready_at = if bypass {
             now
         } else {
@@ -1243,8 +1330,8 @@ impl Network {
             }
         }
         let is_tail = flit.pos.is_tail();
-        vcs.buf.push_back(flit);
-        self.routers[ri].in_ports[pi].occ |= 1 << vc;
+        self.lanes.push_back(gv, flit);
+        self.lanes.occ[gp] |= 1 << vc;
         self.routers[ri].flits += 1;
         self.mark_router_busy(ri);
         self.occupied_flits += 1;
@@ -1257,75 +1344,115 @@ impl Network {
             self.events.mux_traversals += 1;
         }
         if is_tail {
-            self.routers[ri].in_ports[pi].vcs[vc as usize].ni_lock = false;
-            if let Some((_, flits)) = self.nis[ni_id].cur.take() {
-                self.recycle_deque(flits);
-            }
+            self.lanes.ni_lock[gv] = false;
+            self.nis[ni_id].cur = None;
         }
     }
 
-    /// Returns an emptied NI flit deque to the pool for reuse.
-    fn recycle_deque(&mut self, mut flits: VecDeque<Flit>) {
-        debug_assert!(flits.is_empty(), "recycled deque must be drained");
-        flits.clear();
-        if self.deque_pool.len() < 256 {
-            self.deque_pool.push(flits);
+    /// A band view covering the whole network (the serial router stage is
+    /// the one-band special case of the region-parallel path, so both run
+    /// the same kernels and the same sink merge).
+    fn full_band_view(&mut self) -> BandView<'_> {
+        BandView {
+            ri0: 0,
+            routers: &mut self.routers,
+            gp0: 0,
+            occ: &mut self.lanes.occ,
+            va_rr: &mut self.lanes.va_rr,
+            sa_rr: &mut self.lanes.sa_rr,
+            gv0: 0,
+            route: &mut self.lanes.route,
+            out_vc: &mut self.lanes.out_vc,
+            owner: &mut self.lanes.owner,
+            credits: &mut self.lanes.credits,
+            alloc: &mut self.lanes.alloc,
+            head: &mut self.lanes.head,
+            len: &mut self.lanes.len,
+            front_ready: &mut self.lanes.front_ready,
+            slots: &mut self.lanes.slots,
+            router_forwarded: &mut self.router_forwarded,
+            channels: ChannelShard::new(&mut self.channels, &mut self.channel_flits),
+            spec: &self.spec,
+            port_base: &self.lanes.port_base,
+            out_channel: &self.lanes.out_channel,
+            feeder: &self.lanes.feeder,
+            total_vcs: self.lanes.total_vcs,
+            vcs_per_vnet: self.cfg.vcs_per_vnet as usize,
+            depth: self.lanes.depth,
+            max_ports: self.max_ports,
+        }
+    }
+
+    /// Applies one band's deferred side effects (see [`StageSink`]) in
+    /// place. Called once per band in ascending band order, which makes
+    /// counter totals, trace order, and delivery order identical to the
+    /// serial ascending-router walk.
+    fn apply_stage_sink(&mut self, sink: &mut StageSink) {
+        if sink.is_empty() {
+            return; // idle band; every apply below would be a no-op
+        }
+        self.events.accumulate(&sink.events);
+        sink.events = EventCounts::default();
+        self.stats.flits_forwarded += sink.flits_forwarded;
+        self.totals.flits_forwarded += sink.flits_forwarded;
+        sink.flits_forwarded = 0;
+        self.unroutable += sink.unroutable;
+        sink.unroutable = 0;
+        self.occupied_flits -= sink.removed;
+        sink.removed = 0;
+        self.wire_flits += sink.wire_pushed;
+        sink.wire_pushed = 0;
+        self.pending_credits.append(&mut sink.pending_credits);
+        self.busy_channels.append(&mut sink.busy_channels);
+        // The tracer applies its filter and capacity limit here, so the
+        // buffered-events detour preserves `dropped` counts exactly.
+        if let Some(t) = self.tracer.as_mut() {
+            for ev in sink.trace.drain(..) {
+                t.record(ev);
+            }
+        } else {
+            sink.trace.clear();
+        }
+        for d in sink.delivered.drain(..) {
+            self.stats.record(&d);
+            self.totals.record(&d);
+            if let Some(t) = self.telem.as_mut() {
+                t.on_delivered(&d);
+            }
+            self.delivered.push(d);
         }
     }
 
     fn router_stage(&mut self, now: u64, timed: bool) {
+        if !self.full_sweep && self.busy_routers.is_empty() {
+            // No router holds a flit: skip the sink/scratch shuffle entirely
+            // so the idle fast path stays a handful of branch tests. The
+            // zero-valued spans keep per-stage sample counts identical to a
+            // loaded cycle's.
+            if timed {
+                if let Some(t) = self.telem.as_mut() {
+                    t.record_stage_ns(Stage::RcVa, 0);
+                    t.record_stage_ns(Stage::SaSt, 0);
+                    t.record_stage_ns(Stage::Merge, 0);
+                }
+            }
+            return;
+        }
+        let mut sink = std::mem::take(&mut self.sink);
+        let mut scratch = std::mem::take(&mut self.stage_scratch);
+        sink.trace_on = self.tracer.is_some();
         let mut rc_va_ns = 0u64;
         let mut sa_st_ns = 0u64;
-        self.router_stage_inner(now, timed, &mut rc_va_ns, &mut sa_st_ns);
-        if timed {
-            if let Some(t) = self.telem.as_mut() {
-                t.record_stage_ns(Stage::RcVa, rc_va_ns);
-                t.record_stage_ns(Stage::SaSt, sa_st_ns);
-            }
-        }
-    }
-
-    /// Runs RC+VA then SA+ST on one busy router, accumulating per-stage
-    /// wall-clock time when `timed` (telemetry span sampling).
-    #[inline]
-    fn alloc_router(
-        &mut self,
-        ri: usize,
-        now: u64,
-        timed: bool,
-        rc_va_ns: &mut u64,
-        sa_st_ns: &mut u64,
-    ) {
-        if timed {
-            let t0 = std::time::Instant::now();
-            self.vc_allocate(ri);
-            *rc_va_ns += t0.elapsed().as_nanos() as u64;
-            let t1 = std::time::Instant::now();
-            self.switch_allocate(ri, now);
-            *sa_st_ns += t1.elapsed().as_nanos() as u64;
-        } else {
-            self.vc_allocate(ri);
-            self.switch_allocate(ri, now);
-        }
-    }
-
-    fn router_stage_inner(
-        &mut self,
-        now: u64,
-        timed: bool,
-        rc_va_ns: &mut u64,
-        sa_st_ns: &mut u64,
-    ) {
         if self.full_sweep {
-            for ri in 0..self.routers.len() {
-                {
-                    let r = &self.routers[ri];
-                    if !r.active || r.sleeping || r.failed || r.config_until > now || r.flits == 0 {
-                        continue;
-                    }
-                }
-                self.alloc_router(ri, now, timed, rc_va_ns, sa_st_ns);
-            }
+            let mut view = self.full_band_view();
+            view.run_band_sweep(
+                now,
+                timed,
+                &mut sink,
+                &mut scratch,
+                &mut rc_va_ns,
+                &mut sa_st_ns,
+            );
             let routers = &mut self.routers;
             self.busy_routers.retain(|&ri| {
                 let keep = routers[ri].flits > 0;
@@ -1334,331 +1461,199 @@ impl Network {
                 }
                 keep
             });
-            return;
+        } else if !self.busy_routers.is_empty() {
+            // Every router with buffered flits is in the worklist (they were
+            // marked when their flit count left zero); allocation only
+            // drains flits, so no router joins the list mid-stage. Ascending
+            // order mirrors the full sweep, keeping trace/delivery order
+            // identical.
+            let mut busy = std::mem::take(&mut self.busy_routers);
+            busy.sort_unstable();
+            let mut kept = std::mem::take(&mut self.kept_scratch);
+            kept.clear();
+            {
+                let mut view = self.full_band_view();
+                view.run_band(
+                    &busy,
+                    &mut kept,
+                    now,
+                    timed,
+                    &mut sink,
+                    &mut scratch,
+                    &mut rc_va_ns,
+                    &mut sa_st_ns,
+                );
+            }
+            debug_assert!(self.busy_routers.is_empty(), "no marks during allocation");
+            self.busy_routers = kept;
+            busy.clear();
+            self.kept_scratch = busy;
         }
+        let t0 = if timed {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        self.apply_stage_sink(&mut sink);
+        if timed {
+            if let Some(t) = self.telem.as_mut() {
+                t.record_stage_ns(Stage::RcVa, rc_va_ns);
+                t.record_stage_ns(Stage::SaSt, sa_st_ns);
+                if let Some(t0) = t0 {
+                    t.record_stage_ns(Stage::Merge, t0.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+        self.sink = sink;
+        self.stage_scratch = scratch;
+    }
+
+    /// Advances the simulation by one cycle using region-parallel router
+    /// stepping on `pool`.
+    ///
+    /// The cycle's router stage is split into contiguous router bands (one
+    /// per pool thread, aligned to an installed
+    /// [`RegionMap`](crate::par::RegionMap) when compatible) that run
+    /// concurrently; their deferred side effects are merged in ascending
+    /// band order at the cycle barrier, so delivered packets, statistics,
+    /// traces and telemetry counters are **byte-identical to
+    /// [`step`](Self::step)** at any thread count. With a single-threaded
+    /// pool this *is* `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is in full-sweep reference mode
+    /// ([`set_full_sweep`](Self::set_full_sweep)): the sweep is a serial
+    /// validation baseline and intentionally has no parallel counterpart.
+    pub fn step_parallel(&mut self, pool: &mut crate::par::StepPool) {
+        if pool.threads() <= 1 {
+            return self.step();
+        }
+        assert!(
+            !self.full_sweep,
+            "step_parallel does not support full-sweep reference mode; \
+             use Network::step (serial) for full-sweep runs"
+        );
+        self.now += 1;
+        let now = self.now;
+        let timed = match self.telem.as_mut() {
+            Some(t) => t.begin_cycle(now),
+            None => false,
+        };
+        self.step_wake(now);
+        self.step_credits();
+        self.step_deliver(now, timed);
+        self.step_inject(now, timed);
+        self.router_stage_parallel(now, timed, pool);
+        self.step_finish(now);
+    }
+
+    /// Runs `cycles` steps on `pool` (the parallel analogue of
+    /// [`run`](Self::run)).
+    pub fn run_parallel(&mut self, cycles: u64, pool: &mut crate::par::StepPool) {
+        for _ in 0..cycles {
+            self.step_parallel(pool);
+        }
+    }
+
+    /// The region-parallel router stage: split the band view at region
+    /// boundaries, run band 0 inline and the rest on the pool, then merge
+    /// every band's sink in ascending band order (see [`crate::par`] for
+    /// the determinism argument).
+    fn router_stage_parallel(&mut self, now: u64, timed: bool, pool: &mut crate::par::StepPool) {
+        use crate::stage::{run_band_job, split_band, BandJob};
+
         if self.busy_routers.is_empty() {
+            // No router holds a flit; the serial path would also skip the
+            // kernels and apply an empty sink.
+            if timed {
+                if let Some(t) = self.telem.as_mut() {
+                    t.record_stage_ns(Stage::RcVa, 0);
+                    t.record_stage_ns(Stage::SaSt, 0);
+                    t.record_stage_ns(Stage::Merge, 0);
+                }
+            }
             return;
         }
-        // Every router with buffered flits is in the worklist (they were
-        // marked when their flit count left zero); allocation only drains
-        // flits, so no router joins the list mid-stage. Ascending order
-        // mirrors the full sweep, keeping trace/delivery order identical.
+
         let mut busy = std::mem::take(&mut self.busy_routers);
         busy.sort_unstable();
-        let mut w = 0;
-        for k in 0..busy.len() {
-            let ri = busy[k];
-            if self.routers[ri].flits == 0 {
-                self.routers[ri].in_busy_list = false;
-                continue;
-            }
-            let runnable = {
-                let r = &self.routers[ri];
-                r.active && !r.sleeping && !r.failed && r.config_until <= now
-            };
-            if runnable {
-                self.alloc_router(ri, now, timed, rc_va_ns, sa_st_ns);
-            }
-            if self.routers[ri].flits > 0 {
-                busy[w] = ri;
-                w += 1;
-            } else {
-                self.routers[ri].in_busy_list = false;
-            }
-        }
-        busy.truncate(w);
-        debug_assert!(self.busy_routers.is_empty(), "no marks during allocation");
-        busy.append(&mut self.busy_routers);
-        self.busy_routers = busy;
-    }
+        let trace_on = self.tracer.is_some();
+        let bounds = pool.plan(self.routers.len());
+        let bands = bounds.len() - 1;
 
-    #[allow(clippy::needless_range_loop)]
-    fn vc_allocate(&mut self, ri: usize) {
-        let n_ports = self.routers[ri].in_ports.len();
-        let total_vcs = self.cfg.total_vcs();
-        let split = self.routers[ri].vc_split;
-        let depth = self.cfg.vc_depth;
-
-        // Single pass over occupied input VCs: compute routes for fresh
-        // heads (RC) and gather VA requesters per output port into reusable
-        // scratch lists (ascending order by construction).
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let mut any_port = false;
-        for pi in 0..n_ports {
-            let mut occ = self.routers[ri].in_ports[pi].occ;
-            while occ != 0 {
-                let vi = occ.trailing_zeros() as usize;
-                occ &= occ - 1;
-                let vc = &self.routers[ri].in_ports[pi].vcs[vi];
-                if vc.out_vc.is_some() {
-                    continue;
-                }
-                // Route computation for a fresh head flit.
-                if vc.route.is_none() {
-                    let Some(front) = vc.buf.front() else {
-                        continue;
-                    };
-                    debug_assert!(front.pos.is_head(), "non-head at route-less VC front");
-                    let (id, dst, vnet) = (front.packet, front.dst, front.vnet);
-                    match self.spec.tables.lookup(vnet, RouterId(ri as u16), dst) {
-                        Some(port) => {
-                            let vc = &mut self.routers[ri].in_ports[pi].vcs[vi];
-                            vc.route = Some(port);
-                            vc.owner = Some(id);
-                        }
-                        None => {
-                            self.unroutable += 1;
-                            continue;
-                        }
-                    }
-                }
-                let vc = &self.routers[ri].in_ports[pi].vcs[vi];
-                let route = vc.route.expect("just computed");
-                if !vc.buf.front().is_some_and(|f| f.pos.is_head()) {
-                    continue;
-                }
-                let po = route.index();
-                // A faulted output channel accepts no new packets.
-                if self.routers[ri].out_ports[po]
-                    .channel
-                    .is_some_and(|ch| self.channels[ch.index()].faulted)
-                {
-                    continue;
-                }
-                if po < scratch.len() {
-                    scratch[po].push(pi * total_vcs + vi);
-                    any_port = true;
-                }
-            }
-        }
-        if any_port {
-            for po in 0..n_ports {
-                if scratch[po].is_empty() {
-                    continue;
-                }
-                let winner = self.routers[ri].out_ports[po]
-                    .va_rr
-                    .grant_sparse(&scratch[po]);
-                if let Some(winner) = winner {
-                    let (pi, vi) = (winner / total_vcs, winner % total_vcs);
-                    let (vnet, class, pkt_len) = {
-                        let Some(f) = self.routers[ri].in_ports[pi].vcs[vi].buf.front() else {
-                            continue; // candidate list guarantees a flit; defensive
-                        };
-                        // The class that matters is the one the packet will
-                        // carry on the *output* channel.
-                        let class = match self.routers[ri].out_ports[po].channel {
-                            Some(ch) => self.channels[ch.index()]
-                                .spec
-                                .class_after(f.vc_class, f.last_dim),
-                            None => f.vc_class,
-                        };
-                        (f.vnet, class, f.pkt_len)
-                    };
-                    let mask = self.routers[ri].vc_mask[vnet.index()];
-                    let out = &self.routers[ri].out_ports[po];
-                    // Virtual cut-through: output VC must be unallocated and
-                    // its downstream buffer empty (full credits). The VC must
-                    // also be in the packet's dateline class and usable per
-                    // the (OSCAR) mask.
-                    let range = self.cfg.vnet_vcs(vnet);
-                    let start = range.start;
-                    let mut free = None;
-                    for gvc in range {
-                        let off = (gvc - start) as u8;
-                        if mask & (1 << off) == 0 {
-                            continue;
-                        }
-                        // Ejection consumes packets; the dateline split
-                        // only protects ring channels.
-                        let class_ok = match split {
-                            _ if out.eject => true,
-                            None => true,
-                            Some(k) => {
-                                if class == 0 {
-                                    off < k
-                                } else {
-                                    off >= k
-                                }
-                            }
-                        };
-                        if !class_ok {
-                            continue;
-                        }
-                        // Virtual cut-through: the downstream VC must have
-                        // room for the entire packet.
-                        if out.alloc[gvc].is_none()
-                            && (out.eject || out.credits[gvc] >= pkt_len.min(depth))
-                        {
-                            free = Some(gvc);
-                            break;
-                        }
-                    }
-                    if let Some(gvc) = free {
-                        self.routers[ri].out_ports[po].alloc[gvc] = Some((pi as u8, vi as u8));
-                        self.routers[ri].in_ports[pi].vcs[vi].out_vc = Some(gvc as u8);
-                        self.events.va_grants += 1;
-                    }
-                }
-            }
-        }
-        for l in scratch.iter_mut() {
-            l.clear();
-        }
-        self.scratch = scratch;
-    }
-
-    #[allow(clippy::needless_range_loop)]
-    fn switch_allocate(&mut self, ri: usize, now: u64) {
-        let n_ports = self.routers[ri].in_ports.len();
-        let total_vcs = self.cfg.total_vcs();
-
-        // Single pass over occupied VCs gathering SA requesters per output
-        // port.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let mut any = false;
-        for pi in 0..n_ports {
-            let mut occ = self.routers[ri].in_ports[pi].occ;
-            while occ != 0 {
-                let vi = occ.trailing_zeros() as usize;
-                occ &= occ - 1;
-                let vc = &self.routers[ri].in_ports[pi].vcs[vi];
-                let Some(route) = vc.route else { continue };
-                let Some(gvc) = vc.out_vc else { continue };
-                let Some(front) = vc.buf.front() else {
-                    continue;
+        // Lifetime-erase the band views and busy slices so the persistent
+        // worker pool can hold them across the spawn boundary. SAFETY: the
+        // jobs borrow `self` and `busy`, both of which outlive the
+        // dispatch/wait window below — `self` is exclusively borrowed for
+        // the whole call and is not touched again until after `pool.wait()`,
+        // and `busy` is neither moved nor mutated until after the wait.
+        // Bands are disjoint by construction (`split_band`), and the wait
+        // barrier orders all worker writes before the merge reads.
+        let mut jobs: Vec<BandJob> = Vec::with_capacity(bands);
+        {
+            #[allow(unsafe_code)]
+            let busy_view: &'static [usize] =
+                unsafe { std::mem::transmute::<&[usize], &'static [usize]>(&busy[..]) };
+            let view = self.full_band_view();
+            #[allow(unsafe_code)]
+            let mut rest = unsafe { std::mem::transmute::<BandView<'_>, BandView<'static>>(view) };
+            for b in 0..bands {
+                let (band_view, remainder) = if b + 1 < bands {
+                    let (a, r) = split_band(rest, bounds[b + 1]);
+                    (a, Some(r))
+                } else {
+                    (rest, None)
                 };
-                if front.ready_at > now {
-                    continue;
-                }
-                let po = route.index();
-                let out = &self.routers[ri].out_ports[po];
-                if !out.eject && out.credits[gvc as usize] == 0 {
-                    continue;
-                }
-                // Never drive flits onto a faulted channel.
-                if out
-                    .channel
-                    .is_some_and(|ch| self.channels[ch.index()].faulted)
-                {
-                    continue;
-                }
-                scratch[po].push(pi * total_vcs + vi);
-                any = true;
-            }
-        }
-        if any {
-            let mut in_port_used = [false; 32];
-            for po in 0..n_ports {
-                if scratch[po].is_empty() {
-                    continue;
-                }
-                // Round-robin among candidates whose input port is still
-                // free this cycle (crossbar input constraint), without
-                // allocating.
-                let winner = self.routers[ri].out_ports[po]
-                    .sa_rr
-                    .grant_sparse_filtered(&scratch[po], |c| !in_port_used[c / total_vcs]);
-                if let Some(winner) = winner {
-                    let (pi, vi) = (winner / total_vcs, winner % total_vcs);
-                    in_port_used[pi] = true;
-                    self.forward_flit(ri, pi, vi, po, now);
+                let lo = busy_view.partition_point(|&ri| ri < bounds[b]);
+                let hi = busy_view.partition_point(|&ri| ri < bounds[b + 1]);
+                jobs.push(BandJob {
+                    view: band_view,
+                    busy: &busy_view[lo..hi],
+                    now,
+                    timed,
+                    trace_on,
+                });
+                match remainder {
+                    Some(r) => rest = r,
+                    None => break,
                 }
             }
         }
-        for l in scratch.iter_mut() {
-            l.clear();
-        }
-        self.scratch = scratch;
-    }
 
-    fn forward_flit(&mut self, ri: usize, pi: usize, vi: usize, po: usize, now: u64) {
-        let Some(gvc) = self.routers[ri].in_ports[pi].vcs[vi].out_vc else {
-            return; // SA only grants allocated VCs; defensive
-        };
-        let Some(mut flit) = self.routers[ri].in_ports[pi].vcs[vi].buf.pop_front() else {
-            return; // SA only grants occupied VCs; defensive
-        };
-        if self.routers[ri].in_ports[pi].vcs[vi].buf.is_empty() {
-            self.routers[ri].in_ports[pi].occ &= !(1 << vi);
-        }
-        self.routers[ri].flits -= 1;
-        self.occupied_flits -= 1;
-        self.events.buffer_reads += 1;
-        self.events.crossbar_traversals += 1;
-        self.events.sa_grants += 1;
-        self.stats.flits_forwarded += 1;
-        self.totals.flits_forwarded += 1;
-        self.router_forwarded[ri] += 1;
-        if let Some(t) = self.tracer.as_mut() {
-            t.record(crate::trace::TraceEvent::Forwarded {
-                packet: flit.packet,
-                cycle: now,
-                router: RouterId(ri as u16),
-                seq: flit.seq,
-            });
-        }
+        // Band 0 runs here; bands 1.. on the workers.
+        let first = jobs.remove(0);
+        pool.dispatch(jobs);
+        run_band_job(first, pool.main_state());
+        pool.wait();
 
-        // Credit back to the upstream feeder, applied next cycle.
-        if let Some(feeder) = self.routers[ri].in_ports[pi].feeder {
-            self.pending_credits.push((feeder, vi as u8));
-            self.events.credits_sent += 1;
-        }
-
-        let is_tail = flit.pos.is_tail();
-        if is_tail {
-            let vc = &mut self.routers[ri].in_ports[pi].vcs[vi];
-            vc.route = None;
-            vc.out_vc = None;
-            vc.owner = None;
-            self.routers[ri].out_ports[po].alloc[gvc as usize] = None;
-        }
-
-        let out = &mut self.routers[ri].out_ports[po];
-        if let Some(ch) = out.channel {
-            out.credits[gvc as usize] -= 1;
-            let spec = self.channels[ch.index()].spec;
-            flit.assigned_vc = gvc;
-            flit.vc_class = spec.class_after(flit.vc_class, flit.last_dim);
-            flit.last_dim = spec.dim();
-            flit.hops += 1;
-            self.events.link_flit_hops += 1;
-            self.events.link_flit_mm += spec.length_mm as f64;
-            if spec.kind.is_adaptable() || spec.kind == ChannelKind::Concentration {
-                self.events.mux_traversals += 1;
-            }
-            self.channel_flits[ch.index()] += 1;
-            let c = &mut self.channels[ch.index()];
-            c.q.push_back((now + spec.latency as u64, flit));
-            self.wire_flits += 1;
-            if !c.in_busy_list {
-                c.in_busy_list = true;
-                self.busy_channels.push(ch.index());
-            }
+        // Deterministic merge: ascending band order reproduces the serial
+        // ascending-router walk byte for byte.
+        let t0 = if timed {
+            Some(std::time::Instant::now())
         } else {
-            // Ejection.
-            debug_assert!(out.eject, "SA winner routed to unwired port");
-            self.events.ni_ejections += 1;
-            if is_tail {
-                if let Some(t) = self.tracer.as_mut() {
-                    t.record(crate::trace::TraceEvent::Ejected {
-                        packet: flit.packet,
-                        cycle: now,
-                        hops: flit.hops,
-                    });
+            None
+        };
+        debug_assert!(self.busy_routers.is_empty(), "no marks during allocation");
+        busy.clear();
+        let mut rc_va_ns = 0u64;
+        let mut sa_st_ns = 0u64;
+        pool.merge_states(|state| {
+            rc_va_ns += state.rc_va_ns;
+            sa_st_ns += state.sa_st_ns;
+            // Band kept-lists are each ascending and bands cover ascending
+            // router ranges, so the concatenation is the serial kept order.
+            busy.extend_from_slice(&state.kept);
+            self.apply_stage_sink(&mut state.sink);
+        });
+        self.busy_routers = busy;
+        if timed {
+            if let Some(t) = self.telem.as_mut() {
+                t.record_stage_ns(Stage::RcVa, rc_va_ns);
+                t.record_stage_ns(Stage::SaSt, sa_st_ns);
+                if let Some(t0) = t0 {
+                    t.record_stage_ns(Stage::Merge, t0.elapsed().as_nanos() as u64);
                 }
-                let d = Delivered {
-                    injected_at: flit.injected_at,
-                    ejected_at: now,
-                    hops: flit.hops,
-                    packet: flit.to_packet(),
-                };
-                self.stats.record(&d);
-                self.totals.record(&d);
-                if let Some(t) = self.telem.as_mut() {
-                    t.on_delivered(&d);
-                }
-                self.delivered.push(d);
             }
         }
     }
@@ -1784,15 +1779,11 @@ impl Network {
             });
         }
 
-        // Save old per-port runtime state keyed by (router, port).
-        let mut old_out: HashMap<PortRef, OutPort> = HashMap::new();
-        for (ri, r) in self.routers.iter_mut().enumerate() {
-            for (pi, op) in r.out_ports.drain(..).enumerate() {
-                old_out.insert(PortRef::new(RouterId(ri as u16), PortId(pi as u8)), op);
-            }
-        }
-
-        // Rebuild routers (keeping input buffers in place).
+        // Rebuild routers (keeping input buffers in place). The VA/SA
+        // round-robin pointers live in the dense lane arrays keyed by
+        // global port, so they survive the rebuild unchanged — the same
+        // per-(router, port) preservation the old per-port structs got via
+        // an explicit save/restore map.
         for (ri, r) in self.routers.iter_mut().enumerate() {
             let rs = &new_spec.routers[ri];
             r.active = rs.active;
@@ -1806,38 +1797,28 @@ impl Network {
                 ip.nis.clear();
             }
             r.out_ports = (0..rs.n_ports)
-                .map(|pi| {
-                    let key = PortRef::new(RouterId(ri as u16), PortId(pi));
-                    let old = old_out.remove(&key);
-                    OutPort {
-                        channel: None,
-                        eject: false,
-                        credits: vec![depth; total_vcs],
-                        alloc: vec![None; total_vcs],
-                        va_rr: old.as_ref().map(|o| o.va_rr.clone()).unwrap_or_default(),
-                        sa_rr: old.map(|o| o.sa_rr).unwrap_or_default(),
-                    }
+                .map(|_| OutPort {
+                    channel: None,
+                    eject: false,
                 })
                 .collect();
         }
+        // Output-side lane state is rebuilt from scratch: full credits, no
+        // allocations (both restored below from surviving occupancy).
+        for c in self.lanes.credits.iter_mut() {
+            *c = depth;
+        }
+        for a in self.lanes.alloc.iter_mut() {
+            *a = None;
+        }
 
-        // Rewire channels; restore credit/alloc state for kept channels.
+        // Rewire channels; restore credit state for kept channels.
         for (i, c) in new_spec.channels.iter().enumerate() {
-            let kept = old_keys.contains_key(&c.key());
-            {
-                let op = &mut self.routers[c.src.router.index()].out_ports[c.src.port.index()];
-                op.channel = Some(ChannelId(i as u32));
-                if kept {
-                    // The old OutPort at this PortRef was consumed above; we
-                    // reconstruct credit state from downstream occupancy:
-                    // credits = depth - flits buffered downstream - in flight.
-                    let down = &self.routers[c.dst.router.index()].in_ports[c.dst.port.index()];
-                    let _ = down;
-                }
-            }
-            // Recompute credits and allocations exactly from downstream
-            // buffer occupancy plus wire occupancy, which is always
-            // consistent regardless of kept/new:
+            self.routers[c.src.router.index()].out_ports[c.src.port.index()].channel =
+                Some(ChannelId(i as u32));
+            // Recompute credits exactly from downstream buffer occupancy
+            // plus wire occupancy, which is always consistent regardless of
+            // kept/new:
             let wire: Vec<u8> = {
                 let mut per_vc = vec![0u8; total_vcs];
                 for (_, f) in &new_channels[i].q {
@@ -1845,18 +1826,16 @@ impl Network {
                 }
                 per_vc
             };
-            let down_occ: Vec<u8> = self.routers[c.dst.router.index()].in_ports[c.dst.port.index()]
-                .vcs
-                .iter()
-                .map(|v| v.buf.len() as u8)
-                .collect();
-            let op = &mut self.routers[c.src.router.index()].out_ports[c.src.port.index()];
-            for v in 0..total_vcs {
-                op.credits[v] = depth.saturating_sub(wire[v] + down_occ[v]);
+            let down_gv = self.lanes.gv(c.dst.router.index(), c.dst.port.index(), 0);
+            let up_gv = self.lanes.gv(c.src.router.index(), c.src.port.index(), 0);
+            for (v, &w) in wire.iter().enumerate() {
+                let down_occ = self.lanes.len[down_gv + v];
+                self.lanes.credits[up_gv + v] = depth.saturating_sub(w + down_occ);
             }
             self.routers[c.dst.router.index()].in_ports[c.dst.port.index()].feeder =
                 Some(ChannelId(i as u32));
         }
+        refresh_faulted_out(&mut self.routers, &new_channels);
 
         // Mid-stream allocations: any input VC with an out_vc still set must
         // re-own its output VC at the (possibly rebuilt) output port, and the
@@ -1865,27 +1844,21 @@ impl Network {
         for ri in 0..self.routers.len() {
             let n_in = self.routers[ri].in_ports.len();
             for pi in 0..n_in {
+                let gv0 = self.lanes.gv(ri, pi, 0);
                 for vi in 0..total_vcs {
-                    let (route, out_vc) = {
-                        let vc = &self.routers[ri].in_ports[pi].vcs[vi];
-                        (vc.route, vc.out_vc)
-                    };
-                    if let (Some(po), Some(gvc)) = (route, out_vc) {
-                        let has_conn = {
-                            let op = &self.routers[ri].out_ports[po.index()];
-                            op.channel.is_some()
-                        };
+                    let gv = gv0 + vi;
+                    if let (Some(po), Some(gvc)) = (self.lanes.route[gv], self.lanes.out_vc[gv]) {
+                        let has_conn = self.routers[ri].out_ports[po.index()].channel.is_some();
                         if has_conn || self.port_will_eject(&new_spec, ri, po) {
-                            self.routers[ri].out_ports[po.index()].alloc[gvc as usize] =
-                                Some((pi as u8, vi as u8));
+                            let out_gv = self.lanes.gv(ri, po.index(), gvc as usize);
+                            self.lanes.alloc[out_gv] = Some((pi as u8, vi as u8));
                         } else {
                             // The connection vanished mid-packet: only
                             // possible if quiescence was bypassed; clear the
                             // stale route so the packet re-routes.
-                            let vc = &mut self.routers[ri].in_ports[pi].vcs[vi];
-                            vc.route = None;
-                            vc.out_vc = None;
-                            vc.owner = None;
+                            self.lanes.route[gv] = None;
+                            self.lanes.out_vc[gv] = None;
+                            self.lanes.owner[gv] = None;
                         }
                     }
                 }
@@ -1894,7 +1867,7 @@ impl Network {
 
         // Reattach NIs (preserving source queues).
         let mut old_queues: HashMap<u16, VecDeque<Packet>> = HashMap::new();
-        let mut old_cur: HashMap<u16, Option<(u8, VecDeque<Flit>)>> = HashMap::new();
+        let mut old_cur: HashMap<u16, Option<NiStream>> = HashMap::new();
         let mut old_paused: HashMap<u16, bool> = HashMap::new();
         for ni in self.nis.drain(..) {
             old_queues.insert(ni.spec.node.0, ni.source_q);
@@ -1918,6 +1891,7 @@ impl Network {
                 .push(i);
             self.routers[n.router.index()].out_ports[n.port.index()].eject = true;
         }
+        refresh_port_caches(&mut self.routers, &mut self.lanes);
 
         self.spec = new_spec;
         self.channels = new_channels;
@@ -1938,7 +1912,7 @@ impl Network {
         self.ni_stream_flits = 0;
         for ni_id in 0..self.nis.len() {
             let n = &self.nis[ni_id];
-            self.ni_stream_flits += n.cur.as_ref().map_or(0, |(_, f)| f.len() as u64);
+            self.ni_stream_flits += n.cur.as_ref().map_or(0, NiStream::remaining);
             if n.cur.is_some() || !n.source_q.is_empty() {
                 self.mark_ni_port_active(ni_id);
             }
@@ -2008,20 +1982,24 @@ impl Network {
         if !faulted {
             self.faulted_keys.remove(&key);
             self.channels[idx].faulted = false;
+            refresh_faulted_out(&mut self.routers, &self.channels);
             return Ok(Vec::new());
         }
         if !self.faulted_keys.insert(key) {
             return Ok(Vec::new()); // already faulted
         }
         self.channels[idx].faulted = true;
+        self.routers[key.src.router.index()].faulted_out |= 1 << key.src.port.index();
         let mut ids: HashSet<u64> = self.channels[idx].q.iter().map(|(_, f)| f.packet).collect();
         // Packets holding an allocation across the channel may have flits
         // spread over the wire and the upstream router; NACK them whole.
         let src = key.src;
-        let up = &self.routers[src.router.index()];
-        for a in up.out_ports[src.port.index()].alloc.iter().flatten() {
+        let sri = src.router.index();
+        let up_gv = self.lanes.gv(sri, src.port.index(), 0);
+        let total_vcs = self.cfg.total_vcs();
+        for a in self.lanes.alloc[up_gv..up_gv + total_vcs].iter().flatten() {
             let (pi, vi) = (a.0 as usize, a.1 as usize);
-            if let Some(owner) = up.in_ports[pi].vcs[vi].owner {
+            if let Some(owner) = self.lanes.owner[self.lanes.gv(sri, pi, vi)] {
                 ids.insert(owner);
             }
         }
@@ -2045,14 +2023,14 @@ impl Network {
         self.routers[ri].wake_at = u64::MAX;
         self.statics_dirty = true;
         let mut ids: HashSet<u64> = HashSet::new();
-        for ip in &self.routers[ri].in_ports {
-            for vc in &ip.vcs {
-                for f in &vc.buf {
-                    ids.insert(f.packet);
-                }
-                if let Some(owner) = vc.owner {
-                    ids.insert(owner);
-                }
+        let gv_lo = self.lanes.gv(ri, 0, 0);
+        let gv_hi = gv_lo + self.lanes.n_ports(ri) * self.cfg.total_vcs();
+        for gv in gv_lo..gv_hi {
+            for k in 0..self.lanes.buf_len(gv) {
+                ids.insert(self.lanes.flit_at(gv, k).packet);
+            }
+            if let Some(owner) = self.lanes.owner[gv] {
+                ids.insert(owner);
             }
         }
         for c in &self.channels {
@@ -2064,10 +2042,8 @@ impl Network {
         }
         for ni in &self.nis {
             if ni.spec.router == router {
-                if let Some((_, flits)) = &ni.cur {
-                    if let Some(f) = flits.front() {
-                        ids.insert(f.packet);
-                    }
+                if let Some(cur) = &ni.cur {
+                    ids.insert(cur.pkt.id);
                 }
             }
         }
@@ -2085,14 +2061,16 @@ impl Network {
     /// faults — there, upstream packets simply wait for the link to heal.
     pub fn purge_blocked(&mut self) -> Vec<Packet> {
         let mut ids: HashSet<u64> = HashSet::new();
+        let total_vcs = self.cfg.total_vcs();
         for ri in 0..self.routers.len() {
             for pi in 0..self.routers[ri].in_ports.len() {
-                for vi in 0..self.routers[ri].in_ports[pi].vcs.len() {
-                    let vc = &self.routers[ri].in_ports[pi].vcs[vi];
-                    let Some(front) = vc.buf.front() else {
+                let gv0 = self.lanes.gv(ri, pi, 0);
+                for vi in 0..total_vcs {
+                    let gv = gv0 + vi;
+                    let Some(front) = self.lanes.front(gv) else {
                         continue;
                     };
-                    let blocked = match vc.route {
+                    let blocked = match self.lanes.route[gv] {
                         Some(po) => self.routers[ri].out_ports[po.index()]
                             .channel
                             .is_some_and(|ch| self.channels[ch.index()].faulted),
@@ -2106,10 +2084,10 @@ impl Network {
                         }
                     };
                     if blocked {
-                        for f in &vc.buf {
-                            ids.insert(f.packet);
+                        for k in 0..self.lanes.buf_len(gv) {
+                            ids.insert(self.lanes.flit_at(gv, k).packet);
                         }
-                        if let Some(owner) = vc.owner {
+                        if let Some(owner) = self.lanes.owner[gv] {
                             ids.insert(owner);
                         }
                     }
@@ -2150,47 +2128,45 @@ impl Network {
         self.wire_flits -= wire_removed;
 
         // Router input buffers and the allocations the packets held.
+        let total_vcs = self.cfg.total_vcs();
+        let mut keep: Vec<Flit> = Vec::new();
         for ri in 0..self.routers.len() {
             for pi in 0..self.routers[ri].in_ports.len() {
-                for vi in 0..self.routers[ri].in_ports[pi].vcs.len() {
-                    let owner_purged = self.routers[ri].in_ports[pi].vcs[vi]
-                        .owner
-                        .is_some_and(|o| ids.contains(&o));
+                let gp = self.lanes.gp(ri, pi);
+                for vi in 0..total_vcs {
+                    let gv = gp * total_vcs + vi;
+                    let owner_purged = self.lanes.owner[gv].is_some_and(|o| ids.contains(&o));
                     if owner_purged {
-                        let (route, out_vc) = {
-                            let vc = &mut self.routers[ri].in_ports[pi].vcs[vi];
-                            let taken = (vc.route, vc.out_vc);
-                            vc.route = None;
-                            vc.out_vc = None;
-                            vc.owner = None;
-                            taken
-                        };
+                        let (route, out_vc) = (self.lanes.route[gv], self.lanes.out_vc[gv]);
+                        self.lanes.route[gv] = None;
+                        self.lanes.out_vc[gv] = None;
+                        self.lanes.owner[gv] = None;
                         if let (Some(po), Some(gvc)) = (route, out_vc) {
-                            self.routers[ri].out_ports[po.index()].alloc[gvc as usize] = None;
+                            let out_gv = self.lanes.gv(ri, po.index(), gvc as usize);
+                            self.lanes.alloc[out_gv] = None;
                         }
                     }
-                    let has_flits = self.routers[ri].in_ports[pi].vcs[vi]
-                        .buf
-                        .iter()
-                        .any(|f| ids.contains(&f.packet));
+                    let has_flits = (0..self.lanes.buf_len(gv))
+                        .any(|k| ids.contains(&self.lanes.flit_at(gv, k).packet));
                     if has_flits {
-                        let buf = std::mem::take(&mut self.routers[ri].in_ports[pi].vcs[vi].buf);
-                        let mut keep = VecDeque::with_capacity(buf.len());
+                        keep.clear();
                         let mut removed = 0u32;
-                        for f in buf {
+                        while let Some(f) = self.lanes.pop_front(gv) {
                             if ids.contains(&f.packet) {
                                 found.entry(f.packet).or_insert_with(|| f.to_packet());
                                 removed += 1;
                             } else {
-                                keep.push_back(f);
+                                keep.push(f);
                             }
                         }
-                        let empty = keep.is_empty();
-                        self.routers[ri].in_ports[pi].vcs[vi].buf = keep;
+                        self.lanes.clear_buf(gv);
+                        for &f in &keep {
+                            self.lanes.push_back(gv, f);
+                        }
                         self.routers[ri].flits -= removed;
                         self.occupied_flits -= removed as u64;
-                        if empty {
-                            self.routers[ri].in_ports[pi].occ &= !(1 << vi);
+                        if keep.is_empty() {
+                            self.lanes.occ[gp] &= !(1 << vi);
                         }
                     }
                 }
@@ -2202,18 +2178,15 @@ impl Network {
             let purged = self.nis[ni_id]
                 .cur
                 .as_ref()
-                .is_some_and(|(_, flits)| flits.front().is_some_and(|f| ids.contains(&f.packet)));
+                .is_some_and(|cur| ids.contains(&cur.pkt.id));
             if purged {
-                if let Some((vc, mut flits)) = self.nis[ni_id].cur.take() {
-                    if let Some(f) = flits.front() {
-                        found.entry(f.packet).or_insert_with(|| f.to_packet());
-                    }
-                    self.ni_stream_flits -= flits.len() as u64;
-                    flits.clear();
-                    self.recycle_deque(flits);
+                if let Some(cur) = self.nis[ni_id].cur.take() {
+                    found.entry(cur.pkt.id).or_insert(cur.pkt);
+                    self.ni_stream_flits -= cur.remaining();
                     let ri = self.nis[ni_id].spec.router.index();
                     let pi = self.nis[ni_id].spec.port.index();
-                    self.routers[ri].in_ports[pi].vcs[vc as usize].ni_lock = false;
+                    let gv = self.lanes.gv(ri, pi, cur.vc as usize);
+                    self.lanes.ni_lock[gv] = false;
                 }
             }
         }
@@ -2221,7 +2194,6 @@ impl Network {
         // Credits are recomputed exactly from surviving wire + downstream
         // occupancy (as in reconfigure); pending returns would double-count.
         self.pending_credits.clear();
-        let total_vcs = self.cfg.total_vcs();
         let depth = self.cfg.vc_depth;
         for i in 0..self.channels.len() {
             let (src, dst) = (self.channels[i].spec.src, self.channels[i].spec.dst);
@@ -2229,14 +2201,11 @@ impl Network {
             for (_, f) in &self.channels[i].q {
                 wire[f.assigned_vc as usize] += 1;
             }
-            let down_occ: Vec<u8> = self.routers[dst.router.index()].in_ports[dst.port.index()]
-                .vcs
-                .iter()
-                .map(|v| v.buf.len() as u8)
-                .collect();
-            let op = &mut self.routers[src.router.index()].out_ports[src.port.index()];
-            for v in 0..total_vcs {
-                op.credits[v] = depth.saturating_sub(wire[v] + down_occ[v]);
+            let down_gv = self.lanes.gv(dst.router.index(), dst.port.index(), 0);
+            let up_gv = self.lanes.gv(src.router.index(), src.port.index(), 0);
+            for (v, &w) in wire.iter().enumerate() {
+                self.lanes.credits[up_gv + v] =
+                    depth.saturating_sub(w + self.lanes.len[down_gv + v]);
             }
         }
 
@@ -2379,13 +2348,10 @@ impl Network {
             Some((bc, bi)) if (bc, bi) <= (created, id) => {}
             _ => best = Some((created, id)),
         };
-        for r in &self.routers {
-            for ip in &r.in_ports {
-                for vc in &ip.vcs {
-                    for f in &vc.buf {
-                        consider(f.created_at, f.packet);
-                    }
-                }
+        for gv in 0..self.lanes.len.len() {
+            for k in 0..self.lanes.buf_len(gv) {
+                let f = self.lanes.flit_at(gv, k);
+                consider(f.created_at, f.packet);
             }
         }
         for c in &self.channels {
@@ -2394,10 +2360,8 @@ impl Network {
             }
         }
         for n in &self.nis {
-            if let Some((_, flits)) = &n.cur {
-                if let Some(f) = flits.front() {
-                    consider(f.created_at, f.packet);
-                }
+            if let Some(cur) = &n.cur {
+                consider(cur.pkt.created_at, cur.pkt.id);
             }
             for p in &n.source_q {
                 consider(p.created_at, p.id);
@@ -2486,8 +2450,10 @@ impl Network {
             .position(|c| c.spec.key() == key)
             .ok_or(NetworkError::NoSuchChannel(key))?;
         let src = self.channels[ch].spec.src;
-        let op = &mut self.routers[src.router.index()].out_ports[src.port.index()];
-        let c = &mut op.credits[vc as usize];
+        let gv = self
+            .lanes
+            .gv(src.router.index(), src.port.index(), vc as usize);
+        let c = &mut self.lanes.credits[gv];
         *c = c.saturating_sub(1);
         Ok(())
     }
@@ -2545,9 +2511,10 @@ impl Network {
         let mut buffered = 0u64;
         for (ri, r) in self.routers.iter().enumerate() {
             let mut router_flits = 0u32;
-            for (pi, ip) in r.in_ports.iter().enumerate() {
-                for (vi, vc) in ip.vcs.iter().enumerate() {
-                    let len = vc.buf.len();
+            for pi in 0..r.in_ports.len() {
+                let gp = self.lanes.gp(ri, pi);
+                for vi in 0..total_vcs {
+                    let len = self.lanes.buf_len(gp * total_vcs + vi);
                     router_flits += len as u32;
                     if len > depth {
                         out.push(InvariantViolation::new(
@@ -2555,8 +2522,8 @@ impl Network {
                             format!("R{ri}:p{pi} vc{vi} holds {len} flits, depth {depth}"),
                         ));
                     }
-                    let bit = ip.occ & (1 << vi) != 0;
-                    if bit == vc.buf.is_empty() {
+                    let bit = self.lanes.occ[gp] & (1 << vi) != 0;
+                    if bit == (len == 0) {
                         out.push(InvariantViolation::new(
                             InvariantKind::BufferOccupancy,
                             format!("R{ri}:p{pi} vc{vi} occ bit {bit} with {len} buffered flits"),
@@ -2597,7 +2564,7 @@ impl Network {
         let stream: u64 = self
             .nis
             .iter()
-            .map(|n| n.cur.as_ref().map_or(0, |(_, f)| f.len() as u64))
+            .map(|n| n.cur.as_ref().map_or(0, NiStream::remaining))
             .sum();
         if stream != self.ni_stream_flits {
             out.push(InvariantViolation::new(
@@ -2629,7 +2596,10 @@ impl Network {
             if !down.nis.is_empty() {
                 continue;
             }
-            let up = &self.routers[c.spec.src.router.index()].out_ports[c.spec.src.port.index()];
+            let up_gv = self
+                .lanes
+                .gv(c.spec.src.router.index(), c.spec.src.port.index(), 0);
+            let down_gv = self.lanes.gv(dst.router.index(), dst.port.index(), 0);
             let mut wire_occ = vec![0u32; total_vcs];
             for (_, f) in &c.q {
                 wire_occ[f.assigned_vc as usize] += 1;
@@ -2641,17 +2611,18 @@ impl Network {
                 }
             }
             for v in 0..total_vcs {
+                let down_len = self.lanes.buf_len(down_gv + v) as u32;
                 let sum =
-                    up.credits[v] as u32 + wire_occ[v] + down.vcs[v].buf.len() as u32 + pending[v];
+                    self.lanes.credits[up_gv + v] as u32 + wire_occ[v] + down_len + pending[v];
                 if sum != depth as u32 {
                     out.push(InvariantViolation::new(
                         InvariantKind::CreditConservation,
                         format!(
                             "{} vc{v}: credits {} + wire {} + downstream {} + pending {} != depth {depth}",
                             channel_label(&c.spec.key()),
-                            up.credits[v],
+                            self.lanes.credits[up_gv + v],
                             wire_occ[v],
-                            down.vcs[v].buf.len(),
+                            down_len,
                             pending[v]
                         ),
                     ));
@@ -2684,6 +2655,25 @@ impl Network {
                 ));
             }
         }
+        // The per-router faulted-output bitmask (hot-loop cache) must agree
+        // with the per-channel flags.
+        let mut expected_mask = vec![0u32; self.routers.len()];
+        for c in &self.channels {
+            if c.faulted {
+                expected_mask[c.spec.src.router.index()] |= 1 << c.spec.src.port.index();
+            }
+        }
+        for (ri, r) in self.routers.iter().enumerate() {
+            if r.faulted_out != expected_mask[ri] {
+                out.push(InvariantViolation::new(
+                    InvariantKind::FaultIsolation,
+                    format!(
+                        "R{ri} faulted-out mask {:#x} disagrees with channel flags {:#x}",
+                        r.faulted_out, expected_mask[ri]
+                    ),
+                ));
+            }
+        }
 
         // Power gating and VC-allocation cross-links.
         for (ri, r) in self.routers.iter().enumerate() {
@@ -2694,48 +2684,55 @@ impl Network {
                 ));
             }
             let dark = r.sleeping || r.failed;
-            for (po, op) in r.out_ports.iter().enumerate() {
-                for (gvc, a) in op.alloc.iter().enumerate() {
-                    let Some((pi, vi)) = *a else { continue };
+            for po in 0..r.out_ports.len() {
+                let out_gv0 = self.lanes.gv(ri, po, 0);
+                for gvc in 0..total_vcs {
+                    let Some((pi, vi)) = self.lanes.alloc[out_gv0 + gvc] else {
+                        continue;
+                    };
                     if dark {
                         out.push(InvariantViolation::new(
                             InvariantKind::PowerGating,
                             format!("R{ri} is dark but output p{po} vc{gvc} is allocated"),
                         ));
                     }
-                    let vc = &r.in_ports[pi as usize].vcs[vi as usize];
-                    if vc.out_vc != Some(gvc as u8)
-                        || vc.route != Some(PortId(po as u8))
-                        || vc.owner.is_none()
+                    let in_gv = self.lanes.gv(ri, pi as usize, vi as usize);
+                    if self.lanes.out_vc[in_gv] != Some(gvc as u8)
+                        || self.lanes.route[in_gv] != Some(PortId(po as u8))
+                        || self.lanes.owner[in_gv].is_none()
                     {
                         out.push(InvariantViolation::new(
                             InvariantKind::Allocation,
                             format!(
                                 "R{ri} output p{po} vc{gvc} allocated to p{pi}/vc{vi}, which \
                                  holds route {:?} out_vc {:?} owner {:?}",
-                                vc.route, vc.out_vc, vc.owner
+                                self.lanes.route[in_gv],
+                                self.lanes.out_vc[in_gv],
+                                self.lanes.owner[in_gv]
                             ),
                         ));
                     }
                 }
             }
             for (pi, ip) in r.in_ports.iter().enumerate() {
-                for (vi, vc) in ip.vcs.iter().enumerate() {
-                    if vc.route.is_some() && vc.owner.is_none() {
+                let gv0 = self.lanes.gv(ri, pi, 0);
+                for vi in 0..total_vcs {
+                    let gv = gv0 + vi;
+                    if self.lanes.route[gv].is_some() && self.lanes.owner[gv].is_none() {
                         out.push(InvariantViolation::new(
                             InvariantKind::Allocation,
                             format!("R{ri}:p{pi} vc{vi} routed without an owner"),
                         ));
                     }
-                    if let Some(gvc) = vc.out_vc {
-                        let Some(po) = vc.route else {
+                    if let Some(gvc) = self.lanes.out_vc[gv] {
+                        let Some(po) = self.lanes.route[gv] else {
                             out.push(InvariantViolation::new(
                                 InvariantKind::Allocation,
                                 format!("R{ri}:p{pi} vc{vi} holds out_vc {gvc} without a route"),
                             ));
                             continue;
                         };
-                        let back = r.out_ports[po.index()].alloc[gvc as usize];
+                        let back = self.lanes.alloc[self.lanes.gv(ri, po.index(), gvc as usize)];
                         if back != Some((pi as u8, vi as u8)) {
                             out.push(InvariantViolation::new(
                                 InvariantKind::Allocation,
@@ -2746,10 +2743,11 @@ impl Network {
                             ));
                         }
                     }
-                    if vc.ni_lock {
-                        let held = ip.nis.iter().any(
-                            |&ni| matches!(&self.nis[ni].cur, Some((v, _)) if *v as usize == vi),
-                        );
+                    if self.lanes.ni_lock[gv] {
+                        let held = ip
+                            .nis
+                            .iter()
+                            .any(|&ni| matches!(&self.nis[ni].cur, Some(c) if c.vc as usize == vi));
                         if !held {
                             out.push(InvariantViolation::new(
                                 InvariantKind::NiLock,
@@ -2761,14 +2759,16 @@ impl Network {
             }
         }
         for n in &self.nis {
-            if let Some((vc, _)) = &n.cur {
-                let ip = &self.routers[n.spec.router.index()].in_ports[n.spec.port.index()];
-                if !ip.vcs[*vc as usize].ni_lock {
+            if let Some(cur) = &n.cur {
+                let gv = self
+                    .lanes
+                    .gv(n.spec.router.index(), n.spec.port.index(), cur.vc as usize);
+                if !self.lanes.ni_lock[gv] {
                     out.push(InvariantViolation::new(
                         InvariantKind::NiLock,
                         format!(
-                            "NI of {} streams into vc{vc} without holding the lock",
-                            n.spec.node
+                            "NI of {} streams into vc{} without holding the lock",
+                            n.spec.node, cur.vc
                         ),
                     ));
                 }
@@ -2910,7 +2910,7 @@ impl Network {
 mod tests {
     use super::*;
     use crate::ids::LOCAL_PORT;
-    use crate::spec::{mesh_channel, NiSpec};
+    use crate::spec::{mesh_channel, NiSpec, PortRef};
 
     /// A 1xN row of routers, bidirectionally chained, one node per router.
     fn row_spec(n: usize) -> NetworkSpec {
@@ -3058,14 +3058,16 @@ mod tests {
         assert_eq!(net.in_flight(), 0);
         // After drain, every output port's credits must be back at depth.
         let depth = net.cfg.vc_depth;
-        for r in &net.routers {
-            for op in &r.out_ports {
+        let total_vcs = net.cfg.total_vcs();
+        for (ri, r) in net.routers.iter().enumerate() {
+            for (po, op) in r.out_ports.iter().enumerate() {
+                let gv0 = net.lanes.gv(ri, po, 0);
                 if op.channel.is_some() {
-                    for &c in &op.credits {
+                    for &c in &net.lanes.credits[gv0..gv0 + total_vcs] {
                         assert_eq!(c, depth);
                     }
                 }
-                for a in &op.alloc {
+                for a in &net.lanes.alloc[gv0..gv0 + total_vcs] {
                     assert!(a.is_none());
                 }
             }

@@ -1,0 +1,338 @@
+//! Data-oriented (structure-of-arrays) storage for per-VC router state.
+//!
+//! The router hot loop (RC/VA/SA/ST in [`crate::stage`]) used to chase
+//! pointers through `routers[ri].in_ports[pi].vcs[vi]` — three `Vec`
+//! indirections plus a heap-allocated `VecDeque` per VC. [`VcLanes`] flattens
+//! all of that into contiguous arrays indexed by a *global VC index*
+//!
+//! ```text
+//! gp = port_base[ri] + pi          // global port index
+//! gv = gp * total_vcs + vi         // global VC index
+//! ```
+//!
+//! so one loaded cycle touches a handful of dense arrays instead of
+//! thousands of small heap objects. Input-side state (`route`, `out_vc`,
+//! `owner`, `ni_lock`, buffers, `occ`) is indexed by input port; output-side
+//! state (`credits`, `alloc`) by output port. Routers always have matching
+//! input/output port counts, so both sides share the same index space.
+//!
+//! Flit buffers are fixed-capacity ring buffers living in one shared
+//! `slots` slab, `vc_depth` slots per VC. That bound is sound: every input
+//! VC buffer is limited to `vc_depth` flits by construction — the credit
+//! loop bounds wire + downstream occupancy per VC at `vc_depth`, NI
+//! injection checks `buf_len < vc_depth`, and purges only remove flits.
+//! The always-on buffer-occupancy invariant guard treats `len > depth` as a
+//! violation, so the capacity assumption is continuously checked.
+//!
+//! The arrays are plain `Vec`s (not nested) precisely so the region-parallel
+//! stepper (see [`crate::par`]) can hand disjoint `&mut` sub-slices of every
+//! array to worker threads with safe `split_at_mut` calls.
+
+use crate::flit::{Flit, Packet};
+use crate::ids::NodeId;
+
+/// Flat per-VC state for every router in the network. See the module docs
+/// for the index scheme.
+#[derive(Debug, Clone)]
+pub(crate) struct VcLanes {
+    /// VCs per port (`SimConfig::total_vcs()`); immutable for the network's
+    /// life (reconfiguration cannot change it).
+    pub(crate) total_vcs: usize,
+    /// Ring capacity per VC (`SimConfig::vc_depth`).
+    pub(crate) depth: usize,
+    /// Prefix sums of per-router port counts; `port_base[ri]` is router
+    /// `ri`'s first global port, `port_base[n_routers]` the total port
+    /// count. Immutable for the network's life (reconfiguration rejects
+    /// port-count changes).
+    pub(crate) port_base: Vec<u32>,
+    /// Per global port: bitmask of VCs with buffered flits.
+    pub(crate) occ: Vec<u32>,
+    /// Per global port: the channel leaving this output port (hot-loop cache
+    /// of `OutPort::channel`; see `Network::refresh_port_caches`).
+    pub(crate) out_channel: Vec<Option<crate::ids::ChannelId>>,
+    /// Per global port: the channel feeding this input port (hot-loop cache
+    /// of `InPort::feeder`).
+    pub(crate) feeder: Vec<Option<crate::ids::ChannelId>>,
+    /// Per global port: output-VC allocation round-robin pointer. Lives here
+    /// (not in the per-port structs) so the hot loop arbitrates without
+    /// chasing `routers[ri].out_ports[pi]`; persistence across
+    /// reconfiguration is automatic because port counts are immutable.
+    pub(crate) va_rr: Vec<crate::arbiter::RoundRobin>,
+    /// Per global port: switch allocation round-robin pointer.
+    pub(crate) sa_rr: Vec<crate::arbiter::RoundRobin>,
+    /// Per global VC (input side): output port chosen for the packet at the
+    /// head of the VC.
+    pub(crate) route: Vec<Option<crate::ids::PortId>>,
+    /// Per global VC (input side): allocated output VC (global index) at
+    /// `route`.
+    pub(crate) out_vc: Vec<Option<u8>>,
+    /// Per global VC (input side): id of the packet that owns
+    /// `route`/`out_vc`.
+    pub(crate) owner: Vec<Option<u64>>,
+    /// Per global VC (input side): set while an NI streams a packet in.
+    pub(crate) ni_lock: Vec<bool>,
+    /// Per global VC (output side): credits for the downstream VC.
+    pub(crate) credits: Vec<u8>,
+    /// Per global VC (output side): which local input VC holds this output
+    /// VC, as `(in_port, in_vc)`.
+    pub(crate) alloc: Vec<Option<(u8, u8)>>,
+    /// Per global VC: ring-buffer head slot (< `depth`).
+    pub(crate) head: Vec<u8>,
+    /// Per global VC: ring-buffer length (<= `depth`).
+    pub(crate) len: Vec<u8>,
+    /// Per global VC: `ready_at` of the front flit (stale when `len == 0`).
+    /// Maintained by the ring push/pop helpers so the allocation scan can
+    /// skip not-yet-ready VCs without touching the (much colder) flit slab.
+    pub(crate) front_ready: Vec<u64>,
+    /// The flit slab: slot `k` of VC `gv` lives at
+    /// `slots[gv * depth + (head[gv] + k) % depth]`.
+    pub(crate) slots: Vec<Flit>,
+}
+
+/// Placeholder flit for unoccupied slab slots.
+fn filler() -> Flit {
+    Flit::of_packet(&Packet::request(0, NodeId(0), NodeId(0), 0), 0)
+}
+
+impl VcLanes {
+    /// Builds empty lanes for routers with the given per-router port counts.
+    pub(crate) fn new(port_counts: &[usize], total_vcs: usize, depth: usize) -> Self {
+        let mut port_base = Vec::with_capacity(port_counts.len() + 1);
+        let mut acc = 0u32;
+        port_base.push(0);
+        for &n in port_counts {
+            acc += n as u32;
+            port_base.push(acc);
+        }
+        let n_ports = acc as usize;
+        let n_vcs = n_ports * total_vcs;
+        VcLanes {
+            total_vcs,
+            depth,
+            port_base,
+            occ: vec![0; n_ports],
+            out_channel: vec![None; n_ports],
+            feeder: vec![None; n_ports],
+            va_rr: vec![crate::arbiter::RoundRobin::new(); n_ports],
+            sa_rr: vec![crate::arbiter::RoundRobin::new(); n_ports],
+            route: vec![None; n_vcs],
+            out_vc: vec![None; n_vcs],
+            owner: vec![None; n_vcs],
+            ni_lock: vec![false; n_vcs],
+            credits: vec![depth as u8; n_vcs],
+            alloc: vec![None; n_vcs],
+            head: vec![0; n_vcs],
+            len: vec![0; n_vcs],
+            front_ready: vec![0; n_vcs],
+            slots: vec![filler(); n_vcs * depth],
+        }
+    }
+
+    /// Global port index of `(router, port)`.
+    #[inline]
+    pub(crate) fn gp(&self, ri: usize, pi: usize) -> usize {
+        self.port_base[ri] as usize + pi
+    }
+
+    /// Global VC index of `(router, port, vc)`.
+    #[inline]
+    pub(crate) fn gv(&self, ri: usize, pi: usize, vi: usize) -> usize {
+        (self.port_base[ri] as usize + pi) * self.total_vcs + vi
+    }
+
+    /// Number of ports on router `ri`.
+    #[inline]
+    pub(crate) fn n_ports(&self, ri: usize) -> usize {
+        (self.port_base[ri + 1] - self.port_base[ri]) as usize
+    }
+
+    /// Buffered flits in VC `gv`.
+    #[inline]
+    pub(crate) fn buf_len(&self, gv: usize) -> usize {
+        self.len[gv] as usize
+    }
+
+    /// The flit at the front of VC `gv`, if any.
+    #[inline]
+    pub(crate) fn front(&self, gv: usize) -> Option<&Flit> {
+        ring_front(&self.head, &self.len, &self.slots, self.depth, gv)
+    }
+
+    /// The `k`-th buffered flit of VC `gv` (0 = front).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if `k >= buf_len(gv)`.
+    #[inline]
+    pub(crate) fn flit_at(&self, gv: usize, k: usize) -> &Flit {
+        debug_assert!(k < self.buf_len(gv));
+        &self.slots[slot_index(&self.head, self.depth, gv, k)]
+    }
+
+    /// Appends a flit to VC `gv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) on ring overflow; release builds rely on the
+    /// credit/NI bounds (see module docs) and the occupancy guard.
+    #[inline]
+    pub(crate) fn push_back(&mut self, gv: usize, f: Flit) {
+        ring_push(
+            &self.head,
+            &mut self.len,
+            &mut self.slots,
+            &mut self.front_ready,
+            self.depth,
+            gv,
+            f,
+        );
+    }
+
+    /// Pops the front flit of VC `gv`.
+    #[inline]
+    pub(crate) fn pop_front(&mut self, gv: usize) -> Option<Flit> {
+        ring_pop(
+            &mut self.head,
+            &mut self.len,
+            &self.slots,
+            &mut self.front_ready,
+            self.depth,
+            gv,
+        )
+    }
+
+    /// Empties VC `gv` (the slots keep their stale contents).
+    #[inline]
+    pub(crate) fn clear_buf(&mut self, gv: usize) {
+        self.head[gv] = 0;
+        self.len[gv] = 0;
+    }
+}
+
+/// Slab index of buffered flit `k` of VC `v` (head-relative).
+#[inline]
+pub(crate) fn slot_index(head: &[u8], depth: usize, v: usize, k: usize) -> usize {
+    let mut p = head[v] as usize + k;
+    // head < depth and k < depth, so one conditional subtract replaces `%`.
+    if p >= depth {
+        p -= depth;
+    }
+    v * depth + p
+}
+
+/// Front flit of VC `v`, if any. Operates on raw lane components so the
+/// band views in [`crate::stage`] can reuse it on sub-slices.
+#[inline]
+pub(crate) fn ring_front<'s>(
+    head: &[u8],
+    len: &[u8],
+    slots: &'s [Flit],
+    depth: usize,
+    v: usize,
+) -> Option<&'s Flit> {
+    if len[v] == 0 {
+        None
+    } else {
+        Some(&slots[v * depth + head[v] as usize])
+    }
+}
+
+/// Appends a flit to VC `v`, refreshing the front-readiness cache when the
+/// ring was empty.
+#[inline]
+pub(crate) fn ring_push(
+    head: &[u8],
+    len: &mut [u8],
+    slots: &mut [Flit],
+    front_ready: &mut [u64],
+    depth: usize,
+    v: usize,
+    f: Flit,
+) {
+    let n = len[v] as usize;
+    debug_assert!(n < depth, "VC ring overflow (depth {depth})");
+    if n == 0 {
+        front_ready[v] = f.ready_at;
+    }
+    slots[slot_index(head, depth, v, n)] = f;
+    len[v] = n as u8 + 1;
+}
+
+/// Pops the front flit of VC `v`, refreshing the front-readiness cache from
+/// the new front.
+#[inline]
+pub(crate) fn ring_pop(
+    head: &mut [u8],
+    len: &mut [u8],
+    slots: &[Flit],
+    front_ready: &mut [u64],
+    depth: usize,
+    v: usize,
+) -> Option<Flit> {
+    if len[v] == 0 {
+        return None;
+    }
+    let f = slots[v * depth + head[v] as usize];
+    let h = head[v] as usize + 1;
+    head[v] = if h == depth { 0 } else { h as u8 };
+    len[v] -= 1;
+    if len[v] > 0 {
+        front_ready[v] = slots[v * depth + head[v] as usize].ready_at;
+    }
+    Some(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(id: u64) -> Flit {
+        Flit::of_packet(&Packet::request(id, NodeId(0), NodeId(1), 0), 0)
+    }
+
+    #[test]
+    fn ring_push_pop_wraps_around() {
+        let mut lanes = VcLanes::new(&[2], 3, 4);
+        let gv = lanes.gv(0, 1, 2);
+        for round in 0..3u64 {
+            for i in 0..4 {
+                lanes.push_back(gv, flit(round * 10 + i));
+            }
+            assert_eq!(lanes.buf_len(gv), 4);
+            for i in 0..4 {
+                assert_eq!(lanes.front(gv).unwrap().packet, round * 10 + i);
+                assert_eq!(lanes.pop_front(gv).unwrap().packet, round * 10 + i);
+            }
+            assert!(lanes.pop_front(gv).is_none());
+        }
+    }
+
+    #[test]
+    fn global_indices_follow_port_prefix_sums() {
+        let lanes = VcLanes::new(&[5, 3, 5], 6, 4);
+        assert_eq!(lanes.port_base, vec![0, 5, 8, 13]);
+        assert_eq!(lanes.n_ports(1), 3);
+        assert_eq!(lanes.gp(1, 2), 7);
+        assert_eq!(lanes.gv(2, 0, 5), 8 * 6 + 5);
+        assert_eq!(lanes.occ.len(), 13);
+        assert_eq!(lanes.route.len(), 13 * 6);
+        assert_eq!(lanes.slots.len(), 13 * 6 * 4);
+    }
+
+    #[test]
+    fn flit_at_indexes_from_the_front() {
+        let mut lanes = VcLanes::new(&[1], 1, 4);
+        // Force a wrapped ring: push 3, pop 2, push 2.
+        for i in 0..3 {
+            lanes.push_back(0, flit(i));
+        }
+        lanes.pop_front(0);
+        lanes.pop_front(0);
+        lanes.push_back(0, flit(3));
+        lanes.push_back(0, flit(4));
+        let got: Vec<u64> = (0..lanes.buf_len(0))
+            .map(|k| lanes.flit_at(0, k).packet)
+            .collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,765 @@
+//! The router-stage hot loop (RC + VA + SA + ST) over a *band* of routers.
+//!
+//! [`BandView`] borrows a contiguous router range plus the matching
+//! sub-slices of every [`crate::soa::VcLanes`] array, and runs the
+//! allocation kernels over it. The serial stepper uses one band covering
+//! the whole network; the region-parallel stepper
+//! ([`crate::par::StepPool`]) splits the view at router boundaries with
+//! [`split_band`] and runs one band per worker.
+//!
+//! Within one cycle's router stage there is **no cross-router
+//! interaction**: forwarded flits enter channel queues (delivered next
+//! cycle at the earliest), credits are returned through the
+//! `pending_credits` list (applied next cycle), and VA/SA only read
+//! channels *sourced* at the router being allocated. The only shared state
+//! is global counters, the trace stream, and the delivered list — all of
+//! which the kernels defer into a per-band [`StageSink`]. The network
+//! applies sinks in ascending band order, which reproduces the serial
+//! ascending-router order byte for byte; this is what makes
+//! region-parallel output identical to serial at any thread count (pinned
+//! by `tests/region_parallel_equivalence.rs`).
+
+use crate::events::EventCounts;
+use crate::flit::Flit;
+use crate::ids::{ChannelId, RouterId, Vnet};
+use crate::network::{ChannelRt, RouterRt};
+use crate::soa;
+use crate::spec::{ChannelKind, NetworkSpec};
+use crate::stats::Delivered;
+use crate::trace::TraceEvent;
+
+/// Side effects of one band's router stage, deferred so bands can run
+/// concurrently and merge deterministically (in band order).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StageSink {
+    /// Event counters accumulated by this band.
+    pub(crate) events: EventCounts,
+    /// Flits forwarded (added to both epoch and total stats).
+    pub(crate) flits_forwarded: u64,
+    /// Packets that hit a missing routing entry.
+    pub(crate) unroutable: u64,
+    /// Flits removed from input buffers (decrements `occupied_flits`).
+    pub(crate) removed: u64,
+    /// Flits pushed onto wires (increments `wire_flits`).
+    pub(crate) wire_pushed: u64,
+    /// Credits to return upstream next cycle.
+    pub(crate) pending_credits: Vec<(ChannelId, u8)>,
+    /// Channels that left the idle state (busy-worklist additions).
+    pub(crate) busy_channels: Vec<usize>,
+    /// Trace events in intra-band order (only filled when `trace_on`).
+    pub(crate) trace: Vec<TraceEvent>,
+    /// Whether a tracer is attached this cycle.
+    pub(crate) trace_on: bool,
+    /// Delivered packets in intra-band order.
+    pub(crate) delivered: Vec<Delivered>,
+}
+
+impl StageSink {
+    /// Whether the sink carries nothing (cheap pre-check before applying).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.events == EventCounts::default()
+            && self.flits_forwarded == 0
+            && self.unroutable == 0
+            && self.removed == 0
+            && self.wire_pushed == 0
+            && self.pending_credits.is_empty()
+            && self.busy_channels.is_empty()
+            && self.trace.is_empty()
+            && self.delivered.is_empty()
+    }
+}
+
+/// Reusable per-output-port candidate lists (sized to the network's
+/// maximum port count, mirroring the pre-SoA scratch behaviour exactly).
+/// `per_port` holds VA requesters, `sa_port` SA requesters; both are
+/// gathered by one fused scan over the occupied-VC bitmasks.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StageScratch {
+    pub(crate) per_port: Vec<Vec<usize>>,
+    pub(crate) sa_port: Vec<Vec<usize>>,
+}
+
+/// Mutable access to the channel array from inside a band.
+///
+/// Channels are indexed globally and not contiguous per band, so they
+/// cannot be sliced like the lane arrays. Instead each band gets a shard
+/// holding raw pointers to the full arrays, under the contract that a band
+/// only ever touches channels whose **source router lies inside the band**
+/// (VA/SA/ST only read or write channels leaving the router being
+/// allocated). Bands partition routers, so concurrent shard accesses are
+/// disjoint; debug assertions in [`BandView`] check the ownership rule on
+/// every access.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChannelShard {
+    channels: *mut ChannelRt,
+    flits: *mut u64,
+    n: usize,
+}
+
+// SAFETY: the shard is only sent to a worker as part of a `BandJob`, and
+// the band-ownership contract above makes all cross-thread accesses
+// disjoint. Synchronization is provided by the step barrier (workers
+// finish before the main thread reads the results).
+#[allow(unsafe_code)]
+unsafe impl Send for ChannelShard {}
+
+#[allow(unsafe_code)]
+impl ChannelShard {
+    pub(crate) fn new(channels: &mut [ChannelRt], flits: &mut [u64]) -> Self {
+        debug_assert_eq!(channels.len(), flits.len());
+        ChannelShard {
+            n: channels.len(),
+            channels: channels.as_mut_ptr(),
+            flits: flits.as_mut_ptr(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, ci: usize) -> &ChannelRt {
+        debug_assert!(ci < self.n);
+        // SAFETY: in-bounds; disjointness per the band-ownership contract.
+        unsafe { &*self.channels.add(ci) }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, ci: usize) -> &mut ChannelRt {
+        debug_assert!(ci < self.n);
+        // SAFETY: in-bounds; disjointness per the band-ownership contract.
+        unsafe { &mut *self.channels.add(ci) }
+    }
+
+    #[inline]
+    fn count_traversal(&mut self, ci: usize) {
+        debug_assert!(ci < self.n);
+        // SAFETY: in-bounds; disjointness per the band-ownership contract.
+        unsafe { *self.flits.add(ci) += 1 };
+    }
+}
+
+/// A contiguous band of routers with the matching lane sub-slices.
+///
+/// All indices passed to the kernel methods are *global*; the `ri0` /
+/// `gp0` / `gv0` offsets translate them into the borrowed slices.
+pub(crate) struct BandView<'a> {
+    /// First router of the band.
+    pub(crate) ri0: usize,
+    pub(crate) routers: &'a mut [RouterRt],
+    /// Global port index of the band's first port.
+    pub(crate) gp0: usize,
+    pub(crate) occ: &'a mut [u32],
+    pub(crate) va_rr: &'a mut [crate::arbiter::RoundRobin],
+    pub(crate) sa_rr: &'a mut [crate::arbiter::RoundRobin],
+    /// Global VC index of the band's first VC.
+    pub(crate) gv0: usize,
+    pub(crate) route: &'a mut [Option<crate::ids::PortId>],
+    pub(crate) out_vc: &'a mut [Option<u8>],
+    pub(crate) owner: &'a mut [Option<u64>],
+    pub(crate) credits: &'a mut [u8],
+    pub(crate) alloc: &'a mut [Option<(u8, u8)>],
+    pub(crate) head: &'a mut [u8],
+    pub(crate) len: &'a mut [u8],
+    pub(crate) front_ready: &'a mut [u64],
+    pub(crate) slots: &'a mut [Flit],
+    pub(crate) router_forwarded: &'a mut [u64],
+    pub(crate) channels: ChannelShard,
+    pub(crate) spec: &'a NetworkSpec,
+    /// Full (network-wide) port prefix sums.
+    pub(crate) port_base: &'a [u32],
+    /// Full per-global-port output-channel cache (read-only, so bands share
+    /// the whole array and index it globally).
+    pub(crate) out_channel: &'a [Option<ChannelId>],
+    /// Full per-global-port input-feeder cache (read-only).
+    pub(crate) feeder: &'a [Option<ChannelId>],
+    pub(crate) total_vcs: usize,
+    pub(crate) vcs_per_vnet: usize,
+    pub(crate) depth: usize,
+    /// Maximum port count over all routers (scratch sizing).
+    pub(crate) max_ports: usize,
+}
+
+/// Splits `view` into `[ri0, mid)` and `[mid, end)` bands at a router
+/// boundary. All lane arrays split at the matching port/VC offsets, so
+/// both halves are fully disjoint safe borrows; only the channel shard is
+/// duplicated (see [`ChannelShard`] for why that is sound).
+pub(crate) fn split_band(view: BandView<'_>, mid: usize) -> (BandView<'_>, BandView<'_>) {
+    let n_r = mid - view.ri0;
+    let mid_gp = view.port_base[mid] as usize;
+    let n_p = mid_gp - view.gp0;
+    let n_v = n_p * view.total_vcs;
+    let (r_a, r_b) = view.routers.split_at_mut(n_r);
+    let (occ_a, occ_b) = view.occ.split_at_mut(n_p);
+    let (vrr_a, vrr_b) = view.va_rr.split_at_mut(n_p);
+    let (srr_a, srr_b) = view.sa_rr.split_at_mut(n_p);
+    let (route_a, route_b) = view.route.split_at_mut(n_v);
+    let (ovc_a, ovc_b) = view.out_vc.split_at_mut(n_v);
+    let (own_a, own_b) = view.owner.split_at_mut(n_v);
+    let (cr_a, cr_b) = view.credits.split_at_mut(n_v);
+    let (al_a, al_b) = view.alloc.split_at_mut(n_v);
+    let (hd_a, hd_b) = view.head.split_at_mut(n_v);
+    let (ln_a, ln_b) = view.len.split_at_mut(n_v);
+    let (fr_a, fr_b) = view.front_ready.split_at_mut(n_v);
+    let (sl_a, sl_b) = view.slots.split_at_mut(n_v * view.depth);
+    let (fw_a, fw_b) = view.router_forwarded.split_at_mut(n_r);
+    let a = BandView {
+        ri0: view.ri0,
+        routers: r_a,
+        gp0: view.gp0,
+        occ: occ_a,
+        va_rr: vrr_a,
+        sa_rr: srr_a,
+        gv0: view.gv0,
+        route: route_a,
+        out_vc: ovc_a,
+        owner: own_a,
+        credits: cr_a,
+        alloc: al_a,
+        head: hd_a,
+        len: ln_a,
+        front_ready: fr_a,
+        slots: sl_a,
+        router_forwarded: fw_a,
+        channels: view.channels,
+        spec: view.spec,
+        port_base: view.port_base,
+        out_channel: view.out_channel,
+        feeder: view.feeder,
+        total_vcs: view.total_vcs,
+        vcs_per_vnet: view.vcs_per_vnet,
+        depth: view.depth,
+        max_ports: view.max_ports,
+    };
+    let b = BandView {
+        ri0: mid,
+        routers: r_b,
+        gp0: mid_gp,
+        occ: occ_b,
+        va_rr: vrr_b,
+        sa_rr: srr_b,
+        gv0: mid_gp * view.total_vcs,
+        route: route_b,
+        out_vc: ovc_b,
+        owner: own_b,
+        credits: cr_b,
+        alloc: al_b,
+        head: hd_b,
+        len: ln_b,
+        front_ready: fr_b,
+        slots: sl_b,
+        router_forwarded: fw_b,
+        channels: view.channels,
+        spec: view.spec,
+        port_base: view.port_base,
+        out_channel: view.out_channel,
+        feeder: view.feeder,
+        total_vcs: view.total_vcs,
+        vcs_per_vnet: view.vcs_per_vnet,
+        depth: view.depth,
+        max_ports: view.max_ports,
+    };
+    (a, b)
+}
+
+impl BandView<'_> {
+    /// Local VC index for global `gv`.
+    #[inline]
+    fn lv(&self, gv: usize) -> usize {
+        gv - self.gv0
+    }
+
+    #[inline]
+    fn ring_front(&self, lv: usize) -> Option<&Flit> {
+        soa::ring_front(self.head, self.len, self.slots, self.depth, lv)
+    }
+
+    #[inline]
+    fn n_ports(&self, ri: usize) -> usize {
+        (self.port_base[ri + 1] - self.port_base[ri]) as usize
+    }
+
+    /// Asserts the channel-ownership contract: `ci` leaves a band router.
+    #[inline]
+    fn assert_owned(&self, ci: usize) {
+        debug_assert!(
+            {
+                let src = self.channels.get(ci).spec.src.router.index();
+                src >= self.ri0 && src < self.ri0 + self.routers.len()
+            },
+            "band touched a channel sourced outside it"
+        );
+    }
+
+    /// Runs the active-set router stage over this band's slice of the
+    /// sorted busy-router worklist, compacting survivors into `kept` and
+    /// clearing the busy flag of routers that drained (mirroring the
+    /// serial worklist walk exactly).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_band(
+        &mut self,
+        busy: &[usize],
+        kept: &mut Vec<usize>,
+        now: u64,
+        timed: bool,
+        sink: &mut StageSink,
+        scratch: &mut StageScratch,
+        rc_va_ns: &mut u64,
+        sa_st_ns: &mut u64,
+    ) {
+        if scratch.per_port.len() < self.max_ports {
+            scratch.per_port.resize_with(self.max_ports, Vec::new);
+            scratch.sa_port.resize_with(self.max_ports, Vec::new);
+        }
+        for &ri in busy {
+            let lr = ri - self.ri0;
+            if self.routers[lr].flits == 0 {
+                self.routers[lr].in_busy_list = false;
+                continue;
+            }
+            let runnable = {
+                let r = &self.routers[lr];
+                r.active && !r.sleeping && !r.failed && r.config_until <= now
+            };
+            if runnable {
+                self.alloc_router(ri, now, timed, sink, scratch, rc_va_ns, sa_st_ns);
+            }
+            if self.routers[lr].flits > 0 {
+                kept.push(ri);
+            } else {
+                self.routers[lr].in_busy_list = false;
+            }
+        }
+    }
+
+    /// Runs the full-sweep router stage over every router of the band
+    /// (reference mode; worklist retention happens in the caller).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_band_sweep(
+        &mut self,
+        now: u64,
+        timed: bool,
+        sink: &mut StageSink,
+        scratch: &mut StageScratch,
+        rc_va_ns: &mut u64,
+        sa_st_ns: &mut u64,
+    ) {
+        if scratch.per_port.len() < self.max_ports {
+            scratch.per_port.resize_with(self.max_ports, Vec::new);
+            scratch.sa_port.resize_with(self.max_ports, Vec::new);
+        }
+        for lr in 0..self.routers.len() {
+            {
+                let r = &self.routers[lr];
+                if !r.active || r.sleeping || r.failed || r.config_until > now || r.flits == 0 {
+                    continue;
+                }
+            }
+            self.alloc_router(self.ri0 + lr, now, timed, sink, scratch, rc_va_ns, sa_st_ns);
+        }
+    }
+
+    /// Runs RC+VA then SA+ST on one router, accumulating per-stage
+    /// wall-clock time when `timed` (telemetry span sampling).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn alloc_router(
+        &mut self,
+        ri: usize,
+        now: u64,
+        timed: bool,
+        sink: &mut StageSink,
+        scratch: &mut StageScratch,
+        rc_va_ns: &mut u64,
+        sa_st_ns: &mut u64,
+    ) {
+        if timed {
+            let t0 = std::time::Instant::now();
+            self.vc_allocate(ri, now, sink, scratch);
+            *rc_va_ns += t0.elapsed().as_nanos() as u64;
+            let t1 = std::time::Instant::now();
+            self.switch_allocate(ri, now, sink, scratch);
+            *sa_st_ns += t1.elapsed().as_nanos() as u64;
+        } else {
+            self.vc_allocate(ri, now, sink, scratch);
+            self.switch_allocate(ri, now, sink, scratch);
+        }
+    }
+
+    /// Route computation + output-VC allocation for one router, fused with
+    /// switch-allocation candidate gathering: a single pass over occupied
+    /// input VCs gathers VA requesters (VCs without an output VC yet) into
+    /// `scratch.per_port` and switch-ready requesters (allocated VCs with
+    /// a ready, creditable head flit) into `scratch.sa_port`, both in
+    /// ascending `(port, vc)` order by construction. Each output port's VA
+    /// round-robin then picks a winner under the virtual-cut-through rule;
+    /// a freshly granted winner that is already switch-ready is inserted
+    /// into its SA candidate list at its sorted position — exactly where a
+    /// separate post-VA rescan would have found it — so the fusion is
+    /// byte-identical to the classic two-scan pipeline at half the scan
+    /// cost.
+    fn vc_allocate(
+        &mut self,
+        ri: usize,
+        now: u64,
+        sink: &mut StageSink,
+        scratch: &mut StageScratch,
+    ) {
+        let lr = ri - self.ri0;
+        let n_ports = self.n_ports(ri);
+        let total_vcs = self.total_vcs;
+        let split = self.routers[lr].vc_split;
+        let depth = self.depth as u8;
+        let base_gp = self.port_base[ri] as usize;
+        let faulted_out = self.routers[lr].faulted_out;
+        let eject_out = self.routers[lr].eject_out;
+
+        let mut any_port = false;
+        for pi in 0..n_ports {
+            let gp = base_gp + pi;
+            let mut occ = self.occ[gp - self.gp0];
+            while occ != 0 {
+                let vi = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let lv = self.lv(gp * total_vcs + vi);
+                if let Some(gvc) = self.out_vc[lv] {
+                    // Streaming VC: qualify directly for switch allocation.
+                    // The front-readiness cache keeps the common "flit still
+                    // in the router pipeline" case off the flit slab.
+                    if self.front_ready[lv] > now {
+                        continue;
+                    }
+                    let Some(route) = self.route[lv] else {
+                        continue;
+                    };
+                    debug_assert!(self.ring_front(lv).is_some(), "occupied VC without a front");
+                    let po = route.index();
+                    // Never drive flits onto a faulted channel.
+                    if faulted_out & (1 << po) != 0 {
+                        continue;
+                    }
+                    let lv_out = self.lv((base_gp + po) * total_vcs + gvc as usize);
+                    if eject_out & (1 << po) == 0 && self.credits[lv_out] == 0 {
+                        continue;
+                    }
+                    scratch.sa_port[po].push(pi * total_vcs + vi);
+                    continue;
+                }
+                // Route computation for a fresh head flit.
+                if self.route[lv].is_none() {
+                    let Some(front) = self.ring_front(lv) else {
+                        continue;
+                    };
+                    debug_assert!(front.pos.is_head(), "non-head at route-less VC front");
+                    let (id, dst, vnet) = (front.packet, front.dst, front.vnet);
+                    match self.spec.tables.lookup(vnet, RouterId(ri as u16), dst) {
+                        Some(port) => {
+                            self.route[lv] = Some(port);
+                            self.owner[lv] = Some(id);
+                        }
+                        None => {
+                            sink.unroutable += 1;
+                            continue;
+                        }
+                    }
+                }
+                let route = self.route[lv].expect("just computed");
+                if !self.ring_front(lv).is_some_and(|f| f.pos.is_head()) {
+                    continue;
+                }
+                let po = route.index();
+                // A faulted output channel accepts no new packets.
+                if faulted_out & (1 << po) != 0 {
+                    continue;
+                }
+                if po < scratch.per_port.len() {
+                    scratch.per_port[po].push(pi * total_vcs + vi);
+                    any_port = true;
+                }
+            }
+        }
+        if any_port {
+            for po in 0..n_ports {
+                if scratch.per_port[po].is_empty() {
+                    continue;
+                }
+                let winner =
+                    self.va_rr[base_gp + po - self.gp0].grant_sparse(&scratch.per_port[po]);
+                if let Some(winner) = winner {
+                    let (pi, vi) = (winner / total_vcs, winner % total_vcs);
+                    let lv_in = self.lv((base_gp + pi) * total_vcs + vi);
+                    let (vnet, class, pkt_len, ready_at) = {
+                        let Some(f) = self.ring_front(lv_in) else {
+                            continue; // candidate list guarantees a flit; defensive
+                        };
+                        // The class that matters is the one the packet will
+                        // carry on the *output* channel.
+                        let class = match self.out_channel[base_gp + po] {
+                            Some(ch) => self
+                                .channels
+                                .get(ch.index())
+                                .spec
+                                .class_after(f.vc_class, f.last_dim),
+                            None => f.vc_class,
+                        };
+                        (f.vnet, class, f.pkt_len, f.ready_at)
+                    };
+                    let mask = self.routers[lr].vc_mask[vnet.index()];
+                    let out_eject = eject_out & (1 << po) != 0;
+                    let out_base = (base_gp + po) * total_vcs;
+                    // Virtual cut-through: output VC must be unallocated and
+                    // its downstream buffer must have room for the entire
+                    // packet. The VC must also be in the packet's dateline
+                    // class and usable per the (OSCAR) mask.
+                    let start = self.vnet_vcs_start(vnet);
+                    let mut free = None;
+                    for off in 0..self.vcs_per_vnet {
+                        let gvc = start + off;
+                        let off = off as u8;
+                        if mask & (1 << off) == 0 {
+                            continue;
+                        }
+                        // Ejection consumes packets; the dateline split
+                        // only protects ring channels.
+                        let class_ok = match split {
+                            _ if out_eject => true,
+                            None => true,
+                            Some(k) => {
+                                if class == 0 {
+                                    off < k
+                                } else {
+                                    off >= k
+                                }
+                            }
+                        };
+                        if !class_ok {
+                            continue;
+                        }
+                        let lv_out = self.lv(out_base + gvc);
+                        if self.alloc[lv_out].is_none()
+                            && (out_eject || self.credits[lv_out] >= pkt_len.min(depth))
+                        {
+                            free = Some(gvc);
+                            break;
+                        }
+                    }
+                    if let Some(gvc) = free {
+                        let lv_out = self.lv(out_base + gvc);
+                        self.alloc[lv_out] = Some((pi as u8, vi as u8));
+                        self.out_vc[lv_in] = Some(gvc as u8);
+                        sink.events.va_grants += 1;
+                        // A winner whose head is already ready joins this
+                        // cycle's SA candidates. Credits need no re-check:
+                        // the cut-through rule just guaranteed at least a
+                        // full packet of room (and ejection ignores
+                        // credits), and the faulted mask was checked at
+                        // gather time.
+                        if ready_at <= now {
+                            let key = pi * total_vcs + vi;
+                            let list = &mut scratch.sa_port[po];
+                            let at = list.partition_point(|&c| c < key);
+                            list.insert(at, key);
+                        }
+                    }
+                }
+            }
+        }
+        for l in scratch.per_port.iter_mut() {
+            l.clear();
+        }
+    }
+
+    /// First global VC of `vnet` within a port's VC range.
+    #[inline]
+    fn vnet_vcs_start(&self, vnet: Vnet) -> usize {
+        vnet.index() * self.vcs_per_vnet
+    }
+
+    /// Switch allocation + traversal for one router over the candidate
+    /// lists gathered by [`Self::vc_allocate`]'s fused scan: round-robin
+    /// per output port among requesters whose input port is still free
+    /// this cycle, forward the winners.
+    fn switch_allocate(
+        &mut self,
+        ri: usize,
+        now: u64,
+        sink: &mut StageSink,
+        scratch: &mut StageScratch,
+    ) {
+        let n_ports = self.n_ports(ri);
+        let total_vcs = self.total_vcs;
+        let base_lp = self.port_base[ri] as usize - self.gp0;
+
+        let mut in_port_used = [false; 32];
+        for po in 0..n_ports {
+            if scratch.sa_port[po].is_empty() {
+                continue;
+            }
+            // Round-robin among candidates whose input port is still
+            // free this cycle (crossbar input constraint), without
+            // allocating.
+            let winner = self.sa_rr[base_lp + po]
+                .grant_sparse_filtered(&scratch.sa_port[po], |c| !in_port_used[c / total_vcs]);
+            if let Some(winner) = winner {
+                let (pi, vi) = (winner / total_vcs, winner % total_vcs);
+                in_port_used[pi] = true;
+                self.forward_flit(ri, pi, vi, po, now, sink);
+            }
+            scratch.sa_port[po].clear();
+        }
+    }
+
+    /// Switch traversal for one granted flit: pop it from its input VC and
+    /// push it onto the output channel (or eject it).
+    fn forward_flit(
+        &mut self,
+        ri: usize,
+        pi: usize,
+        vi: usize,
+        po: usize,
+        now: u64,
+        sink: &mut StageSink,
+    ) {
+        let lr = ri - self.ri0;
+        let base_gp = self.port_base[ri] as usize;
+        let total_vcs = self.total_vcs;
+        let lv_in = self.lv((base_gp + pi) * total_vcs + vi);
+        let Some(gvc) = self.out_vc[lv_in] else {
+            return; // SA only grants allocated VCs; defensive
+        };
+        let Some(mut flit) = soa::ring_pop(
+            self.head,
+            self.len,
+            self.slots,
+            self.front_ready,
+            self.depth,
+            lv_in,
+        ) else {
+            return; // SA only grants occupied VCs; defensive
+        };
+        if self.len[lv_in] == 0 {
+            self.occ[base_gp + pi - self.gp0] &= !(1 << vi);
+        }
+        self.routers[lr].flits -= 1;
+        sink.removed += 1;
+        sink.events.buffer_reads += 1;
+        sink.events.crossbar_traversals += 1;
+        sink.events.sa_grants += 1;
+        sink.flits_forwarded += 1;
+        self.router_forwarded[lr] += 1;
+        if sink.trace_on {
+            sink.trace.push(TraceEvent::Forwarded {
+                packet: flit.packet,
+                cycle: now,
+                router: RouterId(ri as u16),
+                seq: flit.seq,
+            });
+        }
+
+        // Credit back to the upstream feeder, applied next cycle.
+        if let Some(feeder) = self.feeder[base_gp + pi] {
+            sink.pending_credits.push((feeder, vi as u8));
+            sink.events.credits_sent += 1;
+        }
+
+        let is_tail = flit.pos.is_tail();
+        let lv_out = self.lv((base_gp + po) * total_vcs + gvc as usize);
+        if is_tail {
+            self.route[lv_in] = None;
+            self.out_vc[lv_in] = None;
+            self.owner[lv_in] = None;
+            self.alloc[lv_out] = None;
+        }
+
+        if let Some(ch) = self.out_channel[base_gp + po] {
+            let ci = ch.index();
+            self.assert_owned(ci);
+            self.credits[lv_out] -= 1;
+            let spec = self.channels.get(ci).spec;
+            flit.assigned_vc = gvc;
+            flit.vc_class = spec.class_after(flit.vc_class, flit.last_dim);
+            flit.last_dim = spec.dim();
+            flit.hops += 1;
+            sink.events.link_flit_hops += 1;
+            sink.events.link_flit_mm += spec.length_mm as f64;
+            if spec.kind.is_adaptable() || spec.kind == ChannelKind::Concentration {
+                sink.events.mux_traversals += 1;
+            }
+            self.channels.count_traversal(ci);
+            let c = self.channels.get_mut(ci);
+            c.q.push_back((now + spec.latency as u64, flit));
+            sink.wire_pushed += 1;
+            if !c.in_busy_list {
+                c.in_busy_list = true;
+                sink.busy_channels.push(ci);
+            }
+        } else {
+            // Ejection.
+            debug_assert!(
+                self.routers[lr].eject_out & (1 << po) != 0,
+                "SA winner routed to unwired port"
+            );
+            sink.events.ni_ejections += 1;
+            if is_tail {
+                if sink.trace_on {
+                    sink.trace.push(TraceEvent::Ejected {
+                        packet: flit.packet,
+                        cycle: now,
+                        hops: flit.hops,
+                    });
+                }
+                sink.delivered.push(Delivered {
+                    injected_at: flit.injected_at,
+                    ejected_at: now,
+                    hops: flit.hops,
+                    packet: flit.to_packet(),
+                });
+            }
+        }
+    }
+}
+
+/// One band's worth of router-stage work, with lifetime-erased borrows so
+/// a persistent worker pool can hold it across the spawn boundary. Created
+/// only by `Network::router_stage_parallel`, which keeps the borrowed
+/// network alive and blocked until every job completes.
+pub(crate) struct BandJob {
+    pub(crate) view: BandView<'static>,
+    pub(crate) busy: &'static [usize],
+    pub(crate) now: u64,
+    pub(crate) timed: bool,
+    pub(crate) trace_on: bool,
+}
+
+// SAFETY: the job's borrows point into a `Network` that is exclusively
+// borrowed for the whole parallel step; bands are disjoint by
+// construction (`split_band`), and the step barrier orders all worker
+// writes before the main thread's merge reads.
+#[allow(unsafe_code)]
+unsafe impl Send for BandJob {}
+
+/// Per-band worker-side state, persisted across cycles so the hot loop
+/// never allocates (sinks, scratch and the kept-list keep their capacity).
+#[derive(Debug, Default)]
+pub(crate) struct WorkerState {
+    pub(crate) sink: StageSink,
+    pub(crate) scratch: StageScratch,
+    pub(crate) kept: Vec<usize>,
+    pub(crate) rc_va_ns: u64,
+    pub(crate) sa_st_ns: u64,
+}
+
+/// Runs one band job into its worker state.
+pub(crate) fn run_band_job(mut job: BandJob, state: &mut WorkerState) {
+    state.kept.clear();
+    state.rc_va_ns = 0;
+    state.sa_st_ns = 0;
+    state.sink.trace_on = job.trace_on;
+    job.view.run_band(
+        job.busy,
+        &mut state.kept,
+        job.now,
+        job.timed,
+        &mut state.sink,
+        &mut state.scratch,
+        &mut state.rc_va_ns,
+        &mut state.sa_st_ns,
+    );
+}

@@ -35,6 +35,9 @@ pub enum Stage {
     RcVa,
     /// Switch allocation + traversal + ejection across busy routers.
     SaSt,
+    /// Router-stage sink merge: applying deferred counters, credits, traces
+    /// and deliveries after the banded RC/VA/SA/ST kernels finish.
+    Merge,
 }
 
 /// Pre-interned metric handles plus sampling state. One per network.
@@ -74,6 +77,7 @@ pub struct SimTelemetry {
     s_inject: SpanId,
     s_rc_va: SpanId,
     s_sa_st: SpanId,
+    s_merge: SpanId,
 }
 
 impl SimTelemetry {
@@ -270,6 +274,11 @@ impl SimTelemetry {
             "Switch-allocation + traversal + ejection stage time per sampled cycle.",
             &[],
         );
+        let s_merge = reg.span(
+            "adaptnoc_sim_stage_merge_seconds",
+            "Router-stage sink merge (deferred counters/credits/traces) time per sampled cycle.",
+            &[],
+        );
         SimTelemetry {
             mode,
             interval: mode.interval(),
@@ -305,6 +314,7 @@ impl SimTelemetry {
             s_inject,
             s_rc_va,
             s_sa_st,
+            s_merge,
         }
     }
 
@@ -358,6 +368,7 @@ impl SimTelemetry {
             Stage::NiInject => self.s_inject,
             Stage::RcVa => self.s_rc_va,
             Stage::SaSt => self.s_sa_st,
+            Stage::Merge => self.s_merge,
         };
         self.reg.record_span_ns(id, ns);
     }

@@ -2,10 +2,11 @@
 //! disturbance language (traffic, power gating, faults, purges) and a
 //! deterministic script runner that records every observable output.
 //!
-//! Used by `active_set_equivalence` (active-set scheduling vs full sweep)
-//! and `telemetry_equivalence` (telemetry attached vs absent) — both are
-//! "two configurations, identical observable history" properties over the
-//! same workload generator.
+//! Used by `active_set_equivalence` (active-set scheduling vs full sweep),
+//! `telemetry_equivalence` (telemetry attached vs absent) and
+//! `region_parallel_equivalence` (parallel stepping vs serial across
+//! thread counts) — all are "two configurations, identical observable
+//! history" properties over the same workload generator.
 
 #![allow(dead_code)] // each consumer uses a subset of the harness
 
@@ -147,14 +148,39 @@ pub fn random_script(
     script
 }
 
-/// Runs the script on one network and returns its observable history:
-/// delivered packets, the aggregate report, the full trace, and the final
-/// in-flight count.
-pub fn run_script(
+/// The observable history of a scripted run: delivered packets, the
+/// aggregate report, the full trace, and the final in-flight count.
+pub type ScriptHistory = (Vec<Delivered>, EpochReport, Vec<TraceEvent>, u64);
+
+/// Runs the script on one network with the serial stepper.
+pub fn run_script(net: Network, script: &[(u64, Action)], cycles: u64) -> ScriptHistory {
+    run_script_stepped(net, script, cycles, None, |net| net.step())
+}
+
+/// Runs the script on one network with the region-parallel stepper at
+/// `threads` threads. Byte-identical history to [`run_script`] is exactly
+/// the property the region-parallel tests pin.
+pub fn run_script_parallel(
+    net: Network,
+    script: &[(u64, Action)],
+    cycles: u64,
+    threads: usize,
+) -> ScriptHistory {
+    let mut pool = StepPool::new(threads);
+    run_script_stepped(net, script, cycles, None, move |net| {
+        net.step_parallel(&mut pool)
+    })
+}
+
+/// Runs the script on one network with a caller-provided stepper, applying
+/// an optional mid-run structural reconfiguration at a given cycle.
+pub fn run_script_stepped(
     mut net: Network,
     script: &[(u64, Action)],
     cycles: u64,
-) -> (Vec<Delivered>, EpochReport, Vec<TraceEvent>, u64) {
+    mut reconfig: Option<(u64, NetworkSpec)>,
+    mut step: impl FnMut(&mut Network),
+) -> ScriptHistory {
     net.set_tracer(Some(TraceBuffer::all(1 << 16)));
     let keys: Vec<ChannelKey> = net.spec().channels.iter().map(|c| c.key()).collect();
     let mut delivered = Vec::new();
@@ -192,7 +218,14 @@ pub fn run_script(
             }
             next += 1;
         }
-        net.step();
+        if let Some((at, _)) = &reconfig {
+            if *at == cycle {
+                let (_, spec) = reconfig.take().expect("checked above");
+                net.reconfigure(spec)
+                    .expect("scripted reconfiguration must be valid");
+            }
+        }
+        step(&mut net);
         assert_eq!(
             net.in_flight(),
             net.in_flight_recount(),
