@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test check fmt clippy ci docs telemetry faults scenarios guards figures perf pgo clean
+.PHONY: all build test check fmt clippy ci docs telemetry faults scenarios farm guards figures perf pgo clean
 
 all: build
 
@@ -22,7 +22,7 @@ clippy:
 check: fmt clippy
 
 # Everything CI runs, in CI's order.
-ci: check build test docs telemetry guards faults scenarios
+ci: check build test docs telemetry guards faults scenarios farm
 
 # Rustdoc must build warning-clean (missing_docs is deny-level on the
 # public crates), and docs/OBSERVABILITY.md's code blocks run as
@@ -60,6 +60,15 @@ scenarios:
 	$(CARGO) run --release --offline --example scenario_tour > /tmp/scenario_tour_b.txt
 	cmp /tmp/scenario_tour_a.txt /tmp/scenario_tour_b.txt
 	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures -- --only scenarios --threads 0
+
+# Farm daemon: crate + supervision tests, the crash/resume integration
+# suite (SIGKILL mid-job, SIGTERM under load, farmctl lifecycle), and
+# the end-to-end smoke script — boot farmd, submit the corpus, cancel
+# one job mid-flight, drain, and diff the daemon-run scenarios campaign
+# against the direct one.
+farm:
+	$(CARGO) test -p adaptnoc-farm --offline
+	bash scripts/farm_smoke.sh
 
 # Re-run the whole suite with every-cycle invariant checking (credit and
 # flit conservation, fault/power isolation); any breach panics on the

@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release -p adaptnoc-bench --bin gen-figures
 //! [--quick] [--only figNN,...] [--threads N] [--checkpoint DIR]
-//! [--metrics-out DIR]`
+//! [--metrics-out DIR] [--submit ADDR]`
 //!
 //! `--threads N` fans independent simulation points across N workers
 //! (0 = auto-detect; the default, 1, runs serially). Output is
@@ -23,6 +23,13 @@
 //! `DIR/telemetry.jsonl` + `DIR/telemetry.prom`. With `--checkpoint` the
 //! same pair also lands next to the checkpoint journal, so a resumed
 //! campaign keeps its metric snapshots beside its progress.
+//!
+//! `--submit ADDR` routes the scenario campaign through a running
+//! `adaptnoc-farmd` (see `docs/FARM.md`) at `ADDR` (`tcp://HOST:PORT`,
+//! bare `HOST:PORT`, or `unix:PATH`) instead of running it in-process.
+//! The daemon executes the identical deterministic sweep, so the rows —
+//! and therefore `results/figures.json` — are byte-identical to a direct
+//! run; the farm CI job relies on exactly that equivalence.
 //!
 //! Prints the same rows/series the paper reports (normalized to the
 //! baseline design) and writes machine-readable JSON next to the text.
@@ -57,6 +64,11 @@ fn main() {
         .position(|a| a == "--metrics-out")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    let submit_addr = args
+        .iter()
+        .position(|a| a == "--submit")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let mut scale = if quick {
         FigScale::quick()
     } else {
@@ -225,16 +237,27 @@ fn main() {
 
     if want("scenarios") {
         banner("Scenario campaign: open-loop latency-throughput (8x8 mesh, uniform Poisson)");
-        let rows = match &checkpoint_dir {
-            Some(dir) => scenario_sweep_checkpointed(
+        let rows = match (&submit_addr, &checkpoint_dir) {
+            (Some(addr), _) => {
+                println!("submitting to farm daemon at {addr}");
+                adaptnoc_bench::submit::submit_and_wait(
+                    addr,
+                    "latency_throughput",
+                    LATENCY_THROUGHPUT_SCN,
+                )
+                .expect("farm-submitted scenario campaign")
+            }
+            (None, Some(dir)) => scenario_sweep_checkpointed(
                 "latency_throughput",
                 LATENCY_THROUGHPUT_SCN,
                 scale.threads,
                 &dir.join("scenarios.jsonl"),
             )
             .expect("scenario campaign checkpoint journal"),
-            None => scenario_sweep_par("latency_throughput", LATENCY_THROUGHPUT_SCN, scale.threads)
-                .expect("scenario campaign"),
+            (None, None) => {
+                scenario_sweep_par("latency_throughput", LATENCY_THROUGHPUT_SCN, scale.threads)
+                    .expect("scenario campaign")
+            }
         };
         println!(
             "{:<6} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>5}",
@@ -342,10 +365,16 @@ fn main() {
 
     let out = json;
     std::fs::create_dir_all("results").ok();
-    std::fs::write("results/figures.json", out.to_string_pretty()).ok();
-    std::fs::write(
-        "results/REPORT.md",
-        adaptnoc_bench::report::render_report(&out),
+    // Atomic tmp-file + rename writes: a Ctrl-C here leaves the previous
+    // complete results in place, never a torn JSON file.
+    adaptnoc_bench::telemetry::atomic_write(
+        std::path::Path::new("results/figures.json"),
+        &out.to_string_pretty(),
+    )
+    .ok();
+    adaptnoc_bench::telemetry::atomic_write(
+        std::path::Path::new("results/REPORT.md"),
+        &adaptnoc_bench::report::render_report(&out),
     )
     .ok();
     println!(

@@ -171,18 +171,19 @@ pub fn run_design(
 
     // Campaign points run unattended for millions of cycles; a generous
     // watchdog turns a silent wedge into an immediate, diagnosable panic
-    // instead of an hour of spinning into `max_cycles`.
-    let mut watchdog = adaptnoc_sim::health::Watchdog::new(adaptnoc_sim::health::WatchdogConfig {
-        window: 100_000,
-        ..Default::default()
-    });
+    // instead of an hour of spinning into `max_cycles`. Both bounds are
+    // environment-configurable (ADAPTNOC_WATCHDOG_SECS /
+    // ADAPTNOC_WATCHDOG_WINDOW; see `crate::watchdog`), and a trip is
+    // recorded as a structured `harness.watchdog` telemetry event before
+    // the panic so supervised runs see it in their metric stream.
+    let mut watchdog = crate::watchdog::HarnessWatchdog::from_env();
 
     loop {
         wl.tick(&mut design.net);
         design.net.step();
         design.tick()?;
-        if let Some(report) = watchdog.observe(&design.net) {
-            panic!("harness run wedged ({kind} design):\n{report}");
+        if let Some(stall) = watchdog.observe(&mut design.net) {
+            panic!("harness run wedged ({kind} design): {stall}");
         }
         cycle += 1;
 

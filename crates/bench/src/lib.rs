@@ -12,6 +12,10 @@
 //! * [`scenarios`] — open-system scenario campaign (latency-throughput
 //!   curves from checked-in `.scn` files).
 //! * [`tables`] — area / wiring / timing / reconfiguration-latency tables.
+//! * [`watchdog`] — the environment-configurable harness watchdog
+//!   (wall-clock + cycle-window) guarding unattended runs.
+//! * [`submit`] — the farm-daemon client behind `gen-figures --submit`
+//!   (see `docs/FARM.md`).
 //!
 //! The `gen-figures` binary runs everything and prints the rows the paper
 //! reports (normalized to the baseline design).
@@ -29,9 +33,11 @@ pub mod microbench;
 pub mod parallel;
 pub mod report;
 pub mod scenarios;
+pub mod submit;
 pub mod tables;
 pub mod telemetry;
 pub mod training;
+pub mod watchdog;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -46,17 +52,18 @@ pub mod prelude {
         RunConfig, RunResult,
     };
     pub use crate::parallel::{
-        configured_threads, run_checkpointed, run_indexed, run_indexed_isolated, PointFailure,
+        configured_threads, run_checkpointed, run_checkpointed_observed, run_indexed,
+        run_indexed_isolated, PartialCampaign, PointFailure,
     };
     pub use crate::report::render_report;
     pub use crate::scenarios::{
-        campaign_loads, load_scenario, scenario_sweep_checkpointed, scenario_sweep_par,
-        ScenarioError, ScenarioRow, LATENCY_THROUGHPUT_SCN,
+        campaign_loads, load_scenario, scenario_point, scenario_sweep_checkpointed,
+        scenario_sweep_par, ScenarioError, ScenarioRow, LATENCY_THROUGHPUT_SCN,
     };
     pub use crate::tables::{
         area_table, reconfig_table, scalability_table, timing_table, wiring_table,
     };
-    pub use crate::telemetry::{telemetry_probe, write_metrics};
+    pub use crate::telemetry::{atomic_write, telemetry_probe, write_metrics};
     pub use crate::training::{
         default_scenarios, paper_training_rects, train_dqn, TrainConfig, TrainScenario,
     };

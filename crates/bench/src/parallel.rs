@@ -20,7 +20,19 @@
 use adaptnoc_sim::json::Value;
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// A campaign point that panics while a sibling holds (or later takes)
+/// one of the coordination locks must not sink the rest of the campaign:
+/// the data behind these locks (result slots, the journal file handle) is
+/// written atomically per point, so a poisoned lock carries no torn
+/// state worth dying over. `catch_unwind` isolation upstream relies on
+/// this — recovery here is what keeps one bad point from cascading.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Number of worker threads to use for campaigns.
 ///
@@ -76,7 +88,7 @@ where
                     break;
                 }
                 let out = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                *lock_recovering(&slots[i]) = Some(out);
             });
         }
     });
@@ -84,7 +96,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every index claimed exactly once")
         })
         .collect()
@@ -157,35 +169,66 @@ where
     })
 }
 
-/// [`run_indexed`] with an on-disk checkpoint journal, so a killed
-/// campaign resumes from its completed points.
+/// The state of a checkpointed campaign after
+/// [`run_checkpointed_observed`] returns: either every point completed,
+/// or a stop request interrupted it with some points still missing.
 ///
-/// Each finished point is appended to `path` as one JSON line
-/// `{"i": <index>, "v": <encode(result)>}` and flushed immediately.
-/// On entry the journal is replayed: points that decode are skipped,
-/// torn or unparseable lines (a mid-write kill) are ignored, and only the
-/// remaining indices run. Because results are assembled in index order
-/// from `decode`-faithful values, an interrupted-then-resumed campaign
-/// returns exactly what an uninterrupted one does.
+/// Interruption loses nothing: completed points are in the journal, and
+/// re-running the same campaign against the same journal path finishes
+/// only the missing indices and returns results byte-identical to an
+/// uninterrupted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialCampaign<T> {
+    /// Per-index results; `None` for points the stop request preempted.
+    pub results: Vec<Option<T>>,
+}
+
+impl<T> PartialCampaign<T> {
+    /// Number of completed points.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Whether every point completed.
+    pub fn is_complete(&self) -> bool {
+        self.results.iter().all(|r| r.is_some())
+    }
+
+    /// The full result vector, if the campaign completed.
+    pub fn into_complete(self) -> Option<Vec<T>> {
+        self.results.into_iter().collect()
+    }
+}
+
+/// [`run_checkpointed`] generalized for supervision: the point function
+/// returns `Option<T>` — `None` means "stopped" (a cancelled or
+/// deadline-preempted point), which leaves a [`PartialCampaign`] hole
+/// and journals nothing, so a later resume re-runs exactly that point —
+/// and `observe(i, &result)` runs after each *freshly computed* point is
+/// journaled, which is the hook the farm daemon uses to stream per-point
+/// progress events to watching clients. Replayed points are not
+/// re-observed.
 ///
 /// # Errors
 ///
 /// Returns the I/O error if the journal cannot be opened for appending;
-/// individual write failures are swallowed (the campaign still completes,
-/// it just loses crash tolerance for those points).
-pub fn run_checkpointed<T, F, E, D>(
+/// individual write failures are swallowed (the campaign still
+/// completes, it just loses crash tolerance for those points).
+pub fn run_checkpointed_observed<T, F, E, D, O>(
     n: usize,
     threads: usize,
     path: &std::path::Path,
     encode: E,
     decode: D,
+    observe: O,
     f: F,
-) -> std::io::Result<Vec<T>>
+) -> std::io::Result<PartialCampaign<T>>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize) -> Option<T> + Sync,
     E: Fn(&T) -> Value + Sync,
     D: Fn(&Value) -> Option<T>,
+    O: Fn(usize, &T) + Sync,
 {
     let mut done: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let mut torn_tail = false;
@@ -225,25 +268,64 @@ where
         let sink = Mutex::new(file);
         let fresh = run_indexed(todo.len(), threads, |k| {
             let i = todo[k];
-            let out = f(i);
+            let Some(out) = f(i) else {
+                return (i, None);
+            };
             let line = Value::Object(vec![
                 ("i".to_string(), Value::Number(i as f64)),
                 ("v".to_string(), encode(&out)),
             ])
             .to_string_compact();
-            let mut file = sink.lock().expect("checkpoint sink poisoned");
-            let _ = writeln!(file, "{line}");
-            let _ = file.flush();
-            (i, out)
+            {
+                let mut file = lock_recovering(&sink);
+                let _ = writeln!(file, "{line}");
+                let _ = file.flush();
+            }
+            observe(i, &out);
+            (i, Some(out))
         });
         for (i, out) in fresh {
-            done[i] = Some(out);
+            done[i] = out;
         }
     }
-    Ok(done
-        .into_iter()
-        .map(|slot| slot.expect("every index completed or replayed"))
-        .collect())
+    Ok(PartialCampaign { results: done })
+}
+
+/// [`run_indexed`] with an on-disk checkpoint journal, so a killed
+/// campaign resumes from its completed points.
+///
+/// Each finished point is appended to `path` as one JSON line
+/// `{"i": <index>, "v": <encode(result)>}` and flushed immediately.
+/// On entry the journal is replayed: points that decode are skipped,
+/// torn or unparseable lines (a mid-write kill) are ignored, and only the
+/// remaining indices run. Because results are assembled in index order
+/// from `decode`-faithful values, an interrupted-then-resumed campaign
+/// returns exactly what an uninterrupted one does.
+///
+/// # Errors
+///
+/// Returns the I/O error if the journal cannot be opened for appending;
+/// individual write failures are swallowed (the campaign still completes,
+/// it just loses crash tolerance for those points).
+pub fn run_checkpointed<T, F, E, D>(
+    n: usize,
+    threads: usize,
+    path: &std::path::Path,
+    encode: E,
+    decode: D,
+    f: F,
+) -> std::io::Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    E: Fn(&T) -> Value + Sync,
+    D: Fn(&Value) -> Option<T>,
+{
+    let partial =
+        run_checkpointed_observed(n, threads, path, encode, decode, |_, _| {}, |i| Some(f(i)))?;
+    Ok(partial
+        .into_complete()
+        .expect("the point function never stops, so every index completed or replayed"))
 }
 
 #[cfg(test)]
@@ -309,6 +391,62 @@ mod tests {
 
     fn scratch_journal(tag: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("adaptnoc-ckpt-{}-{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn observed_campaign_stops_early_and_resumes_with_fresh_observations() {
+        let path = scratch_journal("observed");
+        let _ = std::fs::remove_file(&path);
+        let encode = |v: &usize| Value::Number(*v as f64);
+        let decode = |v: &Value| v.as_u64().map(|n| n as usize);
+        let seen = Mutex::new(Vec::new());
+        let ran = AtomicUsize::new(0);
+
+        // Stop after two points have completed: the rest stay pending.
+        let partial = run_checkpointed_observed(
+            5,
+            1,
+            &path,
+            encode,
+            decode,
+            |i, v| lock_recovering(&seen).push((i, *v)),
+            |i| {
+                if ran.fetch_add(1, Ordering::Relaxed) >= 2 {
+                    return None;
+                }
+                Some(i * 7)
+            },
+        )
+        .unwrap();
+        assert!(!partial.is_complete());
+        assert_eq!(partial.completed(), 2);
+        assert_eq!(*lock_recovering(&seen), vec![(0, 0), (1, 7)]);
+
+        // A resume against the same journal observes only the points it
+        // freshly computes and ends complete.
+        lock_recovering(&seen).clear();
+        let resumed = run_checkpointed_observed(
+            5,
+            1,
+            &path,
+            encode,
+            decode,
+            |i, v| lock_recovering(&seen).push((i, *v)),
+            |i| Some(i * 7),
+        )
+        .unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(
+            resumed.into_complete().unwrap(),
+            vec![0, 7, 14, 21, 28],
+            "resume matches an uninterrupted campaign"
+        );
+        assert_eq!(
+            *lock_recovering(&seen),
+            vec![(2, 14), (3, 21), (4, 28)],
+            "replayed points are not re-observed"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

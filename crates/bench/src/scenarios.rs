@@ -86,12 +86,40 @@ pub struct ScenarioRow {
     pub saturated: bool,
 }
 
+/// One cancellable campaign point: runs `plan` at `load` with `cancel`
+/// threaded into the simulation loop, so a supervisor (the farm daemon's
+/// deadline watchdog, a user `farmctl cancel`, or a graceful shutdown)
+/// can interrupt even a single long point at an epoch boundary.
+///
+/// # Errors
+///
+/// [`RunError::Cancelled`] when the token fires mid-run, or the
+/// underlying scenario runner error.
+pub fn scenario_point(
+    name: &str,
+    plan: &ExecPlan,
+    load: Option<f64>,
+    cancel: &CancelToken,
+) -> Result<ScenarioRow, RunError> {
+    let opts = RunOptions {
+        load,
+        cancel: cancel.clone(),
+        ..RunOptions::default()
+    };
+    let out = run(plan, &opts)?;
+    Ok(row_from_outcome(name, load, &out))
+}
+
 fn point_row(name: &str, plan: &ExecPlan, load: Option<f64>) -> ScenarioRow {
     let opts = RunOptions {
         load,
         ..RunOptions::default()
     };
     let out = run(plan, &opts).expect("scenario campaign point");
+    row_from_outcome(name, load, &out)
+}
+
+fn row_from_outcome(name: &str, load: Option<f64>, out: &ScenarioOutcome) -> ScenarioRow {
     ScenarioRow {
         scenario: name.to_string(),
         load: load.unwrap_or(0.0),

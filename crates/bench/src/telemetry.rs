@@ -33,9 +33,29 @@ pub fn telemetry_probe() -> Registry {
     reg
 }
 
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// `.tmp`-suffixed sibling first and are renamed into place, so a reader
+/// (or a Ctrl-C mid-write) never sees a partial file — it sees either
+/// the previous complete version or the new one.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the temporary write or the rename.
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Writes the registry as `telemetry.jsonl` (JSON-lines) and
 /// `telemetry.prom` (Prometheus text exposition 0.0.4) under `dir`,
 /// creating the directory if needed. Returns both paths.
+///
+/// Both files are written atomically ([`atomic_write`]), so an
+/// interrupted `gen-figures --metrics-out` run never leaves a torn
+/// exporter file behind.
 ///
 /// # Errors
 ///
@@ -44,8 +64,8 @@ pub fn write_metrics(dir: &Path, reg: &Registry) -> std::io::Result<(PathBuf, Pa
     std::fs::create_dir_all(dir)?;
     let jsonl = dir.join("telemetry.jsonl");
     let prom = dir.join("telemetry.prom");
-    std::fs::write(&jsonl, json_lines(reg))?;
-    std::fs::write(&prom, prometheus(reg))?;
+    atomic_write(&jsonl, &json_lines(reg))?;
+    atomic_write(&prom, &prometheus(reg))?;
     Ok((jsonl, prom))
 }
 

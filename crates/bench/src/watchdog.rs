@@ -1,0 +1,199 @@
+//! The harness watchdog: turns a silently wedged campaign point into a
+//! prompt, diagnosable failure.
+//!
+//! Campaign points run unattended for millions of cycles, so the harness
+//! wraps two independent tripwires around each run:
+//!
+//! * the simulator's cycle-window [`Watchdog`] (no deliveries / no flit
+//!   motion within a window of simulated cycles), and
+//! * a wall-clock budget, for wedges the cycle watchdog cannot see —
+//!   e.g. a run that still makes token progress but will never finish
+//!   inside any reasonable deadline.
+//!
+//! Both used to be hard-coded; they now resolve from the environment:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `ADAPTNOC_WATCHDOG_SECS` | wall-clock budget per run, seconds (`0`/`off` disables) | `600` |
+//! | `ADAPTNOC_WATCHDOG_WINDOW` | stall window, simulated cycles | `100000` |
+//!
+//! On a trip the watchdog records a structured `harness.watchdog`
+//! telemetry event (when the network has telemetry attached) carrying
+//! the stall kind and diagnosis, so supervised runs surface the fire in
+//! their metric stream instead of only on stderr; the harness then
+//! panics with the full report, which the crash-tolerant campaign
+//! runners ([`crate::parallel::run_indexed_isolated`]) catch and contain
+//! to the one point.
+
+use adaptnoc_sim::health::{StallReport, Watchdog, WatchdogConfig};
+use adaptnoc_sim::network::Network;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Default wall-clock budget for one harness run, seconds.
+pub const DEFAULT_WALL_SECS: u64 = 600;
+
+/// Default cycle-window for the embedded simulator watchdog.
+pub const DEFAULT_WINDOW_CYCLES: u64 = 100_000;
+
+/// Why the harness watchdog tripped.
+#[derive(Debug, Clone)]
+pub enum HarnessStall {
+    /// The simulator watchdog detected a deadlock/livelock/starvation
+    /// stall; the report says where progress stopped.
+    Sim(Box<StallReport>),
+    /// The run exceeded its wall-clock budget.
+    WallClock {
+        /// The budget that was exceeded.
+        budget: Duration,
+        /// Simulated cycles completed when the budget ran out.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for HarnessStall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessStall::Sim(report) => write!(f, "simulator stall:\n{report}"),
+            HarnessStall::WallClock { budget, cycles } => write!(
+                f,
+                "wall-clock budget exceeded: {budget:?} elapsed after {cycles} simulated cycles \
+                 (raise ADAPTNOC_WATCHDOG_SECS if the run is legitimately this slow)"
+            ),
+        }
+    }
+}
+
+impl HarnessStall {
+    /// Short machine-readable kind tag used in the telemetry event.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HarnessStall::Sim(_) => "sim_stall",
+            HarnessStall::WallClock { .. } => "wall_clock",
+        }
+    }
+}
+
+/// A combined cycle-window + wall-clock watchdog for one harness run.
+#[derive(Debug)]
+pub struct HarnessWatchdog {
+    inner: Watchdog,
+    wall_budget: Option<Duration>,
+    started: Instant,
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let s = raw.trim().to_ascii_lowercase();
+    if s == "off" || s == "none" {
+        return Some(0);
+    }
+    s.parse().ok()
+}
+
+impl HarnessWatchdog {
+    /// A watchdog with an explicit wall-clock budget (`None` disables the
+    /// wall-clock tripwire) and simulator stall window.
+    pub fn with(wall_secs: Option<u64>, window_cycles: u64) -> Self {
+        HarnessWatchdog {
+            inner: Watchdog::new(WatchdogConfig {
+                window: window_cycles.max(1),
+                ..Default::default()
+            }),
+            wall_budget: wall_secs.filter(|&s| s > 0).map(Duration::from_secs),
+            started: Instant::now(),
+        }
+    }
+
+    /// The environment-configured watchdog: `ADAPTNOC_WATCHDOG_SECS`
+    /// (default [`DEFAULT_WALL_SECS`]; `0`/`off` disables the wall-clock
+    /// bound) and `ADAPTNOC_WATCHDOG_WINDOW` (default
+    /// [`DEFAULT_WINDOW_CYCLES`]).
+    pub fn from_env() -> Self {
+        let secs = env_u64("ADAPTNOC_WATCHDOG_SECS").unwrap_or(DEFAULT_WALL_SECS);
+        let window = match env_u64("ADAPTNOC_WATCHDOG_WINDOW") {
+            Some(0) | None => DEFAULT_WINDOW_CYCLES,
+            Some(w) => w,
+        };
+        Self::with(Some(secs), window)
+    }
+
+    /// Observes one simulator step. On a trip, records the structured
+    /// `harness.watchdog` telemetry event (when telemetry is attached)
+    /// and returns the stall; the caller decides whether to panic.
+    pub fn observe(&mut self, net: &mut Network) -> Option<HarnessStall> {
+        let stall = if let Some(report) = self.inner.observe(net) {
+            Some(HarnessStall::Sim(Box::new(report)))
+        } else if let Some(budget) = self.wall_budget {
+            // Wall-clock checks ride the simulator watchdog's sampling
+            // cadence implicitly: an Instant read per cycle is cheap
+            // enough not to need one.
+            (self.started.elapsed() > budget).then(|| HarnessStall::WallClock {
+                budget,
+                cycles: net.now(),
+            })
+        } else {
+            None
+        };
+        if let Some(stall) = &stall {
+            let now = net.now();
+            if let Some(reg) = net.telemetry_mut() {
+                let detail = stall.to_string();
+                // One line is plenty for the event stream; the full
+                // report goes to the panic payload.
+                let first = detail.lines().next().unwrap_or("stall");
+                reg.event(
+                    "harness.watchdog",
+                    now,
+                    &[("kind", stall.kind()), ("detail", first)],
+                );
+            }
+        }
+        stall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptnoc_sim::config::SimConfig;
+    use adaptnoc_sim::telemetry::TelemetryMode;
+    use adaptnoc_topology::chip::mesh_chip;
+    use adaptnoc_topology::geom::Grid;
+
+    fn tiny_net() -> Network {
+        let cfg = SimConfig::baseline();
+        Network::new(mesh_chip(Grid::new(2, 2), &cfg).unwrap(), cfg).unwrap()
+    }
+
+    #[test]
+    fn wall_clock_budget_trips_and_emits_event() {
+        let mut net = tiny_net();
+        net.set_telemetry_mode(TelemetryMode::Strict);
+        let mut wd = HarnessWatchdog::with(Some(1), DEFAULT_WINDOW_CYCLES);
+        wd.started = Instant::now() - Duration::from_secs(2);
+        net.step();
+        let stall = wd.observe(&mut net).expect("expired budget must trip");
+        assert!(matches!(stall, HarnessStall::WallClock { .. }));
+        assert_eq!(stall.kind(), "wall_clock");
+        assert!(net.telemetry().expect("strict telemetry").event_count() >= 1);
+    }
+
+    #[test]
+    fn healthy_run_with_disabled_wall_clock_never_trips() {
+        let mut net = tiny_net();
+        let mut wd = HarnessWatchdog::with(None, DEFAULT_WINDOW_CYCLES);
+        for _ in 0..512 {
+            net.step();
+            assert!(wd.observe(&mut net).is_none());
+        }
+    }
+
+    #[test]
+    fn env_parsing_accepts_off_and_numbers() {
+        assert_eq!(super::env_u64("ADAPTNOC_NO_SUCH_VAR_XYZ"), None);
+        // `with` clamps: 0 secs disables the wall-clock bound.
+        let wd = HarnessWatchdog::with(Some(0), 0);
+        assert!(wd.wall_budget.is_none());
+    }
+}

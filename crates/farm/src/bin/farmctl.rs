@@ -1,0 +1,14 @@
+//! `farmctl` — the thin client for `adaptnoc-farmd`.
+//!
+//! See `farmctl` with no arguments (or `docs/FARM.md`) for the verbs.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = std::io::stdout();
+    match u8::try_from(adaptnoc_farm::client::run_cli(&args, &mut out)) {
+        Ok(code) => ExitCode::from(code),
+        Err(_) => ExitCode::FAILURE,
+    }
+}

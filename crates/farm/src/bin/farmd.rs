@@ -1,0 +1,87 @@
+//! `adaptnoc-farmd` — the NoC simulation farm daemon.
+//!
+//! ```text
+//! adaptnoc-farmd [--config FILE] [--listen ADDR] [--data-dir DIR] [--workers N]
+//! ```
+//!
+//! Precedence: command line > `ADAPTNOC__FARM__*` environment > config
+//! file > defaults. The resolved endpoint is printed on stdout and
+//! advertised in `<data-dir>/endpoint`. `SIGINT`/`SIGTERM` trigger the
+//! graceful shutdown documented in `docs/FARM.md`.
+
+use adaptnoc_farm::config::{FarmConfig, RawConfig};
+use adaptnoc_farm::server::Server;
+use std::process::ExitCode;
+
+fn parse_config(args: &[String]) -> Result<FarmConfig, String> {
+    let flag = |name: &str| -> Result<Option<&str>, String> {
+        match args.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(i) => args
+                .get(i + 1)
+                .map(|v| Some(v.as_str()))
+                .ok_or_else(|| format!("{name} needs a value")),
+        }
+    };
+    let mut raw = match flag("--config")? {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            RawConfig::parse_toml(&text, path).map_err(|e| e.to_string())?
+        }
+        None => RawConfig::default(),
+    };
+    raw.apply_env(std::env::vars());
+    for (name, key) in [
+        ("--listen", "farm.listen"),
+        ("--data-dir", "farm.data_dir"),
+        ("--workers", "farm.workers"),
+    ] {
+        if let Some(v) = flag(name)? {
+            raw.set(key, v, &format!("flag {name}"));
+        }
+    }
+    FarmConfig::from_raw(&raw).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: adaptnoc-farmd [--config FILE] [--listen ADDR] [--data-dir DIR] [--workers N]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let cfg = match parse_config(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("adaptnoc-farmd: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    #[cfg(unix)]
+    adaptnoc_farm::server::signals::install();
+    #[cfg(unix)]
+    let stop = &adaptnoc_farm::server::signals::SHUTDOWN;
+    #[cfg(not(unix))]
+    let stop = {
+        static NEVER: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        &NEVER
+    };
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("adaptnoc-farmd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", server.endpoint());
+    match server.run(stop) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("adaptnoc-farmd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

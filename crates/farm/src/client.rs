@@ -1,0 +1,352 @@
+//! The logic behind `farmctl`: endpoint resolution, argument parsing,
+//! and one function per verb — separated from the binary so the whole
+//! CLI is unit-testable against an in-process daemon.
+//!
+//! Endpoint resolution order: `--addr`, then `$ADAPTNOC_FARM_ADDR`,
+//! then the `endpoint` file a running daemon writes in its data
+//! directory (`--data-dir`, `$ADAPTNOC__FARM__DATA_DIR`, or the default
+//! `farm-data`).
+
+use adaptnoc_bench::submit::FarmClient;
+use adaptnoc_sim::json::Value;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "usage: farmctl [--addr ADDR | --data-dir DIR] VERB ...
+verbs:
+  submit (FILE | --campaign NAME) [--name N] [--priority high|normal|low]
+         [--deadline-secs S] [--threads T]   submit a job, print its id
+  status [ID]                                one job or all jobs
+  watch ID                                   stream events until terminal
+  cancel ID                                  cancel a queued/running job
+  drain                                      stop admission, wait for idle
+  result ID                                  print a completed job's rows
+  ping                                       daemon liveness and stats";
+
+/// Resolves the daemon address (see module docs for the order).
+///
+/// # Errors
+///
+/// When no address is given and no endpoint file exists.
+pub fn resolve_addr(explicit: Option<&str>, data_dir: Option<&str>) -> io::Result<String> {
+    if let Some(a) = explicit {
+        return Ok(a.to_string());
+    }
+    if let Ok(a) = std::env::var("ADAPTNOC_FARM_ADDR") {
+        if !a.is_empty() {
+            return Ok(a);
+        }
+    }
+    let dir = data_dir
+        .map(PathBuf::from)
+        .or_else(|| {
+            std::env::var("ADAPTNOC__FARM__DATA_DIR")
+                .ok()
+                .map(PathBuf::from)
+        })
+        .unwrap_or_else(|| PathBuf::from("farm-data"));
+    let path = dir.join("endpoint");
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "no daemon address: give --addr, set ADAPTNOC_FARM_ADDR, \
+                 or point --data-dir at a running daemon ({}: {e})",
+                path.display()
+            ),
+        )
+    })?;
+    Ok(text.trim().to_string())
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(v.as_str()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+/// Runs one `farmctl` invocation. Returns the process exit code.
+pub fn run_cli(args: &[String], out: &mut dyn Write) -> i32 {
+    match cli(args, out) {
+        Ok(()) => 0,
+        Err(msg) => {
+            let _ = writeln!(out, "farmctl: {msg}");
+            1
+        }
+    }
+}
+
+fn cli(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let addr_flag = flag_value(args, "--addr")?;
+    let data_dir = flag_value(args, "--data-dir")?;
+    let pos = positional(args);
+    let Some(verb) = pos.first() else {
+        return Err(format!("no verb\n{USAGE}"));
+    };
+    let addr = resolve_addr(addr_flag, data_dir).map_err(|e| e.to_string())?;
+    let mut client = FarmClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+
+    let need_id = || -> Result<u64, String> {
+        pos.get(1)
+            .ok_or_else(|| format!("{verb} needs a job id"))?
+            .parse()
+            .map_err(|_| format!("job id must be a number, got `{}`", pos[1]))
+    };
+
+    match verb.as_str() {
+        "submit" => {
+            let mut req = vec![("op".to_string(), Value::String("submit".to_string()))];
+            if let Some(c) = flag_value(args, "--campaign")? {
+                req.push(("campaign".to_string(), Value::String(c.to_string())));
+            } else {
+                let file = pos
+                    .get(1)
+                    .ok_or("submit needs a scenario FILE or --campaign NAME")?;
+                let src =
+                    std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+                let name = flag_value(args, "--name")?
+                    .map(str::to_string)
+                    .unwrap_or_else(|| {
+                        PathBuf::from(file)
+                            .file_stem()
+                            .map_or_else(|| "job".to_string(), |s| s.to_string_lossy().into_owned())
+                    });
+                req.push(("name".to_string(), Value::String(name)));
+                req.push(("scenario".to_string(), Value::String(src)));
+            }
+            if let Some(n) = flag_value(args, "--name")? {
+                if !req.iter().any(|(k, _)| k == "name") {
+                    req.push(("name".to_string(), Value::String(n.to_string())));
+                }
+            }
+            if let Some(p) = flag_value(args, "--priority")? {
+                req.push(("priority".to_string(), Value::String(p.to_string())));
+            }
+            if let Some(d) = flag_value(args, "--deadline-secs")? {
+                let d: u64 = d.parse().map_err(|_| "--deadline-secs must be a number")?;
+                req.push(("deadline_secs".to_string(), Value::Number(d as f64)));
+            }
+            if let Some(t) = flag_value(args, "--threads")? {
+                let t: u64 = t.parse().map_err(|_| "--threads must be a number")?;
+                req.push(("threads".to_string(), Value::Number(t as f64)));
+            }
+            let resp = client
+                .request(&Value::Object(req))
+                .map_err(|e| e.to_string())?;
+            match resp.get("type").and_then(Value::as_str) {
+                Some("accepted") => {
+                    let id = resp.get("id").and_then(Value::as_u64).unwrap_or(0);
+                    let _ = writeln!(out, "{id}");
+                    Ok(())
+                }
+                Some("rejected") => Err(format!(
+                    "rejected: {} (retry after {} ms)",
+                    resp.get("reason").and_then(Value::as_str).unwrap_or("?"),
+                    resp.get("retry_after_ms")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0)
+                )),
+                _ => Err(describe_error(&resp)),
+            }
+        }
+        "status" => {
+            let mut req = vec![("op".to_string(), Value::String("status".to_string()))];
+            if let Some(id) = pos.get(1) {
+                let id: u64 = id.parse().map_err(|_| "job id must be a number")?;
+                req.push(("id".to_string(), Value::Number(id as f64)));
+            }
+            let resp = client
+                .request(&Value::Object(req))
+                .map_err(|e| e.to_string())?;
+            let jobs = resp
+                .get("jobs")
+                .and_then(Value::as_array)
+                .ok_or_else(|| describe_error(&resp))?;
+            for j in jobs {
+                let _ = writeln!(out, "{}", render_snapshot(j));
+            }
+            Ok(())
+        }
+        "watch" => {
+            let id = need_id()?;
+            client
+                .send(&Value::Object(vec![
+                    ("op".to_string(), Value::String("watch".to_string())),
+                    ("id".to_string(), Value::Number(id as f64)),
+                ]))
+                .map_err(|e| e.to_string())?;
+            loop {
+                match client.recv().map_err(|e| e.to_string())? {
+                    None => return Ok(()),
+                    Some(frame) => match frame.get("type").and_then(Value::as_str) {
+                        Some("done") => return Ok(()),
+                        Some("error") => return Err(describe_error(&frame)),
+                        _ => {
+                            let _ = writeln!(out, "{}", frame.to_string_compact());
+                        }
+                    },
+                }
+            }
+        }
+        "cancel" => {
+            let id = need_id()?;
+            let resp = client
+                .request(&Value::Object(vec![
+                    ("op".to_string(), Value::String("cancel".to_string())),
+                    ("id".to_string(), Value::Number(id as f64)),
+                ]))
+                .map_err(|e| e.to_string())?;
+            match resp.get("type").and_then(Value::as_str) {
+                Some("done") => Ok(()),
+                _ => Err(describe_error(&resp)),
+            }
+        }
+        "drain" => {
+            let resp = client
+                .request(&Value::Object(vec![(
+                    "op".to_string(),
+                    Value::String("drain".to_string()),
+                )]))
+                .map_err(|e| e.to_string())?;
+            match resp.get("type").and_then(Value::as_str) {
+                Some("done") => {
+                    let _ = writeln!(out, "drained");
+                    Ok(())
+                }
+                _ => Err(describe_error(&resp)),
+            }
+        }
+        "result" => {
+            let id = need_id()?;
+            let resp = client
+                .request(&Value::Object(vec![
+                    ("op".to_string(), Value::String("result".to_string())),
+                    ("id".to_string(), Value::Number(id as f64)),
+                ]))
+                .map_err(|e| e.to_string())?;
+            match resp.get("type").and_then(Value::as_str) {
+                Some("result") => {
+                    let rows = resp.get("rows").cloned().unwrap_or(Value::Array(vec![]));
+                    let _ = writeln!(out, "{}", rows.to_string_pretty());
+                    Ok(())
+                }
+                _ => Err(describe_error(&resp)),
+            }
+        }
+        "ping" => {
+            let resp = client
+                .request(&Value::Object(vec![(
+                    "op".to_string(),
+                    Value::String("ping".to_string()),
+                )]))
+                .map_err(|e| e.to_string())?;
+            match resp.get("type").and_then(Value::as_str) {
+                Some("pong") => {
+                    let _ = writeln!(out, "{}", resp.to_string_compact());
+                    Ok(())
+                }
+                _ => Err(describe_error(&resp)),
+            }
+        }
+        "wait" => {
+            // Undocumented helper for scripts: block until terminal.
+            let id = need_id()?;
+            let snap = client
+                .wait(id, Duration::from_millis(250))
+                .map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{}", render_snapshot(&snap));
+            match snap.get("state").and_then(Value::as_str) {
+                Some("completed") => Ok(()),
+                other => Err(format!("job {id} ended {}", other.unwrap_or("?"))),
+            }
+        }
+        other => Err(format!("unknown verb `{other}`\n{USAGE}")),
+    }
+}
+
+fn describe_error(resp: &Value) -> String {
+    resp.get("msg").and_then(Value::as_str).map_or_else(
+        || format!("unexpected response {}", resp.to_string_compact()),
+        str::to_string,
+    )
+}
+
+fn render_snapshot(j: &Value) -> String {
+    let g = |k: &str| {
+        j.get(k).map_or_else(String::new, |v| match v {
+            Value::String(s) => s.clone(),
+            other => other.to_string_compact(),
+        })
+    };
+    format!(
+        "job {:>4}  {:<10} {:<9} attempt {}  points {}/{}  {} {}",
+        g("id"),
+        g("state"),
+        g("priority"),
+        g("attempt"),
+        g("points_done"),
+        g("points_total"),
+        g("name"),
+        g("detail"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing_and_positionals() {
+        let args: Vec<String> = ["--addr", "tcp://h:1", "status", "7"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--addr").unwrap(), Some("tcp://h:1"));
+        assert_eq!(flag_value(&args, "--name").unwrap(), None);
+        let pos = positional(&args);
+        assert_eq!(pos, ["status", "7"]);
+        let dangling: Vec<String> = vec!["--addr".to_string()];
+        assert!(flag_value(&dangling, "--addr").is_err());
+    }
+
+    #[test]
+    fn unknown_verbs_and_missing_args_fail_with_usage() {
+        let mut out = Vec::new();
+        let code = run_cli(
+            &["--addr".to_string(), "tcp://127.0.0.1:1".to_string()],
+            &mut out,
+        );
+        assert_eq!(code, 1);
+        assert!(String::from_utf8_lossy(&out).contains("usage"));
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_addr() {
+        assert_eq!(resolve_addr(Some("tcp://x:1"), None).unwrap(), "tcp://x:1");
+        let missing = resolve_addr(None, Some("/definitely/not/a/dir"));
+        assert!(missing.is_err());
+        assert!(missing.unwrap_err().to_string().contains("--addr"));
+    }
+}

@@ -1,0 +1,58 @@
+//! The embedded campaign corpus: every checked-in `scenarios/*.scn`
+//! file, addressable by name so clients can submit
+//! `{"op":"submit","campaign":"fault_recovery"}` without shipping the
+//! source.
+
+/// `(name, scenario source)` for every checked-in campaign.
+pub const CAMPAIGNS: &[(&str, &str)] = &[
+    (
+        "diurnal_ramp",
+        include_str!("../../../scenarios/diurnal_ramp.scn"),
+    ),
+    (
+        "fault_recovery",
+        include_str!("../../../scenarios/fault_recovery.scn"),
+    ),
+    (
+        "hotspot_storm",
+        include_str!("../../../scenarios/hotspot_storm.scn"),
+    ),
+    (
+        "latency_throughput",
+        include_str!("../../../scenarios/latency_throughput.scn"),
+    ),
+    (
+        "reconfigure_region",
+        include_str!("../../../scenarios/reconfigure_region.scn"),
+    ),
+];
+
+/// The scenario source for a named campaign.
+#[must_use]
+pub fn campaign(name: &str) -> Option<&'static str> {
+    CAMPAIGNS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, src)| *src)
+}
+
+/// All campaign names, in corpus order.
+#[must_use]
+pub fn names() -> Vec<&'static str> {
+    CAMPAIGNS.iter().map(|(n, _)| *n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_embedded_campaign_loads() {
+        for (name, src) in super::CAMPAIGNS {
+            assert!(
+                adaptnoc_bench::scenarios::load_scenario(src).is_ok(),
+                "{name} must parse and compile"
+            );
+        }
+        assert!(super::campaign("latency_throughput").is_some());
+        assert!(super::campaign("nope").is_none());
+    }
+}

@@ -1,0 +1,323 @@
+//! The job model: what a client submits, how it is prioritized, the
+//! lifecycle it moves through, and the events it emits along the way.
+//!
+//! The lifecycle state machine (documented in `docs/FARM.md`):
+//!
+//! ```text
+//! queued ──▶ running ──▶ completed
+//!   │           │  ├───▶ failed       (bad payload, or retries exhausted)
+//!   │           │  ├───▶ cancelled    (farmctl cancel)
+//!   │           │  └───▶ interrupted  (graceful shutdown; requeued on restart)
+//!   └──────────▶ cancelled
+//! ```
+//!
+//! `completed` / `failed` / `cancelled` are terminal; `interrupted` is
+//! deliberately *not* — it is what a gracefully stopped daemon journals
+//! for in-flight work so the restarted daemon puts it back in the queue.
+
+use adaptnoc_sim::json::Value;
+
+/// A job's identifier, unique per data directory (monotonic across
+/// daemon restarts via the job journal).
+pub type JobId = u64;
+
+/// Admission priority: three strict lanes, drained high-to-low.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Jump the queue (interactive experiments).
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Background backfill.
+    Low,
+}
+
+impl Priority {
+    /// Lane index, 0 = drained first.
+    #[must_use]
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
+
+/// What a client asked the farm to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Campaign label (becomes the `scenario` column of result rows).
+    pub name: String,
+    /// Inline `.scn` scenario source.
+    pub scenario: String,
+    /// Admission lane.
+    pub priority: Priority,
+    /// Per-attempt wall-clock budget; `None` uses the daemon default.
+    pub deadline_secs: Option<u64>,
+    /// Sweep fan-out threads; `None` uses the daemon default.
+    pub threads: Option<usize>,
+}
+
+impl JobSpec {
+    /// Encodes the spec for the job journal / wire.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), Value::String(self.name.clone())),
+            ("scenario".to_string(), Value::String(self.scenario.clone())),
+            (
+                "priority".to_string(),
+                Value::String(self.priority.as_str().to_string()),
+            ),
+        ];
+        if let Some(d) = self.deadline_secs {
+            fields.push(("deadline_secs".to_string(), Value::Number(d as f64)));
+        }
+        if let Some(t) = self.threads {
+            fields.push(("threads".to_string(), Value::Number(t as f64)));
+        }
+        Value::Object(fields)
+    }
+
+    /// Decodes a journaled/wire spec; `None` when required fields are
+    /// missing or mistyped.
+    #[must_use]
+    pub fn from_json(v: &Value) -> Option<JobSpec> {
+        Some(JobSpec {
+            name: v.get("name")?.as_str()?.to_string(),
+            scenario: v.get("scenario")?.as_str()?.to_string(),
+            priority: match v.get("priority") {
+                None => Priority::Normal,
+                Some(p) => Priority::parse(p.as_str()?)?,
+            },
+            deadline_secs: match v.get("deadline_secs") {
+                None => None,
+                Some(d) => Some(d.as_u64()?),
+            },
+            threads: match v.get("threads") {
+                None => None,
+                Some(t) => Some(t.as_u64()? as usize),
+            },
+        })
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// On a worker (possibly between retry attempts).
+    Running,
+    /// Finished; results are on disk. Terminal.
+    Completed,
+    /// Bad payload or retries exhausted; flight recorder on disk.
+    /// Terminal.
+    Failed,
+    /// Cancelled by a client. Terminal.
+    Cancelled,
+    /// Checkpointed and persisted by a graceful shutdown; the restarted
+    /// daemon requeues it. Not terminal.
+    Interrupted,
+}
+
+impl JobState {
+    /// Wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Interrupted => "interrupted",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "completed" => Some(JobState::Completed),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            "interrupted" => Some(JobState::Interrupted),
+            _ => None,
+        }
+    }
+
+    /// Whether the job can never run again.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// A point-in-time view of a job, as returned by `status`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSnapshot {
+    /// Job id.
+    pub id: JobId,
+    /// Campaign label.
+    pub name: String,
+    /// Admission lane.
+    pub priority: Priority,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Current (or final) attempt number, 1-based; 0 before the first.
+    pub attempt: u32,
+    /// Sweep points finished so far (checkpointed ones count).
+    pub points_done: usize,
+    /// Total sweep points (0 until the scenario is loaded).
+    pub points_total: usize,
+    /// Human-readable detail: failure reason, cancel note, etc.
+    pub detail: String,
+}
+
+impl JobSnapshot {
+    /// Encodes the snapshot for `status` responses.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("id".to_string(), Value::Number(self.id as f64)),
+            ("name".to_string(), Value::String(self.name.clone())),
+            (
+                "priority".to_string(),
+                Value::String(self.priority.as_str().to_string()),
+            ),
+            (
+                "state".to_string(),
+                Value::String(self.state.as_str().to_string()),
+            ),
+            (
+                "attempt".to_string(),
+                Value::Number(f64::from(self.attempt)),
+            ),
+            (
+                "points_done".to_string(),
+                Value::Number(self.points_done as f64),
+            ),
+            (
+                "points_total".to_string(),
+                Value::Number(self.points_total as f64),
+            ),
+            ("detail".to_string(), Value::String(self.detail.clone())),
+        ])
+    }
+}
+
+/// One entry in a job's flight recorder, also streamed to `watch`ers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEvent {
+    /// The job it belongs to.
+    pub job: JobId,
+    /// Event kind: `state`, `point`, `retry`, `deadline`, ...
+    pub kind: String,
+    /// Sorted key/value detail.
+    pub fields: Vec<(String, String)>,
+}
+
+impl JobEvent {
+    /// Builds an event with sorted fields.
+    #[must_use]
+    pub fn new(job: JobId, kind: &str, fields: &[(&str, &str)]) -> JobEvent {
+        let mut fields: Vec<(String, String)> = fields
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        fields.sort();
+        JobEvent {
+            job,
+            kind: kind.to_string(),
+            fields,
+        }
+    }
+
+    /// Encodes the event for `watch` frames and flight-recorder dumps.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = vec![
+            ("job".to_string(), Value::Number(self.job as f64)),
+            ("kind".to_string(), Value::String(self.kind.clone())),
+        ];
+        for (k, v) in &self.fields {
+            obj.push((k.clone(), Value::String(v.clone())));
+        }
+        Value::Object(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = JobSpec {
+            name: "lt".to_string(),
+            scenario: "grid 4 4;".to_string(),
+            priority: Priority::High,
+            deadline_secs: Some(30),
+            threads: Some(2),
+        };
+        assert_eq!(JobSpec::from_json(&spec.to_json()), Some(spec));
+        let minimal = JobSpec {
+            name: "m".to_string(),
+            scenario: "grid 4 4;".to_string(),
+            priority: Priority::Normal,
+            deadline_secs: None,
+            threads: None,
+        };
+        assert_eq!(JobSpec::from_json(&minimal.to_json()), Some(minimal));
+    }
+
+    #[test]
+    fn states_classify_terminality() {
+        for s in [JobState::Queued, JobState::Running, JobState::Interrupted] {
+            assert!(!s.is_terminal(), "{s:?}");
+            assert_eq!(JobState::parse(s.as_str()), Some(s));
+        }
+        for s in [JobState::Completed, JobState::Failed, JobState::Cancelled] {
+            assert!(s.is_terminal(), "{s:?}");
+            assert_eq!(JobState::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(JobState::parse("exploded"), None);
+    }
+
+    #[test]
+    fn priorities_order_their_lanes() {
+        assert!(Priority::High.lane() < Priority::Normal.lane());
+        assert!(Priority::Normal.lane() < Priority::Low.lane());
+        assert_eq!(Priority::parse("high"), Some(Priority::High));
+        assert_eq!(Priority::parse("urgent"), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! The bounded admission queue: three strict priority lanes behind one
+//! capacity, so a flood of background submissions sheds load instead of
+//! exhausting memory, and an interactive job still jumps the line.
+
+use crate::job::{JobId, Priority};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry later.
+    Full,
+    /// The queue stopped admitting (drain or shutdown).
+    Closed,
+}
+
+/// What a blocking pop observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pop {
+    /// A job to run.
+    Job(JobId),
+    /// Nothing arrived within the timeout; poll again.
+    Empty,
+    /// The queue is closed — workers should exit.
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct Lanes {
+    lanes: [VecDeque<JobId>; 3],
+    closed: bool,
+}
+
+impl Lanes {
+    fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// A bounded, closeable, three-lane FIFO.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    inner: Mutex<Lanes>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// An empty queue admitting at most `capacity` jobs at once.
+    #[must_use]
+    pub fn new(capacity: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            inner: Mutex::new(Lanes::default()),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Lanes> {
+        // A panic while holding the lock poisons it; the queue's state is
+        // a plain VecDeque set that is valid at every step, so recover.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits a job, or refuses with [`PushError`].
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn push(&self, id: JobId, priority: Priority) -> Result<(), PushError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.lanes[priority.lane()].push_back(id);
+        drop(inner);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for a job, draining lanes high-to-low.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop {
+        let mut inner = self.lock();
+        loop {
+            for lane in &mut inner.lanes {
+                if let Some(id) = lane.pop_front() {
+                    return Pop::Job(id);
+                }
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            let (guard, wait) = self
+                .cv
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+            if wait.timed_out() {
+                // One last drain so a notify racing the timeout is not lost.
+                for lane in &mut inner.lanes {
+                    if let Some(id) = lane.pop_front() {
+                        return Pop::Job(id);
+                    }
+                }
+                return if inner.closed {
+                    Pop::Closed
+                } else {
+                    Pop::Empty
+                };
+            }
+        }
+    }
+
+    /// Removes a queued job (cancel before a worker takes it). Returns
+    /// whether it was still queued.
+    pub fn remove(&self, id: JobId) -> bool {
+        let mut inner = self.lock();
+        for lane in &mut inner.lanes {
+            if let Some(pos) = lane.iter().position(|&q| q == id) {
+                lane.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stops admission and wakes every waiting worker. Queued entries
+    /// stay poppable; [`pop_timeout`](Self::pop_timeout) reports
+    /// [`Pop::Closed`] only once the lanes are dry — except that a
+    /// shutdown wants workers to exit *without* draining, which callers
+    /// get by checking their own shutdown flag before popping.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) happened.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_drain_high_to_low_within_capacity() {
+        let q = AdmissionQueue::new(4);
+        q.push(1, Priority::Low).unwrap();
+        q.push(2, Priority::Normal).unwrap();
+        q.push(3, Priority::High).unwrap();
+        q.push(4, Priority::Normal).unwrap();
+        assert_eq!(q.push(5, Priority::High), Err(PushError::Full));
+        let order: Vec<_> = (0..4)
+            .map(|_| q.pop_timeout(Duration::from_millis(10)))
+            .collect();
+        assert_eq!(
+            order,
+            vec![Pop::Job(3), Pop::Job(2), Pop::Job(4), Pop::Job(1)]
+        );
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Empty);
+    }
+
+    #[test]
+    fn close_refuses_pushes_and_drains_then_reports_closed() {
+        let q = AdmissionQueue::new(4);
+        q.push(1, Priority::Normal).unwrap();
+        q.close();
+        assert_eq!(q.push(2, Priority::Normal), Err(PushError::Closed));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Job(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Closed);
+    }
+
+    #[test]
+    fn remove_unqueues_a_pending_job() {
+        let q = AdmissionQueue::new(4);
+        q.push(1, Priority::Normal).unwrap();
+        q.push(2, Priority::Normal).unwrap();
+        assert!(q.remove(1));
+        assert!(!q.remove(1), "already gone");
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Job(2));
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_from_another_thread() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(4));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(7, Priority::Normal).unwrap();
+        assert_eq!(t.join().unwrap(), Pop::Job(7));
+    }
+}

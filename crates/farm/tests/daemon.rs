@@ -1,0 +1,315 @@
+//! End-to-end daemon tests: real `adaptnoc-farmd` processes, real
+//! sockets, real signals.
+//!
+//! The acceptance bar (docs/FARM.md): a daemon killed with SIGKILL
+//! mid-job must, after restart, finish the job from its checkpoint and
+//! produce results byte-identical to an uninterrupted run; a SIGTERM
+//! under load must exit 0 with every job either completed or persisted
+//! and resumable.
+
+use adaptnoc_bench::jsonrows::rows_json;
+use adaptnoc_bench::prelude::scenario_sweep_par;
+use adaptnoc_bench::submit::FarmClient;
+use adaptnoc_sim::json::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// 12 quick points on the small mesh: big enough to kill mid-campaign,
+/// small enough to finish in test time.
+const CKPT_SCN: &str = "grid 4 4; seed 3; warmup 2K; duration 100K; epoch 50K;\n\
+                        sweep load 0.02 to 0.13 step 0.01;\n\
+                        t=0 uniform load sweep poisson;\n";
+
+/// A single point that runs effectively forever (cancel/deadline prey).
+const ENDLESS_SCN: &str = "grid 4 4; seed 5; warmup 1K; duration 500M; epoch 1M;\n\
+                           t=0 uniform load 0.05 poisson;\n";
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adaptnoc-farmd-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Kills the daemon on drop so an assertion failure cannot leak a
+/// process (a leaked child would also hold the test harness's output
+/// pipe open and hang `cargo test` itself).
+struct Farmd(Child);
+
+impl Drop for Farmd {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_farmd(data_dir: &Path) -> Farmd {
+    // A restart must not let `wait_endpoint` race against the stale
+    // endpoint file a SIGKILLed predecessor left behind.
+    let _ = std::fs::remove_file(data_dir.join("endpoint"));
+    Farmd(
+        Command::new(env!("CARGO_BIN_EXE_adaptnoc-farmd"))
+            .args([
+                "--listen",
+                "127.0.0.1:0",
+                "--data-dir",
+                data_dir.to_str().unwrap(),
+                "--workers",
+                "2",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn adaptnoc-farmd"),
+    )
+}
+
+fn wait_endpoint(data_dir: &Path) -> String {
+    let path = data_dir.join("endpoint");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if !text.trim().is_empty() {
+                return text.trim().to_string();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "farmd never advertised an endpoint"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn snapshot(client: &mut FarmClient, id: u64) -> Value {
+    let resp = client
+        .request(&Value::Object(vec![
+            ("op".to_string(), Value::String("status".to_string())),
+            ("id".to_string(), Value::Number(id as f64)),
+        ]))
+        .expect("status request");
+    resp.get("jobs")
+        .and_then(Value::as_array)
+        .and_then(|j| j.first())
+        .cloned()
+        .expect("status carries the job")
+}
+
+fn state_of(snap: &Value) -> String {
+    snap.get("state")
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string()
+}
+
+fn points_done(snap: &Value) -> u64 {
+    snap.get("points_done").and_then(Value::as_u64).unwrap_or(0)
+}
+
+#[test]
+fn sigkill_mid_job_then_restart_produces_byte_identical_results() {
+    let dir = scratch("sigkill");
+    let mut child = spawn_farmd(&dir);
+    let addr = wait_endpoint(&dir);
+
+    let mut client = FarmClient::connect(&addr).unwrap();
+    let id = client.submit_scenario("ckpt", CKPT_SCN).unwrap();
+
+    // Let it make progress, then kill it the hard way.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let snap = snapshot(&mut client, id);
+        if points_done(&snap) >= 1 {
+            break;
+        }
+        assert_ne!(state_of(&snap), "failed", "{snap:?}");
+        assert!(Instant::now() < deadline, "no progress before kill");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.0.kill().expect("SIGKILL farmd");
+    let _ = child.0.wait();
+    drop(client);
+
+    // The journal remembers the job as non-terminal.
+    let replay = adaptnoc_farm::journal::replay(&dir).unwrap();
+    assert_eq!(replay.jobs.len(), 1);
+    assert!(
+        !replay.jobs[0].state.is_terminal(),
+        "SIGKILL left {:?}",
+        replay.jobs[0].state
+    );
+
+    // Restart: the daemon requeues and resumes from the point journal.
+    let child2 = spawn_farmd(&dir);
+    let addr2 = wait_endpoint(&dir);
+    let mut client2 = FarmClient::connect(&addr2).unwrap();
+    let snap = client2.wait(id, Duration::from_millis(100)).unwrap();
+    assert_eq!(state_of(&snap), "completed", "{snap:?}");
+
+    let rows = client2.result_rows(id).unwrap();
+    let expected = scenario_sweep_par("ckpt", CKPT_SCN, 1).unwrap();
+    assert_eq!(
+        rows_json(&rows).to_string_compact(),
+        rows_json(&expected).to_string_compact(),
+        "resumed campaign must be byte-identical to an uninterrupted one"
+    );
+
+    drop(child2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_under_load_exits_cleanly_and_the_restart_finishes_everything() {
+    let dir = scratch("sigterm");
+    let mut child = spawn_farmd(&dir);
+    let addr = wait_endpoint(&dir);
+
+    let mut client = FarmClient::connect(&addr).unwrap();
+    let running = client.submit_scenario("ckpt", CKPT_SCN).unwrap();
+    let queued_a = client.submit_scenario("ckpt", CKPT_SCN).unwrap();
+    let queued_b = client.submit_scenario("ckpt", CKPT_SCN).unwrap();
+
+    // Wait for the first job to be visibly running, then SIGTERM.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let snap = snapshot(&mut client, running);
+        if state_of(&snap) == "running" && points_done(&snap) >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "first job never ran");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let status = Command::new("kill")
+        .arg(child.0.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+    let exit = child.0.wait().expect("farmd exit status");
+    assert!(
+        exit.success(),
+        "graceful shutdown must exit 0, got {exit:?}"
+    );
+    drop(client);
+
+    // Everything is persisted: nothing terminal-failed, nothing lost.
+    let replay = adaptnoc_farm::journal::replay(&dir).unwrap();
+    assert_eq!(replay.jobs.len(), 3);
+    for job in &replay.jobs {
+        assert!(
+            !matches!(job.state, adaptnoc_farm::job::JobState::Failed),
+            "shutdown failed job {}: {:?}",
+            job.id,
+            job.state
+        );
+    }
+
+    // The restarted daemon drains the backlog to completion.
+    let child2 = spawn_farmd(&dir);
+    let addr2 = wait_endpoint(&dir);
+    let mut client2 = FarmClient::connect(&addr2).unwrap();
+    for id in [running, queued_a, queued_b] {
+        let snap = client2.wait(id, Duration::from_millis(100)).unwrap();
+        assert_eq!(state_of(&snap), "completed", "job {id}: {snap:?}");
+    }
+
+    drop(child2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn farmctl_submits_watches_cancels_and_reports() {
+    let dir = scratch("farmctl");
+    let child = spawn_farmd(&dir);
+    let addr = wait_endpoint(&dir);
+    let farmctl = env!("CARGO_BIN_EXE_farmctl");
+
+    // Submit an endless scenario from a file, farmctl-style.
+    let scn_path = dir.join("endless.scn");
+    std::fs::write(&scn_path, ENDLESS_SCN).unwrap();
+    let out = Command::new(farmctl)
+        .args([
+            "--addr",
+            &addr,
+            "submit",
+            scn_path.to_str().unwrap(),
+            "--name",
+            "endless",
+        ])
+        .output()
+        .expect("farmctl submit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let id: u64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+
+    // Cancel it mid-flight; status must converge to cancelled.
+    let mut client = FarmClient::connect(&addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if state_of(&snapshot(&mut client, id)) == "running" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let out = Command::new(farmctl)
+        .args(["--addr", &addr, "cancel", &id.to_string()])
+        .output()
+        .expect("farmctl cancel");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let snap = snapshot(&mut client, id);
+        if state_of(&snap) == "cancelled" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cancel never landed: {snap:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // status renders the cancelled job; ping answers.
+    let out = Command::new(farmctl)
+        .args(["--addr", &addr, "status"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cancelled"));
+    let out = Command::new(farmctl)
+        .args(["--addr", &addr, "ping"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pong"));
+
+    // Malformed requests get an error frame, not a dead daemon.
+    let mut raw = FarmClient::connect(&addr).unwrap();
+    let resp = raw
+        .request(&Value::Object(vec![(
+            "op".to_string(),
+            Value::String("warp".to_string()),
+        )]))
+        .unwrap();
+    assert_eq!(resp.get("type").and_then(Value::as_str), Some("error"));
+    let resp = raw
+        .request(&Value::Object(vec![(
+            "op".to_string(),
+            Value::String("ping".to_string()),
+        )]))
+        .unwrap();
+    assert_eq!(
+        resp.get("type").and_then(Value::as_str),
+        Some("pong"),
+        "the connection survives a bad request"
+    );
+
+    drop(child);
+    let _ = std::fs::remove_dir_all(&dir);
+}

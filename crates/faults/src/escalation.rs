@@ -81,6 +81,16 @@ pub struct GuardStats {
     pub dumps: u64,
 }
 
+impl GuardStats {
+    /// Total self-healing interventions the ladder took: rung-1
+    /// re-routes, rung-2 packet purges, and rung-3 rollbacks. A compact
+    /// "did the ladder act at all" signal for supervisors that surface
+    /// escalation activity as events (e.g. farm job reports).
+    pub fn interventions(&self) -> u64 {
+        self.reroutes + self.purged_packets + self.rollbacks
+    }
+}
+
 /// Watchdog-driven self-healing for one region: detects stalls and walks
 /// the re-route → purge → rollback escalation ladder. See the module docs.
 #[derive(Debug)]

@@ -49,5 +49,7 @@ pub mod prelude {
     };
     pub use crate::parser::{parse, ParseError};
     pub use crate::rules::{compile, CompileError, ExecPlan, ReconfigEvent, TrafficEvent};
-    pub use crate::runner::{run, EpochRow, RunError, RunOptions, ScenarioOutcome};
+    pub use crate::runner::{
+        run, CancelToken, EpochRow, FaultSummary, RunError, RunOptions, ScenarioOutcome,
+    };
 }

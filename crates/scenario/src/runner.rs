@@ -42,8 +42,37 @@ const QUEUE_SAMPLE_INTERVAL: u64 = 64;
 /// in-tree RNG's `fork`).
 const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// A cooperative cancellation handle for a scenario run.
+///
+/// Clones share one flag: any clone calling [`cancel`](Self::cancel)
+/// makes the running [`run`] return [`RunError::Cancelled`] at its next
+/// check point (every [`QUEUE_SAMPLE_INTERVAL`] cycles and at every
+/// epoch boundary), instead of running to the end of the plan. This is
+/// what lets a supervisor — Ctrl-C handling in `gen-figures`, a job
+/// deadline in the farm daemon — stop a multi-million-cycle run within
+/// a bounded number of cycles without killing the thread.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
 /// Options for one scenario run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Load substituted for `load sweep` placeholders. Required when the
     /// plan uses the placeholder.
@@ -57,6 +86,10 @@ pub struct RunOptions {
     /// Observation-equivalent: the parallel stepper is byte-identical to
     /// serial, so this only changes wall-clock time, never the outcome.
     pub threads: usize,
+    /// Cooperative cancellation: when the token fires, the run stops at
+    /// its next sample/epoch boundary with [`RunError::Cancelled`]. The
+    /// default token never fires.
+    pub cancel: CancelToken,
 }
 
 impl Default for RunOptions {
@@ -66,6 +99,7 @@ impl Default for RunOptions {
             telemetry: TelemetryMode::Off,
             trace_capacity: 0,
             threads: 1,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -91,6 +125,53 @@ pub struct EpochRow {
     pub p99: f64,
     /// Largest sampled sum of NI source-queue depths this epoch.
     pub source_queue: u64,
+}
+
+/// Fault-layer counters observed over the whole run (including warmup):
+/// what the scripted schedule fired and what the recovery machinery —
+/// NACK/retry plus the self-healing escalation ladder — did about it.
+/// A supervisor (the farm daemon) surfaces these as job events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Transient link faults fired.
+    pub transients_fired: u64,
+    /// Permanent link faults fired.
+    pub permanent_links_fired: u64,
+    /// Router faults fired.
+    pub routers_fired: u64,
+    /// Packets re-queued for NACK retry.
+    pub retries_queued: u64,
+    /// Packets dropped (budget exhausted or endpoint disconnected).
+    pub dropped: u64,
+    /// Completed fault recoveries (strike → recovered configuration).
+    pub recoveries: u64,
+    /// Escalation-ladder interventions (re-routes + purges + rollbacks).
+    pub escalations: u64,
+    /// Stall episodes the ladder closed with progress restored.
+    pub guard_recoveries: u64,
+    /// Flight-recorder dumps rendered for unrecoverable stalls.
+    pub dumps: u64,
+}
+
+impl FaultSummary {
+    fn from_stats(s: &adaptnoc_faults::controller::FaultStats) -> Self {
+        FaultSummary {
+            transients_fired: s.transients_fired,
+            permanent_links_fired: s.permanent_links_fired,
+            routers_fired: s.routers_fired,
+            retries_queued: s.retries_queued,
+            dropped: s.dropped,
+            recoveries: s.recoveries.len() as u64,
+            escalations: s.guard.interventions(),
+            guard_recoveries: s.guard.recoveries,
+            dumps: s.guard.dumps,
+        }
+    }
+
+    /// Whether anything at all happened at the fault layer.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultSummary::default()
+    }
 }
 
 /// The result of one scenario run.
@@ -123,6 +204,9 @@ pub struct ScenarioOutcome {
     pub end_source_queue: u64,
     /// Packets dropped (retry budget exhausted / disconnected endpoints).
     pub drops: u64,
+    /// Fault-layer counters (schedule fires, retries, recoveries,
+    /// escalation-ladder interventions) over the whole run.
+    pub faults: FaultSummary,
     /// Per-epoch measurements.
     pub epochs: Vec<EpochRow>,
     /// Traced events, when [`RunOptions::trace_capacity`] was non-zero.
@@ -140,6 +224,10 @@ pub enum RunError {
     Fault(FaultError),
     /// The plan needs a sweep load but none was provided.
     MissingLoad,
+    /// The run was cancelled through [`RunOptions::cancel`] before it
+    /// finished. Nothing about the simulation is preserved; re-running
+    /// the same plan from scratch reproduces the uncancelled outcome.
+    Cancelled,
 }
 
 impl fmt::Display for RunError {
@@ -151,6 +239,7 @@ impl fmt::Display for RunError {
             RunError::MissingLoad => {
                 f.write_str("plan uses `load sweep` but RunOptions.load is None")
             }
+            RunError::Cancelled => f.write_str("scenario run cancelled"),
         }
     }
 }
@@ -284,8 +373,14 @@ pub fn run(plan: &ExecPlan, opts: &RunOptions) -> Result<ScenarioOutcome, RunErr
         }
         net.drain_delivered();
 
-        // 4. Sampling and epoch accounting.
+        // 4. Sampling and epoch accounting. The sample boundary doubles
+        // as the cooperative-cancellation check point: one atomic load
+        // every QUEUE_SAMPLE_INTERVAL cycles bounds how long a cancelled
+        // run keeps simulating without touching the hot loop.
         if cycle.is_multiple_of(QUEUE_SAMPLE_INTERVAL) {
+            if opts.cancel.is_cancelled() {
+                return Err(RunError::Cancelled);
+            }
             let q = source_queue_sum(&net, tiles);
             max_queue = max_queue.max(q);
             epoch_queue = epoch_queue.max(q);
@@ -319,6 +414,9 @@ pub fn run(plan: &ExecPlan, opts: &RunOptions) -> Result<ScenarioOutcome, RunErr
             measured_cycles += s.cycles;
             acc.accumulate(s);
             epoch_queue = 0;
+            if opts.cancel.is_cancelled() {
+                return Err(RunError::Cancelled);
+            }
         }
     }
 
@@ -342,6 +440,7 @@ pub fn run(plan: &ExecPlan, opts: &RunOptions) -> Result<ScenarioOutcome, RunErr
         max_source_queue: max_queue,
         end_source_queue: end_queue,
         drops: acc.drops,
+        faults: FaultSummary::from_stats(fc.stats()),
         epochs,
         trace: net
             .tracer()
@@ -445,6 +544,44 @@ mod tests {
             },
         );
         assert_eq!(base, strict, "telemetry is observation-only");
+    }
+
+    #[test]
+    fn pre_cancelled_run_stops_immediately() {
+        let plan = compile(
+            &parse("grid 4 4; warmup 1K; duration 1M; epoch 1K; t=0 uniform load 0.05;").unwrap(),
+        )
+        .unwrap();
+        let opts = RunOptions::default();
+        opts.cancel.cancel();
+        // A megacycle plan returns at the first check point instead of
+        // simulating to the end — this completes in microseconds.
+        assert!(matches!(run(&plan, &opts), Err(RunError::Cancelled)));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn fault_summary_reports_scripted_fires() {
+        let out = run_src(
+            "grid 4 4; warmup 1K; duration 8K; epoch 2K;\n\
+             t=0 uniform load 0.05;\n\
+             t=3K glitch link 1 -> 2 for 500;",
+            &RunOptions::default(),
+        );
+        assert_eq!(out.faults.transients_fired, 1);
+        let quiet = run_src(
+            "grid 4 4; warmup 1K; duration 4K; epoch 2K; t=0 uniform load 0.05;",
+            &RunOptions::default(),
+        );
+        assert!(quiet.faults.is_quiet());
     }
 
     #[test]

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Farm smoke test (mirrors CI's farm job; also `make farm`):
+#
+#   1. boot adaptnoc-farmd on a loopback port with a scratch data dir;
+#   2. drive the whole client lifecycle with farmctl — ping, submit the
+#      golden corpus as named campaigns, cancel an endless job
+#      mid-flight, fetch results;
+#   3. prove the daemon path changes nothing: `gen-figures --only
+#      scenarios --submit ADDR` must produce results/figures.json
+#      byte-identical to the direct in-process run;
+#   4. drain (stop admission, settle), then SIGTERM the daemon and
+#      require a clean exit 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO=${CARGO:-cargo}
+$CARGO build --release --offline -p adaptnoc-farm --bins
+$CARGO build --release --offline -p adaptnoc-bench --bin gen-figures
+
+FARMD=target/release/adaptnoc-farmd
+FARMCTL=target/release/farmctl
+
+DATA=$(mktemp -d "${TMPDIR:-/tmp}/adaptnoc-farm-smoke.XXXXXX")
+FARMD_PID=
+# The diff step rewrites the checked-in results/; put them back however
+# the script exits.
+for f in figures.json REPORT.md; do
+  [ -f "results/$f" ] && cp "results/$f" "$DATA/keep-$f"
+done
+cleanup() {
+  if [ -n "$FARMD_PID" ] && kill -0 "$FARMD_PID" 2>/dev/null; then
+    kill -9 "$FARMD_PID" 2>/dev/null || true
+  fi
+  for f in figures.json REPORT.md; do
+    if [ -f "$DATA/keep-$f" ]; then
+      mv "$DATA/keep-$f" "results/$f"
+    fi
+  done
+  rm -rf "$DATA"
+}
+trap cleanup EXIT
+
+"$FARMD" --listen 127.0.0.1:0 --data-dir "$DATA" --workers 2 &
+FARMD_PID=$!
+
+for _ in $(seq 1 400); do
+  [ -s "$DATA/endpoint" ] && break
+  sleep 0.05
+done
+ADDR=$(cat "$DATA/endpoint")
+echo "== farmd is up at $ADDR"
+"$FARMCTL" --addr "$ADDR" ping
+
+echo "== submitting the golden corpus as named campaigns"
+IDS=()
+for c in diurnal_ramp fault_recovery hotspot_storm reconfigure_region; do
+  id=$("$FARMCTL" --addr "$ADDR" submit --campaign "$c")
+  echo "   $c -> job $id"
+  IDS+=("$id")
+done
+
+echo "== cancelling an endless job mid-flight"
+printf 'grid 4 4; seed 5; warmup 1K; duration 500M; epoch 1M;\nt=0 uniform load 0.05 poisson;\n' \
+  > "$DATA/endless.scn"
+VICTIM=$("$FARMCTL" --addr "$ADDR" submit "$DATA/endless.scn" --name endless)
+sleep 2
+"$FARMCTL" --addr "$ADDR" cancel "$VICTIM"
+
+for id in "${IDS[@]}"; do
+  "$FARMCTL" --addr "$ADDR" wait "$id" >/dev/null \
+    || { echo "job $id did not complete"; exit 1; }
+  "$FARMCTL" --addr "$ADDR" result "$id" >/dev/null
+done
+"$FARMCTL" --addr "$ADDR" status "$VICTIM" | grep -q cancelled \
+  || { echo "job $VICTIM was not cancelled"; exit 1; }
+"$FARMCTL" --addr "$ADDR" status
+
+echo "== daemon-run scenarios campaign must match the direct run byte-for-byte"
+rm -f results/figures.json
+$CARGO run --release --offline -p adaptnoc-bench --bin gen-figures -- --only scenarios --threads 1
+cp results/figures.json "$DATA/direct-figures.json"
+rm results/figures.json
+$CARGO run --release --offline -p adaptnoc-bench --bin gen-figures -- --only scenarios --submit "$ADDR"
+cmp "$DATA/direct-figures.json" results/figures.json
+rm results/figures.json
+
+echo "== draining (stop admission, wait for every job to settle)"
+"$FARMCTL" --addr "$ADDR" drain
+
+echo "== SIGTERM must exit 0"
+kill "$FARMD_PID"
+if wait "$FARMD_PID"; then
+  FARMD_PID=
+else
+  echo "farmd did not exit cleanly on SIGTERM"
+  exit 1
+fi
+
+echo "farm smoke: OK"

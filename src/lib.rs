@@ -24,6 +24,9 @@
 //!   in-flight packets and live rerouting of subNoCs around permanent
 //!   link/router failures.
 //! * `bench` — the harness regenerating every figure and table.
+//! * [`farm`] — the `adaptnoc-farmd` daemon and `farmctl` client: a
+//!   crash-tolerant simulation service; see [`farm_service`] for the
+//!   protocol, lifecycle, and shutdown semantics.
 //! * [`telemetry`](sim::telemetry) — the unified metrics registry wired
 //!   through all of the above; see [`observability`] for the full story.
 //!
@@ -45,8 +48,15 @@ pub mod observability {}
 #[doc = include_str!("../docs/SCENARIOS.md")]
 pub mod scenarios {}
 
+/// The simulation-farm story (`docs/FARM.md`), included here so its
+/// code blocks compile and run as doctests
+/// (`cargo test --doc -p adaptnoc`).
+#[doc = include_str!("../docs/FARM.md")]
+pub mod farm_service {}
+
 pub use adaptnoc_bench as bench;
 pub use adaptnoc_core as core;
+pub use adaptnoc_farm as farm;
 pub use adaptnoc_faults as faults;
 pub use adaptnoc_power as power;
 pub use adaptnoc_rl as rl;
