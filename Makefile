@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test check fmt clippy ci docs telemetry faults scenarios farm guards figures perf pgo clean
+.PHONY: all build test check fmt clippy ci docs telemetry faults scenarios farm guards topologies figures perf pgo clean
 
 all: build
 
@@ -22,11 +22,12 @@ clippy:
 check: fmt clippy
 
 # Everything CI runs, in CI's order.
-ci: check build test docs telemetry guards faults scenarios farm
+ci: check build test docs telemetry guards faults scenarios farm topologies
 
 # Rustdoc must build warning-clean (missing_docs is deny-level on the
-# public crates), and docs/OBSERVABILITY.md's code blocks run as
-# doctests through the root crate's `observability` module.
+# public crates), and the code blocks of docs/OBSERVABILITY.md,
+# docs/SCENARIOS.md, docs/FARM.md and docs/TOPOLOGIES.md run as
+# doctests through the root crate's doc-include modules.
 docs:
 	RUSTDOCFLAGS='-D warnings' $(CARGO) doc --no-deps --workspace --offline
 	$(CARGO) test --doc -p adaptnoc --offline
@@ -60,6 +61,24 @@ scenarios:
 	$(CARGO) run --release --offline --example scenario_tour > /tmp/scenario_tour_b.txt
 	cmp /tmp/scenario_tour_a.txt /tmp/scenario_tour_b.txt
 	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures -- --only scenarios --threads 0
+
+# Topology atlas + scaling: the generated-topology property suites
+# (sparse Hamming / chiplet fabrics: connected, deadlock-free, within
+# the wiring budget), docs/TOPOLOGIES.md's doctests, the deterministic
+# atlas example, and the 64x64 scaling campaign pinned byte-identical
+# across serial and region-parallel stepping (mirrors CI scaling-smoke).
+topologies:
+	$(CARGO) test -p adaptnoc-topology --offline
+	$(CARGO) test --doc -p adaptnoc --offline topologies
+	$(CARGO) run --release --offline --example topology_atlas > /tmp/topology_atlas_a.txt
+	$(CARGO) run --release --offline --example topology_atlas > /tmp/topology_atlas_b.txt
+	cmp /tmp/topology_atlas_a.txt /tmp/topology_atlas_b.txt
+	rm -f results/figures.json
+	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures -- --quick --only scaling --threads 1
+	cp results/figures.json /tmp/scaling-serial.json
+	rm results/figures.json
+	$(CARGO) run --release --offline -p adaptnoc-bench --bin gen-figures -- --quick --only scaling --threads 4
+	cmp /tmp/scaling-serial.json results/figures.json
 
 # Farm daemon: crate + supervision tests, the crash/resume integration
 # suite (SIGKILL mid-job, SIGTERM under load, farmctl lifecycle), and

@@ -18,6 +18,12 @@
 //! checked-in `scenarios/latency_throughput.scn` sweep producing the
 //! latency-throughput curve (saturation knee, p99 blow-up).
 //!
+//! `--only scaling` runs just the large-mesh scaling campaign: 16x16
+//! through 64x64 flat meshes plus the 64x64 chiplet fabric, each idle
+//! and loaded, with `--threads N` stepping every network
+//! region-parallel. Rows (and therefore the JSON) are byte-identical at
+//! any thread count.
+//!
 //! `--metrics-out DIR` additionally runs the telemetry probe (two short
 //! instrumented scenarios; see `adaptnoc_bench::telemetry`) and writes
 //! `DIR/telemetry.jsonl` + `DIR/telemetry.prom`. With `--checkpoint` the
@@ -278,6 +284,30 @@ fn main() {
             );
         }
         json.insert("scenarios", rows_json(&rows));
+    }
+
+    if want("scaling") {
+        banner("Scaling campaign: 16x16 -> 64x64 meshes + 64x64 chiplet fabric");
+        let cycles = if quick { 600 } else { 4_000 };
+        let rows = scaling_campaign(cycles, threads).expect("scaling campaign");
+        println!(
+            "{:<16} {:>7} {:>9} {:>7} {:>9} {:>9} {:>9} {:>7}",
+            "design", "tiles", "channels", "load", "offered", "delivered", "avg-lat", "hops"
+        );
+        for r in &rows {
+            println!(
+                "{:<16} {:>7} {:>9} {:>7.3} {:>9} {:>9} {:>9.1} {:>7.2}",
+                r.design,
+                r.routers,
+                r.channels,
+                r.load,
+                r.offered,
+                r.delivered,
+                r.avg_latency,
+                r.avg_hops
+            );
+        }
+        json.insert("scaling", rows_json(&rows));
     }
 
     if want("tables") {

@@ -11,6 +11,8 @@
 //! * [`faults`] — fault-sweep campaign (resilience under seeded faults).
 //! * [`scenarios`] — open-system scenario campaign (latency-throughput
 //!   curves from checked-in `.scn` files).
+//! * [`scaling`] — large-mesh scaling campaign (16x16 through 64x64 flat
+//!   meshes plus the 64x64 chiplet fabric, thread-invariant rows).
 //! * [`tables`] — area / wiring / timing / reconfiguration-latency tables.
 //! * [`watchdog`] — the environment-configurable harness watchdog
 //!   (wall-clock + cycle-window) guarding unattended runs.
@@ -32,6 +34,7 @@ pub mod jsonrows;
 pub mod microbench;
 pub mod parallel;
 pub mod report;
+pub mod scaling;
 pub mod scenarios;
 pub mod submit;
 pub mod tables;
@@ -56,6 +59,7 @@ pub mod prelude {
         run_indexed_isolated, PartialCampaign, PointFailure,
     };
     pub use crate::report::render_report;
+    pub use crate::scaling::{scaling_campaign, ScalingRow};
     pub use crate::scenarios::{
         campaign_loads, load_scenario, scenario_point, scenario_sweep_checkpointed,
         scenario_sweep_par, ScenarioError, ScenarioRow, LATENCY_THROUGHPUT_SCN,

@@ -150,6 +150,30 @@ impl ChipLayout {
         ChipLayout::new(Grid::paper(), &[(rect, gpu)])
     }
 
+    /// A chiplet-package layout: one application region per chip of the
+    /// fabric, each following the MC-block recipe. Chips listed in
+    /// `gpu_chips` (by `(cx, cy)` chip coordinates) become GPU regions.
+    ///
+    /// Pair this with [`adaptnoc_topology::chiplet::chiplet_chip`] to build
+    /// the matching network: regions never span a chip boundary, so each
+    /// application's traffic stays on its own subNoC mesh while memory and
+    /// coherence traffic crosses the serialized inter-chip links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (see
+    /// [`adaptnoc_topology::chiplet::ChipletConfig::validate`]).
+    pub fn chiplet(cc: &adaptnoc_topology::chiplet::ChipletConfig, gpu_chips: &[(u8, u8)]) -> Self {
+        cc.validate().expect("invalid chiplet config");
+        let mut specs = Vec::new();
+        for cy in 0..cc.chips_y {
+            for cx in 0..cc.chips_x {
+                specs.push((cc.chip_rect(cx, cy), gpu_chips.contains(&(cx, cy))));
+            }
+        }
+        ChipLayout::new(cc.grid(), &specs)
+    }
+
     /// The kind of a node.
     pub fn kind(&self, n: NodeId) -> NodeKind {
         self.kinds[n.index()]
@@ -249,6 +273,48 @@ mod tests {
         assert_eq!(l.region_of(n).unwrap().rect, Rect::new(4, 0, 4, 4));
         let n2 = l.grid.node(Coord::new(1, 6));
         assert_eq!(l.region_of(n2).unwrap().rect, Rect::new(0, 4, 8, 4));
+    }
+
+    #[test]
+    fn chiplet_layout_builds_regions_per_chip() {
+        use adaptnoc_topology::chiplet::ChipletConfig;
+        let cc = ChipletConfig::new(2, 2, 4, 4);
+        let l = ChipLayout::chiplet(&cc, &[(1, 0), (1, 1)]);
+        assert_eq!(l.regions.len(), 4);
+        assert_eq!(l.kinds.len(), 64);
+        // Each 4x4 chip holds two 4x2 MC blocks.
+        let mcs = l.kinds.iter().filter(|k| **k == NodeKind::Mc).count();
+        assert_eq!(mcs, 8);
+        // GPU chips carry GPU nodes, CPU chips none.
+        assert!(!l
+            .nodes_of_kind(cc.chip_rect(1, 0), NodeKind::Gpu)
+            .is_empty());
+        assert!(l
+            .nodes_of_kind(cc.chip_rect(0, 0), NodeKind::Gpu)
+            .is_empty());
+    }
+
+    #[test]
+    fn chiplet_layout_network_carries_cross_chip_traffic() {
+        use adaptnoc_sim::config::SimConfig;
+        use adaptnoc_sim::network::Network;
+        use adaptnoc_sim::prelude::Packet;
+        use adaptnoc_topology::chiplet::{chiplet_chip, ChipletConfig};
+        let cc = ChipletConfig::new(2, 1, 4, 4);
+        let l = ChipLayout::chiplet(&cc, &[]);
+        let cfg = SimConfig::baseline();
+        let spec = chiplet_chip(&cc, &cfg).unwrap();
+        let mut net = Network::new(spec, cfg).unwrap();
+        // MC of chip (0,0) answers a request from a core on chip (1,0).
+        let core = l.grid.node(Coord::new(6, 2));
+        let mc = l.regions[0].mc;
+        net.inject(Packet::request(1, core, mc, 0)).unwrap();
+        net.inject(Packet::reply(2, mc, core, 0)).unwrap();
+        for _ in 0..2000 {
+            net.step();
+        }
+        assert_eq!(net.drain_delivered().len(), 2);
+        assert_eq!(net.in_flight(), 0);
     }
 
     #[test]

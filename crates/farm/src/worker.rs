@@ -74,7 +74,7 @@ pub struct JobRecord {
     pub points_total: usize,
     /// When the current attempt started.
     pub attempt_started: Option<Instant>,
-    /// Flight recorder: the last [`EVENT_RING`] events.
+    /// Flight recorder: the last `EVENT_RING` events.
     pub events: VecDeque<JobEvent>,
     /// Per-job telemetry registry.
     pub registry: Registry,

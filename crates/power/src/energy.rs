@@ -57,6 +57,7 @@ impl EnergyModel {
             + ev.sa_grants as f64 * p::SA_PJ
             + ev.link_flit_mm * p::LINK_PJ_PER_MM
             + ev.mux_traversals as f64 * p::MUX_PJ
+            + ev.interchip_crossings as f64 * p::INTERCHIP_SERDES_PJ_PER_FLIT
             + ev.ni_injections as f64 * p::NI_PJ
             + ev.rl_inferences as f64 * p::RL_INFERENCE_PJ;
         pj * 1e-12
@@ -70,7 +71,8 @@ impl EnergyModel {
                 * (p::PORT_LOGIC_STATIC_MW + self.flits_per_port * p::BUFFER_STATIC_MW_PER_FLIT);
         let link_mw = sc.mesh_link_mm_cycles * p::MESH_LINK_STATIC_MW_PER_MM
             + sc.adapt_link_mm_cycles * (p::ADAPT_LINK_STATIC_MW / p::ADAPT_LINK_FULL_MM)
-            + sc.conc_link_mm_cycles * p::CONC_LINK_STATIC_MW_PER_MM;
+            + sc.conc_link_mm_cycles * p::CONC_LINK_STATIC_MW_PER_MM
+            + sc.interchip_link_mm_cycles * p::INTERCHIP_LINK_STATIC_MW_PER_MM;
         // mW * cycles * ns/cycle = pJ.
         (router_mw + link_mw) * ns * 1e-12 * 1e9 * 1e-9
     }

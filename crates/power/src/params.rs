@@ -145,6 +145,26 @@ pub const MESH_LINK_STATIC_MW_PER_MM: f64 = 0.5;
 pub const CONC_LINK_STATIC_MW_PER_MM: f64 = 0.5;
 
 // ---------------------------------------------------------------------
+// Inter-chip (chiplet) links: serialized SerDes lanes over package
+// substrate wires. Calibrated against published ground-referenced
+// signaling surveys (~1-2 pJ/bit, always-on lane leakage); the chiplet
+// fabric is an extension beyond the paper, so these carry the same
+// calibration caveat as the other unpublished constants.
+// ---------------------------------------------------------------------
+
+/// Static power of an inter-chip link per mm of substrate trace, mW/mm
+/// (SerDes lanes idle at a higher floor than on-chip repeaters).
+pub const INTERCHIP_LINK_STATIC_MW_PER_MM: f64 = 1.5;
+
+/// Energy per flit crossing an inter-chip SerDes boundary (256 bits at
+/// ~1.5 pJ/bit serialization + deserialization), pJ.
+pub const INTERCHIP_SERDES_PJ_PER_FLIT: f64 = 384.0;
+
+/// Bidirectional SerDes lanes available per chip-boundary tile edge
+/// (package substrate escape-routing limit; calibrated).
+pub const INTERCHIP_LANES_PER_CHIP_EDGE: u32 = 4;
+
+// ---------------------------------------------------------------------
 // Dynamic event energies (pJ; DSENT-style, calibrated at 45 nm, 256-bit).
 // ---------------------------------------------------------------------
 

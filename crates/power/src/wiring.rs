@@ -6,7 +6,7 @@
 //! what the metal layers provide.
 
 use crate::params as p;
-use adaptnoc_sim::spec::NetworkSpec;
+use adaptnoc_sim::spec::{ChannelKind, NetworkSpec};
 use std::collections::HashMap;
 
 /// Per-tile-edge link budget.
@@ -56,14 +56,21 @@ pub struct WiringUsage {
     pub max_channels_per_edge: u32,
     /// Same, counting only adaptable-link (high-metal) channels.
     pub max_express_channels_per_edge: u32,
+    /// Max unidirectional inter-chip (chiplet) channels over any chip
+    /// boundary edge. These ride SerDes lanes on the package substrate,
+    /// not on-chip metal, so they have their own budget
+    /// ([`crate::params::INTERCHIP_LANES_PER_CHIP_EDGE`]).
+    pub max_interchip_channels_per_edge: u32,
 }
 
 impl WiringUsage {
     /// Whether the usage fits the budget (unidirectional channels vs
-    /// 2x bidirectional link counts).
+    /// 2x bidirectional link counts). Inter-chip channels are checked
+    /// against the package SerDes lane budget instead of on-chip metal.
     pub fn fits(&self, budget: &WiringBudget) -> bool {
         self.max_express_channels_per_edge <= budget.high_metal_links * 2
             && self.max_channels_per_edge <= budget.total() * 2
+            && self.max_interchip_channels_per_edge <= p::INTERCHIP_LANES_PER_CHIP_EDGE * 2
     }
 }
 
@@ -100,9 +107,21 @@ pub fn analyze_wiring(spec: &NetworkSpec, width: u8, height: u8) -> WiringUsage 
         }
     };
 
+    let mut interchip: HashMap<(char, u8, u8), u32> = HashMap::new();
     for ch in &spec.channels {
         let a = coord(ch.src.router.0);
         let b = coord(ch.dst.router.0);
+        if ch.kind == ChannelKind::InterChip {
+            // Substrate SerDes lanes, not on-chip metal: count the chip
+            // boundary edge between the two gateway routers separately.
+            let e = if a.1 == b.1 {
+                ('h', a.0.min(b.0), a.1)
+            } else {
+                ('v', a.0, a.1.min(b.1))
+            };
+            *interchip.entry(e).or_insert(0) += 1;
+            continue;
+        }
         let is_express = ch.kind.is_adaptable();
         add_span(a, b, is_express);
     }
@@ -118,6 +137,7 @@ pub fn analyze_wiring(spec: &NetworkSpec, width: u8, height: u8) -> WiringUsage 
     WiringUsage {
         max_channels_per_edge: all.values().copied().max().unwrap_or(0),
         max_express_channels_per_edge: express.values().copied().max().unwrap_or(0),
+        max_interchip_channels_per_edge: interchip.values().copied().max().unwrap_or(0),
     }
 }
 

@@ -29,6 +29,40 @@ pub fn fmt_time(t: u64) -> String {
     }
 }
 
+/// A chiplet fabric directive, surface form: `chiplet CX CY CW CH
+/// latency T links N`. The grid becomes the `CX*CW x CY*CH` tile array
+/// and the runner builds the hierarchical chiplet network (per-chip
+/// meshes joined by serialized inter-chip links) instead of the flat
+/// mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricAst {
+    /// Chips per package row.
+    pub chips_x: u8,
+    /// Chips per package column.
+    pub chips_y: u8,
+    /// Tiles per chip row.
+    pub chip_w: u8,
+    /// Tiles per chip column.
+    pub chip_h: u8,
+    /// Inter-chip link latency, cycles.
+    pub link_latency: u8,
+    /// Parallel links per chip boundary.
+    pub links_per_edge: u8,
+}
+
+impl Default for FabricAst {
+    fn default() -> Self {
+        FabricAst {
+            chips_x: 2,
+            chips_y: 2,
+            chip_w: 4,
+            chip_h: 4,
+            link_latency: 4,
+            links_per_edge: 2,
+        }
+    }
+}
+
 /// A load sweep directive: campaign points from `from` to `to`
 /// (inclusive, within float tolerance) in `step` increments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -203,6 +237,10 @@ pub struct Event {
 pub struct Scenario {
     /// Grid width and height in tiles.
     pub grid: (u8, u8),
+    /// The chiplet fabric, if declared (`None` runs a flat mesh chip).
+    /// When set, `grid` always equals the fabric's tile footprint — the
+    /// parser derives it from the `chiplet` directive.
+    pub fabric: Option<FabricAst>,
     /// Master seed for all scenario randomness.
     pub seed: u64,
     /// Cycles discarded before measurement starts.
@@ -223,6 +261,7 @@ impl Default for Scenario {
     fn default() -> Self {
         Scenario {
             grid: (8, 8),
+            fabric: None,
             seed: 1,
             warmup: 20_000,
             duration: 100_000,
@@ -304,6 +343,13 @@ impl fmt::Display for Action {
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "grid {} {};", self.grid.0, self.grid.1)?;
+        if let Some(fb) = self.fabric {
+            writeln!(
+                f,
+                "chiplet {} {} {} {} latency {} links {};",
+                fb.chips_x, fb.chips_y, fb.chip_w, fb.chip_h, fb.link_latency, fb.links_per_edge
+            )?;
+        }
         writeln!(f, "seed {};", self.seed)?;
         writeln!(f, "warmup {};", fmt_time(self.warmup))?;
         writeln!(f, "duration {};", fmt_time(self.duration))?;

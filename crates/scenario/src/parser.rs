@@ -4,6 +4,8 @@
 //! scenario  := { stmt }
 //! stmt      := directive ';' | event ';'
 //! directive := 'grid' INT INT
+//!            | 'chiplet' INT INT INT INT            (chips_x chips_y chip_w chip_h)
+//!              [ 'latency' INT ] [ 'links' INT ]
 //!            | 'seed' INT
 //!            | 'warmup' TIME | 'duration' TIME | 'epoch' TIME
 //!            | 'region' NAME INT INT INT INT        (x y w h)
@@ -28,10 +30,13 @@
 //! ```
 //!
 //! `rate` is accepted as an alias for `load` (canonical form prints
-//! `load`); a missing reconfigure target defaults to `mesh`.
+//! `load`); a missing reconfigure target defaults to `mesh`. The
+//! `chiplet` directive also sets the grid to its tile footprint, so it
+//! needs no separate `grid` line.
 
 use crate::ast::{
-    Action, ArrivalAst, Event, LoadAst, PatternAst, Scenario, ShapeAst, Sweep, TrafficCmd,
+    Action, ArrivalAst, Event, FabricAst, LoadAst, PatternAst, Scenario, ShapeAst, Sweep,
+    TrafficCmd,
 };
 use crate::lexer::{lex, LexError, Spanned, Token};
 use adaptnoc_topology::geom::Rect;
@@ -306,12 +311,43 @@ impl Parser {
         let mut sc = Scenario::default();
         while self.peek().is_some() {
             if self.eat_kw("grid") {
-                let w = self.small("a grid width", 16)?;
-                let h = self.small("a grid height", 16)?;
+                let w = self.small("a grid width", 64)?;
+                let h = self.small("a grid height", 64)?;
                 if w == 0 || h == 0 {
                     return Err(self.err_prev("grid dimensions must be positive".into()));
                 }
                 sc.grid = (w as u8, h as u8);
+            } else if self.eat_kw("chiplet") {
+                let defaults = FabricAst::default();
+                let mut fb = FabricAst {
+                    chips_x: self.small("a chip-grid width", 8)? as u8,
+                    chips_y: self.small("a chip-grid height", 8)? as u8,
+                    chip_w: self.small("a chip tile width", 16)? as u8,
+                    chip_h: self.small("a chip tile height", 16)? as u8,
+                    ..defaults
+                };
+                if fb.chips_x == 0 || fb.chips_y == 0 || fb.chip_w == 0 || fb.chip_h == 0 {
+                    return Err(self.err_prev("chiplet dimensions must be positive".into()));
+                }
+                if self.eat_kw("latency") {
+                    fb.link_latency = self.small("an inter-chip link latency", 255)? as u8;
+                    if fb.link_latency == 0 {
+                        return Err(self.err_prev("link latency must be positive".into()));
+                    }
+                }
+                if self.eat_kw("links") {
+                    fb.links_per_edge = self.small("a links-per-edge count", 16)? as u8;
+                    if fb.links_per_edge == 0 {
+                        return Err(self.err_prev("links per edge must be positive".into()));
+                    }
+                }
+                let gw = fb.chips_x as u64 * fb.chip_w as u64;
+                let gh = fb.chips_y as u64 * fb.chip_h as u64;
+                if gw > 64 || gh > 64 {
+                    return Err(self.err_prev(format!("chiplet footprint {gw}x{gh} exceeds 64x64")));
+                }
+                sc.grid = (gw as u8, gh as u8);
+                sc.fabric = Some(fb);
             } else if self.eat_kw("seed") {
                 sc.seed = self.int("a seed")?;
             } else if self.eat_kw("warmup") {
@@ -322,10 +358,10 @@ impl Parser {
                 sc.epoch = self.int("an epoch length")?;
             } else if self.eat_kw("region") {
                 let name = self.name("a region name")?;
-                let x = self.small("a region x", 15)? as u8;
-                let y = self.small("a region y", 15)? as u8;
-                let w = self.small("a region width", 16)? as u8;
-                let h = self.small("a region height", 16)? as u8;
+                let x = self.small("a region x", 63)? as u8;
+                let y = self.small("a region y", 63)? as u8;
+                let w = self.small("a region width", 64)? as u8;
+                let h = self.small("a region height", 64)? as u8;
                 sc.regions.push((name, Rect::new(x, y, w, h)));
             } else if self.eat_kw("sweep") {
                 self.expect_kw("load")?;
@@ -451,6 +487,27 @@ mod tests {
         assert!(parse("t=0 kill link 3 7;").is_err(), "missing arrow");
         assert!(parse("grid 0 4;").is_err(), "zero grid");
         assert!(parse("t=0 uniform load 0.3").is_err(), "missing semicolon");
+    }
+
+    #[test]
+    fn chiplet_directive_sets_fabric_and_grid() {
+        let sc = parse("chiplet 2 2 4 4 latency 6 links 1;\nt=0 uniform load 0.1;").unwrap();
+        let fb = sc.fabric.expect("fabric set");
+        assert_eq!((fb.chips_x, fb.chips_y, fb.chip_w, fb.chip_h), (2, 2, 4, 4));
+        assert_eq!(fb.link_latency, 6);
+        assert_eq!(fb.links_per_edge, 1);
+        assert_eq!(sc.grid, (8, 8), "grid derived from the fabric footprint");
+        // Canonical form round-trips.
+        let sc2 = parse(&sc.to_string()).unwrap();
+        assert_eq!(sc, sc2);
+        // Latency/links are optional and default like FabricAst.
+        let sc = parse("chiplet 2 1 4 4;").unwrap();
+        let fb = sc.fabric.unwrap();
+        assert_eq!(fb.link_latency, FabricAst::default().link_latency);
+        assert_eq!(fb.links_per_edge, FabricAst::default().links_per_edge);
+        // Footprint must stay on the u8 grid.
+        assert!(parse("chiplet 8 8 16 16;").is_err(), "128x128 footprint");
+        assert!(parse("chiplet 0 2 4 4;").is_err(), "zero chips");
     }
 
     #[test]

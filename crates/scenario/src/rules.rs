@@ -14,6 +14,7 @@ use adaptnoc_faults::schedule::{FaultEvent, FaultKind, FaultSchedule};
 use adaptnoc_sim::config::SimConfig;
 use adaptnoc_sim::ids::{NodeId, RouterId};
 use adaptnoc_topology::chip::mesh_chip;
+use adaptnoc_topology::chiplet::{chiplet_chip, ChipletConfig};
 use adaptnoc_topology::geom::{Grid, Rect};
 use adaptnoc_topology::regions::TopologyKind;
 use adaptnoc_workloads::open::{Arrival, DestPattern, RateShape, TrafficSpec};
@@ -79,6 +80,10 @@ pub struct ExecPlan {
     pub epoch: u64,
     /// Named regions (resolved rects, declaration order).
     pub regions: Vec<(String, Rect)>,
+    /// Chiplet fabric, when the scenario declared one. The runner then
+    /// builds the network from [`chiplet_chip`] instead of a flat mesh;
+    /// `grid` always equals the fabric's tile footprint.
+    pub fabric: Option<ChipletConfig>,
     /// Scripted faults, routed through the fault controller.
     pub faults: FaultSchedule,
     /// Traffic phases, sorted by firing cycle (stable).
@@ -239,9 +244,36 @@ pub fn compile(sc: &Scenario) -> Result<ExecPlan, CompileError> {
         }
     }
 
-    // The baseline chip (whole-grid mesh) resolves link endpoints to
-    // channel keys; this is also the spec the runner starts from.
-    let base = mesh_chip(grid, &SimConfig::baseline()).map_err(|e| err(e.to_string()))?;
+    // A declared fabric fixes the network shape: check the grid matches
+    // its footprint and build the chiplet config the runner will use.
+    let fabric = match sc.fabric {
+        Some(fb) => {
+            let cc = ChipletConfig {
+                link_latency: fb.link_latency,
+                links_per_edge: fb.links_per_edge,
+                ..ChipletConfig::new(fb.chips_x, fb.chips_y, fb.chip_w, fb.chip_h)
+            };
+            cc.validate().map_err(|e| err(e.to_string()))?;
+            let fp = cc.grid();
+            if (fp.width, fp.height) != (sc.grid.0, sc.grid.1) {
+                return Err(err(format!(
+                    "grid {}x{} does not match the chiplet footprint {}x{}",
+                    sc.grid.0, sc.grid.1, fp.width, fp.height
+                )));
+            }
+            Some(cc)
+        }
+        None => None,
+    };
+
+    // The baseline chip resolves link endpoints to channel keys; this is
+    // also the spec the runner starts from. On a chiplet fabric that is
+    // the hierarchical spec, so kill/glitch targets can name the
+    // inter-chip links themselves.
+    let base = match &fabric {
+        Some(cc) => chiplet_chip(cc, &SimConfig::baseline()).map_err(|e| err(e.to_string()))?,
+        None => mesh_chip(grid, &SimConfig::baseline()).map_err(|e| err(e.to_string()))?,
+    };
     let routers = base.routers.len() as u64;
     let link_key = |from: u16, to: u16| {
         base.channels
@@ -255,10 +287,24 @@ pub fn compile(sc: &Scenario) -> Result<ExecPlan, CompileError> {
     let mut faults = Vec::new();
     let mut traffic = Vec::new();
     let mut reconfigs = Vec::new();
+    // Permanent faults and reconfiguration both trigger the recovery
+    // path, which rebuilds the chip as a (degraded) flat mesh — that
+    // would silently clobber a chiplet fabric's inter-chip links, so on
+    // fabrics only self-healing transients are allowed.
+    let on_fabric = |what: &str| -> CompileError {
+        err(format!(
+            "{what} is not supported on a chiplet fabric (recovery would \
+             rebuild a flat mesh); use `glitch link` for transient SerDes \
+             outages"
+        ))
+    };
     for ev in &sc.events {
         match &ev.action {
             Action::Traffic(t) => traffic.push(c.traffic(ev.at, t)?),
             Action::KillRouter(r) => {
+                if fabric.is_some() {
+                    return Err(on_fabric("`kill router`"));
+                }
                 if *r as u64 >= routers {
                     return Err(err(format!("router {r} is outside the grid")));
                 }
@@ -269,12 +315,17 @@ pub fn compile(sc: &Scenario) -> Result<ExecPlan, CompileError> {
                     },
                 });
             }
-            Action::KillLink { from, to } => faults.push(FaultEvent {
-                at: ev.at,
-                kind: FaultKind::PermanentLink {
-                    key: link_key(*from, *to)?,
-                },
-            }),
+            Action::KillLink { from, to } => {
+                if fabric.is_some() {
+                    return Err(on_fabric("`kill link`"));
+                }
+                faults.push(FaultEvent {
+                    at: ev.at,
+                    kind: FaultKind::PermanentLink {
+                        key: link_key(*from, *to)?,
+                    },
+                });
+            }
             Action::GlitchLink { from, to, duration } => faults.push(FaultEvent {
                 at: ev.at,
                 kind: FaultKind::TransientLink {
@@ -282,11 +333,16 @@ pub fn compile(sc: &Scenario) -> Result<ExecPlan, CompileError> {
                     duration: *duration,
                 },
             }),
-            Action::Reconfigure { region, to } => reconfigs.push(ReconfigEvent {
-                at: ev.at,
-                rect: c.region(region)?,
-                kind: *to,
-            }),
+            Action::Reconfigure { region, to } => {
+                if fabric.is_some() {
+                    return Err(on_fabric("`reconfigure`"));
+                }
+                reconfigs.push(ReconfigEvent {
+                    at: ev.at,
+                    rect: c.region(region)?,
+                    kind: *to,
+                });
+            }
         }
     }
     traffic.sort_by_key(|t| t.at);
@@ -298,6 +354,7 @@ pub fn compile(sc: &Scenario) -> Result<ExecPlan, CompileError> {
         duration: sc.duration,
         epoch: sc.epoch,
         regions: sc.regions.clone(),
+        fabric,
         faults: FaultSchedule::new(faults),
         traffic,
         reconfigs,
@@ -368,6 +425,59 @@ mod tests {
             plan("t=0 uniform load 0.1 mmpp 4 1.5 0.1;").is_err(),
             "probability out of range"
         );
+    }
+
+    #[test]
+    fn chiplet_scenarios_compile_against_the_fabric_spec() {
+        // Routers 19 (tile (3,2)) and 20 (tile (4,2)) sit on opposite
+        // sides of the vertical chip boundary of a 2x2 fabric of 4x4
+        // chips — with one link per edge the gateway is the boundary
+        // midpoint — so the channel between them only exists in the
+        // chiplet spec, as an inter-chip link.
+        let p = plan(
+            "chiplet 2 2 4 4 latency 6 links 1;\n\
+             t=0 uniform load 0.1;\n\
+             t=500 glitch link 19 -> 20 for 200;",
+        )
+        .unwrap();
+        let cc = p.fabric.expect("fabric compiled");
+        assert_eq!((cc.chips_x, cc.chips_y, cc.chip_w, cc.chip_h), (2, 2, 4, 4));
+        assert_eq!(cc.link_latency, 6);
+        assert_eq!(cc.links_per_edge, 1);
+        assert_eq!(p.faults.len(), 1);
+        let FaultKind::TransientLink { key, duration } = p.faults.events()[0].kind else {
+            panic!("expected a transient link fault");
+        };
+        assert_eq!(
+            (key.src.router, key.dst.router),
+            (RouterId(19), RouterId(20))
+        );
+        assert_eq!(duration, 200);
+        // Link endpoints resolve against the *fabric* spec: a boundary
+        // pair with no gateway there has a channel on a plain 8x8 mesh
+        // but not on the fabric, so naming it fails.
+        assert!(
+            plan("chiplet 2 2 4 4 links 1; t=0 glitch link 27 -> 28 for 100;").is_err(),
+            "27 -> 28 crosses the boundary away from the gateway"
+        );
+    }
+
+    #[test]
+    fn fabrics_reject_permanent_faults_and_reconfiguration() {
+        for bad in [
+            "chiplet 2 2 4 4; t=0 kill router 5;",
+            "chiplet 2 2 4 4; t=0 kill link 27 -> 28;",
+            "chiplet 2 2 4 4; region A 0 0 4 4; t=0 reconfigure region A to torus;",
+        ] {
+            let e = plan(bad).unwrap_err();
+            assert!(e.msg.contains("chiplet fabric"), "{bad}: {}", e.msg);
+        }
+        // A hand-desynchronised grid is caught even though the parser
+        // normally derives it.
+        let mut sc = parse("chiplet 2 2 4 4;").unwrap();
+        sc.grid = (16, 16);
+        let e = compile(&sc).unwrap_err();
+        assert!(e.msg.contains("footprint"), "{}", e.msg);
     }
 
     #[test]

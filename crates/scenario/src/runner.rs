@@ -28,6 +28,7 @@ use adaptnoc_sim::stats::NetStats;
 use adaptnoc_sim::telemetry::TelemetryMode;
 use adaptnoc_sim::trace::{TraceBuffer, TraceEvent};
 use adaptnoc_topology::chip::{build_chip_spec, mesh_chip};
+use adaptnoc_topology::chiplet::chiplet_chip;
 use adaptnoc_topology::geom::Rect;
 use adaptnoc_topology::plan::BuildError;
 use adaptnoc_topology::regions::RegionTopology;
@@ -46,7 +47,7 @@ const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 ///
 /// Clones share one flag: any clone calling [`cancel`](Self::cancel)
 /// makes the running [`run`] return [`RunError::Cancelled`] at its next
-/// check point (every [`QUEUE_SAMPLE_INTERVAL`] cycles and at every
+/// check point (every `QUEUE_SAMPLE_INTERVAL` cycles and at every
 /// epoch boundary), instead of running to the end of the plan. This is
 /// what lets a supervisor — Ctrl-C handling in `gen-figures`, a job
 /// deadline in the farm daemon — stop a multi-million-cycle run within
@@ -286,7 +287,15 @@ pub fn run(plan: &ExecPlan, opts: &RunOptions) -> Result<ScenarioOutcome, RunErr
     let tiles = grid.tiles();
     let full = Rect::new(0, 0, grid.width, grid.height);
 
-    let mut net = Network::new(mesh_chip(grid, &cfg)?, cfg.clone())?;
+    // A chiplet scenario runs on the hierarchical fabric; everything
+    // else on the flat whole-grid mesh. The compiler already rejected
+    // recovery-triggering events on fabrics, so the fault controller's
+    // rebuild path (which assumes a mesh) can never fire here.
+    let spec = match &plan.fabric {
+        Some(cc) => chiplet_chip(cc, &cfg)?,
+        None => mesh_chip(grid, &cfg)?,
+    };
+    let mut net = Network::new(spec, cfg.clone())?;
     net.set_telemetry_mode(opts.telemetry);
     if opts.trace_capacity > 0 {
         net.set_tracer(Some(TraceBuffer::all(opts.trace_capacity)));

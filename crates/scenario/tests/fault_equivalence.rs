@@ -29,6 +29,7 @@ fn hand_built_plan() -> ExecPlan {
         duration: 6_000,
         epoch: 2_000,
         regions: Vec::new(),
+        fabric: None,
         faults: FaultSchedule::new(vec![
             FaultEvent {
                 at: 2_000,

@@ -105,8 +105,30 @@ fn random_action(rng: &mut Rng, sc: &Scenario) -> Action {
 }
 
 fn random_scenario(rng: &mut Rng) -> Scenario {
+    // About a fifth of cases run on a chiplet fabric (whose footprint
+    // fixes the grid); the rest on a flat mesh. Fabric scenarios keep
+    // the same event generator — permanent faults and reconfigures are
+    // rejected at *compile* time, not parse time, so the round-trip
+    // property must hold for them regardless.
+    let fabric = if rng.random_bool(0.2) {
+        Some(FabricAst {
+            chips_x: rng.random_range(1, 4) as u8,
+            chips_y: rng.random_range(1, 4) as u8,
+            chip_w: rng.random_range(2, 5) as u8,
+            chip_h: rng.random_range(2, 5) as u8,
+            link_latency: rng.random_range(1, 9) as u8,
+            links_per_edge: rng.random_range(1, 3) as u8,
+        })
+    } else {
+        None
+    };
+    let grid = match fabric {
+        Some(fb) => (fb.chips_x * fb.chip_w, fb.chips_y * fb.chip_h),
+        None => (rng.random_range(2, 11) as u8, rng.random_range(2, 11) as u8),
+    };
     let mut sc = Scenario {
-        grid: (rng.random_range(2, 11) as u8, rng.random_range(2, 11) as u8),
+        grid,
+        fabric,
         seed: rng.random_range(0, 1 << 20) as u64,
         warmup: nice_time(rng),
         duration: nice_time(rng).max(1),

@@ -25,6 +25,10 @@ pub struct EventCounts {
     pub link_flit_mm: f64,
     /// Flit traversals of adaptable-link or concentration muxes.
     pub mux_traversals: u64,
+    /// Flit crossings of serialized inter-chip (chiplet) links; each
+    /// crossing pays a SerDes + package-wire energy on top of the
+    /// length-dependent link energy.
+    pub interchip_crossings: u64,
     /// Flits injected by network interfaces.
     pub ni_injections: u64,
     /// Flits that used the injection-VC bypass.
@@ -48,6 +52,7 @@ impl EventCounts {
         self.link_flit_hops += other.link_flit_hops;
         self.link_flit_mm += other.link_flit_mm;
         self.mux_traversals += other.mux_traversals;
+        self.interchip_crossings += other.interchip_crossings;
         self.ni_injections += other.ni_injections;
         self.bypass_injections += other.bypass_injections;
         self.ni_ejections += other.ni_ejections;
@@ -84,6 +89,10 @@ pub struct StaticCycles {
     pub adapt_link_mm_cycles: f64,
     /// Sum over cycles of active concentration-link millimeters.
     pub conc_link_mm_cycles: f64,
+    /// Sum over cycles of powered-on inter-chip (chiplet) link millimeters;
+    /// these links also keep their SerDes lanes powered, so they carry
+    /// their own static-power coefficient.
+    pub interchip_link_mm_cycles: f64,
     /// Total simulated cycles.
     pub cycles: u64,
 }
@@ -97,6 +106,7 @@ impl StaticCycles {
         self.mesh_link_mm_cycles += other.mesh_link_mm_cycles;
         self.adapt_link_mm_cycles += other.adapt_link_mm_cycles;
         self.conc_link_mm_cycles += other.conc_link_mm_cycles;
+        self.interchip_link_mm_cycles += other.interchip_link_mm_cycles;
         self.cycles += other.cycles;
     }
 

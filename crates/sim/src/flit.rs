@@ -136,7 +136,7 @@ impl FlitPos {
 }
 
 /// A flow-control unit traversing the network. `Copy` so the simulator's
-/// data-oriented buffer slab (see [`crate::soa`]) can move flits between
+/// data-oriented buffer slab (see `crate::soa`) can move flits between
 /// slots without clone calls on the hot path.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Flit {
@@ -158,8 +158,9 @@ pub struct Flit {
     pub kind: PacketKind,
     /// Correlation tag copied from the packet.
     pub tag: u64,
-    /// Dateline VC class: 0 before crossing a dateline channel, 1 after
-    /// (Sec. II-C3, torus deadlock avoidance).
+    /// Dateline VC class: 0 before crossing a dateline channel, 1 after a
+    /// torus wrap (Sec. II-C3, reset per dimension), or the sticky
+    /// [`crate::spec::CLASS_INTERCHIP`] after a chip boundary crossing.
     pub vc_class: u8,
     /// Dimension of the last channel traversed (0 = X, 1 = Y,
     /// [`crate::spec::DIM_NONE`] before the first hop); used for the

@@ -212,6 +212,7 @@ struct StaticProfile {
     mesh_link_mm: f64,
     adapt_link_mm: f64,
     conc_link_mm: f64,
+    interchip_link_mm: f64,
 }
 
 /// The cycle-level network simulator.
@@ -520,6 +521,7 @@ impl Network {
                 ChannelKind::Mesh | ChannelKind::Express => p.mesh_link_mm += mm,
                 ChannelKind::Adaptable | ChannelKind::AdaptableReversed => p.adapt_link_mm += mm,
                 ChannelKind::Concentration => p.conc_link_mm += mm,
+                ChannelKind::InterChip => p.interchip_link_mm += mm,
             }
         }
         for ni in &self.spec.nis {
@@ -1101,6 +1103,7 @@ impl Network {
         s.mesh_link_mm_cycles += self.profile.mesh_link_mm;
         s.adapt_link_mm_cycles += self.profile.adapt_link_mm;
         s.conc_link_mm_cycles += self.profile.conc_link_mm;
+        s.interchip_link_mm_cycles += self.profile.interchip_link_mm;
 
         // 6. Invariant guards (see `crate::health`): strict mode sweeps
         // every cycle, sampled mode on a deterministic cycle-keyed cadence.

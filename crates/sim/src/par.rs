@@ -4,7 +4,7 @@
 //! stage of one cycle into contiguous router *bands* (one per thread,
 //! aligned to subNoC region boundaries when a [`RegionMap`] is installed)
 //! and runs them concurrently. Everything the bands could race on is
-//! deferred into per-band [`StageSink`]s and merged **in ascending band
+//! deferred into per-band `StageSink`s and merged **in ascending band
 //! order** at the cycle barrier, so the output — delivered packets,
 //! statistics, trace events, telemetry counters — is byte-identical to the
 //! serial stepper at any thread count (pinned by
@@ -13,7 +13,7 @@
 //! ## The boundary-channel exchange
 //!
 //! Bands partition *routers*; channels are owned by the band containing
-//! their **source** router (see [`crate::stage::ChannelShard`]). A flit
+//! their **source** router (see `crate::stage::ChannelShard`). A flit
 //! crossing a band boundary is simply pushed onto its channel's queue by
 //! the owning band and picked up by the destination band's router in the
 //! *link* stage of a later cycle — the channel queues double as the
@@ -113,7 +113,7 @@ impl std::fmt::Debug for WorkerShared {
 }
 
 /// A fixed pool of `threads - 1` worker threads (plus the calling thread)
-/// for region-parallel [`Network::step_parallel`]
+/// for region-parallel [`Network::step_parallel`](crate::network::Network::step_parallel)
 /// (see [`crate::network::Network::step_parallel`]).
 ///
 /// The pool is created once and reused across cycles and across networks;

@@ -29,6 +29,12 @@ pub enum ChannelKind {
     /// A dedicated express link (used by the Shortcut and Flattened
     /// Butterfly baselines, which do not use adaptable links).
     Express,
+    /// A serialized inter-chip link of a chiplet fabric: crosses a chip
+    /// boundary through SerDes + package substrate wires instead of on-chip
+    /// metal. Its `latency` carries the serialization + flight time; the
+    /// SerDes is pipelined, so sustained bandwidth stays one flit per cycle
+    /// on the parallel side.
+    InterChip,
 }
 
 impl ChannelKind {
@@ -85,6 +91,14 @@ pub struct ChannelSpec {
 /// Sentinel for "no previous dimension" (fresh injection).
 pub const DIM_NONE: u8 = u8::MAX;
 
+/// The sticky escape class entered at the first inter-chip crossing of a
+/// chiplet fabric. Unlike the per-dimension torus class 1, it is never
+/// reset by a dimension change: the packet stays in the escape VC
+/// partition for the rest of its route, which splits the channel
+/// dependency graph between pre- and post-crossing legs (see
+/// `adaptnoc-topology`'s chiplet builder for the deadlock argument).
+pub const CLASS_INTERCHIP: u8 = 2;
+
 impl ChannelSpec {
     /// This channel's dimension id (0 = X, 1 = Y).
     pub fn dim(&self) -> u8 {
@@ -94,8 +108,14 @@ impl ChannelSpec {
     /// The VC class a packet of class `class` (whose previous channel had
     /// dimension `last_dim`) will carry while traversing this channel:
     /// a dimension change resets the class to 0, then a dateline crossing
-    /// switches it to 1.
+    /// switches it to 1. Dateline inter-chip channels instead switch to
+    /// the sticky [`CLASS_INTERCHIP`], which no later hop resets. Any
+    /// non-zero class allocates from the escape VC partition of a split
+    /// router.
     pub fn class_after(&self, class: u8, last_dim: u8) -> u8 {
+        if class == CLASS_INTERCHIP || (self.dateline && self.kind == ChannelKind::InterChip) {
+            return CLASS_INTERCHIP;
+        }
         let c = if last_dim != self.dim() { 0 } else { class };
         if self.dateline {
             1

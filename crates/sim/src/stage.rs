@@ -682,6 +682,9 @@ impl BandView<'_> {
             if spec.kind.is_adaptable() || spec.kind == ChannelKind::Concentration {
                 sink.events.mux_traversals += 1;
             }
+            if spec.kind == ChannelKind::InterChip {
+                sink.events.interchip_crossings += 1;
+            }
             self.channels.count_traversal(ci);
             let c = self.channels.get_mut(ci);
             c.q.push_back((now + spec.latency as u64, flit));

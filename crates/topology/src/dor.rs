@@ -12,10 +12,15 @@
 //! computation weighted by channel latency, restricted to edges that
 //! *strictly decrease* the distance to the target. Overshooting express
 //! segments remain usable (jumping past nearby routers still decreases
-//! distance to a far target), but "move away first" paths are forbidden:
-//! with strictly decreasing distance, every route terminates and channel
-//! dependencies cannot flow into an express segment, which keeps each
-//! dimension's channel dependency graph acyclic (additionally verified by
+//! distance to a far target), but "move away first" paths are forbidden,
+//! so every route terminates. Overshoot-then-return routes mix the two
+//! travel directions of a line, which is safe for the regular express
+//! spacings the torus/express builders emit but can close a channel
+//! dependency cycle for arbitrary skip spacings. For those,
+//! [`fill_dor_tables_monotone`] additionally forbids crossing the target:
+//! monotone routes use a single travel direction per line, so each
+//! direction's channels depend only on channels strictly further along —
+//! acyclic for *any* skip placement (and still verified by
 //! [`crate::validate`]).
 
 use crate::geom::{Coord, Grid};
@@ -37,8 +42,15 @@ struct DimEdge {
 const INF: u32 = u32::MAX / 2;
 
 /// Shortest-path next-hop ports within one dimension line towards `target`,
-/// indexed by position. `size` is the line length.
-fn line_next_hops(edges: &[DimEdge], size: usize, target: u8) -> Vec<Option<PortId>> {
+/// indexed by position. `size` is the line length. With `monotone`,
+/// target-crossing (overshooting) edges are excluded.
+fn line_next_hops(
+    edges: &[DimEdge],
+    size: usize,
+    target: u8,
+    monotone: bool,
+) -> Vec<Option<PortId>> {
+    let usable = |e: &DimEdge| decreases(e, target) && (!monotone || !crosses(e, target));
     // Reverse Dijkstra from `target`.
     let mut dist = vec![INF; size];
     dist[target as usize] = 0;
@@ -55,7 +67,7 @@ fn line_next_hops(edges: &[DimEdge], size: usize, target: u8) -> Vec<Option<Port
         // Relax reversed edges: e.from -> e.to means dist[from] can improve
         // via dist[to]. Only strictly distance-decreasing edges participate.
         for e in edges {
-            if e.to as usize == u && decreases(e, target) {
+            if e.to as usize == u && usable(e) {
                 let w = edge_cost(e);
                 if dist[e.from as usize] > dist[u] + w {
                     dist[e.from as usize] = dist[u] + w;
@@ -71,7 +83,7 @@ fn line_next_hops(edges: &[DimEdge], size: usize, target: u8) -> Vec<Option<Port
         }
         let mut best: Option<(u32, u32, PortId)> = None;
         for e in edges {
-            if e.from as usize != i || dist[e.to as usize] >= INF || !decreases(e, target) {
+            if e.from as usize != i || dist[e.to as usize] >= INF || !usable(e) {
                 continue;
             }
             let cost = edge_cost(e) + dist[e.to as usize];
@@ -100,6 +112,11 @@ fn decreases(e: &DimEdge, target: u8) -> bool {
     (e.to as i32 - target as i32).unsigned_abs() < (e.from as i32 - target as i32).unsigned_abs()
 }
 
+/// Whether traversing `e` lands on the far side of `target` (overshoots).
+fn crosses(e: &DimEdge, target: u8) -> bool {
+    (e.to as i32 - target as i32) * (e.from as i32 - target as i32) < 0
+}
+
 /// Fills `spec.tables` for `vnet` with dimension-ordered routes covering
 /// every (router, destination node) pair in `routers` × `nodes`.
 ///
@@ -118,6 +135,42 @@ pub fn fill_dor_tables(
     routers: &[RouterId],
     nodes: &[NodeId],
     best_effort: bool,
+) -> Result<(), BuildError> {
+    fill_impl(spec, grid, vnet, routers, nodes, best_effort, false)
+}
+
+/// [`fill_dor_tables`] restricted to *monotone* in-line moves: overshooting
+/// (target-crossing) hops are excluded, so every route sticks to one travel
+/// direction per line. Routes can be a few hops longer where an overshoot
+/// shortcut existed, but each direction's channel dependencies only ever
+/// point further along the line — the dependency graph is acyclic for
+/// arbitrary express/skip placements, not just regularly spaced ones. Used
+/// by the customizable sparse-Hamming generator.
+///
+/// # Errors
+///
+/// Returns [`BuildError::Unreachable`] if a pair cannot be routed and
+/// `best_effort` is false.
+pub fn fill_dor_tables_monotone(
+    spec: &mut NetworkSpec,
+    grid: &Grid,
+    vnet: Vnet,
+    routers: &[RouterId],
+    nodes: &[NodeId],
+    best_effort: bool,
+) -> Result<(), BuildError> {
+    fill_impl(spec, grid, vnet, routers, nodes, best_effort, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fill_impl(
+    spec: &mut NetworkSpec,
+    grid: &Grid,
+    vnet: Vnet,
+    routers: &[RouterId],
+    nodes: &[NodeId],
+    best_effort: bool,
+    monotone: bool,
 ) -> Result<(), BuildError> {
     let router_set: HashSet<RouterId> = routers.iter().copied().collect();
 
@@ -175,6 +228,7 @@ pub fn fill_dor_tables(
                         row_edges.get(&rc.y).map_or(&[][..], |v| v),
                         grid.width as usize,
                         tc.x,
+                        monotone,
                     )
                 });
                 next[rc.x as usize]
@@ -184,6 +238,7 @@ pub fn fill_dor_tables(
                         col_edges.get(&rc.x).map_or(&[][..], |v| v),
                         grid.height as usize,
                         tc.y,
+                        monotone,
                     )
                 });
                 next[rc.y as usize]
@@ -241,11 +296,11 @@ mod tests {
                 src_port: PortId(1),
             },
         ];
-        let next = line_next_hops(&edges, 3, 2);
+        let next = line_next_hops(&edges, 3, 2, false);
         assert_eq!(next[0], Some(PortId(0)));
         assert_eq!(next[1], Some(PortId(0)));
         assert_eq!(next[2], None);
-        let next = line_next_hops(&edges, 3, 0);
+        let next = line_next_hops(&edges, 3, 0, false);
         assert_eq!(next[2], Some(PortId(1)));
         assert_eq!(next[1], Some(PortId(1)));
     }
@@ -274,14 +329,14 @@ mod tests {
             latency: 1,
             src_port: PortId(3),
         });
-        let next = line_next_hops(&edges, 4, 3);
+        let next = line_next_hops(&edges, 4, 3, false);
         assert_eq!(
             next[0],
             Some(PortId(3)),
             "express should win for far target"
         );
         // For target 1, the direct hop wins.
-        let next = line_next_hops(&edges, 4, 1);
+        let next = line_next_hops(&edges, 4, 1, false);
         assert_eq!(next[0], Some(PortId(0)));
     }
 
@@ -310,9 +365,14 @@ mod tests {
             latency: 1,
             src_port: PortId(3),
         });
-        let next = line_next_hops(&edges, 6, 4);
+        let next = line_next_hops(&edges, 6, 4, false);
         assert_eq!(next[0], Some(PortId(3)), "overshoot path is shorter");
         assert_eq!(next[5], Some(PortId(1)), "come back from overshoot");
+        // Monotone mode refuses the target-crossing express even though it
+        // is cheaper: the route stays on the near side of the target.
+        let next = line_next_hops(&edges, 6, 4, true);
+        assert_eq!(next[0], Some(PortId(0)), "monotone must not cross");
+        assert_eq!(next[1], Some(PortId(0)));
     }
 
     #[test]
@@ -323,7 +383,7 @@ mod tests {
             latency: 1,
             src_port: PortId(0),
         }];
-        let next = line_next_hops(&edges, 3, 2);
+        let next = line_next_hops(&edges, 3, 2, false);
         assert_eq!(next[0], None);
         assert_eq!(next[1], None);
     }
@@ -357,7 +417,7 @@ mod tests {
             latency: 1,
             src_port: PortId(3),
         });
-        let next = line_next_hops(&edges, 5, 2);
+        let next = line_next_hops(&edges, 5, 2, false);
         assert_eq!(next[0], Some(PortId(0)), "monotone path should win the tie");
     }
 }

@@ -33,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chip;
+pub mod chiplet;
 pub mod degraded;
 pub mod dor;
 pub mod ftby;
@@ -41,20 +42,24 @@ pub mod irregular;
 pub mod plan;
 pub mod regions;
 pub mod shortcut;
+pub mod sparse;
 pub mod validate;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::chip::{build_chip_spec, mesh_chip};
+    pub use crate::chiplet::{chiplet_chip, interchip_channels, ChipletConfig};
     pub use crate::degraded::{degrade_region, surviving_nodes, DegradedPlan};
-    pub use crate::dor::fill_dor_tables;
+    pub use crate::dor::{fill_dor_tables, fill_dor_tables_monotone};
     pub use crate::ftby::ftby_chip;
     pub use crate::geom::{Coord, Grid, Rect};
     pub use crate::irregular::irregular_region;
     pub use crate::plan::{express_latency, BuildError, ChipPlan};
     pub use crate::regions::{RegionTopology, TopologyKind};
     pub use crate::shortcut::{choose_shortcut_links, shortcut_chip, TrafficWeight};
+    pub use crate::sparse::{sparse_hamming_chip, sparse_hamming_region, SparseHammingParams};
     pub use crate::validate::{
-        all_pairs, check_routes_and_deadlock, walk_route, RouteStats, ValidateError,
+        all_pairs, check_routes_and_deadlock, walk_route, wiring_feasible, RouteStats,
+        ValidateError, WiringLimits, WiringReport,
     };
 }

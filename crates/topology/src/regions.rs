@@ -35,6 +35,11 @@ pub enum TopologyKind {
     /// mesh plus half-span express segments on every row and column wire
     /// (an express-channel mesh; no rings, so no datelines needed).
     ExpressMesh,
+    /// Extension: sparse-Hamming-graph design point — the mesh plus
+    /// binary-ladder skip links along every row and column (see
+    /// [`crate::sparse`]), giving logarithmic diameter within the paper's
+    /// wiring budget.
+    SparseHamming,
 }
 
 impl TopologyKind {
@@ -57,7 +62,7 @@ impl TopologyKind {
             TopologyKind::Cmesh => 1,
             TopologyKind::Torus => 2,
             TopologyKind::Tree => 3,
-            TopologyKind::TorusTree | TopologyKind::ExpressMesh => {
+            TopologyKind::TorusTree | TopologyKind::ExpressMesh | TopologyKind::SparseHamming => {
                 panic!("extension topologies are not in the RL action space")
             }
         }
@@ -81,6 +86,7 @@ impl TopologyKind {
             TopologyKind::Tree => "tree",
             TopologyKind::TorusTree => "torus+tree",
             TopologyKind::ExpressMesh => "express-mesh",
+            TopologyKind::SparseHamming => "sparse-hamming",
         }
     }
 }
@@ -162,6 +168,12 @@ pub fn build_region(
             torus_tree_region(plan, region.rect, region.root, &region.extra_roots, cfg)
         }
         TopologyKind::ExpressMesh => express_mesh_region(plan, region.rect, cfg),
+        TopologyKind::SparseHamming => crate::sparse::sparse_hamming_region(
+            plan,
+            region.rect,
+            &crate::sparse::SparseHammingParams::default_for(region.rect.w, region.rect.h),
+            cfg,
+        ),
     }
 }
 

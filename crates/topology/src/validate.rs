@@ -11,6 +11,7 @@
 //!   network. Dateline class switches (torus wraps) are modeled exactly as
 //!   the simulator applies them.
 
+use crate::geom::{Coord, Grid};
 use adaptnoc_sim::ids::{ChannelId, NodeId, PortId, RouterId, Vnet};
 use adaptnoc_sim::spec::NetworkSpec;
 use std::collections::{HashMap, HashSet};
@@ -273,6 +274,121 @@ fn find_cycle(deps: &DepGraph) -> Option<u32> {
         }
     }
     None
+}
+
+/// Per-tile-edge wiring limits for the generalized feasibility check.
+///
+/// The numbers are *unidirectional channels per tile edge* and mirror the
+/// 45 nm metal-stack budget derived in `adaptnoc-power::wiring` (2 high-metal
+/// plus 7 intermediate bidirectional 256-bit links per edge = 18 directed
+/// channels, of which 4 may ride the high metal layers reserved for
+/// adaptable links), extended with a package-substrate SerDes lane budget
+/// for the inter-chip links of chiplet fabrics. Keeping the check here lets
+/// every generated topology be validated without depending on the power
+/// crate; `adaptnoc-power::wiring::analyze_wiring` remains the authoritative
+/// physical model and the two are cross-checked in the bench tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WiringLimits {
+    /// Max unidirectional channels over any tile edge (all wire classes).
+    pub max_channels_per_edge: u32,
+    /// Max unidirectional adaptable-link channels over any tile edge
+    /// (pinned to the high metal layers).
+    pub max_express_channels_per_edge: u32,
+    /// Max unidirectional inter-chip channels over any chip-boundary edge
+    /// (package SerDes lanes, not on-chip metal).
+    pub max_interchip_channels_per_edge: u32,
+}
+
+impl WiringLimits {
+    /// The paper-calibrated 45 nm budget (see `adaptnoc-power::params`).
+    pub fn paper() -> Self {
+        WiringLimits {
+            max_channels_per_edge: 18,
+            max_express_channels_per_edge: 4,
+            max_interchip_channels_per_edge: 8,
+        }
+    }
+}
+
+/// Wiring-feasibility report of a spec against [`WiringLimits`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WiringReport {
+    /// Max unidirectional channels observed over any tile edge.
+    pub max_channels_per_edge: u32,
+    /// Max adaptable-link channels observed over any tile edge.
+    pub max_express_channels_per_edge: u32,
+    /// Max inter-chip channels observed over any chip-boundary edge.
+    pub max_interchip_channels_per_edge: u32,
+    /// Whether every observed maximum is within the limits.
+    pub fits: bool,
+}
+
+/// Generalized wiring-budget feasibility check: routes every channel of the
+/// spec dimension-ordered (x first, then y) over the tile edges of `grid`
+/// and compares per-edge channel counts against `limits`. Concentration NI
+/// links count on the edges they cross; inter-chip channels count against
+/// the separate substrate-lane limit of the chip edge they cross. This is
+/// the check every generated topology (sparse Hamming, chiplet fabrics,
+/// custom irregular regions) must pass before it becomes a design point.
+pub fn wiring_feasible(spec: &NetworkSpec, grid: &Grid, limits: &WiringLimits) -> WiringReport {
+    // Edge id: ('h', x, y) between (x,y)-(x+1,y); ('v', x, y) between
+    // (x,y)-(x,y+1).
+    let mut all: HashMap<(char, u8, u8), u32> = HashMap::new();
+    let mut express: HashMap<(char, u8, u8), u32> = HashMap::new();
+    let mut interchip: HashMap<(char, u8, u8), u32> = HashMap::new();
+
+    let mut add_span = |a: Coord, b: Coord, is_express: bool| {
+        let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
+        for x in x0..x1 {
+            let e = ('h', x, a.y);
+            *all.entry(e).or_insert(0) += 1;
+            if is_express {
+                *express.entry(e).or_insert(0) += 1;
+            }
+        }
+        let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+        for y in y0..y1 {
+            let e = ('v', b.x, y);
+            *all.entry(e).or_insert(0) += 1;
+            if is_express {
+                *express.entry(e).or_insert(0) += 1;
+            }
+        }
+    };
+
+    for ch in &spec.channels {
+        let a = grid.coord(ch.src.router);
+        let b = grid.coord(ch.dst.router);
+        if ch.kind == adaptnoc_sim::spec::ChannelKind::InterChip {
+            let e = if a.y == b.y {
+                ('h', a.x.min(b.x), a.y)
+            } else {
+                ('v', a.x, a.y.min(b.y))
+            };
+            *interchip.entry(e).or_insert(0) += 1;
+            continue;
+        }
+        add_span(a, b, ch.kind.is_adaptable());
+    }
+    for ni in &spec.nis {
+        if ni.concentration {
+            add_span(grid.node_coord(ni.node), grid.coord(ni.router), false);
+        }
+    }
+
+    let max = |m: &HashMap<(char, u8, u8), u32>| m.values().copied().max().unwrap_or(0);
+    let report = WiringReport {
+        max_channels_per_edge: max(&all),
+        max_express_channels_per_edge: max(&express),
+        max_interchip_channels_per_edge: max(&interchip),
+        fits: false,
+    };
+    WiringReport {
+        fits: report.max_channels_per_edge <= limits.max_channels_per_edge
+            && report.max_express_channels_per_edge <= limits.max_express_channels_per_edge
+            && report.max_interchip_channels_per_edge <= limits.max_interchip_channels_per_edge,
+        ..report
+    }
 }
 
 /// All ordered pairs among `nodes`.

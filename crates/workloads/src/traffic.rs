@@ -20,6 +20,16 @@ pub enum Pattern {
     Hotspot(NodeId),
     /// Nearest neighbour (random adjacent tile).
     Neighbor,
+    /// Uniform random destination on a *different* chip of a chiplet
+    /// fabric (chips are `chip_w x chip_h` tile blocks): every packet
+    /// crosses at least one serialized inter-chip link, stressing the
+    /// SerDes boundary instead of the on-chip mesh.
+    CrossChip {
+        /// Tiles per chip row.
+        chip_w: u8,
+        /// Tiles per chip column.
+        chip_h: u8,
+    },
 }
 
 /// An open-loop injector over a region.
@@ -83,6 +93,19 @@ impl SyntheticInjector {
                         if self.rect.contains(n) {
                             return self.grid.node(n);
                         }
+                    }
+                }
+                self.grid.node(src)
+            }
+            Pattern::CrossChip { chip_w, chip_h } => {
+                let chip = (src.x / chip_w, src.y / chip_h);
+                // Bounded rejection sampling; a single-chip region falls
+                // back to the source (the caller drops src == dst).
+                for _ in 0..64 {
+                    let d = self.nodes[self.rng.random_below(self.nodes.len())];
+                    let dc = self.grid.node_coord(d);
+                    if (dc.x / chip_w, dc.y / chip_h) != chip {
+                        return d;
                     }
                 }
                 self.grid.node(src)
@@ -205,6 +228,36 @@ mod tests {
             let d = inj.destination(c);
             assert!(grid.node_coord(d).manhattan(c) <= 1);
         }
+    }
+
+    #[test]
+    fn cross_chip_always_leaves_the_source_chip() {
+        use adaptnoc_topology::chiplet::{chiplet_chip, ChipletConfig};
+        let cc = ChipletConfig::new(2, 2, 4, 4);
+        let grid = cc.grid();
+        let pattern = Pattern::CrossChip {
+            chip_w: 4,
+            chip_h: 4,
+        };
+        let mut inj = SyntheticInjector::new(grid, Rect::new(0, 0, 8, 8), pattern, 1.0, 3);
+        for c in Rect::new(0, 0, 8, 8).iter() {
+            let d = grid.node_coord(inj.destination(c));
+            assert_ne!((d.x / 4, d.y / 4), (c.x / 4, c.y / 4));
+        }
+        // And the traffic actually flows over a chiplet fabric.
+        let cfg = SimConfig::baseline();
+        let mut net = Network::new(chiplet_chip(&cc, &cfg).unwrap(), cfg).unwrap();
+        let mut inj = SyntheticInjector::new(grid, Rect::new(0, 0, 8, 8), pattern, 0.02, 3);
+        let mut offered = 0;
+        for _ in 0..500 {
+            offered += inj.tick(&mut net);
+            net.step();
+        }
+        assert!(offered > 20);
+        while net.in_flight() > 0 {
+            net.step();
+        }
+        assert_eq!(net.drain_delivered().len(), offered);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Prints a deterministic summary of every topology design point the
+//! workspace can generate — the machine-checkable companion to
+//! `docs/TOPOLOGIES.md`.
+//!
+//! ```sh
+//! cargo run --release --example topology_atlas
+//! ```
+//!
+//! For each design point: node/router/channel counts, total wire length
+//! (tile pitches, routed dimension-ordered), the generalized wiring-budget
+//! report against the paper's 45 nm limits, a vertical-midline bisection
+//! estimate, and all-pairs route statistics from the deadlock validator.
+//! The output contains no timestamps or host state, so CI runs it twice
+//! and diffs: any nondeterminism in a topology generator fails the build.
+
+use adaptnoc::sim::prelude::*;
+use adaptnoc::sim::spec::{ChannelKind, NetworkSpec};
+use adaptnoc::topology::prelude::*;
+
+/// Sum of dimension-ordered wire lengths in tile pitches, split into
+/// on-chip metal and inter-chip substrate traces.
+fn wire_length(spec: &NetworkSpec, grid: &Grid) -> (u32, u32) {
+    let (mut metal, mut substrate) = (0u32, 0u32);
+    for ch in &spec.channels {
+        let a = grid.coord(ch.src.router);
+        let b = grid.coord(ch.dst.router);
+        let len = a.manhattan(b) as u32;
+        if ch.kind == ChannelKind::InterChip {
+            substrate += len;
+        } else {
+            metal += len;
+        }
+    }
+    (metal, substrate)
+}
+
+/// Directed channels whose endpoints straddle the vertical midline — a
+/// standard bisection-bandwidth estimate in links.
+fn bisection(spec: &NetworkSpec, grid: &Grid) -> u32 {
+    let mid = grid.width / 2;
+    spec.channels
+        .iter()
+        .filter(|ch| {
+            let a = grid.coord(ch.src.router);
+            let b = grid.coord(ch.dst.router);
+            (a.x < mid) != (b.x < mid)
+        })
+        .count() as u32
+}
+
+fn describe(name: &str, spec: &NetworkSpec, grid: Grid) {
+    let (metal, substrate) = wire_length(spec, &grid);
+    let report = wiring_feasible(spec, &grid, &WiringLimits::paper());
+    let nodes: Vec<NodeId> = grid.iter().map(|c| grid.node(c)).collect();
+    let stats = check_routes_and_deadlock(spec, &all_pairs(&nodes))
+        .unwrap_or_else(|e| panic!("{name}: validation failed: {e}"));
+    println!(
+        "{:<18} {:>6} {:>8} {:>9} {:>7} {:>7} {:>9} {:>8} {:>8.2} {:>4} {:>5}",
+        name,
+        grid.tiles(),
+        spec.routers.len(),
+        spec.channels.len(),
+        metal,
+        substrate,
+        bisection(spec, &grid),
+        report.max_channels_per_edge,
+        stats.avg_hops(),
+        stats.max_hops,
+        if report.fits { "yes" } else { "NO" }
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SimConfig::baseline();
+    println!(
+        "{:<18} {:>6} {:>8} {:>9} {:>7} {:>7} {:>9} {:>8} {:>8} {:>4} {:>5}",
+        "design",
+        "tiles",
+        "routers",
+        "channels",
+        "wire",
+        "serdes",
+        "bisection",
+        "max/edge",
+        "avg-hops",
+        "max",
+        "fits"
+    );
+
+    // The paper's four subNoC topologies, each filling an 8x8 chip.
+    let g8 = Grid::new(8, 8);
+    for kind in [
+        TopologyKind::Mesh,
+        TopologyKind::Cmesh,
+        TopologyKind::Torus,
+        TopologyKind::Tree,
+        TopologyKind::TorusTree,
+    ] {
+        let regions = [RegionTopology::new(Rect::new(0, 0, 8, 8), kind)];
+        let spec = build_chip_spec(g8, &regions, &cfg)?;
+        describe(&format!("{kind:?}-8x8").to_lowercase(), &spec, g8);
+    }
+
+    // Baselines.
+    describe("ftby-8x8", &ftby_chip(g8, &cfg)?, g8);
+
+    // The customizable sparse generator at its default design point.
+    let g16 = Grid::new(16, 16);
+    let params = SparseHammingParams::default_for(16, 16);
+    let spec = sparse_hamming_chip(g16, &params, &cfg)?;
+    describe("sparse-hamming-16", &spec, g16);
+
+    // Hierarchical chiplet fabrics: same 16x16 tile budget, split 2x2.
+    let cc = ChipletConfig::new(2, 2, 8, 8);
+    describe("chiplet-2x2x8", &chiplet_chip(&cc, &cfg)?, cc.grid());
+
+    Ok(())
+}

@@ -7,8 +7,9 @@
 //! * [`sim`] — a cycle-level NoC simulator (VC routers, credits, virtual
 //!   cut-through, live reconfiguration).
 //! * [`topology`] — the four subNoC topologies (mesh/cmesh/torus/tree),
-//!   baselines (flattened butterfly, shortcut), routing and deadlock
-//!   validation.
+//!   baselines (flattened butterfly, shortcut), 64x64 meshes, chiplet
+//!   fabrics, the customizable sparse-Hamming generator, routing and
+//!   deadlock validation; see [`topologies`] for the full atlas.
 //! * [`power`] — 45 nm energy/area/timing/wiring models.
 //! * [`rl`] — a from-scratch DQN (12-15-15-4) and tabular Q-learning.
 //! * [`core`] — the Adapt-NoC architecture: adaptable links/routers,
@@ -53,6 +54,13 @@ pub mod scenarios {}
 /// (`cargo test --doc -p adaptnoc`).
 #[doc = include_str!("../docs/FARM.md")]
 pub mod farm_service {}
+
+/// The topology atlas (`docs/TOPOLOGIES.md`) — every design point from
+/// the paper's 8x8 subNoCs to 64x64 meshes, chiplet fabrics and the
+/// customizable sparse-Hamming generator — included here so its code
+/// blocks compile and run as doctests (`cargo test --doc -p adaptnoc`).
+#[doc = include_str!("../docs/TOPOLOGIES.md")]
+pub mod topologies {}
 
 pub use adaptnoc_bench as bench;
 pub use adaptnoc_core as core;
