@@ -2,8 +2,8 @@
 //!
 //! Usage: `cargo run --release -p adaptnoc-bench --bin speed --
 //! [--cycles N] [--threads N] [--json PATH] [--full-sweep]
-//! [--metrics DIR] [--assert-off-within PCT] [--assert-full-min KCPS]
-//! [--scenario FILE]
+//! [--rc-table-walk] [--metrics DIR] [--assert-off-within PCT]
+//! [--assert-full-min KCPS] [--scenario FILE]
 //!
 //! Measures three workloads on the paper's mixed chip: an idle network
 //! (active-set fast path), the full three-app workload (steady-state
@@ -14,7 +14,11 @@
 //! count doubles as an equivalence check. `--full-sweep` disables
 //! active-set scheduling so the two modes can be compared directly; it is
 //! a serial validation baseline and refuses to combine with
-//! `--threads > 1`. With `--json`, writes a `BENCH_<date>.json`-style
+//! `--threads > 1`. `--rc-table-walk` disables lookahead route
+//! computation so every head flit re-walks the routing tables at each
+//! router (the classic RC path, kept as a debug reference); its packet
+//! count must be byte-identical to the lookahead default, which CI
+//! asserts. With `--json`, writes a `BENCH_<date>.json`-style
 //! record (cycles/sec, wall-clock, host cores, and per-stage span timings
 //! from a short sampled profiling pass) for tracking performance across
 //! commits.
@@ -46,6 +50,7 @@ struct Args {
     threads: usize,
     json: Option<String>,
     full_sweep: bool,
+    rc_table_walk: bool,
     metrics: Option<std::path::PathBuf>,
     assert_off_within: Option<f64>,
     assert_full_min: Option<f64>,
@@ -67,6 +72,7 @@ fn parse_args() -> Args {
         ),
         json: get("--json"),
         full_sweep: argv.iter().any(|a| a == "--full-sweep"),
+        rc_table_walk: argv.iter().any(|a| a == "--rc-table-walk"),
         metrics: get("--metrics").map(std::path::PathBuf::from),
         assert_off_within: get("--assert-off-within")
             .map(|v| v.parse().expect("--assert-off-within takes a percentage")),
@@ -95,12 +101,14 @@ fn main() {
         ("threads".into(), Value::Number(args.threads as f64)),
         ("cycles".into(), Value::Number(args.cycles as f64)),
         ("full_sweep".into(), Value::Bool(args.full_sweep)),
+        ("rc_table_walk".into(), Value::Bool(args.rc_table_walk)),
     ];
 
     // 1) Network alone, no traffic — pure scheduler overhead.
     let spec = mesh_chip(layout.grid, &cfg).unwrap();
     let mut net = Network::new(spec.clone(), cfg.clone()).unwrap();
     net.set_full_sweep(args.full_sweep);
+    net.set_lookahead_rc(!args.rc_table_walk);
     let t0 = Instant::now();
     for _ in 0..args.cycles {
         net.step();
@@ -113,6 +121,7 @@ fn main() {
     // 2) Net + the three-app mixed workload under steady load.
     let mut net = Network::new(spec, cfg.clone()).unwrap();
     net.set_full_sweep(args.full_sweep);
+    net.set_lookahead_rc(!args.rc_table_walk);
     if args.metrics.is_some() {
         net.set_telemetry_mode(TelemetryMode::Sampled(256));
     }
@@ -165,6 +174,7 @@ fn main() {
         let spec = mesh_chip(layout.grid, &cfg).unwrap();
         let mut pnet = Network::new(spec, cfg.clone()).unwrap();
         pnet.set_full_sweep(args.full_sweep);
+        pnet.set_lookahead_rc(!args.rc_table_walk);
         pnet.set_telemetry_mode(TelemetryMode::Sampled(64));
         let mut wl = Workload::new(&layout, &profiles, 1);
         let mut pool = (args.threads > 1).then(|| StepPool::new(args.threads));

@@ -7,6 +7,11 @@
 
 use crate::ids::{NodeId, Vnet};
 
+/// Sentinel for [`Flit::la_port`]: no lookahead route is carried (the
+/// upstream resolver found no table entry, or the flit predates the
+/// lookahead pipeline). Route computation falls back to a table walk.
+pub const LA_NONE: u8 = u8::MAX;
+
 /// The semantic class of a packet; used for traffic accounting and for the
 /// RL state's "number of coherence packets / data packets" attributes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -178,6 +183,18 @@ pub struct Flit {
     pub created_at: u64,
     /// Cycle the head flit entered the source router's input buffer.
     pub injected_at: u64,
+    /// Lookahead route: the output port this head flit will request at the
+    /// router it is travelling toward, pre-resolved one hop upstream from
+    /// the routing tables (or at the NI for the first hop). [`LA_NONE`]
+    /// when no lookahead is carried; only meaningful on head flits (body
+    /// and tail inherit the head's route decision). Valid only while
+    /// `la_epoch` matches the network's current table epoch.
+    pub la_port: u8,
+    /// The routing-table epoch `la_port` was resolved against. The network
+    /// bumps its epoch on every table swap (`install_tables`,
+    /// `reconfigure`), which atomically invalidates every in-flight
+    /// lookahead decision; a mismatch makes RC re-walk the tables.
+    pub la_epoch: u32,
 }
 
 impl Flit {
@@ -204,6 +221,8 @@ impl Flit {
             hops: 0,
             created_at: packet.created_at,
             injected_at: 0,
+            la_port: LA_NONE,
+            la_epoch: 0,
         }
     }
 

@@ -122,6 +122,12 @@ pub(crate) struct RouterRt {
     pub(crate) ports_on: u16,
     /// Per-vnet usable-VC bitmask (OSCAR dynamic VC allocation).
     pub(crate) vc_mask: Vec<u8>,
+    /// Per-vnet precomputed VA candidate masks, indexed `[class 0,
+    /// class != 0, ejection]`: the OSCAR `vc_mask` intersected with the
+    /// dateline `vc_split` rule for each requester kind, so the hot-loop
+    /// output-VC pick is pure mask arithmetic. Recomputed by
+    /// [`recompute_va_cand`] whenever the mask or split changes.
+    pub(crate) va_cand: Vec<[u8; 3]>,
     /// Membership flag for `Network::busy_routers` (router buffers flits).
     pub(crate) in_busy_list: bool,
     /// Membership flag for `Network::pending_wakes` (finite wake deadline).
@@ -142,6 +148,25 @@ pub(crate) struct ChannelRt {
     pub(crate) faulted: bool,
     /// Membership flag for `Network::busy_channels` (wire carries flits).
     pub(crate) in_busy_list: bool,
+}
+
+/// Recomputes a router's precomputed VA candidate masks (`va_cand`) from
+/// its OSCAR `vc_mask` and dateline `vc_split`. Runs at construction and
+/// whenever either input changes (`set_vc_mask`, reconfiguration) — i.e.
+/// at spec/reconfig time, never on the hot path. Ejection candidates skip
+/// the dateline split (consuming a packet cannot close a ring cycle).
+fn recompute_va_cand(r: &mut RouterRt, vcs_per_vnet: u8) {
+    let full = ((1u16 << vcs_per_vnet) - 1) as u8;
+    for (v, cand) in r.va_cand.iter_mut().enumerate() {
+        let m = r.vc_mask[v] & full;
+        *cand = match r.vc_split {
+            None => [m, m, m],
+            Some(k) => {
+                let lo = ((1u16 << k) - 1) as u8;
+                [m & lo, m & !lo, m]
+            }
+        };
+    }
 }
 
 /// Recomputes every router's `faulted_out` bitmask from the per-channel
@@ -254,6 +279,19 @@ pub struct Network {
     /// The live spec, shared behind an `Arc` so reconfiguration controllers
     /// can hand the network a prebuilt spec without deep-copying it.
     spec: Arc<NetworkSpec>,
+    /// Routing-table epoch: bumped on every table swap
+    /// ([`install_tables`](Self::install_tables) and reconfiguration), which
+    /// atomically invalidates every lookahead port carried by in-flight
+    /// flits — RC honours a carried port only when its stamped epoch
+    /// matches. Starts at 1 so the zero epoch freshly built flits carry
+    /// never validates. Wrapping `u32` arithmetic: a stale flit would need
+    /// to survive 2^32 consecutive swaps to alias, and a swap drains
+    /// through quiescence long before that.
+    table_epoch: u32,
+    /// Whether route computation consumes lookahead ports resolved one hop
+    /// upstream (the default). Off = classic per-router table walk; kept as
+    /// a debug reference path for the lookahead equivalence suites.
+    lookahead_rc: bool,
     now: u64,
     routers: Vec<RouterRt>,
     /// Flat per-VC state (buffers, credits, routes, allocations); see
@@ -390,12 +428,16 @@ impl Network {
                 flits: 0,
                 ports_on: 0,
                 vc_mask: vec![u8::MAX; cfg.vnets as usize],
+                va_cand: vec![[0; 3]; cfg.vnets as usize],
                 in_busy_list: false,
                 in_wake_list: false,
                 faulted_out: 0,
                 eject_out: 0,
             })
             .collect();
+        for r in routers.iter_mut() {
+            recompute_va_cand(r, cfg.vcs_per_vnet);
+        }
 
         let channels: Vec<ChannelRt> = spec
             .channels
@@ -441,6 +483,8 @@ impl Network {
         let mut net = Network {
             cfg,
             spec: Arc::new(spec),
+            table_epoch: 1,
+            lookahead_rc: true,
             now: 0,
             routers,
             lanes,
@@ -658,6 +702,28 @@ impl Network {
         assert_eq!(tables.routers(), self.routers.len(), "router count");
         assert_eq!(tables.nodes(), self.spec.num_nodes, "node count");
         Arc::make_mut(&mut self.spec).tables = tables;
+        // Invalidate every lookahead port resolved against the old tables.
+        self.table_epoch = self.table_epoch.wrapping_add(1);
+    }
+
+    /// Enables or disables lookahead route computation (on by default).
+    ///
+    /// When on, a head flit's output port at the next router is resolved
+    /// one hop upstream (at switch traversal, or at the NI for the first
+    /// hop) and carried in the flit header, so the RC half of the fused
+    /// RC+VA scan is a pre-resolved load; the carried port is invalidated
+    /// by table swaps via the table epoch and re-walked when stale. When
+    /// off, every head walks the routing tables at each router (the
+    /// classic path). Both paths produce **byte-identical** simulations —
+    /// pinned by the `lookahead_equivalence` suite — so the flag exists
+    /// purely as the debug/reference side of that comparison.
+    pub fn set_lookahead_rc(&mut self, on: bool) {
+        self.lookahead_rc = on;
+    }
+
+    /// Whether lookahead route computation is enabled.
+    pub fn lookahead_rc(&self) -> bool {
+        self.lookahead_rc
     }
 
     /// Stalls a router's RC/VA/SA stages for `cycles` cycles, modeling the
@@ -679,6 +745,7 @@ impl Network {
         let usable = (0..self.cfg.vcs_per_vnet).any(|v| mask & (1 << v) != 0);
         assert!(usable, "vc mask must keep at least one VC usable");
         self.routers[router.index()].vc_mask[vnet.index()] = mask;
+        recompute_va_cand(&mut self.routers[router.index()], self.cfg.vcs_per_vnet);
     }
 
     /// Attempts to power-gate a router (FTBY_PG). Fails if the router still
@@ -985,12 +1052,23 @@ impl Network {
         );
         for (ch, vc) in pending.drain(..) {
             let spec = self.channels[ch.index()].spec;
-            let gv = self
-                .lanes
-                .gv(spec.src.router.index(), spec.src.port.index(), vc as usize);
+            let sri = spec.src.router.index();
+            let gp = self.lanes.gp(sri, spec.src.port.index());
+            let gv = gp * self.lanes.total_vcs + vc as usize;
             let c = &mut self.lanes.credits[gv];
             debug_assert!(*c < self.cfg.vc_depth, "credit overflow");
             *c = (*c + 1).min(self.cfg.vc_depth);
+            // The credit left zero: clear its bit in the port-level
+            // zero-credit mask and wake the one input VC (if any) parked
+            // on it — this runs before the router stage, so the wake lands
+            // the same cycle the scan would have seen the fresh credit.
+            if self.lanes.credit_zero[gp] & (1 << vc) != 0 {
+                self.lanes.credit_zero[gp] &= !(1 << vc);
+                if let Some((pi, vi)) = self.lanes.alloc[gv] {
+                    let in_gp = self.lanes.gp(sri, pi as usize);
+                    self.lanes.scan[in_gp] |= 1 << vi;
+                }
+            }
         }
         self.credits_scratch = pending;
     }
@@ -1143,6 +1221,7 @@ impl Network {
             let gp = self.lanes.gp(ri, dst.port.index());
             self.lanes.push_back(gp * self.cfg.total_vcs() + vc, flit);
             self.lanes.occ[gp] |= 1 << vc;
+            self.lanes.scan[gp] |= 1 << vc;
             router.flits += 1;
             if !router.in_busy_list {
                 router.in_busy_list = true;
@@ -1260,7 +1339,7 @@ impl Network {
             }
             let gv = gp * self.cfg.total_vcs() + gvc;
             if self.lanes.buf_len(gv) == 0
-                && self.lanes.route[gv].is_none()
+                && self.lanes.route(gv).is_none()
                 && !self.lanes.ni_lock[gv]
             {
                 return Some(gvc as u8);
@@ -1322,6 +1401,19 @@ impl Network {
         };
         flit.assigned_vc = vc;
         flit.injected_at = now;
+        if self.lookahead_rc && flit.pos.is_head() {
+            // First-hop lookahead: resolve the output port at the source
+            // router here, so RC at that router is a pre-resolved load.
+            flit.la_port = match self
+                .spec
+                .tables
+                .lookup(flit.vnet, RouterId(ri as u16), flit.dst)
+            {
+                Some(p) => p.0,
+                None => crate::flit::LA_NONE,
+            };
+            flit.la_epoch = self.table_epoch;
+        }
         if flit.pos.is_head() {
             if let Some(t) = self.tracer.as_mut() {
                 t.record(crate::trace::TraceEvent::Injected {
@@ -1335,6 +1427,7 @@ impl Network {
         let is_tail = flit.pos.is_tail();
         self.lanes.push_back(gv, flit);
         self.lanes.occ[gp] |= 1 << vc;
+        self.lanes.scan[gp] |= 1 << vc;
         self.routers[ri].flits += 1;
         self.mark_router_busy(ri);
         self.occupied_flits += 1;
@@ -1361,17 +1454,19 @@ impl Network {
             routers: &mut self.routers,
             gp0: 0,
             occ: &mut self.lanes.occ,
+            scan: &mut self.lanes.scan,
             va_rr: &mut self.lanes.va_rr,
             sa_rr: &mut self.lanes.sa_rr,
             gv0: 0,
-            route: &mut self.lanes.route,
-            out_vc: &mut self.lanes.out_vc,
+            lane: &mut self.lanes.lane,
+            va_meta: &mut self.lanes.va_meta,
             owner: &mut self.lanes.owner,
             credits: &mut self.lanes.credits,
             alloc: &mut self.lanes.alloc,
+            alloc_mask: &mut self.lanes.alloc_mask,
+            credit_zero: &mut self.lanes.credit_zero,
             head: &mut self.lanes.head,
             len: &mut self.lanes.len,
-            front_ready: &mut self.lanes.front_ready,
             slots: &mut self.lanes.slots,
             router_forwarded: &mut self.router_forwarded,
             channels: ChannelShard::new(&mut self.channels, &mut self.channel_flits),
@@ -1383,6 +1478,8 @@ impl Network {
             vcs_per_vnet: self.cfg.vcs_per_vnet as usize,
             depth: self.lanes.depth,
             max_ports: self.max_ports,
+            table_epoch: self.table_epoch,
+            lookahead: self.lookahead_rc,
         }
     }
 
@@ -1791,6 +1888,7 @@ impl Network {
             let rs = &new_spec.routers[ri];
             r.active = rs.active;
             r.vc_split = rs.vc_split;
+            recompute_va_cand(r, self.cfg.vcs_per_vnet);
             if !rs.active {
                 r.sleeping = false;
                 r.wake_at = 0;
@@ -1813,6 +1911,9 @@ impl Network {
         }
         for a in self.lanes.alloc.iter_mut() {
             *a = None;
+        }
+        for m in self.lanes.alloc_mask.iter_mut() {
+            *m = 0;
         }
 
         // Rewire channels; restore credit state for kept channels.
@@ -1838,6 +1939,7 @@ impl Network {
             self.routers[c.dst.router.index()].in_ports[c.dst.port.index()].feeder =
                 Some(ChannelId(i as u32));
         }
+        self.lanes.rebuild_credit_zero();
         refresh_faulted_out(&mut self.routers, &new_channels);
 
         // Mid-stream allocations: any input VC with an out_vc still set must
@@ -1850,17 +1952,18 @@ impl Network {
                 let gv0 = self.lanes.gv(ri, pi, 0);
                 for vi in 0..total_vcs {
                     let gv = gv0 + vi;
-                    if let (Some(po), Some(gvc)) = (self.lanes.route[gv], self.lanes.out_vc[gv]) {
+                    if let (Some(po), Some(gvc)) = (self.lanes.route(gv), self.lanes.out_vc(gv)) {
                         let has_conn = self.routers[ri].out_ports[po.index()].channel.is_some();
                         if has_conn || self.port_will_eject(&new_spec, ri, po) {
                             let out_gv = self.lanes.gv(ri, po.index(), gvc as usize);
+                            let out_gp = self.lanes.gp(ri, po.index());
                             self.lanes.alloc[out_gv] = Some((pi as u8, vi as u8));
+                            self.lanes.alloc_mask[out_gp] |= 1 << gvc;
                         } else {
                             // The connection vanished mid-packet: only
                             // possible if quiescence was bypassed; clear the
                             // stale route so the packet re-routes.
-                            self.lanes.route[gv] = None;
-                            self.lanes.out_vc[gv] = None;
+                            self.lanes.clear_alloc(gv);
                             self.lanes.owner[gv] = None;
                         }
                     }
@@ -1868,20 +1971,20 @@ impl Network {
             }
         }
 
-        // Reattach NIs (preserving source queues).
-        let mut old_queues: HashMap<u16, VecDeque<Packet>> = HashMap::new();
-        let mut old_cur: HashMap<u16, Option<NiStream>> = HashMap::new();
-        let mut old_paused: HashMap<u16, bool> = HashMap::new();
+        // Reattach NIs (preserving source queues). The drain state is held
+        // in flat slots indexed by node id — the node count is invariant
+        // across reconfiguration (checked above) — giving deterministic
+        // iteration order by construction and keeping the reconfig path off
+        // the allocator's hash maps.
+        type NiDrainState = (VecDeque<Packet>, Option<NiStream>, bool);
+        let mut old_ni: Vec<Option<NiDrainState>> =
+            (0..new_spec.num_nodes).map(|_| None).collect();
         for ni in self.nis.drain(..) {
-            old_queues.insert(ni.spec.node.0, ni.source_q);
-            old_cur.insert(ni.spec.node.0, ni.cur);
-            old_paused.insert(ni.spec.node.0, ni.paused);
+            old_ni[ni.spec.node.index()] = Some((ni.source_q, ni.cur, ni.paused));
         }
         self.node_ni = vec![None; new_spec.num_nodes];
         for (i, n) in new_spec.nis.iter().enumerate() {
-            let source_q = old_queues.remove(&n.node.0).unwrap_or_default();
-            let cur = old_cur.remove(&n.node.0).flatten();
-            let paused = old_paused.remove(&n.node.0).unwrap_or(false);
+            let (source_q, cur, paused) = old_ni[n.node.index()].take().unwrap_or_default();
             self.nis.push(NiRt {
                 spec: *n,
                 source_q,
@@ -1897,6 +2000,9 @@ impl Network {
         refresh_port_caches(&mut self.routers, &mut self.lanes);
 
         self.spec = new_spec;
+        // The routing tables changed with the spec: invalidate every
+        // in-flight lookahead port resolved against the old tables.
+        self.table_epoch = self.table_epoch.wrapping_add(1);
         self.channels = new_channels;
         self.channel_flits = vec![0; self.channels.len()];
         // Channel indices changed: rebuild the wire worklist and counters.
@@ -2073,7 +2179,7 @@ impl Network {
                     let Some(front) = self.lanes.front(gv) else {
                         continue;
                     };
-                    let blocked = match self.lanes.route[gv] {
+                    let blocked = match self.lanes.route(gv) {
                         Some(po) => self.routers[ri].out_ports[po.index()]
                             .channel
                             .is_some_and(|ch| self.channels[ch.index()].faulted),
@@ -2110,7 +2216,18 @@ impl Network {
             return Vec::new();
         }
         let now = self.now;
-        let mut found: HashMap<u64, Packet> = HashMap::new();
+        // Reconstructed packets live in flat slots parallel to a sorted
+        // copy of `ids`: `binary_search` replaces hashing, and the final
+        // collection comes out id-ordered by construction (the old hash
+        // map needed a sort).
+        let mut id_list: Vec<u64> = ids.iter().copied().collect();
+        id_list.sort_unstable();
+        let mut found: Vec<Option<Packet>> = vec![None; id_list.len()];
+        fn note(found: &mut [Option<Packet>], id_list: &[u64], p: Packet) {
+            if let Ok(k) = id_list.binary_search(&p.id) {
+                found[k].get_or_insert(p);
+            }
+        }
 
         // Wires.
         let mut wire_removed = 0u64;
@@ -2119,7 +2236,7 @@ impl Network {
                 let mut keep = VecDeque::with_capacity(c.q.len());
                 for (t, f) in c.q.drain(..) {
                     if ids.contains(&f.packet) {
-                        found.entry(f.packet).or_insert_with(|| f.to_packet());
+                        note(&mut found, &id_list, f.to_packet());
                         wire_removed += 1;
                     } else {
                         keep.push_back((t, f));
@@ -2140,13 +2257,14 @@ impl Network {
                     let gv = gp * total_vcs + vi;
                     let owner_purged = self.lanes.owner[gv].is_some_and(|o| ids.contains(&o));
                     if owner_purged {
-                        let (route, out_vc) = (self.lanes.route[gv], self.lanes.out_vc[gv]);
-                        self.lanes.route[gv] = None;
-                        self.lanes.out_vc[gv] = None;
+                        let (route, out_vc) = (self.lanes.route(gv), self.lanes.out_vc(gv));
+                        self.lanes.clear_alloc(gv);
                         self.lanes.owner[gv] = None;
                         if let (Some(po), Some(gvc)) = (route, out_vc) {
                             let out_gv = self.lanes.gv(ri, po.index(), gvc as usize);
+                            let out_gp = self.lanes.gp(ri, po.index());
                             self.lanes.alloc[out_gv] = None;
+                            self.lanes.alloc_mask[out_gp] &= !(1 << gvc);
                         }
                     }
                     let has_flits = (0..self.lanes.buf_len(gv))
@@ -2156,7 +2274,7 @@ impl Network {
                         let mut removed = 0u32;
                         while let Some(f) = self.lanes.pop_front(gv) {
                             if ids.contains(&f.packet) {
-                                found.entry(f.packet).or_insert_with(|| f.to_packet());
+                                note(&mut found, &id_list, f.to_packet());
                                 removed += 1;
                             } else {
                                 keep.push(f);
@@ -2184,7 +2302,7 @@ impl Network {
                 .is_some_and(|cur| ids.contains(&cur.pkt.id));
             if purged {
                 if let Some(cur) = self.nis[ni_id].cur.take() {
-                    found.entry(cur.pkt.id).or_insert(cur.pkt);
+                    note(&mut found, &id_list, cur.pkt);
                     self.ni_stream_flits -= cur.remaining();
                     let ri = self.nis[ni_id].spec.router.index();
                     let pi = self.nis[ni_id].spec.port.index();
@@ -2211,9 +2329,11 @@ impl Network {
                     depth.saturating_sub(w + self.lanes.len[down_gv + v]);
             }
         }
+        self.lanes.rebuild_credit_zero();
 
-        let mut packets: Vec<Packet> = found.into_values().collect();
-        packets.sort_by_key(|p| p.id);
+        // `found` is parallel to the sorted `id_list`, so this is already
+        // ascending by packet id — no sort needed.
+        let packets: Vec<Packet> = found.into_iter().flatten().collect();
         self.stats.nacks += packets.len() as u64;
         self.totals.nacks += packets.len() as u64;
         if let Some(t) = self.tracer.as_mut() {
@@ -2458,6 +2578,9 @@ impl Network {
             .gv(src.router.index(), src.port.index(), vc as usize);
         let c = &mut self.lanes.credits[gv];
         *c = c.saturating_sub(1);
+        if *c == 0 {
+            self.lanes.credit_zero[gv / self.lanes.total_vcs] |= 1 << (gv % self.lanes.total_vcs);
+        }
         Ok(())
     }
 
@@ -2689,6 +2812,35 @@ impl Network {
             let dark = r.sleeping || r.failed;
             for po in 0..r.out_ports.len() {
                 let out_gv0 = self.lanes.gv(ri, po, 0);
+                // The VA candidate-mask fast path keys off `alloc_mask`; a
+                // desync from the `alloc` slots would silently grant or
+                // withhold VCs.
+                let gp = self.lanes.gp(ri, po);
+                let expect: u32 = (0..total_vcs)
+                    .filter(|&gvc| self.lanes.alloc[out_gv0 + gvc].is_some())
+                    .fold(0, |m, gvc| m | 1 << gvc);
+                if self.lanes.alloc_mask[gp] != expect {
+                    out.push(InvariantViolation::new(
+                        InvariantKind::Allocation,
+                        format!(
+                            "R{ri} output p{po} alloc_mask {:#x} disagrees with alloc slots {expect:#x}",
+                            self.lanes.alloc_mask[gp]
+                        ),
+                    ));
+                }
+                // Same contract for the zero-credit fast-path mask.
+                let expect_zero: u32 = (0..total_vcs)
+                    .filter(|&gvc| self.lanes.credits[out_gv0 + gvc] == 0)
+                    .fold(0, |m, gvc| m | 1 << gvc);
+                if self.lanes.credit_zero[gp] != expect_zero {
+                    out.push(InvariantViolation::new(
+                        InvariantKind::Allocation,
+                        format!(
+                            "R{ri} output p{po} credit_zero {:#x} disagrees with credits {expect_zero:#x}",
+                            self.lanes.credit_zero[gp]
+                        ),
+                    ));
+                }
                 for gvc in 0..total_vcs {
                     let Some((pi, vi)) = self.lanes.alloc[out_gv0 + gvc] else {
                         continue;
@@ -2700,8 +2852,8 @@ impl Network {
                         ));
                     }
                     let in_gv = self.lanes.gv(ri, pi as usize, vi as usize);
-                    if self.lanes.out_vc[in_gv] != Some(gvc as u8)
-                        || self.lanes.route[in_gv] != Some(PortId(po as u8))
+                    if self.lanes.out_vc(in_gv) != Some(gvc as u8)
+                        || self.lanes.route(in_gv) != Some(PortId(po as u8))
                         || self.lanes.owner[in_gv].is_none()
                     {
                         out.push(InvariantViolation::new(
@@ -2709,8 +2861,8 @@ impl Network {
                             format!(
                                 "R{ri} output p{po} vc{gvc} allocated to p{pi}/vc{vi}, which \
                                  holds route {:?} out_vc {:?} owner {:?}",
-                                self.lanes.route[in_gv],
-                                self.lanes.out_vc[in_gv],
+                                self.lanes.route(in_gv),
+                                self.lanes.out_vc(in_gv),
                                 self.lanes.owner[in_gv]
                             ),
                         ));
@@ -2721,14 +2873,14 @@ impl Network {
                 let gv0 = self.lanes.gv(ri, pi, 0);
                 for vi in 0..total_vcs {
                     let gv = gv0 + vi;
-                    if self.lanes.route[gv].is_some() && self.lanes.owner[gv].is_none() {
+                    if self.lanes.route(gv).is_some() && self.lanes.owner[gv].is_none() {
                         out.push(InvariantViolation::new(
                             InvariantKind::Allocation,
                             format!("R{ri}:p{pi} vc{vi} routed without an owner"),
                         ));
                     }
-                    if let Some(gvc) = self.lanes.out_vc[gv] {
-                        let Some(po) = self.lanes.route[gv] else {
+                    if let Some(gvc) = self.lanes.out_vc(gv) {
+                        let Some(po) = self.lanes.route(gv) else {
                             out.push(InvariantViolation::new(
                                 InvariantKind::Allocation,
                                 format!("R{ri}:p{pi} vc{vi} holds out_vc {gvc} without a route"),
@@ -2755,6 +2907,33 @@ impl Network {
                             out.push(InvariantViolation::new(
                                 InvariantKind::NiLock,
                                 format!("R{ri}:p{pi} vc{vi} locked with no NI streaming into it"),
+                            ));
+                        }
+                    }
+                    // A VC parked off the scan mask must be exactly a
+                    // credit-blocked streaming VC: allocated, and its
+                    // (non-ejection) output VC out of credits. Anything
+                    // else must stay visited or the scan would stall it.
+                    let in_gp = self.lanes.gp(ri, pi);
+                    let parked = self.lanes.occ[in_gp] & !self.lanes.scan[in_gp] & (1 << vi) != 0;
+                    if parked {
+                        let blocked = match (self.lanes.route(gv), self.lanes.out_vc(gv)) {
+                            (Some(po), Some(gvc)) => {
+                                let out_gp = self.lanes.gp(ri, po.index());
+                                r.eject_out & (1 << po.index()) == 0
+                                    && self.lanes.credit_zero[out_gp] & (1 << gvc) != 0
+                            }
+                            _ => false,
+                        };
+                        if !blocked {
+                            out.push(InvariantViolation::new(
+                                InvariantKind::Allocation,
+                                format!(
+                                    "R{ri}:p{pi} vc{vi} parked off the scan mask but not \
+                                     credit-blocked (route {:?} out_vc {:?})",
+                                    self.lanes.route(gv),
+                                    self.lanes.out_vc(gv)
+                                ),
                             ));
                         }
                     }

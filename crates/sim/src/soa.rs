@@ -11,10 +11,12 @@
 //! ```
 //!
 //! so one loaded cycle touches a handful of dense arrays instead of
-//! thousands of small heap objects. Input-side state (`route`, `out_vc`,
-//! `owner`, `ni_lock`, buffers, `occ`) is indexed by input port; output-side
-//! state (`credits`, `alloc`) by output port. Routers always have matching
-//! input/output port counts, so both sides share the same index space.
+//! thousands of small heap objects. Input-side state (the hot `lane` word
+//! packing route + output VC + front readiness, plus `owner`, `ni_lock`,
+//! buffers, `occ`) is indexed by input port; output-side state (`credits`,
+//! `alloc`, and the port-level `alloc_mask`/`credit_zero` bitmasks) by
+//! output port. Routers always have matching input/output port counts, so
+//! both sides share the same index space.
 //!
 //! Flit buffers are fixed-capacity ring buffers living in one shared
 //! `slots` slab, `vc_depth` slots per VC. That bound is sound: every input
@@ -47,6 +49,17 @@ pub(crate) struct VcLanes {
     pub(crate) port_base: Vec<u32>,
     /// Per global port: bitmask of VCs with buffered flits.
     pub(crate) occ: Vec<u32>,
+    /// Per global port (input side): bitmask of VCs the allocation scan
+    /// must visit. A streaming VC blocked on an exhausted downstream VC
+    /// contributes nothing until a credit returns, so the scan *parks* it
+    /// (clears its bit) and `Network::step_credits` wakes it O(1) when
+    /// the blocking credit transitions away from zero — the output VC's
+    /// `alloc` back-link names the unique parked lane. Every buffer push
+    /// and every wholesale rebuild (reconfigure, purge) also wakes, so
+    /// `occ & !scan` is exactly the credit-parked set (checked by the
+    /// Allocation invariant guard). Stale set bits on drained VCs are
+    /// harmless: the scan masks with `occ`.
+    pub(crate) scan: Vec<u32>,
     /// Per global port: the channel leaving this output port (hot-loop cache
     /// of `OutPort::channel`; see `Network::refresh_port_caches`).
     pub(crate) out_channel: Vec<Option<crate::ids::ChannelId>>,
@@ -60,14 +73,24 @@ pub(crate) struct VcLanes {
     pub(crate) va_rr: Vec<crate::arbiter::RoundRobin>,
     /// Per global port: switch allocation round-robin pointer.
     pub(crate) sa_rr: Vec<crate::arbiter::RoundRobin>,
-    /// Per global VC (input side): output port chosen for the packet at the
-    /// head of the VC.
-    pub(crate) route: Vec<Option<crate::ids::PortId>>,
-    /// Per global VC (input side): allocated output VC (global index) at
-    /// `route`.
-    pub(crate) out_vc: Vec<Option<u8>>,
-    /// Per global VC (input side): id of the packet that owns
-    /// `route`/`out_vc`.
+    /// Per global VC (input side): the dense hot-lane word packing the
+    /// route (output port), allocated output VC, and front-flit readiness
+    /// the allocation scan reads every cycle — one load where three
+    /// separate arrays (`route`, `out_vc`, `front_ready`) used to cost
+    /// three cache touches. See the `LANE_*` constants for the layout.
+    pub(crate) lane: Vec<u64>,
+    /// Per global VC (input side): VA metadata of the front head flit,
+    /// packed `vnet | vc_class << 8 | last_dim << 16 | pkt_len << 24`.
+    /// Written at route computation (the one scan visit that loads the
+    /// head from the slab anyway) and valid until the route clears: a
+    /// routed-but-unallocated VC cannot pop (nothing forwards without an
+    /// output VC), so its front — and this digest of it — is frozen. VA
+    /// arbitration reads this word instead of re-loading the winner's
+    /// head flit from the slab every cycle it fails the availability or
+    /// credit probe.
+    pub(crate) va_meta: Vec<u32>,
+    /// Per global VC (input side): id of the packet that owns the lane's
+    /// route/output-VC allocation.
     pub(crate) owner: Vec<Option<u64>>,
     /// Per global VC (input side): set while an NI streams a packet in.
     pub(crate) ni_lock: Vec<bool>,
@@ -76,14 +99,24 @@ pub(crate) struct VcLanes {
     /// Per global VC (output side): which local input VC holds this output
     /// VC, as `(in_port, in_vc)`.
     pub(crate) alloc: Vec<Option<(u8, u8)>>,
+    /// Per global port (output side): bitmask of allocated output VCs —
+    /// bit `v` mirrors `alloc[gp * total_vcs + v].is_some()`. The VA scan
+    /// intersects this with the precomputed candidate masks so picking a
+    /// free output VC is mask arithmetic instead of per-lane `Option`
+    /// probing; every `alloc` write keeps the two in sync (checked by the
+    /// Allocation invariant guard).
+    pub(crate) alloc_mask: Vec<u32>,
+    /// Per global port (output side): bitmask of output VCs with zero
+    /// credits — bit `v` mirrors `credits[gp * total_vcs + v] == 0`. The
+    /// streaming-VC scan tests this port-local mask instead of loading the
+    /// per-VC credit byte of a *different* port's row (a cache line the
+    /// scan otherwise never touches); every credit transition through zero
+    /// keeps the two in sync (checked by the Allocation invariant guard).
+    pub(crate) credit_zero: Vec<u32>,
     /// Per global VC: ring-buffer head slot (< `depth`).
     pub(crate) head: Vec<u8>,
     /// Per global VC: ring-buffer length (<= `depth`).
     pub(crate) len: Vec<u8>,
-    /// Per global VC: `ready_at` of the front flit (stale when `len == 0`).
-    /// Maintained by the ring push/pop helpers so the allocation scan can
-    /// skip not-yet-ready VCs without touching the (much colder) flit slab.
-    pub(crate) front_ready: Vec<u64>,
     /// The flit slab: slot `k` of VC `gv` lives at
     /// `slots[gv * depth + (head[gv] + k) % depth]`.
     pub(crate) slots: Vec<Flit>,
@@ -92,6 +125,97 @@ pub(crate) struct VcLanes {
 /// Placeholder flit for unoccupied slab slots.
 fn filler() -> Flit {
     Flit::of_packet(&Packet::request(0, NodeId(0), NodeId(0), 0), 0)
+}
+
+// Layout of the per-VC hot-lane word (`VcLanes::lane`), low to high:
+//
+// ```text
+// bits  0..6   allocated output VC (valid iff LANE_HAS_OUT)
+// bits  6..12  route: chosen output port (valid iff LANE_HAS_ROUTE)
+// bit   12     LANE_HAS_OUT   — an output VC is allocated
+// bit   13     LANE_HAS_ROUTE — a route is computed
+// bits 16..64  `ready_at` of the front flit (stale when the ring is
+//              empty); 48 bits bound simulated time at ~2.8e14 cycles
+// ```
+//
+// Ports and VCs are bounded by the `u32` port/VC bitmasks used throughout
+// the hot loop, so six bits each always suffice.
+
+/// Mask of the allocated-output-VC field.
+pub(crate) const LANE_GVC: u64 = 0x3F;
+/// Shift of the route (output port) field.
+pub(crate) const LANE_PO_SHIFT: u32 = 6;
+/// Mask of the route field (in place).
+pub(crate) const LANE_PO: u64 = 0x3F << LANE_PO_SHIFT;
+/// Set when the lane holds an allocated output VC.
+pub(crate) const LANE_HAS_OUT: u64 = 1 << 12;
+/// Set when the lane holds a computed route.
+pub(crate) const LANE_HAS_ROUTE: u64 = 1 << 13;
+/// The whole allocation state (route + output VC + both flags).
+pub(crate) const LANE_ALLOC: u64 = 0xFFFF;
+/// Shift of the front-flit `ready_at` field.
+pub(crate) const LANE_READY_SHIFT: u32 = 16;
+
+/// The lane's route, decoded.
+#[inline]
+pub(crate) fn lane_route(s: u64) -> Option<crate::ids::PortId> {
+    if s & LANE_HAS_ROUTE != 0 {
+        Some(crate::ids::PortId(((s >> LANE_PO_SHIFT) & 0x3F) as u8))
+    } else {
+        None
+    }
+}
+
+/// The lane's allocated output VC, decoded.
+#[inline]
+pub(crate) fn lane_out_vc(s: u64) -> Option<u8> {
+    if s & LANE_HAS_OUT != 0 {
+        Some((s & LANE_GVC) as u8)
+    } else {
+        None
+    }
+}
+
+/// Stores a computed route in the lane.
+#[inline]
+pub(crate) fn lane_set_route(s: &mut u64, po: u8) {
+    debug_assert!(po < 64);
+    *s = (*s & !LANE_PO) | ((po as u64) << LANE_PO_SHIFT) | LANE_HAS_ROUTE;
+}
+
+/// Stores an allocated output VC in the lane.
+#[inline]
+pub(crate) fn lane_set_out_vc(s: &mut u64, gvc: u8) {
+    debug_assert!((gvc as u64) <= LANE_GVC);
+    *s = (*s & !LANE_GVC) | gvc as u64 | LANE_HAS_OUT;
+}
+
+/// Clears the lane's allocation state (route + output VC), keeping the
+/// front-readiness field.
+#[inline]
+pub(crate) fn lane_clear_alloc(s: &mut u64) {
+    *s &= !LANE_ALLOC;
+}
+
+/// Refreshes the lane's front-readiness field, keeping the allocation
+/// state.
+#[inline]
+pub(crate) fn lane_set_ready(s: &mut u64, ready_at: u64) {
+    debug_assert!(ready_at < 1 << 48, "simulated time outside the lane field");
+    *s = (*s & LANE_ALLOC) | (ready_at << LANE_READY_SHIFT);
+}
+
+/// Packs a head flit's VA-relevant fields into a `va_meta` word:
+/// `vnet | vc_class << 8 | last_dim << 16 | pkt_len << 24`.
+#[inline]
+pub(crate) fn pack_va_meta(vnet: u8, vc_class: u8, last_dim: u8, pkt_len: u8) -> u32 {
+    vnet as u32 | (vc_class as u32) << 8 | (last_dim as u32) << 16 | (pkt_len as u32) << 24
+}
+
+/// Unpacks a `va_meta` word into `(vnet, vc_class, last_dim, pkt_len)`.
+#[inline]
+pub(crate) fn unpack_va_meta(m: u32) -> (u8, u8, u8, u8) {
+    (m as u8, (m >> 8) as u8, (m >> 16) as u8, (m >> 24) as u8)
 }
 
 impl VcLanes {
@@ -111,19 +235,30 @@ impl VcLanes {
             depth,
             port_base,
             occ: vec![0; n_ports],
+            scan: vec![0; n_ports],
             out_channel: vec![None; n_ports],
             feeder: vec![None; n_ports],
             va_rr: vec![crate::arbiter::RoundRobin::new(); n_ports],
             sa_rr: vec![crate::arbiter::RoundRobin::new(); n_ports],
-            route: vec![None; n_vcs],
-            out_vc: vec![None; n_vcs],
+            lane: vec![0; n_vcs],
+            va_meta: vec![0; n_vcs],
             owner: vec![None; n_vcs],
             ni_lock: vec![false; n_vcs],
             credits: vec![depth as u8; n_vcs],
             alloc: vec![None; n_vcs],
+            alloc_mask: vec![0; n_ports],
+            credit_zero: vec![
+                // All VCs start with `depth` credits; only a zero-depth
+                // configuration (rejected upstream) would start exhausted.
+                if depth == 0 {
+                    u32::MAX >> (32 - total_vcs.clamp(1, 32))
+                } else {
+                    0
+                };
+                n_ports
+            ],
             head: vec![0; n_vcs],
             len: vec![0; n_vcs],
-            front_ready: vec![0; n_vcs],
             slots: vec![filler(); n_vcs * depth],
         }
     }
@@ -169,6 +304,42 @@ impl VcLanes {
         &self.slots[slot_index(&self.head, self.depth, gv, k)]
     }
 
+    /// The route stored in VC `gv`'s lane, if any.
+    #[inline]
+    pub(crate) fn route(&self, gv: usize) -> Option<crate::ids::PortId> {
+        lane_route(self.lane[gv])
+    }
+
+    /// The output VC allocated to VC `gv`'s lane, if any.
+    #[inline]
+    pub(crate) fn out_vc(&self, gv: usize) -> Option<u8> {
+        lane_out_vc(self.lane[gv])
+    }
+
+    /// Clears VC `gv`'s route + output-VC allocation.
+    #[inline]
+    pub(crate) fn clear_alloc(&mut self, gv: usize) {
+        lane_clear_alloc(&mut self.lane[gv]);
+    }
+
+    /// Recomputes every port's zero-credit mask from `credits` and wakes
+    /// every parked VC (any blocking credit may just have changed).
+    ///
+    /// Used after wholesale credit recomputation (reconfigure, purge) where
+    /// incremental bit maintenance would be error-prone for no gain.
+    pub(crate) fn rebuild_credit_zero(&mut self) {
+        for gp in 0..self.credit_zero.len() {
+            let mut m = 0u32;
+            for v in 0..self.total_vcs {
+                if self.credits[gp * self.total_vcs + v] == 0 {
+                    m |= 1 << v;
+                }
+            }
+            self.credit_zero[gp] = m;
+        }
+        self.scan.fill(u32::MAX);
+    }
+
     /// Appends a flit to VC `gv`.
     ///
     /// # Panics
@@ -181,7 +352,7 @@ impl VcLanes {
             &self.head,
             &mut self.len,
             &mut self.slots,
-            &mut self.front_ready,
+            &mut self.lane,
             self.depth,
             gv,
             f,
@@ -195,7 +366,7 @@ impl VcLanes {
             &mut self.head,
             &mut self.len,
             &self.slots,
-            &mut self.front_ready,
+            &mut self.lane,
             self.depth,
             gv,
         )
@@ -237,14 +408,14 @@ pub(crate) fn ring_front<'s>(
     }
 }
 
-/// Appends a flit to VC `v`, refreshing the front-readiness cache when the
-/// ring was empty.
+/// Appends a flit to VC `v`, refreshing the lane's front-readiness field
+/// when the ring was empty.
 #[inline]
 pub(crate) fn ring_push(
     head: &[u8],
     len: &mut [u8],
     slots: &mut [Flit],
-    front_ready: &mut [u64],
+    lane: &mut [u64],
     depth: usize,
     v: usize,
     f: Flit,
@@ -252,20 +423,20 @@ pub(crate) fn ring_push(
     let n = len[v] as usize;
     debug_assert!(n < depth, "VC ring overflow (depth {depth})");
     if n == 0 {
-        front_ready[v] = f.ready_at;
+        lane_set_ready(&mut lane[v], f.ready_at);
     }
     slots[slot_index(head, depth, v, n)] = f;
     len[v] = n as u8 + 1;
 }
 
-/// Pops the front flit of VC `v`, refreshing the front-readiness cache from
-/// the new front.
+/// Pops the front flit of VC `v`, refreshing the lane's front-readiness
+/// field from the new front.
 #[inline]
 pub(crate) fn ring_pop(
     head: &mut [u8],
     len: &mut [u8],
     slots: &[Flit],
-    front_ready: &mut [u64],
+    lane: &mut [u64],
     depth: usize,
     v: usize,
 ) -> Option<Flit> {
@@ -277,7 +448,7 @@ pub(crate) fn ring_pop(
     head[v] = if h == depth { 0 } else { h as u8 };
     len[v] -= 1;
     if len[v] > 0 {
-        front_ready[v] = slots[v * depth + head[v] as usize].ready_at;
+        lane_set_ready(&mut lane[v], slots[v * depth + head[v] as usize].ready_at);
     }
     Some(f)
 }
@@ -315,7 +486,7 @@ mod tests {
         assert_eq!(lanes.gp(1, 2), 7);
         assert_eq!(lanes.gv(2, 0, 5), 8 * 6 + 5);
         assert_eq!(lanes.occ.len(), 13);
-        assert_eq!(lanes.route.len(), 13 * 6);
+        assert_eq!(lanes.lane.len(), 13 * 6);
         assert_eq!(lanes.slots.len(), 13 * 6 * 4);
     }
 

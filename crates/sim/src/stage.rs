@@ -7,6 +7,20 @@
 //! ([`crate::par::StepPool`]) splits the view at router boundaries with
 //! [`split_band`] and runs one band per worker.
 //!
+//! Route computation is **lookahead**: when switch traversal pushes a
+//! head flit onto a channel it also resolves, from the shared read-only
+//! routing tables, the output port the flit will request at the channel's
+//! *destination* router, and carries it in the flit header stamped with
+//! the current table epoch. RC at the receiving router is then a
+//! pre-resolved load; it re-walks the tables only when the carried epoch
+//! is stale (the tables were swapped mid-flight) or lookahead is disabled
+//! ([`BandView::lookahead`]). VC allocation is likewise mask-driven: the
+//! candidate set per (output port, VC class) is a precomputed bitmask
+//! (`RouterRt::va_cand`) intersected with the live output-VC occupancy
+//! mask, iterated via `trailing_zeros` in the same ascending order the
+//! classic probe loop used. Both fast paths are byte-identical to the
+//! classic pipeline (pinned by `tests/lookahead_equivalence.rs`).
+//!
 //! Within one cycle's router stage there is **no cross-router
 //! interaction**: forwarded flits enter channel queues (delivered next
 //! cycle at the earliest), credits are returned through the
@@ -73,10 +87,33 @@ impl StageSink {
 /// maximum port count, mirroring the pre-SoA scratch behaviour exactly).
 /// `per_port` holds VA requesters, `sa_port` SA requesters; both are
 /// gathered by one fused scan over the occupied-VC bitmasks.
+///
+/// On span-sampled cycles the band walk runs in two phases — RC+VA over
+/// every busy router, then SA+ST over the same routers in the same
+/// order — so each router's SA candidates are compacted out of
+/// `sa_port` into the flat pool (`sa_flat` + per-router
+/// `sa_ranges`/`sa_masks`) at the end of its RC+VA pass, and
+/// `alive`/`processed` record the walk for the SA phase. On untimed
+/// cycles the walk is fused (SA runs straight off `sa_port`, no
+/// compaction); `alive` still records worklist retention.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct StageScratch {
     pub(crate) per_port: Vec<Vec<usize>>,
     pub(crate) sa_port: Vec<Vec<usize>>,
+    /// Flat SA candidate pool: each processed router appends its per-port
+    /// candidate lists (ascending port order) during RC+VA.
+    pub(crate) sa_flat: Vec<usize>,
+    /// Per processed router × local output port: `(start, len)` into
+    /// `sa_flat`, in processing order.
+    pub(crate) sa_ranges: Vec<(u32, u32)>,
+    /// Per processed router: bitmask of output ports with SA candidates.
+    pub(crate) sa_masks: Vec<u32>,
+    /// Busy routers that passed the flits-remaining pre-check this cycle
+    /// (worklist retention re-checks them after the SA phase).
+    pub(crate) alive: Vec<u32>,
+    /// Routers that ran RC+VA this cycle, in walk order (the SA phase
+    /// replays exactly this sequence).
+    pub(crate) processed: Vec<u32>,
 }
 
 /// Mutable access to the channel array from inside a band.
@@ -147,18 +184,29 @@ pub(crate) struct BandView<'a> {
     /// Global port index of the band's first port.
     pub(crate) gp0: usize,
     pub(crate) occ: &'a mut [u32],
+    /// Per-port visit masks: `occ & scan` is the set the allocation scan
+    /// walks; `occ & !scan` is the credit-parked set (see [`crate::soa`]).
+    pub(crate) scan: &'a mut [u32],
     pub(crate) va_rr: &'a mut [crate::arbiter::RoundRobin],
     pub(crate) sa_rr: &'a mut [crate::arbiter::RoundRobin],
     /// Global VC index of the band's first VC.
     pub(crate) gv0: usize,
-    pub(crate) route: &'a mut [Option<crate::ids::PortId>],
-    pub(crate) out_vc: &'a mut [Option<u8>],
+    /// Per-VC hot-lane words (route + output VC + front readiness; see
+    /// [`crate::soa`]'s `LANE_*` layout).
+    pub(crate) lane: &'a mut [u64],
+    /// Per-VC packed VA digest of the front head flit (see
+    /// [`crate::soa::VcLanes::va_meta`]).
+    pub(crate) va_meta: &'a mut [u32],
     pub(crate) owner: &'a mut [Option<u64>],
     pub(crate) credits: &'a mut [u8],
     pub(crate) alloc: &'a mut [Option<(u8, u8)>],
+    /// Per-port allocated-output-VC bitmask (kept in sync with `alloc`).
+    pub(crate) alloc_mask: &'a mut [u32],
+    /// Per-port zero-credit output-VC bitmask (kept in sync with
+    /// `credits`).
+    pub(crate) credit_zero: &'a mut [u32],
     pub(crate) head: &'a mut [u8],
     pub(crate) len: &'a mut [u8],
-    pub(crate) front_ready: &'a mut [u64],
     pub(crate) slots: &'a mut [Flit],
     pub(crate) router_forwarded: &'a mut [u64],
     pub(crate) channels: ChannelShard,
@@ -175,6 +223,13 @@ pub(crate) struct BandView<'a> {
     pub(crate) depth: usize,
     /// Maximum port count over all routers (scratch sizing).
     pub(crate) max_ports: usize,
+    /// The network's current routing-table epoch; a head flit's carried
+    /// lookahead port is honoured only when its `la_epoch` matches.
+    pub(crate) table_epoch: u32,
+    /// Whether RC consumes carried lookahead ports (and ST resolves them
+    /// one hop ahead). Off = the classic per-router table walk, kept as a
+    /// debug reference path for the equivalence suites.
+    pub(crate) lookahead: bool,
 }
 
 /// Splits `view` into `[ri0, mid)` and `[mid, end)` bands at a router
@@ -188,16 +243,18 @@ pub(crate) fn split_band(view: BandView<'_>, mid: usize) -> (BandView<'_>, BandV
     let n_v = n_p * view.total_vcs;
     let (r_a, r_b) = view.routers.split_at_mut(n_r);
     let (occ_a, occ_b) = view.occ.split_at_mut(n_p);
+    let (scan_a, scan_b) = view.scan.split_at_mut(n_p);
     let (vrr_a, vrr_b) = view.va_rr.split_at_mut(n_p);
     let (srr_a, srr_b) = view.sa_rr.split_at_mut(n_p);
-    let (route_a, route_b) = view.route.split_at_mut(n_v);
-    let (ovc_a, ovc_b) = view.out_vc.split_at_mut(n_v);
+    let (lane_a, lane_b) = view.lane.split_at_mut(n_v);
+    let (vm_a, vm_b) = view.va_meta.split_at_mut(n_v);
     let (own_a, own_b) = view.owner.split_at_mut(n_v);
     let (cr_a, cr_b) = view.credits.split_at_mut(n_v);
     let (al_a, al_b) = view.alloc.split_at_mut(n_v);
+    let (am_a, am_b) = view.alloc_mask.split_at_mut(n_p);
+    let (cz_a, cz_b) = view.credit_zero.split_at_mut(n_p);
     let (hd_a, hd_b) = view.head.split_at_mut(n_v);
     let (ln_a, ln_b) = view.len.split_at_mut(n_v);
-    let (fr_a, fr_b) = view.front_ready.split_at_mut(n_v);
     let (sl_a, sl_b) = view.slots.split_at_mut(n_v * view.depth);
     let (fw_a, fw_b) = view.router_forwarded.split_at_mut(n_r);
     let a = BandView {
@@ -205,17 +262,19 @@ pub(crate) fn split_band(view: BandView<'_>, mid: usize) -> (BandView<'_>, BandV
         routers: r_a,
         gp0: view.gp0,
         occ: occ_a,
+        scan: scan_a,
         va_rr: vrr_a,
         sa_rr: srr_a,
         gv0: view.gv0,
-        route: route_a,
-        out_vc: ovc_a,
+        lane: lane_a,
+        va_meta: vm_a,
         owner: own_a,
         credits: cr_a,
         alloc: al_a,
+        alloc_mask: am_a,
+        credit_zero: cz_a,
         head: hd_a,
         len: ln_a,
-        front_ready: fr_a,
         slots: sl_a,
         router_forwarded: fw_a,
         channels: view.channels,
@@ -227,23 +286,27 @@ pub(crate) fn split_band(view: BandView<'_>, mid: usize) -> (BandView<'_>, BandV
         vcs_per_vnet: view.vcs_per_vnet,
         depth: view.depth,
         max_ports: view.max_ports,
+        table_epoch: view.table_epoch,
+        lookahead: view.lookahead,
     };
     let b = BandView {
         ri0: mid,
         routers: r_b,
         gp0: mid_gp,
         occ: occ_b,
+        scan: scan_b,
         va_rr: vrr_b,
         sa_rr: srr_b,
         gv0: mid_gp * view.total_vcs,
-        route: route_b,
-        out_vc: ovc_b,
+        lane: lane_b,
+        va_meta: vm_b,
         owner: own_b,
         credits: cr_b,
         alloc: al_b,
+        alloc_mask: am_b,
+        credit_zero: cz_b,
         head: hd_b,
         len: ln_b,
-        front_ready: fr_b,
         slots: sl_b,
         router_forwarded: fw_b,
         channels: view.channels,
@@ -255,6 +318,8 @@ pub(crate) fn split_band(view: BandView<'_>, mid: usize) -> (BandView<'_>, BandV
         vcs_per_vnet: view.vcs_per_vnet,
         depth: view.depth,
         max_ports: view.max_ports,
+        table_epoch: view.table_epoch,
+        lookahead: view.lookahead,
     };
     (a, b)
 }
@@ -288,10 +353,37 @@ impl BandView<'_> {
         );
     }
 
+    /// Resets the per-cycle scratch for a band walk.
+    fn prep_scratch(&self, scratch: &mut StageScratch) {
+        if scratch.per_port.len() < self.max_ports {
+            scratch.per_port.resize_with(self.max_ports, Vec::new);
+            scratch.sa_port.resize_with(self.max_ports, Vec::new);
+        }
+        scratch.sa_flat.clear();
+        scratch.sa_ranges.clear();
+        scratch.sa_masks.clear();
+        scratch.alive.clear();
+        scratch.processed.clear();
+    }
+
     /// Runs the active-set router stage over this band's slice of the
     /// sorted busy-router worklist, compacting survivors into `kept` and
     /// clearing the busy flag of routers that drained (mirroring the
     /// serial worklist walk exactly).
+    ///
+    /// On an untimed cycle (the overwhelmingly common case) the walk is
+    /// fused: each router runs RC+VA and then immediately SA+ST off the
+    /// still-warm `scratch.sa_port` lists, with no cross-phase compaction.
+    /// On a span-timed cycle the walk is two-phase instead: RC+VA for
+    /// every runnable router first, then SA+ST over the same routers in
+    /// the same order. The phases commute across routers — SA+ST only
+    /// mutates the forwarding router's own lanes plus the deferred sink
+    /// queues (credits apply next cycle, channel pushes deliver after the
+    /// link latency), none of which a later router's RC+VA reads — so
+    /// both walks produce byte-identical state (pinned by the telemetry
+    /// observation-only suite), and the phase split lets the stage spans
+    /// be taken once per band instead of twice per router (a clock read
+    /// costs more than a small router's whole scan; see DESIGN.md §13).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_band(
         &mut self,
@@ -304,23 +396,37 @@ impl BandView<'_> {
         rc_va_ns: &mut u64,
         sa_st_ns: &mut u64,
     ) {
-        if scratch.per_port.len() < self.max_ports {
-            scratch.per_port.resize_with(self.max_ports, Vec::new);
-            scratch.sa_port.resize_with(self.max_ports, Vec::new);
-        }
+        self.prep_scratch(scratch);
+        let t0 = timed.then(std::time::Instant::now);
         for &ri in busy {
             let lr = ri - self.ri0;
             if self.routers[lr].flits == 0 {
                 self.routers[lr].in_busy_list = false;
                 continue;
             }
+            scratch.alive.push(ri as u32);
             let runnable = {
                 let r = &self.routers[lr];
                 r.active && !r.sleeping && !r.failed && r.config_until <= now
             };
             if runnable {
-                self.alloc_router(ri, now, timed, sink, scratch, rc_va_ns, sa_st_ns);
+                if timed {
+                    scratch.processed.push(ri as u32);
+                }
+                self.vc_allocate(ri, now, sink, scratch, !timed);
             }
+        }
+        if timed {
+            let t1 = std::time::Instant::now();
+            self.switch_band(now, sink, scratch);
+            if let Some(t0) = t0 {
+                *rc_va_ns += (t1 - t0).as_nanos() as u64;
+                *sa_st_ns += t1.elapsed().as_nanos() as u64;
+            }
+        }
+        for k in 0..scratch.alive.len() {
+            let ri = scratch.alive[k] as usize;
+            let lr = ri - self.ri0;
             if self.routers[lr].flits > 0 {
                 kept.push(ri);
             } else {
@@ -330,7 +436,8 @@ impl BandView<'_> {
     }
 
     /// Runs the full-sweep router stage over every router of the band
-    /// (reference mode; worklist retention happens in the caller).
+    /// (reference mode; worklist retention happens in the caller). Same
+    /// fused-unless-timed walk as [`Self::run_band`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_band_sweep(
         &mut self,
@@ -341,10 +448,8 @@ impl BandView<'_> {
         rc_va_ns: &mut u64,
         sa_st_ns: &mut u64,
     ) {
-        if scratch.per_port.len() < self.max_ports {
-            scratch.per_port.resize_with(self.max_ports, Vec::new);
-            scratch.sa_port.resize_with(self.max_ports, Vec::new);
-        }
+        self.prep_scratch(scratch);
+        let t0 = timed.then(std::time::Instant::now);
         for lr in 0..self.routers.len() {
             {
                 let r = &self.routers[lr];
@@ -352,34 +457,44 @@ impl BandView<'_> {
                     continue;
                 }
             }
-            self.alloc_router(self.ri0 + lr, now, timed, sink, scratch, rc_va_ns, sa_st_ns);
+            if timed {
+                scratch.processed.push((self.ri0 + lr) as u32);
+            }
+            self.vc_allocate(self.ri0 + lr, now, sink, scratch, !timed);
+        }
+        if timed {
+            let t1 = std::time::Instant::now();
+            self.switch_band(now, sink, scratch);
+            if let Some(t0) = t0 {
+                *rc_va_ns += (t1 - t0).as_nanos() as u64;
+                *sa_st_ns += t1.elapsed().as_nanos() as u64;
+            }
         }
     }
 
-    /// Runs RC+VA then SA+ST on one router, accumulating per-stage
-    /// wall-clock time when `timed` (telemetry span sampling).
-    #[allow(clippy::too_many_arguments)]
-    #[inline]
-    fn alloc_router(
-        &mut self,
-        ri: usize,
-        now: u64,
-        timed: bool,
-        sink: &mut StageSink,
-        scratch: &mut StageScratch,
-        rc_va_ns: &mut u64,
-        sa_st_ns: &mut u64,
-    ) {
-        if timed {
-            let t0 = std::time::Instant::now();
-            self.vc_allocate(ri, now, sink, scratch);
-            *rc_va_ns += t0.elapsed().as_nanos() as u64;
-            let t1 = std::time::Instant::now();
-            self.switch_allocate(ri, now, sink, scratch);
-            *sa_st_ns += t1.elapsed().as_nanos() as u64;
-        } else {
-            self.vc_allocate(ri, now, sink, scratch);
-            self.switch_allocate(ri, now, sink, scratch);
+    /// The SA+ST phase of a band walk: replays the RC+VA walk order over
+    /// the compacted candidate pool.
+    fn switch_band(&mut self, now: u64, sink: &mut StageSink, scratch: &StageScratch) {
+        let mut cursor = 0usize;
+        for k in 0..scratch.processed.len() {
+            let ri = scratch.processed[k] as usize;
+            let n_ports = self.n_ports(ri);
+            let mask = scratch.sa_masks[k];
+            if mask != 0 {
+                let ranges = &scratch.sa_ranges[cursor..cursor + n_ports];
+                let flat = &scratch.sa_flat;
+                self.switch_allocate(
+                    ri,
+                    now,
+                    sink,
+                    |po| {
+                        let (start, len) = ranges[po];
+                        &flat[start as usize..(start + len) as usize]
+                    },
+                    mask,
+                );
+            }
+            cursor += n_ports;
         }
     }
 
@@ -388,9 +503,12 @@ impl BandView<'_> {
     /// input VCs gathers VA requesters (VCs without an output VC yet) into
     /// `scratch.per_port` and switch-ready requesters (allocated VCs with
     /// a ready, creditable head flit) into `scratch.sa_port`, both in
-    /// ascending `(port, vc)` order by construction. Each output port's VA
-    /// round-robin then picks a winner under the virtual-cut-through rule;
-    /// a freshly granted winner that is already switch-ready is inserted
+    /// ascending `(port, vc)` order by construction. Head-flit routes come
+    /// from the carried lookahead port when fresh (see the module docs),
+    /// falling back to a table walk. Each output port's VA round-robin
+    /// then picks a winner under the virtual-cut-through rule, with the
+    /// eligible-VC set computed as candidate-mask ∧ ¬allocated bit
+    /// arithmetic; a freshly granted winner that is already switch-ready is inserted
     /// into its SA candidate list at its sorted position — exactly where a
     /// separate post-VA rescan would have found it — so the fusion is
     /// byte-identical to the classic two-scan pipeline at half the scan
@@ -401,69 +519,137 @@ impl BandView<'_> {
         now: u64,
         sink: &mut StageSink,
         scratch: &mut StageScratch,
+        fuse: bool,
     ) {
         let lr = ri - self.ri0;
         let n_ports = self.n_ports(ri);
         let total_vcs = self.total_vcs;
-        let split = self.routers[lr].vc_split;
         let depth = self.depth as u8;
         let base_gp = self.port_base[ri] as usize;
         let faulted_out = self.routers[lr].faulted_out;
         let eject_out = self.routers[lr].eject_out;
 
-        let mut any_port = false;
+        // Bitmask of output ports with VA requesters this cycle; drives
+        // both the arbitration walk and the scratch-list clearing so
+        // request-free ports cost nothing.
+        let mut used_ports: u32 = 0;
         for pi in 0..n_ports {
             let gp = base_gp + pi;
-            let mut occ = self.occ[gp - self.gp0];
+            // Visit only awake occupied VCs: a VC parked on an exhausted
+            // downstream credit is skipped wholesale until the credit
+            // return wakes it (`Network::step_credits`), turning the
+            // saturated steady state — where most occupied VCs are
+            // credit-blocked — from a rescan-everything walk into a walk
+            // of the VCs that can actually act.
+            let mut occ = self.occ[gp - self.gp0] & self.scan[gp - self.gp0];
             while occ != 0 {
                 let vi = occ.trailing_zeros() as usize;
                 occ &= occ - 1;
                 let lv = self.lv(gp * total_vcs + vi);
-                if let Some(gvc) = self.out_vc[lv] {
+                // One hot-lane load answers every question the scan asks of
+                // this VC: streaming or not, routed or not, front ready or
+                // not, and toward which port/VC.
+                let s = self.lane[lv];
+                if s & soa::LANE_HAS_OUT != 0 {
                     // Streaming VC: qualify directly for switch allocation.
-                    // The front-readiness cache keeps the common "flit still
-                    // in the router pipeline" case off the flit slab.
-                    if self.front_ready[lv] > now {
+                    // The lane's front-readiness field keeps the common
+                    // "flit still in the router pipeline" case off the flit
+                    // slab.
+                    if (s >> soa::LANE_READY_SHIFT) > now {
                         continue;
                     }
-                    let Some(route) = self.route[lv] else {
-                        continue;
-                    };
+                    if s & soa::LANE_HAS_ROUTE == 0 {
+                        continue; // allocation without a route; defensive
+                    }
                     debug_assert!(self.ring_front(lv).is_some(), "occupied VC without a front");
-                    let po = route.index();
+                    let po = ((s >> soa::LANE_PO_SHIFT) & 0x3F) as usize;
                     // Never drive flits onto a faulted channel.
                     if faulted_out & (1 << po) != 0 {
                         continue;
                     }
-                    let lv_out = self.lv((base_gp + po) * total_vcs + gvc as usize);
-                    if eject_out & (1 << po) == 0 && self.credits[lv_out] == 0 {
+                    let gvc = (s & soa::LANE_GVC) as usize;
+                    // Port-local zero-credit mask instead of the other
+                    // port's per-VC credit byte: same verdict, no stray
+                    // cache line. Park the VC off the visit mask while
+                    // blocked; the credit return wakes it (and an
+                    // interleaving buffer push wakes it spuriously but
+                    // harmlessly — it just re-parks here).
+                    if eject_out & (1 << po) == 0
+                        && self.credit_zero[base_gp + po - self.gp0] & (1 << gvc) != 0
+                    {
+                        self.scan[gp - self.gp0] &= !(1 << vi);
                         continue;
                     }
                     scratch.sa_port[po].push(pi * total_vcs + vi);
                     continue;
                 }
-                // Route computation for a fresh head flit.
-                if self.route[lv].is_none() {
-                    let Some(front) = self.ring_front(lv) else {
-                        continue;
-                    };
-                    debug_assert!(front.pos.is_head(), "non-head at route-less VC front");
-                    let (id, dst, vnet) = (front.packet, front.dst, front.vnet);
-                    match self.spec.tables.lookup(vnet, RouterId(ri as u16), dst) {
-                        Some(port) => {
-                            self.route[lv] = Some(port);
-                            self.owner[lv] = Some(id);
-                        }
-                        None => {
-                            sink.unroutable += 1;
-                            continue;
-                        }
+                // Route computation for a fresh head flit, or a head still
+                // waiting for VA. A VC with a route but no output VC can
+                // only hold the head that computed the route at its front
+                // (flits drain in FIFO order and nothing pops without an
+                // output VC), so the waiting case needs no slab probe.
+                let route = match soa::lane_route(s) {
+                    Some(r) => {
+                        debug_assert!(
+                            self.ring_front(lv).is_some_and(|f| f.pos.is_head()),
+                            "non-head at routed VA-waiting VC front"
+                        );
+                        r
                     }
-                }
-                let route = self.route[lv].expect("just computed");
-                if !self.ring_front(lv).is_some_and(|f| f.pos.is_head()) {
-                    continue;
-                }
+                    None => {
+                        let Some(&front) = self.ring_front(lv) else {
+                            continue;
+                        };
+                        debug_assert!(front.pos.is_head(), "non-head at route-less VC front");
+                        // Lookahead RC: the upstream router (or the NI, for
+                        // the first hop) resolved this head's output port
+                        // already; honour it iff it was resolved against
+                        // the tables currently installed. A stale epoch —
+                        // the tables were swapped while the flit was in
+                        // flight — falls back to the classic table walk.
+                        let port = if self.lookahead
+                            && front.la_epoch == self.table_epoch
+                            && front.la_port != crate::flit::LA_NONE
+                        {
+                            debug_assert_eq!(
+                                self.spec
+                                    .tables
+                                    .lookup(front.vnet, RouterId(ri as u16), front.dst),
+                                Some(crate::ids::PortId(front.la_port)),
+                                "carried lookahead port diverged from the live tables"
+                            );
+                            crate::ids::PortId(front.la_port)
+                        } else {
+                            match self.spec.tables.lookup(
+                                front.vnet,
+                                RouterId(ri as u16),
+                                front.dst,
+                            ) {
+                                Some(port) => port,
+                                None => {
+                                    sink.unroutable += 1;
+                                    continue;
+                                }
+                            }
+                        };
+                        soa::lane_set_route(&mut self.lane[lv], port.0);
+                        // Cache the head's VA digest while the flit is in
+                        // hand; the arbitration loop below reads this word
+                        // (plus the lane's readiness field) instead of
+                        // re-loading the head from the slab every cycle the
+                        // winner fails the availability or credit probe. A
+                        // routed-but-unallocated VC cannot pop, so the
+                        // digest stays valid exactly as long as the route.
+                        self.va_meta[lv] = soa::pack_va_meta(
+                            front.vnet.0,
+                            front.vc_class,
+                            front.last_dim,
+                            front.pkt_len,
+                        );
+                        self.owner[lv] = Some(front.packet);
+                        port
+                    }
+                };
                 let po = route.index();
                 // A faulted output channel accepts no new packets.
                 if faulted_out & (1 << po) != 0 {
@@ -471,71 +657,85 @@ impl BandView<'_> {
                 }
                 if po < scratch.per_port.len() {
                     scratch.per_port[po].push(pi * total_vcs + vi);
-                    any_port = true;
+                    used_ports |= 1 << po;
                 }
             }
         }
-        if any_port {
-            for po in 0..n_ports {
-                if scratch.per_port[po].is_empty() {
-                    continue;
-                }
+        if used_ports != 0 {
+            // Ascending set-bit order matches the old 0..n_ports walk over
+            // non-empty lists exactly. Ports at or past `n_ports` (possible
+            // only with a corrupt route) gather but never arbitrate, as
+            // before; their lists are still cleared below.
+            let port_lim = if n_ports >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << n_ports) - 1
+            };
+            let mut m = used_ports & port_lim;
+            while m != 0 {
+                let po = m.trailing_zeros() as usize;
+                m &= m - 1;
                 let winner =
                     self.va_rr[base_gp + po - self.gp0].grant_sparse(&scratch.per_port[po]);
                 if let Some(winner) = winner {
                     let (pi, vi) = (winner / total_vcs, winner % total_vcs);
                     let lv_in = self.lv((base_gp + pi) * total_vcs + vi);
-                    let (vnet, class, pkt_len, ready_at) = {
-                        let Some(f) = self.ring_front(lv_in) else {
-                            continue; // candidate list guarantees a flit; defensive
-                        };
-                        // The class that matters is the one the packet will
-                        // carry on the *output* channel.
-                        let class = match self.out_channel[base_gp + po] {
-                            Some(ch) => self
-                                .channels
-                                .get(ch.index())
-                                .spec
-                                .class_after(f.vc_class, f.last_dim),
-                            None => f.vc_class,
-                        };
-                        (f.vnet, class, f.pkt_len, f.ready_at)
+                    // The gather loop proved this VC routed, so its RC-time
+                    // VA digest is current (see `soa::VcLanes::va_meta`) and
+                    // the lane word carries the head's readiness — no flit
+                    // slab load for the arbitration winner, which in
+                    // saturation usually just fails the credit probe below.
+                    let meta = self.va_meta[lv_in];
+                    let (vnet, vc_class, last_dim, pkt_len) = soa::unpack_va_meta(meta);
+                    let vnet = crate::ids::Vnet(vnet);
+                    let ready_at = self.lane[lv_in] >> soa::LANE_READY_SHIFT;
+                    debug_assert!(
+                        self.ring_front(lv_in).is_some_and(|f| f.vnet == vnet
+                            && f.vc_class == vc_class
+                            && f.last_dim == last_dim
+                            && f.pkt_len == pkt_len
+                            && f.ready_at == ready_at),
+                        "stale VA digest at arbitration winner"
+                    );
+                    // The class that matters is the one the packet will
+                    // carry on the *output* channel.
+                    let class = match self.out_channel[base_gp + po] {
+                        Some(ch) => self
+                            .channels
+                            .get(ch.index())
+                            .spec
+                            .class_after(vc_class, last_dim),
+                        None => vc_class,
                     };
-                    let mask = self.routers[lr].vc_mask[vnet.index()];
                     let out_eject = eject_out & (1 << po) != 0;
                     let out_base = (base_gp + po) * total_vcs;
                     // Virtual cut-through: output VC must be unallocated and
                     // its downstream buffer must have room for the entire
                     // packet. The VC must also be in the packet's dateline
-                    // class and usable per the (OSCAR) mask.
+                    // class and usable per the (OSCAR) mask — both folded
+                    // into the precomputed per-(vnet, class) candidate
+                    // masks (ejection consumes packets, so it bypasses the
+                    // dateline split). Intersecting with the allocated-VC
+                    // bitmask leaves only the credit check per candidate;
+                    // `trailing_zeros` iteration visits VCs in the same
+                    // ascending-offset order the probe loop used.
+                    let cand = {
+                        let c = &self.routers[lr].va_cand[vnet.index()];
+                        if out_eject {
+                            c[2]
+                        } else {
+                            c[(class != 0) as usize]
+                        }
+                    };
                     let start = self.vnet_vcs_start(vnet);
+                    let lp_out = base_gp + po - self.gp0;
+                    let mut avail = ((cand as u32) << start) & !self.alloc_mask[lp_out];
+                    let need = pkt_len.min(depth);
                     let mut free = None;
-                    for off in 0..self.vcs_per_vnet {
-                        let gvc = start + off;
-                        let off = off as u8;
-                        if mask & (1 << off) == 0 {
-                            continue;
-                        }
-                        // Ejection consumes packets; the dateline split
-                        // only protects ring channels.
-                        let class_ok = match split {
-                            _ if out_eject => true,
-                            None => true,
-                            Some(k) => {
-                                if class == 0 {
-                                    off < k
-                                } else {
-                                    off >= k
-                                }
-                            }
-                        };
-                        if !class_ok {
-                            continue;
-                        }
-                        let lv_out = self.lv(out_base + gvc);
-                        if self.alloc[lv_out].is_none()
-                            && (out_eject || self.credits[lv_out] >= pkt_len.min(depth))
-                        {
+                    while avail != 0 {
+                        let gvc = avail.trailing_zeros() as usize;
+                        avail &= avail - 1;
+                        if out_eject || self.credits[self.lv(out_base + gvc)] >= need {
                             free = Some(gvc);
                             break;
                         }
@@ -543,7 +743,8 @@ impl BandView<'_> {
                     if let Some(gvc) = free {
                         let lv_out = self.lv(out_base + gvc);
                         self.alloc[lv_out] = Some((pi as u8, vi as u8));
-                        self.out_vc[lv_in] = Some(gvc as u8);
+                        self.alloc_mask[lp_out] |= 1 << gvc;
+                        soa::lane_set_out_vc(&mut self.lane[lv_in], gvc as u8);
                         sink.events.va_grants += 1;
                         // A winner whose head is already ready joins this
                         // cycle's SA candidates. Credits need no re-check:
@@ -560,10 +761,51 @@ impl BandView<'_> {
                     }
                 }
             }
+            let mut m = used_ports;
+            while m != 0 {
+                let po = m.trailing_zeros() as usize;
+                m &= m - 1;
+                scratch.per_port[po].clear();
+            }
         }
-        for l in scratch.per_port.iter_mut() {
-            l.clear();
+        if fuse {
+            // Fused walk: switch-allocate straight off the per-port lists
+            // while they (and this router's state) are still warm, then
+            // reset them for the next router. No compaction copies.
+            let mut sa_mask = 0u32;
+            for (po, list) in scratch.sa_port.iter().enumerate().take(n_ports) {
+                if !list.is_empty() {
+                    sa_mask |= 1 << po;
+                }
+            }
+            if sa_mask != 0 {
+                let lists = &scratch.sa_port;
+                self.switch_allocate(ri, now, sink, |po| lists[po].as_slice(), sa_mask);
+            }
+            let mut m = sa_mask;
+            while m != 0 {
+                let po = m.trailing_zeros() as usize;
+                m &= m - 1;
+                scratch.sa_port[po].clear();
+            }
+            return;
         }
+        // Two-phase walk: compact this router's SA candidates into the
+        // flat pool; the SA phase replays them after every router's RC+VA
+        // has run.
+        let mut sa_mask = 0u32;
+        for po in 0..n_ports {
+            let list = &mut scratch.sa_port[po];
+            let start = scratch.sa_flat.len() as u32;
+            let len = list.len() as u32;
+            if len != 0 {
+                sa_mask |= 1 << po;
+                scratch.sa_flat.extend_from_slice(list);
+                list.clear();
+            }
+            scratch.sa_ranges.push((start, len));
+        }
+        scratch.sa_masks.push(sa_mask);
     }
 
     /// First global VC of `vnet` within a port's VC range.
@@ -572,37 +814,39 @@ impl BandView<'_> {
         vnet.index() * self.vcs_per_vnet
     }
 
-    /// Switch allocation + traversal for one router over the candidate
-    /// lists gathered by [`Self::vc_allocate`]'s fused scan: round-robin
-    /// per output port among requesters whose input port is still free
-    /// this cycle, forward the winners.
-    fn switch_allocate(
+    /// Switch allocation + traversal for one router: round-robin per
+    /// output port among requesters whose input port is still free this
+    /// cycle, forward the winners. The candidate lists come through the
+    /// `cands` accessor (the warm per-port scratch lists in the fused
+    /// walk, the compacted flat pool in the two-phase walk). `mask` has a
+    /// bit set per output port with candidates; ascending set-bit order
+    /// matches the old 0..n_ports walk over non-empty lists exactly.
+    fn switch_allocate<'c>(
         &mut self,
         ri: usize,
         now: u64,
         sink: &mut StageSink,
-        scratch: &mut StageScratch,
+        cands: impl Fn(usize) -> &'c [usize],
+        mut mask: u32,
     ) {
-        let n_ports = self.n_ports(ri);
         let total_vcs = self.total_vcs;
         let base_lp = self.port_base[ri] as usize - self.gp0;
 
         let mut in_port_used = [false; 32];
-        for po in 0..n_ports {
-            if scratch.sa_port[po].is_empty() {
-                continue;
-            }
+        while mask != 0 {
+            let po = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let cands = cands(po);
             // Round-robin among candidates whose input port is still
             // free this cycle (crossbar input constraint), without
             // allocating.
             let winner = self.sa_rr[base_lp + po]
-                .grant_sparse_filtered(&scratch.sa_port[po], |c| !in_port_used[c / total_vcs]);
+                .grant_sparse_filtered(cands, |c| !in_port_used[c / total_vcs]);
             if let Some(winner) = winner {
                 let (pi, vi) = (winner / total_vcs, winner % total_vcs);
                 in_port_used[pi] = true;
                 self.forward_flit(ri, pi, vi, po, now, sink);
             }
-            scratch.sa_port[po].clear();
         }
     }
 
@@ -621,16 +865,11 @@ impl BandView<'_> {
         let base_gp = self.port_base[ri] as usize;
         let total_vcs = self.total_vcs;
         let lv_in = self.lv((base_gp + pi) * total_vcs + vi);
-        let Some(gvc) = self.out_vc[lv_in] else {
+        let Some(gvc) = soa::lane_out_vc(self.lane[lv_in]) else {
             return; // SA only grants allocated VCs; defensive
         };
         let Some(mut flit) = soa::ring_pop(
-            self.head,
-            self.len,
-            self.slots,
-            self.front_ready,
-            self.depth,
-            lv_in,
+            self.head, self.len, self.slots, self.lane, self.depth, lv_in,
         ) else {
             return; // SA only grants occupied VCs; defensive
         };
@@ -662,17 +901,36 @@ impl BandView<'_> {
         let is_tail = flit.pos.is_tail();
         let lv_out = self.lv((base_gp + po) * total_vcs + gvc as usize);
         if is_tail {
-            self.route[lv_in] = None;
-            self.out_vc[lv_in] = None;
+            soa::lane_clear_alloc(&mut self.lane[lv_in]);
             self.owner[lv_in] = None;
             self.alloc[lv_out] = None;
+            self.alloc_mask[base_gp + po - self.gp0] &= !(1 << gvc);
         }
 
         if let Some(ch) = self.out_channel[base_gp + po] {
             let ci = ch.index();
             self.assert_owned(ci);
             self.credits[lv_out] -= 1;
+            if self.credits[lv_out] == 0 {
+                self.credit_zero[base_gp + po - self.gp0] |= 1 << gvc;
+            }
             let spec = self.channels.get(ci).spec;
+            if self.lookahead && flit.pos.is_head() {
+                // Lookahead RC: resolve the head's *next-hop* output port
+                // against the current tables while the flit is in hand, so
+                // RC at the downstream router is a pre-resolved load. The
+                // cross-router table read is safe under region-parallel
+                // stepping (the shared spec is read-only during the stage).
+                flit.la_port = match self
+                    .spec
+                    .tables
+                    .lookup(flit.vnet, spec.dst.router, flit.dst)
+                {
+                    Some(p) => p.0,
+                    None => crate::flit::LA_NONE,
+                };
+                flit.la_epoch = self.table_epoch;
+            }
             flit.assigned_vc = gvc;
             flit.vc_class = spec.class_after(flit.vc_class, flit.last_dim);
             flit.last_dim = spec.dim();

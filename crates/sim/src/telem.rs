@@ -261,17 +261,17 @@ impl SimTelemetry {
         );
         let s_inject = reg.span(
             "adaptnoc_sim_stage_ni_inject_seconds",
-            "NI injection stage time per sampled cycle.",
+            "NI injection stage (incl. first-hop lookahead route resolution) time per sampled cycle.",
             &[],
         );
         let s_rc_va = reg.span(
             "adaptnoc_sim_stage_rc_va_seconds",
-            "Route-compute + VC-allocation stage time per sampled cycle.",
+            "Route-compute (lookahead consume) + candidate-mask VC-allocation stage time per sampled cycle.",
             &[],
         );
         let s_sa_st = reg.span(
             "adaptnoc_sim_stage_sa_st_seconds",
-            "Switch-allocation + traversal + ejection stage time per sampled cycle.",
+            "Switch-allocation + traversal + ejection stage (incl. next-hop lookahead route resolution) time per sampled cycle.",
             &[],
         );
         let s_merge = reg.span(

@@ -69,6 +69,36 @@ pub fn mesh_spec(w: usize, h: usize) -> NetworkSpec {
     s
 }
 
+/// The same mesh as [`mesh_spec`] with YX routing tables (Y first, then
+/// X): a valid, deadlock-free alternative routing function used as a
+/// mid-run reconfiguration target that changes behaviour without touching
+/// the channel set.
+pub fn mesh_spec_yx(w: usize, h: usize) -> NetworkSpec {
+    let mut s = mesh_spec(w, h);
+    for v in 0..2u8 {
+        for r in 0..w * h {
+            let (rx, ry) = (r % w, r / w);
+            for d in 0..w * h {
+                let (dx, dy) = (d % w, d / w);
+                let port = if d == r {
+                    LOCAL_PORT
+                } else if dy > ry {
+                    PortId(2)
+                } else if dy < ry {
+                    PortId(3)
+                } else if dx > rx {
+                    PortId(0)
+                } else {
+                    PortId(1)
+                };
+                s.tables
+                    .set(Vnet(v), RouterId(r as u16), NodeId(d as u16), port);
+            }
+        }
+    }
+    s
+}
+
 /// Scripted disturbances applied identically to the compared networks.
 #[derive(Debug, Clone, Copy)]
 pub enum Action {

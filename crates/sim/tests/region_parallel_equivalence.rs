@@ -12,7 +12,9 @@
 mod common;
 
 use adaptnoc_sim::prelude::*;
-use common::{mesh_spec, random_script, run_script, run_script_parallel, run_script_stepped};
+use common::{
+    mesh_spec, mesh_spec_yx, random_script, run_script, run_script_parallel, run_script_stepped,
+};
 
 const W: usize = 4;
 const H: usize = 4;
@@ -20,36 +22,6 @@ const CYCLES: u64 = 900;
 
 fn net(spec: &NetworkSpec) -> Network {
     Network::new(spec.clone(), SimConfig::baseline()).expect("valid mesh spec")
-}
-
-/// The same mesh with YX routing tables (Y first, then X): a valid,
-/// deadlock-free alternative routing function used as a mid-run
-/// reconfiguration target that changes behaviour without touching the
-/// channel set.
-fn mesh_spec_yx(w: usize, h: usize) -> NetworkSpec {
-    let mut s = mesh_spec(w, h);
-    for v in 0..2u8 {
-        for r in 0..w * h {
-            let (rx, ry) = (r % w, r / w);
-            for d in 0..w * h {
-                let (dx, dy) = (d % w, d / w);
-                let port = if d == r {
-                    LOCAL_PORT
-                } else if dy > ry {
-                    PortId(2)
-                } else if dy < ry {
-                    PortId(3)
-                } else if dx > rx {
-                    PortId(0)
-                } else {
-                    PortId(1)
-                };
-                s.tables
-                    .set(Vnet(v), RouterId(r as u16), NodeId(d as u16), port);
-            }
-        }
-    }
-    s
 }
 
 #[test]

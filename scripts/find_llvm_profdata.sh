@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Locates an `llvm-profdata` whose LLVM major version matches the rustc
+# toolchain's, for `make pgo`. Prints the chosen binary's path on stdout;
+# everything else goes to stderr.
+#
+# Profile data written by `-Cprofile-generate` uses the toolchain LLVM's
+# raw-profile format, which an older system `llvm-profdata` (e.g. Debian's
+# LLVM 14 against a rustc built on LLVM 22) cannot read — the merge fails
+# with "unsupported instrumentation profile format version" or silently
+# mis-merges. So candidates are accepted only on a major-version match:
+#
+#   1. the rustup sysroot copy (from `rustup component add
+#      llvm-tools-preview`) — always version-matched when present;
+#   2. $LLVM_PROFDATA, if the caller pinned one;
+#   3. `llvm-profdata` / `llvm-profdata-<major>` on PATH.
+#
+# If none match, a one-shot `rustup component add llvm-tools-preview` is
+# attempted (needs network access; a no-op if already installed), then the
+# sysroot is re-checked. Exits non-zero with guidance if no usable binary
+# is found.
+set -u
+
+want=$(rustc -vV | sed -n 's/^LLVM version: \([0-9][0-9]*\).*/\1/p')
+if [ -z "$want" ]; then
+    echo "error: could not determine rustc's LLVM version (rustc -vV)" >&2
+    exit 1
+fi
+
+major_of() {
+    # Older builds only accept --version after a subcommand, newer ones
+    # accept it bare; try both.
+    { "$1" merge --version 2>/dev/null || "$1" --version 2>/dev/null; } |
+        sed -n 's/.*LLVM version \([0-9][0-9]*\).*/\1/p' | head -n1
+}
+
+sysroot_profdata() {
+    ls "$(rustc --print target-libdir)/../bin/llvm-profdata" 2>/dev/null
+}
+
+try_candidates() {
+    for cand in "$(sysroot_profdata)" "${LLVM_PROFDATA:-}" \
+        "$(command -v llvm-profdata 2>/dev/null)" \
+        "$(command -v "llvm-profdata-$want" 2>/dev/null)"; do
+        [ -n "$cand" ] && [ -x "$cand" ] || continue
+        have=$(major_of "$cand")
+        if [ "$have" = "$want" ]; then
+            echo "$cand"
+            return 0
+        fi
+        [ -n "$have" ] &&
+            echo "note: skipping $cand (LLVM $have, toolchain needs $want)" >&2
+    done
+    return 1
+}
+
+if pick=$(try_candidates); then
+    echo "$pick"
+    exit 0
+fi
+
+echo "note: no matching llvm-profdata; trying 'rustup component add llvm-tools-preview'" >&2
+if command -v rustup >/dev/null 2>&1 &&
+    rustup component add llvm-tools-preview >&2; then
+    if pick=$(try_candidates); then
+        echo "$pick"
+        exit 0
+    fi
+fi
+
+cat >&2 <<EOF
+error: no llvm-profdata matching the toolchain's LLVM $want was found.
+
+  The system copy (if any) is built against a different LLVM major and
+  cannot read this toolchain's raw profiles. Fix one of:
+    - run 'rustup component add llvm-tools-preview' on a networked host
+      (installs a version-matched copy into the rustc sysroot), or
+    - install LLVM $want tools and point LLVM_PROFDATA at its llvm-profdata.
+EOF
+exit 1
